@@ -1,0 +1,63 @@
+// Ablation: Adaptive FG-TLE (§4.2.1) against fixed orec counts and plain
+// TLE across workloads with very different sweet spots:
+//   * read-only (slow path worthless -> the adaptive variant should
+//     converge to plain-TLE behavior and avoid instrumentation overhead);
+//   * mixed 20% updates (moderate orec count wins);
+//   * one HTM-hostile updater (large orec count wins).
+// A single adaptive configuration should land near the best fixed choice in
+// each column.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util/setbench.h"
+#include "bench_util/table.h"
+
+using namespace rtle;
+using bench::SetBenchConfig;
+using bench::Table;
+
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
+  bench::print_banner("Ablation: adaptive FG-TLE",
+                      "A-FG-TLE vs fixed configurations, xeon, 18 threads, "
+                      "ops/ms per workload");
+
+  const char* methods[] = {"TLE",          "RW-TLE",    "FG-TLE(1)",
+                           "FG-TLE(256)",  "FG-TLE(8192)", "A-FG-TLE"};
+
+  struct Workload {
+    const char* name;
+    std::uint32_t ins, rem;
+    bool unfriendly;
+    std::uint64_t range;
+  };
+  const Workload workloads[] = {
+      {"read-only", 0, 0, false, 8192},
+      {"20% updates", 20, 20, false, 8192},
+      {"hostile updater", 0, 0, true, 65536},
+  };
+
+  std::vector<std::string> header = {"method"};
+  for (const auto& w : workloads) header.push_back(w.name);
+  Table t(header);
+
+  for (const char* m : methods) {
+    std::vector<std::string> row = {m};
+    for (const auto& w : workloads) {
+      SetBenchConfig cfg;
+      cfg.machine = sim::MachineConfig::xeon();
+      cfg.key_range = w.range;
+      cfg.insert_pct = w.ins;
+      cfg.remove_pct = w.rem;
+      cfg.unfriendly_thread0 = w.unfriendly;
+      cfg.threads = 18;
+      cfg.duration_ms = args.scale(2.0, 0.25);
+      row.push_back(Table::num(
+          bench::run_set_bench(cfg, bench::method_by_name(m)).ops_per_ms,
+          0));
+    }
+    t.add_row(std::move(row));
+  }
+  t.print(args.csv);
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Ablation: instrumentation-barrier call cost.
+//
+// The paper repeatedly blames GCC's lack of barrier inlining for refined
+// TLE's lock-path overhead (§6.2.1, §6.4.2, §7: "any reduction in the
+// instrumentation overhead, for example via inlining and compiler
+// optimizations, will significantly improve the performance of the refined
+// TLE solutions"). Here we sweep the per-barrier call cost from 0 (perfect
+// inlining) to 4x the default and report both total throughput and the
+// Fig-7-style relative time under lock.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util/setbench.h"
+#include "bench_util/table.h"
+
+using namespace rtle;
+using bench::SetBenchConfig;
+using bench::Table;
+
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
+  bench::print_banner("Ablation: barrier cost",
+                      "refined TLE vs per-barrier call cost (0 = perfectly "
+                      "inlined), xeon, range 8192, 20% ins/rem, 18 threads");
+
+  SetBenchConfig cfg;
+  cfg.machine = sim::MachineConfig::xeon();
+  cfg.key_range = 8192;
+  cfg.insert_pct = 20;
+  cfg.remove_pct = 20;
+  cfg.threads = 18;
+  cfg.duration_ms = args.scale(2.0, 0.25);
+
+  const char* methods[] = {"RW-TLE", "FG-TLE(1)", "FG-TLE(8192)"};
+  Table table({"barrier_cycles", "method", "ops_per_ms",
+               "rel_time_under_lock"});
+
+  for (std::uint32_t barrier : {0u, 6u, 12u, 24u, 48u}) {
+    cfg.machine.cost.barrier_call = barrier;
+    const double lock_cs =
+        bench::run_set_bench(cfg, bench::method_by_name("Lock"))
+            .avg_cycles_under_lock();
+    for (const char* m : methods) {
+      const auto r = bench::run_set_bench(cfg, bench::method_by_name(m));
+      table.add_row({Table::num(std::uint64_t{barrier}), m,
+                     Table::num(r.ops_per_ms, 0),
+                     Table::num(lock_cs > 0
+                                    ? r.avg_cycles_under_lock() / lock_cs
+                                    : 0.0,
+                                2)});
+    }
+  }
+  table.print(args.csv);
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Ablation: HTM read-set capacity vs tree size.
+//
+// Best-effort HTMs bound the readable footprint; once a critical section's
+// traversal exceeds it, speculation *cannot* succeed and (per the
+// no-retry-hint policy) execution falls to the lock. TLE then serializes;
+// refined TLE's slow path is equally capacity-bound, so the interesting
+// question is how quickly each variant degrades toward the Lock baseline as
+// the capacity shrinks below the working set.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util/setbench.h"
+#include "bench_util/table.h"
+
+using namespace rtle;
+using bench::SetBenchConfig;
+using bench::Table;
+
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
+  bench::print_banner("Ablation: HTM read capacity",
+                      "AVL range 65536 (deep traversals), xeon, 18 threads, "
+                      "20% ins/rem; ops/ms and lock-fallback %");
+
+  const char* methods[] = {"Lock", "TLE", "RW-TLE", "FG-TLE(8192)"};
+
+  Table t({"read_capacity_lines", "method", "ops_per_ms", "fallback_pct",
+           "capacity_aborts"});
+  for (std::uint32_t cap : {16u, 32u, 64u, 128u, 8192u}) {
+    for (const char* m : methods) {
+      SetBenchConfig cfg;
+      cfg.machine = sim::MachineConfig::xeon();
+      cfg.machine.htm.max_read_lines = cap;
+      cfg.key_range = 65536;
+      cfg.insert_pct = 20;
+      cfg.remove_pct = 20;
+      cfg.threads = 18;
+      cfg.duration_ms = args.scale(2.0, 0.25);
+      const auto r = bench::run_set_bench(cfg, bench::method_by_name(m));
+      t.add_row({Table::num(std::uint64_t{cap}), m,
+                 Table::num(r.ops_per_ms, 0),
+                 Table::num(r.stats.lock_fallback_rate() * 100, 2),
+                 Table::num(r.stats.abort_cause[static_cast<int>(
+                     htm::AbortCause::kCapacity)])});
+    }
+  }
+  t.print(args.csv);
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Ablation: the hybrid-TM lineage — NOrec (software only), Hybrid NOrec
+// (unconditional clock bump on every hardware commit, ASPLOS'11), RHNOrec
+// (bump only while software transactions run, TRANSACT'14) and refined TLE.
+//
+// The paper's §2 argues RHNOrec's remaining weakness is the shared clock;
+// Hybrid NOrec makes the point a fortiori: with *every* hardware commit
+// bumping the clock, hardware transactions conflict with each other on one
+// word even in the total absence of software transactions. Expect the
+// ordering refined TLE > RHNOrec > HybridNOrec (> NOrec single-threaded),
+// with HybridNOrec degrading earliest as thread count grows.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util/setbench.h"
+#include "bench_util/table.h"
+
+using namespace rtle;
+using bench::SetBenchConfig;
+using bench::Table;
+
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
+  bench::print_banner("Ablation: hybrid-TM lineage",
+                      "NOrec vs HybridNOrec vs RHNOrec vs refined TLE, "
+                      "xeon, range 8192, 20% ins/rem, ops/ms");
+
+  SetBenchConfig cfg;
+  cfg.machine = sim::MachineConfig::xeon();
+  cfg.key_range = 8192;
+  cfg.insert_pct = 20;
+  cfg.remove_pct = 20;
+  cfg.duration_ms = args.scale(2.0, 0.25);
+
+  const char* methods[] = {"NOrec", "HybridNOrec", "RHNOrec", "TLE",
+                           "FG-TLE(8192)"};
+  std::vector<std::uint32_t> threads = {1, 2, 4, 8, 12, 18, 24, 36};
+  if (args.quick) threads = {1, 8, 18, 36};
+
+  std::vector<std::string> header = {"threads"};
+  for (const char* m : methods) header.push_back(m);
+  Table table(header);
+  for (std::uint32_t t : threads) {
+    cfg.threads = t;
+    std::vector<std::string> row = {Table::num(std::uint64_t{t})};
+    for (const char* m : methods) {
+      row.push_back(Table::num(
+          bench::run_set_bench(cfg, bench::method_by_name(m)).ops_per_ms,
+          0));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(args.csv);
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Ablation: eager vs lazy lock subscription on the refined-TLE slow path
+// (paper §5). Lazy subscription restores lock-as-barrier semantics but a
+// slow-path transaction can then only commit once the lock is free, cutting
+// into the very concurrency refined TLE exists to provide — most visibly in
+// the Fig-12-style workload where the lock is held almost continuously.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util/setbench.h"
+#include "bench_util/table.h"
+
+using namespace rtle;
+using bench::SetBenchConfig;
+using bench::Table;
+
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
+  bench::print_banner("Ablation: lazy subscription",
+                      "eager vs lazy slow-path lock subscription, xeon");
+
+  const char* methods[] = {"RW-TLE", "RW-TLE-lazy", "FG-TLE(8192)",
+                           "FG-TLE-lazy(8192)"};
+  std::vector<std::uint32_t> threads = {2, 8, 18, 36};
+
+  // Workload A: the Fig-5 mixed workload (lock held occasionally).
+  {
+    SetBenchConfig cfg;
+    cfg.machine = sim::MachineConfig::xeon();
+    cfg.key_range = 8192;
+    cfg.insert_pct = 20;
+    cfg.remove_pct = 20;
+    cfg.duration_ms = args.scale(2.0, 0.25);
+    std::printf("A) AVL range 8192, 20%% ins/rem (ops/ms):\n");
+    std::vector<std::string> header = {"threads"};
+    for (const char* m : methods) header.push_back(m);
+    Table t(header);
+    for (std::uint32_t n : threads) {
+      cfg.threads = n;
+      std::vector<std::string> row = {Table::num(std::uint64_t{n})};
+      for (const char* m : methods) {
+        row.push_back(Table::num(
+            bench::run_set_bench(cfg, bench::method_by_name(m)).ops_per_ms,
+            0));
+      }
+      t.add_row(std::move(row));
+    }
+    t.print(args.csv);
+  }
+
+  // Workload B: Fig-12 style — one HTM-hostile updater keeps the lock hot;
+  // slow-path commits while the lock is held are the whole ballgame, so
+  // lazy subscription hurts maximally.
+  {
+    SetBenchConfig cfg;
+    cfg.machine = sim::MachineConfig::xeon();
+    cfg.key_range = 65536;
+    cfg.insert_pct = 0;
+    cfg.remove_pct = 0;
+    cfg.unfriendly_thread0 = true;
+    cfg.duration_ms = args.scale(2.0, 0.25);
+    std::printf("\nB) one HTM-unfriendly updater + readers, range 65536 "
+                "(ops/ms / slow-path commits while locked):\n");
+    std::vector<std::string> header = {"threads"};
+    for (const char* m : methods) header.push_back(m);
+    Table t(header);
+    for (std::uint32_t n : threads) {
+      cfg.threads = n;
+      std::vector<std::string> row = {Table::num(std::uint64_t{n})};
+      for (const char* m : methods) {
+        const auto r = bench::run_set_bench(cfg, bench::method_by_name(m));
+        row.push_back(Table::num(r.ops_per_ms, 0) + "/" +
+                      Table::num(r.stats.slow_htm_while_locked));
+      }
+      t.add_row(std::move(row));
+    }
+    t.print(args.csv);
+  }
+  return 0;
+}

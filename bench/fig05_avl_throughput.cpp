@@ -1,0 +1,82 @@
+// Figure 5: AVL-tree set throughput on Core i7 and Xeon, normalized to a
+// single-threaded lock-based execution (speedup), for key ranges
+// {8192, 65536} and Insert:Remove:Find mixes {0:0:100, 10:10:80, 20:20:60,
+// 50:50:0}, across Lock, NOrec, RHNOrec, TLE, RW-TLE and FG-TLE(N).
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_util/setbench.h"
+#include "bench_util/table.h"
+
+using namespace rtle;
+using bench::SetBenchConfig;
+using bench::Table;
+
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
+  bench::print_banner("Figure 5",
+                      "AVL set speedup vs. threads (normalized to Lock @ 1 "
+                      "thread)");
+  const double duration = args.scale(2.0, 0.25);
+
+  struct MachineGrid {
+    sim::MachineConfig mc;
+    std::vector<std::uint32_t> threads;
+  };
+  std::vector<MachineGrid> machines = {
+      {sim::MachineConfig::corei7(), {1, 2, 4, 6, 8}},
+      {sim::MachineConfig::xeon(), {1, 2, 4, 8, 12, 16, 18, 24, 28, 36}},
+  };
+  if (args.quick) {
+    machines[0].threads = {1, 4, 8};
+    machines[1].threads = {1, 8, 18, 36};
+  }
+  const std::uint64_t ranges[] = {8192, 65536};
+  const std::pair<std::uint32_t, std::uint32_t> mixes[] = {
+      {0, 0}, {10, 10}, {20, 20}, {50, 50}};
+
+  auto methods = bench::paper_methods();
+
+  for (const MachineGrid& mg : machines) {
+    for (std::uint64_t range : ranges) {
+      for (auto [ins, rem] : mixes) {
+        SetBenchConfig cfg;
+        cfg.machine = mg.mc;
+        cfg.key_range = range;
+        cfg.insert_pct = ins;
+        cfg.remove_pct = rem;
+        cfg.duration_ms = duration;
+
+        // Normalization baseline: Lock at 1 thread in this setup.
+        cfg.threads = 1;
+        const double base =
+            bench::run_set_bench(cfg, bench::method_by_name("Lock"))
+                .ops_per_ms;
+
+        std::printf("machine=%s key_range=%llu mix=%u:%u:%u (I:R:F), "
+                    "Lock@1 = %.0f ops/ms\n",
+                    mg.mc.name.c_str(),
+                    static_cast<unsigned long long>(range), ins, rem,
+                    100 - ins - rem, base);
+
+        std::vector<std::string> header = {"threads"};
+        for (const auto& m : methods) header.push_back(m.name);
+        Table table(header);
+        for (std::uint32_t t : mg.threads) {
+          cfg.threads = t;
+          std::vector<std::string> row = {Table::num(std::uint64_t{t})};
+          for (const auto& m : methods) {
+            const auto r = bench::run_set_bench(cfg, m);
+            row.push_back(Table::num(r.ops_per_ms / base, 2));
+          }
+          table.add_row(std::move(row));
+        }
+        table.print(args.csv);
+        std::printf("\n");
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Figure 6: slow-path throughput for the refined TLE variants — commits of
+// instrumented hardware transactions while the lock is held (SlowHTM pane)
+// and lock-based critical sections (Lock pane), both per millisecond of
+// lock-held time. Key range 8192, 20% Insert/Remove, Xeon.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util/setbench.h"
+#include "bench_util/table.h"
+
+using namespace rtle;
+using bench::SetBenchConfig;
+using bench::Table;
+
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
+  bench::print_banner(
+      "Figure 6",
+      "slow-path throughput of refined TLE variants (SlowHTM and Lock "
+      "panes), xeon, range 8192, 20% ins/rem");
+
+  SetBenchConfig cfg;
+  cfg.machine = sim::MachineConfig::xeon();
+  cfg.key_range = 8192;
+  cfg.insert_pct = 20;
+  cfg.remove_pct = 20;
+  cfg.duration_ms = args.scale(2.0, 0.25);
+  std::vector<std::uint32_t> threads = {1, 2, 4, 8, 12, 16, 18, 24, 28, 36};
+  if (args.quick) threads = {1, 8, 18, 36};
+
+  auto methods = bench::refined_methods();
+  std::vector<std::string> header = {"threads"};
+  for (const auto& m : methods) header.push_back(m.name);
+
+  Table slow_htm(header);
+  Table lock_tp(header);
+  for (std::uint32_t t : threads) {
+    cfg.threads = t;
+    std::vector<std::string> row_s = {Table::num(std::uint64_t{t})};
+    std::vector<std::string> row_l = row_s;
+    for (const auto& m : methods) {
+      const auto r = bench::run_set_bench(cfg, m);
+      row_s.push_back(Table::num(r.slow_htm_ops_per_ms(cfg.machine), 0));
+      row_l.push_back(Table::num(r.lock_path_ops_per_ms(cfg.machine), 0));
+    }
+    slow_htm.add_row(std::move(row_s));
+    lock_tp.add_row(std::move(row_l));
+  }
+  std::printf("SlowHTM commits per ms of lock-held time:\n");
+  slow_htm.print(args.csv);
+  std::printf("\nLock-based critical sections per ms of lock-held time:\n");
+  lock_tp.print(args.csv);
+  return 0;
+}

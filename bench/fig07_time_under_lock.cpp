@@ -1,0 +1,55 @@
+// Figure 7: execution time under lock, normalized to the time measured for
+// the lock-based (Lock method) execution with the same number of threads.
+// Shows the instrumentation overhead ordering: TLE ≈ Lock < RW-TLE <
+// FG-TLE(1) < FG-TLE(4) < FG-TLE(16) < FG-TLE(256+), the §4.2 uniq-counter
+// optimization at work. Key range 8192, 20% Insert/Remove, Xeon.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util/setbench.h"
+#include "bench_util/table.h"
+
+using namespace rtle;
+using bench::SetBenchConfig;
+using bench::Table;
+
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
+  bench::print_banner("Figure 7",
+                      "avg critical-section time under lock relative to the "
+                      "Lock method at the same thread count");
+
+  SetBenchConfig cfg;
+  cfg.machine = sim::MachineConfig::xeon();
+  cfg.key_range = 8192;
+  cfg.insert_pct = 20;
+  cfg.remove_pct = 20;
+  cfg.duration_ms = args.scale(2.0, 0.25);
+  std::vector<std::uint32_t> threads = {2, 4, 8, 12, 16, 18, 24, 28, 36};
+  if (args.quick) threads = {8, 18, 36};
+
+  std::vector<std::string> names = {
+      "Lock",        "TLE",          "RW-TLE",       "FG-TLE(1)",
+      "FG-TLE(4)",   "FG-TLE(16)",   "FG-TLE(256)",  "FG-TLE(1024)",
+      "FG-TLE(4096)", "FG-TLE(8192)"};
+
+  std::vector<std::string> header = {"threads"};
+  for (const auto& n : names) header.push_back(n);
+  Table table(header);
+
+  for (std::uint32_t t : threads) {
+    cfg.threads = t;
+    const double base =
+        bench::run_set_bench(cfg, bench::method_by_name("Lock"))
+            .avg_cycles_under_lock();
+    std::vector<std::string> row = {Table::num(std::uint64_t{t})};
+    for (const auto& n : names) {
+      const auto r = bench::run_set_bench(cfg, bench::method_by_name(n));
+      const double v = r.avg_cycles_under_lock();
+      row.push_back(v == 0 || base == 0 ? "-" : Table::num(v / base, 2));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(args.csv);
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Figure 8: RHNOrec slow-path throughput — hardware transactions that bump
+// the global timestamp (SlowHTM pane) and software-transaction commits
+// (SWSlow pane), per millisecond of time during which software transactions
+// were running. Key range 8192, 20% Insert/Remove, Xeon.
+//
+// Paper finding: software commits climb to thousands per ms while SlowHTM
+// commits collapse — the extra software parallelism never pays for the lost
+// hardware throughput.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util/setbench.h"
+#include "bench_util/table.h"
+
+using namespace rtle;
+using bench::SetBenchConfig;
+using bench::Table;
+
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
+  bench::print_banner("Figure 8",
+                      "RHNOrec slow-path throughput (SlowHTM / SWSlow), "
+                      "xeon, range 8192, 20% ins/rem");
+
+  SetBenchConfig cfg;
+  cfg.machine = sim::MachineConfig::xeon();
+  cfg.key_range = 8192;
+  cfg.insert_pct = 20;
+  cfg.remove_pct = 20;
+  cfg.duration_ms = args.scale(2.0, 0.25);
+  std::vector<std::uint32_t> threads = {1, 2, 4, 8, 12, 16, 18, 24, 28, 36};
+  if (args.quick) threads = {1, 8, 18, 36};
+
+  Table table({"threads", "SlowHTM_ops_per_ms", "SWSlow_ops_per_ms",
+               "sw_time_frac"});
+  const auto spec = bench::method_by_name("RHNOrec");
+  for (std::uint32_t t : threads) {
+    cfg.threads = t;
+    const auto r = bench::run_set_bench(cfg, spec);
+    const double total_cycles = cfg.duration_ms * cfg.machine.cycles_per_ms();
+    table.add_row({Table::num(std::uint64_t{t}),
+                   Table::num(r.sw_phase_htm_ops_per_ms(cfg.machine), 0),
+                   Table::num(r.sw_phase_stm_ops_per_ms(cfg.machine), 0),
+                   Table::num(r.stats.cycles_sw_running / total_cycles, 3)});
+  }
+  table.print(args.csv);
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Figure 9: RHNOrec execution-type distribution — the fraction of completed
+// critical sections that committed as pure-HTM fast path (no timestamp
+// bump), HTM slow (timestamp bumped), software transaction with an
+// HTM-assisted commit, and software transaction that fell back to the global
+// commit lock. Key range 8192, 20% Insert/Remove, Xeon.
+//
+// Paper finding: at 16 threads and above almost nothing commits in hardware
+// (the lemming effect of §6.2.2).
+#include <cstdio>
+#include <vector>
+
+#include "bench_util/setbench.h"
+#include "bench_util/table.h"
+
+using namespace rtle;
+using bench::SetBenchConfig;
+using bench::Table;
+
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
+  bench::print_banner("Figure 9",
+                      "RHNOrec execution-type distribution, xeon, range "
+                      "8192, 20% ins/rem");
+
+  SetBenchConfig cfg;
+  cfg.machine = sim::MachineConfig::xeon();
+  cfg.key_range = 8192;
+  cfg.insert_pct = 20;
+  cfg.remove_pct = 20;
+  cfg.duration_ms = args.scale(2.0, 0.25);
+  std::vector<std::uint32_t> threads = {1, 2, 4, 8, 12, 16, 18, 24, 28, 36};
+  if (args.quick) threads = {1, 8, 18, 36};
+
+  Table table({"threads", "HTMFast", "HTMSlow", "STMFastCommit",
+               "STMSlowCommit"});
+  const auto spec = bench::method_by_name("RHNOrec");
+  for (std::uint32_t t : threads) {
+    cfg.threads = t;
+    const auto r = bench::run_set_bench(cfg, spec);
+    const double total = static_cast<double>(r.stats.ops);
+    auto frac = [&](std::uint64_t v) {
+      return Table::num(total == 0 ? 0.0 : v / total, 3);
+    };
+    table.add_row({Table::num(std::uint64_t{t}),
+                   frac(r.stats.rhn_htm_fast), frac(r.stats.rhn_htm_slow),
+                   frac(r.stats.commit_stm_ro + r.stats.commit_stm_htm),
+                   frac(r.stats.commit_stm_lock)});
+  }
+  table.print(args.csv);
+  return 0;
+}

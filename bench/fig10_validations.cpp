@@ -1,0 +1,46 @@
+// Figure 10: average value-based read-set validations per transaction for
+// NOrec vs RHNOrec. Key range 8192, 20% Insert/Remove, Xeon.
+//
+// Paper finding: as long as hardware transactions still commit on the
+// RHNOrec slow path, each of their timestamp bumps triggers a wave of
+// software revalidations, so RHNOrec's validation count skyrockets compared
+// to plain NOrec.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util/setbench.h"
+#include "bench_util/table.h"
+
+using namespace rtle;
+using bench::SetBenchConfig;
+using bench::Table;
+
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
+  bench::print_banner("Figure 10",
+                      "value-based validations per transaction, NOrec vs "
+                      "RHNOrec, xeon, range 8192, 20% ins/rem");
+
+  SetBenchConfig cfg;
+  cfg.machine = sim::MachineConfig::xeon();
+  cfg.key_range = 8192;
+  cfg.insert_pct = 20;
+  cfg.remove_pct = 20;
+  cfg.duration_ms = args.scale(2.0, 0.25);
+  std::vector<std::uint32_t> threads = {1, 2, 4, 8, 12, 16, 18, 24, 28, 36};
+  if (args.quick) threads = {1, 8, 18, 36};
+
+  Table table({"threads", "NOrec", "RHNOrec"});
+  for (std::uint32_t t : threads) {
+    cfg.threads = t;
+    const auto rn =
+        bench::run_set_bench(cfg, bench::method_by_name("NOrec"));
+    const auto rh =
+        bench::run_set_bench(cfg, bench::method_by_name("RHNOrec"));
+    table.add_row({Table::num(std::uint64_t{t}),
+                   Table::num(rn.validations_per_tx(), 2),
+                   Table::num(rh.validations_per_tx(), 2)});
+  }
+  table.print(args.csv);
+  return 0;
+}

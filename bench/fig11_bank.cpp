@@ -1,0 +1,102 @@
+// Figure 11: bank-accounts micro-benchmark — 256 line-padded accounts,
+// every critical section transfers a random amount between two random
+// accounts (read-modify-write; no read-only executions exist). Xeon.
+//
+// Paper findings: TLE scales to ~12 threads then degrades on collisions;
+// refined TLE variants with many orecs keep scaling (they only block
+// transactions that truly conflict with the lock holder); NOrec and RHNOrec
+// perform poorly because every transaction writes.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_util/setbench.h"
+#include "bench_util/table.h"
+#include "ds/bank.h"
+#include "sim/env.h"
+
+using namespace rtle;
+using bench::Table;
+using runtime::ThreadCtx;
+using runtime::TxContext;
+
+namespace {
+
+struct BankResult {
+  double ops_per_ms = 0;
+};
+
+BankResult run_bank(const sim::MachineConfig& mc, std::uint32_t threads,
+                    double duration_ms, const runtime::MethodSpec& spec,
+                    std::uint64_t seed) {
+  SimScope sim(mc);
+  ds::BankAccounts bank(256, 10000);
+  auto method = spec.make();
+  method->prepare(threads);
+
+  const std::uint64_t duration_cycles =
+      static_cast<std::uint64_t>(duration_ms * mc.cycles_per_ms());
+  const std::uint64_t t_end = sim.sched.epoch() + duration_cycles;
+
+  std::vector<std::unique_ptr<ThreadCtx>> ctxs;
+  for (std::uint32_t tid = 0; tid < threads; ++tid) {
+    ctxs.push_back(std::make_unique<ThreadCtx>(tid, seed * 131 + tid));
+  }
+  for (std::uint32_t tid = 0; tid < threads; ++tid) {
+    ThreadCtx* th = ctxs[tid].get();
+    sim.sched.spawn(
+        [&, th] {
+          auto& sched = cur_sched();
+          while (sched.now() < t_end) {
+            // Pick accounts and amount *before* entering the critical
+            // section, as the paper specifies.
+            const std::size_t from = th->rng.below(bank.size());
+            std::size_t to = th->rng.below(bank.size() - 1);
+            if (to >= from) ++to;
+            const std::uint64_t amount = th->rng.below(100) + 1;
+            auto cs = [&](TxContext& ctx) {
+              bank.transfer(ctx, from, to, amount);
+            };
+            method->execute(*th, cs);
+          }
+        },
+        tid);
+  }
+  sim.sched.run();
+  BankResult r;
+  r.ops_per_ms = method->stats().ops / duration_ms;
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
+  bench::print_banner("Figure 11",
+                      "bank-accounts transfer throughput (ops/ms), 256 "
+                      "padded accounts, xeon");
+
+  const double duration = args.scale(2.0, 0.25);
+  std::vector<std::uint32_t> threads = {1, 2, 4, 6, 8, 12, 18, 24, 28, 36};
+  if (args.quick) threads = {1, 8, 18, 36};
+
+  const char* names[] = {"Lock",        "TLE",          "RW-TLE",
+                         "FG-TLE(1)",   "FG-TLE(16)",   "FG-TLE(256)",
+                         "FG-TLE(1024)", "FG-TLE(4096)", "FG-TLE(8192)",
+                         "NOrec",       "RHNOrec"};
+
+  std::vector<std::string> header = {"threads"};
+  for (const char* n : names) header.push_back(n);
+  Table table(header);
+  for (std::uint32_t t : threads) {
+    std::vector<std::string> row = {Table::num(std::uint64_t{t})};
+    for (const char* n : names) {
+      const auto r = run_bank(sim::MachineConfig::xeon(), t, duration,
+                              bench::method_by_name(n), 3);
+      row.push_back(Table::num(r.ops_per_ms, 0));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(args.csv);
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Figure 12: total throughput when one thread consistently executes an
+// HTM-unfriendly instruction (modeled after the paper's divide-by-zero)
+// inside Insert/Remove critical sections, while all other threads run Find.
+// Key range 65536, the unfriendly instruction placed at the end of the
+// critical section, Xeon.
+//
+// Paper findings: TLE flatlines (the unfriendly thread keeps taking the
+// lock, blocking everyone); FG-TLE scales across all thread counts; RW-TLE
+// scales to ~19 threads then collapses (lemming effect from its eager
+// return to the fast path); RHNOrec collapses on timestamp contention;
+// NOrec scales but stays well below FG-TLE.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util/setbench.h"
+#include "bench_util/table.h"
+
+using namespace rtle;
+using bench::SetBenchConfig;
+using bench::Table;
+
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
+  bench::print_banner("Figure 12",
+                      "one HTM-unfriendly updater + (N-1) readers, xeon, "
+                      "range 65536, total ops/ms");
+
+  SetBenchConfig cfg;
+  cfg.machine = sim::MachineConfig::xeon();
+  cfg.key_range = 65536;
+  cfg.insert_pct = 0;
+  cfg.remove_pct = 0;
+  cfg.duration_ms = args.scale(2.0, 0.25);
+  cfg.unfriendly_thread0 = true;
+  cfg.unfriendly_at_end = true;
+  std::vector<std::uint32_t> threads = {2, 3, 5, 9, 13, 17, 19, 25, 29, 36};
+  if (args.quick) threads = {2, 9, 19, 36};
+
+  const char* names[] = {"Lock",      "TLE",          "RW-TLE",
+                         "FG-TLE(1)", "FG-TLE(16)",   "FG-TLE(256)",
+                         "FG-TLE(4096)", "FG-TLE(8192)", "NOrec", "RHNOrec"};
+
+  std::vector<std::string> header = {"threads"};
+  for (const char* n : names) header.push_back(n);
+  Table table(header);
+  for (std::uint32_t t : threads) {
+    cfg.threads = t;
+    std::vector<std::string> row = {Table::num(std::uint64_t{t})};
+    for (const char* n : names) {
+      const auto r = bench::run_set_bench(cfg, bench::method_by_name(n));
+      row.push_back(Table::num(r.ops_per_ms, 0));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(args.csv);
+  return 0;
+}

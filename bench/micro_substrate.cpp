@@ -1,0 +1,146 @@
+// google-benchmark micro-benchmarks of the simulator substrate itself:
+// these measure *real* (host) time per operation — they exist to keep the
+// simulation overhead honest (a simulated memory access should cost well
+// under a microsecond of host time, or the figure sweeps become unusable).
+#include <benchmark/benchmark.h>
+
+#include "htm/htm.h"
+#include "mem/shim.h"
+#include "sim/env.h"
+#include "sim/fiber.h"
+#include "sim/rng.h"
+#include "util/flat_hash.h"
+
+namespace {
+
+using namespace rtle;
+
+void BM_FiberSwitch(benchmark::State& state) {
+  // Ping-pong between a fiber and the main context.
+  sim::Context main_ctx;
+  bool stop = false;
+  sim::Fiber* fp = nullptr;
+  sim::Fiber fiber([&] {
+    while (!stop) fp->switch_to(main_ctx);
+  });
+  fp = &fiber;
+  fiber.return_to = &main_ctx;
+  for (auto _ : state) {
+    fiber.switch_from(main_ctx);  // one round trip = two context switches
+  }
+  stop = true;
+  fiber.switch_from(main_ctx);
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_FiberSwitch);
+
+void BM_SchedulerAdvance(benchmark::State& state) {
+  SimScope sim(sim::MachineConfig::xeon());
+  std::uint64_t n = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    SimScope inner(sim::MachineConfig::xeon());
+    state.ResumeTiming();
+    for (int t = 0; t < 4; ++t) {
+      inner.sched.spawn(
+          [&] {
+            for (int i = 0; i < 2500; ++i) {
+              cur_sched().advance(10);
+              ++n;
+            }
+          },
+          t);
+    }
+    inner.sched.run();
+  }
+  benchmark::DoNotOptimize(n);
+  state.SetItemsProcessed(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SchedulerAdvance)->Unit(benchmark::kMillisecond);
+
+void BM_PlainLoad(benchmark::State& state) {
+  SimScope sim(sim::MachineConfig::xeon());
+  alignas(64) static std::uint64_t word = 7;
+  std::uint64_t sink = 0;
+  std::uint64_t iters = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    SimScope inner(sim::MachineConfig::xeon());
+    state.ResumeTiming();
+    inner.sched.spawn(
+        [&] {
+          for (int i = 0; i < 10000; ++i) sink += mem::plain_load(&word);
+        },
+        0);
+    inner.sched.run();
+    iters += 10000;
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(static_cast<std::int64_t>(iters));
+}
+BENCHMARK(BM_PlainLoad)->Unit(benchmark::kMillisecond);
+
+void BM_HtmRoundTrip(benchmark::State& state) {
+  // begin + 8 transactional accesses + commit.
+  alignas(64) static std::uint64_t data[64];
+  std::uint64_t iters = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    SimScope inner(sim::MachineConfig::xeon());
+    state.ResumeTiming();
+    inner.sched.spawn(
+        [&] {
+          htm::Tx tx(0);
+          for (int i = 0; i < 2000; ++i) {
+            try {
+              inner.htm.begin(tx);
+              for (int j = 0; j < 8; ++j) {
+                inner.htm.tx_store(tx, &data[j * 8], j);
+              }
+              inner.htm.commit(tx);
+            } catch (const htm::HtmAbort&) {
+              // spurious abort: the price of emulating best-effort HTM
+            }
+          }
+        },
+        0);
+    inner.sched.run();
+    iters += 2000;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(iters));
+}
+BENCHMARK(BM_HtmRoundTrip)->Unit(benchmark::kMillisecond);
+
+void BM_FlatHashUpsert(benchmark::State& state) {
+  util::FlatHash<std::uint64_t> h(1 << 12);
+  sim::Rng rng(1);
+  for (auto _ : state) {
+    h[rng.below(100000)] += 1;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FlatHashUpsert);
+
+void BM_FastHash(benchmark::State& state) {
+  std::uint64_t x = 0x123456789abcdefULL;
+  std::uint64_t acc = 0;
+  for (auto _ : state) {
+    acc += util::fast_hash(x += 64, 8192);
+  }
+  benchmark::DoNotOptimize(acc);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FastHash);
+
+void BM_Rng(benchmark::State& state) {
+  sim::Rng rng(9);
+  std::uint64_t acc = 0;
+  for (auto _ : state) acc += rng.next();
+  benchmark::DoNotOptimize(acc);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Rng);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,234 @@
+#include "bench_util/setbench.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "ds/avl.h"
+#include "runtime/engine.h"
+#include "sim/env.h"
+#include "sim/rng.h"
+#include "stm/norec.h"
+#include "stm/hybrid_norec.h"
+#include "stm/rhnorec.h"
+#include "tle/adaptive.h"
+#include "tle/fgtle.h"
+#include "tle/rwtle.h"
+#include "tle/tle.h"
+
+namespace rtle::bench {
+
+using runtime::MethodSpec;
+using runtime::Path;
+using runtime::ThreadCtx;
+using runtime::TxContext;
+
+double SetBenchResult::lock_path_ops_per_ms(
+    const sim::MachineConfig& mc) const {
+  if (stats.cycles_under_lock == 0) return 0.0;
+  return static_cast<double>(stats.lock_acquisitions) * mc.cycles_per_ms() /
+         stats.cycles_under_lock;
+}
+
+double SetBenchResult::slow_htm_ops_per_ms(
+    const sim::MachineConfig& mc) const {
+  if (stats.cycles_under_lock == 0) return 0.0;
+  return static_cast<double>(stats.slow_htm_while_locked) *
+         mc.cycles_per_ms() / stats.cycles_under_lock;
+}
+
+double SetBenchResult::avg_cycles_under_lock() const {
+  if (stats.lock_acquisitions == 0) return 0.0;
+  return static_cast<double>(stats.cycles_under_lock) /
+         stats.lock_acquisitions;
+}
+
+double SetBenchResult::sw_phase_stm_ops_per_ms(
+    const sim::MachineConfig& mc) const {
+  if (stats.cycles_sw_running == 0) return 0.0;
+  const std::uint64_t sw_commits =
+      stats.commit_stm_ro + stats.commit_stm_htm + stats.commit_stm_lock;
+  return static_cast<double>(sw_commits) * mc.cycles_per_ms() /
+         stats.cycles_sw_running;
+}
+
+double SetBenchResult::sw_phase_htm_ops_per_ms(
+    const sim::MachineConfig& mc) const {
+  if (stats.cycles_sw_running == 0) return 0.0;
+  return static_cast<double>(stats.rhn_htm_slow) * mc.cycles_per_ms() /
+         stats.cycles_sw_running;
+}
+
+double SetBenchResult::validations_per_tx() const {
+  // Per *software* transaction (the paper's metric): for NOrec every
+  // transaction is software; for RHNOrec only the STM-path commits count.
+  const std::uint64_t sw =
+      stats.commit_stm_ro + stats.commit_stm_htm + stats.commit_stm_lock;
+  const std::uint64_t denom = sw > 0 ? sw : ops;
+  if (denom == 0) return 0.0;
+  return static_cast<double>(stats.validations) / denom;
+}
+
+namespace {
+
+/// Deterministically pick ~half the keys in [0, range): the paper fills the
+/// set with half the key range so Insert/Remove succeed half the time.
+bool prefill_selected(std::uint64_t key, std::uint64_t seed) {
+  return (util::mix64(key * 0x9e3779b97f4a7c15ULL + seed) & 1) != 0;
+}
+
+}  // namespace
+
+SetBenchResult run_set_bench(const SetBenchConfig& cfg,
+                             const MethodSpec& spec) {
+  SimScope sim(cfg.machine);
+  // Arena: prefill + at most the whole key range live + per-thread caches.
+  ds::AvlSet set(cfg.key_range + 64ULL * cfg.threads + 1024,
+                 std::max(cfg.threads, 1u));
+  std::unique_ptr<runtime::SyncMethod> method = spec.make();
+  method->prepare(cfg.threads);
+
+  for (std::uint64_t k = 0; k < cfg.key_range; ++k) {
+    if (prefill_selected(k, cfg.seed)) set.insert_meta(k);
+  }
+
+  const std::uint64_t duration_cycles = static_cast<std::uint64_t>(
+      cfg.duration_ms * cfg.machine.cycles_per_ms());
+  const std::uint64_t t_start = sim.sched.epoch();
+  const std::uint64_t t_end = t_start + duration_cycles;
+
+  std::vector<std::unique_ptr<ThreadCtx>> threads;
+  threads.reserve(cfg.threads);
+  for (std::uint32_t tid = 0; tid < cfg.threads; ++tid) {
+    threads.push_back(
+        std::make_unique<ThreadCtx>(tid, cfg.seed * 7919 + tid));
+  }
+
+  for (std::uint32_t tid = 0; tid < cfg.threads; ++tid) {
+    ThreadCtx* th = threads[tid].get();
+    sim.sched.spawn(
+        [&, th, tid] {
+          auto& sched = cur_sched();
+          const bool unfriendly =
+              cfg.unfriendly_thread0 && tid == 0 && cfg.threads > 1;
+          const std::uint64_t hot_range = std::max<std::uint64_t>(
+              1, static_cast<std::uint64_t>(cfg.key_range *
+                                            cfg.hot_key_fraction));
+          while (sched.now() < t_end) {
+            set.reserve_nodes(*th, 4);
+            const std::uint64_t key =
+                (cfg.hot_access_pct != 0 && th->rng.pct(cfg.hot_access_pct))
+                    ? th->rng.below(hot_range)
+                    : th->rng.below(cfg.key_range);
+            std::uint32_t r = th->rng.below(100);
+            if (unfriendly) {
+              // Fig 12 thread 0: Insert/Remove at equal probability, with
+              // an instruction HTM cannot execute.
+              const bool ins = (r & 1) != 0;
+              auto cs = [&](TxContext& ctx) {
+                if (!cfg.unfriendly_at_end) ctx.htm_unfriendly();
+                if (ins) {
+                  set.insert(ctx, key);
+                } else {
+                  set.remove(ctx, key);
+                }
+                if (cfg.unfriendly_at_end) ctx.htm_unfriendly();
+              };
+              method->execute(*th, cs);
+              continue;
+            }
+            if (cfg.unfriendly_thread0 && cfg.threads > 1) {
+              r = 100;  // other threads in the Fig 12 setup: Find only
+            }
+            if (r < cfg.insert_pct) {
+              auto cs = [&](TxContext& ctx) { set.insert(ctx, key); };
+              method->execute(*th, cs);
+            } else if (r < cfg.insert_pct + cfg.remove_pct) {
+              auto cs = [&](TxContext& ctx) { set.remove(ctx, key); };
+              method->execute(*th, cs);
+            } else {
+              auto cs = [&](TxContext& ctx) { set.contains(ctx, key); };
+              method->execute(*th, cs);
+            }
+          }
+        },
+        tid);
+  }
+  sim.sched.run();
+
+  SetBenchResult res;
+  res.method = method->name();
+  res.threads = cfg.threads;
+  res.stats = method->stats();
+  res.ops = res.stats.ops;
+  res.sim_ms = static_cast<double>(duration_cycles) /
+               cfg.machine.cycles_per_ms();
+  res.ops_per_ms = res.sim_ms > 0 ? res.ops / res.sim_ms : 0.0;
+  return res;
+}
+
+std::vector<MethodSpec> paper_methods() {
+  std::vector<MethodSpec> out;
+  out.push_back({"Lock", [] { return std::make_unique<runtime::LockMethod>(); }});
+  out.push_back({"NOrec", [] { return std::make_unique<stm::NOrecMethod>(); }});
+  out.push_back(
+      {"RHNOrec", [] { return std::make_unique<stm::RHNOrecMethod>(); }});
+  out.push_back({"TLE", [] { return std::make_unique<tle::TleMethod>(); }});
+  out.push_back(
+      {"RW-TLE", [] { return std::make_unique<tle::RwTleMethod>(); }});
+  for (std::uint32_t n : {1u, 4u, 16u, 256u, 1024u, 4096u, 8192u}) {
+    out.push_back({"FG-TLE(" + std::to_string(n) + ")",
+                   [n] { return std::make_unique<tle::FgTleMethod>(n); }});
+  }
+  return out;
+}
+
+std::vector<MethodSpec> refined_methods() {
+  std::vector<MethodSpec> out;
+  out.push_back(
+      {"RW-TLE", [] { return std::make_unique<tle::RwTleMethod>(); }});
+  for (std::uint32_t n : {1u, 4u, 16u, 256u, 1024u, 4096u, 8192u}) {
+    out.push_back({"FG-TLE(" + std::to_string(n) + ")",
+                   [n] { return std::make_unique<tle::FgTleMethod>(n); }});
+  }
+  return out;
+}
+
+MethodSpec method_by_name(const std::string& name) {
+  for (auto& spec : paper_methods()) {
+    if (spec.name == name) return spec;
+  }
+  if (name == "A-FG-TLE") {
+    return {"A-FG-TLE",
+            [] { return std::make_unique<tle::AdaptiveFgTle>(256); }};
+  }
+  if (name == "HLE") {
+    // Intel HLE approximation: hardware-managed elision gives a single
+    // speculative attempt before the real lock acquisition (§1).
+    return {name, [] {
+              auto m = std::make_unique<tle::TleMethod>();
+              m->set_max_trials(1);
+              return m;
+            }};
+  }
+  if (name == "HybridNOrec") {
+    return {name, [] { return std::make_unique<stm::HybridNOrecMethod>(); }};
+  }
+  if (name == "RW-TLE-lazy") {
+    return {name, [] { return std::make_unique<tle::RwTleMethod>(true); }};
+  }
+  // Arbitrary orec counts: "FG-TLE(n)" and "FG-TLE-lazy(n)".
+  unsigned n = 0;
+  if (std::sscanf(name.c_str(), "FG-TLE(%u)", &n) == 1 && n > 0) {
+    return {name, [n] { return std::make_unique<tle::FgTleMethod>(n); }};
+  }
+  if (std::sscanf(name.c_str(), "FG-TLE-lazy(%u)", &n) == 1 && n > 0) {
+    return {name,
+            [n] { return std::make_unique<tle::FgTleMethod>(n, true); }};
+  }
+  std::fprintf(stderr, "rtle bench: unknown method '%s'\n", name.c_str());
+  std::abort();
+}
+
+}  // namespace rtle::bench

@@ -1,0 +1,79 @@
+// The AVL-set workload driver used by most of §6's experiments: N simulated
+// threads perform Insert/Remove/Find with uniformly random keys against a
+// pre-filled set, for a fixed span of simulated time; throughput is total
+// operations per simulated millisecond.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/method.h"
+#include "sim/config.h"
+
+namespace rtle::bench {
+
+struct SetBenchConfig {
+  sim::MachineConfig machine = sim::MachineConfig::xeon();
+  std::uint32_t threads = 1;
+  std::uint64_t key_range = 8192;
+  std::uint32_t insert_pct = 20;
+  std::uint32_t remove_pct = 20;  // remainder: Find
+  /// Simulated milliseconds measured (paper: 5 wall seconds; shapes settle
+  /// far earlier in a deterministic simulator).
+  double duration_ms = 1.0;
+  std::uint64_t seed = 1;
+
+  /// Access skew (for the orec-granularity ablation): with probability
+  /// `hot_access_pct`%, the key is drawn from the first
+  /// `hot_key_fraction` of the range. 0 disables (uniform keys, as in the
+  /// paper's experiments).
+  std::uint32_t hot_access_pct = 0;
+  double hot_key_fraction = 0.1;
+
+  // §6.3 corner case (Fig 12): thread 0 runs Insert/Remove (equal
+  // probability) containing an HTM-unfriendly instruction; all other
+  // threads run Find only.
+  bool unfriendly_thread0 = false;
+  bool unfriendly_at_end = true;  // false: at the beginning of the CS
+};
+
+struct SetBenchResult {
+  std::string method;
+  std::uint32_t threads = 0;
+  std::uint64_t ops = 0;
+  double sim_ms = 0.0;
+  double ops_per_ms = 0.0;
+  runtime::MethodStats stats;
+
+  /// Fig 6: throughput of lock-held executions and of slow-path HTM commits
+  /// during lock-held periods, per ms of lock-held time.
+  double lock_path_ops_per_ms(const sim::MachineConfig& mc) const;
+  double slow_htm_ops_per_ms(const sim::MachineConfig& mc) const;
+  /// Fig 7 numerator: average cycles a lock-held critical section takes.
+  double avg_cycles_under_lock() const;
+  /// Fig 8: software-transaction phase throughputs for RHNOrec.
+  double sw_phase_stm_ops_per_ms(const sim::MachineConfig& mc) const;
+  double sw_phase_htm_ops_per_ms(const sim::MachineConfig& mc) const;
+  /// Fig 10: value-based validations per completed transaction.
+  double validations_per_tx() const;
+};
+
+/// Run one cell of the experiment grid.
+SetBenchResult run_set_bench(const SetBenchConfig& cfg,
+                             const runtime::MethodSpec& method);
+
+/// The paper's full method lineup (Fig 5): Lock, NOrec, RHNOrec, TLE,
+/// RW-TLE, FG-TLE(1,4,16,256,1024,4096,8192).
+std::vector<runtime::MethodSpec> paper_methods();
+
+/// Subset: the refined-TLE variants only (Fig 6).
+std::vector<runtime::MethodSpec> refined_methods();
+
+/// Look up a single spec by its display name; aborts on unknown names.
+/// Beyond the Figure-5 lineup, recognizes: "A-FG-TLE", "HybridNOrec",
+/// "HLE" (TLE with a single attempt), "RW-TLE-lazy", "FG-TLE(n)" and
+/// "FG-TLE-lazy(n)" for arbitrary n.
+runtime::MethodSpec method_by_name(const std::string& name);
+
+}  // namespace rtle::bench

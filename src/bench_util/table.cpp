@@ -1,0 +1,85 @@
+#include "bench_util/table.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+
+namespace rtle::bench {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(bool csv, std::FILE* out) const {
+  if (csv) {
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      std::fprintf(out, "%s%s", c ? "," : "", header_[c].c_str());
+    }
+    std::fprintf(out, "\n");
+    for (const auto& row : rows_) {
+      for (std::size_t c = 0; c < row.size(); ++c) {
+        std::fprintf(out, "%s%s", c ? "," : "", row[c].c_str());
+      }
+      std::fprintf(out, "\n");
+    }
+    return;
+  }
+  std::vector<std::size_t> width(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    width[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size() && c < width.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      std::fprintf(out, "%s%-*s", c ? "  " : "",
+                   static_cast<int>(width[c]), row[c].c_str());
+    }
+    std::fprintf(out, "\n");
+  };
+  print_row(header_);
+  std::size_t total = header_.size() * 2;
+  for (std::size_t w : width) total += w;
+  std::string dash(total, '-');
+  std::fprintf(out, "%s\n", dash.c_str());
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string Table::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::num(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+BenchArgs parse_bench_args(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--csv") == 0) args.csv = true;
+    if (std::strcmp(argv[i], "--quick") == 0) args.quick = true;
+  }
+  if (const char* q = std::getenv("RTLE_QUICK"); q != nullptr && *q == '1') {
+    args.quick = true;
+  }
+  return args;
+}
+
+void print_banner(const char* figure, const char* description) {
+  std::printf("== %s — %s ==\n", figure, description);
+  std::printf(
+      "   (simulated machine; throughput in ops per *simulated* ms — shapes, "
+      "not absolute values, reproduce the paper)\n\n");
+}
+
+}  // namespace rtle::bench

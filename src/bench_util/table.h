@@ -1,0 +1,43 @@
+// Minimal aligned-table / CSV printer for the benchmark harnesses, plus the
+// handful of command-line conventions every figure binary shares
+// (--csv, --quick, and the RTLE_QUICK environment variable).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace rtle::bench {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+  void print(bool csv, std::FILE* out = stdout) const;
+
+  static std::string num(double v, int precision = 1);
+  static std::string num(std::uint64_t v);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+struct BenchArgs {
+  bool csv = false;
+  /// Quick mode divides measured simulated time (and thread grids where
+  /// noted) so CI-style runs finish fast.
+  bool quick = false;
+
+  double scale(double full, double quick_value) const {
+    return quick ? quick_value : full;
+  }
+};
+
+BenchArgs parse_bench_args(int argc, char** argv);
+
+/// Banner printed at the top of every figure binary.
+void print_banner(const char* figure, const char* description);
+
+}  // namespace rtle::bench

@@ -1,0 +1,604 @@
+#include "cctsa/assembler.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "cctsa/graph.h"
+#include "cctsa/kmer.h"
+#include "ds/hashmap.h"
+#include "mem/shim.h"
+#include "sim/env.h"
+#include "sync/lock.h"
+
+namespace rtle::cctsa {
+
+using runtime::Path;
+using runtime::ThreadCtx;
+using runtime::TxContext;
+
+namespace {
+
+constexpr std::uint64_t kReadBatch = 16;    // reads claimed per fetch-add
+constexpr std::uint64_t kBucketChunk = 64;  // buckets claimed per fetch-add
+constexpr std::size_t kWalkBatch = 32;      // chain steps per critical section
+constexpr std::size_t kSnapBatch = 8;       // buckets snapshotted per CS
+
+/// Per-run shared state for the single-map pipeline.
+struct SingleMapRun {
+  SingleMapRun(const AssemblerConfig& cfg, const ReadSet& reads,
+               std::uint32_t threads)
+      // Arena headroom: every distinct genome k-mer plus room for novel
+      // k-mers introduced by read errors, plus per-thread caches.
+      : map(cfg.buckets,
+            reads.genome.size() + reads.read_count() * 4 +
+                64ULL * threads + 4096,
+            threads) {}
+
+  ds::TxHashMap map;
+  alignas(64) std::uint64_t next_read = 0;
+  alignas(64) std::uint64_t next_chunk = 0;
+  alignas(64) std::uint64_t next_cleanup = 0;
+};
+
+/// Upsert every k-mer of one read: count bump plus in/out edge bits.
+/// This is the critical section the paper elides (one per read).
+void insert_read_kmers(TxContext& ctx, ds::TxHashMap& map, const Base* rd,
+                       std::size_t read_len, std::size_t k) {
+  const std::size_t n = read_len - k + 1;
+  std::uint64_t kmer = encode_kmer(rd, k);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i > 0) kmer = roll_kmer(kmer, rd[i + k - 1], k);
+    bool inserted = false;
+    std::uint64_t* vp = map.find_or_insert(ctx, kmer, inserted);
+    std::uint64_t v = ctx.load(vp);
+    v = kv::bump_count(v);
+    if (i > 0) v = kv::add_in(v, rd[i - 1]);
+    if (i + 1 < n) v = kv::add_out(v, rd[i + k]);
+    ctx.store(vp, v);
+  }
+}
+
+/// One step of a contig walk. Marks `cur` visited and reports whether (and
+/// where) the chain continues.
+struct WalkStep {
+  bool valid = false;    // cur existed and was unvisited
+  bool advance = false;  // chain continues to `next`
+  std::uint64_t next = 0;
+  Base next_base = 0;
+};
+
+WalkStep walk_step(TxContext& ctx, ds::TxHashMap& map, std::uint64_t cur,
+                   std::size_t k) {
+  WalkStep out;
+  std::uint64_t* vp = map.find(ctx, cur);
+  if (vp == nullptr) return out;
+  std::uint64_t v = ctx.load(vp);
+  if (kv::visited(v)) return out;
+  ctx.store(vp, kv::mark_visited(v));
+  out.valid = true;
+  if (kv::out_degree(v) == 1) {
+    const Base b = kv::only_base(kv::out_mask(v));
+    const std::uint64_t nxt = kmer_successor(cur, b, k);
+    std::uint64_t* nvp = map.find(ctx, nxt);
+    if (nvp != nullptr) {
+      const std::uint64_t nv = ctx.load(nvp);
+      if (!kv::visited(nv) && kv::in_degree(nv) == 1) {
+        out.advance = true;
+        out.next = nxt;
+        out.next_base = b;
+      }
+    }
+  }
+  return out;
+}
+
+/// Walk up to kWalkBatch chain steps inside one critical section, appending
+/// discovered bases to `seg` (reset on entry so speculative retries stay
+/// idempotent). Returns the final step (advance=true ⇒ continue from
+/// `next` in a follow-up critical section).
+struct WalkBatch {
+  bool started = false;  // first node was ours (unvisited)
+  bool more = false;     // chain continues at `next`
+  std::uint64_t next = 0;
+};
+
+WalkBatch walk_batch(TxContext& ctx, ds::TxHashMap& map, std::uint64_t cur,
+                     std::size_t k, std::string& seg) {
+  WalkBatch out;
+  seg.clear();
+  for (std::size_t i = 0; i < kWalkBatch; ++i) {
+    const WalkStep step = walk_step(ctx, map, cur, k);
+    if (!step.valid) return out;  // lost the head race (only possible at i=0)
+    out.started = true;
+    if (!step.advance) return out;
+    seg.push_back(base_to_char(step.next_base));
+    cur = step.next;
+  }
+  out.more = true;
+  out.next = cur;
+  return out;
+}
+
+std::string kmer_string(std::uint64_t kmer, std::size_t k) {
+  std::string s;
+  s.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    s.push_back(base_to_char(kmer_base(kmer, i, k)));
+  }
+  return s;
+}
+
+}  // namespace
+
+AssemblerResult assemble_single_map(const sim::MachineConfig& mc,
+                                    const AssemblerConfig& cfg,
+                                    const runtime::MethodSpec& spec,
+                                    const ReadSet& reads) {
+  SimScope sim(mc);
+  const std::uint32_t threads = cfg.threads;
+  SingleMapRun run(cfg, reads, threads);
+  std::unique_ptr<runtime::SyncMethod> method = spec.make();
+  method->prepare(threads);
+
+  std::vector<std::unique_ptr<ThreadCtx>> ctxs;
+  for (std::uint32_t tid = 0; tid < threads; ++tid) {
+    ctxs.push_back(std::make_unique<ThreadCtx>(tid, cfg.seed * 101 + tid));
+  }
+  // "Thread-local vectors" of saved reads (transaction pure in the paper).
+  std::vector<std::vector<std::uint32_t>> saved_reads(threads);
+
+  AssemblerResult res;
+  const std::size_t k = cfg.k;
+  const std::size_t read_len = reads.read_length;
+  const std::size_t n_reads = reads.read_count();
+  const double cpm = static_cast<double>(mc.cycles_per_ms());
+
+  // ---- Phase 1: parallel k-mer insertion. ----
+  std::uint64_t t0 = sim.sched.epoch();
+  for (std::uint32_t tid = 0; tid < threads; ++tid) {
+    ThreadCtx* th = ctxs[tid].get();
+    sim.sched.spawn(
+        [&, th, tid] {
+          for (;;) {
+            const std::uint64_t base =
+                mem::plain_faa(&run.next_read, kReadBatch);
+            if (base >= n_reads) break;
+            const std::uint64_t end =
+                std::min<std::uint64_t>(base + kReadBatch, n_reads);
+            for (std::uint64_t r = base; r < end; ++r) {
+              run.map.reserve_nodes(*th, read_len - k + 2);
+              const Base* rd = reads.read(r);
+              auto cs = [&](TxContext& ctx) {
+                insert_read_kmers(ctx, run.map, rd, read_len, k);
+              };
+              method->execute(*th, cs);
+              saved_reads[tid].push_back(static_cast<std::uint32_t>(r));
+              mem::compute(2);  // thread-local bookkeeping
+            }
+          }
+        },
+        tid);
+  }
+  sim.sched.run();
+  res.build_ms = (sim.sched.epoch() - t0) / cpm;
+
+  // Optional per-phase statistics dump (RTLE_CCTSA_DEBUG=1).
+  const bool debug = [] {
+    const char* e = std::getenv("RTLE_CCTSA_DEBUG");
+    return e != nullptr && *e == '1';
+  }();
+  runtime::MethodStats snap_stats{};  // zero: build dump shows its totals
+  auto dump_phase = [&](const char* phase) {
+    if (!debug) return;
+    const auto& s = method->stats();
+    std::fprintf(stderr,
+                 "[cctsa %s t=%u] ops=%llu lock=%llu fast=%llu slow=%llu "
+                 "aborts=%llu (conf=%llu spur=%llu cap=%llu busy=%llu)\n",
+                 phase, threads,
+                 static_cast<unsigned long long>(s.ops - snap_stats.ops),
+                 static_cast<unsigned long long>(s.commit_lock -
+                                                 snap_stats.commit_lock),
+                 static_cast<unsigned long long>(s.commit_fast_htm -
+                                                 snap_stats.commit_fast_htm),
+                 static_cast<unsigned long long>(s.commit_slow_htm -
+                                                 snap_stats.commit_slow_htm),
+                 static_cast<unsigned long long>(s.total_aborts() -
+                                                 snap_stats.total_aborts()),
+                 static_cast<unsigned long long>(
+                     s.abort_cause[1] - snap_stats.abort_cause[1]),
+                 static_cast<unsigned long long>(
+                     s.abort_cause[6] - snap_stats.abort_cause[6]),
+                 static_cast<unsigned long long>(
+                     s.abort_cause[2] - snap_stats.abort_cause[2]),
+                 static_cast<unsigned long long>(
+                     s.abort_cause[4] - snap_stats.abort_cause[4]));
+    snap_stats = s;
+  };
+  dump_phase("build ");
+
+  // ---- Phase 2: parallel low-coverage pruning (optional). ----
+  t0 = sim.sched.epoch();
+  if (cfg.prune_below > 1) {
+    run.next_chunk = 0;
+    std::uint64_t pruned_total = 0;
+    for (std::uint32_t tid = 0; tid < threads; ++tid) {
+      ThreadCtx* th = ctxs[tid].get();
+      sim.sched.spawn(
+          [&, th] {
+            const std::size_t n_buckets = run.map.bucket_count();
+            for (;;) {
+              const std::uint64_t base =
+                  mem::plain_faa(&run.next_chunk, kBucketChunk);
+              if (base >= n_buckets) break;
+              const std::uint64_t end =
+                  std::min<std::uint64_t>(base + kBucketChunk, n_buckets);
+              std::size_t removed = 0;
+              auto cs = [&](TxContext& ctx) {
+                removed = 0;
+                for (std::uint64_t b = base; b < end; ++b) {
+                  removed += run.map.prune_bucket(ctx, b, [&](std::uint64_t v) {
+                    return kv::count(v) < cfg.prune_below;
+                  });
+                }
+              };
+              method->execute(*th, cs);
+              pruned_total += removed;
+            }
+          },
+          tid);
+    }
+    sim.sched.run();
+    res.pruned_kmers = pruned_total;
+  }
+  res.prune_ms = (sim.sched.epoch() - t0) / cpm;
+  dump_phase("prune ");
+
+  // ---- Phase 3: parallel contig extraction. ----
+  // Two barrier-separated sweeps: the main sweep extracts from in-degree≠1
+  // chain heads; the cleanup sweep (after all main walks finished) picks up
+  // whatever is left — chains behind a branching predecessor, race losers,
+  // cycles broken by earlier visits. Running cleanup concurrently with the
+  // main sweep would send walkers into the middle of actively-walked chains.
+  t0 = sim.sched.epoch();
+  run.next_chunk = 0;
+  std::vector<std::vector<std::string>> contigs(threads);
+  auto spawn_sweep = [&](std::uint64_t* chunk_counter, bool any_start) {
+  for (std::uint32_t tid = 0; tid < threads; ++tid) {
+    ThreadCtx* th = ctxs[tid].get();
+    sim.sched.spawn(
+        [&, th, tid, chunk_counter, any_start] {
+          const std::size_t n_buckets = run.map.bucket_count();
+          std::vector<std::uint64_t> local;  // thread-private scratch
+          std::string seg;
+
+          auto extract_from = [&](std::uint64_t kmer) {
+            // Walk the unitig in batched critical sections.
+            std::string contig = kmer_string(kmer, k);
+            std::uint64_t cur = kmer;
+            bool first = true;
+            for (;;) {
+              WalkBatch batch;
+              auto walk = [&](TxContext& ctx) {
+                batch = walk_batch(ctx, run.map, cur, k, seg);
+              };
+              method->execute(*th, walk);
+              if (first && !batch.started) {
+                contig.clear();  // lost the race for the chain head
+                break;
+              }
+              first = false;
+              contig += seg;
+              if (!batch.more) break;
+              cur = batch.next;
+            }
+            if (contig.size() >= k) contigs[tid].push_back(std::move(contig));
+            mem::compute(2 + contig.size() / 8);  // local string work
+          };
+
+          // Sweep claimed bucket chunks; small snapshot transactions keep
+          // the read sets clear of concurrent walkers' visited-bit stores.
+          for (;;) {
+            const std::uint64_t cbase =
+                mem::plain_faa(chunk_counter, kBucketChunk);
+            if (cbase >= n_buckets) break;
+            const std::uint64_t cend =
+                std::min<std::uint64_t>(cbase + kBucketChunk, n_buckets);
+            for (std::uint64_t b = cbase; b < cend; b += kSnapBatch) {
+              const std::uint64_t bend =
+                  std::min<std::uint64_t>(b + kSnapBatch, cend);
+              auto snap = [&](TxContext& ctx) {
+                local.clear();
+                for (std::uint64_t bb = b; bb < bend; ++bb) {
+                  run.map.for_each_in_bucket(
+                      ctx, bb, [&](std::uint64_t key, std::uint64_t* vp) {
+                        const std::uint64_t v = ctx.load(vp);
+                        if (!kv::visited(v) &&
+                            (any_start || kv::in_degree(v) != 1)) {
+                          local.push_back(key);
+                        }
+                      });
+                }
+              };
+              method->execute(*th, snap);
+              for (std::uint64_t kmer : local) extract_from(kmer);
+            }
+          }
+        },
+        tid);
+  }
+  };
+  spawn_sweep(&run.next_chunk, /*any_start=*/false);
+  sim.sched.run();
+  dump_phase("sweep ");
+  spawn_sweep(&run.next_cleanup, /*any_start=*/true);
+  sim.sched.run();
+  dump_phase("clean ");
+  res.contig_ms = (sim.sched.epoch() - t0) / cpm;
+
+  res.total_ms = res.build_ms + res.prune_ms + res.contig_ms;
+  res.distinct_kmers = run.map.size_meta();
+  res.stats = method->stats();
+  res.lock_fallback = res.stats.lock_fallback_rate();
+  for (auto& tc : contigs) {
+    for (auto& c : tc) {
+      res.contigs += 1;
+      res.contig_bases += c.size();
+      if (cfg.keep_contigs) res.contig_strings.push_back(std::move(c));
+    }
+  }
+  return res;
+}
+
+// ---------------------------------------------------------------------------
+// Striped (Lock.orig) variant: one small map + lock per stripe, one lock
+// acquisition per k-mer. No elision — this is the fine-grained baseline.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct Stripes {
+  Stripes(const AssemblerConfig& cfg, const ReadSet& reads,
+          std::uint32_t threads) {
+    const std::size_t expected =
+        (reads.genome.size() + reads.read_count() * 4) / cfg.stripes + 1;
+    maps.reserve(cfg.stripes);
+    locks = std::vector<sync::TTSLock>(cfg.stripes);
+    for (std::uint32_t s = 0; s < cfg.stripes; ++s) {
+      maps.push_back(std::make_unique<ds::TxHashMap>(
+          std::max<std::size_t>(expected / 4, 4), expected * 8 + 64,
+          threads));
+    }
+  }
+
+  std::uint32_t stripe_of(std::uint64_t kmer, std::uint32_t n) const {
+    // Different mix than the per-map bucket hash so buckets stay spread.
+    return static_cast<std::uint32_t>(util::mix64(kmer ^ 0x5bd1e995u) %
+                                      n);
+  }
+
+  std::vector<std::unique_ptr<ds::TxHashMap>> maps;
+  std::vector<sync::TTSLock> locks;
+  alignas(64) std::uint64_t next_read = 0;
+  alignas(64) std::uint64_t next_stripe = 0;
+};
+
+}  // namespace
+
+AssemblerResult assemble_striped(const sim::MachineConfig& mc,
+                                 const AssemblerConfig& cfg,
+                                 const ReadSet& reads) {
+  SimScope sim(mc);
+  const std::uint32_t threads = cfg.threads;
+  Stripes st(cfg, reads, threads);
+
+  std::vector<std::unique_ptr<ThreadCtx>> ctxs;
+  for (std::uint32_t tid = 0; tid < threads; ++tid) {
+    ctxs.push_back(std::make_unique<ThreadCtx>(tid, cfg.seed * 107 + tid));
+  }
+
+  AssemblerResult res;
+  const std::size_t k = cfg.k;
+  const std::size_t read_len = reads.read_length;
+  const std::size_t n_reads = reads.read_count();
+  const std::size_t n_kmers = read_len - k + 1;
+  const double cpm = static_cast<double>(mc.cycles_per_ms());
+
+  // ---- Phase 1: per-k-mer lock/upsert/unlock. ----
+  std::uint64_t t0 = sim.sched.epoch();
+  for (std::uint32_t tid = 0; tid < threads; ++tid) {
+    ThreadCtx* th = ctxs[tid].get();
+    sim.sched.spawn(
+        [&, th] {
+          for (;;) {
+            const std::uint64_t base =
+                mem::plain_faa(&st.next_read, kReadBatch);
+            if (base >= n_reads) break;
+            const std::uint64_t end =
+                std::min<std::uint64_t>(base + kReadBatch, n_reads);
+            for (std::uint64_t r = base; r < end; ++r) {
+              const Base* rd = reads.read(r);
+              std::uint64_t kmer = encode_kmer(rd, k);
+              for (std::size_t i = 0; i < n_kmers; ++i) {
+                if (i > 0) kmer = roll_kmer(kmer, rd[i + k - 1], k);
+                const std::uint32_t s = st.stripe_of(kmer, cfg.stripes);
+                mem::compute(8);  // stripe selection & dispatch overhead
+                st.maps[s]->reserve_nodes(*th, 2);
+                st.locks[s].acquire();
+                TxContext ctx(Path::kRaw, *th);
+                bool inserted = false;
+                std::uint64_t* vp =
+                    st.maps[s]->find_or_insert(ctx, kmer, inserted);
+                std::uint64_t v = ctx.load(vp);
+                v = kv::bump_count(v);
+                if (i > 0) v = kv::add_in(v, rd[i - 1]);
+                if (i + 1 < n_kmers) v = kv::add_out(v, rd[i + k]);
+                ctx.store(vp, v);
+                st.locks[s].release();
+              }
+            }
+          }
+        },
+        tid);
+  }
+  sim.sched.run();
+  res.build_ms = (sim.sched.epoch() - t0) / cpm;
+
+  // ---- Phase 2: per-stripe pruning. ----
+  t0 = sim.sched.epoch();
+  if (cfg.prune_below > 1) {
+    std::uint64_t pruned_total = 0;
+    for (std::uint32_t tid = 0; tid < threads; ++tid) {
+      ThreadCtx* th = ctxs[tid].get();
+      sim.sched.spawn(
+          [&, th] {
+            for (;;) {
+              const std::uint64_t s = mem::plain_faa(&st.next_stripe, 1);
+              if (s >= cfg.stripes) break;
+              st.locks[s].acquire();
+              TxContext ctx(Path::kRaw, *th);
+              std::size_t removed = 0;
+              for (std::size_t b = 0; b < st.maps[s]->bucket_count(); ++b) {
+                removed += st.maps[s]->prune_bucket(ctx, b, [&](std::uint64_t v) {
+                  return kv::count(v) < cfg.prune_below;
+                });
+              }
+              st.locks[s].release();
+              pruned_total += removed;
+            }
+          },
+          tid);
+    }
+    sim.sched.run();
+    res.pruned_kmers = pruned_total;
+  }
+  res.prune_ms = (sim.sched.epoch() - t0) / cpm;
+
+  // ---- Phase 3: contig extraction with per-step stripe locking. ----
+  t0 = sim.sched.epoch();
+  st.next_stripe = 0;
+  std::vector<std::vector<std::string>> contigs(threads);
+
+  // Striped map accessors guarded by the stripe lock.
+  auto locked_load = [&](ThreadCtx& th, std::uint64_t kmer, std::uint64_t& v) {
+    const std::uint32_t s = st.stripe_of(kmer, cfg.stripes);
+    st.locks[s].acquire();
+    TxContext ctx(Path::kRaw, th);
+    std::uint64_t* vp = st.maps[s]->find(ctx, kmer);
+    const bool found = vp != nullptr;
+    if (found) v = ctx.load(vp);
+    st.locks[s].release();
+    return found;
+  };
+  auto locked_visit = [&](ThreadCtx& th, std::uint64_t kmer, WalkStep& step) {
+    const std::uint32_t s = st.stripe_of(kmer, cfg.stripes);
+    st.locks[s].acquire();
+    TxContext ctx(Path::kRaw, th);
+    step = WalkStep{};
+    std::uint64_t* vp = st.maps[s]->find(ctx, kmer);
+    if (vp != nullptr) {
+      const std::uint64_t v = ctx.load(vp);
+      if (!kv::visited(v)) {
+        ctx.store(vp, kv::mark_visited(v));
+        step.valid = true;
+        if (kv::out_degree(v) == 1) {
+          step.next_base = kv::only_base(kv::out_mask(v));
+          step.next = kmer_successor(kmer, step.next_base, k);
+          step.advance = true;  // confirmed against the next node below
+        }
+      }
+    }
+    st.locks[s].release();
+  };
+
+  for (std::uint32_t tid = 0; tid < threads; ++tid) {
+    ThreadCtx* th = ctxs[tid].get();
+    sim.sched.spawn(
+        [&, th, tid] {
+          std::vector<std::uint64_t> local;
+          for (;;) {
+            const std::uint64_t s = mem::plain_faa(&st.next_stripe, 1);
+            if (s >= cfg.stripes) break;
+            local.clear();
+            st.locks[s].acquire();
+            {
+              TxContext ctx(Path::kRaw, *th);
+              for (std::size_t b = 0; b < st.maps[s]->bucket_count(); ++b) {
+                st.maps[s]->for_each_in_bucket(
+                    ctx, b, [&](std::uint64_t key, std::uint64_t* vp) {
+                      if (!kv::visited(ctx.load(vp))) local.push_back(key);
+                    });
+              }
+            }
+            st.locks[s].release();
+            for (std::uint64_t kmer : local) {
+              std::uint64_t v = 0;
+              if (!locked_load(*th, kmer, v) || kv::visited(v)) continue;
+              bool start = kv::in_degree(v) != 1;
+              if (!start) {
+                const Base pb = kv::only_base(kv::in_mask(v));
+                std::uint64_t pv = 0;
+                start = !locked_load(
+                            *th, kmer_predecessor(kmer, pb, k), pv) ||
+                        kv::out_degree(pv) != 1;
+              }
+              if (!start) continue;
+              std::string contig = kmer_string(kmer, k);
+              std::uint64_t cur = kmer;
+              bool first = true;
+              for (;;) {
+                WalkStep step;
+                locked_visit(*th, cur, step);
+                if (!step.valid) {
+                  if (first) contig.clear();
+                  break;
+                }
+                first = false;
+                if (!step.advance) break;
+                std::uint64_t nv = 0;
+                if (!locked_load(*th, step.next, nv) || kv::visited(nv) ||
+                    kv::in_degree(nv) != 1) {
+                  break;
+                }
+                contig.push_back(base_to_char(step.next_base));
+                cur = step.next;
+              }
+              if (contig.size() >= k) contigs[tid].push_back(contig);
+              mem::compute(2 + contig.size() / 8);
+            }
+          }
+        },
+        tid);
+  }
+  sim.sched.run();
+  res.contig_ms = (sim.sched.epoch() - t0) / cpm;
+
+  res.total_ms = res.build_ms + res.prune_ms + res.contig_ms;
+  for (const auto& m : st.maps) res.distinct_kmers += m->size_meta();
+  for (auto& tc : contigs) {
+    for (auto& c : tc) {
+      res.contigs += 1;
+      res.contig_bases += c.size();
+      if (cfg.keep_contigs) res.contig_strings.push_back(std::move(c));
+    }
+  }
+  return res;
+}
+
+double verify_contigs(const ReadSet& reads,
+                      const std::vector<std::string>& contigs) {
+  const std::string genome = to_string(reads.genome.data(),
+                                       reads.genome.size());
+  std::vector<bool> covered(genome.size(), false);
+  for (const std::string& c : contigs) {
+    const std::size_t pos = genome.find(c);
+    if (pos == std::string::npos) return -1.0;  // misassembly
+    for (std::size_t i = pos; i < pos + c.size(); ++i) covered[i] = true;
+  }
+  std::size_t n = 0;
+  for (bool b : covered) n += b ? 1 : 0;
+  return genome.empty() ? 0.0 : static_cast<double>(n) / genome.size();
+}
+
+}  // namespace rtle::cctsa

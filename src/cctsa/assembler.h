@@ -1,0 +1,72 @@
+// ccTSA-style coverage-centric De Bruijn assembler (§6.4), in two flavours:
+//
+//  * `assemble_single_map` — the paper's *transactified* variant: one big
+//    shared k-mer hash map protected by a single lock, critical section =
+//    one read's k-mer batch; the lock is elided with any SyncMethod. Each
+//    thread keeps its saved reads in a thread-local vector ("transaction
+//    pure", outside the instrumented region).
+//  * `assemble_striped` — the *original* ccTSA scheme (Lock.orig): the map
+//    split into thousands of stripes, each protected by its own lock, one
+//    lock acquisition per k-mer.
+//
+// Pipeline phases (all parallel, all on simulated threads):
+//   1. build   — extract k-mers from reads, upsert count + in/out edges;
+//   2. prune   — drop k-mers below a coverage threshold (error removal);
+//   3. contigs — mark-and-walk unambiguous chains into contigs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cctsa/genome.h"
+#include "runtime/method.h"
+#include "sim/config.h"
+
+namespace rtle::cctsa {
+
+struct AssemblerConfig {
+  std::size_t k = 27;
+  std::uint32_t threads = 1;
+  std::size_t buckets = 1 << 15;
+  /// Remove k-mers seen fewer than this many times (1 = pruning disabled;
+  /// use ≥2 when reads carry errors).
+  std::uint64_t prune_below = 1;
+  std::uint32_t stripes = 4096;  ///< striped variant (ccTSA default)
+  bool keep_contigs = false;     ///< retain contig strings (tests/examples)
+  std::uint64_t seed = 9;
+};
+
+struct AssemblerResult {
+  double build_ms = 0;
+  double prune_ms = 0;
+  double contig_ms = 0;
+  double total_ms = 0;
+  std::size_t distinct_kmers = 0;
+  std::size_t pruned_kmers = 0;
+  std::size_t contigs = 0;
+  std::size_t contig_bases = 0;
+  /// Fraction of completed critical sections that acquired the lock
+  /// (§6.4.2 reports a maximum of 0.15% for TLE at 36 threads).
+  double lock_fallback = 0;
+  runtime::MethodStats stats;
+  std::vector<std::string> contig_strings;
+};
+
+/// Transactified single-map variant under the given synchronization method.
+AssemblerResult assemble_single_map(const sim::MachineConfig& mc,
+                                    const AssemblerConfig& cfg,
+                                    const runtime::MethodSpec& method,
+                                    const ReadSet& reads);
+
+/// Original-style striped fine-grained-locking variant (Lock.orig).
+AssemblerResult assemble_striped(const sim::MachineConfig& mc,
+                                 const AssemblerConfig& cfg,
+                                 const ReadSet& reads);
+
+/// Meta-level verification: every contig must appear verbatim in the
+/// genome; returns the fraction of genome bases covered by at least one
+/// contig. Quadratic — use on small test genomes only.
+double verify_contigs(const ReadSet& reads,
+                      const std::vector<std::string>& contigs);
+
+}  // namespace rtle::cctsa

@@ -1,0 +1,38 @@
+#include "cctsa/genome.h"
+
+namespace rtle::cctsa {
+
+char base_to_char(Base b) { return "ACGT"[b & 3]; }
+
+ReadSet generate_reads(const GenomeConfig& cfg) {
+  sim::Rng rng(cfg.seed);
+  ReadSet rs;
+  rs.read_length = cfg.read_length;
+  rs.genome.resize(cfg.genome_length);
+  for (auto& b : rs.genome) b = static_cast<Base>(rng.below(4));
+
+  const std::size_t n_reads = static_cast<std::size_t>(
+      cfg.coverage * cfg.genome_length / cfg.read_length);
+  rs.bases.reserve(n_reads * cfg.read_length);
+  for (std::size_t i = 0; i < n_reads; ++i) {
+    const std::size_t pos =
+        rng.below(cfg.genome_length - cfg.read_length + 1);
+    for (std::size_t j = 0; j < cfg.read_length; ++j) {
+      Base b = rs.genome[pos + j];
+      if (cfg.error_rate > 0 && rng.uniform() < cfg.error_rate) {
+        b = static_cast<Base>((b + 1 + rng.below(3)) & 3);  // substitution
+      }
+      rs.bases.push_back(b);
+    }
+  }
+  return rs;
+}
+
+std::string to_string(const Base* bases, std::size_t n) {
+  std::string s;
+  s.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) s.push_back(base_to_char(bases[i]));
+  return s;
+}
+
+}  // namespace rtle::cctsa

@@ -1,0 +1,50 @@
+// Synthetic genome and read-set generation for the ccTSA reproduction.
+//
+// The paper assembles 36-bp reads from E. coli with k = 27. No sequence
+// data ships with this repository, so we synthesize a random genome and
+// sample error-free (or lightly erroneous) reads uniformly at a configured
+// coverage — the exact workload shape ccTSA's parallel phases see: millions
+// of k-mer upserts into a shared hash map, then graph traversal.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/rng.h"
+
+namespace rtle::cctsa {
+
+/// Bases are 2-bit encoded: A=0, C=1, G=2, T=3.
+using Base = std::uint8_t;
+
+char base_to_char(Base b);
+
+struct GenomeConfig {
+  std::size_t genome_length = 100000;
+  std::size_t read_length = 36;  ///< paper: 36-bp reads
+  double coverage = 12.0;        ///< average reads covering each base
+  double error_rate = 0.0;       ///< per-base substitution probability
+  std::uint64_t seed = 12345;
+};
+
+struct ReadSet {
+  std::vector<Base> genome;
+  std::size_t read_length = 0;
+  /// Flat read storage: read i occupies [i*read_length, (i+1)*read_length).
+  std::vector<Base> bases;
+  std::size_t read_count() const {
+    return read_length == 0 ? 0 : bases.size() / read_length;
+  }
+  const Base* read(std::size_t i) const {
+    return bases.data() + i * read_length;
+  }
+};
+
+/// Generate a random genome and sample reads from it.
+ReadSet generate_reads(const GenomeConfig& cfg);
+
+/// Render a base string (for tests / example output).
+std::string to_string(const Base* bases, std::size_t n);
+
+}  // namespace rtle::cctsa

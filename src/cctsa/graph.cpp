@@ -1,0 +1,3 @@
+// All De Bruijn value helpers are inline in graph.h; this TU anchors the
+// header in the library build.
+#include "cctsa/graph.h"

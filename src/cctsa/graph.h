@@ -1,0 +1,49 @@
+// De Bruijn graph value encoding and per-node helpers.
+//
+// Each k-mer maps to one 64-bit value word in the shared TxHashMap:
+//
+//   bits  0..31 : occurrence count
+//   bits 32..35 : out-edge mask (bit b set: successor appending base b seen)
+//   bits 36..39 : in-edge mask  (bit b set: predecessor prepending base b)
+//   bit  40     : visited flag (contig extraction)
+//
+// Packing graph state into one word keeps every upsert a single
+// read-modify-write through the TxContext — small transactions, exactly the
+// critical sections the paper elides.
+#pragma once
+
+#include <cstdint>
+
+#include "cctsa/kmer.h"
+
+namespace rtle::cctsa::kv {
+
+inline std::uint64_t count(std::uint64_t v) { return v & 0xffffffffULL; }
+inline std::uint64_t out_mask(std::uint64_t v) { return (v >> 32) & 0xf; }
+inline std::uint64_t in_mask(std::uint64_t v) { return (v >> 36) & 0xf; }
+inline bool visited(std::uint64_t v) { return ((v >> 40) & 1) != 0; }
+
+inline std::uint64_t bump_count(std::uint64_t v) {
+  return (count(v) == 0xffffffffULL) ? v : v + 1;
+}
+inline std::uint64_t add_out(std::uint64_t v, Base b) {
+  return v | (1ULL << (32 + (b & 3)));
+}
+inline std::uint64_t add_in(std::uint64_t v, Base b) {
+  return v | (1ULL << (36 + (b & 3)));
+}
+inline std::uint64_t mark_visited(std::uint64_t v) { return v | (1ULL << 40); }
+
+inline unsigned out_degree(std::uint64_t v) {
+  return static_cast<unsigned>(__builtin_popcountll(out_mask(v)));
+}
+inline unsigned in_degree(std::uint64_t v) {
+  return static_cast<unsigned>(__builtin_popcountll(in_mask(v)));
+}
+
+/// The single set bit of a degree-1 mask, as a base.
+inline Base only_base(std::uint64_t mask) {
+  return static_cast<Base>(__builtin_ctzll(mask));
+}
+
+}  // namespace rtle::cctsa::kv

@@ -1,0 +1,30 @@
+#include "cctsa/kmer.h"
+
+namespace rtle::cctsa {
+
+std::uint64_t encode_kmer(const Base* bases, std::size_t k) {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    v = (v << 2) | (bases[i] & 3);
+  }
+  return v;
+}
+
+std::uint64_t roll_kmer(std::uint64_t kmer, Base next, std::size_t k) {
+  const std::uint64_t mask = (k * 2 == 64) ? ~0ULL : ((1ULL << (k * 2)) - 1);
+  return ((kmer << 2) | (next & 3)) & mask;
+}
+
+Base kmer_base(std::uint64_t kmer, std::size_t i, std::size_t k) {
+  return static_cast<Base>((kmer >> (2 * (k - 1 - i))) & 3);
+}
+
+std::uint64_t kmer_successor(std::uint64_t kmer, Base b, std::size_t k) {
+  return roll_kmer(kmer, b, k);
+}
+
+std::uint64_t kmer_predecessor(std::uint64_t kmer, Base b, std::size_t k) {
+  return (kmer >> 2) | (static_cast<std::uint64_t>(b & 3) << (2 * (k - 1)));
+}
+
+}  // namespace rtle::cctsa

@@ -1,0 +1,28 @@
+// K-mer encoding for the De Bruijn graph: up to k = 31 bases packed 2 bits
+// each into a uint64 (the paper uses k = 27).
+#pragma once
+
+#include <cstdint>
+
+#include "cctsa/genome.h"
+
+namespace rtle::cctsa {
+
+constexpr std::size_t kMaxK = 31;
+
+/// Pack bases[0..k) into the low 2k bits (base 0 in the most significant
+/// position so lexicographic order is numeric order).
+std::uint64_t encode_kmer(const Base* bases, std::size_t k);
+
+/// Shift-in the next base: encode(s[1..k]) given encode(s[0..k-1]).
+std::uint64_t roll_kmer(std::uint64_t kmer, Base next, std::size_t k);
+
+/// Extract base at position `i` (0 = first/most significant).
+Base kmer_base(std::uint64_t kmer, std::size_t i, std::size_t k);
+
+/// K-mer with the first base dropped and `b` appended (graph successor),
+/// and the converse predecessor operation.
+std::uint64_t kmer_successor(std::uint64_t kmer, Base b, std::size_t k);
+std::uint64_t kmer_predecessor(std::uint64_t kmer, Base b, std::size_t k);
+
+}  // namespace rtle::cctsa

@@ -1,0 +1,357 @@
+#include "ds/avl.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace rtle::ds {
+
+using runtime::ThreadCtx;
+using runtime::TxContext;
+
+namespace {
+// Per-node visit cost beyond the coherence-modeled accesses: comparison and
+// branch work plus the average memory-hierarchy latency of touching a node
+// of a tree far larger than L1/L2 (the paper's sets hold 4K-32K nodes, so
+// most probes miss to L3). The coherence model only prices inter-core
+// transfers; this constant prices the vertical hierarchy.
+constexpr std::uint64_t kVisitCycles = 24;
+}  // namespace
+
+AvlSet::AvlSet(std::size_t max_nodes, std::uint32_t max_threads)
+    : arena_(max_nodes), pools_(max_threads) {}
+
+void AvlSet::reserve_nodes(ThreadCtx& th, std::size_t want) {
+  Pool& pool = pools_[th.tid];
+  // Meta-level walk: how many nodes does this thread already hold?
+  std::size_t have = 0;
+  for (AvlNode* n = pool.head; n != nullptr && have < want; n = n->left) {
+    ++have;
+  }
+  while (have < want) {
+    if (bump_ >= arena_.size()) {
+      std::fprintf(stderr, "rtle avl: arena exhausted (%zu nodes)\n",
+                   arena_.size());
+      std::abort();
+    }
+    AvlNode* n = &arena_[bump_++];
+    // Fresh node, visible to nobody: plain stores, no transaction needed.
+    n->left = pool.head;
+    pool.head = n;
+    ++have;
+  }
+}
+
+AvlNode* AvlSet::alloc_node(TxContext& ctx, std::uint64_t key) {
+  Pool& pool = pools_[ctx.thread().tid];
+  AvlNode* n = ctx.load(&pool.head);
+  if (n == nullptr) {
+    std::fprintf(stderr,
+                 "rtle avl: thread %u free list empty inside an operation "
+                 "(missing reserve_nodes call)\n",
+                 ctx.thread().tid);
+    std::abort();
+  }
+  ctx.store(&pool.head, ctx.load(&n->left));
+  ctx.store(&n->key, key);
+  ctx.store(&n->left, static_cast<AvlNode*>(nullptr));
+  ctx.store(&n->right, static_cast<AvlNode*>(nullptr));
+  ctx.store(&n->height, std::int64_t{1});
+  return n;
+}
+
+void AvlSet::free_node(TxContext& ctx, AvlNode* n) {
+  Pool& pool = pools_[ctx.thread().tid];
+  ctx.store(&n->left, ctx.load(&pool.head));
+  ctx.store(&pool.head, n);
+}
+
+std::int64_t AvlSet::height_of(TxContext& ctx, AvlNode* node) const {
+  return node == nullptr ? 0 : ctx.load(&node->height);
+}
+
+void AvlSet::update_height(TxContext& ctx, AvlNode* node) {
+  const std::int64_t h = 1 + std::max(height_of(ctx, ctx.load(&node->left)),
+                                      height_of(ctx, ctx.load(&node->right)));
+  if (h != ctx.load(&node->height)) ctx.store(&node->height, h);
+}
+
+AvlNode* AvlSet::rotate_right(TxContext& ctx, AvlNode* y) {
+  AvlNode* x = ctx.load(&y->left);
+  AvlNode* t = ctx.load(&x->right);
+  ctx.store(&y->left, t);
+  ctx.store(&x->right, y);
+  update_height(ctx, y);
+  update_height(ctx, x);
+  return x;
+}
+
+AvlNode* AvlSet::rotate_left(TxContext& ctx, AvlNode* x) {
+  AvlNode* y = ctx.load(&x->right);
+  AvlNode* t = ctx.load(&y->left);
+  ctx.store(&x->right, t);
+  ctx.store(&y->left, x);
+  update_height(ctx, x);
+  update_height(ctx, y);
+  return y;
+}
+
+AvlNode* AvlSet::rebalance(TxContext& ctx, AvlNode* node) {
+  update_height(ctx, node);
+  const std::int64_t bal = height_of(ctx, ctx.load(&node->left)) -
+                           height_of(ctx, ctx.load(&node->right));
+  if (bal > 1) {
+    AvlNode* l = ctx.load(&node->left);
+    if (height_of(ctx, ctx.load(&l->left)) <
+        height_of(ctx, ctx.load(&l->right))) {
+      ctx.store(&node->left, rotate_left(ctx, l));
+    }
+    return rotate_right(ctx, node);
+  }
+  if (bal < -1) {
+    AvlNode* r = ctx.load(&node->right);
+    if (height_of(ctx, ctx.load(&r->right)) <
+        height_of(ctx, ctx.load(&r->left))) {
+      ctx.store(&node->right, rotate_right(ctx, r));
+    }
+    return rotate_left(ctx, node);
+  }
+  return node;
+}
+
+bool AvlSet::contains(TxContext& ctx, std::uint64_t key) const {
+  AvlNode* n = ctx.load(&root_);
+  while (n != nullptr) {
+    ctx.compute(kVisitCycles);
+    const std::uint64_t k = ctx.load(&n->key);
+    if (k == key) return true;
+    n = key < k ? ctx.load(&n->left) : ctx.load(&n->right);
+  }
+  return false;
+}
+
+AvlNode* AvlSet::insert_rec(TxContext& ctx, AvlNode* node, std::uint64_t key,
+                            bool& inserted, bool& grew) {
+  if (node == nullptr) {
+    inserted = true;
+    grew = true;
+    return alloc_node(ctx, key);
+  }
+  ctx.compute(kVisitCycles);
+  const std::uint64_t k = ctx.load(&node->key);
+  if (k == key) {
+    inserted = false;  // present: a pure read-only execution
+    grew = false;
+    return node;
+  }
+  if (key < k) {
+    AvlNode* l = ctx.load(&node->left);
+    AvlNode* nl = insert_rec(ctx, l, key, inserted, grew);
+    if (!inserted) return node;
+    if (nl != l) ctx.store(&node->left, nl);
+  } else {
+    AvlNode* r = ctx.load(&node->right);
+    AvlNode* nr = insert_rec(ctx, r, key, inserted, grew);
+    if (!inserted) return node;
+    if (nr != r) ctx.store(&node->right, nr);
+  }
+  if (!grew) return node;  // child subtree height unchanged: retracing done
+  const std::int64_t old_h = ctx.load(&node->height);
+  AvlNode* nn = rebalance(ctx, node);
+  grew = height_of(ctx, nn) > old_h;
+  return nn;
+}
+
+bool AvlSet::insert(TxContext& ctx, std::uint64_t key) {
+  bool inserted = false;
+  bool grew = false;
+  AvlNode* old_root = ctx.load(&root_);
+  AvlNode* new_root = insert_rec(ctx, old_root, key, inserted, grew);
+  if (inserted && new_root != old_root) ctx.store(&root_, new_root);
+  return inserted;
+}
+
+AvlNode* AvlSet::remove_min(TxContext& ctx, AvlNode* node, AvlNode*& min_out,
+                            bool& shrunk) {
+  AvlNode* l = ctx.load(&node->left);
+  if (l == nullptr) {
+    min_out = node;
+    shrunk = true;
+    return ctx.load(&node->right);
+  }
+  AvlNode* nl = remove_min(ctx, l, min_out, shrunk);
+  if (nl != l) ctx.store(&node->left, nl);
+  if (!shrunk) return node;
+  const std::int64_t old_h = ctx.load(&node->height);
+  AvlNode* nn = rebalance(ctx, node);
+  shrunk = height_of(ctx, nn) < old_h;
+  return nn;
+}
+
+AvlNode* AvlSet::remove_rec(TxContext& ctx, AvlNode* node, std::uint64_t key,
+                            bool& removed, bool& shrunk, AvlNode*& detached) {
+  if (node == nullptr) {
+    removed = false;
+    shrunk = false;
+    return nullptr;
+  }
+  ctx.compute(kVisitCycles);
+  const std::uint64_t k = ctx.load(&node->key);
+  if (key < k) {
+    AvlNode* l = ctx.load(&node->left);
+    AvlNode* nl = remove_rec(ctx, l, key, removed, shrunk, detached);
+    if (!removed) return node;
+    if (nl != l) ctx.store(&node->left, nl);
+  } else if (key > k) {
+    AvlNode* r = ctx.load(&node->right);
+    AvlNode* nr = remove_rec(ctx, r, key, removed, shrunk, detached);
+    if (!removed) return node;
+    if (nr != r) ctx.store(&node->right, nr);
+  } else {
+    removed = true;
+    AvlNode* l = ctx.load(&node->left);
+    AvlNode* r = ctx.load(&node->right);
+    if (l == nullptr || r == nullptr) {
+      detached = node;
+      shrunk = true;
+      return l != nullptr ? l : r;
+    }
+    // Two children: splice out the successor and take over its key.
+    AvlNode* succ = nullptr;
+    bool right_shrunk = false;
+    AvlNode* nr = remove_min(ctx, r, succ, right_shrunk);
+    ctx.store(&node->key, ctx.load(&succ->key));
+    if (nr != r) ctx.store(&node->right, nr);
+    detached = succ;
+    shrunk = right_shrunk;
+    if (!shrunk) return node;
+  }
+  if (!shrunk) return node;
+  const std::int64_t old_h = ctx.load(&node->height);
+  AvlNode* nn = rebalance(ctx, node);
+  shrunk = height_of(ctx, nn) < old_h;
+  return nn;
+}
+
+bool AvlSet::remove(TxContext& ctx, std::uint64_t key) {
+  bool removed = false;
+  bool shrunk = false;
+  AvlNode* detached = nullptr;
+  AvlNode* old_root = ctx.load(&root_);
+  AvlNode* new_root =
+      remove_rec(ctx, old_root, key, removed, shrunk, detached);
+  if (!removed) return false;
+  if (new_root != old_root) ctx.store(&root_, new_root);
+  free_node(ctx, detached);
+  return true;
+}
+
+namespace {
+std::int64_t meta_height(const AvlNode* n) { return n ? n->height : 0; }
+
+void meta_update_height(AvlNode* n) {
+  n->height = 1 + std::max(meta_height(n->left), meta_height(n->right));
+}
+
+AvlNode* meta_rotate_right(AvlNode* y) {
+  AvlNode* x = y->left;
+  y->left = x->right;
+  x->right = y;
+  meta_update_height(y);
+  meta_update_height(x);
+  return x;
+}
+
+AvlNode* meta_rotate_left(AvlNode* x) {
+  AvlNode* y = x->right;
+  x->right = y->left;
+  y->left = x;
+  meta_update_height(x);
+  meta_update_height(y);
+  return y;
+}
+
+AvlNode* meta_rebalance(AvlNode* n) {
+  meta_update_height(n);
+  const std::int64_t bal = meta_height(n->left) - meta_height(n->right);
+  if (bal > 1) {
+    if (meta_height(n->left->left) < meta_height(n->left->right)) {
+      n->left = meta_rotate_left(n->left);
+    }
+    return meta_rotate_right(n);
+  }
+  if (bal < -1) {
+    if (meta_height(n->right->right) < meta_height(n->right->left)) {
+      n->right = meta_rotate_right(n->right);
+    }
+    return meta_rotate_left(n);
+  }
+  return n;
+}
+}  // namespace
+
+AvlNode* AvlSet::insert_meta_rec(AvlNode* node, std::uint64_t key,
+                                 bool& inserted) {
+  if (node == nullptr) {
+    if (bump_ >= arena_.size()) {
+      std::fprintf(stderr, "rtle avl: arena exhausted in insert_meta\n");
+      std::abort();
+    }
+    AvlNode* n = &arena_[bump_++];
+    *n = AvlNode{key, nullptr, nullptr, 1};
+    inserted = true;
+    return n;
+  }
+  if (node->key == key) {
+    inserted = false;
+    return node;
+  }
+  if (key < node->key) {
+    node->left = insert_meta_rec(node->left, key, inserted);
+  } else {
+    node->right = insert_meta_rec(node->right, key, inserted);
+  }
+  return inserted ? meta_rebalance(node) : node;
+}
+
+bool AvlSet::insert_meta(std::uint64_t key) {
+  bool inserted = false;
+  root_ = insert_meta_rec(root_, key, inserted);
+  return inserted;
+}
+
+std::size_t AvlSet::size_meta() const {
+  std::int64_t h = 0;
+  std::size_t count = 0;
+  check_rec(root_, 0, ~0ULL, h, count);
+  return count;
+}
+
+bool AvlSet::invariants_ok() const {
+  std::int64_t h = 0;
+  std::size_t count = 0;
+  return check_rec(root_, 0, ~0ULL, h, count);
+}
+
+bool AvlSet::check_rec(const AvlNode* n, std::uint64_t lo, std::uint64_t hi,
+                       std::int64_t& height, std::size_t& count) {
+  if (n == nullptr) {
+    height = 0;
+    return true;
+  }
+  if (n->key < lo || n->key > hi) return false;
+  std::int64_t hl = 0;
+  std::int64_t hr = 0;
+  if (n->key > 0 && !check_rec(n->left, lo, n->key - 1, hl, count)) {
+    return false;
+  }
+  if (n->key == 0 && n->left != nullptr) return false;
+  if (!check_rec(n->right, n->key + 1, hi, hr, count)) return false;
+  if (n->height != 1 + std::max(hl, hr)) return false;
+  if (hl - hr > 1 || hr - hl > 1) return false;
+  height = n->height;
+  count += 1;
+  return true;
+}
+
+}  // namespace rtle::ds

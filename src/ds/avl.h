@@ -1,0 +1,101 @@
+// AVL-tree set over 64-bit keys, modeled on the internal balanced binary
+// tree used by OpenSolaris/ZFS that the paper benchmarks (§6.2).
+//
+// Every access to tree state goes through a runtime::TxContext, so the same
+// code runs uninstrumented in a fast-path hardware transaction, instrumented
+// on the refined-TLE slow path, under the lock, or inside an STM — exactly
+// the code-duplication story GCC's -fgnu-tm provides in the paper.
+//
+// Writes are performed only when a field actually changes (heights, child
+// links), so a Find is pure reads and an Insert of an already-present key
+// executes no write at all — the property RW-TLE's read-read parallelism
+// feeds on (§3).
+//
+// Memory management mirrors the paper's "transaction-pure" malloc: each
+// thread owns a free list refilled *between* operations (reserve_nodes);
+// inside an operation, list manipulation is transactional, so aborts leak
+// nothing.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/context.h"
+
+namespace rtle::ds {
+
+struct AvlNode {
+  std::uint64_t key = 0;
+  AvlNode* left = nullptr;   // doubles as the free-list link
+  AvlNode* right = nullptr;
+  std::int64_t height = 1;
+};
+
+class AvlSet {
+ public:
+  /// `max_nodes` bounds the arena; `max_threads` sizes the per-thread
+  /// free-list table.
+  AvlSet(std::size_t max_nodes, std::uint32_t max_threads);
+
+  AvlSet(const AvlSet&) = delete;
+  AvlSet& operator=(const AvlSet&) = delete;
+
+  /// Top up the calling thread's free list to at least `want` nodes.
+  /// Must be called outside any transaction (the workload driver calls it
+  /// between operations); refill uses plain stores on fresh arena nodes.
+  void reserve_nodes(runtime::ThreadCtx& th, std::size_t want);
+
+  // --- The three critical-section bodies the paper benchmarks. ---
+  bool contains(runtime::TxContext& ctx, std::uint64_t key) const;
+  /// Returns true if the key was inserted (false: already present; in that
+  /// case the operation performed no writes).
+  bool insert(runtime::TxContext& ctx, std::uint64_t key);
+  /// Returns true if the key was removed (false: absent, no writes).
+  bool remove(runtime::TxContext& ctx, std::uint64_t key);
+
+  /// Meta-level insert used for benchmark prefill: builds the tree directly
+  /// (no simulated cost, no transactions, allocates straight from the
+  /// arena). Must only be called while no simulated threads are running.
+  bool insert_meta(std::uint64_t key);
+
+  // --- Meta-level inspection (free of simulated cost; tests only). ---
+  std::size_t size_meta() const;
+  bool invariants_ok() const;  // BST order + AVL balance + height integrity
+  std::uint64_t arena_used_meta() const { return bump_; }
+
+ private:
+  struct alignas(64) Pool {
+    AvlNode* head = nullptr;
+  };
+
+  AvlNode* alloc_node(runtime::TxContext& ctx, std::uint64_t key);
+  void free_node(runtime::TxContext& ctx, AvlNode* n);
+
+  // Recursive helpers; depth is O(log n) ≤ 64 on fiber stacks. The
+  // `grew`/`shrunk` flags implement early-stop retracing: once a subtree's
+  // height is unchanged, no ancestor is touched — keeping write sets small
+  // is what the refined-TLE slow path feeds on.
+  AvlNode* insert_rec(runtime::TxContext& ctx, AvlNode* node,
+                      std::uint64_t key, bool& inserted, bool& grew);
+  AvlNode* remove_rec(runtime::TxContext& ctx, AvlNode* node,
+                      std::uint64_t key, bool& removed, bool& shrunk,
+                      AvlNode*& detached);
+  AvlNode* remove_min(runtime::TxContext& ctx, AvlNode* node,
+                      AvlNode*& min_out, bool& shrunk);
+  AvlNode* rebalance(runtime::TxContext& ctx, AvlNode* node);
+  AvlNode* rotate_left(runtime::TxContext& ctx, AvlNode* node);
+  AvlNode* rotate_right(runtime::TxContext& ctx, AvlNode* node);
+  void update_height(runtime::TxContext& ctx, AvlNode* node);
+  std::int64_t height_of(runtime::TxContext& ctx, AvlNode* node) const;
+
+  static bool check_rec(const AvlNode* n, std::uint64_t lo, std::uint64_t hi,
+                        std::int64_t& height, std::size_t& count);
+  AvlNode* insert_meta_rec(AvlNode* node, std::uint64_t key, bool& inserted);
+
+  alignas(64) AvlNode* root_ = nullptr;
+  std::vector<AvlNode> arena_;
+  alignas(64) std::uint64_t bump_ = 0;  // arena high-water mark (meta)
+  std::vector<Pool> pools_;
+};
+
+}  // namespace rtle::ds

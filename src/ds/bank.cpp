@@ -1,0 +1,27 @@
+#include "ds/bank.h"
+
+namespace rtle::ds {
+
+BankAccounts::BankAccounts(std::size_t n_accounts,
+                           std::uint64_t initial_balance)
+    : accounts_(n_accounts) {
+  for (Account& a : accounts_) a.balance = initial_balance;
+}
+
+void BankAccounts::transfer(runtime::TxContext& ctx, std::size_t from,
+                            std::size_t to, std::uint64_t amount) {
+  const std::uint64_t bf = ctx.load(&accounts_[from].balance);
+  const std::uint64_t bt = ctx.load(&accounts_[to].balance);
+  const std::uint64_t amt = bf == 0 ? 0 : amount % (bf + 1);
+  ctx.compute(6);  // the "short calculation" of §6.3
+  ctx.store(&accounts_[from].balance, bf - amt);
+  ctx.store(&accounts_[to].balance, bt + amt);
+}
+
+std::uint64_t BankAccounts::total_meta() const {
+  std::uint64_t sum = 0;
+  for (const Account& a : accounts_) sum += a.balance;
+  return sum;
+}
+
+}  // namespace rtle::ds

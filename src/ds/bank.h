@@ -1,0 +1,36 @@
+// Bank-accounts array for the §6.3 read-modify-write corner case (Fig 11):
+// 256 accounts, each padded to its own cache line, random transfers between
+// two accounts — every critical section writes, so RW-TLE's read-only slow
+// path never commits and NOrec-style STMs serialize on their clock.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/context.h"
+
+namespace rtle::ds {
+
+class BankAccounts {
+ public:
+  BankAccounts(std::size_t n_accounts, std::uint64_t initial_balance);
+
+  std::size_t size() const { return accounts_.size(); }
+
+  /// Transfer up to `amount` from one account to the other (clamped to the
+  /// available balance so totals stay non-negative). The two reads and two
+  /// writes are the whole critical section, as in the paper.
+  void transfer(runtime::TxContext& ctx, std::size_t from, std::size_t to,
+                std::uint64_t amount);
+
+  /// Sum of all balances (meta-level; the conservation invariant).
+  std::uint64_t total_meta() const;
+
+ private:
+  struct alignas(64) Account {
+    std::uint64_t balance = 0;
+  };
+  std::vector<Account> accounts_;
+};
+
+}  // namespace rtle::ds

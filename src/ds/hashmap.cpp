@@ -1,0 +1,110 @@
+#include "ds/hashmap.h"
+
+#include <bit>
+#include <cstdio>
+#include <cstdlib>
+
+namespace rtle::ds {
+
+using runtime::ThreadCtx;
+using runtime::TxContext;
+
+namespace {
+constexpr std::uint64_t kHashCycles = 3;
+}
+
+TxHashMap::TxHashMap(std::size_t buckets, std::size_t max_nodes,
+                     std::uint32_t max_threads)
+    : buckets_(std::bit_ceil(buckets), nullptr),
+      arena_(max_nodes),
+      pools_(max_threads) {}
+
+void TxHashMap::reserve_nodes(ThreadCtx& th, std::size_t want) {
+  Pool& pool = pools_[th.tid];
+  std::size_t have = 0;
+  for (Node* n = pool.head; n != nullptr && have < want; n = n->next) ++have;
+  while (have < want) {
+    if (bump_ >= arena_.size()) {
+      std::fprintf(stderr, "rtle hashmap: arena exhausted (%zu nodes)\n",
+                   arena_.size());
+      std::abort();
+    }
+    Node* n = &arena_[bump_++];
+    n->next = pool.head;
+    pool.head = n;
+    ++have;
+  }
+}
+
+TxHashMap::Node* TxHashMap::alloc_node(TxContext& ctx, std::uint64_t key) {
+  Pool& pool = pools_[ctx.thread().tid];
+  Node* n = ctx.load(&pool.head);
+  if (n == nullptr) {
+    std::fprintf(stderr,
+                 "rtle hashmap: thread %u free list empty inside an "
+                 "operation (missing reserve_nodes call)\n",
+                 ctx.thread().tid);
+    std::abort();
+  }
+  ctx.store(&pool.head, ctx.load(&n->next));
+  ctx.store(&n->key, key);
+  ctx.store(&n->value, std::uint64_t{0});
+  return n;
+}
+
+void TxHashMap::recycle(TxContext& ctx, Node* n) {
+  Pool& pool = pools_[ctx.thread().tid];
+  ctx.store(&n->next, ctx.load(&pool.head));
+  ctx.store(&pool.head, n);
+}
+
+std::uint64_t* TxHashMap::find_or_insert(TxContext& ctx, std::uint64_t key,
+                                         bool& inserted) {
+  ctx.compute(kHashCycles);
+  const std::size_t b = bucket_of(key);
+  Node* head = ctx.load(&buckets_[b]);
+  for (Node* n = head; n != nullptr; n = ctx.load(&n->next)) {
+    if (ctx.load(&n->key) == key) {
+      inserted = false;
+      return &n->value;
+    }
+  }
+  Node* n = alloc_node(ctx, key);
+  ctx.store(&n->next, head);
+  ctx.store(&buckets_[b], n);
+  inserted = true;
+  return &n->value;
+}
+
+std::uint64_t* TxHashMap::find(TxContext& ctx, std::uint64_t key) {
+  ctx.compute(kHashCycles);
+  const std::size_t b = bucket_of(key);
+  for (Node* n = ctx.load(&buckets_[b]); n != nullptr;
+       n = ctx.load(&n->next)) {
+    if (ctx.load(&n->key) == key) return &n->value;
+  }
+  return nullptr;
+}
+
+bool TxHashMap::erase(TxContext& ctx, std::uint64_t key) {
+  ctx.compute(kHashCycles);
+  const std::size_t b = bucket_of(key);
+  Node** link = &buckets_[b];
+  for (Node* n = ctx.load(link); n != nullptr; n = ctx.load(link)) {
+    if (ctx.load(&n->key) == key) {
+      ctx.store(link, ctx.load(&n->next));
+      recycle(ctx, n);
+      return true;
+    }
+    link = &n->next;
+  }
+  return false;
+}
+
+std::size_t TxHashMap::size_meta() const {
+  std::size_t count = 0;
+  for_each_meta([&](std::uint64_t, std::uint64_t) { ++count; });
+  return count;
+}
+
+}  // namespace rtle::ds

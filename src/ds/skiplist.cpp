@@ -1,0 +1,180 @@
+#include "ds/skiplist.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/flat_hash.h"
+
+namespace rtle::ds {
+
+using runtime::ThreadCtx;
+using runtime::TxContext;
+
+namespace {
+constexpr std::uint64_t kVisitCycles = 18;  // per horizontal step
+}
+
+SkipListSet::SkipListSet(std::size_t max_nodes, std::uint32_t max_threads)
+    : arena_(max_nodes), pools_(max_threads) {
+  head_.height = kMaxLevel;
+}
+
+int SkipListSet::height_of_key(std::uint64_t key) {
+  // Geometric from the hash bits: count trailing ones, capped.
+  const std::uint64_t h = util::mix64(key * 0x100000001b3ULL + 0x9e37);
+  int level = 1;
+  while (level < kMaxLevel && ((h >> level) & 1) != 0) ++level;
+  return level;
+}
+
+void SkipListSet::reserve_nodes(ThreadCtx& th, std::size_t want) {
+  Pool& pool = pools_[th.tid];
+  std::size_t have = 0;
+  for (Node* n = pool.head; n != nullptr && have < want; n = n->next[0]) {
+    ++have;
+  }
+  while (have < want) {
+    if (bump_ >= arena_.size()) {
+      std::fprintf(stderr, "rtle skiplist: arena exhausted (%zu)\n",
+                   arena_.size());
+      std::abort();
+    }
+    Node* n = &arena_[bump_++];
+    n->next[0] = pool.head;
+    pool.head = n;
+    ++have;
+  }
+}
+
+SkipListSet::Node* SkipListSet::alloc_node(TxContext& ctx, std::uint64_t key,
+                                           int height) {
+  Pool& pool = pools_[ctx.thread().tid];
+  Node* n = ctx.load(&pool.head);
+  if (n == nullptr) {
+    std::fprintf(stderr,
+                 "rtle skiplist: thread %u free list empty (missing "
+                 "reserve_nodes)\n",
+                 ctx.thread().tid);
+    std::abort();
+  }
+  ctx.store(&pool.head, ctx.load(&n->next[0]));
+  ctx.store(&n->key, key);
+  ctx.store(&n->height, static_cast<std::int64_t>(height));
+  for (int l = 0; l < height; ++l) {
+    ctx.store(&n->next[l], static_cast<Node*>(nullptr));
+  }
+  return n;
+}
+
+void SkipListSet::free_node(TxContext& ctx, Node* n) {
+  Pool& pool = pools_[ctx.thread().tid];
+  ctx.store(&n->next[0], ctx.load(&pool.head));
+  ctx.store(&pool.head, n);
+}
+
+bool SkipListSet::contains(TxContext& ctx, std::uint64_t key) const {
+  const Node* cur = &head_;
+  for (int l = kMaxLevel - 1; l >= 0; --l) {
+    for (;;) {
+      const Node* nxt = ctx.load(&cur->next[l]);
+      if (nxt == nullptr) break;
+      ctx.compute(kVisitCycles);
+      const std::uint64_t k = ctx.load(&nxt->key);
+      if (k == key) return true;
+      if (k > key) break;
+      cur = nxt;
+    }
+  }
+  return false;
+}
+
+bool SkipListSet::insert(TxContext& ctx, std::uint64_t key) {
+  Node* preds[kMaxLevel];
+  Node* cur = &head_;
+  for (int l = kMaxLevel - 1; l >= 0; --l) {
+    for (;;) {
+      Node* nxt = ctx.load(&cur->next[l]);
+      if (nxt == nullptr) break;
+      ctx.compute(kVisitCycles);
+      const std::uint64_t k = ctx.load(&nxt->key);
+      if (k == key) return false;  // present: read-only execution
+      if (k > key) break;
+      cur = nxt;
+    }
+    preds[l] = cur;
+  }
+  const int height = height_of_key(key);
+  Node* n = alloc_node(ctx, key, height);
+  for (int l = 0; l < height; ++l) {
+    ctx.store(&n->next[l], ctx.load(&preds[l]->next[l]));
+    ctx.store(&preds[l]->next[l], n);
+  }
+  return true;
+}
+
+bool SkipListSet::remove(TxContext& ctx, std::uint64_t key) {
+  Node* preds[kMaxLevel];
+  Node* cur = &head_;
+  Node* target = nullptr;
+  for (int l = kMaxLevel - 1; l >= 0; --l) {
+    for (;;) {
+      Node* nxt = ctx.load(&cur->next[l]);
+      if (nxt == nullptr) break;
+      ctx.compute(kVisitCycles);
+      const std::uint64_t k = ctx.load(&nxt->key);
+      if (k >= key) {
+        if (k == key) target = nxt;
+        break;
+      }
+      cur = nxt;
+    }
+    preds[l] = cur;
+  }
+  if (target == nullptr) return false;
+  const int height = static_cast<int>(ctx.load(&target->height));
+  for (int l = 0; l < height; ++l) {
+    // preds[l]->next[l] may bypass `target` only at levels above its
+    // height; within its height it must point at it.
+    Node* nxt = ctx.load(&preds[l]->next[l]);
+    if (nxt == target) {
+      ctx.store(&preds[l]->next[l], ctx.load(&target->next[l]));
+    }
+  }
+  free_node(ctx, target);
+  return true;
+}
+
+std::size_t SkipListSet::size_meta() const {
+  std::size_t n = 0;
+  for (const Node* cur = head_.next[0]; cur != nullptr; cur = cur->next[0]) {
+    ++n;
+  }
+  return n;
+}
+
+bool SkipListSet::invariants_ok() const {
+  // Level 0 sorted and duplicate-free.
+  const Node* prev = nullptr;
+  for (const Node* cur = head_.next[0]; cur != nullptr; cur = cur->next[0]) {
+    if (prev != nullptr && prev->key >= cur->key) return false;
+    if (cur->height < 1 || cur->height > kMaxLevel) return false;
+    if (cur->height != height_of_key(cur->key)) return false;
+    prev = cur;
+  }
+  // Every higher level is a subsequence of level 0 restricted to nodes of
+  // at least that height.
+  for (int l = 1; l < kMaxLevel; ++l) {
+    const Node* upper = head_.next[l];
+    for (const Node* cur = head_.next[0]; cur != nullptr;
+         cur = cur->next[0]) {
+      if (cur->height > l) {
+        if (upper != cur) return false;
+        upper = upper->next[l];
+      }
+    }
+    if (upper != nullptr) return false;
+  }
+  return true;
+}
+
+}  // namespace rtle::ds

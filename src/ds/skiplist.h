@@ -1,0 +1,63 @@
+// Skip-list set over 64-bit keys, written against the dual-path TxContext —
+// a second ordered-set workload beside the AVL tree. Like the tree, lookups
+// are pure reads and duplicate inserts / absent removes write nothing, so
+// the refined-TLE read-prefix properties (§3) carry over; unlike the tree,
+// updates touch O(level) scattered nodes and never rebalance, giving a
+// different conflict profile.
+//
+// Node heights are derived deterministically from the key hash (geometric,
+// p = 1/2), so the structure — and therefore a whole simulation — is
+// reproducible and independent of insertion order.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/context.h"
+
+namespace rtle::ds {
+
+class SkipListSet {
+ public:
+  static constexpr int kMaxLevel = 16;
+
+  SkipListSet(std::size_t max_nodes, std::uint32_t max_threads);
+
+  SkipListSet(const SkipListSet&) = delete;
+  SkipListSet& operator=(const SkipListSet&) = delete;
+
+  /// Top up the calling thread's free list (outside any transaction).
+  void reserve_nodes(runtime::ThreadCtx& th, std::size_t want);
+
+  bool contains(runtime::TxContext& ctx, std::uint64_t key) const;
+  bool insert(runtime::TxContext& ctx, std::uint64_t key);
+  bool remove(runtime::TxContext& ctx, std::uint64_t key);
+
+  // Meta-level (tests): size, sortedness + tower consistency.
+  std::size_t size_meta() const;
+  bool invariants_ok() const;
+
+  /// Deterministic tower height for a key (1..kMaxLevel).
+  static int height_of_key(std::uint64_t key);
+
+ private:
+  struct Node {
+    std::uint64_t key = 0;
+    std::int64_t height = 0;
+    Node* next[kMaxLevel] = {};
+  };
+
+  Node* alloc_node(runtime::TxContext& ctx, std::uint64_t key, int height);
+  void free_node(runtime::TxContext& ctx, Node* n);
+
+  struct alignas(64) Pool {
+    Node* head = nullptr;
+  };
+
+  Node head_;  // sentinel with full height; key unused
+  std::vector<Node> arena_;
+  std::uint64_t bump_ = 0;
+  std::vector<Pool> pools_;
+};
+
+}  // namespace rtle::ds

@@ -1,0 +1,229 @@
+#include "htm/htm.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace rtle::htm {
+
+const char* to_string(AbortCause c) {
+  switch (c) {
+    case AbortCause::kNone: return "none";
+    case AbortCause::kConflict: return "conflict";
+    case AbortCause::kCapacity: return "capacity";
+    case AbortCause::kExplicit: return "explicit";
+    case AbortCause::kLockBusy: return "lock-busy";
+    case AbortCause::kUnsupported: return "unsupported";
+    case AbortCause::kSpurious: return "spurious";
+  }
+  return "?";
+}
+
+void HtmDomain::begin(Tx& tx) {
+  if (tx.live_) {  // flattened nesting
+    ++tx.depth_;
+    return;
+  }
+  if (tx.id_ >= slots_.size() || slots_[tx.id_] != nullptr) {
+    std::fprintf(stderr, "rtle htm: bad tx id %u\n", tx.id_);
+    std::abort();
+  }
+  tx.live_ = true;
+  tx.doomed_ = false;
+  tx.doom_cause_ = AbortCause::kNone;
+  tx.depth_ = 1;
+  tx.accesses_ = 0;
+  tx.rlines_.clear();
+  tx.wlines_.clear();
+  tx.undo_.clear();
+  slots_[tx.id_] = &tx;
+  ++live_count_;
+  sched_->advance(mem_->cost().htm_begin);
+}
+
+void HtmDomain::commit(Tx& tx) {
+  if (tx.depth_ > 1) {  // flattened nesting
+    --tx.depth_;
+    return;
+  }
+  sched_->advance(mem_->cost().htm_commit);
+  if (tx.doomed_) {
+    // A conflicting access already rolled us back and released the
+    // footprint; just deliver the abort.
+    finish_abort(tx);
+    throw HtmAbort{tx.doom_cause_};
+  }
+  release_footprint(tx);
+  slots_[tx.id_] = nullptr;
+  --live_count_;
+  tx.live_ = false;
+  tx.depth_ = 0;
+}
+
+void HtmDomain::abort_self(Tx& tx, AbortCause cause) {
+  if (!tx.doomed_) {
+    rollback(tx);
+    release_footprint(tx);
+    slots_[tx.id_] = nullptr;
+    --live_count_;
+  }
+  tx.doom_cause_ = cause;
+  finish_abort(tx);
+  throw HtmAbort{cause};
+}
+
+void HtmDomain::finish_abort(Tx& tx) {
+  sched_->advance(mem_->cost().htm_abort);
+  aborts_[static_cast<std::size_t>(tx.doom_cause_)] += 1;
+  tx.live_ = false;
+  tx.depth_ = 0;
+}
+
+void HtmDomain::rollback(Tx& tx) {
+  for (auto it = tx.undo_.rbegin(); it != tx.undo_.rend(); ++it) {
+    *it->addr = it->old_value;
+  }
+  tx.undo_.clear();
+}
+
+void HtmDomain::release_footprint(Tx& tx) {
+  const std::uint64_t clear = ~bit(tx.id_);
+  for (mem::LineId l : tx.rlines_) {
+    if (Watch* w = watch_.find(l)) w->readers &= clear;
+  }
+  for (mem::LineId l : tx.wlines_) {
+    if (Watch* w = watch_.find(l)) w->writers &= clear;
+  }
+  tx.rlines_.clear();
+  tx.wlines_.clear();
+}
+
+void HtmDomain::doom_mask(std::uint64_t mask, AbortCause cause) {
+  while (mask != 0) {
+    const std::uint32_t id =
+        static_cast<std::uint32_t>(__builtin_ctzll(mask));
+    mask &= mask - 1;
+    Tx* victim = slots_[id];
+    if (victim == nullptr) continue;  // stale bit (should not happen)
+    victim->doomed_ = true;
+    victim->doom_cause_ = cause;
+    // Roll back its speculative stores *now* so the requester reads
+    // pre-transactional state, and stop it from conflicting further.
+    rollback(*victim);
+    release_footprint(*victim);
+    slots_[id] = nullptr;
+    --live_count_;
+  }
+}
+
+void HtmDomain::maybe_spurious(Tx& tx) {
+  if (params_.spurious_every == 0) return;
+  ++tx.accesses_;
+  if (rng_.below(params_.spurious_every) == 0) {
+    abort_self(tx, AbortCause::kSpurious);
+  }
+}
+
+std::uint64_t HtmDomain::tx_load(Tx& tx, const std::uint64_t* addr) {
+  // Charge first: the charge may deschedule this fiber, during which a
+  // conflicting store may doom us — exactly like an asynchronous abort.
+  sched_->advance(mem_->cost_load(sched_->current_core(), mem::line_of(addr)));
+  if (tx.doomed_) {
+    finish_abort(tx);
+    throw HtmAbort{tx.doom_cause_};
+  }
+  maybe_spurious(tx);
+  const mem::LineId line = mem::line_of(addr);
+  {
+    Watch* w = watch_.find(line);
+    if (w != nullptr) {
+      const std::uint64_t writers = w->writers & ~bit(tx.id_);
+      if (writers != 0) doom_mask(writers, AbortCause::kConflict);
+    }
+  }
+  Watch& w = watch_[line];  // re-lookup: doom_mask may touch the table
+  if ((w.readers & bit(tx.id_)) == 0) {
+    if (tx.rlines_.size() >= params_.max_read_lines) {
+      abort_self(tx, AbortCause::kCapacity);
+    }
+    w.readers |= bit(tx.id_);
+    tx.rlines_.push_back(line);
+  }
+  return *addr;
+}
+
+void HtmDomain::tx_store(Tx& tx, std::uint64_t* addr, std::uint64_t value) {
+  sched_->advance(
+      mem_->cost_store(sched_->current_core(), mem::line_of(addr)));
+  if (tx.doomed_) {
+    finish_abort(tx);
+    throw HtmAbort{tx.doom_cause_};
+  }
+  maybe_spurious(tx);
+  const mem::LineId line = mem::line_of(addr);
+  {
+    Watch* w = watch_.find(line);
+    if (w != nullptr) {
+      const std::uint64_t others =
+          (w->readers | w->writers) & ~bit(tx.id_);
+      if (others != 0) doom_mask(others, AbortCause::kConflict);
+    }
+  }
+  Watch& w = watch_[line];
+  if ((w.writers & bit(tx.id_)) == 0) {
+    if (tx.wlines_.size() >= params_.max_write_lines) {
+      abort_self(tx, AbortCause::kCapacity);
+    }
+    w.writers |= bit(tx.id_);
+    tx.wlines_.push_back(line);
+  }
+  tx.undo_.push_back({addr, *addr});
+  *addr = value;
+}
+
+void HtmDomain::tx_store_and_commit(Tx& tx, std::uint64_t* addr,
+                                    std::uint64_t value) {
+  if (tx.depth_ > 1) {
+    std::fprintf(stderr, "rtle htm: fused commit inside nested txn\n");
+    std::abort();
+  }
+  // Charge everything first; after this point the store+commit sequence
+  // executes without yielding, so no concurrent access can intervene.
+  sched_->advance(
+      mem_->cost_store(sched_->current_core(), mem::line_of(addr)) +
+      mem_->cost().htm_commit);
+  if (tx.doomed_) {
+    finish_abort(tx);
+    throw HtmAbort{tx.doom_cause_};
+  }
+  const mem::LineId line = mem::line_of(addr);
+  if (Watch* w = watch_.find(line)) {
+    const std::uint64_t others = (w->readers | w->writers) & ~bit(tx.id_);
+    if (others != 0) doom_mask(others, AbortCause::kConflict);
+  }
+  *addr = value;  // committed: no undo logging needed
+  release_footprint(tx);
+  slots_[tx.id_] = nullptr;
+  --live_count_;
+  tx.live_ = false;
+  tx.depth_ = 0;
+}
+
+void HtmDomain::observe_plain_load(std::uint32_t self, const void* addr) {
+  if (live_count_ == 0) return;
+  Watch* w = watch_.find(mem::line_of(addr));
+  if (w == nullptr) return;
+  const std::uint64_t exclude = self < 64 ? bit(self) : 0;
+  const std::uint64_t writers = w->writers & ~exclude;
+  if (writers != 0) doom_mask(writers, AbortCause::kConflict);
+}
+
+void HtmDomain::observe_plain_store(std::uint32_t self, const void* addr) {
+  if (live_count_ == 0) return;
+  Watch* w = watch_.find(mem::line_of(addr));
+  if (w == nullptr) return;
+  const std::uint64_t exclude = self < 64 ? bit(self) : 0;
+  const std::uint64_t others = (w->readers | w->writers) & ~exclude;
+  if (others != 0) doom_mask(others, AbortCause::kConflict);
+}
+
+}  // namespace rtle::htm

@@ -1,0 +1,148 @@
+// Emulated best-effort hardware transactional memory.
+//
+// Semantics mirror a commercial HTM (Intel RTM / POWER8 class):
+//   * read/write sets tracked at 64-byte cache-line granularity;
+//   * requester-wins eager conflict detection: any store (transactional or
+//     plain) to a line in another live transaction's read or write set dooms
+//     that transaction, and any load of a line in another live transaction's
+//     write set dooms the writer (its speculative stores are rolled back
+//     immediately, so the requester observes pre-transactional values);
+//   * bounded capacity (separate read/write line limits, Haswell-like);
+//   * transactions may abort at any point, for no architecturally visible
+//     reason (optional spurious aborts);
+//   * nesting is flattened;
+//   * aborts carry a cause code the retry policy can inspect.
+//
+// Aborts are delivered as a C++ `HtmAbort` exception thrown from the access
+// that detects the doom. The throw and the catch are always on the same
+// fiber stack, so unwinding never crosses a context switch.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "mem/memmodel.h"
+#include "sim/config.h"
+#include "sim/rng.h"
+#include "sim/sched.h"
+
+namespace rtle::htm {
+
+enum class AbortCause : std::uint8_t {
+  kNone = 0,
+  kConflict,     ///< data conflict with another transaction or plain access
+  kCapacity,     ///< read or write set overflowed the hardware limit
+  kExplicit,     ///< self-abort (xabort), e.g. RW-TLE's write barrier
+  kLockBusy,     ///< self-abort because the subscribed lock was held
+  kUnsupported,  ///< HTM-unfriendly instruction (paper §6.3: divide by zero)
+  kSpurious,     ///< interrupt/TLB-class event
+};
+
+const char* to_string(AbortCause c);
+
+/// Thrown from transactional accesses / commit when the transaction dies.
+struct HtmAbort {
+  AbortCause cause;
+};
+
+/// Per-thread transaction descriptor. At most one live transaction per
+/// simulated thread; ids index a 64-bit conflict mask, so a run supports up
+/// to 64 simultaneously transactional threads (the paper tops out at 36).
+class Tx {
+ public:
+  explicit Tx(std::uint32_t id = 0) : id_(id) {}
+  std::uint32_t id() const { return id_; }
+  void set_id(std::uint32_t id) { id_ = id; }
+  bool live() const { return live_; }
+  bool doomed() const { return doomed_; }
+
+ private:
+  friend class HtmDomain;
+  struct Undo {
+    std::uint64_t* addr;
+    std::uint64_t old_value;
+  };
+
+  std::uint32_t id_;
+  bool live_ = false;
+  bool doomed_ = false;
+  AbortCause doom_cause_ = AbortCause::kNone;
+  std::uint32_t depth_ = 0;
+  std::uint64_t accesses_ = 0;
+  std::vector<mem::LineId> rlines_;
+  std::vector<mem::LineId> wlines_;
+  std::vector<Undo> undo_;
+};
+
+class HtmDomain {
+ public:
+  HtmDomain(const sim::HtmParams& params, mem::MemModel* mem,
+            sim::Scheduler* sched)
+      : params_(params), mem_(mem), sched_(sched), rng_(0xabcdef12345678ULL) {
+    slots_.fill(nullptr);
+  }
+
+  /// Start (or flatten-nest) a transaction. Charges htm_begin cycles.
+  void begin(Tx& tx);
+
+  /// Commit. Charges htm_commit on success; throws HtmAbort if the
+  /// transaction was doomed in the meantime.
+  void commit(Tx& tx);
+
+  /// Explicit self-abort with the given cause (xabort). Rolls back, charges
+  /// the abort penalty and throws.
+  [[noreturn]] void abort_self(Tx& tx, AbortCause cause);
+
+  /// Transactional load/store of an aligned 8-byte word. Charges memory
+  /// cost, resolves conflicts (requester wins), tracks the footprint.
+  std::uint64_t tx_load(Tx& tx, const std::uint64_t* addr);
+  void tx_store(Tx& tx, std::uint64_t* addr, std::uint64_t value);
+
+  /// Fused final store + commit: models a store immediately followed by
+  /// xend, with no vulnerability window between them (all cycle cost is
+  /// charged up front; the store and the commit then happen atomically).
+  /// RHNOrec's commit-time timestamp bump depends on this narrow window —
+  /// with a naive store-then-commit, every software reader polling the
+  /// timestamp would doom the committing transaction. Throws HtmAbort if
+  /// the transaction was already doomed.
+  void tx_store_and_commit(Tx& tx, std::uint64_t* addr, std::uint64_t value);
+
+  /// Conflict hooks for plain (non-transactional) accesses: doom every live
+  /// transaction whose footprint intersects the accessed line. `self` is the
+  /// id of the accessing thread's own Tx (excluded from dooming) or kNoSelf.
+  static constexpr std::uint32_t kNoSelf = 64;
+  void observe_plain_load(std::uint32_t self, const void* addr);
+  void observe_plain_store(std::uint32_t self, const void* addr);
+
+  std::uint32_t live_count() const { return live_count_; }
+
+  /// Aggregate abort counts by cause since the last reset (for statistics).
+  const std::array<std::uint64_t, 7>& abort_counts() const { return aborts_; }
+  void reset_counters() { aborts_.fill(0); }
+
+ private:
+  struct Watch {
+    std::uint64_t readers = 0;
+    std::uint64_t writers = 0;
+  };
+
+  static std::uint64_t bit(std::uint32_t id) { return 1ULL << id; }
+
+  void doom_mask(std::uint64_t mask, AbortCause cause);
+  void rollback(Tx& tx);
+  void release_footprint(Tx& tx);
+  void finish_abort(Tx& tx);  // bookkeeping common to all abort deliveries
+  void maybe_spurious(Tx& tx);
+
+  sim::HtmParams params_;
+  mem::MemModel* mem_;
+  sim::Scheduler* sched_;
+  sim::Rng rng_;
+  util::FlatHash<Watch> watch_{1 << 14};
+  std::array<Tx*, 64> slots_;
+  std::uint32_t live_count_ = 0;
+  std::array<std::uint64_t, 7> aborts_{};
+};
+
+}  // namespace rtle::htm

@@ -1,0 +1,68 @@
+// Simulated memory system: a per-cache-line ownership table implementing a
+// two-state (exclusive / shared) MESI abstraction good enough to price
+// coherence traffic.
+//
+// This is what makes contention effects *emerge* rather than be scripted:
+// e.g. RHNOrec's global timestamp line ping-pongs between cores and each
+// transfer costs `remote_miss` cycles, which is exactly the §6.2.2 story.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/config.h"
+#include "util/flat_hash.h"
+
+namespace rtle::mem {
+
+using LineId = std::uint64_t;
+
+constexpr unsigned kLineShift = 6;  // 64-byte cache lines
+
+inline LineId line_of(const void* p) {
+  return reinterpret_cast<std::uintptr_t>(p) >> kLineShift;
+}
+
+class MemModel {
+ public:
+  explicit MemModel(const sim::CostModel& cost) : cost_(cost) {}
+
+  /// Cycle cost of a load by `core`; downgrades a remotely-exclusive line to
+  /// shared.
+  std::uint64_t cost_load(std::uint32_t core, LineId line) {
+    LineState& s = table_[line];
+    if (s.valid && s.exclusive && s.owner != core) {
+      s.exclusive = false;  // writer's copy downgraded M -> S
+      return cost_.load_hit + cost_.remote_miss;
+    }
+    if (!s.valid) {
+      s = LineState{static_cast<std::uint8_t>(core), false, true};
+    }
+    return cost_.load_hit;
+  }
+
+  /// Cycle cost of a store by `core`; acquires the line exclusively (RFO)
+  /// unless this core already holds it in M state.
+  std::uint64_t cost_store(std::uint32_t core, LineId line) {
+    LineState& s = table_[line];
+    if (s.valid && s.exclusive && s.owner == core) return cost_.store_hit;
+    const bool upgrade = s.valid;  // someone (possibly we, shared) has it
+    s = LineState{static_cast<std::uint8_t>(core), true, true};
+    return cost_.store_hit + (upgrade ? cost_.remote_miss : 0);
+  }
+
+  void reset() { table_.clear(); }
+
+  const sim::CostModel& cost() const { return cost_; }
+
+ private:
+  struct LineState {
+    std::uint8_t owner = 0;
+    bool exclusive = false;
+    bool valid = false;
+  };
+
+  sim::CostModel cost_;
+  util::FlatHash<LineState> table_{1 << 16};
+};
+
+}  // namespace rtle::mem

@@ -1,0 +1,56 @@
+#include "mem/shim.h"
+
+#include "sim/env.h"
+
+namespace rtle::mem {
+
+std::uint64_t plain_load(const std::uint64_t* addr, std::uint32_t self_tx) {
+  SimScope& s = *current_sim();
+  s.sched.advance(s.mem.cost_load(s.sched.current_core(), line_of(addr)));
+  s.htm.observe_plain_load(self_tx, addr);
+  return *addr;
+}
+
+void plain_store(std::uint64_t* addr, std::uint64_t value,
+                 std::uint32_t self_tx) {
+  SimScope& s = *current_sim();
+  s.sched.advance(s.mem.cost_store(s.sched.current_core(), line_of(addr)));
+  s.htm.observe_plain_store(self_tx, addr);
+  *addr = value;
+}
+
+bool plain_cas(std::uint64_t* addr, std::uint64_t expect,
+               std::uint64_t desired, std::uint32_t self_tx) {
+  SimScope& s = *current_sim();
+  s.sched.advance(s.mem.cost_store(s.sched.current_core(), line_of(addr)) +
+                  s.mem.cost().cas);
+  s.htm.observe_plain_store(self_tx, addr);
+  if (*addr != expect) return false;
+  *addr = desired;
+  return true;
+}
+
+std::uint64_t plain_faa(std::uint64_t* addr, std::uint64_t delta,
+                        std::uint32_t self_tx) {
+  SimScope& s = *current_sim();
+  s.sched.advance(s.mem.cost_store(s.sched.current_core(), line_of(addr)) +
+                  s.mem.cost().cas);
+  s.htm.observe_plain_store(self_tx, addr);
+  const std::uint64_t old = *addr;
+  *addr = old + delta;
+  return old;
+}
+
+void fence() {
+  SimScope& s = *current_sim();
+  s.sched.advance(s.mem.cost().fence);
+}
+
+void compute(std::uint64_t cycles) { cur_sched().advance(cycles); }
+
+void barrier_call_overhead() {
+  SimScope& s = *current_sim();
+  s.sched.advance(s.mem.cost().barrier_call);
+}
+
+}  // namespace rtle::mem

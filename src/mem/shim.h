@@ -1,0 +1,49 @@
+// The plain (non-transactional) shared-memory access shim.
+//
+// Every access to shared data in the workloads flows either through the HTM
+// domain (transactional paths) or through these functions (uninstrumented /
+// lock-holder / STM paths). The shim
+//   1. charges the memory-system cycle cost (which may deschedule the
+//      calling fiber — this is where interleaving happens), and then
+//   2. performs the access atomically with respect to the simulation,
+//      dooming any live hardware transaction whose footprint it hits.
+//
+// Step order matters: a fiber that is descheduled between deciding to CAS
+// and performing it can lose the race, exactly as on real hardware.
+#pragma once
+
+#include <cstdint>
+
+#include "htm/htm.h"
+
+namespace rtle::mem {
+
+/// Plain 8-byte load of shared memory.
+std::uint64_t plain_load(const std::uint64_t* addr,
+                         std::uint32_t self_tx = htm::HtmDomain::kNoSelf);
+
+/// Plain 8-byte store to shared memory.
+void plain_store(std::uint64_t* addr, std::uint64_t value,
+                 std::uint32_t self_tx = htm::HtmDomain::kNoSelf);
+
+/// Compare-and-swap; returns true on success. Charges store + CAS cost
+/// regardless of outcome (the line is acquired exclusively either way).
+bool plain_cas(std::uint64_t* addr, std::uint64_t expect,
+               std::uint64_t desired,
+               std::uint32_t self_tx = htm::HtmDomain::kNoSelf);
+
+/// Atomic fetch-and-add; returns the previous value.
+std::uint64_t plain_faa(std::uint64_t* addr, std::uint64_t delta,
+                        std::uint32_t self_tx = htm::HtmDomain::kNoSelf);
+
+/// Store-load memory fence (mfence-class); charges cost only.
+void fence();
+
+/// Pure compute: charges cycles without touching memory.
+void compute(std::uint64_t cycles);
+
+/// Charge the cost of calling an un-inlined instrumentation barrier
+/// function (the paper's libitm overhead, §6.2.1).
+void barrier_call_overhead();
+
+}  // namespace rtle::mem

@@ -1,0 +1,16 @@
+#include "runtime/context.h"
+
+#include "sim/env.h"
+
+namespace rtle::runtime {
+
+htm::HtmDomain& TxContext::cur_htm_ref() { return cur_htm(); }
+
+void TxContext::htm_unfriendly() {
+  mem::compute(30);  // the faulting instruction itself
+  if (on_htm()) {
+    cur_htm().abort_self(th_->tx, htm::AbortCause::kUnsupported);
+  }
+}
+
+}  // namespace rtle::runtime

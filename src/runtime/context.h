@@ -1,0 +1,144 @@
+// TxContext: the dual-path access interface critical sections are written
+// against — our stand-in for GCC's -fgnu-tm code duplication plus the
+// libitm runtime dispatch.
+//
+// A critical-section body has the shape `void cs(TxContext& ctx)` and
+// performs every shared access through ctx.load/ctx.store. The
+// synchronization method decides, per attempt, which path the body runs on:
+//
+//   kRaw      — uninstrumented, non-speculative (plain lock holder, or the
+//               body of an uninstrumented HTM transaction in methods that
+//               track the transaction themselves)
+//   kHtmFast  — uninstrumented inside a hardware transaction (TLE fast path)
+//   kHtmSlow  — instrumented inside a hardware transaction (refined TLE
+//               slow path): accesses dispatch to the method's barriers
+//   kLockSlow — instrumented under the lock (refined TLE pessimistic path)
+//   kStm      — instrumented software transaction (NOrec / RHNOrec)
+//
+// Instrumented accesses additionally charge the cost of an un-inlined
+// barrier function call, reproducing the overhead the paper repeatedly
+// attributes to the lack of barrier inlining in GCC (§6.2.1, §6.4.2).
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <type_traits>
+
+#include "htm/htm.h"
+#include "mem/shim.h"
+#include "runtime/stats.h"
+#include "sim/rng.h"
+
+namespace rtle::runtime {
+
+enum class Path : std::uint8_t { kRaw, kHtmFast, kHtmSlow, kLockSlow, kStm };
+
+class TxContext;
+
+/// Per-method instrumentation barriers for the slow (instrumented) paths.
+/// The virtual dispatch here deliberately mirrors libitm's indirect barrier
+/// calls; its real-time cost is irrelevant (simulated cost is charged
+/// explicitly via mem::barrier_call_overhead()).
+class SlowBarriers {
+ public:
+  virtual ~SlowBarriers() = default;
+  virtual std::uint64_t read(TxContext& ctx, const std::uint64_t* addr) = 0;
+  virtual void write(TxContext& ctx, std::uint64_t* addr,
+                     std::uint64_t value) = 0;
+};
+
+/// Per-simulated-thread execution state: the thread's HTM transaction
+/// descriptor, deterministic RNG, and a scratch slot for method-private
+/// per-thread data (read/write logs, epoch snapshots, ...).
+struct ThreadCtx {
+  ThreadCtx(std::uint32_t tid, std::uint64_t seed)
+      : tid(tid), rng(seed), tx(tid) {}
+
+  std::uint32_t tid;
+  sim::Rng rng;
+  htm::Tx tx;
+  void* scratch = nullptr;
+
+  // Adaptive serial-mode state (libitm-style): consecutive critical-section
+  // executions that ended in a persistent (no-retry-hint) abort, and how
+  // many upcoming executions should skip speculation entirely.
+  std::uint32_t persistent_streak = 0;
+  std::uint32_t serial_ops_left = 0;
+};
+
+class TxContext {
+ public:
+  TxContext(Path path, ThreadCtx& th, SlowBarriers* barriers = nullptr)
+      : path_(path), th_(&th), barriers_(barriers) {}
+
+  Path path() const { return path_; }
+  ThreadCtx& thread() { return *th_; }
+  bool on_htm() const {
+    return path_ == Path::kHtmFast || path_ == Path::kHtmSlow;
+  }
+
+  /// 8-byte aligned word load/store with full dispatch.
+  std::uint64_t load_word(const std::uint64_t* addr) {
+    switch (path_) {
+      case Path::kRaw:
+        return mem::plain_load(addr, th_->tx.live() ? th_->tx.id()
+                                                    : htm::HtmDomain::kNoSelf);
+      case Path::kHtmFast:
+        return cur_htm_ref().tx_load(th_->tx, addr);
+      default:
+        mem::barrier_call_overhead();
+        return barriers_->read(*this, addr);
+    }
+  }
+
+  void store_word(std::uint64_t* addr, std::uint64_t value) {
+    switch (path_) {
+      case Path::kRaw:
+        mem::plain_store(addr, value,
+                         th_->tx.live() ? th_->tx.id()
+                                        : htm::HtmDomain::kNoSelf);
+        return;
+      case Path::kHtmFast:
+        cur_htm_ref().tx_store(th_->tx, addr, value);
+        return;
+      default:
+        mem::barrier_call_overhead();
+        barriers_->write(*this, addr, value);
+        return;
+    }
+  }
+
+  /// Typed accessors for 8-byte trivially copyable values (pointers,
+  /// uint64_t, int64_t). All shared fields in the workloads are 8 bytes,
+  /// which keeps conflict detection exact.
+  template <typename T>
+  T load(const T* p) {
+    static_assert(sizeof(T) == 8 && std::is_trivially_copyable_v<T>);
+    return std::bit_cast<T>(
+        load_word(reinterpret_cast<const std::uint64_t*>(p)));
+  }
+
+  template <typename T>
+  void store(T* p, T v) {
+    static_assert(sizeof(T) == 8 && std::is_trivially_copyable_v<T>);
+    store_word(reinterpret_cast<std::uint64_t*>(p),
+               std::bit_cast<std::uint64_t>(v));
+  }
+
+  /// Pure computation: charges cycles, touches no shared memory.
+  void compute(std::uint64_t cycles) { mem::compute(cycles); }
+
+  /// An instruction a best-effort HTM cannot execute (the paper triggers
+  /// this with a division by zero, §6.3). Aborts any enclosing hardware
+  /// transaction; a no-op (beyond its cycle cost) elsewhere.
+  void htm_unfriendly();
+
+ private:
+  htm::HtmDomain& cur_htm_ref();
+
+  Path path_;
+  ThreadCtx* th_;
+  SlowBarriers* barriers_;
+};
+
+}  // namespace rtle::runtime

@@ -1,0 +1,103 @@
+#include "runtime/engine.h"
+
+#include <algorithm>
+
+#include "mem/shim.h"
+#include "sim/env.h"
+
+namespace rtle::runtime {
+
+void ElidingMethod::execute(ThreadCtx& th, CsBody cs) {
+  int trials = 0;
+  // Adaptive serial mode (as in GCC's libitm): a thread whose critical
+  // sections keep dying with persistent aborts (unsupported instruction,
+  // capacity) stops burning a doomed speculative attempt on every execution
+  // and goes straight to the lock for a while, re-probing periodically.
+  bool persistent_this_op = false;
+  if (th.serial_ops_left > 0) {
+    th.serial_ops_left -= 1;
+    trials = max_trials_;
+  }
+  for (;;) {
+    // Probe the lock before speculating (test-and-test-and-set discipline).
+    if (lock_.probe()) {
+      bool attempted = false;
+      try {
+        attempted = slow_htm_attempt(th, cs);
+      } catch (const htm::HtmAbort& e) {
+        stats_.note_abort(/*slow=*/true, e.cause);
+        continue;  // free retry: re-probe, maybe the lock is gone
+      }
+      if (attempted) {
+        stats_.ops += 1;
+        stats_.commit_slow_htm += 1;
+        if (lock_.held_meta()) stats_.slow_htm_while_locked += 1;
+        th.persistent_streak = 0;
+        return;
+      }
+      // Plain TLE (or instrumentation disabled): wait for the lock holder.
+      lock_.spin_while_held();
+      continue;
+    }
+
+    if (trials >= max_trials_) {
+      lock_.acquire();
+      lock_cs(th, cs);
+      lock_.release();
+      stats_.ops += 1;
+      stats_.commit_lock += 1;
+      if (persistent_this_op) {
+        if (++th.persistent_streak >= 2) th.serial_ops_left = 32;
+      } else {
+        th.persistent_streak = 0;
+      }
+      return;
+    }
+
+    // Fast path: uninstrumented HTM with eager lock subscription.
+    auto& htm = cur_htm();
+    try {
+      htm.begin(th.tx);
+      if (htm.tx_load(th.tx, lock_.word()) != 0) {
+        htm.abort_self(th.tx, htm::AbortCause::kLockBusy);
+      }
+      TxContext ctx(Path::kHtmFast, th);
+      cs(ctx);
+      htm.commit(th.tx);
+      stats_.ops += 1;
+      stats_.commit_fast_htm += 1;
+      th.persistent_streak = 0;
+      return;
+    } catch (const htm::HtmAbort& e) {
+      stats_.note_abort(/*slow=*/false, e.cause);
+      ++trials;
+      // RTM-faithful retry policy: an abort without the hardware's "may
+      // succeed on retry" hint — an unsupported instruction or a capacity
+      // overflow — is persistent, so libitm-style implementations stop
+      // speculating and take the lock immediately.
+      if (e.cause == htm::AbortCause::kUnsupported ||
+          e.cause == htm::AbortCause::kCapacity) {
+        trials = max_trials_;
+        persistent_this_op = true;
+      }
+      // Plain TLE spins until the lock is free after every failure; refined
+      // TLE instead loops back to the probe, where a held lock routes the
+      // thread onto the instrumented slow path (Figure 1).
+      if (!has_slow_path()) lock_.spin_while_held();
+      // Randomized, growing backoff: waiters released together would
+      // otherwise restart in lockstep and doom each other in waves.
+      mem::compute(th.rng.below(64ULL << std::min(trials, 4)) + 1);
+    }
+  }
+}
+
+void LockMethod::execute(ThreadCtx& th, CsBody cs) {
+  lock_.acquire();
+  TxContext ctx(Path::kRaw, th);
+  cs(ctx);
+  lock_.release();
+  stats_.ops += 1;
+  stats_.commit_lock += 1;
+}
+
+}  // namespace rtle::runtime

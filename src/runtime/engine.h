@@ -1,0 +1,70 @@
+// ElidingMethod: the Figure-1 state machine shared by TLE and both refined
+// TLE variants.
+//
+//   probe lock ──held──▶ slow path?  ──yes──▶ instrumented HTM attempt
+//        │                   └──no──▶ spin until free
+//      free
+//        │ (≥5 failed trials) ─▶ acquire lock ─▶ pessimistic path
+//        └─▶ uninstrumented HTM attempt with lock subscription
+//
+// Retry policy (§2, §6.2.1): a constant five trials on the fast path before
+// falling back to the lock, spinning until the lock is free after every
+// failure [Kleen'14]; slow-path failures are *not* held against the count —
+// the whole point of refined TLE is free optimistic attempts while the lock
+// is held.
+#pragma once
+
+#include "runtime/method.h"
+#include "sync/lock.h"
+
+namespace rtle::runtime {
+
+class ElidingMethod : public SyncMethod {
+ public:
+  static constexpr int kMaxTrials = 5;
+
+  ElidingMethod() : lock_(&stats_) {}
+
+  void execute(ThreadCtx& th, CsBody cs) final;
+
+  /// The benchmark-visible lock (examples subscribe to it in custom code).
+  sync::TTSLock& lock() { return lock_; }
+
+  /// Fast-path attempts before falling back to the lock. The paper fixes
+  /// this at 5 (§2) and calls the how-many-attempts question orthogonal;
+  /// 1 approximates Intel HLE's hardware begin-fail-acquire behavior.
+  void set_max_trials(int n) { max_trials_ = n; }
+  int max_trials() const { return max_trials_; }
+
+ protected:
+  /// Whether this method can speculate while the lock is held. When true,
+  /// a fast-path failure loops straight back to the probe (Figure 1) so the
+  /// thread lands on the slow path; when false (plain TLE) it spins until
+  /// the lock is free [Kleen'14].
+  virtual bool has_slow_path() const { return false; }
+
+  /// One instrumented-HTM attempt while the lock is (probably) held.
+  /// Returns true on commit; throws htm::HtmAbort on failure; returns false
+  /// if the method declined to attempt (plain TLE: wait instead).
+  virtual bool slow_htm_attempt(ThreadCtx& th, CsBody cs) { return false; }
+
+  /// Pessimistic execution with the lock held (raw for TLE, instrumented
+  /// for refined TLE). The engine acquires/releases the lock around it.
+  virtual void lock_cs(ThreadCtx& th, CsBody cs) = 0;
+
+  sync::TTSLock lock_;
+  int max_trials_ = kMaxTrials;
+};
+
+/// No elision: plain lock acquisition for every critical section — the
+/// paper's "Lock" baseline and normalization denominator.
+class LockMethod final : public SyncMethod {
+ public:
+  std::string name() const override { return "Lock"; }
+  void execute(ThreadCtx& th, CsBody cs) override;
+
+ private:
+  sync::TTSLock lock_{&stats_};
+};
+
+}  // namespace rtle::runtime

@@ -1,0 +1,31 @@
+#include "runtime/libitm_compat.h"
+
+#include "sim/env.h"
+
+namespace rtle::runtime::itm {
+
+void abortTransaction(TxContext& ctx) {
+  if (ctx.on_htm()) {
+    cur_htm().abort_self(ctx.thread().tx, htm::AbortCause::kExplicit);
+  }
+  // A pessimistic (lock/serial) execution cannot abort — mirroring libitm,
+  // where an irrevocable transaction aborting is a program error.
+  std::abort();
+}
+
+How inTransaction(const TxContext& ctx) {
+  switch (ctx.path()) {
+    case Path::kRaw:
+      return How::kSerial;
+    case Path::kHtmFast:
+      return How::kUninstrumented;
+    case Path::kHtmSlow:
+    case Path::kStm:
+      return How::kInstrumented;
+    case Path::kLockSlow:
+      return How::kSerial;
+  }
+  return How::kNone;
+}
+
+}  // namespace rtle::runtime::itm

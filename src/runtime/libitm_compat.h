@@ -1,0 +1,57 @@
+// libitm-ABI façade.
+//
+// The paper implements RW-TLE/FG-TLE "in a library that conforms to the
+// libitm ABI" (§6.2), letting GCC's -fgnu-tm compiled code drive them. This
+// repository's runtime replaces the compiler half with explicit TxContext
+// calls; this header documents — and provides thin, testable wrappers for —
+// the correspondence, so a reader coming from libitm can map one onto the
+// other:
+//
+//   libitm entry point            rtle equivalent
+//   ---------------------------   ------------------------------------------
+//   _ITM_beginTransaction         SyncMethod::execute(th, cs) entry
+//                                 (path selection + retry policy, Figure 1)
+//   _ITM_RU8 / _ITM_RaRU8 ...     TxContext::load / load_word
+//   _ITM_WU8 / _ITM_WaWU8 ...     TxContext::store / store_word
+//   _ITM_commitTransaction        return from the critical-section body
+//   _ITM_abortTransaction         htm::HtmDomain::abort_self (explicit)
+//   transaction_pure calls        plain mem::* shim accesses / meta-level
+//                                 thread-local work inside the body
+//
+// The wrappers below carry the exact libitm names for greppability. They
+// are header-only conveniences over a TxContext that the enclosing method
+// already selected; the begin/commit pair cannot be expressed call-wise
+// (control must wrap the body to allow re-execution), which is why the real
+// API is execute(body) rather than begin()/commit().
+#pragma once
+
+#include "runtime/context.h"
+
+namespace rtle::runtime::itm {
+
+/// _ITM_RU8: transactional 8-byte read.
+inline std::uint64_t RU8(TxContext& ctx, const std::uint64_t* addr) {
+  return ctx.load_word(addr);
+}
+
+/// _ITM_WU8: transactional 8-byte write.
+inline void WU8(TxContext& ctx, std::uint64_t* addr, std::uint64_t value) {
+  ctx.store_word(addr, value);
+}
+
+/// _ITM_RfWU8: read-for-write (same as RU8 here; FG-TLE's write barrier
+/// already checks both orec arrays).
+inline std::uint64_t RfWU8(TxContext& ctx, const std::uint64_t* addr) {
+  return ctx.load_word(addr);
+}
+
+/// _ITM_abortTransaction with a user abort code: only meaningful on a
+/// hardware path; a software/lock path cannot abort (the refined-TLE
+/// guarantee the paper exploits for transaction_pure annotations, §6.4.1).
+[[noreturn]] void abortTransaction(TxContext& ctx);
+
+/// _ITM_inTransaction: which kind of path am I on?
+enum class How { kNone, kUninstrumented, kInstrumented, kSerial };
+How inTransaction(const TxContext& ctx);
+
+}  // namespace rtle::runtime::itm

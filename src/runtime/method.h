@@ -1,0 +1,52 @@
+// SyncMethod: the abstract synchronization method a critical section is
+// executed under. Implementations: Lock, TLE, RW-TLE, FG-TLE(N),
+// Adaptive FG-TLE, NOrec, RHNOrec.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runtime/context.h"
+#include "runtime/stats.h"
+#include "util/fn_ref.h"
+
+namespace rtle::runtime {
+
+using CsBody = util::FnRef<void(TxContext&)>;
+
+class SyncMethod {
+ public:
+  virtual ~SyncMethod() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Prepare per-thread state for `nthreads` worker threads (tids
+  /// 0..nthreads-1). Called once before the workers start.
+  virtual void prepare(std::uint32_t nthreads) {}
+
+  /// Execute one critical section to completion under this method's
+  /// concurrency control. Retries internally; returns only on success.
+  /// The body may run multiple times (failed speculation) — it must be
+  /// idempotent in its effect, i.e. perform externally visible work only
+  /// through the TxContext.
+  virtual void execute(ThreadCtx& th, CsBody cs) = 0;
+
+  /// Run-wide statistics. Updated by all simulated threads (race-free: the
+  /// simulation is single-OS-threaded and counters are meta-level).
+  MethodStats& stats() { return stats_; }
+  const MethodStats& stats() const { return stats_; }
+
+ protected:
+  MethodStats stats_;
+};
+
+/// A named way to construct a method — the unit benchmarks sweep over.
+struct MethodSpec {
+  std::string name;
+  std::function<std::unique_ptr<SyncMethod>()> make;
+};
+
+}  // namespace rtle::runtime

@@ -1,0 +1,27 @@
+#include "runtime/stats.h"
+
+#include <cstdio>
+
+namespace rtle::runtime {
+
+std::string MethodStats::summary() const {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "ops=%llu fast=%llu slow=%llu lock=%llu stm(ro/htm/lock)=%llu/%llu/%llu "
+      "aborts(fast/slow)=%llu/%llu lockacq=%llu validations=%llu",
+      static_cast<unsigned long long>(ops),
+      static_cast<unsigned long long>(commit_fast_htm),
+      static_cast<unsigned long long>(commit_slow_htm),
+      static_cast<unsigned long long>(commit_lock),
+      static_cast<unsigned long long>(commit_stm_ro),
+      static_cast<unsigned long long>(commit_stm_htm),
+      static_cast<unsigned long long>(commit_stm_lock),
+      static_cast<unsigned long long>(aborts_fast),
+      static_cast<unsigned long long>(aborts_slow),
+      static_cast<unsigned long long>(lock_acquisitions),
+      static_cast<unsigned long long>(validations));
+  return buf;
+}
+
+}  // namespace rtle::runtime

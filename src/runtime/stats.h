@@ -1,0 +1,63 @@
+// Execution statistics collected per synchronization method per run.
+//
+// These are meta-level counters: updating them costs no simulated cycles.
+// They feed every figure of §6 that is not a raw throughput plot — commit
+// path distributions (Fig 9), slow-path throughput (Figs 6, 8), time under
+// lock (Fig 7), validation frequency (Fig 10) and lock-fallback rates
+// (§6.4.2).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "htm/htm.h"
+
+namespace rtle::runtime {
+
+struct MethodStats {
+  // Completed critical sections by commit path.
+  std::uint64_t ops = 0;               ///< total completed critical sections
+  std::uint64_t commit_fast_htm = 0;   ///< uninstrumented HTM path
+  std::uint64_t commit_slow_htm = 0;   ///< instrumented HTM path (refined TLE)
+  std::uint64_t commit_lock = 0;       ///< executed under the lock
+  std::uint64_t commit_stm_ro = 0;     ///< STM read-only commit
+  std::uint64_t commit_stm_htm = 0;    ///< STM commit via small HW txn
+  std::uint64_t commit_stm_lock = 0;   ///< STM commit via global commit lock
+  std::uint64_t rhn_htm_fast = 0;      ///< RHNOrec HTM commit, no ts bump
+  std::uint64_t rhn_htm_slow = 0;      ///< RHNOrec HTM commit with ts bump
+
+  /// Slow-path HTM commits that completed while the lock was physically held
+  /// (numerator of Fig 6's SlowHTM throughput).
+  std::uint64_t slow_htm_while_locked = 0;
+
+  // Abort accounting.
+  std::uint64_t aborts_fast = 0;
+  std::uint64_t aborts_slow = 0;
+  std::array<std::uint64_t, 7> abort_cause{};
+
+  // Lock accounting (Fig 6 "Lock" pane, Fig 7).
+  std::uint64_t lock_acquisitions = 0;
+  std::uint64_t cycles_under_lock = 0;
+
+  // STM accounting (Figs 8–10).
+  std::uint64_t stm_begins = 0;
+  std::uint64_t validations = 0;        ///< value-based read-set validations
+  std::uint64_t cycles_sw_running = 0;  ///< wall time with ≥1 SW txn live
+
+  void note_abort(bool slow, htm::AbortCause c) {
+    (slow ? aborts_slow : aborts_fast) += 1;
+    abort_cause[static_cast<std::size_t>(c)] += 1;
+  }
+
+  std::uint64_t total_aborts() const { return aborts_fast + aborts_slow; }
+
+  /// Fraction of completed operations that fell back to the lock (§6.4.2).
+  double lock_fallback_rate() const {
+    return ops == 0 ? 0.0 : static_cast<double>(commit_lock) / ops;
+  }
+
+  std::string summary() const;
+};
+
+}  // namespace rtle::runtime

@@ -1,0 +1,91 @@
+// Machine model configuration: core/SMT topology, memory-system cost model
+// and emulated-HTM parameters.
+//
+// Two presets mirror the paper's testbeds (§6.1): a Haswell Core i7-4770
+// (4 cores × 2 SMT @ 3.4 GHz) and one socket of a Xeon E5-2699 v3
+// (18 cores × 2 SMT @ 2.3 GHz). All costs are in simulated CPU cycles.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace rtle::sim {
+
+/// Cycle costs charged by the memory shim, lock, and HTM machinery.
+struct CostModel {
+  // Memory system.
+  std::uint32_t load_hit = 2;       ///< load, line already local
+  std::uint32_t store_hit = 2;      ///< store, line exclusive locally
+  std::uint32_t remote_miss = 45;   ///< coherence transfer from another core
+  std::uint32_t cas = 20;           ///< atomic RMW on top of the store cost
+  std::uint32_t fence = 24;         ///< store-load (mfence-class) barrier
+
+  // Instrumentation (the paper's un-inlined libitm barrier call, §6.2.1).
+  std::uint32_t barrier_call = 12;
+
+  // Emulated HTM begin/commit/abort latencies (xbegin/xend-class).
+  std::uint32_t htm_begin = 44;
+  std::uint32_t htm_commit = 30;
+  std::uint32_t htm_abort = 100;
+
+  // Spin-wait iteration while the lock is busy.
+  std::uint32_t spin_iter = 12;
+  // Exponential backoff base / cap for the TTS lock.
+  std::uint32_t backoff_base = 32;
+  std::uint32_t backoff_cap = 4096;
+
+  // SMT: when both hyper-siblings of a core are active, each runs at
+  // num/den of full speed (cycle charges are multiplied by num/den).
+  std::uint32_t smt_penalty_num = 14;
+  std::uint32_t smt_penalty_den = 10;
+};
+
+/// Emulated best-effort HTM limits (Haswell-like defaults: write set bounded
+/// by L1 (32 KiB / 64 B = 512 lines), read set tracked further out).
+struct HtmParams {
+  std::uint32_t max_read_lines = 8192;
+  std::uint32_t max_write_lines = 512;
+  /// If non-zero, roughly one spurious abort per this many transactional
+  /// accesses (models interrupts, TLB shootdowns, cache-set associativity
+  /// evictions — the background failure rate every best-effort HTM has).
+  /// 0 disables.
+  std::uint64_t spurious_every = 2500;
+};
+
+struct MachineConfig {
+  std::string name;
+  std::uint32_t cores = 4;
+  std::uint32_t smt_per_core = 2;
+  double ghz = 3.4;  ///< converts simulated cycles to simulated time
+  CostModel cost;
+  HtmParams htm;
+
+  std::uint32_t max_threads() const { return cores * smt_per_core; }
+
+  /// Simulated cycles in one simulated millisecond.
+  std::uint64_t cycles_per_ms() const {
+    return static_cast<std::uint64_t>(ghz * 1e6);
+  }
+
+  static MachineConfig corei7() {
+    MachineConfig m;
+    m.name = "corei7";
+    m.cores = 4;
+    m.smt_per_core = 2;
+    m.ghz = 3.4;
+    return m;
+  }
+
+  static MachineConfig xeon() {
+    MachineConfig m;
+    m.name = "xeon";
+    m.cores = 18;
+    m.smt_per_core = 2;
+    m.ghz = 2.3;
+    // Bigger uncore: remote transfers cost a bit more than on the i7.
+    m.cost.remote_miss = 55;
+    return m;
+  }
+};
+
+}  // namespace rtle::sim

@@ -1,0 +1,36 @@
+#include "sim/env.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace rtle {
+
+namespace {
+SimScope* g_scope = nullptr;
+}
+
+SimScope::SimScope(const sim::MachineConfig& mc)
+    : sched(mc), mem(mc.cost), htm(mc.htm, &mem, &sched), prev_(g_scope) {
+  g_scope = this;
+  sim::set_current_scheduler(&sched);
+}
+
+SimScope::~SimScope() {
+  g_scope = prev_;
+  sim::set_current_scheduler(prev_ != nullptr ? &prev_->sched : nullptr);
+}
+
+SimScope* current_sim() { return g_scope; }
+
+sim::Scheduler& cur_sched() {
+  if (g_scope == nullptr) {
+    std::fprintf(stderr, "rtle: no SimScope installed\n");
+    std::abort();
+  }
+  return g_scope->sched;
+}
+
+mem::MemModel& cur_mem() { return current_sim()->mem; }
+htm::HtmDomain& cur_htm() { return current_sim()->htm; }
+
+}  // namespace rtle

@@ -1,0 +1,38 @@
+// SimScope: one complete simulated machine — scheduler + memory model +
+// HTM domain — installed as the ambient environment for the shim layer.
+//
+// Benchmarks and tests create a SimScope, spawn simulated threads on
+// `scope.sched`, and everything beneath (locks, barriers, transactions,
+// data-structure accesses) finds the machine through the ambient accessors.
+#pragma once
+
+#include "htm/htm.h"
+#include "mem/memmodel.h"
+#include "sim/config.h"
+#include "sim/sched.h"
+
+namespace rtle {
+
+class SimScope {
+ public:
+  explicit SimScope(const sim::MachineConfig& mc);
+  ~SimScope();
+
+  SimScope(const SimScope&) = delete;
+  SimScope& operator=(const SimScope&) = delete;
+
+  sim::Scheduler sched;
+  mem::MemModel mem;
+  htm::HtmDomain htm;
+
+ private:
+  SimScope* prev_;  // scopes nest (outer restored on destruction)
+};
+
+/// Ambient accessors (valid while a SimScope is alive).
+SimScope* current_sim();
+sim::Scheduler& cur_sched();
+mem::MemModel& cur_mem();
+htm::HtmDomain& cur_htm();
+
+}  // namespace rtle

@@ -1,0 +1,86 @@
+#include "sim/fiber.h"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace rtle::sim {
+namespace {
+
+// Fiber being switched into for the very first time. The whole simulation
+// runs on one OS thread, so a plain global is race-free.
+Fiber* g_bootstrapping = nullptr;
+
+std::size_t page_size() {
+  static const std::size_t ps = static_cast<std::size_t>(sysconf(_SC_PAGESIZE));
+  return ps;
+}
+
+[[noreturn]] void die(const char* msg) {
+  std::fprintf(stderr, "rtle fiber: %s\n", msg);
+  std::abort();
+}
+
+}  // namespace
+
+// Reached by `ret` inside rtle_ctx_switch the first time a fiber is switched
+// into: the initial stack is seeded with this function's address in the
+// return-address slot.
+void Fiber::main_trampoline() {
+  Fiber* f = g_bootstrapping;
+  g_bootstrapping = nullptr;
+  f->run_body_and_exit();
+}
+
+void Fiber::run_body_and_exit() {
+  try {
+    body_();
+  } catch (...) {
+    die("uncaught exception escaped a fiber body");
+  }
+  finished_ = true;
+  for (;;) {
+    if (return_to == nullptr) die("finished fiber has no return context");
+    // Switch away for good; if somebody erroneously resumes a dead fiber we
+    // just bounce straight back out.
+    switch_to(*return_to);
+  }
+}
+
+void Fiber::switch_from(Context& from) {
+  if (!started_) {
+    started_ = true;
+    g_bootstrapping = this;
+  }
+  rtle_ctx_switch(&from.sp, ctx_.sp);
+}
+
+Fiber::Fiber(std::function<void()> body, std::size_t stack_bytes)
+    : body_(std::move(body)) {
+  const std::size_t ps = page_size();
+  const std::size_t usable = (stack_bytes + ps - 1) / ps * ps;
+  map_bytes_ = usable + ps;  // +1 guard page at the bottom
+  void* base = mmap(nullptr, map_bytes_, PROT_READ | PROT_WRITE,
+                    MAP_PRIVATE | MAP_ANONYMOUS | MAP_STACK, -1, 0);
+  if (base == MAP_FAILED) die("mmap for fiber stack failed");
+  if (mprotect(base, ps, PROT_NONE) != 0) die("mprotect guard page failed");
+  stack_base_ = base;
+
+  // Seed the initial stack so that the first rtle_ctx_switch into this fiber
+  // pops six zeroed callee-saved registers and `ret`s into main_trampoline
+  // with the ABI-required alignment (rsp ≡ 8 mod 16 at function entry).
+  auto* top =
+      reinterpret_cast<std::uint64_t*>(static_cast<char*>(base) + map_bytes_);
+  top[-1] = 0;  // fake return address for main_trampoline (never used)
+  top[-2] = reinterpret_cast<std::uint64_t>(&Fiber::main_trampoline);
+  for (int i = 3; i <= 8; ++i) top[-i] = 0;  // rbp, rbx, r12..r15
+  ctx_.sp = &top[-8];
+}
+
+Fiber::~Fiber() {
+  if (stack_base_ != nullptr) munmap(stack_base_, map_bytes_);
+}
+
+}  // namespace rtle::sim

@@ -1,0 +1,69 @@
+// Stackful user-level fibers — the execution substrate for simulated threads.
+//
+// Each simulated thread of the paper's benchmarks runs on one fiber; the
+// deterministic scheduler (sched.h) interleaves fibers at shared-memory-access
+// granularity, so 36 "hardware threads" are simulated faithfully on a single
+// OS thread and a single CPU core.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace rtle::sim {
+
+/// Saved execution context of a suspended fiber: just its stack pointer.
+/// The callee-saved registers live on the fiber's own stack (ctx_switch.S).
+struct Context {
+  void* sp = nullptr;
+};
+
+extern "C" void rtle_ctx_switch(void** save_sp, void* load_sp);
+
+/// A stackful fiber with an mmap'ed, guard-paged stack.
+///
+/// Fibers are created suspended; the scheduler switches into them via
+/// `switch_from`. When the body returns, the fiber marks itself finished and
+/// switches back to the context pointed to by `return_to`.
+class Fiber {
+ public:
+  /// `stack_bytes` is rounded up to whole pages; one guard page is placed
+  /// below the stack so overflow faults instead of corrupting a neighbour.
+  explicit Fiber(std::function<void()> body,
+                 std::size_t stack_bytes = 256 * 1024);
+  ~Fiber();
+
+  Fiber(const Fiber&) = delete;
+  Fiber& operator=(const Fiber&) = delete;
+
+  bool finished() const { return finished_; }
+
+  /// Switch from the caller (whose context is saved into `from`) into this
+  /// fiber. Returns when some other party switches back into `from`.
+  void switch_from(Context& from);
+
+  /// Suspend this fiber (saving into its own context) and resume `to`.
+  /// Must be called on the fiber itself.
+  void switch_to(Context& to) { rtle_ctx_switch(&ctx_.sp, to.sp); }
+
+  /// The fiber's own saved context (used as the save slot when it switches
+  /// directly to a sibling fiber).
+  Context& context() { return ctx_; }
+
+  /// Context the fiber jumps to when its body returns. Must be set by the
+  /// scheduler before the fiber's body can finish.
+  Context* return_to = nullptr;
+
+ private:
+  static void main_trampoline();
+  [[noreturn]] void run_body_and_exit();
+
+  Context ctx_;
+  std::function<void()> body_;
+  void* stack_base_ = nullptr;  // mmap base (guard page)
+  std::size_t map_bytes_ = 0;
+  bool started_ = false;
+  bool finished_ = false;
+};
+
+}  // namespace rtle::sim

@@ -1,0 +1,114 @@
+#include "sim/sched.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace rtle::sim {
+
+namespace {
+Scheduler* g_sched = nullptr;
+}
+
+Scheduler* current_scheduler() { return g_sched; }
+void set_current_scheduler(Scheduler* s) { g_sched = s; }
+
+Scheduler::~Scheduler() {
+  if (g_sched == this) g_sched = nullptr;
+}
+
+std::uint32_t Scheduler::spawn(std::function<void()> body, std::uint32_t pin) {
+  auto t = std::make_unique<SimThread>();
+  t->id = static_cast<std::uint32_t>(threads_.size());
+  t->pin = pin;
+  t->core = pin % mc_.cores;
+  t->clock = epoch_;
+  t->fiber = std::make_unique<Fiber>(std::move(body));
+  t->fiber->return_to = &main_ctx_;
+  if (t->core >= core_active_.size()) core_active_.resize(t->core + 1, 0);
+  core_active_[t->core] += 1;
+  heap_.push({t->clock, t->id});
+  ++live_;
+  threads_.push_back(std::move(t));
+  return threads_.back()->id;
+}
+
+void Scheduler::run() {
+  if (cur_ != nullptr) {
+    std::fprintf(stderr, "rtle sched: run() called from inside a fiber\n");
+    std::abort();
+  }
+  Scheduler* prev = g_sched;
+  g_sched = this;
+  while (!heap_.empty()) {
+    auto [clk, id] = heap_.top();
+    heap_.pop();
+    SimThread* t = threads_[id].get();
+    if (t->fiber->finished()) continue;
+    cur_ = t;
+    t->fiber->switch_from(main_ctx_);
+    // We land back here whenever a fiber's body returns. `cur_` then names
+    // the fiber that finished; retire it.
+    SimThread* done = cur_;
+    cur_ = nullptr;
+    if (done != nullptr && done->fiber->finished()) {
+      core_active_[done->core] -= 1;
+      --live_;
+      if (done->clock > epoch_) epoch_ = done->clock;
+    }
+  }
+  g_sched = prev;
+}
+
+std::uint64_t Scheduler::now() const {
+  return cur_ != nullptr ? cur_->clock : epoch_;
+}
+
+bool Scheduler::sibling_active(const SimThread& t) const {
+  // Two SMT contexts per core at most in the paper's machines; "active"
+  // means another unfinished fiber shares the core.
+  return core_active_[t.core] > 1;
+}
+
+std::uint64_t Scheduler::smt_scaled(const SimThread& t,
+                                    std::uint64_t cycles) const {
+  if (!sibling_active(t)) return cycles;
+  const auto& c = mc_.cost;
+  return cycles * c.smt_penalty_num / c.smt_penalty_den;
+}
+
+void Scheduler::advance(std::uint64_t cycles) {
+  if (cur_ == nullptr) return;  // outside the simulation (e.g. in tests)
+  cur_->clock += smt_scaled(*cur_, cycles);
+  if (!heap_.empty() && cur_->clock > heap_.top().first) yield();
+}
+
+void Scheduler::yield() {
+  if (cur_ == nullptr) return;
+  if (heap_.empty()) return;  // nobody else runnable
+  SimThread* me = cur_;
+  heap_.push({me->clock, me->id});
+  auto [clk, id] = heap_.top();
+  heap_.pop();
+  if (id == me->id) return;  // still the earliest
+  switch_to(threads_[id].get());
+}
+
+void Scheduler::switch_to(SimThread* next) {
+  SimThread* me = cur_;
+  cur_ = next;
+  // Direct fiber-to-fiber switch; the main loop is only re-entered when a
+  // fiber finishes.
+  next->fiber->switch_from(me->fiber->context());
+  // When control returns here some other fiber switched back into `me`,
+  // having already set cur_ = me.
+}
+
+std::uint32_t Scheduler::current_pin() const {
+  return cur_ != nullptr ? cur_->pin : 0;
+}
+
+std::uint32_t Scheduler::current_core() const {
+  return cur_ != nullptr ? cur_->core : 0;
+}
+
+}  // namespace rtle::sim

@@ -1,0 +1,105 @@
+// Deterministic min-clock fiber scheduler.
+//
+// Each simulated hardware thread is a fiber with its own simulated cycle
+// clock. Whenever a fiber performs a charged action (a shared-memory access,
+// a fence, a spin iteration, pure compute) its clock advances; as soon as its
+// clock passes the smallest clock among the other runnable fibers, control
+// switches to that fiber. The result is a conservative discrete-event
+// interleaving: every inter-thread interaction (lock handoff, HTM conflict,
+// cache-line transfer) happens in global simulated-time order, fibers are
+// selected deterministically (ties broken by thread id), and runs are
+// bit-for-bit reproducible.
+//
+// Thread pinning follows the paper (§6.1): thread i runs on core i % cores,
+// so on the 18-core xeon threads i and i+18 share a core, and the SMT
+// penalty of the cost model kicks in only beyond 18 threads.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/config.h"
+#include "sim/fiber.h"
+
+namespace rtle::sim {
+
+class Scheduler {
+ public:
+  explicit Scheduler(const MachineConfig& mc) : mc_(mc) {}
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Create a simulated thread pinned like paper thread `pin` (core =
+  /// pin % cores). The fiber starts at the current global minimum clock and
+  /// runs on the next `run()`. Returns the internal thread slot.
+  std::uint32_t spawn(std::function<void()> body, std::uint32_t pin);
+
+  /// Run until every spawned fiber has finished. May be called repeatedly:
+  /// each round's fibers start at clock `epoch()`, the final clock of the
+  /// previous round, so simulated time is monotonic across rounds.
+  void run();
+
+  /// Simulated clock of the calling fiber (or the epoch when not inside a
+  /// fiber).
+  std::uint64_t now() const;
+
+  /// Base clock for the current round (set to the max clock of the previous
+  /// round when run() finishes).
+  std::uint64_t epoch() const { return epoch_; }
+
+  /// Charge the calling fiber `cycles` (scaled by the SMT penalty when its
+  /// hyper-sibling is active) and reschedule if it is no longer the
+  /// earliest runnable fiber.
+  void advance(std::uint64_t cycles);
+
+  /// Unconditionally offer the CPU to the earliest runnable fiber.
+  void yield();
+
+  const MachineConfig& machine() const { return mc_; }
+
+  /// Paper-style pin slot of the calling fiber.
+  std::uint32_t current_pin() const;
+  /// Core the calling fiber is pinned to.
+  std::uint32_t current_core() const;
+  bool in_fiber() const { return cur_ != nullptr; }
+
+ private:
+  struct SimThread {
+    std::unique_ptr<Fiber> fiber;
+    std::uint64_t clock = 0;
+    std::uint32_t id = 0;    // slot in threads_
+    std::uint32_t pin = 0;   // paper thread index
+    std::uint32_t core = 0;  // pin % cores
+  };
+
+  using HeapEntry = std::pair<std::uint64_t, std::uint32_t>;  // (clock, id)
+
+  std::uint64_t smt_scaled(const SimThread& t, std::uint64_t cycles) const;
+  bool sibling_active(const SimThread& t) const;
+  void switch_to(SimThread* next);
+
+  const MachineConfig mc_;
+  std::vector<std::unique_ptr<SimThread>> threads_;
+  // (active fibers per core) for SMT accounting
+  std::vector<std::uint32_t> core_active_;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                      std::greater<HeapEntry>>
+      heap_;
+  SimThread* cur_ = nullptr;
+  Context main_ctx_;
+  std::uint64_t epoch_ = 0;
+  std::uint32_t live_ = 0;
+};
+
+/// Ambient simulation environment, installed by SimScope (env.h). One per
+/// OS thread is unnecessary — the whole simulation is single-threaded — so
+/// plain globals keep the hot path free of TLS lookups.
+Scheduler* current_scheduler();
+void set_current_scheduler(Scheduler* s);
+
+}  // namespace rtle::sim

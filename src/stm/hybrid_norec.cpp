@@ -1,0 +1,47 @@
+#include "stm/hybrid_norec.h"
+
+#include "mem/shim.h"
+#include "sim/env.h"
+
+namespace rtle::stm {
+
+using runtime::CsBody;
+using runtime::Path;
+using runtime::ThreadCtx;
+using runtime::TxContext;
+
+void HybridNOrecMethod::execute(ThreadCtx& th, CsBody cs) {
+  auto& htm = cur_htm();
+  const auto& cost = cur_mem().cost();
+  for (int trial = 0; trial < kHtmTrials; ++trial) {
+    try {
+      htm.begin(th.tx);
+      // Subscribe to the clock's parity: an odd clock means a software
+      // writer is publishing its redo log — we must not run over it.
+      const std::uint64_t ts = htm.tx_load(th.tx, &seqlock_);
+      if ((ts & 1) != 0) {
+        htm.abort_self(th.tx, htm::AbortCause::kLockBusy);
+      }
+      TxContext ctx(Path::kHtmFast, th);
+      cs(ctx);
+      // The Hybrid NOrec signature move: bump the clock on *every*
+      // hardware commit, software transactions running or not. (Having
+      // subscribed the clock, concurrent bumps also conflict with us.)
+      htm.tx_store_and_commit(th.tx, &seqlock_,
+                              htm.tx_load(th.tx, &seqlock_) + 2);
+      stats_.rhn_htm_slow += 1;  // "bumping HTM commit" in the stats model
+      stats_.ops += 1;
+      return;
+    } catch (const htm::HtmAbort& e) {
+      stats_.note_abort(/*slow=*/false, e.cause);
+      if (e.cause == htm::AbortCause::kUnsupported ||
+          e.cause == htm::AbortCause::kCapacity) {
+        break;  // persistent: no point retrying in hardware
+      }
+      mem::compute(th.rng.below(cost.backoff_base) + 1);
+    }
+  }
+  execute_sw(th, cs);  // NOrec software fallback
+}
+
+}  // namespace rtle::stm

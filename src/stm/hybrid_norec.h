@@ -1,0 +1,25 @@
+// Hybrid NOrec [Dalessandro, Carouge, White, Lev, Moir, Scott, Spear —
+// ASPLOS'11], the hybrid TM that RHNOrec refines and that the paper's
+// related-work discussion contrasts with (§2, footnote 2).
+//
+// Hardware transactions run uninstrumented and, at commit, bump the global
+// NOrec clock **unconditionally** — whether or not any software transaction
+// is running — so software readers always observe hardware commits and
+// revalidate. This is precisely the cost RHNOrec removes with its
+// software-transaction counter; keeping both implementations lets the
+// ablations measure how much that refinement buys.
+#pragma once
+
+#include "stm/norec.h"
+
+namespace rtle::stm {
+
+class HybridNOrecMethod final : public NOrecMethod {
+ public:
+  static constexpr int kHtmTrials = 5;
+
+  std::string name() const override { return "HybridNOrec"; }
+  void execute(runtime::ThreadCtx& th, runtime::CsBody cs) override;
+};
+
+}  // namespace rtle::stm

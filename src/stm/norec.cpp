@@ -1,0 +1,131 @@
+#include "stm/norec.h"
+
+#include "mem/shim.h"
+#include "sim/env.h"
+
+namespace rtle::stm {
+
+using runtime::CsBody;
+using runtime::Path;
+using runtime::ThreadCtx;
+using runtime::TxContext;
+
+void NOrecMethod::prepare(std::uint32_t nthreads) {
+  per_.assign(nthreads, PerThread{});
+}
+
+std::uint64_t NOrecMethod::wait_even_clock() {
+  const auto& cost = cur_mem().cost();
+  for (;;) {
+    const std::uint64_t t = mem::plain_load(&seqlock_);
+    if ((t & 1) == 0) return t;
+    mem::compute(cost.spin_iter);
+  }
+}
+
+void NOrecMethod::validate_extend(ThreadCtx& th) {
+  PerThread& p = per(th);
+  stats_.validations += 1;
+  const auto& cost = cur_mem().cost();
+  for (;;) {
+    const std::uint64_t t = mem::plain_load(&seqlock_);
+    if ((t & 1) != 0) {
+      mem::compute(cost.spin_iter);
+      continue;  // a writer is publishing; wait
+    }
+    for (const ReadEntry& e : p.rset) {
+      if (mem::plain_load(e.addr) != e.value) throw StmAbort{};
+    }
+    if (mem::plain_load(&seqlock_) == t) {
+      p.snapshot = t;
+      return;
+    }
+  }
+}
+
+std::uint64_t NOrecMethod::read_impl(ThreadCtx& th,
+                                     const std::uint64_t* addr) {
+  PerThread& p = per(th);
+  // Redo-log lookup: a software transaction must see its own writes.
+  mem::compute(1 + p.wset.size() / 4);
+  for (auto it = p.wset.rbegin(); it != p.wset.rend(); ++it) {
+    if (it->addr == addr) return it->value;
+  }
+  std::uint64_t v = mem::plain_load(addr);
+  // The NOrec post-read check: if the global clock moved, revalidate —
+  // every read touches the clock's cache line (§6.2.2).
+  while (mem::plain_load(&seqlock_) != p.snapshot) {
+    validate_extend(th);
+    v = mem::plain_load(addr);
+  }
+  p.rset.push_back({addr, v});
+  return v;
+}
+
+void NOrecMethod::write_impl(ThreadCtx& th, std::uint64_t* addr,
+                             std::uint64_t value) {
+  PerThread& p = per(th);
+  mem::compute(1 + p.wset.size() / 4);
+  for (WriteEntry& e : p.wset) {
+    if (e.addr == addr) {
+      e.value = value;
+      return;
+    }
+  }
+  p.wset.push_back({addr, value});
+}
+
+void NOrecMethod::commit_writer(ThreadCtx& th) {
+  PerThread& p = per(th);
+  while (!mem::plain_cas(&seqlock_, p.snapshot, p.snapshot + 1)) {
+    validate_extend(th);  // clock moved: revalidate, extend, re-CAS
+  }
+  for (const WriteEntry& e : p.wset) mem::plain_store(e.addr, e.value);
+  mem::plain_store(&seqlock_, p.snapshot + 2);
+}
+
+void NOrecMethod::sw_window_open() {
+  if (sw_active_++ == 0) sw_window_start_ = cur_sched().now();
+}
+
+void NOrecMethod::sw_window_close() {
+  if (--sw_active_ == 0) {
+    stats_.cycles_sw_running += cur_sched().now() - sw_window_start_;
+  }
+}
+
+void NOrecMethod::execute(ThreadCtx& th, CsBody cs) { execute_sw(th, cs); }
+
+void NOrecMethod::execute_sw(ThreadCtx& th, CsBody cs) {
+  PerThread& p = per(th);
+  std::uint64_t backoff = cur_mem().cost().backoff_base;
+  for (;;) {
+    p.rset.clear();
+    p.wset.clear();
+    p.snapshot = wait_even_clock();
+    stats_.stm_begins += 1;
+    sw_window_open();
+    try {
+      TxContext ctx(Path::kStm, th, &barriers_);
+      cs(ctx);
+      if (p.wset.empty()) {
+        stats_.commit_stm_ro += 1;
+      } else {
+        commit_writer(th);
+        stats_.commit_stm_lock += 1;
+      }
+      sw_window_close();
+      stats_.ops += 1;
+      return;
+    } catch (const StmAbort&) {
+      sw_window_close();
+      stats_.note_abort(/*slow=*/true, htm::AbortCause::kConflict);
+      // Randomized backoff so colliding transactions desynchronize.
+      mem::compute(th.rng.below(backoff) + 1);
+      backoff = std::min<std::uint64_t>(backoff * 2,
+                                        cur_mem().cost().backoff_cap);
+    }
+  }
+}
+
+}  // namespace rtle::stm

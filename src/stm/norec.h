@@ -1,0 +1,98 @@
+// NOrec STM [Dalessandro, Spear & Scott, PPoPP'10] — the software-only
+// baseline of §6.2.2.
+//
+// Design points that matter for the paper's analysis:
+//   * a single global sequence lock, no ownership records — so no false
+//     conflicts, but every commit of a writer serializes through one word;
+//   * value-based validation: the read set stores (address, value) pairs
+//     and is re-validated every time the global clock moves — which means
+//     *every read barrier loads the global clock*, the cache-line traffic
+//     §6.2.2 blames for RHNOrec's collapse;
+//   * write-back via a redo log published while the sequence lock is odd.
+#pragma once
+
+#include <vector>
+
+#include "runtime/method.h"
+
+namespace rtle::stm {
+
+/// Thrown when a software transaction fails validation; caught by the
+/// retry loop in execute().
+struct StmAbort {};
+
+class NOrecMethod : public runtime::SyncMethod {
+ public:
+  NOrecMethod() : barriers_(this) {}
+
+  std::string name() const override { return "NOrec"; }
+  void prepare(std::uint32_t nthreads) override;
+  void execute(runtime::ThreadCtx& th, runtime::CsBody cs) override;
+
+ protected:
+  struct ReadEntry {
+    const std::uint64_t* addr;
+    std::uint64_t value;
+  };
+  struct WriteEntry {
+    std::uint64_t* addr;
+    std::uint64_t value;
+  };
+  struct PerThread {
+    std::vector<ReadEntry> rset;
+    std::vector<WriteEntry> wset;
+    std::uint64_t snapshot = 0;
+  };
+
+  class Barriers final : public runtime::SlowBarriers {
+   public:
+    explicit Barriers(NOrecMethod* m) : m_(m) {}
+    std::uint64_t read(runtime::TxContext& ctx,
+                       const std::uint64_t* addr) override {
+      return m_->read_impl(ctx.thread(), addr);
+    }
+    void write(runtime::TxContext& ctx, std::uint64_t* addr,
+               std::uint64_t value) override {
+      m_->write_impl(ctx.thread(), addr, value);
+    }
+
+   private:
+    NOrecMethod* m_;
+  };
+
+  /// Spin until the sequence lock is even and return it (begin snapshot).
+  std::uint64_t wait_even_clock();
+
+  /// Value-based validation; on success extends the snapshot to the latest
+  /// even clock, on mismatch throws StmAbort.
+  void validate_extend(runtime::ThreadCtx& th);
+
+  std::uint64_t read_impl(runtime::ThreadCtx& th, const std::uint64_t* addr);
+  void write_impl(runtime::ThreadCtx& th, std::uint64_t* addr,
+                  std::uint64_t value);
+
+  /// NOrec writer commit: CAS the clock odd, write back, release even.
+  void commit_writer(runtime::ThreadCtx& th);
+
+  /// Software-transaction wall-clock window accounting (Figs 8/9: time
+  /// during which ≥1 software transaction is running).
+  void sw_window_open();
+  void sw_window_close();
+
+  /// The complete NOrec software transaction (begin/run/commit/retry loop).
+  /// execute() is exactly this for plain NOrec; hybrids call it as their
+  /// software fallback.
+  void execute_sw(runtime::ThreadCtx& th, runtime::CsBody cs);
+
+  PerThread& per(const runtime::ThreadCtx& th) { return per_[th.tid]; }
+
+  alignas(64) std::uint64_t seqlock_ = 0;
+  std::vector<PerThread> per_;
+  Barriers barriers_;
+
+  // Meta-level window accounting.
+  std::uint32_t sw_active_ = 0;
+  std::uint64_t sw_window_start_ = 0;
+};
+
+}  // namespace rtle::stm

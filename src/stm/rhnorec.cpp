@@ -1,0 +1,147 @@
+#include "stm/rhnorec.h"
+
+#include <algorithm>
+
+#include "mem/shim.h"
+#include "sim/env.h"
+
+namespace rtle::stm {
+
+using runtime::CsBody;
+using runtime::Path;
+using runtime::ThreadCtx;
+using runtime::TxContext;
+
+bool RHNOrecMethod::try_htm_phase(ThreadCtx& th, CsBody cs) {
+  auto& htm = cur_htm();
+  const auto& cost = cur_mem().cost();
+  for (int trial = 0; trial < kHtmTrials; ++trial) {
+    // Don't bother starting while a commit-lock holder is stalling everyone.
+    while (mem::plain_load(&commit_lock_) != 0) mem::compute(cost.spin_iter);
+    try {
+      htm.begin(th.tx);
+      if (htm.tx_load(th.tx, &commit_lock_) != 0) {
+        htm.abort_self(th.tx, htm::AbortCause::kLockBusy);
+      }
+      TxContext ctx(Path::kHtmFast, th);
+      cs(ctx);
+      // Commit-time check: with software transactions running, make our
+      // writes visible to their validation by bumping the timestamp inside
+      // the hardware transaction (the "HTM slow" commit of Figs 8/9).
+      if (htm.tx_load(th.tx, &sw_count_) > 0) {
+        const std::uint64_t ts = htm.tx_load(th.tx, &seqlock_);
+        if ((ts & 1) != 0) htm.abort_self(th.tx, htm::AbortCause::kLockBusy);
+        // Bump the timestamp with the fused store+xend: the window in which
+        // a polling software reader could doom us is (near) zero, as on
+        // real hardware.
+        htm.tx_store_and_commit(th.tx, &seqlock_, ts + 2);
+        stats_.rhn_htm_slow += 1;
+      } else {
+        htm.commit(th.tx);
+        stats_.rhn_htm_fast += 1;
+      }
+      stats_.ops += 1;
+      return true;
+    } catch (const htm::HtmAbort& e) {
+      stats_.note_abort(/*slow=*/false, e.cause);
+      // Persistent aborts (no retry hint): go to the software path now.
+      if (e.cause == htm::AbortCause::kUnsupported ||
+          e.cause == htm::AbortCause::kCapacity) {
+        break;
+      }
+    }
+  }
+  return false;
+}
+
+void RHNOrecMethod::sw_commit(ThreadCtx& th) {
+  PerThread& p = per(th);
+  if (p.wset.empty()) {
+    stats_.commit_stm_ro += 1;
+    return;
+  }
+  auto& htm = cur_htm();
+
+  // Reduced hardware transaction: timestamp check + write-back + bump,
+  // all atomic in HTM.
+  for (int trial = 0; trial < kCommitTrials; ++trial) {
+    try {
+      htm.begin(th.tx);
+      if (htm.tx_load(th.tx, &commit_lock_) != 0) {
+        htm.abort_self(th.tx, htm::AbortCause::kLockBusy);
+      }
+      const std::uint64_t ts = htm.tx_load(th.tx, &seqlock_);
+      if (ts != p.snapshot) {
+        // Clock moved since our last validation: can't prove the read set
+        // is still consistent inside this small transaction.
+        htm.abort_self(th.tx, htm::AbortCause::kExplicit);
+      }
+      for (const WriteEntry& e : p.wset) htm.tx_store(th.tx, e.addr, e.value);
+      htm.tx_store_and_commit(th.tx, &seqlock_, ts + 2);
+      stats_.commit_stm_htm += 1;
+      return;
+    } catch (const htm::HtmAbort& e) {
+      stats_.note_abort(/*slow=*/true, e.cause);
+      validate_extend(th);  // throws StmAbort if truly invalid
+    }
+  }
+
+  // Global commit-lock fallback: halts all hardware transactions (they
+  // subscribe to the lock) and all software validation (odd clock).
+  const auto& cost = cur_mem().cost();
+  for (;;) {
+    if (mem::plain_load(&commit_lock_) == 0 &&
+        mem::plain_cas(&commit_lock_, 0, 1)) {
+      break;
+    }
+    mem::compute(cost.spin_iter);
+  }
+  const std::uint64_t ts = mem::plain_load(&seqlock_);
+  mem::plain_store(&seqlock_, ts + 1);  // odd: stall validators
+  bool valid = true;
+  for (const ReadEntry& e : p.rset) {
+    if (mem::plain_load(e.addr) != e.value) {
+      valid = false;
+      break;
+    }
+  }
+  if (valid) {
+    for (const WriteEntry& e : p.wset) mem::plain_store(e.addr, e.value);
+  }
+  mem::plain_store(&seqlock_, ts + 2);
+  mem::plain_store(&commit_lock_, 0);
+  if (!valid) throw StmAbort{};
+  stats_.commit_stm_lock += 1;
+}
+
+void RHNOrecMethod::execute(ThreadCtx& th, CsBody cs) {
+  if (try_htm_phase(th, cs)) return;
+
+  // Software path.
+  PerThread& p = per(th);
+  mem::plain_faa(&sw_count_, 1);
+  sw_window_open();
+  std::uint64_t backoff = cur_mem().cost().backoff_base;
+  for (;;) {
+    p.rset.clear();
+    p.wset.clear();
+    p.snapshot = wait_even_clock();
+    stats_.stm_begins += 1;
+    try {
+      TxContext ctx(Path::kStm, th, &barriers_);
+      cs(ctx);
+      sw_commit(th);
+      sw_window_close();
+      mem::plain_faa(&sw_count_, std::uint64_t(-1));
+      stats_.ops += 1;
+      return;
+    } catch (const StmAbort&) {
+      stats_.note_abort(/*slow=*/true, htm::AbortCause::kConflict);
+      mem::compute(th.rng.below(backoff) + 1);
+      backoff = std::min<std::uint64_t>(backoff * 2,
+                                        cur_mem().cost().backoff_cap);
+    }
+  }
+}
+
+}  // namespace rtle::stm

@@ -1,0 +1,45 @@
+// Reduced Hardware NOrec (RHNOrec) [Matveev & Shavit, TRANSACT'14] — the
+// hybrid TM baseline of §6.2.2, as characterized in the paper:
+//
+//   * HTM fast path: transactions run *uninstrumented*; at commit they check
+//     whether any software transaction is running and, if so, bump the
+//     global NOrec timestamp inside the hardware transaction (the "HTM slow"
+//     commit). No instrumentation, but every such commit writes the one hot
+//     word every software reader polls.
+//   * Software path: NOrec-style value-based validation; the commit phase
+//     (validate + write-back + timestamp bump) is attempted inside a small
+//     ("reduced") hardware transaction, falling back to a global commit
+//     lock that halts all hardware and software transactions.
+//
+// This combination reproduces §6.2.2's lemming effect: software readers keep
+// the timestamp line shared, timestamp-bumping hardware commits invalidate
+// it, every invalidation triggers a wave of value-based revalidations
+// (Fig 10), and past ~16 threads almost nothing commits in hardware (Fig 9).
+#pragma once
+
+#include "stm/norec.h"
+#include "sync/lock.h"
+
+namespace rtle::stm {
+
+class RHNOrecMethod final : public NOrecMethod {
+ public:
+  static constexpr int kHtmTrials = 5;     ///< pure-HTM attempts
+  static constexpr int kCommitTrials = 5;  ///< reduced-HTx commit attempts
+
+  std::string name() const override { return "RHNOrec"; }
+  void execute(runtime::ThreadCtx& th, runtime::CsBody cs) override;
+
+ private:
+  /// True if the critical section committed purely in hardware.
+  bool try_htm_phase(runtime::ThreadCtx& th, runtime::CsBody cs);
+
+  /// Commit the software transaction (reduced HTx, then commit-lock
+  /// fallback). Throws StmAbort if validation ultimately fails.
+  void sw_commit(runtime::ThreadCtx& th);
+
+  alignas(64) std::uint64_t commit_lock_ = 0;
+  alignas(64) std::uint64_t sw_count_ = 0;
+};
+
+}  // namespace rtle::stm

@@ -1,0 +1,40 @@
+#include "sync/lock.h"
+
+#include <algorithm>
+
+#include "mem/shim.h"
+#include "sim/env.h"
+
+namespace rtle::sync {
+
+bool TTSLock::probe() const { return mem::plain_load(&word_) != 0; }
+
+void TTSLock::acquire() {
+  const auto& cost = cur_mem().cost();
+  std::uint64_t backoff = cost.backoff_base;
+  for (;;) {
+    if (mem::plain_load(&word_) == 0) {
+      if (mem::plain_cas(&word_, 0, 1)) break;
+    }
+    mem::compute(backoff);
+    backoff = std::min<std::uint64_t>(backoff * 2, cost.backoff_cap);
+  }
+  acquired_at_ = cur_sched().now();
+  if (stats_ != nullptr) stats_->lock_acquisitions += 1;
+}
+
+void TTSLock::release() {
+  if (stats_ != nullptr) {
+    stats_->cycles_under_lock += cur_sched().now() - acquired_at_;
+  }
+  mem::plain_store(&word_, 0);
+}
+
+void TTSLock::spin_while_held() const {
+  const auto& cost = cur_mem().cost();
+  while (mem::plain_load(&word_) != 0) {
+    mem::compute(cost.spin_iter);
+  }
+}
+
+}  // namespace rtle::sync

@@ -1,0 +1,51 @@
+// Test-and-test-and-set spin lock with exponential backoff — the lock the
+// paper's benchmarks protect every critical section with (§6.2).
+//
+// All lock-word traffic goes through the memory shim, so speculating
+// hardware transactions that subscribed to the word are doomed by the
+// release store exactly as on real hardware, and the backoff keeps waiters
+// from hammering the line.
+#pragma once
+
+#include <cstdint>
+
+#include "runtime/stats.h"
+
+namespace rtle::sync {
+
+class TTSLock {
+ public:
+  /// If `stats` is given, acquisitions and cycles-under-lock are recorded
+  /// there (Figs 6 and 7).
+  explicit TTSLock(runtime::MethodStats* stats = nullptr) : stats_(stats) {}
+
+  TTSLock(const TTSLock&) = delete;
+  TTSLock& operator=(const TTSLock&) = delete;
+
+  /// One probing load of the lock word (test before test-and-set).
+  bool probe() const;
+
+  /// Acquire with TTS + bounded exponential backoff.
+  void acquire();
+
+  /// Release; the plain store dooms subscribed hardware transactions.
+  void release();
+
+  /// Spin (charging cycles) until the lock is observed free. The paper's
+  /// retry policy spins after every HTM failure before re-attempting [16].
+  void spin_while_held() const;
+
+  /// The word hardware transactions subscribe to.
+  std::uint64_t* word() { return &word_; }
+  const std::uint64_t* word() const { return &word_; }
+
+  /// Zero-cost (meta) peek, used only for statistics classification.
+  bool held_meta() const { return word_ != 0; }
+
+ private:
+  alignas(64) std::uint64_t word_ = 0;
+  std::uint64_t acquired_at_ = 0;
+  runtime::MethodStats* stats_;
+};
+
+}  // namespace rtle::sync

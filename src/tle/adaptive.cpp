@@ -1,0 +1,104 @@
+#include "tle/adaptive.h"
+
+#include <algorithm>
+
+#include "mem/shim.h"
+#include "sim/env.h"
+
+namespace rtle::tle {
+
+using runtime::CsBody;
+using runtime::Path;
+using runtime::ThreadCtx;
+using runtime::TxContext;
+
+AdaptiveFgTle::AdaptiveFgTle(std::uint32_t initial_orecs)
+    : AdaptiveFgTle(initial_orecs, Policy{}) {}
+
+AdaptiveFgTle::AdaptiveFgTle(std::uint32_t initial_orecs, Policy policy)
+    : FgTleMethod(initial_orecs), policy_(policy),
+      orec_count_word_(initial_orecs) {}
+
+bool AdaptiveFgTle::slow_htm_attempt(ThreadCtx& th, CsBody cs) {
+  if (mem::plain_load(&instr_word_) == 0) {
+    return false;  // TLE mode: decline, the engine waits for the lock
+  }
+  local_seq_[th.tid] = mem::plain_load(&global_seq_);
+  auto& htm = cur_htm();
+  htm.begin(th.tx);
+  // Subscribe to the adaptation words first: a concurrent resize or mode
+  // switch must doom us before we use the (new) arrays.
+  (void)htm.tx_load(th.tx, &orec_count_word_);
+  if (htm.tx_load(th.tx, &instr_word_) == 0) {
+    htm.abort_self(th.tx, htm::AbortCause::kExplicit);
+  }
+  TxContext ctx(Path::kHtmSlow, th, &barriers_);
+  cs(ctx);
+  htm.commit(th.tx);
+  return true;
+}
+
+void AdaptiveFgTle::lock_cs(ThreadCtx& th, CsBody cs) {
+  if (instr_word_ == 0) {
+    // TLE mode: uninstrumented pessimistic execution.
+    on_lock_acquired(th);
+    TxContext ctx(Path::kRaw, th);
+    cs(ctx);
+    on_lock_released(th, 0, 0);
+    return;
+  }
+  FgTleMethod::lock_cs(th, cs);
+}
+
+void AdaptiveFgTle::on_lock_acquired(ThreadCtx& th) { maybe_adapt(); }
+
+void AdaptiveFgTle::on_lock_released(ThreadCtx& th, std::uint32_t used_r,
+                                     std::uint32_t used_w) {
+  window_lock_cs_ += 1;
+  window_used_sum_ += std::max(used_r, used_w);
+}
+
+void AdaptiveFgTle::maybe_adapt() {
+  // Runs with the lock held, before the opening epoch increment.
+  if (window_lock_cs_ < policy_.window) return;
+
+  const double avg_used =
+      static_cast<double>(window_used_sum_) / window_lock_cs_;
+  const std::uint64_t slow_commits =
+      stats_.commit_slow_htm - window_slow_base_;
+  const double slow_ratio =
+      static_cast<double>(slow_commits) / window_lock_cs_;
+
+  if (instr_word_ == 0) {
+    // Periodically re-probe: a workload shift may make the slow path pay
+    // again.
+    if (++windows_in_tle_mode_ >= policy_.reprobe_windows) {
+      windows_in_tle_mode_ = 0;
+      mem::plain_store(&instr_word_, 1);
+    }
+  } else if (slow_ratio < policy_.min_slow_commit_ratio) {
+    // Instrumentation is not buying concurrency: fall back to plain TLE.
+    mem::plain_store(&instr_word_, 0);
+    windows_in_tle_mode_ = 0;
+  } else {
+    const double util = avg_used / n_;
+    std::uint32_t new_n = n_;
+    if (util >= policy_.grow_utilization) {
+      new_n = std::min(policy_.max_orecs, n_ * policy_.resize_factor);
+    } else if (util <= policy_.shrink_utilization) {
+      new_n = std::max(policy_.min_orecs, n_ / policy_.resize_factor);
+    }
+    if (new_n != n_) {
+      // Doom every in-flight slow transaction (they subscribed to the count
+      // word) *before* swapping the arrays, per the §4.2.1 safety argument.
+      mem::plain_store(&orec_count_word_, new_n);
+      resize_orecs(new_n);
+    }
+  }
+
+  window_lock_cs_ = 0;
+  window_used_sum_ = 0;
+  window_slow_base_ = stats_.commit_slow_htm;
+}
+
+}  // namespace rtle::tle

@@ -1,0 +1,71 @@
+// Adaptive FG-TLE (paper §4.2.1, sketched there as future work; this is one
+// concrete instantiation).
+//
+// Two adaptations, both decided and applied by the lock holder:
+//
+//  1. Orec-count resizing. Epoch stamps show how many orecs a lock-held
+//     critical section actually touches. If utilization stays high the
+//     array grows (finer conflict detection → fewer false slow-path
+//     aborts); if most orecs are never used it shrinks (the holder's
+//     uniq-counter short-circuit kicks in sooner → cheaper barriers).
+//     Safety follows the paper's rule: slow-path transactions subscribe to
+//     an orec-count word at begin, so the holder's resize store dooms every
+//     in-flight slow transaction before the arrays are swapped.
+//
+//  2. TLE fallback. If a measurement window shows lock-held executions but
+//     (almost) no slow-path commits, instrumentation is pure overhead: the
+//     holder clears an `instr` flag (also subscribed by slow transactions)
+//     and subsequent pessimistic executions run uninstrumented, exactly
+//     like plain TLE. The flag is re-probed periodically so a workload
+//     shift can re-enable the slow path.
+#pragma once
+
+#include "tle/fgtle.h"
+
+namespace rtle::tle {
+
+class AdaptiveFgTle final : public FgTleMethod {
+ public:
+  struct Policy {
+    std::uint32_t min_orecs = 1;
+    std::uint32_t max_orecs = 1 << 16;
+    std::uint32_t window = 64;       ///< lock acquisitions per decision
+    double grow_utilization = 0.75;  ///< grow when avg used/n above this
+    double shrink_utilization = 0.10;
+    std::uint32_t resize_factor = 4;
+    /// Disable instrumentation when slow commits per lock CS fall below
+    /// this; re-probe after `reprobe_windows` windows in TLE mode.
+    double min_slow_commit_ratio = 0.05;
+    std::uint32_t reprobe_windows = 8;
+  };
+
+  explicit AdaptiveFgTle(std::uint32_t initial_orecs);
+  AdaptiveFgTle(std::uint32_t initial_orecs, Policy policy);
+
+  std::string name() const override { return "A-FG-TLE"; }
+
+  bool instrumentation_enabled() const { return instr_word_ != 0; }
+
+ protected:
+  bool slow_htm_attempt(runtime::ThreadCtx& th, runtime::CsBody cs) override;
+  void lock_cs(runtime::ThreadCtx& th, runtime::CsBody cs) override;
+  void on_lock_acquired(runtime::ThreadCtx& th) override;
+  void on_lock_released(runtime::ThreadCtx& th, std::uint32_t used_r,
+                        std::uint32_t used_w) override;
+
+ private:
+  void maybe_adapt();
+
+  Policy policy_;
+  // Shim-visible words slow-path transactions subscribe to.
+  alignas(64) std::uint64_t orec_count_word_;
+  alignas(64) std::uint64_t instr_word_ = 1;
+
+  // Window accounting (meta-level).
+  std::uint64_t window_lock_cs_ = 0;
+  std::uint64_t window_used_sum_ = 0;
+  std::uint64_t window_slow_base_ = 0;  // stats_.commit_slow_htm at window start
+  std::uint64_t windows_in_tle_mode_ = 0;
+};
+
+}  // namespace rtle::tle

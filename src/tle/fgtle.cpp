@@ -1,0 +1,141 @@
+#include "tle/fgtle.h"
+
+#include "mem/shim.h"
+#include "sim/env.h"
+#include "util/flat_hash.h"
+
+namespace rtle::tle {
+
+using runtime::CsBody;
+using runtime::Path;
+using runtime::ThreadCtx;
+using runtime::TxContext;
+
+namespace {
+// A few bitwise ops + a modulo; the paper stresses the hash is fast.
+constexpr std::uint64_t kHashCycles = 3;
+}  // namespace
+
+FgTleMethod::FgTleMethod(std::uint32_t norecs, bool lazy_subscription)
+    : n_(norecs),
+      lazy_subscription_(lazy_subscription),
+      r_orecs_(norecs, 0),
+      w_orecs_(norecs, 0),
+      barriers_(this) {}
+
+std::string FgTleMethod::name() const {
+  return (lazy_subscription_ ? "FG-TLE-lazy(" : "FG-TLE(") +
+         std::to_string(n_) + ")";
+}
+
+void FgTleMethod::prepare(std::uint32_t nthreads) {
+  local_seq_.assign(nthreads, 0);
+}
+
+std::uint64_t FgTleMethod::orec_index(const void* addr) const {
+  return util::fast_hash(reinterpret_cast<std::uintptr_t>(addr), n_);
+}
+
+void FgTleMethod::resize_orecs(std::uint32_t n) {
+  n_ = n;
+  r_orecs_.assign(n, 0);
+  w_orecs_.assign(n, 0);
+}
+
+bool FgTleMethod::slow_htm_attempt(ThreadCtx& th, CsBody cs) {
+  // Snapshot the epoch *before* starting the transaction (§4.2) — plain
+  // load, so the holder's release increment does not abort us.
+  local_seq_[th.tid] = mem::plain_load(&global_seq_);
+  auto& htm = cur_htm();
+  htm.begin(th.tx);
+  TxContext ctx(Path::kHtmSlow, th, &barriers_);
+  cs(ctx);
+  if (lazy_subscription_) {
+    // §5: subscribe at commit time; a still-held lock blocks the commit,
+    // which restores lock-as-barrier semantics for unconventional users.
+    if (htm.tx_load(th.tx, lock_.word()) != 0) {
+      htm.abort_self(th.tx, htm::AbortCause::kLockBusy);
+    }
+  }
+  // Eager variant: no lock subscription at all — FG-TLE slow transactions
+  // survive the lock release (the "patient" strategy contrasted with RW-TLE
+  // in §6.3).
+  htm.commit(th.tx);
+  return true;
+}
+
+void FgTleMethod::lock_cs(ThreadCtx& th, CsBody cs) {
+  on_lock_acquired(th);
+  // Epoch increment #1 (right after acquire): our orec stamps become
+  // "owned" relative to every later snapshot.
+  holder_seq_ = mem::plain_load(&global_seq_) + 1;
+  mem::plain_store(&global_seq_, holder_seq_);
+  uniq_r_ = 0;
+  uniq_w_ = 0;
+
+  TxContext ctx(Path::kLockSlow, th, &barriers_);
+  cs(ctx);
+
+  // Epoch increment #2 (just before release): implicitly releases every
+  // orec without touching them — slow-path transactions keep running.
+  mem::plain_store(&global_seq_, holder_seq_ + 1);
+  on_lock_released(th, uniq_r_, uniq_w_);
+}
+
+std::uint64_t FgTleMethod::Barriers::read(TxContext& ctx,
+                                          const std::uint64_t* addr) {
+  FgTleMethod& m = *m_;
+  ThreadCtx& th = ctx.thread();
+  if (ctx.path() == Path::kHtmSlow) {
+    ctx.compute(kHashCycles);
+    const std::uint64_t idx = m.orec_index(addr);
+    auto& htm = cur_htm();
+    if (htm.tx_load(th.tx, &m.w_orecs_[idx]) >= m.local_seq_[th.tid]) {
+      htm.abort_self(th.tx, htm::AbortCause::kExplicit);
+    }
+    return htm.tx_load(th.tx, addr);
+  }
+  // Lock holder (Figure 3, else-branch): acquire the read orec at most once
+  // per critical section; skip everything once all orecs are owned.
+  if (m.uniq_r_ < m.n_) {
+    ctx.compute(kHashCycles);
+    const std::uint64_t idx = m.orec_index(addr);
+    if (mem::plain_load(&m.r_orecs_[idx]) < m.holder_seq_) {
+      mem::plain_store(&m.r_orecs_[idx], m.holder_seq_);
+      // Store-load fence (§4.2): keep a slow-path writer from committing
+      // between our orec acquisition and our data access.
+      mem::fence();
+      m.uniq_r_ += 1;
+    }
+  }
+  return mem::plain_load(addr);
+}
+
+void FgTleMethod::Barriers::write(TxContext& ctx, std::uint64_t* addr,
+                                  std::uint64_t value) {
+  FgTleMethod& m = *m_;
+  ThreadCtx& th = ctx.thread();
+  if (ctx.path() == Path::kHtmSlow) {
+    ctx.compute(kHashCycles);
+    const std::uint64_t idx = m.orec_index(addr);
+    auto& htm = cur_htm();
+    if (htm.tx_load(th.tx, &m.r_orecs_[idx]) >= m.local_seq_[th.tid] ||
+        htm.tx_load(th.tx, &m.w_orecs_[idx]) >= m.local_seq_[th.tid]) {
+      htm.abort_self(th.tx, htm::AbortCause::kExplicit);
+    }
+    htm.tx_store(th.tx, addr, value);
+    return;
+  }
+  if (m.uniq_w_ < m.n_) {
+    ctx.compute(kHashCycles);
+    const std::uint64_t idx = m.orec_index(addr);
+    if (mem::plain_load(&m.w_orecs_[idx]) < m.holder_seq_) {
+      mem::plain_store(&m.w_orecs_[idx], m.holder_seq_);
+      mem::fence();
+      m.uniq_w_ += 1;
+    }
+  }
+  mem::plain_store(addr, value);
+}
+
+}  // namespace rtle::tle

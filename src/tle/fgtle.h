@@ -1,0 +1,85 @@
+// FG-TLE (paper §4): refined TLE with fine-grained conflict detection via
+// ownership records.
+//
+// Two orec arrays (read / write ownership) of N entries are updated *only*
+// by the lock holder and read *only* by slow-path hardware transactions —
+// the asymmetry that makes the scheme so much simpler than an STM. Orec
+// acquisition/release uses the epoch scheme of §4.2: a global sequence
+// number is incremented right after lock acquire and right before release;
+// an orec is owned iff its stamp is >= the reader's pre-transaction
+// snapshot, so release frees every orec with a single increment and without
+// aborting anyone.
+//
+// Lock-holder barrier optimizations (§4.2): stamp each orec at most once
+// per critical section (with a store-load fence after each acquisition),
+// and short-circuit the barriers entirely once `uniq` counters show every
+// orec is already owned — the reason FG-TLE(1) executes under lock almost
+// as fast as RW-TLE (Fig 7).
+#pragma once
+
+#include <vector>
+
+#include "runtime/engine.h"
+
+namespace rtle::tle {
+
+class FgTleMethod : public runtime::ElidingMethod {
+ public:
+  /// `lazy_subscription` (paper §5): slow-path transactions subscribe to the
+  /// lock right before committing, restoring support for lock-as-barrier
+  /// idioms at the cost of never committing while the lock is still held.
+  explicit FgTleMethod(std::uint32_t norecs, bool lazy_subscription = false);
+
+  std::string name() const override;
+  void prepare(std::uint32_t nthreads) override;
+
+  std::uint32_t norecs() const { return n_; }
+
+ protected:
+  bool has_slow_path() const override { return true; }
+  bool slow_htm_attempt(runtime::ThreadCtx& th, runtime::CsBody cs) override;
+  void lock_cs(runtime::ThreadCtx& th, runtime::CsBody cs) override;
+
+  /// Hook for AdaptiveFgTle: runs with the lock held, before the epoch is
+  /// advanced; may resize the orec arrays.
+  virtual void on_lock_acquired(runtime::ThreadCtx& th) {}
+  /// Hook for AdaptiveFgTle: runs with the lock still held, after the
+  /// closing epoch increment; sees this CS's orec utilization.
+  virtual void on_lock_released(runtime::ThreadCtx& th, std::uint32_t used_r,
+                                std::uint32_t used_w) {}
+
+  class Barriers final : public runtime::SlowBarriers {
+   public:
+    explicit Barriers(FgTleMethod* m) : m_(m) {}
+    std::uint64_t read(runtime::TxContext& ctx,
+                       const std::uint64_t* addr) override;
+    void write(runtime::TxContext& ctx, std::uint64_t* addr,
+               std::uint64_t value) override;
+
+   private:
+    FgTleMethod* m_;
+  };
+
+  /// Orec index of an address (Wang's integer hash, paper ref [25]).
+  std::uint64_t orec_index(const void* addr) const;
+
+  void resize_orecs(std::uint32_t n);  // only valid while holding the lock
+
+  std::uint32_t n_;
+  bool lazy_subscription_;
+  std::vector<std::uint64_t> r_orecs_;
+  std::vector<std::uint64_t> w_orecs_;
+  alignas(64) std::uint64_t global_seq_ = 0;
+
+  // Holder-side state; a single holder exists at a time.
+  std::uint64_t holder_seq_ = 0;
+  std::uint32_t uniq_r_ = 0;
+  std::uint32_t uniq_w_ = 0;
+
+  // Per-thread epoch snapshots for the slow path, indexed by tid.
+  std::vector<std::uint64_t> local_seq_;
+
+  Barriers barriers_;
+};
+
+}  // namespace rtle::tle

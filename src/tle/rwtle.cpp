@@ -1,0 +1,67 @@
+#include "tle/rwtle.h"
+
+#include "mem/shim.h"
+#include "sim/env.h"
+
+namespace rtle::tle {
+
+using runtime::CsBody;
+using runtime::Path;
+using runtime::ThreadCtx;
+using runtime::TxContext;
+
+bool RwTleMethod::slow_htm_attempt(ThreadCtx& th, CsBody cs) {
+  auto& htm = cur_htm();
+  htm.begin(th.tx);
+  // Subscribe to the write flag: abort now if the holder already wrote, and
+  // get doomed later if it writes (or releases the lock) while we run.
+  if (htm.tx_load(th.tx, &write_flag_) != 0) {
+    htm.abort_self(th.tx, htm::AbortCause::kExplicit);
+  }
+  TxContext ctx(Path::kHtmSlow, th, &barriers_);
+  cs(ctx);
+  if (lazy_subscription_) {
+    if (htm.tx_load(th.tx, lock_.word()) != 0) {
+      htm.abort_self(th.tx, htm::AbortCause::kLockBusy);
+    }
+  }
+  htm.commit(th.tx);
+  return true;
+}
+
+void RwTleMethod::lock_cs(ThreadCtx& th, CsBody cs) {
+  holder_wrote_ = false;
+  TxContext ctx(Path::kLockSlow, th, &barriers_);
+  cs(ctx);
+  // Reset the flag unconditionally on the way out (the paper's release
+  // semantics): the store dooms slow-path subscribers, pushing them back to
+  // the fast path eagerly now that the lock is about to be free.
+  mem::plain_store(&write_flag_, 0);
+}
+
+std::uint64_t RwTleMethod::Barriers::read(TxContext& ctx,
+                                          const std::uint64_t* addr) {
+  if (ctx.path() == Path::kHtmSlow) {
+    return cur_htm().tx_load(ctx.thread().tx, addr);
+  }
+  // Lock holder: reads are uninstrumented apart from the barrier-call cost.
+  return mem::plain_load(addr);
+}
+
+void RwTleMethod::Barriers::write(TxContext& ctx, std::uint64_t* addr,
+                                  std::uint64_t value) {
+  if (ctx.path() == Path::kHtmSlow) {
+    // Figure 2: a slow-path transaction that needs to write self-aborts.
+    cur_htm().abort_self(ctx.thread().tx, htm::AbortCause::kExplicit);
+  }
+  // Lock holder: set the write flag once per critical section. Under TSO no
+  // fence is needed — the flag store becomes visible before any later data
+  // store (paper §3).
+  if (!m_->holder_wrote_) {
+    m_->holder_wrote_ = true;
+    mem::plain_store(&m_->write_flag_, 1);
+  }
+  mem::plain_store(addr, value);
+}
+
+}  // namespace rtle::tle

@@ -1,0 +1,56 @@
+// RW-TLE (paper §3): refined TLE with write-only instrumentation.
+//
+// The lock is augmented with a boolean `write_flag`. The lock holder's
+// (instrumented) first write sets the flag; hardware transactions on the
+// slow path subscribe to it right after starting, so they commit only while
+// the holder is still in its read prefix — read-read parallelism. A slow
+// path transaction that needs to write self-aborts in its write barrier
+// (Figure 2 of the paper).
+//
+// The flag is reset by the lock release store. Because slow-path
+// transactions subscribed to the flag's cache line, that reset store also
+// aborts them — RW-TLE's eager return to the fast path, which §6.3 blames
+// for its collapse beyond 19 threads in Figure 12.
+#pragma once
+
+#include "runtime/engine.h"
+
+namespace rtle::tle {
+
+class RwTleMethod final : public runtime::ElidingMethod {
+ public:
+  /// `lazy_subscription` (paper §5): additionally subscribe to the lock
+  /// right before committing a slow-path transaction, restoring support for
+  /// lock-as-barrier idioms.
+  explicit RwTleMethod(bool lazy_subscription = false)
+      : lazy_subscription_(lazy_subscription), barriers_(this) {}
+
+  std::string name() const override {
+    return lazy_subscription_ ? "RW-TLE-lazy" : "RW-TLE";
+  }
+
+ protected:
+  bool has_slow_path() const override { return true; }
+  bool slow_htm_attempt(runtime::ThreadCtx& th, runtime::CsBody cs) override;
+  void lock_cs(runtime::ThreadCtx& th, runtime::CsBody cs) override;
+
+ private:
+  class Barriers final : public runtime::SlowBarriers {
+   public:
+    explicit Barriers(RwTleMethod* m) : m_(m) {}
+    std::uint64_t read(runtime::TxContext& ctx,
+                       const std::uint64_t* addr) override;
+    void write(runtime::TxContext& ctx, std::uint64_t* addr,
+               std::uint64_t value) override;
+
+   private:
+    RwTleMethod* m_;
+  };
+
+  alignas(64) std::uint64_t write_flag_ = 0;
+  bool lazy_subscription_;
+  bool holder_wrote_ = false;  // at most one holder at a time
+  Barriers barriers_;
+};
+
+}  // namespace rtle::tle

@@ -1,0 +1,2 @@
+// TleMethod is fully defined in tle.h; this TU anchors it in the library.
+#include "tle/tle.h"

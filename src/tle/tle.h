@@ -1,0 +1,22 @@
+// Standard transactional lock elision (TLE) [Dice et al., ASPLOS'09]:
+// speculate on the uninstrumented fast path with the lock subscribed; once
+// any thread holds the lock, all speculation stops and everyone waits.
+#pragma once
+
+#include "runtime/engine.h"
+
+namespace rtle::tle {
+
+class TleMethod final : public runtime::ElidingMethod {
+ public:
+  std::string name() const override { return "TLE"; }
+
+ protected:
+  // No slow path: inherited slow_htm_attempt() returns false (wait).
+  void lock_cs(runtime::ThreadCtx& th, runtime::CsBody cs) override {
+    runtime::TxContext ctx(runtime::Path::kRaw, th);
+    cs(ctx);
+  }
+};
+
+}  // namespace rtle::tle

@@ -1,0 +1,103 @@
+// Minimal open-addressing hash map from uint64 keys to small trivially
+// copyable values. Linear probing, power-of-two capacity, no erase (the
+// simulator clears whole tables between runs). Used on the hot path of the
+// memory model and the emulated HTM, where std::unordered_map's chasing of
+// node pointers would dominate the simulation cost.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace rtle::util {
+
+/// Thomas Wang's 64-bit integer mix (the paper's reference [25]); also used
+/// by FG-TLE's orec mapping (fast_hash below).
+inline std::uint64_t mix64(std::uint64_t k) {
+  k = (~k) + (k << 21);
+  k = k ^ (k >> 24);
+  k = (k + (k << 3)) + (k << 8);
+  k = k ^ (k >> 14);
+  k = (k + (k << 2)) + (k << 4);
+  k = k ^ (k >> 28);
+  k = k + (k << 31);
+  return k;
+}
+
+/// FG-TLE §4.2: map a 64-bit value (an address) to [0, r). `r` need not be a
+/// power of two (the paper sweeps 1, 4, 16, 256, ...).
+inline std::uint64_t fast_hash(std::uint64_t v, std::uint64_t r) {
+  return mix64(v) % r;
+}
+
+template <typename V>
+class FlatHash {
+  static constexpr std::uint64_t kEmpty = ~0ULL;
+
+ public:
+  explicit FlatHash(std::size_t initial_pow2 = 1024) { init(initial_pow2); }
+
+  /// Find or default-insert the entry for `key`.
+  V& operator[](std::uint64_t key) {
+    if (size_ * 10 >= cap_ * 7) grow();
+    std::size_t i = probe(key);
+    if (keys_[i] == kEmpty) {
+      keys_[i] = key;
+      vals_[i] = V{};
+      ++size_;
+    }
+    return vals_[i];
+  }
+
+  /// Returns nullptr if absent.
+  V* find(std::uint64_t key) {
+    std::size_t i = probe(key);
+    return keys_[i] == kEmpty ? nullptr : &vals_[i];
+  }
+  const V* find(std::uint64_t key) const {
+    return const_cast<FlatHash*>(this)->find(key);
+  }
+
+  void clear() {
+    std::fill(keys_.begin(), keys_.end(), kEmpty);
+    size_ = 0;
+  }
+
+  std::size_t size() const { return size_; }
+
+ private:
+  void init(std::size_t cap) {
+    cap_ = cap;
+    keys_.assign(cap_, kEmpty);
+    vals_.assign(cap_, V{});
+    size_ = 0;
+  }
+
+  std::size_t probe(std::uint64_t key) const {
+    std::size_t mask = cap_ - 1;
+    std::size_t i = static_cast<std::size_t>(mix64(key)) & mask;
+    while (keys_[i] != kEmpty && keys_[i] != key) i = (i + 1) & mask;
+    return i;
+  }
+
+  void grow() {
+    std::vector<std::uint64_t> old_keys = std::move(keys_);
+    std::vector<V> old_vals = std::move(vals_);
+    init(cap_ * 2);
+    for (std::size_t i = 0; i < old_keys.size(); ++i) {
+      if (old_keys[i] != kEmpty) {
+        std::size_t j = probe(old_keys[i]);
+        keys_[j] = old_keys[i];
+        vals_[j] = old_vals[i];
+        ++size_;
+      }
+    }
+  }
+
+  std::vector<std::uint64_t> keys_;
+  std::vector<V> vals_;
+  std::size_t cap_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace rtle::util

@@ -1,0 +1,37 @@
+// Non-owning, non-allocating callable reference (the classic function_ref).
+// Used for critical-section bodies so the hot execute() path never allocates
+// or virtual-dispatches through std::function.
+#pragma once
+
+#include <type_traits>
+#include <utility>
+
+namespace rtle::util {
+
+template <typename Sig>
+class FnRef;
+
+template <typename R, typename... Args>
+class FnRef<R(Args...)> {
+ public:
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, FnRef> &&
+                std::is_invocable_r_v<R, F&, Args...>>>
+  FnRef(F&& f)  // NOLINT(google-explicit-constructor): intentional implicit
+      : obj_(const_cast<void*>(static_cast<const void*>(&f))),
+        call_([](void* obj, Args... args) -> R {
+          return (*static_cast<std::remove_reference_t<F>*>(obj))(
+              std::forward<Args>(args)...);
+        }) {}
+
+  R operator()(Args... args) const {
+    return call_(obj_, std::forward<Args>(args)...);
+  }
+
+ private:
+  void* obj_;
+  R (*call_)(void*, Args...);
+};
+
+}  // namespace rtle::util

@@ -1,0 +1,84 @@
+// Parameterized AVL-set concurrency sweep: (key range × update mix) under
+// an eliding method, checking the linearization bookkeeping invariant and
+// structural integrity after heavy concurrent mutation.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "bench_util/setbench.h"
+#include "ds/avl.h"
+#include "sim/env.h"
+#include "test_util.h"
+
+namespace rtle {
+namespace {
+
+using runtime::ThreadCtx;
+using runtime::TxContext;
+using sim::MachineConfig;
+
+class AvlSweep : public ::testing::TestWithParam<
+                     std::tuple<std::uint64_t, std::uint32_t>> {};
+
+TEST_P(AvlSweep, ConcurrentHistoryIsConsistent) {
+  const auto [range, update_pct] = GetParam();
+  constexpr std::uint32_t kThreads = 8;
+  constexpr std::uint64_t kOps = 200;
+
+  SimScope sim(MachineConfig::xeon());
+  ds::AvlSet set(range + 64 * kThreads + 64, kThreads);
+  std::vector<bool> initially(range, false);
+  for (std::uint64_t k = 0; k < range; k += 2) {
+    set.insert_meta(k);
+    initially[k] = true;
+  }
+  auto method = bench::method_by_name("FG-TLE(256)").make();
+  method->prepare(kThreads);
+
+  std::vector<std::int64_t> delta(range, 0);
+  test::run_workers(
+      sim, kThreads, kOps, /*seed=*/range + update_pct,
+      [&](ThreadCtx& th, std::uint64_t) {
+        set.reserve_nodes(th, 4);
+        const std::uint64_t key = th.rng.below(range);
+        const std::uint32_t r = th.rng.below(100);
+        if (r < update_pct / 2) {
+          bool ok = false;
+          auto cs = [&](TxContext& ctx) { ok = set.insert(ctx, key); };
+          method->execute(th, cs);
+          if (ok) delta[key] += 1;
+        } else if (r < update_pct) {
+          bool ok = false;
+          auto cs = [&](TxContext& ctx) { ok = set.remove(ctx, key); };
+          method->execute(th, cs);
+          if (ok) delta[key] -= 1;
+        } else {
+          auto cs = [&](TxContext& ctx) { set.contains(ctx, key); };
+          method->execute(th, cs);
+        }
+      });
+
+  ASSERT_TRUE(set.invariants_ok());
+  std::size_t expect = 0;
+  for (std::uint64_t k = 0; k < range; ++k) {
+    const int members = (initially[k] ? 1 : 0) + static_cast<int>(delta[k]);
+    ASSERT_GE(members, 0);
+    ASSERT_LE(members, 1);
+    expect += members;
+  }
+  EXPECT_EQ(set.size_meta(), expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RangesAndMixes, AvlSweep,
+    ::testing::Combine(::testing::Values(32u, 256u, 2048u),
+                       ::testing::Values(0u, 20u, 40u, 100u)),
+    [](const ::testing::TestParamInfo<AvlSweep::ParamType>& i) {
+      return "range" + std::to_string(std::get<0>(i.param)) + "_upd" +
+             std::to_string(std::get<1>(i.param));
+    });
+
+}  // namespace
+}  // namespace rtle

@@ -1,0 +1,208 @@
+// ccTSA substrate: k-mer codec properties, synthetic read generation,
+// De Bruijn value packing, and end-to-end assembly correctness (contigs
+// align to the genome) for both pipeline variants under several methods.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "bench_util/setbench.h"
+#include "cctsa/assembler.h"
+#include "cctsa/genome.h"
+#include "cctsa/graph.h"
+#include "cctsa/kmer.h"
+#include "sim/rng.h"
+
+namespace rtle {
+namespace {
+
+using namespace rtle::cctsa;
+
+class KmerCodec : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(KmerCodec, EncodeDecodeRoundTrip) {
+  const std::size_t k = GetParam();
+  sim::Rng rng(k);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<Base> bases(k);
+    for (auto& b : bases) b = static_cast<Base>(rng.below(4));
+    const std::uint64_t enc = encode_kmer(bases.data(), k);
+    for (std::size_t i = 0; i < k; ++i) {
+      ASSERT_EQ(kmer_base(enc, i, k), bases[i]);
+    }
+  }
+}
+
+TEST_P(KmerCodec, RollMatchesReencoding) {
+  const std::size_t k = GetParam();
+  sim::Rng rng(k * 7);
+  std::vector<Base> seq(k + 50);
+  for (auto& b : seq) b = static_cast<Base>(rng.below(4));
+  std::uint64_t kmer = encode_kmer(seq.data(), k);
+  for (std::size_t i = 1; i + k <= seq.size(); ++i) {
+    kmer = roll_kmer(kmer, seq[i + k - 1], k);
+    ASSERT_EQ(kmer, encode_kmer(seq.data() + i, k));
+  }
+}
+
+TEST_P(KmerCodec, SuccessorPredecessorInverse) {
+  const std::size_t k = GetParam();
+  sim::Rng rng(k * 13);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<Base> bases(k);
+    for (auto& b : bases) b = static_cast<Base>(rng.below(4));
+    const std::uint64_t enc = encode_kmer(bases.data(), k);
+    const Base first = bases[0];
+    const Base next = static_cast<Base>(rng.below(4));
+    const std::uint64_t succ = kmer_successor(enc, next, k);
+    ASSERT_EQ(kmer_predecessor(succ, first, k), enc);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, KmerCodec, ::testing::Values(3, 15, 27, 31));
+
+TEST(KvPacking, FieldsAreIndependent) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 1000; ++i) v = kv::bump_count(v);
+  EXPECT_EQ(kv::count(v), 1000u);
+  v = kv::add_out(v, 2);
+  v = kv::add_in(v, 3);
+  v = kv::add_in(v, 0);
+  EXPECT_EQ(kv::out_mask(v), 0b0100u);
+  EXPECT_EQ(kv::in_mask(v), 0b1001u);
+  EXPECT_EQ(kv::out_degree(v), 1u);
+  EXPECT_EQ(kv::in_degree(v), 2u);
+  EXPECT_FALSE(kv::visited(v));
+  v = kv::mark_visited(v);
+  EXPECT_TRUE(kv::visited(v));
+  EXPECT_EQ(kv::count(v), 1000u);
+  EXPECT_EQ(kv::only_base(kv::out_mask(v)), 2);
+}
+
+TEST(KvPacking, CountSaturatesInsteadOfOverflowingIntoMasks) {
+  std::uint64_t v = 0xffffffffULL;  // count at max
+  v = kv::add_out(v, 1);
+  const std::uint64_t before_masks = kv::out_mask(v);
+  v = kv::bump_count(v);
+  EXPECT_EQ(kv::count(v), 0xffffffffULL);
+  EXPECT_EQ(kv::out_mask(v), before_masks);
+}
+
+TEST(Genome, GenerationIsDeterministicPerSeed) {
+  GenomeConfig cfg;
+  cfg.genome_length = 5000;
+  cfg.coverage = 5;
+  const ReadSet a = generate_reads(cfg);
+  const ReadSet b = generate_reads(cfg);
+  EXPECT_EQ(a.genome, b.genome);
+  EXPECT_EQ(a.bases, b.bases);
+  cfg.seed += 1;
+  const ReadSet c = generate_reads(cfg);
+  EXPECT_NE(a.genome, c.genome);
+}
+
+TEST(Genome, ReadsAreGenomeSubstringsWhenErrorFree) {
+  GenomeConfig cfg;
+  cfg.genome_length = 3000;
+  cfg.coverage = 4;
+  cfg.error_rate = 0.0;
+  const ReadSet rs = generate_reads(cfg);
+  const std::string genome = to_string(rs.genome.data(), rs.genome.size());
+  for (std::size_t i = 0; i < rs.read_count(); ++i) {
+    const std::string r = to_string(rs.read(i), rs.read_length);
+    ASSERT_NE(genome.find(r), std::string::npos) << "read " << i;
+  }
+}
+
+struct AssemblySetup {
+  ReadSet reads;
+  AssemblerConfig cfg;
+};
+
+AssemblySetup small_setup(std::uint32_t threads) {
+  GenomeConfig g;
+  g.genome_length = 4000;
+  g.read_length = 36;
+  g.coverage = 8;
+  g.seed = 77;
+  AssemblySetup s{generate_reads(g), {}};
+  s.cfg.k = 27;
+  s.cfg.threads = threads;
+  s.cfg.buckets = 1 << 13;
+  s.cfg.keep_contigs = true;
+  return s;
+}
+
+TEST(Assembler, SingleThreadContigsAlignToGenome) {
+  auto s = small_setup(1);
+  const auto r = assemble_single_map(sim::MachineConfig::corei7(), s.cfg,
+                                     bench::method_by_name("Lock"), s.reads);
+  EXPECT_GT(r.contigs, 0u);
+  const double covered = verify_contigs(s.reads, r.contig_strings);
+  EXPECT_GE(covered, 0.0) << "a contig failed to align (misassembly)";
+  EXPECT_GT(covered, 0.9);  // coverage 8: nearly everything assembles
+}
+
+class AssemblerMethodTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(AssemblerMethodTest, ParallelAssemblyIsCorrect) {
+  auto s = small_setup(8);
+  const auto r = assemble_single_map(sim::MachineConfig::xeon(), s.cfg,
+                                     bench::method_by_name(GetParam()),
+                                     s.reads);
+  const double covered = verify_contigs(s.reads, r.contig_strings);
+  EXPECT_GE(covered, 0.0) << "a contig failed to align (misassembly)";
+  EXPECT_GT(covered, 0.9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Methods, AssemblerMethodTest,
+                         ::testing::Values("Lock", "TLE", "RW-TLE",
+                                           "FG-TLE(1024)", "A-FG-TLE"),
+                         [](const ::testing::TestParamInfo<const char*>& i) {
+                           std::string n = i.param;
+                           for (char& c : n) {
+                             if (!isalnum(static_cast<unsigned char>(c))) {
+                               c = '_';
+                             }
+                           }
+                           return n;
+                         });
+
+TEST(Assembler, StripedVariantMatchesKmerSpectrum) {
+  auto s = small_setup(4);
+  const auto single = assemble_single_map(
+      sim::MachineConfig::xeon(), s.cfg, bench::method_by_name("TLE"),
+      s.reads);
+  const auto striped =
+      assemble_striped(sim::MachineConfig::xeon(), s.cfg, s.reads);
+  EXPECT_EQ(single.distinct_kmers, striped.distinct_kmers);
+  const double cov_single = verify_contigs(s.reads, single.contig_strings);
+  const double cov_striped = verify_contigs(s.reads, striped.contig_strings);
+  EXPECT_GE(cov_striped, 0.0);
+  EXPECT_NEAR(cov_single, cov_striped, 0.05);
+}
+
+TEST(Assembler, PruningRemovesErrorKmers) {
+  GenomeConfig g;
+  g.genome_length = 3000;
+  g.read_length = 36;
+  g.coverage = 12;
+  g.error_rate = 0.004;
+  g.seed = 31;
+  const ReadSet reads = generate_reads(g);
+  AssemblerConfig cfg;
+  cfg.k = 27;
+  cfg.threads = 4;
+  cfg.buckets = 1 << 12;
+  cfg.prune_below = 2;
+  cfg.keep_contigs = true;
+  const auto r = assemble_single_map(sim::MachineConfig::xeon(), cfg,
+                                     bench::method_by_name("TLE"), reads);
+  EXPECT_GT(r.pruned_kmers, 0u);  // error k-mers are singletons
+  const double covered = verify_contigs(reads, r.contig_strings);
+  EXPECT_GE(covered, 0.0);
+  EXPECT_GT(covered, 0.8);
+}
+
+}  // namespace
+}  // namespace rtle

@@ -1,0 +1,97 @@
+// Retry-policy specifics of the elision engine: trial budget semantics
+// (including the HLE-like budget of one), slow-path failures not counting
+// against the budget, and lock statistics.
+#include <gtest/gtest.h>
+
+#include "sim/env.h"
+#include "test_util.h"
+#include "tle/fgtle.h"
+#include "tle/rwtle.h"
+#include "tle/tle.h"
+
+namespace rtle {
+namespace {
+
+using runtime::ThreadCtx;
+using runtime::TxContext;
+using sim::MachineConfig;
+
+TEST(EnginePolicy, HleLikeBudgetFallsBackAfterOneAbort) {
+  // With max_trials = 1 and permanent conflicts, every op gets exactly one
+  // speculative attempt before the lock.
+  SimScope sim(MachineConfig::corei7());
+  tle::TleMethod m;
+  m.set_max_trials(1);
+  EXPECT_EQ(m.max_trials(), 1);
+  m.prepare(4);
+  alignas(64) static std::uint64_t word;
+  word = 0;
+  test::run_workers(sim, 4, 150, 31, [&](ThreadCtx& th, std::uint64_t) {
+    auto cs = [&](TxContext& ctx) {
+      const std::uint64_t v = ctx.load(&word);
+      ctx.compute(60);  // fat race window: plenty of conflicts
+      ctx.store(&word, v + 1);
+    };
+    m.execute(th, cs);
+  });
+  EXPECT_EQ(word, 600u);
+  // A budget of one gives up quickly: the lock must carry real load.
+  EXPECT_GT(m.stats().commit_lock, 50u);
+}
+
+TEST(EnginePolicy, LargerBudgetElidesMoreThanSmaller) {
+  auto run = [](int trials) {
+    SimScope sim(MachineConfig::corei7());
+    tle::TleMethod m;
+    m.set_max_trials(trials);
+    m.prepare(4);
+    alignas(64) static std::uint64_t word;
+    word = 0;
+    test::run_workers(sim, 4, 150, 33, [&](ThreadCtx& th, std::uint64_t) {
+      auto cs = [&](TxContext& ctx) {
+        const std::uint64_t v = ctx.load(&word);
+        ctx.compute(60);
+        ctx.store(&word, v + 1);
+      };
+      m.execute(th, cs);
+    });
+    EXPECT_EQ(word, 600u);
+    return m.stats().commit_lock;
+  };
+  EXPECT_GT(run(1), run(10));
+}
+
+TEST(EnginePolicy, SlowPathFailuresDoNotExhaustTheBudget) {
+  // One thread holds the lock essentially forever (hostile serial ops);
+  // another runs write ops whose slow-path attempts abort in RW-TLE's
+  // write barrier over and over. Those failures are free: the writer must
+  // not accumulate 5 of them and queue on the lock more than rarely —
+  // i.e., its lock commits stay far below its op count even though its
+  // slow attempts failed hundreds of times.
+  SimScope sim(MachineConfig::corei7());
+  tle::RwTleMethod m;
+  m.prepare(2);
+  alignas(64) static std::uint64_t a;
+  alignas(64) static std::uint64_t b;
+  a = b = 0;
+  test::run_workers(sim, 2, 100, 35, [&](ThreadCtx& th, std::uint64_t) {
+    if (th.tid == 0) {
+      auto cs = [&](TxContext& ctx) {
+        ctx.store(&a, ctx.load(&a) + 1);
+        ctx.compute(400);
+        ctx.htm_unfriendly();
+      };
+      m.execute(th, cs);
+    } else {
+      auto cs = [&](TxContext& ctx) { ctx.store(&b, ctx.load(&b) + 1); };
+      m.execute(th, cs);
+    }
+  });
+  EXPECT_EQ(a, 100u);
+  EXPECT_EQ(b, 100u);
+  // Slow-path explicit aborts piled up without exhausting fast budgets.
+  EXPECT_GT(m.stats().aborts_slow, 100u);
+}
+
+}  // namespace
+}  // namespace rtle

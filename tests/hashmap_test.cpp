@@ -1,0 +1,204 @@
+// TxHashMap: reference-model property tests, structural ops (erase, prune,
+// iteration), abort rollback, node recycling.
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "ds/hashmap.h"
+#include "htm/htm.h"
+#include "sim/env.h"
+#include "sim/rng.h"
+
+namespace rtle {
+namespace {
+
+using ds::TxHashMap;
+using runtime::Path;
+using runtime::ThreadCtx;
+using runtime::TxContext;
+using sim::MachineConfig;
+
+void run_raw(SimScope& sim, const std::function<void(TxContext&)>& body) {
+  ThreadCtx th(0, 99);
+  sim.sched.spawn(
+      [&] {
+        TxContext ctx(Path::kRaw, th);
+        body(ctx);
+      },
+      0);
+  sim.sched.run();
+}
+
+TEST(TxHashMap, InsertFindEraseBasic) {
+  SimScope sim(MachineConfig::corei7());
+  TxHashMap map(64, 256, 1);
+  run_raw(sim, [&](TxContext& ctx) {
+    map.reserve_nodes(ctx.thread(), 8);
+    bool inserted = false;
+    std::uint64_t* v = map.find_or_insert(ctx, 42, inserted);
+    EXPECT_TRUE(inserted);
+    ctx.store(v, std::uint64_t{7});
+    std::uint64_t* v2 = map.find_or_insert(ctx, 42, inserted);
+    EXPECT_FALSE(inserted);
+    EXPECT_EQ(v2, v);
+    EXPECT_EQ(ctx.load(v2), 7u);
+    EXPECT_EQ(map.find(ctx, 43), nullptr);
+    EXPECT_TRUE(map.erase(ctx, 42));
+    EXPECT_FALSE(map.erase(ctx, 42));
+    EXPECT_EQ(map.find(ctx, 42), nullptr);
+  });
+  EXPECT_EQ(map.size_meta(), 0u);
+}
+
+TEST(TxHashMap, MatchesUnorderedMapReference) {
+  SimScope sim(MachineConfig::corei7());
+  TxHashMap map(128, 2048, 1);
+  std::unordered_map<std::uint64_t, std::uint64_t> ref;
+  sim::Rng rng(5);
+  run_raw(sim, [&](TxContext& ctx) {
+    for (int i = 0; i < 5000; ++i) {
+      map.reserve_nodes(ctx.thread(), 2);
+      const std::uint64_t key = rng.below(700);
+      switch (rng.below(4)) {
+        case 0: {  // upsert
+          bool inserted = false;
+          std::uint64_t* v = map.find_or_insert(ctx, key, inserted);
+          EXPECT_EQ(inserted, ref.find(key) == ref.end());
+          const std::uint64_t nv = ctx.load(v) + 1;
+          ctx.store(v, nv);
+          ref[key] += 1;
+          EXPECT_EQ(nv, ref[key]);
+          break;
+        }
+        case 1: {  // find
+          std::uint64_t* v = map.find(ctx, key);
+          auto it = ref.find(key);
+          ASSERT_EQ(v != nullptr, it != ref.end());
+          if (v != nullptr) EXPECT_EQ(ctx.load(v), it->second);
+          break;
+        }
+        default: {  // erase (less often than upsert so the map grows)
+          if (rng.below(2) == 0) {
+            EXPECT_EQ(map.erase(ctx, key), ref.erase(key) > 0);
+          }
+          break;
+        }
+      }
+    }
+  });
+  EXPECT_EQ(map.size_meta(), ref.size());
+  // Full content check via meta iteration.
+  std::size_t seen = 0;
+  map.for_each_meta([&](std::uint64_t k, std::uint64_t v) {
+    auto it = ref.find(k);
+    ASSERT_NE(it, ref.end());
+    EXPECT_EQ(v, it->second);
+    ++seen;
+  });
+  EXPECT_EQ(seen, ref.size());
+}
+
+TEST(TxHashMap, PruneBucketRemovesByPredicate) {
+  SimScope sim(MachineConfig::corei7());
+  TxHashMap map(16, 256, 1);
+  run_raw(sim, [&](TxContext& ctx) {
+    map.reserve_nodes(ctx.thread(), 128);
+    for (std::uint64_t k = 0; k < 100; ++k) {
+      bool inserted = false;
+      std::uint64_t* v = map.find_or_insert(ctx, k, inserted);
+      ctx.store(v, k % 5);  // values 0..4
+    }
+    std::size_t removed = 0;
+    for (std::size_t b = 0; b < map.bucket_count(); ++b) {
+      removed += map.prune_bucket(
+          ctx, b, [](std::uint64_t v) { return v < 2; });
+    }
+    EXPECT_EQ(removed, 40u);  // values 0 and 1
+  });
+  EXPECT_EQ(map.size_meta(), 60u);
+  map.for_each_meta(
+      [](std::uint64_t, std::uint64_t v) { EXPECT_GE(v, 2u); });
+}
+
+TEST(TxHashMap, AbortRollsBackInsertAndErase) {
+  SimScope sim(MachineConfig::corei7());
+  TxHashMap map(16, 64, 1);
+  ThreadCtx th(0, 1);
+  sim.sched.spawn(
+      [&] {
+        map.reserve_nodes(th, 8);
+        {  // committed setup
+          TxContext ctx(Path::kRaw, th);
+          bool ins;
+          ctx.store(map.find_or_insert(ctx, 1, ins), std::uint64_t{10});
+          ctx.store(map.find_or_insert(ctx, 2, ins), std::uint64_t{20});
+        }
+        auto& htm = cur_htm();
+        htm.begin(th.tx);
+        try {
+          TxContext ctx(Path::kHtmFast, th);
+          bool ins;
+          ctx.store(map.find_or_insert(ctx, 3, ins), std::uint64_t{30});
+          EXPECT_TRUE(ins);
+          EXPECT_TRUE(map.erase(ctx, 1));
+          htm.abort_self(th.tx, htm::AbortCause::kExplicit);
+        } catch (const htm::HtmAbort&) {
+        }
+      },
+      0);
+  sim.sched.run();
+  EXPECT_EQ(map.size_meta(), 2u);
+  bool has1 = false, has3 = false;
+  map.for_each_meta([&](std::uint64_t k, std::uint64_t v) {
+    if (k == 1) has1 = (v == 10);
+    if (k == 3) has3 = true;
+  });
+  EXPECT_TRUE(has1);
+  EXPECT_FALSE(has3);
+}
+
+TEST(TxHashMap, RecyclesNodesThroughEraseInsertCycles) {
+  SimScope sim(MachineConfig::corei7());
+  TxHashMap map(16, 80, 1);  // small arena; relies on recycling
+  run_raw(sim, [&](TxContext& ctx) {
+    for (int round = 0; round < 40; ++round) {
+      for (std::uint64_t k = 0; k < 32; ++k) {
+        map.reserve_nodes(ctx.thread(), 2);
+        bool ins;
+        map.find_or_insert(ctx, k * 131 + round, ins);
+        ASSERT_TRUE(ins);
+      }
+      std::size_t erased = 0;
+      for (std::uint64_t k = 0; k < 32; ++k) {
+        erased += map.erase(ctx, k * 131 + round) ? 1 : 0;
+      }
+      ASSERT_EQ(erased, 32u);
+    }
+  });
+  EXPECT_EQ(map.size_meta(), 0u);
+}
+
+TEST(TxHashMap, BucketIterationSeesExactlyBucketContents) {
+  SimScope sim(MachineConfig::corei7());
+  TxHashMap map(8, 128, 1);
+  run_raw(sim, [&](TxContext& ctx) {
+    map.reserve_nodes(ctx.thread(), 64);
+    for (std::uint64_t k = 0; k < 50; ++k) {
+      bool ins;
+      std::uint64_t* v = map.find_or_insert(ctx, k, ins);
+      ctx.store(v, k);
+    }
+    std::size_t total = 0;
+    for (std::size_t b = 0; b < map.bucket_count(); ++b) {
+      map.for_each_in_bucket(ctx, b, [&](std::uint64_t k, std::uint64_t* vp) {
+        EXPECT_EQ(map.bucket_of(k), b);
+        EXPECT_EQ(ctx.load(vp), k);
+        ++total;
+      });
+    }
+    EXPECT_EQ(total, 50u);
+  });
+}
+
+}  // namespace
+}  // namespace rtle

@@ -1,0 +1,230 @@
+// Second HTM test wave: fused store+commit, spurious aborts, self-exclusion
+// in plain-access hooks, many-transaction stress, and scheduler stress.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "htm/htm.h"
+#include "mem/shim.h"
+#include "sim/env.h"
+#include "test_util.h"
+
+namespace rtle {
+namespace {
+
+using htm::AbortCause;
+using htm::HtmAbort;
+using htm::Tx;
+using sim::MachineConfig;
+
+TEST(HtmFused, StoreAndCommitPublishesAtomically) {
+  SimScope s(MachineConfig::corei7());
+  alignas(64) std::uint64_t word = 0;
+  s.sched.spawn(
+      [&] {
+        Tx tx(0);
+        s.htm.begin(tx);
+        s.htm.tx_store_and_commit(tx, &word, 5);
+        EXPECT_FALSE(tx.live());
+      },
+      0);
+  s.sched.run();
+  EXPECT_EQ(word, 5u);
+}
+
+TEST(HtmFused, SurvivesConcurrentPolling) {
+  // A reader polls `clock` every few cycles; a writer repeatedly bumps it
+  // with the fused commit. Unlike store-then-commit, the fused form leaves
+  // no window, so the writer must make steady progress.
+  SimScope s(MachineConfig::corei7());
+  alignas(64) std::uint64_t clock = 0;
+  std::uint64_t commits = 0;
+  std::uint64_t aborts = 0;
+  s.sched.spawn(
+      [&] {
+        Tx tx(0);
+        for (int i = 0; i < 200; ++i) {
+          try {
+            s.htm.begin(tx);
+            const std::uint64_t t = s.htm.tx_load(tx, &clock);
+            s.sched.advance(30);
+            s.htm.tx_store_and_commit(tx, &clock, t + 1);
+            ++commits;
+          } catch (const HtmAbort&) {
+            ++aborts;
+          }
+        }
+      },
+      0);
+  s.sched.spawn(
+      [&] {
+        for (int i = 0; i < 2000; ++i) {
+          (void)mem::plain_load(&clock);
+          s.sched.advance(5);
+        }
+      },
+      1);
+  s.sched.run();
+  EXPECT_GT(commits, 150u);  // the fused window loses only the load race
+  EXPECT_EQ(clock, commits);
+}
+
+TEST(HtmFused, DoomedTransactionStillAborts) {
+  SimScope s(MachineConfig::corei7());
+  alignas(64) std::uint64_t a = 0;
+  alignas(64) std::uint64_t b = 0;
+  bool aborted = false;
+  s.sched.spawn(
+      [&] {
+        Tx tx(0);
+        s.htm.begin(tx);
+        try {
+          (void)s.htm.tx_load(tx, &a);
+          s.sched.advance(100000);  // plenty of time to get doomed
+          s.htm.tx_store_and_commit(tx, &b, 1);
+        } catch (const HtmAbort&) {
+          aborted = true;
+        }
+      },
+      0);
+  s.sched.spawn(
+      [&] {
+        s.sched.advance(500);
+        mem::plain_store(&a, 9);
+      },
+      1);
+  s.sched.run();
+  EXPECT_TRUE(aborted);
+  EXPECT_EQ(b, 0u);
+}
+
+TEST(HtmSpurious, ConfiguredRateProducesSpuriousAborts) {
+  auto mc = MachineConfig::corei7();
+  mc.htm.spurious_every = 50;  // aggressive for the test
+  SimScope s(mc);
+  alignas(64) std::uint64_t data[32];
+  std::uint64_t spurious = 0;
+  s.sched.spawn(
+      [&] {
+        Tx tx(0);
+        for (int i = 0; i < 500; ++i) {
+          try {
+            s.htm.begin(tx);
+            for (int j = 0; j < 8; ++j) (void)s.htm.tx_load(tx, &data[j]);
+            s.htm.commit(tx);
+          } catch (const HtmAbort& e) {
+            if (e.cause == AbortCause::kSpurious) ++spurious;
+          }
+        }
+      },
+      0);
+  s.sched.run();
+  EXPECT_GT(spurious, 10u);
+}
+
+TEST(HtmSpurious, ZeroRateNeverAborts) {
+  auto mc = MachineConfig::corei7();
+  mc.htm.spurious_every = 0;
+  SimScope s(mc);
+  alignas(64) std::uint64_t data[8];
+  std::uint64_t aborts = 0;
+  s.sched.spawn(
+      [&] {
+        Tx tx(0);
+        for (int i = 0; i < 2000; ++i) {
+          try {
+            s.htm.begin(tx);
+            (void)s.htm.tx_load(tx, &data[0]);
+            s.htm.commit(tx);
+          } catch (const HtmAbort&) {
+            ++aborts;
+          }
+        }
+      },
+      0);
+  s.sched.run();
+  EXPECT_EQ(aborts, 0u);
+}
+
+TEST(HtmPlainHooks, SelfExclusionPreventsSelfDooming) {
+  // A thread with a live transaction performing a transaction-pure plain
+  // access to a line in its own footprint must not doom itself when it
+  // passes its own id.
+  SimScope s(MachineConfig::corei7());
+  alignas(64) std::uint64_t word = 0;
+  bool committed = false;
+  s.sched.spawn(
+      [&] {
+        Tx tx(3);
+        s.htm.begin(tx);
+        try {
+          s.htm.tx_store(tx, &word, 1);
+          mem::plain_faa(&word, 0, /*self_tx=*/3);  // e.g. allocator metadata
+          s.htm.commit(tx);
+          committed = true;
+        } catch (const HtmAbort&) {
+        }
+      },
+      0);
+  s.sched.run();
+  EXPECT_TRUE(committed);
+}
+
+TEST(HtmStress, ManyThreadsRandomConflictsStayConsistent) {
+  // 16 transactional threads hammering 8 counters; after the dust settles
+  // the sum of the counters equals the number of committed increments.
+  SimScope s(MachineConfig::xeon());
+  struct Padded {
+    alignas(64) std::uint64_t v = 0;
+  };
+  static Padded counters[8];
+  for (auto& c : counters) c.v = 0;
+  std::uint64_t committed = 0;
+  for (std::uint32_t t = 0; t < 16; ++t) {
+    s.sched.spawn(
+        [&, t] {
+          sim::Rng rng(500 + t);
+          Tx tx(t);
+          for (int i = 0; i < 300; ++i) {
+            const std::size_t idx = rng.below(8);
+            try {
+              s.htm.begin(tx);
+              const std::uint64_t v = s.htm.tx_load(tx, &counters[idx].v);
+              s.sched.advance(10);
+              s.htm.tx_store(tx, &counters[idx].v, v + 1);
+              s.htm.commit(tx);
+              ++committed;
+            } catch (const HtmAbort&) {
+            }
+          }
+        },
+        t);
+  }
+  s.sched.run();
+  std::uint64_t sum = 0;
+  for (const auto& c : counters) sum += c.v;
+  EXPECT_EQ(sum, committed);
+  // 16 threads on 8 counters is brutal; roughly half the attempts lose.
+  EXPECT_GT(committed, 1000u);
+}
+
+TEST(SchedulerStress, SixtyFibersInterleaveAndFinish) {
+  SimScope s(MachineConfig::xeon());
+  std::uint64_t total = 0;
+  for (std::uint32_t t = 0; t < 60; ++t) {
+    s.sched.spawn(
+        [&, t] {
+          sim::Rng rng(t);
+          for (int i = 0; i < 200; ++i) {
+            s.sched.advance(1 + rng.below(30));
+            total += 1;
+          }
+        },
+        t % 36);
+  }
+  s.sched.run();
+  EXPECT_EQ(total, 60u * 200u);
+}
+
+}  // namespace
+}  // namespace rtle

@@ -1,0 +1,332 @@
+// Tests for the emulated best-effort HTM: conflict detection, rollback,
+// capacity, plain-access dooming, nesting, abort causes.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "htm/htm.h"
+#include "mem/shim.h"
+#include "sim/env.h"
+
+namespace rtle {
+namespace {
+
+using htm::AbortCause;
+using htm::HtmAbort;
+using htm::Tx;
+using sim::MachineConfig;
+
+struct Shared {
+  alignas(64) std::uint64_t a = 0;
+  alignas(64) std::uint64_t b = 0;
+};
+
+TEST(Htm, CommitMakesStoresDurable) {
+  SimScope s(MachineConfig::corei7());
+  Shared d;
+  s.sched.spawn(
+      [&] {
+        Tx tx(0);
+        s.htm.begin(tx);
+        s.htm.tx_store(tx, &d.a, 42);
+        s.htm.commit(tx);
+      },
+      0);
+  s.sched.run();
+  EXPECT_EQ(d.a, 42u);
+}
+
+TEST(Htm, ExplicitAbortRollsBack) {
+  SimScope s(MachineConfig::corei7());
+  Shared d;
+  d.a = 7;
+  bool aborted = false;
+  s.sched.spawn(
+      [&] {
+        Tx tx(0);
+        s.htm.begin(tx);
+        try {
+          s.htm.tx_store(tx, &d.a, 99);
+          s.htm.abort_self(tx, AbortCause::kExplicit);
+        } catch (const HtmAbort& e) {
+          aborted = true;
+          EXPECT_EQ(e.cause, AbortCause::kExplicit);
+        }
+      },
+      0);
+  s.sched.run();
+  EXPECT_TRUE(aborted);
+  EXPECT_EQ(d.a, 7u);  // speculative store undone
+}
+
+TEST(Htm, WriteWriteConflictDoomsFirstWriter) {
+  // Thread 0 writes d.a transactionally and then stalls; thread 1 writes the
+  // same line. Requester (thread 1) wins: thread 0 gets doomed and its store
+  // is rolled back before thread 1's store lands.
+  SimScope s(MachineConfig::corei7());
+  Shared d;
+  AbortCause cause = AbortCause::kNone;
+  bool t1_committed = false;
+  s.sched.spawn(
+      [&] {
+        Tx tx(0);
+        s.htm.begin(tx);
+        try {
+          s.htm.tx_store(tx, &d.a, 111);
+          s.sched.advance(100000);  // stall, letting thread 1 run
+          s.htm.tx_store(tx, &d.b, 1);
+          s.htm.commit(tx);
+        } catch (const HtmAbort& e) {
+          cause = e.cause;
+        }
+      },
+      0);
+  s.sched.spawn(
+      [&] {
+        s.sched.advance(500);  // start after thread 0's first store
+        Tx tx(1);
+        s.htm.begin(tx);
+        try {
+          s.htm.tx_store(tx, &d.a, 222);
+          s.htm.commit(tx);
+          t1_committed = true;
+        } catch (const HtmAbort&) {
+        }
+      },
+      1);
+  s.sched.run();
+  EXPECT_EQ(cause, AbortCause::kConflict);
+  EXPECT_TRUE(t1_committed);
+  EXPECT_EQ(d.a, 222u);
+  EXPECT_EQ(d.b, 0u);
+}
+
+TEST(Htm, PlainStoreDoomsReader) {
+  // A transaction subscribes (reads) a word; a later plain store to it by
+  // another thread dooms the transaction — the TLE lock-subscription
+  // mechanism depends on exactly this.
+  SimScope s(MachineConfig::corei7());
+  Shared d;
+  AbortCause cause = AbortCause::kNone;
+  s.sched.spawn(
+      [&] {
+        Tx tx(0);
+        s.htm.begin(tx);
+        try {
+          (void)s.htm.tx_load(tx, &d.a);
+          s.sched.advance(100000);
+          (void)s.htm.tx_load(tx, &d.b);
+          s.htm.commit(tx);
+        } catch (const HtmAbort& e) {
+          cause = e.cause;
+        }
+      },
+      0);
+  s.sched.spawn(
+      [&] {
+        s.sched.advance(500);
+        mem::plain_store(&d.a, 5);
+      },
+      1);
+  s.sched.run();
+  EXPECT_EQ(cause, AbortCause::kConflict);
+  EXPECT_EQ(d.a, 5u);
+}
+
+TEST(Htm, PlainLoadDoomsWriterAndSeesOldValue) {
+  SimScope s(MachineConfig::corei7());
+  Shared d;
+  d.a = 10;
+  std::uint64_t seen = 0;
+  AbortCause cause = AbortCause::kNone;
+  s.sched.spawn(
+      [&] {
+        Tx tx(0);
+        s.htm.begin(tx);
+        try {
+          s.htm.tx_store(tx, &d.a, 999);
+          s.sched.advance(100000);
+          s.htm.commit(tx);
+        } catch (const HtmAbort& e) {
+          cause = e.cause;
+        }
+      },
+      0);
+  s.sched.spawn(
+      [&] {
+        s.sched.advance(500);
+        seen = mem::plain_load(&d.a);
+      },
+      1);
+  s.sched.run();
+  EXPECT_EQ(cause, AbortCause::kConflict);
+  EXPECT_EQ(seen, 10u);  // speculative value never observed
+  EXPECT_EQ(d.a, 10u);
+}
+
+TEST(Htm, ReadReadSharingDoesNotConflict) {
+  SimScope s(MachineConfig::corei7());
+  Shared d;
+  d.a = 3;
+  int commits = 0;
+  for (int id = 0; id < 2; ++id) {
+    s.sched.spawn(
+        [&, id] {
+          Tx tx(id);
+          s.htm.begin(tx);
+          try {
+            (void)s.htm.tx_load(tx, &d.a);
+            s.sched.advance(1000);
+            (void)s.htm.tx_load(tx, &d.a);
+            s.htm.commit(tx);
+            ++commits;
+          } catch (const HtmAbort&) {
+          }
+        },
+        id);
+  }
+  s.sched.run();
+  EXPECT_EQ(commits, 2);
+}
+
+TEST(Htm, WriteCapacityAborts) {
+  auto mc = MachineConfig::corei7();
+  mc.htm.max_write_lines = 8;
+  SimScope s(mc);
+  std::vector<std::uint64_t> data(16 * 8, 0);  // 16 lines (8 words each)
+  AbortCause cause = AbortCause::kNone;
+  s.sched.spawn(
+      [&] {
+        Tx tx(0);
+        s.htm.begin(tx);
+        try {
+          for (std::size_t i = 0; i < data.size(); i += 8) {
+            s.htm.tx_store(tx, &data[i], 1);
+          }
+          s.htm.commit(tx);
+        } catch (const HtmAbort& e) {
+          cause = e.cause;
+        }
+      },
+      0);
+  s.sched.run();
+  EXPECT_EQ(cause, AbortCause::kCapacity);
+  for (auto v : data) EXPECT_EQ(v, 0u);  // all rolled back
+}
+
+TEST(Htm, ReadCapacityAborts) {
+  auto mc = MachineConfig::corei7();
+  mc.htm.max_read_lines = 8;
+  SimScope s(mc);
+  std::vector<std::uint64_t> data(16 * 8, 0);
+  AbortCause cause = AbortCause::kNone;
+  s.sched.spawn(
+      [&] {
+        Tx tx(0);
+        s.htm.begin(tx);
+        try {
+          for (std::size_t i = 0; i < data.size(); i += 8) {
+            (void)s.htm.tx_load(tx, &data[i]);
+          }
+          s.htm.commit(tx);
+        } catch (const HtmAbort& e) {
+          cause = e.cause;
+        }
+      },
+      0);
+  s.sched.run();
+  EXPECT_EQ(cause, AbortCause::kCapacity);
+}
+
+TEST(Htm, NestingFlattens) {
+  SimScope s(MachineConfig::corei7());
+  Shared d;
+  s.sched.spawn(
+      [&] {
+        Tx tx(0);
+        s.htm.begin(tx);
+        s.htm.begin(tx);  // nested
+        s.htm.tx_store(tx, &d.a, 1);
+        s.htm.commit(tx);             // inner commit: still live
+        EXPECT_TRUE(tx.live());
+        s.htm.tx_store(tx, &d.b, 2);
+        s.htm.commit(tx);  // outer commit
+        EXPECT_FALSE(tx.live());
+      },
+      0);
+  s.sched.run();
+  EXPECT_EQ(d.a, 1u);
+  EXPECT_EQ(d.b, 2u);
+}
+
+TEST(Htm, RepeatedStoreToSameWordRollsBackToOriginal) {
+  SimScope s(MachineConfig::corei7());
+  Shared d;
+  d.a = 5;
+  s.sched.spawn(
+      [&] {
+        Tx tx(0);
+        s.htm.begin(tx);
+        try {
+          s.htm.tx_store(tx, &d.a, 6);
+          s.htm.tx_store(tx, &d.a, 7);
+          s.htm.abort_self(tx, AbortCause::kExplicit);
+        } catch (const HtmAbort&) {
+        }
+      },
+      0);
+  s.sched.run();
+  EXPECT_EQ(d.a, 5u);
+}
+
+TEST(Htm, AbortCountersTrackCauses) {
+  SimScope s(MachineConfig::corei7());
+  Shared d;
+  s.sched.spawn(
+      [&] {
+        Tx tx(0);
+        for (int i = 0; i < 3; ++i) {
+          s.htm.begin(tx);
+          try {
+            s.htm.tx_store(tx, &d.a, 1);
+            s.htm.abort_self(tx, AbortCause::kExplicit);
+          } catch (const HtmAbort&) {
+          }
+        }
+      },
+      0);
+  s.sched.run();
+  EXPECT_EQ(
+      s.htm.abort_counts()[static_cast<int>(AbortCause::kExplicit)], 3u);
+}
+
+TEST(Htm, CommitOfDoomedTransactionThrows) {
+  SimScope s(MachineConfig::corei7());
+  Shared d;
+  bool threw = false;
+  s.sched.spawn(
+      [&] {
+        Tx tx(0);
+        s.htm.begin(tx);
+        try {
+          (void)s.htm.tx_load(tx, &d.a);
+          s.sched.advance(100000);
+          s.htm.commit(tx);
+        } catch (const HtmAbort&) {
+          threw = true;
+        }
+      },
+      0);
+  s.sched.spawn(
+      [&] {
+        s.sched.advance(500);
+        mem::plain_store(&d.a, 1);
+      },
+      1);
+  s.sched.run();
+  EXPECT_TRUE(threw);
+}
+
+}  // namespace
+}  // namespace rtle

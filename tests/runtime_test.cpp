@@ -1,0 +1,208 @@
+// Runtime layer: TxContext dispatch across paths, typed accessors, the
+// htm_unfriendly hook, the libitm façade, engine statistics invariants, and
+// set-benchmark integration properties.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "bench_util/setbench.h"
+#include "runtime/engine.h"
+#include "runtime/libitm_compat.h"
+#include "sim/env.h"
+#include "test_util.h"
+#include "tle/fgtle.h"
+#include "tle/tle.h"
+
+namespace rtle {
+namespace {
+
+using runtime::Path;
+using runtime::ThreadCtx;
+using runtime::TxContext;
+using sim::MachineConfig;
+
+TEST(TxContext, TypedAccessorsRoundTripPointersAndIntegers) {
+  SimScope sim(MachineConfig::corei7());
+  struct Node {
+    std::uint64_t key = 0;
+    Node* next = nullptr;
+    std::int64_t delta = 0;
+  };
+  alignas(64) static Node a, b;
+  test::run_workers(sim, 1, 1, 1, [&](ThreadCtx& th, std::uint64_t) {
+    TxContext ctx(Path::kRaw, th);
+    ctx.store(&a.key, std::uint64_t{77});
+    ctx.store(&a.next, &b);
+    ctx.store(&a.delta, std::int64_t{-5});
+    EXPECT_EQ(ctx.load(&a.key), 77u);
+    EXPECT_EQ(ctx.load(&a.next), &b);
+    EXPECT_EQ(ctx.load(&a.delta), -5);
+  });
+}
+
+TEST(TxContext, UnfriendlyIsHarmlessOutsideHtm) {
+  SimScope sim(MachineConfig::corei7());
+  bool done = false;
+  test::run_workers(sim, 1, 1, 2, [&](ThreadCtx& th, std::uint64_t) {
+    TxContext ctx(Path::kRaw, th);
+    ctx.htm_unfriendly();  // must not throw on a non-speculative path
+    done = true;
+  });
+  EXPECT_TRUE(done);
+}
+
+TEST(TxContext, UnfriendlyAbortsHtmFast) {
+  SimScope sim(MachineConfig::corei7());
+  htm::AbortCause cause = htm::AbortCause::kNone;
+  test::run_workers(sim, 1, 1, 3, [&](ThreadCtx& th, std::uint64_t) {
+    auto& h = cur_htm();
+    h.begin(th.tx);
+    try {
+      TxContext ctx(Path::kHtmFast, th);
+      ctx.htm_unfriendly();
+      h.commit(th.tx);
+    } catch (const htm::HtmAbort& e) {
+      cause = e.cause;
+    }
+  });
+  EXPECT_EQ(cause, htm::AbortCause::kUnsupported);
+}
+
+TEST(LibitmFacade, WrappersMatchContextSemantics) {
+  SimScope sim(MachineConfig::corei7());
+  alignas(64) static std::uint64_t word = 0;
+  test::run_workers(sim, 1, 1, 4, [&](ThreadCtx& th, std::uint64_t) {
+    TxContext ctx(Path::kRaw, th);
+    runtime::itm::WU8(ctx, &word, 9);
+    EXPECT_EQ(runtime::itm::RU8(ctx, &word), 9u);
+    EXPECT_EQ(runtime::itm::RfWU8(ctx, &word), 9u);
+    EXPECT_EQ(runtime::itm::inTransaction(ctx), runtime::itm::How::kSerial);
+    TxContext fast(Path::kHtmFast, th);
+    EXPECT_EQ(runtime::itm::inTransaction(fast),
+              runtime::itm::How::kUninstrumented);
+    TxContext slow(Path::kHtmSlow, th);
+    EXPECT_EQ(runtime::itm::inTransaction(slow),
+              runtime::itm::How::kInstrumented);
+  });
+}
+
+TEST(EngineStats, CommitPathsSumToOps) {
+  SimScope sim(MachineConfig::xeon());
+  tle::FgTleMethod m(256);
+  m.prepare(6);
+  alignas(64) static std::uint64_t word = 0;
+  test::run_workers(sim, 6, 200, 5, [&](ThreadCtx& th, std::uint64_t) {
+    auto cs = [&](TxContext& ctx) {
+      ctx.store(&word, ctx.load(&word) + 1);
+      if (th.tid == 0) ctx.htm_unfriendly();
+    };
+    m.execute(th, cs);
+  });
+  const auto& s = m.stats();
+  EXPECT_EQ(s.ops, 1200u);
+  EXPECT_EQ(s.commit_fast_htm + s.commit_slow_htm + s.commit_lock, s.ops);
+  EXPECT_LE(s.slow_htm_while_locked, s.commit_slow_htm);
+  EXPECT_LE(s.lock_fallback_rate(), 1.0);
+  EXPECT_EQ(s.lock_acquisitions, s.commit_lock);
+  EXPECT_FALSE(s.summary().empty());
+}
+
+// Integration: the set-benchmark driver must produce internally consistent
+// results for every method × machine combination.
+class SetBenchTest
+    : public ::testing::TestWithParam<std::tuple<const char*, const char*>> {
+};
+
+TEST_P(SetBenchTest, ResultsAreInternallyConsistent) {
+  const auto [method, machine] = GetParam();
+  bench::SetBenchConfig cfg;
+  cfg.machine = std::string(machine) == "corei7"
+                    ? MachineConfig::corei7()
+                    : MachineConfig::xeon();
+  cfg.threads = 4;
+  cfg.key_range = 1024;
+  cfg.insert_pct = 20;
+  cfg.remove_pct = 20;
+  cfg.duration_ms = 0.05;
+  const auto r = bench::run_set_bench(cfg, bench::method_by_name(method));
+  EXPECT_GT(r.ops, 0u);
+  EXPECT_GT(r.ops_per_ms, 0.0);
+  EXPECT_EQ(r.threads, 4u);
+  const auto& s = r.stats;
+  const std::uint64_t commits = s.commit_fast_htm + s.commit_slow_htm +
+                                s.commit_lock + s.commit_stm_ro +
+                                s.commit_stm_htm + s.commit_stm_lock +
+                                s.rhn_htm_fast + s.rhn_htm_slow;
+  EXPECT_EQ(commits, s.ops);
+  EXPECT_EQ(r.method, method);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SetBenchTest,
+    ::testing::Combine(::testing::Values("Lock", "TLE", "RW-TLE",
+                                         "FG-TLE(16)", "FG-TLE(4096)",
+                                         "A-FG-TLE", "NOrec", "RHNOrec",
+                                         "RW-TLE-lazy", "FG-TLE-lazy(64)"),
+                       ::testing::Values("corei7", "xeon")),
+    [](const ::testing::TestParamInfo<SetBenchTest::ParamType>& i) {
+      std::string n = std::string(std::get<0>(i.param)) + "_" +
+                      std::get<1>(i.param);
+      for (char& c : n) {
+        if (!isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return n;
+    });
+
+TEST(SetBench, UnfriendlyConfigExercisesUnsupportedAborts) {
+  bench::SetBenchConfig cfg;
+  cfg.machine = MachineConfig::xeon();
+  cfg.threads = 4;
+  cfg.key_range = 4096;
+  cfg.duration_ms = 0.05;
+  cfg.unfriendly_thread0 = true;
+  const auto r = bench::run_set_bench(cfg, bench::method_by_name("TLE"));
+  EXPECT_GT(r.stats.abort_cause[static_cast<int>(
+                htm::AbortCause::kUnsupported)],
+            0u);
+  EXPECT_GT(r.stats.commit_lock, 0u);
+}
+
+TEST(SetBench, HotspotSkewIncreasesConflicts) {
+  bench::SetBenchConfig cfg;
+  cfg.machine = MachineConfig::xeon();
+  cfg.threads = 8;
+  cfg.key_range = 8192;
+  cfg.insert_pct = 30;
+  cfg.remove_pct = 30;
+  cfg.duration_ms = 0.1;
+  const auto uniform = bench::run_set_bench(cfg, bench::method_by_name("TLE"));
+  cfg.hot_access_pct = 95;
+  cfg.hot_key_fraction = 0.02;
+  const auto hot = bench::run_set_bench(cfg, bench::method_by_name("TLE"));
+  EXPECT_GT(static_cast<double>(hot.stats.total_aborts()) / hot.ops,
+            static_cast<double>(uniform.stats.total_aborts()) / uniform.ops);
+}
+
+TEST(SetBench, HleAliasUsesSingleTrial) {
+  bench::SetBenchConfig cfg;
+  cfg.machine = sim::MachineConfig::xeon();
+  cfg.threads = 6;
+  cfg.key_range = 512;
+  cfg.insert_pct = 30;
+  cfg.remove_pct = 30;
+  cfg.duration_ms = 0.05;
+  const auto hle = bench::run_set_bench(cfg, bench::method_by_name("HLE"));
+  const auto tle = bench::run_set_bench(cfg, bench::method_by_name("TLE"));
+  EXPECT_GT(hle.ops, 0u);
+  // A single attempt gives up far more often than five.
+  EXPECT_GT(hle.stats.lock_fallback_rate(),
+            tle.stats.lock_fallback_rate());
+}
+
+TEST(SetBench, MorePaperMethodsThanTen) {
+  EXPECT_GE(bench::paper_methods().size(), 11u);
+  EXPECT_GE(bench::refined_methods().size(), 8u);
+}
+
+}  // namespace
+}  // namespace rtle

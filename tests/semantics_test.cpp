@@ -1,0 +1,111 @@
+// Reproduction of the paper's Figure 4 (§5): a lock used as a barrier.
+//
+//   Thread 1: Lock(L); GoFlag = 1; ...; Ptr = nonnull; Unlock(L);
+//   Thread 2: while (GoFlag == 0) ;  Lock(L); Unlock(L);  use *Ptr;
+//
+// Thread 2's empty critical section is a fence: under plain locking (and
+// plain TLE) it cannot complete while thread 1 still holds L, so Ptr is
+// initialized afterwards. The paper shows eager refined TLE *breaks* this
+// pattern — an empty critical section commits on the slow path while the
+// lock is held — and that lazy lock subscription restores it. These tests
+// pin down exactly that behavior matrix:
+//
+//   Lock, TLE, RW-TLE*, FG-TLE-lazy, RW-TLE-lazy : pattern preserved
+//   FG-TLE (eager)                               : pattern violated
+//
+// (*RW-TLE happens to preserve this particular idiom: the holder's first
+// write sets the write flag before GoFlag becomes visible, so the waiter's
+// slow path aborts until release. The guarantee is accidental — the paper
+// still classifies eager refined TLE as unsafe for such patterns.)
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "bench_util/setbench.h"
+#include "mem/shim.h"
+#include "sim/env.h"
+#include "sim/rng.h"
+
+namespace rtle {
+namespace {
+
+using runtime::ThreadCtx;
+using runtime::TxContext;
+using sim::MachineConfig;
+
+/// Runs the Figure-4 pattern once; returns true if thread 2 observed a
+/// null Ptr after its empty critical section (a barrier violation).
+bool barrier_pattern_violated(const char* method_name) {
+  SimScope sim(MachineConfig::corei7());
+  auto method = bench::method_by_name(method_name).make();
+  method->prepare(2);
+
+  alignas(64) static std::uint64_t go_flag;
+  alignas(64) static std::uint64_t ptr;
+  go_flag = 0;
+  ptr = 0;
+  bool violated = false;
+
+  ThreadCtx t1(0, 1);
+  ThreadCtx t2(1, 2);
+
+  sim.sched.spawn(
+      [&] {
+        auto cs = [&](TxContext& ctx) {
+          // Force the pessimistic path: this critical section *holds the
+          // lock* (speculative attempts die on the unfriendly instruction).
+          ctx.htm_unfriendly();
+          ctx.store(&go_flag, std::uint64_t{1});
+          ctx.compute(8000);  // long gap between the signal and the init
+          ctx.store(&ptr, std::uint64_t{0xdeadbeef});
+        };
+        method->execute(t1, cs);
+      },
+      0);
+
+  sim.sched.spawn(
+      [&] {
+        while (mem::plain_load(&go_flag) == 0) mem::compute(20);
+        auto empty = [](TxContext&) {};
+        method->execute(t2, empty);
+        // The lock-as-barrier assumption: Ptr must be initialized now.
+        violated = mem::plain_load(&ptr) == 0;
+      },
+      1);
+
+  sim.sched.run();
+  EXPECT_EQ(ptr, 0xdeadbeefULL);  // thread 1 always finishes eventually
+  return violated;
+}
+
+TEST(LockAsBarrier, PlainLockPreservesThePattern) {
+  EXPECT_FALSE(barrier_pattern_violated("Lock"));
+}
+
+TEST(LockAsBarrier, TlePreservesThePattern) {
+  EXPECT_FALSE(barrier_pattern_violated("TLE"));
+}
+
+TEST(LockAsBarrier, EagerFgTleViolatesThePattern) {
+  // The §5 limitation, demonstrated: the empty critical section commits on
+  // the slow path while the lock is held, and thread 2 dereferences a
+  // not-yet-initialized pointer.
+  EXPECT_TRUE(barrier_pattern_violated("FG-TLE(1024)"));
+}
+
+TEST(LockAsBarrier, LazyFgTleRestoresThePattern) {
+  EXPECT_FALSE(barrier_pattern_violated("FG-TLE-lazy(1024)"));
+}
+
+TEST(LockAsBarrier, RwTlePreservesThisParticularIdiom) {
+  // See the header comment: the write flag is set before GoFlag becomes
+  // visible, so the waiter cannot commit its empty section early.
+  EXPECT_FALSE(barrier_pattern_violated("RW-TLE"));
+}
+
+TEST(LockAsBarrier, LazyRwTlePreservesThePattern) {
+  EXPECT_FALSE(barrier_pattern_violated("RW-TLE-lazy"));
+}
+
+}  // namespace
+}  // namespace rtle

@@ -1,0 +1,190 @@
+// Tests for the fiber + deterministic scheduler substrate.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/env.h"
+#include "sim/fiber.h"
+#include "sim/rng.h"
+#include "sim/sched.h"
+
+namespace rtle {
+namespace {
+
+using sim::MachineConfig;
+using sim::Scheduler;
+
+TEST(Fiber, RunsBodyAndFinishes) {
+  bool ran = false;
+  sim::Context main_ctx;
+  sim::Fiber f([&] { ran = true; });
+  f.return_to = &main_ctx;
+  f.switch_from(main_ctx);
+  EXPECT_TRUE(ran);
+  EXPECT_TRUE(f.finished());
+}
+
+TEST(Fiber, PingPongBetweenTwoFibers) {
+  // Two fibers alternate via explicit switches; validates that saved
+  // contexts survive repeated suspension.
+  std::vector<int> order;
+  sim::Context main_ctx;
+  sim::Fiber* fa = nullptr;
+  sim::Fiber* fb = nullptr;
+  sim::Fiber a(
+      [&] {
+        order.push_back(1);
+        fb->switch_from(fa->context());  // a -> b
+        order.push_back(3);
+        fb->switch_from(fa->context());  // a -> b (b resumes, then finishes)
+        order.push_back(5);
+      });
+  sim::Fiber b(
+      [&] {
+        order.push_back(2);
+        fa->switch_from(fb->context());  // b -> a
+        order.push_back(4);
+        fa->switch_from(fb->context());  // b -> a
+      });
+  fa = &a;
+  fb = &b;
+  a.return_to = &main_ctx;
+  b.return_to = &main_ctx;
+  a.switch_from(main_ctx);  // runs a..5, a finishes -> main
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4, 5}));
+  EXPECT_TRUE(a.finished());
+}
+
+TEST(Scheduler, RunsAllFibersToCompletion) {
+  SimScope s(MachineConfig::corei7());
+  int done = 0;
+  for (int i = 0; i < 5; ++i) {
+    s.sched.spawn([&done] { ++done; }, i);
+  }
+  s.sched.run();
+  EXPECT_EQ(done, 5);
+}
+
+TEST(Scheduler, MinClockOrderInterleavesFairly) {
+  // Two fibers charging equal costs must alternate: the global order of
+  // events is (clock, id)-sorted.
+  SimScope s(MachineConfig::corei7());
+  std::vector<int> order;
+  for (int id = 0; id < 2; ++id) {
+    s.sched.spawn(
+        [&order, id, &s] {
+          for (int i = 0; i < 4; ++i) {
+            order.push_back(id);
+            s.sched.advance(10);
+          }
+        },
+        id);
+  }
+  s.sched.run();
+  ASSERT_EQ(order.size(), 8u);
+  // Each fiber runs until its clock strictly exceeds the other's; with equal
+  // charges the deterministic pattern is 0 1 1 0 0 1 1 0 — no fiber ever
+  // gets more than two consecutive steps, and both make equal progress.
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 1, 0, 0, 1, 1, 0}));
+}
+
+TEST(Scheduler, DeterministicAcrossRuns) {
+  auto trace = [] {
+    SimScope s(MachineConfig::xeon());
+    std::string t;
+    for (int id = 0; id < 6; ++id) {
+      s.sched.spawn(
+          [&t, id, &s] {
+            sim::Rng rng(100 + id);
+            for (int i = 0; i < 50; ++i) {
+              t += static_cast<char>('a' + id);
+              s.sched.advance(1 + rng.below(20));
+            }
+          },
+          id);
+    }
+    s.sched.run();
+    return t;
+  };
+  EXPECT_EQ(trace(), trace());
+}
+
+TEST(Scheduler, ClockAdvancesByChargedCycles) {
+  SimScope s(MachineConfig::corei7());
+  std::uint64_t end = 0;
+  s.sched.spawn(
+      [&] {
+        s.sched.advance(123);
+        s.sched.advance(77);
+        end = s.sched.now();
+      },
+      0);
+  s.sched.run();
+  EXPECT_EQ(end, 200u);
+}
+
+TEST(Scheduler, SmtPenaltyAppliesOnlyWhenSiblingShares) {
+  // corei7 has 4 cores: pins 0 and 4 share core 0; pins 0 and 1 do not.
+  auto measure = [](std::uint32_t pin_a, std::uint32_t pin_b) {
+    SimScope s(MachineConfig::corei7());
+    std::uint64_t clock_a = 0;
+    s.sched.spawn(
+        [&] {
+          for (int i = 0; i < 10; ++i) s.sched.advance(10);
+          clock_a = s.sched.now();
+        },
+        pin_a);
+    s.sched.spawn([&] {
+      for (int i = 0; i < 10; ++i) s.sched.advance(10);
+    },
+        pin_b);
+    s.sched.run();
+    return clock_a;
+  };
+  const std::uint64_t separate = measure(0, 1);
+  const std::uint64_t shared = measure(0, 4);
+  EXPECT_EQ(separate, 100u);
+  const auto& c = MachineConfig::corei7().cost;
+  EXPECT_EQ(shared, 100u * c.smt_penalty_num / c.smt_penalty_den);
+}
+
+TEST(Scheduler, EpochCarriesAcrossRounds) {
+  SimScope s(MachineConfig::corei7());
+  s.sched.spawn([&] { s.sched.advance(500); }, 0);
+  s.sched.run();
+  EXPECT_EQ(s.sched.epoch(), 500u);
+  std::uint64_t start_clock = 0;
+  s.sched.spawn([&] { start_clock = s.sched.now(); }, 0);
+  s.sched.run();
+  EXPECT_EQ(start_clock, 500u);
+}
+
+TEST(Scheduler, PinningMapsThreadsToCoresPaperStyle) {
+  SimScope s(MachineConfig::xeon());
+  std::vector<std::uint32_t> cores(20);
+  for (std::uint32_t i = 0; i < 20; ++i) {
+    s.sched.spawn([&cores, i, &s] { cores[i] = s.sched.current_core(); }, i);
+  }
+  s.sched.run();
+  for (std::uint32_t i = 0; i < 18; ++i) EXPECT_EQ(cores[i], i);
+  EXPECT_EQ(cores[18], 0u);  // thread 18 shares core 0 with thread 0
+  EXPECT_EQ(cores[19], 1u);
+}
+
+TEST(Rng, DeterministicAndRoughlyUniform) {
+  sim::Rng r(42);
+  sim::Rng r2(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(r.next(), r2.next());
+  int buckets[10] = {0};
+  sim::Rng r3(7);
+  for (int i = 0; i < 100000; ++i) buckets[r3.below(10)]++;
+  for (int b : buckets) {
+    EXPECT_GT(b, 8000);
+    EXPECT_LT(b, 12000);
+  }
+}
+
+}  // namespace
+}  // namespace rtle

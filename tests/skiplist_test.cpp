@@ -1,0 +1,176 @@
+// Skip-list set: reference-model properties, invariants, deterministic
+// heights, abort rollback, and cross-method concurrent linearization.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "bench_util/setbench.h"
+#include "ds/skiplist.h"
+#include "htm/htm.h"
+#include "sim/env.h"
+#include "sim/rng.h"
+#include "test_util.h"
+
+namespace rtle {
+namespace {
+
+using ds::SkipListSet;
+using runtime::Path;
+using runtime::ThreadCtx;
+using runtime::TxContext;
+using sim::MachineConfig;
+
+void run_raw(SimScope& sim, const std::function<void(TxContext&)>& body) {
+  ThreadCtx th(0, 11);
+  sim.sched.spawn(
+      [&] {
+        TxContext ctx(Path::kRaw, th);
+        body(ctx);
+      },
+      0);
+  sim.sched.run();
+}
+
+TEST(SkipList, BasicInsertFindRemove) {
+  SimScope sim(MachineConfig::corei7());
+  SkipListSet set(256, 1);
+  run_raw(sim, [&](TxContext& ctx) {
+    set.reserve_nodes(ctx.thread(), 8);
+    EXPECT_FALSE(set.contains(ctx, 10));
+    EXPECT_TRUE(set.insert(ctx, 10));
+    EXPECT_FALSE(set.insert(ctx, 10));
+    EXPECT_TRUE(set.contains(ctx, 10));
+    EXPECT_TRUE(set.remove(ctx, 10));
+    EXPECT_FALSE(set.remove(ctx, 10));
+  });
+  EXPECT_TRUE(set.invariants_ok());
+  EXPECT_EQ(set.size_meta(), 0u);
+}
+
+TEST(SkipList, RandomOpsMatchStdSet) {
+  SimScope sim(MachineConfig::corei7());
+  SkipListSet set(2048, 1);
+  std::set<std::uint64_t> ref;
+  sim::Rng rng(17);
+  run_raw(sim, [&](TxContext& ctx) {
+    for (int i = 0; i < 6000; ++i) {
+      set.reserve_nodes(ctx.thread(), 2);
+      const std::uint64_t key = rng.below(400);
+      switch (rng.below(3)) {
+        case 0:
+          EXPECT_EQ(set.insert(ctx, key), ref.insert(key).second);
+          break;
+        case 1:
+          EXPECT_EQ(set.remove(ctx, key), ref.erase(key) > 0);
+          break;
+        default:
+          EXPECT_EQ(set.contains(ctx, key), ref.count(key) > 0);
+      }
+    }
+  });
+  EXPECT_TRUE(set.invariants_ok());
+  EXPECT_EQ(set.size_meta(), ref.size());
+}
+
+TEST(SkipList, HeightsAreDeterministicAndGeometric) {
+  int histogram[SkipListSet::kMaxLevel + 1] = {};
+  for (std::uint64_t k = 0; k < 100000; ++k) {
+    const int h = SkipListSet::height_of_key(k);
+    ASSERT_GE(h, 1);
+    ASSERT_LE(h, SkipListSet::kMaxLevel);
+    ASSERT_EQ(h, SkipListSet::height_of_key(k));  // deterministic
+    histogram[h] += 1;
+  }
+  // Roughly half the mass at level 1, a quarter at level 2, ...
+  EXPECT_NEAR(histogram[1] / 100000.0, 0.5, 0.05);
+  EXPECT_NEAR(histogram[2] / 100000.0, 0.25, 0.04);
+}
+
+TEST(SkipList, AbortRollsBackInsertAndRemove) {
+  SimScope sim(MachineConfig::corei7());
+  SkipListSet set(256, 1);
+  ThreadCtx th(0, 3);
+  sim.sched.spawn(
+      [&] {
+        set.reserve_nodes(th, 32);
+        {
+          TxContext ctx(Path::kRaw, th);
+          for (std::uint64_t k = 0; k < 20; ++k) set.insert(ctx, k * 3);
+        }
+        auto& htm = cur_htm();
+        htm.begin(th.tx);
+        try {
+          TxContext ctx(Path::kHtmFast, th);
+          EXPECT_TRUE(set.insert(ctx, 100));
+          EXPECT_TRUE(set.remove(ctx, 9));
+          htm.abort_self(th.tx, htm::AbortCause::kExplicit);
+        } catch (const htm::HtmAbort&) {
+        }
+      },
+      0);
+  sim.sched.run();
+  EXPECT_TRUE(set.invariants_ok());
+  EXPECT_EQ(set.size_meta(), 20u);
+}
+
+class SkipListMethodTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(SkipListMethodTest, ConcurrentHistoryIsConsistent) {
+  constexpr std::uint32_t kThreads = 8;
+  constexpr std::uint64_t kOps = 200;
+  constexpr std::uint64_t kRange = 128;
+  SimScope sim(MachineConfig::xeon());
+  SkipListSet set(kRange + 64 * kThreads + 64, kThreads);
+  auto method = bench::method_by_name(GetParam()).make();
+  method->prepare(kThreads);
+
+  std::vector<std::int64_t> delta(kRange, 0);
+  test::run_workers(
+      sim, kThreads, kOps, /*seed=*/57,
+      [&](ThreadCtx& th, std::uint64_t) {
+        set.reserve_nodes(th, 2);
+        const std::uint64_t key = th.rng.below(kRange);
+        const std::uint32_t r = th.rng.below(100);
+        if (r < 35) {
+          bool ok = false;
+          auto cs = [&](TxContext& ctx) { ok = set.insert(ctx, key); };
+          method->execute(th, cs);
+          if (ok) delta[key] += 1;
+        } else if (r < 70) {
+          bool ok = false;
+          auto cs = [&](TxContext& ctx) { ok = set.remove(ctx, key); };
+          method->execute(th, cs);
+          if (ok) delta[key] -= 1;
+        } else {
+          auto cs = [&](TxContext& ctx) { set.contains(ctx, key); };
+          method->execute(th, cs);
+        }
+      });
+
+  ASSERT_TRUE(set.invariants_ok());
+  std::size_t expect = 0;
+  for (std::uint64_t k = 0; k < kRange; ++k) {
+    ASSERT_GE(delta[k], -1);
+    ASSERT_LE(delta[k], 1);
+    expect += delta[k] == 1 ? 1 : 0;
+  }
+  EXPECT_EQ(set.size_meta(), expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(Methods, SkipListMethodTest,
+                         ::testing::Values("Lock", "TLE", "RW-TLE",
+                                           "FG-TLE(1)", "FG-TLE(1024)",
+                                           "NOrec", "RHNOrec"),
+                         [](const ::testing::TestParamInfo<const char*>& i) {
+                           std::string n = i.param;
+                           for (char& c : n) {
+                             if (!isalnum(static_cast<unsigned char>(c))) {
+                               c = '_';
+                             }
+                           }
+                           return n;
+                         });
+
+}  // namespace
+}  // namespace rtle

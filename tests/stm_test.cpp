@@ -1,0 +1,209 @@
+// NOrec / RHNOrec specifics: read-own-writes, value-based validation,
+// commit-path selection, opacity, and the commit-lock fallback.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "sim/env.h"
+#include "stm/norec.h"
+#include "stm/rhnorec.h"
+#include "test_util.h"
+
+namespace rtle {
+namespace {
+
+using runtime::ThreadCtx;
+using runtime::TxContext;
+using sim::MachineConfig;
+
+struct Cell {
+  alignas(64) std::uint64_t a = 0;
+  alignas(64) std::uint64_t b = 0;
+};
+
+TEST(NOrec, ReadsOwnWrites) {
+  SimScope sim(MachineConfig::corei7());
+  stm::NOrecMethod m;
+  m.prepare(1);
+  Cell d;
+  std::uint64_t observed = 0;
+  test::run_workers(sim, 1, 1, 1, [&](ThreadCtx& th, std::uint64_t) {
+    auto cs = [&](TxContext& ctx) {
+      ctx.store(&d.a, std::uint64_t{7});
+      observed = ctx.load(&d.a);  // must see the buffered write
+      ctx.store(&d.a, std::uint64_t{9});
+    };
+    m.execute(th, cs);
+  });
+  EXPECT_EQ(observed, 7u);
+  EXPECT_EQ(d.a, 9u);  // redo log applied at commit
+}
+
+TEST(NOrec, ReadOnlyTransactionCommitsWithoutClockBump) {
+  SimScope sim(MachineConfig::corei7());
+  stm::NOrecMethod m;
+  m.prepare(2);
+  Cell d;
+  d.a = 5;
+  test::run_workers(sim, 2, 50, 2, [&](ThreadCtx& th, std::uint64_t) {
+    auto cs = [&](TxContext& ctx) { (void)ctx.load(&d.a); };
+    m.execute(th, cs);
+  });
+  EXPECT_EQ(m.stats().commit_stm_ro, 100u);
+  EXPECT_EQ(m.stats().commit_stm_lock, 0u);
+  EXPECT_EQ(m.stats().validations, 0u);  // clock never moved
+}
+
+TEST(NOrec, WriterCommitsForceReadersToValidate) {
+  SimScope sim(MachineConfig::corei7());
+  stm::NOrecMethod m;
+  m.prepare(4);
+  Cell d;
+  test::run_workers(sim, 4, 100, 3, [&](ThreadCtx& th, std::uint64_t) {
+    if (th.tid == 0) {
+      auto cs = [&](TxContext& ctx) {
+        ctx.store(&d.a, ctx.load(&d.a) + 1);
+      };
+      m.execute(th, cs);
+    } else {
+      auto cs = [&](TxContext& ctx) {
+        (void)ctx.load(&d.a);
+        ctx.compute(200);  // stay open across writer commits
+        (void)ctx.load(&d.b);
+      };
+      m.execute(th, cs);
+    }
+  });
+  EXPECT_EQ(d.a, 100u);
+  EXPECT_GT(m.stats().validations, 0u);
+}
+
+TEST(NOrec, ConflictingWritersNeverLoseUpdates) {
+  SimScope sim(MachineConfig::xeon());
+  stm::NOrecMethod m;
+  m.prepare(8);
+  Cell d;
+  test::run_workers(sim, 8, 200, 4, [&](ThreadCtx& th, std::uint64_t) {
+    auto cs = [&](TxContext& ctx) {
+      const std::uint64_t v = ctx.load(&d.a);
+      ctx.compute(30);
+      ctx.store(&d.a, v + 1);
+    };
+    m.execute(th, cs);
+  });
+  EXPECT_EQ(d.a, 8u * 200u);
+}
+
+TEST(RHNOrec, UncontendedOpsCommitInHardware) {
+  SimScope sim(MachineConfig::corei7());
+  stm::RHNOrecMethod m;
+  m.prepare(1);
+  Cell d;
+  test::run_workers(sim, 1, 100, 5, [&](ThreadCtx& th, std::uint64_t) {
+    auto cs = [&](TxContext& ctx) { ctx.store(&d.a, ctx.load(&d.a) + 1); };
+    m.execute(th, cs);
+  });
+  EXPECT_EQ(d.a, 100u);
+  // Without software transactions running, all commits take the pure-HTM
+  // fast path without bumping the timestamp.
+  EXPECT_EQ(m.stats().rhn_htm_fast, 100u);
+  EXPECT_EQ(m.stats().rhn_htm_slow, 0u);
+}
+
+TEST(RHNOrec, UnfriendlyOpsFallToSoftwarePath) {
+  SimScope sim(MachineConfig::corei7());
+  stm::RHNOrecMethod m;
+  m.prepare(1);
+  Cell d;
+  test::run_workers(sim, 1, 50, 6, [&](ThreadCtx& th, std::uint64_t) {
+    auto cs = [&](TxContext& ctx) {
+      ctx.store(&d.a, ctx.load(&d.a) + 1);
+      ctx.htm_unfriendly();  // kills every hardware attempt
+    };
+    m.execute(th, cs);
+  });
+  EXPECT_EQ(d.a, 50u);
+  EXPECT_EQ(m.stats().rhn_htm_fast + m.stats().rhn_htm_slow, 0u);
+  EXPECT_EQ(m.stats().commit_stm_htm + m.stats().commit_stm_lock, 50u);
+}
+
+TEST(RHNOrec, MixedHardwareSoftwareConserveAtomicity) {
+  SimScope sim(MachineConfig::xeon());
+  stm::RHNOrecMethod m;
+  m.prepare(8);
+  Cell d;
+  test::run_workers(sim, 8, 150, 7, [&](ThreadCtx& th, std::uint64_t) {
+    auto cs = [&](TxContext& ctx) {
+      const std::uint64_t v = ctx.load(&d.a);
+      ctx.compute(25);
+      ctx.store(&d.a, v + 1);
+      if (th.tid == 0) ctx.htm_unfriendly();  // one thread always software
+    };
+    m.execute(th, cs);
+  });
+  EXPECT_EQ(d.a, 8u * 150u);
+  EXPECT_GT(m.stats().commit_stm_htm + m.stats().commit_stm_lock +
+                m.stats().commit_stm_ro,
+            0u);
+}
+
+TEST(RHNOrec, TimestampBumpedOnlyWhileSoftwareRunning) {
+  // With a software transaction permanently alive (unfriendly thread), HTM
+  // commits must take the slow (timestamp-bumping) commit.
+  SimScope sim(MachineConfig::xeon());
+  stm::RHNOrecMethod m;
+  m.prepare(4);
+  Cell d;
+  Cell other;
+  test::run_workers(sim, 4, 100, 8, [&](ThreadCtx& th, std::uint64_t) {
+    if (th.tid == 0) {
+      auto cs = [&](TxContext& ctx) {
+        ctx.store(&d.a, ctx.load(&d.a) + 1);
+        ctx.compute(300);  // long software transaction
+        ctx.htm_unfriendly();
+      };
+      m.execute(th, cs);
+    } else {
+      auto cs = [&](TxContext& ctx) {
+        ctx.store(&other.a, ctx.load(&other.a) + 1);
+      };
+      m.execute(th, cs);
+    }
+  });
+  EXPECT_EQ(d.a, 100u);
+  EXPECT_EQ(other.a, 300u);
+  EXPECT_GT(m.stats().rhn_htm_slow, 0u);
+  EXPECT_GT(m.stats().cycles_sw_running, 0u);
+}
+
+TEST(NOrec, OpacityUnderTornUpdates) {
+  // Two words updated together must never be observed unequal, even by
+  // transactions that subsequently abort.
+  SimScope sim(MachineConfig::xeon());
+  stm::NOrecMethod m;
+  m.prepare(6);
+  Cell d;
+  std::uint64_t violations = 0;
+  test::run_workers(sim, 6, 150, 9, [&](ThreadCtx& th, std::uint64_t) {
+    if (th.tid % 2 == 0) {
+      auto cs = [&](TxContext& ctx) {
+        const std::uint64_t a = ctx.load(&d.a);
+        ctx.compute(40);
+        const std::uint64_t b = ctx.load(&d.b);
+        if (a != b) violations += 1;
+      };
+      m.execute(th, cs);
+    } else {
+      auto cs = [&](TxContext& ctx) {
+        ctx.store(&d.a, ctx.load(&d.a) + 1);
+        ctx.store(&d.b, ctx.load(&d.b) + 1);
+      };
+      m.execute(th, cs);
+    }
+  });
+  EXPECT_EQ(violations, 0u);
+  EXPECT_EQ(d.a, d.b);
+}
+
+}  // namespace
+}  // namespace rtle

@@ -1,0 +1,38 @@
+// Shared helpers for multi-threaded method tests: spawn N simulated worker
+// threads, run a per-op callback under a synchronization method, and return
+// when all ops completed.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "runtime/method.h"
+#include "sim/env.h"
+
+namespace rtle::test {
+
+/// Per-thread op driver: called with (ThreadCtx, op_index) and expected to
+/// call method->execute itself.
+using OpFn = std::function<void(runtime::ThreadCtx&, std::uint64_t)>;
+
+inline void run_workers(SimScope& sim, std::uint32_t threads,
+                        std::uint64_t ops_per_thread, std::uint64_t seed,
+                        const OpFn& op) {
+  std::vector<std::unique_ptr<runtime::ThreadCtx>> ctxs;
+  ctxs.reserve(threads);
+  for (std::uint32_t tid = 0; tid < threads; ++tid) {
+    ctxs.push_back(std::make_unique<runtime::ThreadCtx>(tid, seed + tid));
+  }
+  for (std::uint32_t tid = 0; tid < threads; ++tid) {
+    runtime::ThreadCtx* th = ctxs[tid].get();
+    sim.sched.spawn(
+        [th, ops_per_thread, &op] {
+          for (std::uint64_t i = 0; i < ops_per_thread; ++i) op(*th, i);
+        },
+        tid);
+  }
+  sim.sched.run();
+}
+
+}  // namespace rtle::test

@@ -1,0 +1,320 @@
+// TLE-family semantics: retry policy, slow-path rules of RW-TLE and
+// FG-TLE, orec conflict detection, epoch release, adaptive behavior, lazy
+// subscription.
+#include <gtest/gtest.h>
+
+#include "sim/env.h"
+#include "test_util.h"
+#include "tle/adaptive.h"
+#include "tle/fgtle.h"
+#include "tle/rwtle.h"
+#include "tle/tle.h"
+
+namespace rtle {
+namespace {
+
+using runtime::ThreadCtx;
+using runtime::TxContext;
+using sim::MachineConfig;
+
+struct Cells {
+  alignas(64) std::uint64_t a = 0;
+  alignas(64) std::uint64_t b = 0;
+  alignas(64) std::uint64_t r = 0;
+};
+
+TEST(Tle, UncontendedOpsElideTheLock) {
+  SimScope sim(MachineConfig::corei7());
+  tle::TleMethod m;
+  m.prepare(2);
+  Cells d;
+  test::run_workers(sim, 2, 100, 1, [&](ThreadCtx& th, std::uint64_t) {
+    auto cs = [&](TxContext& ctx) {
+      ctx.store(th.tid == 0 ? &d.a : &d.b,
+                ctx.load(th.tid == 0 ? &d.a : &d.b) + 1);
+    };
+    m.execute(th, cs);
+  });
+  EXPECT_EQ(d.a, 100u);
+  EXPECT_EQ(d.b, 100u);
+  EXPECT_EQ(m.stats().commit_lock, 0u);  // disjoint ops: all elided
+  EXPECT_EQ(m.stats().commit_fast_htm, 200u);
+}
+
+TEST(Tle, PersistentAbortsFallBackToLockImmediately) {
+  SimScope sim(MachineConfig::corei7());
+  tle::TleMethod m;
+  m.prepare(1);
+  Cells d;
+  test::run_workers(sim, 1, 50, 2, [&](ThreadCtx& th, std::uint64_t) {
+    auto cs = [&](TxContext& ctx) {
+      ctx.store(&d.a, ctx.load(&d.a) + 1);
+      ctx.htm_unfriendly();
+    };
+    m.execute(th, cs);
+  });
+  EXPECT_EQ(d.a, 50u);
+  EXPECT_EQ(m.stats().commit_lock, 50u);
+  // No-retry-hint policy: at most one speculative attempt per op before the
+  // adaptive serial mode suppresses even that.
+  EXPECT_LT(m.stats().aborts_fast, 50u);
+  EXPECT_GT(m.stats().abort_cause[static_cast<int>(
+                htm::AbortCause::kUnsupported)],
+            0u);
+}
+
+TEST(Tle, SerialModeReprobesSpeculationEventually) {
+  // After the persistent workload stops being unfriendly, speculation must
+  // resume (serial mode is a window, not a one-way switch).
+  SimScope sim(MachineConfig::corei7());
+  tle::TleMethod m;
+  m.prepare(1);
+  Cells d;
+  test::run_workers(sim, 1, 300, 3, [&](ThreadCtx& th, std::uint64_t i) {
+    const bool hostile = i < 50;
+    auto cs = [&](TxContext& ctx) {
+      ctx.store(&d.a, ctx.load(&d.a) + 1);
+      if (hostile) ctx.htm_unfriendly();
+    };
+    m.execute(th, cs);
+  });
+  EXPECT_EQ(d.a, 300u);
+  EXPECT_GT(m.stats().commit_fast_htm, 150u);  // recovered after op 50
+}
+
+TEST(RwTle, ReadOnlySlowPathCommitsWhileLockHeld) {
+  // Thread 0 persistently takes the lock (unfriendly updates); thread 1
+  // runs read-only critical sections, which must commit on the slow path
+  // concurrently with the lock holder.
+  SimScope sim(MachineConfig::corei7());
+  tle::RwTleMethod m;
+  m.prepare(2);
+  Cells d;
+  test::run_workers(sim, 2, 150, 4, [&](ThreadCtx& th, std::uint64_t) {
+    if (th.tid == 0) {
+      auto cs = [&](TxContext& ctx) {
+        ctx.compute(150);  // long read prefix
+        ctx.store(&d.a, ctx.load(&d.a) + 1);
+        ctx.htm_unfriendly();
+      };
+      m.execute(th, cs);
+    } else {
+      auto cs = [&](TxContext& ctx) { d.r = ctx.load(&d.b); };
+      m.execute(th, cs);
+    }
+  });
+  EXPECT_EQ(d.a, 150u);
+  EXPECT_GT(m.stats().slow_htm_while_locked, 0u);
+}
+
+TEST(RwTle, WritingSlowPathTransactionsSelfAbort) {
+  // Both threads write; while thread 0 holds the lock, thread 1's slow-path
+  // attempts must explicitly abort in the write barrier (Figure 2), never
+  // commit on the slow path.
+  SimScope sim(MachineConfig::corei7());
+  tle::RwTleMethod m;
+  m.prepare(2);
+  Cells d;
+  test::run_workers(sim, 2, 120, 5, [&](ThreadCtx& th, std::uint64_t) {
+    if (th.tid == 0) {
+      auto cs = [&](TxContext& ctx) {
+        ctx.store(&d.a, ctx.load(&d.a) + 1);
+        ctx.htm_unfriendly();
+      };
+      m.execute(th, cs);
+    } else {
+      auto cs = [&](TxContext& ctx) { ctx.store(&d.b, ctx.load(&d.b) + 1); };
+      m.execute(th, cs);
+    }
+  });
+  EXPECT_EQ(d.a, 120u);
+  EXPECT_EQ(d.b, 120u);
+  EXPECT_EQ(m.stats().commit_slow_htm, 0u);  // every CS writes
+  EXPECT_GT(m.stats().abort_cause[static_cast<int>(
+                htm::AbortCause::kExplicit)],
+            0u);
+}
+
+TEST(FgTle, DisjointOrecSlowPathCommitsEvenForWriters) {
+  // Unlike RW-TLE, FG-TLE lets *writing* transactions commit on the slow
+  // path as long as they touch different orecs than the lock holder. With a
+  // large orec array, d.a and d.b almost surely map to different orecs.
+  SimScope sim(MachineConfig::corei7());
+  tle::FgTleMethod m(8192);
+  m.prepare(2);
+  Cells d;
+  test::run_workers(sim, 2, 150, 6, [&](ThreadCtx& th, std::uint64_t) {
+    if (th.tid == 0) {
+      auto cs = [&](TxContext& ctx) {
+        ctx.compute(150);
+        ctx.store(&d.a, ctx.load(&d.a) + 1);
+        ctx.htm_unfriendly();
+      };
+      m.execute(th, cs);
+    } else {
+      auto cs = [&](TxContext& ctx) { ctx.store(&d.b, ctx.load(&d.b) + 1); };
+      m.execute(th, cs);
+    }
+  });
+  EXPECT_EQ(d.a, 150u);
+  EXPECT_EQ(d.b, 150u);
+  EXPECT_GT(m.stats().slow_htm_while_locked, 0u);
+}
+
+TEST(FgTle, SingleOrecSerializesSlowPathAgainstHolder) {
+  // With one orec, every lock-held write owns *the* orec, so no slow-path
+  // writer can commit while the holder has written.
+  SimScope sim(MachineConfig::corei7());
+  tle::FgTleMethod m(1);
+  m.prepare(2);
+  Cells d;
+  test::run_workers(sim, 2, 120, 7, [&](ThreadCtx& th, std::uint64_t) {
+    if (th.tid == 0) {
+      auto cs = [&](TxContext& ctx) {
+        ctx.store(&d.a, ctx.load(&d.a) + 1);
+        ctx.htm_unfriendly();
+      };
+      m.execute(th, cs);
+    } else {
+      auto cs = [&](TxContext& ctx) { ctx.store(&d.b, ctx.load(&d.b) + 1); };
+      m.execute(th, cs);
+    }
+  });
+  EXPECT_EQ(d.a, 120u);
+  EXPECT_EQ(d.b, 120u);
+  // Explicit orec aborts must have happened on the slow path.
+  EXPECT_GT(m.stats().abort_cause[static_cast<int>(
+                htm::AbortCause::kExplicit)],
+            0u);
+}
+
+TEST(FgTle, CorrectUnderHeavySharedCounterContention) {
+  for (std::uint32_t orecs : {1u, 16u, 1024u}) {
+    SimScope sim(MachineConfig::xeon());
+    tle::FgTleMethod m(orecs);
+    m.prepare(12);
+    Cells d;
+    test::run_workers(sim, 12, 100, 8, [&](ThreadCtx& th, std::uint64_t) {
+      auto cs = [&](TxContext& ctx) {
+        const std::uint64_t v = ctx.load(&d.a);
+        ctx.compute(30);
+        ctx.store(&d.a, v + 1);
+      };
+      m.execute(th, cs);
+    });
+    EXPECT_EQ(d.a, 1200u) << "orecs=" << orecs;
+  }
+}
+
+TEST(FgTle, LazySubscriptionStillCorrect) {
+  SimScope sim(MachineConfig::corei7());
+  tle::FgTleMethod m(256, /*lazy_subscription=*/true);
+  m.prepare(4);
+  Cells d;
+  test::run_workers(sim, 4, 150, 9, [&](ThreadCtx& th, std::uint64_t) {
+    auto cs = [&](TxContext& ctx) {
+      const std::uint64_t v = ctx.load(&d.a);
+      ctx.compute(20);
+      ctx.store(&d.a, v + 1);
+    };
+    m.execute(th, cs);
+  });
+  EXPECT_EQ(d.a, 600u);
+  EXPECT_EQ(m.name(), "FG-TLE-lazy(256)");
+}
+
+TEST(RwTle, LazySubscriptionBlocksCommitWhileLockHeld) {
+  // With lazy subscription, a slow-path transaction can only commit when
+  // the lock is free at commit time — lock-as-barrier semantics hold.
+  SimScope sim(MachineConfig::corei7());
+  tle::RwTleMethod m(/*lazy_subscription=*/true);
+  m.prepare(2);
+  Cells d;
+  test::run_workers(sim, 2, 100, 10, [&](ThreadCtx& th, std::uint64_t) {
+    if (th.tid == 0) {
+      auto cs = [&](TxContext& ctx) {
+        ctx.store(&d.a, ctx.load(&d.a) + 1);
+        ctx.htm_unfriendly();
+      };
+      m.execute(th, cs);
+    } else {
+      auto cs = [&](TxContext& ctx) { d.r = ctx.load(&d.b); };
+      m.execute(th, cs);
+    }
+  });
+  EXPECT_EQ(d.a, 100u);
+  // Slow commits while the lock was physically held must be absent.
+  EXPECT_EQ(m.stats().slow_htm_while_locked, 0u);
+}
+
+TEST(AdaptiveFgTle, ShrinksWhenFewOrecsAreUsed) {
+  SimScope sim(MachineConfig::corei7());
+  tle::AdaptiveFgTle::Policy p;
+  p.window = 8;
+  p.min_slow_commit_ratio = -1;  // isolate resizing from the TLE fallback
+  tle::AdaptiveFgTle m(1 << 12, p);
+  m.prepare(1);
+  Cells d;
+  // Tiny critical sections that always fall to the lock (unfriendly):
+  // utilization is ~1 orec of 4096, so the array must shrink.
+  test::run_workers(sim, 1, 200, 11, [&](ThreadCtx& th, std::uint64_t) {
+    auto cs = [&](TxContext& ctx) {
+      ctx.store(&d.a, ctx.load(&d.a) + 1);
+      ctx.htm_unfriendly();
+    };
+    m.execute(th, cs);
+  });
+  EXPECT_EQ(d.a, 200u);
+  EXPECT_LT(m.norecs(), 1u << 12);
+}
+
+TEST(AdaptiveFgTle, DisablesInstrumentationWhenSlowPathIsUseless) {
+  SimScope sim(MachineConfig::corei7());
+  tle::AdaptiveFgTle::Policy p;
+  p.window = 8;
+  p.reprobe_windows = 1000;  // don't re-enable during the test
+  tle::AdaptiveFgTle m(64, p);
+  m.prepare(1);
+  Cells d;
+  // Single thread: nobody ever uses the slow path, so instrumenting the
+  // lock path is pure overhead and must be switched off.
+  test::run_workers(sim, 1, 300, 12, [&](ThreadCtx& th, std::uint64_t) {
+    auto cs = [&](TxContext& ctx) {
+      ctx.store(&d.a, ctx.load(&d.a) + 1);
+      ctx.htm_unfriendly();
+    };
+    m.execute(th, cs);
+  });
+  EXPECT_EQ(d.a, 300u);
+  EXPECT_FALSE(m.instrumentation_enabled());
+}
+
+TEST(AdaptiveFgTle, CorrectUnderConcurrencyWhileAdapting) {
+  SimScope sim(MachineConfig::xeon());
+  tle::AdaptiveFgTle::Policy p;
+  p.window = 16;
+  tle::AdaptiveFgTle m(16, p);
+  m.prepare(8);
+  Cells d;
+  test::run_workers(sim, 8, 150, 13, [&](ThreadCtx& th, std::uint64_t i) {
+    if (th.tid == 0 && i % 3 == 0) {
+      auto cs = [&](TxContext& ctx) {
+        ctx.store(&d.a, ctx.load(&d.a) + 1);
+        ctx.htm_unfriendly();
+      };
+      m.execute(th, cs);
+    } else {
+      auto cs = [&](TxContext& ctx) {
+        const std::uint64_t v = ctx.load(&d.b);
+        ctx.compute(15);
+        ctx.store(&d.b, v + 1);
+      };
+      m.execute(th, cs);
+    }
+  });
+  EXPECT_EQ(d.a, 50u);
+  EXPECT_EQ(d.b, 150u * 8u - 50u);
+}
+
+}  // namespace
+}  // namespace rtle

@@ -1,0 +1,204 @@
+// Utility-layer units: FlatHash, FnRef, fast_hash/mix64, the TTS lock, the
+// table printer, and the memory model's coherence pricing.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <unordered_map>
+
+#include "bench_util/table.h"
+#include "mem/memmodel.h"
+#include "mem/shim.h"
+#include "sim/env.h"
+#include "sim/rng.h"
+#include "sync/lock.h"
+#include "test_util.h"
+#include "util/flat_hash.h"
+#include "util/fn_ref.h"
+
+namespace rtle {
+namespace {
+
+using sim::MachineConfig;
+
+TEST(FlatHash, InsertLookupGrow) {
+  util::FlatHash<std::uint64_t> h(8);  // tiny: forces many grows
+  std::unordered_map<std::uint64_t, std::uint64_t> ref;
+  sim::Rng rng(3);
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t k = rng.below(5000);
+    h[k] += 1;
+    ref[k] += 1;
+  }
+  EXPECT_EQ(h.size(), ref.size());
+  for (const auto& [k, v] : ref) {
+    auto* p = h.find(k);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(*p, v);
+  }
+  EXPECT_EQ(h.find(999999), nullptr);
+  h.clear();
+  EXPECT_EQ(h.size(), 0u);
+  EXPECT_EQ(h.find(1), nullptr);
+}
+
+TEST(FastHash, StaysInRangeAndSpreads) {
+  // fast_hash must cover [0, r) roughly uniformly even for sequential
+  // addresses 8 bytes apart (the orec-mapping workload).
+  for (std::uint64_t r : {1ULL, 4ULL, 16ULL, 256ULL, 8192ULL}) {
+    std::vector<std::uint32_t> hits(r, 0);
+    for (std::uint64_t a = 0; a < 100000; ++a) {
+      const std::uint64_t idx = util::fast_hash(0x7f0000000000ULL + a * 8, r);
+      ASSERT_LT(idx, r);
+      hits[idx] += 1;
+    }
+    const double expect = 100000.0 / r;
+    std::size_t empty = 0;
+    for (std::uint32_t h : hits) {
+      if (h == 0) ++empty;
+      // Loose per-bucket bound (Poisson tails matter when expect is small).
+      EXPECT_LT(h, expect * 4 + 16);
+    }
+    EXPECT_LT(empty, r / 20 + 1);  // almost no bucket starves
+  }
+}
+
+TEST(FnRef, ForwardsArgumentsAndReturn) {
+  int calls = 0;
+  auto lam = [&calls](int a, int b) {
+    ++calls;
+    return a + b;
+  };
+  util::FnRef<int(int, int)> f = lam;
+  EXPECT_EQ(f(2, 3), 5);
+  EXPECT_EQ(f(10, -4), 6);
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(TTSLock, MutualExclusionUnderContention) {
+  SimScope sim(MachineConfig::xeon());
+  runtime::MethodStats stats;
+  sync::TTSLock lock(&stats);
+  std::uint64_t counter = 0;  // plain variable: lock is the only protection
+  std::uint64_t in_cs = 0;
+  std::uint64_t max_in_cs = 0;
+  test::run_workers(sim, 12, 100, 17,
+                    [&](runtime::ThreadCtx& th, std::uint64_t) {
+                      lock.acquire();
+                      in_cs += 1;
+                      max_in_cs = std::max(max_in_cs, in_cs);
+                      mem::compute(20);
+                      counter += 1;
+                      in_cs -= 1;
+                      lock.release();
+                    });
+  EXPECT_EQ(counter, 1200u);
+  EXPECT_EQ(max_in_cs, 1u);  // never two holders
+  EXPECT_EQ(stats.lock_acquisitions, 1200u);
+  EXPECT_GT(stats.cycles_under_lock, 0u);
+}
+
+TEST(TTSLock, SpinWhileHeldWaitsForRelease) {
+  SimScope sim(MachineConfig::corei7());
+  sync::TTSLock lock;
+  std::uint64_t release_time = 0;
+  std::uint64_t observed_time = 0;
+  sim.sched.spawn(
+      [&] {
+        lock.acquire();
+        cur_sched().advance(5000);
+        release_time = cur_sched().now();
+        lock.release();
+      },
+      0);
+  sim.sched.spawn(
+      [&] {
+        cur_sched().advance(100);  // let thread 0 grab the lock first
+        lock.spin_while_held();
+        observed_time = cur_sched().now();
+      },
+      1);
+  sim.sched.run();
+  EXPECT_GE(observed_time, release_time);
+}
+
+TEST(MemModel, CoherenceCostsFollowOwnership) {
+  sim::CostModel cost;
+  mem::MemModel mm(cost);
+  const mem::LineId line = 100;
+  // First store by core 0: no one had it exclusively.
+  EXPECT_EQ(mm.cost_store(0, line), cost.store_hit + 0u);
+  // Core 0 again: hit.
+  EXPECT_EQ(mm.cost_store(0, line), cost.store_hit + 0u);
+  // Core 1 load: remote transfer, downgrades.
+  EXPECT_EQ(mm.cost_load(1, line), cost.load_hit + cost.remote_miss);
+  // Core 1 load again: now shared, plain hit.
+  EXPECT_EQ(mm.cost_load(1, line), cost.load_hit + 0u);
+  // Core 0 store: must re-acquire exclusivity (RFO).
+  EXPECT_EQ(mm.cost_store(0, line), cost.store_hit + cost.remote_miss);
+}
+
+TEST(MemModel, ColdLoadIsCheapAndPrivateLinesStayCheap) {
+  sim::CostModel cost;
+  mem::MemModel mm(cost);
+  EXPECT_EQ(mm.cost_load(2, 7), cost.load_hit + 0u);  // cold: no transfer
+  EXPECT_EQ(mm.cost_load(2, 7), cost.load_hit + 0u);
+  EXPECT_EQ(mm.cost_store(2, 7), cost.store_hit + cost.remote_miss);  // S->M
+  EXPECT_EQ(mm.cost_store(2, 7), cost.store_hit + 0u);
+}
+
+TEST(Table, AlignedAndCsvOutput) {
+  bench::Table t({"col_a", "b"});
+  t.add_row({"1", "2.50"});
+  t.add_row({"long-cell", "x"});
+  // Render to a memstream and sanity-check both modes.
+  char* buf = nullptr;
+  std::size_t len = 0;
+  FILE* f = open_memstream(&buf, &len);
+  t.print(/*csv=*/false, f);
+  std::fflush(f);
+  std::string plain(buf, len);
+  EXPECT_NE(plain.find("col_a"), std::string::npos);
+  EXPECT_NE(plain.find("long-cell"), std::string::npos);
+  std::fclose(f);
+  free(buf);
+
+  buf = nullptr;
+  f = open_memstream(&buf, &len);
+  t.print(/*csv=*/true, f);
+  std::fflush(f);
+  std::string csv(buf, len);
+  EXPECT_EQ(csv, "col_a,b\n1,2.50\nlong-cell,x\n");
+  std::fclose(f);
+  free(buf);
+}
+
+TEST(Table, NumberFormatting) {
+  EXPECT_EQ(bench::Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(bench::Table::num(std::uint64_t{42}), "42");
+}
+
+TEST(Shim, FaaIsAtomicAcrossFibers) {
+  SimScope sim(MachineConfig::xeon());
+  alignas(64) std::uint64_t counter = 0;
+  test::run_workers(sim, 10, 200, 19,
+                    [&](runtime::ThreadCtx&, std::uint64_t) {
+                      mem::plain_faa(&counter, 1);
+                    });
+  EXPECT_EQ(counter, 2000u);
+}
+
+TEST(Shim, CasFailsOnChangedValue) {
+  SimScope sim(MachineConfig::corei7());
+  alignas(64) std::uint64_t word = 5;
+  bool ok1 = false, ok2 = false;
+  test::run_workers(sim, 1, 1, 20, [&](runtime::ThreadCtx&, std::uint64_t) {
+    ok1 = mem::plain_cas(&word, 5, 6);
+    ok2 = mem::plain_cas(&word, 5, 7);
+  });
+  EXPECT_TRUE(ok1);
+  EXPECT_FALSE(ok2);
+  EXPECT_EQ(word, 6u);
+}
+
+}  // namespace
+}  // namespace rtle
