@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_adaptive.dir/abl_adaptive.cpp.o"
+  "CMakeFiles/abl_adaptive.dir/abl_adaptive.cpp.o.d"
+  "abl_adaptive"
+  "abl_adaptive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_adaptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

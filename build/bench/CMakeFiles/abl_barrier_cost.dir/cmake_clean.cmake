@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_barrier_cost.dir/abl_barrier_cost.cpp.o"
+  "CMakeFiles/abl_barrier_cost.dir/abl_barrier_cost.cpp.o.d"
+  "abl_barrier_cost"
+  "abl_barrier_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_barrier_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_capacity.dir/abl_capacity.cpp.o"
+  "CMakeFiles/abl_capacity.dir/abl_capacity.cpp.o.d"
+  "abl_capacity"
+  "abl_capacity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_hybrid_tm.dir/abl_hybrid_tm.cpp.o"
+  "CMakeFiles/abl_hybrid_tm.dir/abl_hybrid_tm.cpp.o.d"
+  "abl_hybrid_tm"
+  "abl_hybrid_tm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_hybrid_tm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_lazy_subscription.dir/abl_lazy_subscription.cpp.o"
+  "CMakeFiles/abl_lazy_subscription.dir/abl_lazy_subscription.cpp.o.d"
+  "abl_lazy_subscription"
+  "abl_lazy_subscription.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_lazy_subscription.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

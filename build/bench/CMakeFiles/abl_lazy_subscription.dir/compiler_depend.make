@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for abl_lazy_subscription.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_lemming.dir/abl_lemming.cpp.o"
+  "CMakeFiles/abl_lemming.dir/abl_lemming.cpp.o.d"
+  "abl_lemming"
+  "abl_lemming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_lemming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_orec_skew.dir/abl_orec_skew.cpp.o"
+  "CMakeFiles/abl_orec_skew.dir/abl_orec_skew.cpp.o.d"
+  "abl_orec_skew"
+  "abl_orec_skew.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_orec_skew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

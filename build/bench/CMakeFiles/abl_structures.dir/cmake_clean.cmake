@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_structures.dir/abl_structures.cpp.o"
+  "CMakeFiles/abl_structures.dir/abl_structures.cpp.o.d"
+  "abl_structures"
+  "abl_structures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_structures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_trials.dir/abl_trials.cpp.o"
+  "CMakeFiles/abl_trials.dir/abl_trials.cpp.o.d"
+  "abl_trials"
+  "abl_trials.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_trials.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_avl_throughput.dir/fig05_avl_throughput.cpp.o"
+  "CMakeFiles/fig05_avl_throughput.dir/fig05_avl_throughput.cpp.o.d"
+  "fig05_avl_throughput"
+  "fig05_avl_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_avl_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

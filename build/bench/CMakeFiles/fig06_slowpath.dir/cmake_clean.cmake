@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_slowpath.dir/fig06_slowpath.cpp.o"
+  "CMakeFiles/fig06_slowpath.dir/fig06_slowpath.cpp.o.d"
+  "fig06_slowpath"
+  "fig06_slowpath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_slowpath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

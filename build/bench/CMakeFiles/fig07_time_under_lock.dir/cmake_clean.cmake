@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_time_under_lock.dir/fig07_time_under_lock.cpp.o"
+  "CMakeFiles/fig07_time_under_lock.dir/fig07_time_under_lock.cpp.o.d"
+  "fig07_time_under_lock"
+  "fig07_time_under_lock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_time_under_lock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

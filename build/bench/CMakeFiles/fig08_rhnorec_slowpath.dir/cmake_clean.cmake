@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_rhnorec_slowpath.dir/fig08_rhnorec_slowpath.cpp.o"
+  "CMakeFiles/fig08_rhnorec_slowpath.dir/fig08_rhnorec_slowpath.cpp.o.d"
+  "fig08_rhnorec_slowpath"
+  "fig08_rhnorec_slowpath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_rhnorec_slowpath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_rhnorec_mix.dir/fig09_rhnorec_mix.cpp.o"
+  "CMakeFiles/fig09_rhnorec_mix.dir/fig09_rhnorec_mix.cpp.o.d"
+  "fig09_rhnorec_mix"
+  "fig09_rhnorec_mix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_rhnorec_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

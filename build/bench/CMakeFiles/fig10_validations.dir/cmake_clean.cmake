@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_validations.dir/fig10_validations.cpp.o"
+  "CMakeFiles/fig10_validations.dir/fig10_validations.cpp.o.d"
+  "fig10_validations"
+  "fig10_validations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_validations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_bank.dir/fig11_bank.cpp.o"
+  "CMakeFiles/fig11_bank.dir/fig11_bank.cpp.o.d"
+  "fig11_bank"
+  "fig11_bank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_bank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_unfriendly.dir/fig12_unfriendly.cpp.o"
+  "CMakeFiles/fig12_unfriendly.dir/fig12_unfriendly.cpp.o.d"
+  "fig12_unfriendly"
+  "fig12_unfriendly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_unfriendly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_cctsa.dir/fig13_cctsa.cpp.o"
+  "CMakeFiles/fig13_cctsa.dir/fig13_cctsa.cpp.o.d"
+  "fig13_cctsa"
+  "fig13_cctsa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_cctsa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_substrate.dir/micro_substrate.cpp.o"
+  "CMakeFiles/micro_substrate.dir/micro_substrate.cpp.o.d"
+  "micro_substrate"
+  "micro_substrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_substrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

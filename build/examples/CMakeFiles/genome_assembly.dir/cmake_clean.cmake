@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genome_assembly.dir/genome_assembly.cpp.o"
+  "CMakeFiles/genome_assembly.dir/genome_assembly.cpp.o.d"
+  "genome_assembly"
+  "genome_assembly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genome_assembly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  "ASM"
+  )
+# The set of files for implicit dependencies of each language:
+set(CMAKE_DEPENDS_CHECK_ASM
+  "/root/repo/src/sim/ctx_switch.S" "/root/repo/build/src/CMakeFiles/rtle.dir/sim/ctx_switch.S.o"
+  )
+set(CMAKE_ASM_COMPILER_ID "GNU")
+
+# The include file search paths:
+set(CMAKE_ASM_TARGET_INCLUDE_PATH
+  "/root/repo/src"
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bench_util/setbench.cpp" "src/CMakeFiles/rtle.dir/bench_util/setbench.cpp.o" "gcc" "src/CMakeFiles/rtle.dir/bench_util/setbench.cpp.o.d"
+  "/root/repo/src/bench_util/table.cpp" "src/CMakeFiles/rtle.dir/bench_util/table.cpp.o" "gcc" "src/CMakeFiles/rtle.dir/bench_util/table.cpp.o.d"
+  "/root/repo/src/cctsa/assembler.cpp" "src/CMakeFiles/rtle.dir/cctsa/assembler.cpp.o" "gcc" "src/CMakeFiles/rtle.dir/cctsa/assembler.cpp.o.d"
+  "/root/repo/src/cctsa/genome.cpp" "src/CMakeFiles/rtle.dir/cctsa/genome.cpp.o" "gcc" "src/CMakeFiles/rtle.dir/cctsa/genome.cpp.o.d"
+  "/root/repo/src/cctsa/graph.cpp" "src/CMakeFiles/rtle.dir/cctsa/graph.cpp.o" "gcc" "src/CMakeFiles/rtle.dir/cctsa/graph.cpp.o.d"
+  "/root/repo/src/cctsa/kmer.cpp" "src/CMakeFiles/rtle.dir/cctsa/kmer.cpp.o" "gcc" "src/CMakeFiles/rtle.dir/cctsa/kmer.cpp.o.d"
+  "/root/repo/src/ds/avl.cpp" "src/CMakeFiles/rtle.dir/ds/avl.cpp.o" "gcc" "src/CMakeFiles/rtle.dir/ds/avl.cpp.o.d"
+  "/root/repo/src/ds/bank.cpp" "src/CMakeFiles/rtle.dir/ds/bank.cpp.o" "gcc" "src/CMakeFiles/rtle.dir/ds/bank.cpp.o.d"
+  "/root/repo/src/ds/hashmap.cpp" "src/CMakeFiles/rtle.dir/ds/hashmap.cpp.o" "gcc" "src/CMakeFiles/rtle.dir/ds/hashmap.cpp.o.d"
+  "/root/repo/src/ds/skiplist.cpp" "src/CMakeFiles/rtle.dir/ds/skiplist.cpp.o" "gcc" "src/CMakeFiles/rtle.dir/ds/skiplist.cpp.o.d"
+  "/root/repo/src/htm/htm.cpp" "src/CMakeFiles/rtle.dir/htm/htm.cpp.o" "gcc" "src/CMakeFiles/rtle.dir/htm/htm.cpp.o.d"
+  "/root/repo/src/mem/shim.cpp" "src/CMakeFiles/rtle.dir/mem/shim.cpp.o" "gcc" "src/CMakeFiles/rtle.dir/mem/shim.cpp.o.d"
+  "/root/repo/src/runtime/context.cpp" "src/CMakeFiles/rtle.dir/runtime/context.cpp.o" "gcc" "src/CMakeFiles/rtle.dir/runtime/context.cpp.o.d"
+  "/root/repo/src/runtime/engine.cpp" "src/CMakeFiles/rtle.dir/runtime/engine.cpp.o" "gcc" "src/CMakeFiles/rtle.dir/runtime/engine.cpp.o.d"
+  "/root/repo/src/runtime/libitm_compat.cpp" "src/CMakeFiles/rtle.dir/runtime/libitm_compat.cpp.o" "gcc" "src/CMakeFiles/rtle.dir/runtime/libitm_compat.cpp.o.d"
+  "/root/repo/src/runtime/stats.cpp" "src/CMakeFiles/rtle.dir/runtime/stats.cpp.o" "gcc" "src/CMakeFiles/rtle.dir/runtime/stats.cpp.o.d"
+  "/root/repo/src/sim/env.cpp" "src/CMakeFiles/rtle.dir/sim/env.cpp.o" "gcc" "src/CMakeFiles/rtle.dir/sim/env.cpp.o.d"
+  "/root/repo/src/sim/fiber.cpp" "src/CMakeFiles/rtle.dir/sim/fiber.cpp.o" "gcc" "src/CMakeFiles/rtle.dir/sim/fiber.cpp.o.d"
+  "/root/repo/src/sim/sched.cpp" "src/CMakeFiles/rtle.dir/sim/sched.cpp.o" "gcc" "src/CMakeFiles/rtle.dir/sim/sched.cpp.o.d"
+  "/root/repo/src/stm/hybrid_norec.cpp" "src/CMakeFiles/rtle.dir/stm/hybrid_norec.cpp.o" "gcc" "src/CMakeFiles/rtle.dir/stm/hybrid_norec.cpp.o.d"
+  "/root/repo/src/stm/norec.cpp" "src/CMakeFiles/rtle.dir/stm/norec.cpp.o" "gcc" "src/CMakeFiles/rtle.dir/stm/norec.cpp.o.d"
+  "/root/repo/src/stm/rhnorec.cpp" "src/CMakeFiles/rtle.dir/stm/rhnorec.cpp.o" "gcc" "src/CMakeFiles/rtle.dir/stm/rhnorec.cpp.o.d"
+  "/root/repo/src/sync/lock.cpp" "src/CMakeFiles/rtle.dir/sync/lock.cpp.o" "gcc" "src/CMakeFiles/rtle.dir/sync/lock.cpp.o.d"
+  "/root/repo/src/tle/adaptive.cpp" "src/CMakeFiles/rtle.dir/tle/adaptive.cpp.o" "gcc" "src/CMakeFiles/rtle.dir/tle/adaptive.cpp.o.d"
+  "/root/repo/src/tle/fgtle.cpp" "src/CMakeFiles/rtle.dir/tle/fgtle.cpp.o" "gcc" "src/CMakeFiles/rtle.dir/tle/fgtle.cpp.o.d"
+  "/root/repo/src/tle/rwtle.cpp" "src/CMakeFiles/rtle.dir/tle/rwtle.cpp.o" "gcc" "src/CMakeFiles/rtle.dir/tle/rwtle.cpp.o.d"
+  "/root/repo/src/tle/tle.cpp" "src/CMakeFiles/rtle.dir/tle/tle.cpp.o" "gcc" "src/CMakeFiles/rtle.dir/tle/tle.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

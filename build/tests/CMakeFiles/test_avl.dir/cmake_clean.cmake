@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_avl.dir/avl_test.cpp.o"
+  "CMakeFiles/test_avl.dir/avl_test.cpp.o.d"
+  "test_avl"
+  "test_avl.pdb"
+  "test_avl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_avl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

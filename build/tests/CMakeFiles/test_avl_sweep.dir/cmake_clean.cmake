@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_avl_sweep.dir/avl_sweep_test.cpp.o"
+  "CMakeFiles/test_avl_sweep.dir/avl_sweep_test.cpp.o.d"
+  "test_avl_sweep"
+  "test_avl_sweep.pdb"
+  "test_avl_sweep[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_avl_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

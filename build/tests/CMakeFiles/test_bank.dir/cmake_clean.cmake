@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bank.dir/bank_test.cpp.o"
+  "CMakeFiles/test_bank.dir/bank_test.cpp.o.d"
+  "test_bank"
+  "test_bank.pdb"
+  "test_bank[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cctsa.dir/cctsa_test.cpp.o"
+  "CMakeFiles/test_cctsa.dir/cctsa_test.cpp.o.d"
+  "test_cctsa"
+  "test_cctsa.pdb"
+  "test_cctsa[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cctsa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_engine_policy.dir/engine_policy_test.cpp.o"
+  "CMakeFiles/test_engine_policy.dir/engine_policy_test.cpp.o.d"
+  "test_engine_policy"
+  "test_engine_policy.pdb"
+  "test_engine_policy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_engine_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hashmap.dir/hashmap_test.cpp.o"
+  "CMakeFiles/test_hashmap.dir/hashmap_test.cpp.o.d"
+  "test_hashmap"
+  "test_hashmap.pdb"
+  "test_hashmap[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hashmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

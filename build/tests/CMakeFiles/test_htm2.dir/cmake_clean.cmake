@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_htm2.dir/htm2_test.cpp.o"
+  "CMakeFiles/test_htm2.dir/htm2_test.cpp.o.d"
+  "test_htm2"
+  "test_htm2.pdb"
+  "test_htm2[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_htm2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_method.dir/method_test.cpp.o"
+  "CMakeFiles/test_method.dir/method_test.cpp.o.d"
+  "test_method"
+  "test_method.pdb"
+  "test_method[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_method.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_semantics.dir/semantics_test.cpp.o"
+  "CMakeFiles/test_semantics.dir/semantics_test.cpp.o.d"
+  "test_semantics"
+  "test_semantics.pdb"
+  "test_semantics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_skiplist.dir/skiplist_test.cpp.o"
+  "CMakeFiles/test_skiplist.dir/skiplist_test.cpp.o.d"
+  "test_skiplist"
+  "test_skiplist.pdb"
+  "test_skiplist[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_skiplist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stm.dir/stm_test.cpp.o"
+  "CMakeFiles/test_stm.dir/stm_test.cpp.o.d"
+  "test_stm"
+  "test_stm.pdb"
+  "test_stm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stm2.dir/stm2_test.cpp.o"
+  "CMakeFiles/test_stm2.dir/stm2_test.cpp.o.d"
+  "test_stm2"
+  "test_stm2.pdb"
+  "test_stm2[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stm2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_htm[1]_include.cmake")
+include("/root/repo/build/tests/test_avl[1]_include.cmake")
+include("/root/repo/build/tests/test_method[1]_include.cmake")
+include("/root/repo/build/tests/test_stm[1]_include.cmake")
+include("/root/repo/build/tests/test_tle[1]_include.cmake")
+include("/root/repo/build/tests/test_hashmap[1]_include.cmake")
+include("/root/repo/build/tests/test_bank[1]_include.cmake")
+include("/root/repo/build/tests/test_cctsa[1]_include.cmake")
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_runtime[1]_include.cmake")
+include("/root/repo/build/tests/test_htm2[1]_include.cmake")
+include("/root/repo/build/tests/test_avl_sweep[1]_include.cmake")
+include("/root/repo/build/tests/test_semantics[1]_include.cmake")
+include("/root/repo/build/tests/test_skiplist[1]_include.cmake")
+include("/root/repo/build/tests/test_engine_policy[1]_include.cmake")
+include("/root/repo/build/tests/test_stm2[1]_include.cmake")
