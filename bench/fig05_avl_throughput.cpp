@@ -48,6 +48,9 @@ int main(int argc, char** argv) {
         cfg.insert_pct = ins;
         cfg.remove_pct = rem;
         cfg.duration_ms = duration;
+        cfg.faults = args.faults;
+        cfg.retry_policy = args.retry;
+        cfg.htm_health = args.htm_health;
 
         // Normalization baseline: Lock at 1 thread in this setup.
         cfg.threads = 1;
@@ -70,6 +73,10 @@ int main(int argc, char** argv) {
           for (const auto& m : methods) {
             const auto r = bench::run_set_bench(cfg, m);
             row.push_back(Table::num(r.ops_per_ms / base, 2));
+            if (args.stats) {
+              std::printf("  [stats] %-14s t=%-2u %s\n", m.name.c_str(), t,
+                          r.stats.summary().c_str());
+            }
           }
           table.add_row(std::move(row));
         }

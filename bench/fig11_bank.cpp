@@ -8,12 +8,14 @@
 // perform poorly because every transaction writes.
 #include <cstdio>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "bench_util/setbench.h"
 #include "bench_util/table.h"
 #include "ds/bank.h"
 #include "sim/env.h"
+#include "sim/faultplan.h"
 
 using namespace rtle;
 using bench::Table;
@@ -24,15 +26,23 @@ namespace {
 
 struct BankResult {
   double ops_per_ms = 0;
+  std::string stats_summary;
 };
 
 BankResult run_bank(const sim::MachineConfig& mc, std::uint32_t threads,
                     double duration_ms, const runtime::MethodSpec& spec,
-                    std::uint64_t seed) {
+                    std::uint64_t seed, const bench::BenchArgs& args) {
   SimScope sim(mc);
+  sim::FaultPlan plan;
+  std::optional<sim::FaultPlanScope> fault_scope;
+  if (!args.faults.empty()) {
+    plan = sim::FaultPlan::parse(args.faults);
+    fault_scope.emplace(&plan);
+  }
   ds::BankAccounts bank(256, 10000);
   auto method = spec.make();
   method->prepare(threads);
+  bench::configure_method_resilience(*method, args.retry, args.htm_health);
 
   const std::uint64_t duration_cycles =
       static_cast<std::uint64_t>(duration_ms * mc.cycles_per_ms());
@@ -65,6 +75,7 @@ BankResult run_bank(const sim::MachineConfig& mc, std::uint32_t threads,
   sim.sched.run();
   BankResult r;
   r.ops_per_ms = method->stats().ops / duration_ms;
+  if (args.stats) r.stats_summary = method->stats().summary();
   return r;
 }
 
@@ -92,8 +103,12 @@ int main(int argc, char** argv) {
     std::vector<std::string> row = {Table::num(std::uint64_t{t})};
     for (const char* n : names) {
       const auto r = run_bank(sim::MachineConfig::xeon(), t, duration,
-                              bench::method_by_name(n), 3);
+                              bench::method_by_name(n), 3, args);
       row.push_back(Table::num(r.ops_per_ms, 0));
+      if (args.stats) {
+        std::printf("  [stats] %-14s t=%-2u %s\n", n, t,
+                    r.stats_summary.c_str());
+      }
     }
     table.add_row(std::move(row));
   }

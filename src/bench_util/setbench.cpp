@@ -4,10 +4,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <optional>
 
 #include "ds/avl.h"
 #include "runtime/engine.h"
+#include "runtime/retry_policy.h"
 #include "sim/env.h"
+#include "sim/faultplan.h"
 #include "sim/rng.h"
 #include "stm/norec.h"
 #include "stm/hybrid_norec.h"
@@ -80,14 +83,36 @@ bool prefill_selected(std::uint64_t key, std::uint64_t seed) {
 
 }  // namespace
 
+void configure_method_resilience(runtime::SyncMethod& method,
+                                 const std::string& retry_policy,
+                                 bool htm_health) {
+  auto* eliding = dynamic_cast<runtime::ElidingMethod*>(&method);
+  if (eliding == nullptr) return;
+  if (!retry_policy.empty() && retry_policy != "paper" &&
+      retry_policy != "default") {
+    eliding->set_retry_policy(runtime::make_retry_policy(retry_policy));
+  }
+  if (htm_health) eliding->enable_htm_health({});
+}
+
 SetBenchResult run_set_bench(const SetBenchConfig& cfg,
                              const MethodSpec& spec) {
   SimScope sim(cfg.machine);
+  // Fault schedule, if any: installed for the whole cell so prefill and
+  // measurement both run under it (windows key off the simulated clock,
+  // which starts at 0 in a fresh SimScope).
+  sim::FaultPlan plan;
+  std::optional<sim::FaultPlanScope> fault_scope;
+  if (!cfg.faults.empty()) {
+    plan = sim::FaultPlan::parse(cfg.faults);
+    fault_scope.emplace(&plan);
+  }
   // Arena: prefill + at most the whole key range live + per-thread caches.
   ds::AvlSet set(cfg.key_range + 64ULL * cfg.threads + 1024,
                  std::max(cfg.threads, 1u));
   std::unique_ptr<runtime::SyncMethod> method = spec.make();
   method->prepare(cfg.threads);
+  configure_method_resilience(*method, cfg.retry_policy, cfg.htm_health);
 
   for (std::uint64_t k = 0; k < cfg.key_range; ++k) {
     if (prefill_selected(k, cfg.seed)) set.insert_meta(k);

@@ -36,6 +36,14 @@ struct SetBenchConfig {
   // threads run Find only.
   bool unfriendly_thread0 = false;
   bool unfriendly_at_end = true;  // false: at the beginning of the CS
+
+  // Resilience harness: scripted fault schedule (sim::FaultPlan::parse
+  // spec, "" = none), retry policy for eliding methods
+  // (runtime::make_retry_policy name, "" / "paper" = seed default) and the
+  // HtmHealth circuit breaker.
+  std::string faults;
+  std::string retry_policy;
+  bool htm_health = false;
 };
 
 struct SetBenchResult {
@@ -62,6 +70,13 @@ struct SetBenchResult {
 /// Run one cell of the experiment grid.
 SetBenchResult run_set_bench(const SetBenchConfig& cfg,
                              const runtime::MethodSpec& method);
+
+/// Install the CLI-selected retry policy / circuit breaker on a method.
+/// No-op for methods without a fast-path retry loop (Lock, the STMs) and
+/// when the knobs are at their defaults — the seed execution is untouched.
+void configure_method_resilience(runtime::SyncMethod& method,
+                                 const std::string& retry_policy,
+                                 bool htm_health);
 
 /// The paper's full method lineup (Fig 5): Lock, NOrec, RHNOrec, TLE,
 /// RW-TLE, FG-TLE(1,4,16,256,1024,4096,8192).

@@ -68,6 +68,10 @@ BenchArgs parse_bench_args(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--csv") == 0) args.csv = true;
     if (std::strcmp(argv[i], "--quick") == 0) args.quick = true;
+    if (std::strcmp(argv[i], "--stats") == 0) args.stats = true;
+    if (std::strcmp(argv[i], "--htm-health") == 0) args.htm_health = true;
+    if (std::strncmp(argv[i], "--faults=", 9) == 0) args.faults = argv[i] + 9;
+    if (std::strncmp(argv[i], "--retry=", 8) == 0) args.retry = argv[i] + 8;
   }
   if (const char* q = std::getenv("RTLE_QUICK"); q != nullptr && *q == '1') {
     args.quick = true;

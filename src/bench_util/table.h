@@ -30,6 +30,17 @@ struct BenchArgs {
   /// noted) so CI-style runs finish fast.
   bool quick = false;
 
+  // Resilience knobs shared by the figure binaries.
+  /// --stats: print each cell's MethodStats summary under the table row.
+  bool stats = false;
+  /// --htm-health: arm ElidingMethod's circuit breaker (default config).
+  bool htm_health = false;
+  /// --faults=SPEC: sim::FaultPlan::parse schedule ("" = no faults), e.g.
+  /// "offline@50000:150000;spurious@0:=40".
+  std::string faults;
+  /// --retry=NAME: runtime::make_retry_policy name ("paper", "cause-aware").
+  std::string retry = "paper";
+
   double scale(double full, double quick_value) const {
     return quick ? quick_value : full;
   }

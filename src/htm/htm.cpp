@@ -2,6 +2,9 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+
+#include "sim/faultplan.h"
 
 namespace rtle::htm {
 
@@ -14,8 +17,20 @@ const char* to_string(AbortCause c) {
     case AbortCause::kLockBusy: return "lock-busy";
     case AbortCause::kUnsupported: return "unsupported";
     case AbortCause::kSpurious: return "spurious";
+    case AbortCause::kHtmUnavailable: return "htm-unavailable";
   }
   return "?";
+}
+
+bool abort_cause_from_string(const char* name, AbortCause& out) {
+  for (std::size_t i = 0; i < kNumAbortCauses; ++i) {
+    const auto c = static_cast<AbortCause>(i);
+    if (std::strcmp(name, to_string(c)) == 0) {
+      out = c;
+      return true;
+    }
+  }
+  return false;
 }
 
 void HtmDomain::begin(Tx& tx) {
@@ -26,6 +41,15 @@ void HtmDomain::begin(Tx& tx) {
   if (tx.id_ >= slots_.size() || slots_[tx.id_] != nullptr) {
     std::fprintf(stderr, "rtle htm: bad tx id %u\n", tx.id_);
     std::abort();
+  }
+  if (sim::FaultPlan* plan = sim::active_fault_plan();
+      plan != nullptr && plan->htm_offline_at(sched_->now())) {
+    // HTM-offline window (TSX disabled): the xbegin executes and falls
+    // straight through to the abort handler with no hint bits. The
+    // transaction never goes live, so there is nothing to roll back.
+    sched_->advance(mem_->cost().htm_begin);
+    aborts_[static_cast<std::size_t>(AbortCause::kHtmUnavailable)] += 1;
+    throw HtmAbort{AbortCause::kHtmUnavailable};
   }
   tx.live_ = true;
   tx.doomed_ = false;
@@ -116,11 +140,29 @@ void HtmDomain::doom_mask(std::uint64_t mask, AbortCause cause) {
 }
 
 void HtmDomain::maybe_spurious(Tx& tx) {
-  if (params_.spurious_every == 0) return;
+  std::uint64_t every = params_.spurious_every;
+  if (sim::FaultPlan* plan = sim::active_fault_plan()) {
+    every = plan->spurious_every_at(sched_->now(), every);
+  }
+  if (every == 0) return;
   ++tx.accesses_;
-  if (rng_.below(params_.spurious_every) == 0) {
+  if (rng_.below(every) == 0) {
     abort_self(tx, AbortCause::kSpurious);
   }
+}
+
+std::uint32_t HtmDomain::max_read_lines_now() const {
+  if (sim::FaultPlan* plan = sim::active_fault_plan()) {
+    return plan->max_read_lines_at(sched_->now(), params_.max_read_lines);
+  }
+  return params_.max_read_lines;
+}
+
+std::uint32_t HtmDomain::max_write_lines_now() const {
+  if (sim::FaultPlan* plan = sim::active_fault_plan()) {
+    return plan->max_write_lines_at(sched_->now(), params_.max_write_lines);
+  }
+  return params_.max_write_lines;
 }
 
 std::uint64_t HtmDomain::tx_load(Tx& tx, const std::uint64_t* addr) {
@@ -142,7 +184,7 @@ std::uint64_t HtmDomain::tx_load(Tx& tx, const std::uint64_t* addr) {
   }
   Watch& w = watch_[line];  // re-lookup: doom_mask may touch the table
   if ((w.readers & bit(tx.id_)) == 0) {
-    if (tx.rlines_.size() >= params_.max_read_lines) {
+    if (tx.rlines_.size() >= max_read_lines_now()) {
       abort_self(tx, AbortCause::kCapacity);
     }
     w.readers |= bit(tx.id_);
@@ -170,7 +212,7 @@ void HtmDomain::tx_store(Tx& tx, std::uint64_t* addr, std::uint64_t value) {
   }
   Watch& w = watch_[line];
   if ((w.writers & bit(tx.id_)) == 0) {
-    if (tx.wlines_.size() >= params_.max_write_lines) {
+    if (tx.wlines_.size() >= max_write_lines_now()) {
       abort_self(tx, AbortCause::kCapacity);
     }
     w.writers |= bit(tx.id_);

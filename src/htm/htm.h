@@ -19,6 +19,7 @@
 #pragma once
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -37,9 +38,19 @@ enum class AbortCause : std::uint8_t {
   kLockBusy,     ///< self-abort because the subscribed lock was held
   kUnsupported,  ///< HTM-unfriendly instruction (paper §6.3: divide by zero)
   kSpurious,     ///< interrupt/TLB-class event
+  kHtmUnavailable,  ///< begin refused: HTM disabled (TSX-off fault window)
 };
 
+/// Number of AbortCause values — sizes every per-cause counter array.
+/// Derived from the last enumerator so the arrays can never fall out of
+/// sync with the enum.
+inline constexpr std::size_t kNumAbortCauses =
+    static_cast<std::size_t>(AbortCause::kHtmUnavailable) + 1;
+
 const char* to_string(AbortCause c);
+
+/// Inverse of to_string: true and sets `out` iff `name` matches a cause.
+bool abort_cause_from_string(const char* name, AbortCause& out);
 
 /// Thrown from transactional accesses / commit when the transaction dies.
 struct HtmAbort {
@@ -118,7 +129,9 @@ class HtmDomain {
   std::uint32_t live_count() const { return live_count_; }
 
   /// Aggregate abort counts by cause since the last reset (for statistics).
-  const std::array<std::uint64_t, 7>& abort_counts() const { return aborts_; }
+  const std::array<std::uint64_t, kNumAbortCauses>& abort_counts() const {
+    return aborts_;
+  }
   void reset_counters() { aborts_.fill(0); }
 
  private:
@@ -135,6 +148,11 @@ class HtmDomain {
   void finish_abort(Tx& tx);  // bookkeeping common to all abort deliveries
   void maybe_spurious(Tx& tx);
 
+  // Effective capacity limits: the configured params, tightened by any
+  // active FaultPlan capacity-squeeze window.
+  std::uint32_t max_read_lines_now() const;
+  std::uint32_t max_write_lines_now() const;
+
   sim::HtmParams params_;
   mem::MemModel* mem_;
   sim::Scheduler* sched_;
@@ -142,7 +160,7 @@ class HtmDomain {
   util::FlatHash<Watch> watch_{1 << 14};
   std::array<Tx*, 64> slots_;
   std::uint32_t live_count_ = 0;
-  std::array<std::uint64_t, 7> aborts_{};
+  std::array<std::uint64_t, kNumAbortCauses> aborts_{};
 };
 
 }  // namespace rtle::htm

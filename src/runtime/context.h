@@ -55,13 +55,20 @@ struct ThreadCtx {
       : tid(tid), rng(seed), tx(tid) {}
 
   std::uint32_t tid;
+  // Lives in the padding after tid so sizeof(ThreadCtx) matches the seed
+  // layout (simulated cache-line identity derives from real addresses —
+  // see mem::line_of — so container element sizes must not drift). Part of
+  // the serial-mode state below: did the current execution hit a
+  // persistent abort?
+  bool persistent_this_op = false;
   sim::Rng rng;
   htm::Tx tx;
   void* scratch = nullptr;
 
-  // Adaptive serial-mode state (libitm-style): consecutive critical-section
-  // executions that ended in a persistent (no-retry-hint) abort, and how
-  // many upcoming executions should skip speculation entirely.
+  // Adaptive serial-mode state (libitm-style), maintained by the method's
+  // RetryPolicy: consecutive critical-section executions that ended in a
+  // persistent (no-retry-hint) abort, and how many upcoming executions
+  // should skip speculation entirely.
   std::uint32_t persistent_streak = 0;
   std::uint32_t serial_ops_left = 0;
 };

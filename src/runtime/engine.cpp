@@ -1,7 +1,5 @@
 #include "runtime/engine.h"
 
-#include <algorithm>
-
 #include "mem/shim.h"
 #include "sim/env.h"
 
@@ -10,47 +8,50 @@ namespace rtle::runtime {
 void ElidingMethod::execute(ThreadCtx& th, CsBody cs) {
   int trials = 0;
   // Adaptive serial mode (as in GCC's libitm): a thread whose critical
-  // sections keep dying with persistent aborts (unsupported instruction,
-  // capacity) stops burning a doomed speculative attempt on every execution
-  // and goes straight to the lock for a while, re-probing periodically.
-  bool persistent_this_op = false;
-  if (th.serial_ops_left > 0) {
-    th.serial_ops_left -= 1;
-    trials = max_trials_;
-  }
+  // sections keep dying with persistent aborts stops burning a doomed
+  // speculative attempt on every execution and goes straight to the lock
+  // for a while, re-probing periodically. The policy owns the bookkeeping.
+  bool give_up = policy_->begin_op(th);
+  // Circuit breaker: while degraded, only designated probe operations may
+  // touch the hardware; everything else is lock-only.
+  bool probe = false;
+  const bool speculate =
+      !health_.enabled() || health_.allow_speculation(probe, stats_);
+  if (!speculate) give_up = true;
   for (;;) {
     // Probe the lock before speculating (test-and-test-and-set discipline).
     if (lock_.probe()) {
-      bool attempted = false;
-      try {
-        attempted = slow_htm_attempt(th, cs);
-      } catch (const htm::HtmAbort& e) {
-        stats_.note_abort(/*slow=*/true, e.cause);
-        continue;  // free retry: re-probe, maybe the lock is gone
+      if (speculate) {
+        bool attempted = false;
+        try {
+          attempted = slow_htm_attempt(th, cs);
+        } catch (const htm::HtmAbort& e) {
+          stats_.note_abort(/*slow=*/true, e.cause);
+          health_.note_abort(stats_, probe);
+          continue;  // free retry: re-probe, maybe the lock is gone
+        }
+        if (attempted) {
+          stats_.ops += 1;
+          stats_.commit_slow_htm += 1;
+          if (lock_.held_meta()) stats_.slow_htm_while_locked += 1;
+          policy_->on_htm_commit(th);
+          health_.note_htm_commit(stats_, probe);
+          return;
+        }
       }
-      if (attempted) {
-        stats_.ops += 1;
-        stats_.commit_slow_htm += 1;
-        if (lock_.held_meta()) stats_.slow_htm_while_locked += 1;
-        th.persistent_streak = 0;
-        return;
-      }
-      // Plain TLE (or instrumentation disabled): wait for the lock holder.
+      // Plain TLE (or instrumentation disabled, or HTM degraded): wait for
+      // the lock holder.
       lock_.spin_while_held();
       continue;
     }
 
-    if (trials >= max_trials_) {
+    if (give_up) {
       lock_.acquire();
       lock_cs(th, cs);
       lock_.release();
       stats_.ops += 1;
       stats_.commit_lock += 1;
-      if (persistent_this_op) {
-        if (++th.persistent_streak >= 2) th.serial_ops_left = 32;
-      } else {
-        th.persistent_streak = 0;
-      }
+      policy_->on_lock_commit(th);
       return;
     }
 
@@ -66,27 +67,24 @@ void ElidingMethod::execute(ThreadCtx& th, CsBody cs) {
       htm.commit(th.tx);
       stats_.ops += 1;
       stats_.commit_fast_htm += 1;
-      th.persistent_streak = 0;
+      policy_->on_htm_commit(th);
+      health_.note_htm_commit(stats_, probe);
       return;
     } catch (const htm::HtmAbort& e) {
       stats_.note_abort(/*slow=*/false, e.cause);
+      health_.note_abort(stats_, probe);
       ++trials;
-      // RTM-faithful retry policy: an abort without the hardware's "may
-      // succeed on retry" hint — an unsupported instruction or a capacity
-      // overflow — is persistent, so libitm-style implementations stop
-      // speculating and take the lock immediately.
-      if (e.cause == htm::AbortCause::kUnsupported ||
-          e.cause == htm::AbortCause::kCapacity) {
-        trials = max_trials_;
-        persistent_this_op = true;
-      }
+      RetryDecision d = policy_->on_fast_abort(th, trials, max_trials_,
+                                               e.cause);
+      if (d.give_up) give_up = true;
+      // A degraded-mode probe gets exactly one fast attempt.
+      if (probe) give_up = true;
       // Plain TLE spins until the lock is free after every failure; refined
       // TLE instead loops back to the probe, where a held lock routes the
-      // thread onto the instrumented slow path (Figure 1).
-      if (!has_slow_path()) lock_.spin_while_held();
-      // Randomized, growing backoff: waiters released together would
-      // otherwise restart in lockstep and doom each other in waves.
-      mem::compute(th.rng.below(64ULL << std::min(trials, 4)) + 1);
+      // thread onto the instrumented slow path (Figure 1) — unless the
+      // policy asked to wait for the lock explicitly.
+      if (!has_slow_path() || d.wait_for_lock) lock_.spin_while_held();
+      if (d.backoff_cycles != 0) mem::compute(d.backoff_cycles);
     }
   }
 }

@@ -7,14 +7,24 @@
 //        │ (≥5 failed trials) ─▶ acquire lock ─▶ pessimistic path
 //        └─▶ uninstrumented HTM attempt with lock subscription
 //
-// Retry policy (§2, §6.2.1): a constant five trials on the fast path before
-// falling back to the lock, spinning until the lock is free after every
-// failure [Kleen'14]; slow-path failures are *not* held against the count —
-// the whole point of refined TLE is free optimistic attempts while the lock
-// is held.
+// Retry policy (§2, §6.2.1): delegated to a pluggable RetryPolicy object.
+// The default (PaperRetryPolicy) is the paper's: a constant five trials on
+// the fast path before falling back to the lock, spinning until the lock is
+// free after every failure [Kleen'14]; slow-path failures are *not* held
+// against the count — the whole point of refined TLE is free optimistic
+// attempts while the lock is held.
+//
+// An optional HtmHealth circuit breaker (off by default) can degrade the
+// method to lock-only execution after sustained HTM failure and re-enable
+// speculation via periodic probes.
 #pragma once
 
+#include <memory>
+#include <utility>
+
+#include "runtime/htm_health.h"
 #include "runtime/method.h"
+#include "runtime/retry_policy.h"
 #include "sync/lock.h"
 
 namespace rtle::runtime {
@@ -36,6 +46,18 @@ class ElidingMethod : public SyncMethod {
   void set_max_trials(int n) { max_trials_ = n; }
   int max_trials() const { return max_trials_; }
 
+  /// Replace the retry policy (must be non-null).
+  void set_retry_policy(std::unique_ptr<RetryPolicy> p) {
+    owned_policy_ = std::move(p);
+    policy_ = owned_policy_.get();
+  }
+  RetryPolicy& retry_policy() { return *policy_; }
+
+  /// Arm the circuit breaker. Without this call the method behaves exactly
+  /// as if HtmHealth did not exist.
+  void enable_htm_health(HtmHealth::Config cfg) { health_.enable(cfg); }
+  HtmHealth& htm_health() { return health_; }
+
  protected:
   /// Whether this method can speculate while the lock is held. When true,
   /// a fast-path failure loops straight back to the probe (Figure 1) so the
@@ -54,7 +76,19 @@ class ElidingMethod : public SyncMethod {
 
   sync::TTSLock lock_;
   int max_trials_ = kMaxTrials;
+  // The default policy is a shared stateless singleton (all per-thread
+  // decision state lives in ThreadCtx), so constructing a method performs
+  // no extra heap allocation — simulated cache-line identity derives from
+  // real addresses (mem::line_of), and an extra allocation here would
+  // shift every later heap object relative to the seed layout. For the
+  // same reason these three members total exactly 64 bytes (one line).
+  RetryPolicy* policy_ = &paper_retry_policy();
+  std::unique_ptr<RetryPolicy> owned_policy_;
+  HtmHealth health_;
 };
+static_assert(sizeof(std::unique_ptr<RetryPolicy>) == 8);
+static_assert(sizeof(HtmHealth) == 48,
+              "keep ElidingMethod's policy+health block at 64 bytes");
 
 /// No elision: plain lock acquisition for every critical section — the
 /// paper's "Lock" baseline and normalization denominator.

@@ -1,0 +1,55 @@
+#include "runtime/htm_health.h"
+
+namespace rtle::runtime {
+
+bool HtmHealth::allow_speculation(bool& probe, MethodStats& stats) {
+  probe = false;
+  if (!enabled_ || state_ == State::kHealthy) return true;
+  ops_since_probe_ += 1;
+  if (ops_since_probe_ >= cfg_.probe_period) {
+    ops_since_probe_ = 0;
+    probe = true;
+    stats.health_probes += 1;
+    return true;
+  }
+  return false;
+}
+
+void HtmHealth::note_htm_commit(MethodStats& stats, bool probe) {
+  if (!enabled_) return;
+  if (state_ == State::kDegraded) {
+    if (probe) {
+      // The hardware is back: re-open the fast path.
+      state_ = State::kHealthy;
+      window_attempts_ = 0;
+      window_commits_ = 0;
+      stats.health_reenables += 1;
+    }
+    return;
+  }
+  window_attempts_ += 1;
+  window_commits_ += 1;
+  if (window_attempts_ >= cfg_.window) close_window(stats);
+}
+
+void HtmHealth::note_abort(MethodStats& stats, bool probe) {
+  if (!enabled_) return;
+  if (state_ == State::kDegraded) {
+    if (probe) ops_since_probe_ = 0;  // probe failed: full countdown again
+    return;
+  }
+  window_attempts_ += 1;
+  if (window_attempts_ >= cfg_.window) close_window(stats);
+}
+
+void HtmHealth::close_window(MethodStats& stats) {
+  if (window_commits_ < cfg_.min_commits) {
+    state_ = State::kDegraded;
+    ops_since_probe_ = 0;
+    stats.health_degrades += 1;
+  }
+  window_attempts_ = 0;
+  window_commits_ = 0;
+}
+
+}  // namespace rtle::runtime

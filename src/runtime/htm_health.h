@@ -1,0 +1,71 @@
+// HtmHealth: a per-method circuit breaker for graceful HTM degradation.
+//
+// Best-effort HTM offers no progress guarantee; in the field it can stop
+// committing entirely — TSX disabled by microcode, sustained interrupt
+// storms, a capacity regime the workload can never fit. A method that keeps
+// speculating through that pays the full begin/abort latency on every
+// operation before finally taking the lock. HtmHealth watches the commit /
+// abort stream and, after a window of sustained failure, *degrades* the
+// method to lock-only execution; while degraded it periodically lets one
+// operation probe the fast path, and a successful probe re-enables
+// speculation. The three transitions (degrade, probe, re-enable) are
+// counted in MethodStats.
+//
+// All bookkeeping is meta-level (no simulated cycles). The breaker is OFF
+// by default — an ElidingMethod without enable_htm_health() behaves
+// exactly as the seed did — because the degrade threshold is a deployment
+// decision, not part of the paper's algorithms.
+#pragma once
+
+#include <cstdint>
+
+#include "runtime/stats.h"
+
+namespace rtle::runtime {
+
+class HtmHealth {
+ public:
+  struct Config {
+    /// HTM attempts (commits + aborts, fast and slow path) per evaluation
+    /// window while healthy.
+    std::uint32_t window = 64;
+    /// Degrade when a full window yields fewer than this many HTM commits.
+    std::uint32_t min_commits = 1;
+    /// Completed operations between fast-path probes while degraded.
+    std::uint32_t probe_period = 128;
+  };
+
+  enum class State : std::uint8_t { kHealthy, kDegraded };
+
+  void enable(Config cfg) {
+    cfg_ = cfg;
+    enabled_ = true;
+  }
+  bool enabled() const { return enabled_; }
+  State state() const { return state_; }
+
+  /// Decide whether the operation about to start may speculate. Sets
+  /// `probe` when the operation is a re-probe of degraded HTM (the engine
+  /// then allows a single fast-path attempt). Counts probes in `stats`.
+  bool allow_speculation(bool& probe, MethodStats& stats);
+
+  /// An HTM attempt committed (fast or slow path). A committing probe
+  /// re-enables speculation.
+  void note_htm_commit(MethodStats& stats, bool probe);
+
+  /// An HTM attempt aborted. An aborting probe restarts the degraded
+  /// countdown.
+  void note_abort(MethodStats& stats, bool probe);
+
+ private:
+  void close_window(MethodStats& stats);
+
+  bool enabled_ = false;
+  Config cfg_;
+  State state_ = State::kHealthy;
+  std::uint64_t window_attempts_ = 0;
+  std::uint64_t window_commits_ = 0;
+  std::uint64_t ops_since_probe_ = 0;
+};
+
+}  // namespace rtle::runtime

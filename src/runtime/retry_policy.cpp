@@ -1,0 +1,127 @@
+#include "runtime/retry_policy.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace rtle::runtime {
+
+namespace {
+
+bool is_persistent(htm::AbortCause cause) {
+  // Aborts that carry no "may succeed on retry" hint: retrying the fast
+  // path is guaranteed (capacity, unsupported) or near-guaranteed
+  // (HTM offline) to fail again.
+  return cause == htm::AbortCause::kUnsupported ||
+         cause == htm::AbortCause::kCapacity ||
+         cause == htm::AbortCause::kHtmUnavailable;
+}
+
+}  // namespace
+
+bool PaperRetryPolicy::begin_op(ThreadCtx& th) {
+  th.persistent_this_op = false;
+  if (th.serial_ops_left > 0) {
+    th.serial_ops_left -= 1;
+    return true;
+  }
+  return false;
+}
+
+RetryDecision PaperRetryPolicy::on_fast_abort(ThreadCtx& th, int trial,
+                                              int max_trials,
+                                              htm::AbortCause cause) {
+  int t = trial;
+  if (is_persistent(cause)) {
+    // RTM-faithful: no retry hint — stop speculating and take the lock.
+    t = max_trials;
+    th.persistent_this_op = true;
+  }
+  RetryDecision d;
+  d.give_up = t >= max_trials;
+  // Randomized, growing backoff: waiters released together would otherwise
+  // restart in lockstep and doom each other in waves.
+  d.backoff_cycles = th.rng.below(64ULL << std::min(t, 4)) + 1;
+  return d;
+}
+
+void PaperRetryPolicy::on_htm_commit(ThreadCtx& th) {
+  th.persistent_streak = 0;
+}
+
+void PaperRetryPolicy::on_lock_commit(ThreadCtx& th) {
+  if (th.persistent_this_op) {
+    if (++th.persistent_streak >= 2) th.serial_ops_left = 32;
+  } else {
+    th.persistent_streak = 0;
+  }
+}
+
+bool CauseAwareRetryPolicy::begin_op(ThreadCtx& th) {
+  th.persistent_this_op = false;
+  if (th.serial_ops_left > 0) {
+    th.serial_ops_left -= 1;
+    return true;
+  }
+  return false;
+}
+
+RetryDecision CauseAwareRetryPolicy::on_fast_abort(ThreadCtx& th, int trial,
+                                                   int max_trials,
+                                                   htm::AbortCause cause) {
+  RetryDecision d;
+  if (is_persistent(cause)) {
+    // Non-transient: every further fast attempt is a wasted traversal and
+    // backing off only delays the productive (lock) path.
+    th.persistent_this_op = true;
+    d.give_up = true;
+    return d;
+  }
+  d.give_up = trial >= max_trials;
+  if (cause == htm::AbortCause::kLockBusy) {
+    // The abort tells us exactly what to wait for; spinning on the lock
+    // word is cheaper and more precise than a blind backoff. (On refined
+    // methods this trades one slow-path opportunity for a clean fast
+    // retry once the holder leaves.)
+    d.wait_for_lock = true;
+    return d;
+  }
+  // Conflict-class (conflict / spurious / explicit): bounded exponential
+  // backoff with jitter so colliding threads desynchronize.
+  const std::uint64_t bound = cfg_.backoff_base
+                              << std::min(trial, cfg_.backoff_cap_exp);
+  d.backoff_cycles = th.rng.below(bound) + 1;
+  return d;
+}
+
+void CauseAwareRetryPolicy::on_htm_commit(ThreadCtx& th) {
+  th.persistent_streak = 0;
+}
+
+void CauseAwareRetryPolicy::on_lock_commit(ThreadCtx& th) {
+  if (th.persistent_this_op) {
+    if (++th.persistent_streak >= cfg_.serial_after_streak) {
+      th.serial_ops_left = cfg_.serial_ops;
+    }
+  } else {
+    th.persistent_streak = 0;
+  }
+}
+
+RetryPolicy& paper_retry_policy() {
+  static PaperRetryPolicy policy;
+  return policy;
+}
+
+std::unique_ptr<RetryPolicy> make_retry_policy(const std::string& name) {
+  if (name == "paper" || name == "default" || name.empty()) {
+    return std::make_unique<PaperRetryPolicy>();
+  }
+  if (name == "cause-aware") {
+    return std::make_unique<CauseAwareRetryPolicy>();
+  }
+  std::fprintf(stderr, "rtle: unknown retry policy '%s'\n", name.c_str());
+  std::abort();
+}
+
+}  // namespace rtle::runtime

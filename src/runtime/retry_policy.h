@@ -1,0 +1,126 @@
+// RetryPolicy: the pluggable decision procedure behind ElidingMethod's
+// fast-path retry loop.
+//
+// The paper fixes the policy at "five fast-path trials, then the lock"
+// (§2, §6.2.1) and calls the how-many-attempts question orthogonal. This
+// interface makes the policy a first-class object so the engine can run
+// under different regimes without touching the Figure-1 state machine:
+//
+//   * PaperRetryPolicy (the default) reproduces the seed behavior
+//     bit-for-bit: a constant trial budget, randomized growing backoff
+//     after every abort, libitm-style persistent-abort fast fallback and
+//     adaptive serial mode. Installing it changes nothing measurable.
+//   * CauseAwareRetryPolicy reacts to *why* the hardware aborted:
+//     capacity / unsupported / htm-unavailable aborts are non-transient,
+//     so it stops speculating immediately (no wasted trials, no backoff);
+//     conflicts and spurious aborts retry under bounded exponential
+//     backoff with jitter; lock-busy aborts wait for the lock to clear
+//     instead of backing off blind.
+//
+// Policies are owned by the method (one per method instance) and shared by
+// all simulated threads; every per-thread decision input lives in
+// ThreadCtx, so a policy object itself needs no per-thread storage.
+// Decision code is meta-level — only the returned backoff (charged by the
+// engine) and any waiting cost simulated cycles.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "htm/htm.h"
+#include "runtime/context.h"
+
+namespace rtle::runtime {
+
+/// What the engine should do after a failed fast-path attempt.
+struct RetryDecision {
+  /// Stop speculating for this operation: take the lock as soon as it is
+  /// free (slow-path attempts while it is held remain allowed — they are
+  /// the refined-TLE freebie and never count against any budget).
+  bool give_up = false;
+  /// Spin until the lock is observed free before the next attempt (plain
+  /// TLE always does this regardless, per the engine's state machine).
+  bool wait_for_lock = false;
+  /// Compute cycles to charge before the next attempt (0 = none).
+  std::uint64_t backoff_cycles = 0;
+};
+
+class RetryPolicy {
+ public:
+  virtual ~RetryPolicy() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Called once at the start of every critical-section execution.
+  /// Returns true if this operation must skip speculation entirely
+  /// (adaptive serial mode) and go straight for the lock.
+  virtual bool begin_op(ThreadCtx& th) = 0;
+
+  /// Called after the `trial`-th failed fast-path attempt of this
+  /// operation (1-based). `max_trials` is the method's configured budget.
+  virtual RetryDecision on_fast_abort(ThreadCtx& th, int trial,
+                                      int max_trials,
+                                      htm::AbortCause cause) = 0;
+
+  /// The operation committed on an HTM path (fast or slow).
+  virtual void on_htm_commit(ThreadCtx& th) {}
+
+  /// The operation completed under the lock.
+  virtual void on_lock_commit(ThreadCtx& th) {}
+};
+
+/// The paper's policy (§2, §6.2.1) — seed-identical behavior: constant
+/// trial budget, one randomized growing backoff draw per abort, capacity /
+/// unsupported aborts exhaust the budget immediately, adaptive serial mode
+/// after two consecutive persistent operations.
+class PaperRetryPolicy final : public RetryPolicy {
+ public:
+  std::string name() const override { return "paper"; }
+  bool begin_op(ThreadCtx& th) override;
+  RetryDecision on_fast_abort(ThreadCtx& th, int trial, int max_trials,
+                              htm::AbortCause cause) override;
+  void on_htm_commit(ThreadCtx& th) override;
+  void on_lock_commit(ThreadCtx& th) override;
+};
+
+/// Cause-aware policy: immediate fallback on non-transient aborts, bounded
+/// exponential backoff with jitter on conflicts, waiting on lock-busy.
+class CauseAwareRetryPolicy final : public RetryPolicy {
+ public:
+  struct Config {
+    /// Jittered backoff bound after the t-th conflict-class abort is
+    /// backoff_base << min(t, backoff_cap_exp) cycles.
+    std::uint64_t backoff_base = 64;
+    int backoff_cap_exp = 6;
+    /// Serial-mode tuning (same mechanism as the paper policy).
+    std::uint32_t serial_after_streak = 2;
+    std::uint32_t serial_ops = 32;
+  };
+
+  CauseAwareRetryPolicy() = default;
+  explicit CauseAwareRetryPolicy(Config cfg) : cfg_(cfg) {}
+
+  std::string name() const override { return "cause-aware"; }
+  bool begin_op(ThreadCtx& th) override;
+  RetryDecision on_fast_abort(ThreadCtx& th, int trial, int max_trials,
+                              htm::AbortCause cause) override;
+  void on_htm_commit(ThreadCtx& th) override;
+  void on_lock_commit(ThreadCtx& th) override;
+
+ private:
+  Config cfg_;
+};
+
+/// Factory for the CLI: "paper" (or "default") and "cause-aware".
+/// Aborts on unknown names.
+std::unique_ptr<RetryPolicy> make_retry_policy(const std::string& name);
+
+/// The process-wide PaperRetryPolicy instance every ElidingMethod points at
+/// by default. Shared because the policy is stateless (all per-thread state
+/// lives in ThreadCtx) and because constructing one per method would add a
+/// heap allocation that shifts the seed's address-derived cache-line
+/// layout.
+RetryPolicy& paper_retry_policy();
+
+}  // namespace rtle::runtime

@@ -4,8 +4,22 @@
 
 namespace rtle::runtime {
 
+std::string abort_cause_histogram(
+    const std::array<std::uint64_t, htm::kNumAbortCauses>& counts) {
+  std::string out;
+  char buf[64];
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    std::snprintf(buf, sizeof(buf), "%s%s=%llu", out.empty() ? "" : " ",
+                  htm::to_string(static_cast<htm::AbortCause>(i)),
+                  static_cast<unsigned long long>(counts[i]));
+    out += buf;
+  }
+  return out.empty() ? "none" : out;
+}
+
 std::string MethodStats::summary() const {
-  char buf[512];
+  char buf[768];
   std::snprintf(
       buf, sizeof(buf),
       "ops=%llu fast=%llu slow=%llu lock=%llu stm(ro/htm/lock)=%llu/%llu/%llu "
@@ -21,7 +35,19 @@ std::string MethodStats::summary() const {
       static_cast<unsigned long long>(aborts_slow),
       static_cast<unsigned long long>(lock_acquisitions),
       static_cast<unsigned long long>(validations));
-  return buf;
+  std::string out = buf;
+  out += " causes[";
+  out += abort_cause_histogram(abort_cause);
+  out += "]";
+  if (health_degrades != 0 || health_probes != 0 || health_reenables != 0) {
+    std::snprintf(buf, sizeof(buf),
+                  " health(degrade/probe/reenable)=%llu/%llu/%llu",
+                  static_cast<unsigned long long>(health_degrades),
+                  static_cast<unsigned long long>(health_probes),
+                  static_cast<unsigned long long>(health_reenables));
+    out += buf;
+  }
+  return out;
 }
 
 }  // namespace rtle::runtime

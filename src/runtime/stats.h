@@ -34,7 +34,23 @@ struct MethodStats {
   // Abort accounting.
   std::uint64_t aborts_fast = 0;
   std::uint64_t aborts_slow = 0;
-  std::array<std::uint64_t, 7> abort_cause{};
+  std::array<std::uint64_t, htm::kNumAbortCauses> abort_cause{};
+
+  // HtmHealth circuit-breaker transitions (htm_health.h): degradations to
+  // lock-only mode, fast-path probes while degraded, successful
+  // re-enables.
+  std::uint64_t health_degrades = 0;
+  std::uint64_t health_probes = 0;
+  std::uint64_t health_reenables = 0;
+
+  // Keeps sizeof(MethodStats) growth over the seed layout at a multiple of
+  // 64 bytes (abort_cause grew by one slot, health counters added three):
+  // stats_ sits at the front of every method object and simulated
+  // cache-line identity derives from real addresses (mem::line_of), so an
+  // odd-sized growth would shift the lock word and method fields onto
+  // different line boundaries and perturb seed-identical runs. Reuse these
+  // slots for future counters.
+  std::uint64_t reserved_[4] = {};
 
   // Lock accounting (Fig 6 "Lock" pane, Fig 7).
   std::uint64_t lock_acquisitions = 0;
@@ -59,5 +75,10 @@ struct MethodStats {
 
   std::string summary() const;
 };
+
+/// Render a per-cause abort histogram ("conflict=12 capacity=3", or "none")
+/// from either MethodStats::abort_cause or HtmDomain::abort_counts().
+std::string abort_cause_histogram(
+    const std::array<std::uint64_t, htm::kNumAbortCauses>& counts);
 
 }  // namespace rtle::runtime

@@ -1,0 +1,231 @@
+#include "sim/faultplan.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace rtle::sim {
+
+namespace {
+
+FaultPlan* g_plan = nullptr;
+
+[[noreturn]] void parse_die(const std::string& spec, const char* why) {
+  std::fprintf(stderr, "rtle faultplan: bad spec '%s': %s\n", spec.c_str(),
+               why);
+  std::abort();
+}
+
+}  // namespace
+
+const char* to_string(FaultKind k) {
+  switch (k) {
+    case FaultKind::kSpuriousBurst: return "spurious";
+    case FaultKind::kCapacitySqueeze: return "squeeze";
+    case FaultKind::kHtmOffline: return "offline";
+    case FaultKind::kPreemptHolder: return "preempt";
+  }
+  return "?";
+}
+
+FaultPlan& FaultPlan::add(FaultWindow w) {
+  windows_.push_back(w);
+  acquires_seen_.push_back(0);
+  return *this;
+}
+
+FaultPlan& FaultPlan::spurious_burst(std::uint64_t begin, std::uint64_t end,
+                                     std::uint64_t every) {
+  FaultWindow w;
+  w.kind = FaultKind::kSpuriousBurst;
+  w.begin = begin;
+  w.end = end;
+  w.spurious_every = every;
+  return add(w);
+}
+
+FaultPlan& FaultPlan::capacity_squeeze(std::uint64_t begin, std::uint64_t end,
+                                       std::uint32_t read_lines,
+                                       std::uint32_t write_lines) {
+  FaultWindow w;
+  w.kind = FaultKind::kCapacitySqueeze;
+  w.begin = begin;
+  w.end = end;
+  w.max_read_lines = read_lines;
+  w.max_write_lines = write_lines;
+  return add(w);
+}
+
+FaultPlan& FaultPlan::htm_offline(std::uint64_t begin, std::uint64_t end) {
+  FaultWindow w;
+  w.kind = FaultKind::kHtmOffline;
+  w.begin = begin;
+  w.end = end;
+  return add(w);
+}
+
+FaultPlan& FaultPlan::preempt_holders(std::uint64_t begin, std::uint64_t end,
+                                      std::uint64_t stall_cycles,
+                                      std::uint64_t every_nth_acquire) {
+  FaultWindow w;
+  w.kind = FaultKind::kPreemptHolder;
+  w.begin = begin;
+  w.end = end;
+  w.stall_cycles = stall_cycles;
+  w.every_nth_acquire = every_nth_acquire == 0 ? 1 : every_nth_acquire;
+  return add(w);
+}
+
+bool FaultPlan::htm_offline_at(std::uint64_t now) const {
+  for (const FaultWindow& w : windows_) {
+    if (w.kind == FaultKind::kHtmOffline && w.active_at(now)) return true;
+  }
+  return false;
+}
+
+std::uint64_t FaultPlan::spurious_every_at(std::uint64_t now,
+                                           std::uint64_t base) const {
+  std::uint64_t every = base;
+  for (const FaultWindow& w : windows_) {
+    if (w.kind != FaultKind::kSpuriousBurst || !w.active_at(now)) continue;
+    if (w.spurious_every == 0) continue;
+    if (every == 0 || w.spurious_every < every) every = w.spurious_every;
+  }
+  return every;
+}
+
+std::uint32_t FaultPlan::max_read_lines_at(std::uint64_t now,
+                                           std::uint32_t base) const {
+  std::uint32_t lines = base;
+  for (const FaultWindow& w : windows_) {
+    if (w.kind != FaultKind::kCapacitySqueeze || !w.active_at(now)) continue;
+    if (w.max_read_lines != 0) lines = std::min(lines, w.max_read_lines);
+  }
+  return lines;
+}
+
+std::uint32_t FaultPlan::max_write_lines_at(std::uint64_t now,
+                                            std::uint32_t base) const {
+  std::uint32_t lines = base;
+  for (const FaultWindow& w : windows_) {
+    if (w.kind != FaultKind::kCapacitySqueeze || !w.active_at(now)) continue;
+    if (w.max_write_lines != 0) lines = std::min(lines, w.max_write_lines);
+  }
+  return lines;
+}
+
+std::uint64_t FaultPlan::preemption_stall(std::uint64_t now) {
+  std::uint64_t stall = 0;
+  for (std::size_t i = 0; i < windows_.size(); ++i) {
+    const FaultWindow& w = windows_[i];
+    if (w.kind != FaultKind::kPreemptHolder || !w.active_at(now)) continue;
+    acquires_seen_[i] += 1;
+    if (acquires_seen_[i] % w.every_nth_acquire == 0) {
+      stall = std::max(stall, w.stall_cycles);
+    }
+  }
+  return stall;
+}
+
+FaultPlan FaultPlan::parse(const std::string& spec) {
+  FaultPlan plan;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t sep = spec.find(';', pos);
+    if (sep == std::string::npos) sep = spec.size();
+    const std::string tok = spec.substr(pos, sep - pos);
+    pos = sep + 1;
+    if (tok.empty()) continue;
+
+    const std::size_t at = tok.find('@');
+    if (at == std::string::npos) parse_die(spec, "window missing '@'");
+    const std::string kind = tok.substr(0, at);
+    std::string rest = tok.substr(at + 1);
+
+    std::string params;
+    if (const std::size_t eq = rest.find('='); eq != std::string::npos) {
+      params = rest.substr(eq + 1);
+      rest = rest.substr(0, eq);
+    }
+    const std::size_t colon = rest.find(':');
+    if (colon == std::string::npos) parse_die(spec, "range missing ':'");
+    const std::string b_str = rest.substr(0, colon);
+    const std::string e_str = rest.substr(colon + 1);
+    const std::uint64_t b = b_str.empty() ? 0 : std::strtoull(b_str.c_str(), nullptr, 10);
+    const std::uint64_t e = e_str.empty() ? FaultWindow::kForever
+                                          : std::strtoull(e_str.c_str(), nullptr, 10);
+
+    if (kind == "offline") {
+      plan.htm_offline(b, e);
+    } else if (kind == "spurious") {
+      unsigned long long every = 0;
+      if (std::sscanf(params.c_str(), "%llu", &every) != 1 || every == 0) {
+        parse_die(spec, "spurious needs '=N' with N > 0");
+      }
+      plan.spurious_burst(b, e, every);
+    } else if (kind == "squeeze") {
+      unsigned r = 0, w = 0;
+      if (std::sscanf(params.c_str(), "%u,%u", &r, &w) != 2) {
+        parse_die(spec, "squeeze needs '=R,W'");
+      }
+      plan.capacity_squeeze(b, e, r, w);
+    } else if (kind == "preempt") {
+      unsigned long long stall = 0, nth = 0;
+      if (std::sscanf(params.c_str(), "%llu/%llu", &stall, &nth) != 2) {
+        parse_die(spec, "preempt needs '=STALL/NTH'");
+      }
+      plan.preempt_holders(b, e, stall, nth);
+    } else {
+      parse_die(spec, "unknown fault kind");
+    }
+  }
+  return plan;
+}
+
+std::string FaultPlan::describe() const {
+  std::string out;
+  char buf[128];
+  for (const FaultWindow& w : windows_) {
+    if (!out.empty()) out += ';';
+    out += to_string(w.kind);
+    std::snprintf(buf, sizeof(buf), "@%llu:",
+                  static_cast<unsigned long long>(w.begin));
+    out += buf;
+    if (w.end != FaultWindow::kForever) {
+      std::snprintf(buf, sizeof(buf), "%llu",
+                    static_cast<unsigned long long>(w.end));
+      out += buf;
+    }
+    switch (w.kind) {
+      case FaultKind::kSpuriousBurst:
+        std::snprintf(buf, sizeof(buf), "=%llu",
+                      static_cast<unsigned long long>(w.spurious_every));
+        out += buf;
+        break;
+      case FaultKind::kCapacitySqueeze:
+        std::snprintf(buf, sizeof(buf), "=%u,%u", w.max_read_lines,
+                      w.max_write_lines);
+        out += buf;
+        break;
+      case FaultKind::kPreemptHolder:
+        std::snprintf(buf, sizeof(buf), "=%llu/%llu",
+                      static_cast<unsigned long long>(w.stall_cycles),
+                      static_cast<unsigned long long>(w.every_nth_acquire));
+        out += buf;
+        break;
+      case FaultKind::kHtmOffline:
+        break;
+    }
+  }
+  return out;
+}
+
+FaultPlan* active_fault_plan() { return g_plan; }
+
+FaultPlanScope::FaultPlanScope(FaultPlan* plan) : prev_(g_plan) {
+  g_plan = plan;
+}
+
+FaultPlanScope::~FaultPlanScope() { g_plan = prev_; }
+
+}  // namespace rtle::sim

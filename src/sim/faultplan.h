@@ -1,0 +1,135 @@
+// FaultPlan: deterministic, scriptable fault schedules for the simulated
+// machine.
+//
+// Real deployments of best-effort HTM hit failure regimes the happy-path
+// parameters never exercise: interrupt/abort storms, capacity shrinking
+// under cache pressure from co-running work, TSX being disabled outright
+// (microcode updates turned Haswell/Broadwell TSX off in the field), and
+// lock holders losing their time slice mid critical section (the classic
+// trigger of the lemming effect [Dice et al.]). A FaultPlan scripts such
+// regimes as clock-driven windows; the emulated HTM domain, the scheduler
+// and the lock consult the ambient active plan, so a whole benchmark or
+// test runs under the schedule without any workload changes — and, because
+// the windows key off the deterministic simulated clock, runs remain
+// bit-for-bit reproducible.
+//
+// With no plan installed (the default) every consultation short-circuits:
+// baseline runs are unchanged down to the last cycle.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rtle::sim {
+
+enum class FaultKind : std::uint8_t {
+  kSpuriousBurst,    ///< override spurious_every (abort storm)
+  kCapacitySqueeze,  ///< shrink the HTM read/write line limits mid-run
+  kHtmOffline,       ///< every xbegin fails (TSX-disabled window)
+  kPreemptHolder,    ///< stall lock acquirers (holder loses its time slice)
+};
+
+const char* to_string(FaultKind k);
+
+/// One scheduled fault regime, active on simulated cycles
+/// [begin, end) — absolute scheduler clock, so windows in a fresh SimScope
+/// count from 0.
+struct FaultWindow {
+  FaultKind kind = FaultKind::kHtmOffline;
+  std::uint64_t begin = 0;
+  std::uint64_t end = kForever;
+
+  // kSpuriousBurst: roughly one spurious abort per this many transactional
+  // accesses while the window is active (must be non-zero).
+  std::uint64_t spurious_every = 0;
+  // kCapacitySqueeze: effective line limits while active (0 = keep base).
+  std::uint32_t max_read_lines = 0;
+  std::uint32_t max_write_lines = 0;
+  // kPreemptHolder: every nth lock acquisition inside the window stalls the
+  // new holder for `stall_cycles` before it runs its critical section.
+  std::uint64_t stall_cycles = 0;
+  std::uint64_t every_nth_acquire = 1;
+
+  static constexpr std::uint64_t kForever = ~0ULL;
+
+  bool active_at(std::uint64_t now) const {
+    return now >= begin && now < end;
+  }
+};
+
+/// A schedule of fault windows plus the deterministic state needed to apply
+/// them (per-window acquisition counters for preemption). Queries are
+/// meta-level: they charge no simulated cycles themselves — the *effects*
+/// (aborts, stalls) are charged by the consulting subsystem.
+class FaultPlan {
+ public:
+  FaultPlan& add(FaultWindow w);
+
+  // Convenience builders for the common schedules.
+  FaultPlan& spurious_burst(std::uint64_t begin, std::uint64_t end,
+                            std::uint64_t every);
+  FaultPlan& capacity_squeeze(std::uint64_t begin, std::uint64_t end,
+                              std::uint32_t read_lines,
+                              std::uint32_t write_lines);
+  FaultPlan& htm_offline(std::uint64_t begin,
+                         std::uint64_t end = FaultWindow::kForever);
+  FaultPlan& preempt_holders(std::uint64_t begin, std::uint64_t end,
+                             std::uint64_t stall_cycles,
+                             std::uint64_t every_nth_acquire);
+
+  bool empty() const { return windows_.size() == 0; }
+  const std::vector<FaultWindow>& windows() const { return windows_; }
+
+  /// True while an HTM-offline window is active: every begin must fail.
+  bool htm_offline_at(std::uint64_t now) const;
+
+  /// Effective spurious-abort rate given the configured base: the most
+  /// severe (smallest non-zero) active burst wins over the base.
+  std::uint64_t spurious_every_at(std::uint64_t now,
+                                  std::uint64_t base) const;
+
+  /// Effective capacity limits given the configured base (smallest active
+  /// override wins; never grows past the base).
+  std::uint32_t max_read_lines_at(std::uint64_t now,
+                                  std::uint32_t base) const;
+  std::uint32_t max_write_lines_at(std::uint64_t now,
+                                   std::uint32_t base) const;
+
+  /// Consulted once per successful lock acquisition: cycles the fresh
+  /// holder must stall before running its critical section (0 = none).
+  /// Deterministic — every window stalls each nth acquisition it observes.
+  std::uint64_t preemption_stall(std::uint64_t now);
+
+  /// Parse a command-line schedule: windows separated by ';', each
+  ///   offline@B:E   spurious@B:E=N   squeeze@B:E=R,W   preempt@B:E=S/N
+  /// with B/E in simulated cycles and an empty E meaning "forever"
+  /// (e.g. "offline@50000:"). Aborts with a message on malformed specs.
+  static FaultPlan parse(const std::string& spec);
+
+  /// Canonical spec string (parse(describe()) reproduces the plan).
+  std::string describe() const;
+
+ private:
+  std::vector<FaultWindow> windows_;
+  std::vector<std::uint64_t> acquires_seen_;  // per-window, preemption only
+};
+
+/// Ambient active plan, consulted by HtmDomain, Scheduler and TTSLock.
+/// nullptr (the default) disables all fault injection.
+FaultPlan* active_fault_plan();
+
+/// RAII installation; scopes nest like SimScope does.
+class FaultPlanScope {
+ public:
+  explicit FaultPlanScope(FaultPlan* plan);
+  ~FaultPlanScope();
+
+  FaultPlanScope(const FaultPlanScope&) = delete;
+  FaultPlanScope& operator=(const FaultPlanScope&) = delete;
+
+ private:
+  FaultPlan* prev_;
+};
+
+}  // namespace rtle::sim

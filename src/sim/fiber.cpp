@@ -6,6 +6,20 @@
 #include <cstdio>
 #include <cstdlib>
 
+#ifdef RTLE_ASAN_FIBERS
+#include <pthread.h>
+
+extern "C" {
+void __sanitizer_start_switch_fiber(void** fake_stack_save, const void* bottom,
+                                    std::size_t size);
+void __sanitizer_finish_switch_fiber(void* fake_stack_save,
+                                     const void** bottom_old,
+                                     std::size_t* size_old);
+void __asan_unpoison_memory_region(const volatile void* addr,
+                                   std::size_t size);
+}
+#endif
+
 namespace rtle::sim {
 namespace {
 
@@ -23,7 +37,50 @@ std::size_t page_size() {
   std::abort();
 }
 
+#ifdef RTLE_ASAN_FIBERS
+/// Fill in the stack bounds of a context by asking the OS for the current
+/// thread's stack. Only ever needed for the context of the thread that
+/// started the scheduler (fiber contexts get their bounds at construction),
+/// and must run while actually executing on that stack.
+void ensure_bounds(Context& c) {
+  if (c.stack_bottom != nullptr) return;
+  pthread_attr_t attr;
+  if (pthread_getattr_np(pthread_self(), &attr) != 0) {
+    die("pthread_getattr_np failed");
+  }
+  void* addr = nullptr;
+  std::size_t size = 0;
+  pthread_attr_getstack(&attr, &addr, &size);
+  pthread_attr_destroy(&attr);
+  c.stack_bottom = addr;
+  c.stack_size = size;
+}
+
+/// Second half of an annotated switch, run on the destination stack: hand
+/// the destination's saved fake-stack handle back to ASan.
+void finish_switch_into(Context& self) {
+  __sanitizer_finish_switch_fiber(self.fake_stack, nullptr, nullptr);
+  self.fake_stack = nullptr;
+}
+#endif
+
 }  // namespace
+
+void context_switch(Context& from, Context& to, bool from_dying) {
+#ifdef RTLE_ASAN_FIBERS
+  ensure_bounds(from);
+  // A dying fiber passes nullptr so ASan releases its fake stack now; it is
+  // never legitimately resumed (run_body_and_exit only bounces back out on
+  // a fatal scheduler bug).
+  __sanitizer_start_switch_fiber(from_dying ? nullptr : &from.fake_stack,
+                                 to.stack_bottom, to.stack_size);
+  rtle_ctx_switch(&from.sp, to.sp);
+  finish_switch_into(from);
+#else
+  (void)from_dying;
+  rtle_ctx_switch(&from.sp, to.sp);
+#endif
+}
 
 // Reached by `ret` inside rtle_ctx_switch the first time a fiber is switched
 // into: the initial stack is seeded with this function's address in the
@@ -31,6 +88,11 @@ std::size_t page_size() {
 void Fiber::main_trampoline() {
   Fiber* f = g_bootstrapping;
   g_bootstrapping = nullptr;
+#ifdef RTLE_ASAN_FIBERS
+  // First entry does not return through context_switch, so complete the
+  // annotation handshake here before touching the new stack in earnest.
+  finish_switch_into(f->ctx_);
+#endif
   f->run_body_and_exit();
 }
 
@@ -41,11 +103,13 @@ void Fiber::run_body_and_exit() {
     die("uncaught exception escaped a fiber body");
   }
   finished_ = true;
+  bool first = true;
   for (;;) {
     if (return_to == nullptr) die("finished fiber has no return context");
     // Switch away for good; if somebody erroneously resumes a dead fiber we
     // just bounce straight back out.
-    switch_to(*return_to);
+    context_switch(ctx_, *return_to, /*from_dying=*/first);
+    first = false;
   }
 }
 
@@ -54,7 +118,7 @@ void Fiber::switch_from(Context& from) {
     started_ = true;
     g_bootstrapping = this;
   }
-  rtle_ctx_switch(&from.sp, ctx_.sp);
+  context_switch(from, ctx_);
 }
 
 Fiber::Fiber(std::function<void()> body, std::size_t stack_bytes)
@@ -77,10 +141,21 @@ Fiber::Fiber(std::function<void()> body, std::size_t stack_bytes)
   top[-2] = reinterpret_cast<std::uint64_t>(&Fiber::main_trampoline);
   for (int i = 3; i <= 8; ++i) top[-i] = 0;  // rbp, rbx, r12..r15
   ctx_.sp = &top[-8];
+#ifdef RTLE_ASAN_FIBERS
+  ctx_.stack_bottom = static_cast<char*>(base) + ps;
+  ctx_.stack_size = usable;
+#endif
 }
 
 Fiber::~Fiber() {
-  if (stack_base_ != nullptr) munmap(stack_base_, map_bytes_);
+  if (stack_base_ != nullptr) {
+#ifdef RTLE_ASAN_FIBERS
+    // The stack may still carry red zones from the fiber's frames; clear
+    // them so a future mmap reusing this range does not inherit poison.
+    __asan_unpoison_memory_region(stack_base_, map_bytes_);
+#endif
+    munmap(stack_base_, map_bytes_);
+  }
 }
 
 }  // namespace rtle::sim

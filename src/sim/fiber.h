@@ -10,15 +10,41 @@
 #include <cstdint>
 #include <functional>
 
+// AddressSanitizer cannot follow a raw stack-pointer swap: it keeps a
+// per-thread shadow of the current stack and a "fake stack" for
+// use-after-return detection, both of which must be switched explicitly via
+// __sanitizer_{start,finish}_switch_fiber around every context switch.
+#if defined(__SANITIZE_ADDRESS__)
+#define RTLE_ASAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define RTLE_ASAN_FIBERS 1
+#endif
+#endif
+
 namespace rtle::sim {
 
 /// Saved execution context of a suspended fiber: just its stack pointer.
 /// The callee-saved registers live on the fiber's own stack (ctx_switch.S).
+/// Under ASan it additionally carries the bounds of the stack the context
+/// runs on and the fake-stack handle saved while switched away.
 struct Context {
   void* sp = nullptr;
+#ifdef RTLE_ASAN_FIBERS
+  const void* stack_bottom = nullptr;
+  std::size_t stack_size = 0;
+  void* fake_stack = nullptr;
+#endif
 };
 
 extern "C" void rtle_ctx_switch(void** save_sp, void* load_sp);
+
+/// Switch from `from` — the context currently executing — to `to`, wrapping
+/// the raw switch with ASan fiber annotations when built with
+/// -fsanitize=address (a plain rtle_ctx_switch otherwise). `from_dying`
+/// marks a final switch away from a finished fiber so ASan can release its
+/// fake stack.
+void context_switch(Context& from, Context& to, bool from_dying = false);
 
 /// A stackful fiber with an mmap'ed, guard-paged stack.
 ///
@@ -44,7 +70,7 @@ class Fiber {
 
   /// Suspend this fiber (saving into its own context) and resume `to`.
   /// Must be called on the fiber itself.
-  void switch_to(Context& to) { rtle_ctx_switch(&ctx_.sp, to.sp); }
+  void switch_to(Context& to) { context_switch(ctx_, to); }
 
   /// The fiber's own saved context (used as the save slot when it switches
   /// directly to a sibling fiber).

@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "sim/faultplan.h"
+
 namespace rtle::sim {
 
 namespace {
@@ -80,6 +82,14 @@ void Scheduler::advance(std::uint64_t cycles) {
   if (cur_ == nullptr) return;  // outside the simulation (e.g. in tests)
   cur_->clock += smt_scaled(*cur_, cycles);
   if (!heap_.empty() && cur_->clock > heap_.top().first) yield();
+}
+
+void Scheduler::charge_holder_preemption() {
+  if (cur_ == nullptr) return;
+  FaultPlan* plan = active_fault_plan();
+  if (plan == nullptr) return;
+  const std::uint64_t stall = plan->preemption_stall(cur_->clock);
+  if (stall != 0) advance(stall);
 }
 
 void Scheduler::yield() {

@@ -60,6 +60,12 @@ class Scheduler {
   /// Unconditionally offer the CPU to the earliest runnable fiber.
   void yield();
 
+  /// Consult the active FaultPlan (faultplan.h) for a lock-holder
+  /// preemption window and charge the resulting stall to the calling
+  /// fiber. Called by the lock right after a successful acquisition; a
+  /// no-op when no plan is installed.
+  void charge_holder_preemption();
+
   const MachineConfig& machine() const { return mc_; }
 
   /// Paper-style pin slot of the calling fiber.

@@ -21,6 +21,10 @@ void TTSLock::acquire() {
   }
   acquired_at_ = cur_sched().now();
   if (stats_ != nullptr) stats_->lock_acquisitions += 1;
+  // Fault injection: a preemption window may stall the fresh holder before
+  // it runs its critical section, as if the OS took its time slice away.
+  // The stall lands after acquired_at_, so it counts as time under lock.
+  cur_sched().charge_holder_preemption();
 }
 
 void TTSLock::release() {

@@ -1,0 +1,471 @@
+// Resilience suite: FaultPlan schedules, spurious-abort emulation, the
+// cause-aware retry policy and the HtmHealth circuit breaker, exercised
+// against the bank / AVL / skip-list workloads. Every test drives a fixed
+// per-thread operation count (not a time budget), so mere completion of
+// sched.run() proves the method cannot livelock or hang under the injected
+// fault regime — including with HTM offline for the whole run.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util/setbench.h"
+#include "ds/avl.h"
+#include "ds/bank.h"
+#include "ds/skiplist.h"
+#include "htm/htm.h"
+#include "runtime/engine.h"
+#include "runtime/retry_policy.h"
+#include "runtime/stats.h"
+#include "sim/env.h"
+#include "sim/faultplan.h"
+#include "test_util.h"
+#include "tle/tle.h"
+
+namespace rtle {
+namespace {
+
+using htm::AbortCause;
+using runtime::MethodStats;
+using runtime::ThreadCtx;
+using runtime::TxContext;
+using sim::FaultPlan;
+using sim::FaultPlanScope;
+using sim::FaultWindow;
+using sim::MachineConfig;
+
+std::size_t idx(AbortCause c) { return static_cast<std::size_t>(c); }
+
+// ---------------------------------------------------------------------------
+// Satellite: AbortCause to_string / from_string round-trip over every value.
+
+TEST(AbortCause, ToStringRoundTripsForEveryCause) {
+  for (std::size_t i = 0; i < htm::kNumAbortCauses; ++i) {
+    const auto cause = static_cast<AbortCause>(i);
+    const char* name = htm::to_string(cause);
+    ASSERT_NE(name, nullptr);
+    EXPECT_STRNE(name, "?") << "cause " << i << " has no name";
+    AbortCause back = AbortCause::kNone;
+    EXPECT_TRUE(htm::abort_cause_from_string(name, back)) << name;
+    EXPECT_EQ(back, cause) << name;
+  }
+}
+
+TEST(AbortCause, FromStringRejectsUnknownNames) {
+  AbortCause out = AbortCause::kNone;
+  EXPECT_FALSE(htm::abort_cause_from_string("definitely-not-a-cause", out));
+  EXPECT_FALSE(htm::abort_cause_from_string("", out));
+}
+
+TEST(AbortCause, HistogramRendersCountsAndNone) {
+  std::array<std::uint64_t, htm::kNumAbortCauses> counts{};
+  EXPECT_EQ(runtime::abort_cause_histogram(counts), "none");
+  counts[idx(AbortCause::kConflict)] = 3;
+  counts[idx(AbortCause::kCapacity)] = 1;
+  const std::string h = runtime::abort_cause_histogram(counts);
+  EXPECT_NE(h.find("conflict=3"), std::string::npos) << h;
+  EXPECT_NE(h.find("capacity=1"), std::string::npos) << h;
+}
+
+// ---------------------------------------------------------------------------
+// Satellite: HtmDomain spurious-abort emulation, driven directly.
+
+// Runs `rounds` transactions of 64 single-line loads each and returns the
+// domain's spurious-abort count.
+std::uint64_t run_spurious_probe(std::uint64_t spurious_every,
+                                 int rounds = 64) {
+  MachineConfig mc = MachineConfig::corei7();
+  mc.htm.spurious_every = spurious_every;
+  SimScope s(mc);
+  std::vector<std::uint64_t> words(64 * 8);  // 64 distinct cache lines
+  s.sched.spawn(
+      [&] {
+        htm::Tx tx(0);
+        for (int r = 0; r < rounds; ++r) {
+          try {
+            s.htm.begin(tx);
+            for (std::size_t line = 0; line < 64; ++line) {
+              s.htm.tx_load(tx, &words[line * 8]);
+            }
+            s.htm.commit(tx);
+          } catch (const htm::HtmAbort&) {
+            // restart; the domain already counted the cause
+          }
+        }
+      },
+      0);
+  s.sched.run();
+  return s.htm.abort_counts()[idx(AbortCause::kSpurious)];
+}
+
+TEST(Spurious, RateZeroNeverAbortsSpuriously) {
+  EXPECT_EQ(run_spurious_probe(0), 0u);
+}
+
+TEST(Spurious, AggressiveRateAbortsOften) {
+  // ~1 abort per 4 transactional accesses over 64 * 64 accesses: the run
+  // must observe many spurious aborts (deterministic rng, fixed schedule).
+  EXPECT_GT(run_spurious_probe(4), 16u);
+}
+
+TEST(Spurious, BurstWindowOverridesBaseRate) {
+  // Base rate disabled; an active burst window must still inject aborts.
+  FaultPlan plan;
+  plan.spurious_burst(0, FaultWindow::kForever, 4);
+  FaultPlanScope scope(&plan);
+  EXPECT_GT(run_spurious_probe(0), 16u);
+}
+
+// ---------------------------------------------------------------------------
+// FaultPlan: parsing, describe round-trip, window queries.
+
+TEST(FaultPlan, ParseDescribeRoundTrip) {
+  const std::string spec =
+      "offline@100:200;spurious@0:50=7;squeeze@10:20=64,8;preempt@5:=1000/3";
+  FaultPlan plan = FaultPlan::parse(spec);
+  ASSERT_EQ(plan.windows().size(), 4u);
+  EXPECT_EQ(plan.describe(), spec);
+  EXPECT_EQ(FaultPlan::parse(plan.describe()).describe(), spec);
+}
+
+TEST(FaultPlan, WindowQueriesRespectBoundsAndBase) {
+  FaultPlan plan = FaultPlan::parse(
+      "offline@100:200;spurious@0:50=7;squeeze@10:20=64,8");
+  // offline: [100, 200)
+  EXPECT_FALSE(plan.htm_offline_at(99));
+  EXPECT_TRUE(plan.htm_offline_at(100));
+  EXPECT_TRUE(plan.htm_offline_at(199));
+  EXPECT_FALSE(plan.htm_offline_at(200));
+  // spurious: smallest non-zero rate wins; outside the window the base
+  // passes through (including base 0 = disabled).
+  EXPECT_EQ(plan.spurious_every_at(25, 2500), 7u);
+  EXPECT_EQ(plan.spurious_every_at(25, 3), 3u);
+  EXPECT_EQ(plan.spurious_every_at(25, 0), 7u);
+  EXPECT_EQ(plan.spurious_every_at(60, 2500), 2500u);
+  EXPECT_EQ(plan.spurious_every_at(60, 0), 0u);
+  // squeeze: only tightens, never grows past the base.
+  EXPECT_EQ(plan.max_read_lines_at(15, 8192), 64u);
+  EXPECT_EQ(plan.max_read_lines_at(15, 32), 32u);
+  EXPECT_EQ(plan.max_write_lines_at(15, 512), 8u);
+  EXPECT_EQ(plan.max_read_lines_at(25, 8192), 8192u);
+}
+
+TEST(FaultPlan, PreemptionStallIsDeterministicEveryNth) {
+  FaultPlan plan = FaultPlan::parse("preempt@0:=1000/2");
+  // Every 2nd acquisition observed inside the window stalls.
+  EXPECT_EQ(plan.preemption_stall(10), 0u);
+  EXPECT_EQ(plan.preemption_stall(11), 1000u);
+  EXPECT_EQ(plan.preemption_stall(12), 0u);
+  EXPECT_EQ(plan.preemption_stall(13), 1000u);
+}
+
+TEST(FaultPlan, ScopeInstallsAndRestoresAmbientPlan) {
+  EXPECT_EQ(sim::active_fault_plan(), nullptr);
+  FaultPlan outer;
+  FaultPlan inner;
+  {
+    FaultPlanScope a(&outer);
+    EXPECT_EQ(sim::active_fault_plan(), &outer);
+    {
+      FaultPlanScope b(&inner);
+      EXPECT_EQ(sim::active_fault_plan(), &inner);
+    }
+    EXPECT_EQ(sim::active_fault_plan(), &outer);
+  }
+  EXPECT_EQ(sim::active_fault_plan(), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Workload harnesses. All use fixed op counts: completion == no livelock.
+
+constexpr std::size_t kAccounts = 64;
+constexpr std::uint64_t kInitialBalance = 1000;
+
+MethodStats run_bank_ops(runtime::SyncMethod& method, std::uint32_t threads,
+                         std::uint64_t ops_per_thread,
+                         const MachineConfig& mc = MachineConfig::corei7()) {
+  SimScope sim(mc);
+  ds::BankAccounts bank(kAccounts, kInitialBalance);
+  method.prepare(threads);
+  test::run_workers(sim, threads, ops_per_thread, /*seed=*/42,
+                    [&](ThreadCtx& th, std::uint64_t) {
+                      const std::size_t from = th.rng.below(bank.size());
+                      std::size_t to = th.rng.below(bank.size() - 1);
+                      if (to >= from) ++to;
+                      const std::uint64_t amount = th.rng.below(100) + 1;
+                      auto cs = [&](TxContext& ctx) {
+                        bank.transfer(ctx, from, to, amount);
+                      };
+                      method.execute(th, cs);
+                    });
+  EXPECT_EQ(bank.total_meta(), kAccounts * kInitialBalance)
+      << "money not conserved under " << method.name();
+  return method.stats();
+}
+
+void expect_all_ops_completed(const MethodStats& st, std::uint32_t threads,
+                              std::uint64_t ops_per_thread) {
+  EXPECT_EQ(st.ops, static_cast<std::uint64_t>(threads) * ops_per_thread);
+  EXPECT_EQ(st.ops,
+            st.commit_fast_htm + st.commit_slow_htm + st.commit_lock);
+}
+
+// ---------------------------------------------------------------------------
+// Graceful degradation: with HTM offline for the whole run, every eliding
+// method must complete every operation through the lock — no fast or slow
+// HTM commits, no hangs.
+
+class HtmOfflineForever : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(HtmOfflineForever, BankCompletesViaLockOnly) {
+  FaultPlan plan = FaultPlan::parse("offline@0:");
+  FaultPlanScope scope(&plan);
+  auto method = bench::method_by_name(GetParam()).make();
+  const std::uint32_t threads = 4;
+  const std::uint64_t ops = 200;
+  const MethodStats st = run_bank_ops(*method, threads, ops);
+  expect_all_ops_completed(st, threads, ops);
+  EXPECT_EQ(st.commit_fast_htm, 0u);
+  EXPECT_EQ(st.commit_slow_htm, 0u);
+  EXPECT_EQ(st.commit_lock, st.ops);
+  EXPECT_GT(st.abort_cause[idx(AbortCause::kHtmUnavailable)], 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Methods, HtmOfflineForever,
+                         ::testing::Values("TLE", "RW-TLE", "FG-TLE(16)",
+                                           "A-FG-TLE"));
+
+TEST(HtmOffline, MidRunWindowDegradesAndRecovers) {
+  // HTM vanishes for a window in the middle of the run: operations before
+  // and after commit on the fast path, operations inside fall back to the
+  // lock, and the totals still balance.
+  FaultPlan plan = FaultPlan::parse("offline@20000:120000");
+  FaultPlanScope scope(&plan);
+  tle::TleMethod method;
+  const std::uint32_t threads = 4;
+  const std::uint64_t ops = 400;
+  const MethodStats st = run_bank_ops(method, threads, ops);
+  expect_all_ops_completed(st, threads, ops);
+  EXPECT_GT(st.commit_fast_htm, 0u);
+  EXPECT_GT(st.commit_lock, 0u);
+  EXPECT_GT(st.abort_cause[idx(AbortCause::kHtmUnavailable)], 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Capacity squeeze: AVL updates overflow a tiny transactional footprint,
+// fall back to the lock, and the tree stays structurally sound.
+
+TEST(CapacitySqueeze, AvlSurvivesTinyFootprint) {
+  FaultPlan plan = FaultPlan::parse("squeeze@0:=8,2");
+  FaultPlanScope scope(&plan);
+  SimScope sim(MachineConfig::corei7());
+  const std::uint32_t threads = 4;
+  const std::uint64_t ops = 300;
+  const std::uint64_t key_range = 512;
+  ds::AvlSet set(key_range + 64ULL * threads + 1024, threads);
+  for (std::uint64_t k = 0; k < key_range; k += 2) set.insert_meta(k);
+  tle::TleMethod method;
+  method.prepare(threads);
+  test::run_workers(sim, threads, ops, /*seed=*/7,
+                    [&](ThreadCtx& th, std::uint64_t) {
+                      set.reserve_nodes(th, 4);
+                      const std::uint64_t key = th.rng.below(key_range);
+                      const std::uint32_t r = th.rng.below(100);
+                      auto cs = [&](TxContext& ctx) {
+                        if (r < 40) {
+                          set.insert(ctx, key);
+                        } else if (r < 80) {
+                          set.remove(ctx, key);
+                        } else {
+                          set.contains(ctx, key);
+                        }
+                      };
+                      method.execute(th, cs);
+                    });
+  const MethodStats st = method.stats();
+  expect_all_ops_completed(st, threads, ops);
+  EXPECT_GT(st.abort_cause[idx(AbortCause::kCapacity)], 0u);
+  EXPECT_TRUE(set.invariants_ok());
+}
+
+// ---------------------------------------------------------------------------
+// Spurious-abort storm: the skip list completes a burst-ridden run intact.
+
+TEST(SpuriousBurst, SkipListSurvivesAbortStorm) {
+  FaultPlan plan = FaultPlan::parse("spurious@0:=8");
+  FaultPlanScope scope(&plan);
+  SimScope sim(MachineConfig::corei7());
+  const std::uint32_t threads = 4;
+  const std::uint64_t ops = 300;
+  const std::uint64_t key_range = 512;
+  ds::SkipListSet set(key_range + 64ULL * threads + 1024, threads);
+  tle::TleMethod method;
+  method.prepare(threads);
+  test::run_workers(sim, threads, ops, /*seed=*/11,
+                    [&](ThreadCtx& th, std::uint64_t) {
+                      set.reserve_nodes(th, 4);
+                      const std::uint64_t key = th.rng.below(key_range);
+                      const std::uint32_t r = th.rng.below(100);
+                      auto cs = [&](TxContext& ctx) {
+                        if (r < 40) {
+                          set.insert(ctx, key);
+                        } else if (r < 80) {
+                          set.remove(ctx, key);
+                        } else {
+                          set.contains(ctx, key);
+                        }
+                      };
+                      method.execute(th, cs);
+                    });
+  const MethodStats st = method.stats();
+  expect_all_ops_completed(st, threads, ops);
+  EXPECT_GT(st.abort_cause[idx(AbortCause::kSpurious)], 0u);
+  EXPECT_TRUE(set.invariants_ok());
+}
+
+// ---------------------------------------------------------------------------
+// Lock-holder preemption: stalled holders delay but never deadlock.
+
+TEST(Preemption, BankCompletesWithStalledHolders) {
+  // HTM offline forces every operation onto the lock, so every 2nd
+  // acquisition actually exercises the holder-preemption stall.
+  FaultPlan plan = FaultPlan::parse("offline@0:;preempt@0:=3000/2");
+  FaultPlanScope scope(&plan);
+  tle::TleMethod method;
+  const std::uint32_t threads = 4;
+  const std::uint64_t ops = 200;
+  const MethodStats st = run_bank_ops(method, threads, ops);
+  expect_all_ops_completed(st, threads, ops);
+  EXPECT_EQ(st.lock_acquisitions, st.ops);
+  // Stalled holders inflate time under lock well past the bare critical
+  // sections: at 3000 cycles per stalled acquisition the aggregate must
+  // exceed the stall budget alone.
+  EXPECT_GT(st.cycles_under_lock, (st.ops / 2) * 3000u);
+}
+
+// ---------------------------------------------------------------------------
+// Cause-aware retry policy: completes under both healthy and offline HTM,
+// and skips the trial budget on persistent aborts.
+
+TEST(CauseAwarePolicy, CompletesHealthyRun) {
+  tle::TleMethod method;
+  method.set_retry_policy(runtime::make_retry_policy("cause-aware"));
+  EXPECT_EQ(method.retry_policy().name(), "cause-aware");
+  const std::uint32_t threads = 4;
+  const std::uint64_t ops = 300;
+  const MethodStats st = run_bank_ops(method, threads, ops);
+  expect_all_ops_completed(st, threads, ops);
+  EXPECT_GT(st.commit_fast_htm, 0u);
+}
+
+TEST(CauseAwarePolicy, FallsBackImmediatelyWhenHtmOffline) {
+  FaultPlan plan = FaultPlan::parse("offline@0:");
+  FaultPlanScope scope(&plan);
+  tle::TleMethod method;
+  method.set_retry_policy(runtime::make_retry_policy("cause-aware"));
+  const std::uint32_t threads = 4;
+  const std::uint64_t ops = 200;
+  const MethodStats st = run_bank_ops(method, threads, ops);
+  expect_all_ops_completed(st, threads, ops);
+  EXPECT_EQ(st.commit_lock, st.ops);
+  // kHtmUnavailable is persistent: at most one failed attempt per op (no
+  // wasted retries of a path that cannot succeed), and far fewer in
+  // practice because serial mode stops speculating after two consecutive
+  // persistent operations.
+  EXPECT_GT(st.aborts_fast, 0u);
+  EXPECT_LT(st.aborts_fast, st.ops / 4);
+}
+
+TEST(RetryPolicyFactory, KnownNamesResolve) {
+  EXPECT_EQ(runtime::make_retry_policy("paper")->name(), "paper");
+  EXPECT_EQ(runtime::make_retry_policy("default")->name(), "paper");
+  EXPECT_EQ(runtime::make_retry_policy("cause-aware")->name(), "cause-aware");
+}
+
+// ---------------------------------------------------------------------------
+// HtmHealth circuit breaker: degrade under sustained failure, probe while
+// degraded, re-enable once the hardware recovers.
+
+TEST(HtmHealth, DegradesProbesAndReenablesAroundOfflineWindow) {
+  FaultPlan plan = FaultPlan::parse("offline@0:30000");
+  FaultPlanScope scope(&plan);
+  tle::TleMethod method;
+  method.enable_htm_health({.window = 8, .min_commits = 1, .probe_period = 4});
+  const std::uint32_t threads = 1;  // deterministic probe outcomes
+  const std::uint64_t ops = 2000;
+  const MethodStats st = run_bank_ops(method, threads, ops);
+  expect_all_ops_completed(st, threads, ops);
+  EXPECT_GE(st.health_degrades, 1u);
+  EXPECT_GE(st.health_probes, 1u);
+  EXPECT_GE(st.health_reenables, 1u);
+  // After the window ends a probe commits, speculation resumes, and the
+  // remaining operations use the fast path again.
+  EXPECT_GT(st.commit_fast_htm, 0u);
+  EXPECT_EQ(method.htm_health().state(),
+            runtime::HtmHealth::State::kHealthy);
+}
+
+TEST(HtmHealth, StaysDegradedWhileHtmNeverRecovers) {
+  FaultPlan plan = FaultPlan::parse("offline@0:");
+  FaultPlanScope scope(&plan);
+  tle::TleMethod method;
+  method.enable_htm_health({.window = 8, .min_commits = 1, .probe_period = 4});
+  const std::uint32_t threads = 2;
+  const std::uint64_t ops = 500;
+  const MethodStats st = run_bank_ops(method, threads, ops);
+  expect_all_ops_completed(st, threads, ops);
+  EXPECT_GE(st.health_degrades, 1u);
+  EXPECT_EQ(st.health_reenables, 0u);
+  EXPECT_EQ(st.commit_fast_htm, 0u);
+  EXPECT_EQ(st.commit_lock, st.ops);
+  // Once degraded, only the periodic probes touch HTM: the abort stream
+  // must be bounded by the probe cadence, not one-per-op.
+  EXPECT_LT(st.total_aborts(), st.ops);
+  EXPECT_EQ(method.htm_health().state(),
+            runtime::HtmHealth::State::kDegraded);
+}
+
+TEST(HtmHealth, DisabledBreakerLeavesMethodUntouched) {
+  tle::TleMethod method;
+  EXPECT_FALSE(method.htm_health().enabled());
+  const std::uint32_t threads = 2;
+  const std::uint64_t ops = 200;
+  const MethodStats st = run_bank_ops(method, threads, ops);
+  expect_all_ops_completed(st, threads, ops);
+  EXPECT_EQ(st.health_degrades, 0u);
+  EXPECT_EQ(st.health_probes, 0u);
+  EXPECT_EQ(st.health_reenables, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// CLI plumbing: configure_method_resilience applies knobs only to eliding
+// methods and leaves defaults untouched.
+
+TEST(ConfigureResilience, AppliesPolicyAndBreakerToElidingMethods) {
+  tle::TleMethod method;
+  bench::configure_method_resilience(method, "cause-aware", true);
+  EXPECT_EQ(method.retry_policy().name(), "cause-aware");
+  EXPECT_TRUE(method.htm_health().enabled());
+}
+
+TEST(ConfigureResilience, DefaultKnobsAreNoOps) {
+  tle::TleMethod method;
+  bench::configure_method_resilience(method, "paper", false);
+  EXPECT_EQ(method.retry_policy().name(), "paper");
+  EXPECT_FALSE(method.htm_health().enabled());
+  bench::configure_method_resilience(method, "", false);
+  EXPECT_FALSE(method.htm_health().enabled());
+}
+
+TEST(ConfigureResilience, IgnoresNonElidingMethods) {
+  auto lock = bench::method_by_name("Lock").make();
+  auto norec = bench::method_by_name("NOrec").make();
+  // Must be a no-op, not a crash.
+  bench::configure_method_resilience(*lock, "cause-aware", true);
+  bench::configure_method_resilience(*norec, "cause-aware", true);
+}
+
+}  // namespace
+}  // namespace rtle
