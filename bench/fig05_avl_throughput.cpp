@@ -51,6 +51,8 @@ int main(int argc, char** argv) {
         cfg.faults = args.faults;
         cfg.retry_policy = args.retry;
         cfg.htm_health = args.htm_health;
+        cfg.trace_file = args.trace;
+        cfg.latency = args.latency;
 
         // Normalization baseline: Lock at 1 thread in this setup.
         cfg.threads = 1;
@@ -76,6 +78,10 @@ int main(int argc, char** argv) {
             if (args.stats) {
               std::printf("  [stats] %-14s t=%-2u %s\n", m.name.c_str(), t,
                           r.stats.summary().c_str());
+            }
+            if (args.latency && !r.latency.empty()) {
+              std::printf("  [latency] %-12s t=%-2u %s\n", m.name.c_str(), t,
+                          r.latency.c_str());
             }
           }
           table.add_row(std::move(row));

@@ -25,6 +25,11 @@ int main(int argc, char** argv) {
   cfg.insert_pct = 20;
   cfg.remove_pct = 20;
   cfg.duration_ms = args.scale(2.0, 0.25);
+  cfg.faults = args.faults;
+  cfg.retry_policy = args.retry;
+  cfg.htm_health = args.htm_health;
+  cfg.trace_file = args.trace;
+  cfg.latency = args.latency;
   std::vector<std::uint32_t> threads = {1, 2, 4, 8, 12, 16, 18, 24, 28, 36};
   if (args.quick) threads = {1, 8, 18, 36};
 
@@ -42,6 +47,10 @@ int main(int argc, char** argv) {
       const auto r = bench::run_set_bench(cfg, m);
       row_s.push_back(Table::num(r.slow_htm_ops_per_ms(cfg.machine), 0));
       row_l.push_back(Table::num(r.lock_path_ops_per_ms(cfg.machine), 0));
+      if (args.latency && !r.latency.empty()) {
+        std::printf("  [latency] %-12s t=%-2u %s\n", m.name.c_str(), t,
+                    r.latency.c_str());
+      }
     }
     slow_htm.add_row(std::move(row_s));
     lock_tp.add_row(std::move(row_l));

@@ -25,6 +25,11 @@ int main(int argc, char** argv) {
   cfg.insert_pct = 20;
   cfg.remove_pct = 20;
   cfg.duration_ms = args.scale(2.0, 0.25);
+  cfg.faults = args.faults;
+  cfg.retry_policy = args.retry;
+  cfg.htm_health = args.htm_health;
+  cfg.trace_file = args.trace;
+  cfg.latency = args.latency;
   std::vector<std::uint32_t> threads = {2, 4, 8, 12, 16, 18, 24, 28, 36};
   if (args.quick) threads = {8, 18, 36};
 
@@ -47,6 +52,10 @@ int main(int argc, char** argv) {
       const auto r = bench::run_set_bench(cfg, bench::method_by_name(n));
       const double v = r.avg_cycles_under_lock();
       row.push_back(v == 0 || base == 0 ? "-" : Table::num(v / base, 2));
+      if (args.latency && !r.latency.empty()) {
+        std::printf("  [latency] %-12s t=%-2u %s\n", n.c_str(), t,
+                    r.latency.c_str());
+      }
     }
     table.add_row(std::move(row));
   }

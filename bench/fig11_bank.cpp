@@ -16,6 +16,8 @@
 #include "ds/bank.h"
 #include "sim/env.h"
 #include "sim/faultplan.h"
+#include "trace/export.h"
+#include "trace/session.h"
 
 using namespace rtle;
 using bench::Table;
@@ -27,6 +29,7 @@ namespace {
 struct BankResult {
   double ops_per_ms = 0;
   std::string stats_summary;
+  std::string latency;
 };
 
 BankResult run_bank(const sim::MachineConfig& mc, std::uint32_t threads,
@@ -39,6 +42,9 @@ BankResult run_bank(const sim::MachineConfig& mc, std::uint32_t threads,
     plan = sim::FaultPlan::parse(args.faults);
     fault_scope.emplace(&plan);
   }
+  // Observability (last traced cell wins the --trace file, as in setbench).
+  std::optional<trace::TraceSession> tracer;
+  if (!args.trace.empty() || args.latency) tracer.emplace();
   ds::BankAccounts bank(256, 10000);
   auto method = spec.make();
   method->prepare(threads);
@@ -76,6 +82,14 @@ BankResult run_bank(const sim::MachineConfig& mc, std::uint32_t threads,
   BankResult r;
   r.ops_per_ms = method->stats().ops / duration_ms;
   if (args.stats) r.stats_summary = method->stats().summary();
+  if (tracer.has_value()) {
+    r.latency = tracer->latency_summary();
+    if (!args.trace.empty() &&
+        !trace::write_chrome_trace(*tracer, args.trace)) {
+      std::fprintf(stderr, "rtle bench: cannot write trace to '%s'\n",
+                   args.trace.c_str());
+    }
+  }
   return r;
 }
 
@@ -108,6 +122,10 @@ int main(int argc, char** argv) {
       if (args.stats) {
         std::printf("  [stats] %-14s t=%-2u %s\n", n, t,
                     r.stats_summary.c_str());
+      }
+      if (args.latency && !r.latency.empty()) {
+        std::printf("  [latency] %-12s t=%-2u %s\n", n, t,
+                    r.latency.c_str());
       }
     }
     table.add_row(std::move(row));

@@ -33,6 +33,11 @@ int main(int argc, char** argv) {
   cfg.duration_ms = args.scale(2.0, 0.25);
   cfg.unfriendly_thread0 = true;
   cfg.unfriendly_at_end = true;
+  cfg.faults = args.faults;
+  cfg.retry_policy = args.retry;
+  cfg.htm_health = args.htm_health;
+  cfg.trace_file = args.trace;
+  cfg.latency = args.latency;
   std::vector<std::uint32_t> threads = {2, 3, 5, 9, 13, 17, 19, 25, 29, 36};
   if (args.quick) threads = {2, 9, 19, 36};
 
@@ -49,6 +54,10 @@ int main(int argc, char** argv) {
     for (const char* n : names) {
       const auto r = bench::run_set_bench(cfg, bench::method_by_name(n));
       row.push_back(Table::num(r.ops_per_ms, 0));
+      if (args.latency && !r.latency.empty()) {
+        std::printf("  [latency] %-12s t=%-2u %s\n", n, t,
+                    r.latency.c_str());
+      }
     }
     table.add_row(std::move(row));
   }

@@ -15,6 +15,8 @@
 #include "stm/norec.h"
 #include "stm/hybrid_norec.h"
 #include "stm/rhnorec.h"
+#include "trace/export.h"
+#include "trace/session.h"
 #include "tle/adaptive.h"
 #include "tle/fgtle.h"
 #include "tle/rwtle.h"
@@ -107,6 +109,11 @@ SetBenchResult run_set_bench(const SetBenchConfig& cfg,
     plan = sim::FaultPlan::parse(cfg.faults);
     fault_scope.emplace(&plan);
   }
+  // Observability: install a TraceSession for the cell when asked. The
+  // session is ambient (no method/lock state changes), so the simulated
+  // schedule is identical with or without it.
+  std::optional<trace::TraceSession> tracer;
+  if (!cfg.trace_file.empty() || cfg.latency) tracer.emplace();
   // Arena: prefill + at most the whole key range live + per-thread caches.
   ds::AvlSet set(cfg.key_range + 64ULL * cfg.threads + 1024,
                  std::max(cfg.threads, 1u));
@@ -190,6 +197,15 @@ SetBenchResult run_set_bench(const SetBenchConfig& cfg,
   res.sim_ms = static_cast<double>(duration_cycles) /
                cfg.machine.cycles_per_ms();
   res.ops_per_ms = res.sim_ms > 0 ? res.ops / res.sim_ms : 0.0;
+  if (tracer.has_value()) {
+    res.stats.trace_drops = tracer->total_drops();
+    res.latency = tracer->latency_summary();
+    if (!cfg.trace_file.empty() &&
+        !trace::write_chrome_trace(*tracer, cfg.trace_file)) {
+      std::fprintf(stderr, "rtle bench: cannot write trace to '%s'\n",
+                   cfg.trace_file.c_str());
+    }
+  }
   return res;
 }
 

@@ -44,6 +44,15 @@ struct SetBenchConfig {
   std::string faults;
   std::string retry_policy;
   bool htm_health = false;
+
+  // Observability (trace/): when either is set, the cell runs under a
+  // TraceSession. `trace_file` exports the cell's Chrome trace-event JSON
+  // (each traced cell overwrites the file, so with multiple cells the last
+  // one wins); `latency` fills SetBenchResult::latency with the percentile
+  // digest. Both off (the default) = no session = bit-identical schedule
+  // to the seed.
+  std::string trace_file;
+  bool latency = false;
 };
 
 struct SetBenchResult {
@@ -53,6 +62,9 @@ struct SetBenchResult {
   double sim_ms = 0.0;
   double ops_per_ms = 0.0;
   runtime::MethodStats stats;
+  /// Latency percentile digest (cs / lock-wait / abort-gap); empty unless
+  /// the cell ran with SetBenchConfig::latency or trace_file set.
+  std::string latency;
 
   /// Fig 6: throughput of lock-held executions and of slow-path HTM commits
   /// during lock-held periods, per ms of lock-held time.

@@ -72,6 +72,8 @@ BenchArgs parse_bench_args(int argc, char** argv) {
     if (std::strcmp(argv[i], "--htm-health") == 0) args.htm_health = true;
     if (std::strncmp(argv[i], "--faults=", 9) == 0) args.faults = argv[i] + 9;
     if (std::strncmp(argv[i], "--retry=", 8) == 0) args.retry = argv[i] + 8;
+    if (std::strcmp(argv[i], "--latency") == 0) args.latency = true;
+    if (std::strncmp(argv[i], "--trace=", 8) == 0) args.trace = argv[i] + 8;
   }
   if (const char* q = std::getenv("RTLE_QUICK"); q != nullptr && *q == '1') {
     args.quick = true;

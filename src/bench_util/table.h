@@ -41,6 +41,15 @@ struct BenchArgs {
   /// --retry=NAME: runtime::make_retry_policy name ("paper", "cause-aware").
   std::string retry = "paper";
 
+  // Observability knobs (trace/).
+  /// --latency: record latency histograms (critical-section start→commit,
+  /// lock wait, abort→retry gap) and print a per-cell percentile digest.
+  bool latency = false;
+  /// --trace=FILE: export each cell as Chrome trace-event JSON to FILE
+  /// (viewable in Perfetto / chrome://tracing, analyzable with
+  /// tools/trace_stats). With multiple cells the last cell's trace wins.
+  std::string trace;
+
   double scale(double full, double quick_value) const {
     return quick ? quick_value : full;
   }

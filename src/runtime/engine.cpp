@@ -2,10 +2,16 @@
 
 #include "mem/shim.h"
 #include "sim/env.h"
+#include "trace/session.h"
 
 namespace rtle::runtime {
 
 void ElidingMethod::execute(ThreadCtx& th, CsBody cs) {
+  // Tracing is meta-level: the session pointer is read once per execution,
+  // hooks fire only when one is installed, and no hook charges simulated
+  // cycles — a traced run follows the exact schedule of an untraced one.
+  trace::TraceSession* tr = trace::active_trace();
+  const std::uint64_t op_start = tr != nullptr ? cur_sched().now() : 0;
   int trials = 0;
   // Adaptive serial mode (as in GCC's libitm): a thread whose critical
   // sections keep dying with persistent aborts stops burning a doomed
@@ -24,9 +30,15 @@ void ElidingMethod::execute(ThreadCtx& th, CsBody cs) {
       if (speculate) {
         bool attempted = false;
         try {
+          // The method emits the slow-path txn-begin record itself (plain
+          // TLE declines without ever beginning a transaction).
           attempted = slow_htm_attempt(th, cs);
         } catch (const htm::HtmAbort& e) {
           stats_.note_abort(/*slow=*/true, e.cause);
+          if (tr != nullptr) {
+            tr->txn_abort(trace::TxPath::kSlow,
+                          static_cast<std::uint64_t>(e.cause));
+          }
           health_.note_abort(stats_, probe);
           continue;  // free retry: re-probe, maybe the lock is gone
         }
@@ -34,6 +46,10 @@ void ElidingMethod::execute(ThreadCtx& th, CsBody cs) {
           stats_.ops += 1;
           stats_.commit_slow_htm += 1;
           if (lock_.held_meta()) stats_.slow_htm_while_locked += 1;
+          if (tr != nullptr) {
+            tr->txn_commit(trace::TxPath::kSlow, op_start);
+            stats_.latency_samples += 1;
+          }
           policy_->on_htm_commit(th);
           health_.note_htm_commit(stats_, probe);
           return;
@@ -47,7 +63,14 @@ void ElidingMethod::execute(ThreadCtx& th, CsBody cs) {
 
     if (give_up) {
       lock_.acquire();
+      if (tr != nullptr) tr->txn_begin(trace::TxPath::kLock);
       lock_cs(th, cs);
+      // Commit record lands before the release so the txn-lock slice nests
+      // inside the lock-held slice on the thread's track.
+      if (tr != nullptr) {
+        tr->txn_commit(trace::TxPath::kLock, op_start);
+        stats_.latency_samples += 1;
+      }
       lock_.release();
       stats_.ops += 1;
       stats_.commit_lock += 1;
@@ -58,6 +81,7 @@ void ElidingMethod::execute(ThreadCtx& th, CsBody cs) {
     // Fast path: uninstrumented HTM with eager lock subscription.
     auto& htm = cur_htm();
     try {
+      if (tr != nullptr) tr->txn_begin(trace::TxPath::kFast);
       htm.begin(th.tx);
       if (htm.tx_load(th.tx, lock_.word()) != 0) {
         htm.abort_self(th.tx, htm::AbortCause::kLockBusy);
@@ -67,11 +91,19 @@ void ElidingMethod::execute(ThreadCtx& th, CsBody cs) {
       htm.commit(th.tx);
       stats_.ops += 1;
       stats_.commit_fast_htm += 1;
+      if (tr != nullptr) {
+        tr->txn_commit(trace::TxPath::kFast, op_start);
+        stats_.latency_samples += 1;
+      }
       policy_->on_htm_commit(th);
       health_.note_htm_commit(stats_, probe);
       return;
     } catch (const htm::HtmAbort& e) {
       stats_.note_abort(/*slow=*/false, e.cause);
+      if (tr != nullptr) {
+        tr->txn_abort(trace::TxPath::kFast,
+                      static_cast<std::uint64_t>(e.cause));
+      }
       health_.note_abort(stats_, probe);
       ++trials;
       RetryDecision d = policy_->on_fast_abort(th, trials, max_trials_,
@@ -90,9 +122,16 @@ void ElidingMethod::execute(ThreadCtx& th, CsBody cs) {
 }
 
 void LockMethod::execute(ThreadCtx& th, CsBody cs) {
+  trace::TraceSession* tr = trace::active_trace();
+  const std::uint64_t op_start = tr != nullptr ? cur_sched().now() : 0;
   lock_.acquire();
+  if (tr != nullptr) tr->txn_begin(trace::TxPath::kLock);
   TxContext ctx(Path::kRaw, th);
   cs(ctx);
+  if (tr != nullptr) {
+    tr->txn_commit(trace::TxPath::kLock, op_start);
+    stats_.latency_samples += 1;
+  }
   lock_.release();
   stats_.ops += 1;
   stats_.commit_lock += 1;

@@ -1,5 +1,7 @@
 #include "runtime/htm_health.h"
 
+#include "trace/session.h"
+
 namespace rtle::runtime {
 
 bool HtmHealth::allow_speculation(bool& probe, MethodStats& stats) {
@@ -10,6 +12,9 @@ bool HtmHealth::allow_speculation(bool& probe, MethodStats& stats) {
     ops_since_probe_ = 0;
     probe = true;
     stats.health_probes += 1;
+    if (trace::TraceSession* tr = trace::active_trace()) {
+      tr->emit(trace::EventType::kHealthProbe);
+    }
     return true;
   }
   return false;
@@ -24,6 +29,9 @@ void HtmHealth::note_htm_commit(MethodStats& stats, bool probe) {
       window_attempts_ = 0;
       window_commits_ = 0;
       stats.health_reenables += 1;
+      if (trace::TraceSession* tr = trace::active_trace()) {
+        tr->emit(trace::EventType::kHealthReenable);
+      }
     }
     return;
   }
@@ -47,6 +55,9 @@ void HtmHealth::close_window(MethodStats& stats) {
     state_ = State::kDegraded;
     ops_since_probe_ = 0;
     stats.health_degrades += 1;
+    if (trace::TraceSession* tr = trace::active_trace()) {
+      tr->emit(trace::EventType::kHealthDegrade);
+    }
   }
   window_attempts_ = 0;
   window_commits_ = 0;

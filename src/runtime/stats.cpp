@@ -47,6 +47,12 @@ std::string MethodStats::summary() const {
                   static_cast<unsigned long long>(health_reenables));
     out += buf;
   }
+  if (latency_samples != 0 || trace_drops != 0) {
+    std::snprintf(buf, sizeof(buf), " trace(latency_samples/drops)=%llu/%llu",
+                  static_cast<unsigned long long>(latency_samples),
+                  static_cast<unsigned long long>(trace_drops));
+    out += buf;
+  }
   return out;
 }
 

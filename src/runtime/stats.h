@@ -43,14 +43,23 @@ struct MethodStats {
   std::uint64_t health_probes = 0;
   std::uint64_t health_reenables = 0;
 
+  // Observability (trace/): critical-section latency samples recorded into
+  // the ambient TraceSession by the engine, and events the session's ring
+  // buffers dropped to wraparound (copied in by the bench driver after the
+  // run). Both stay 0 when no session is installed.
+  std::uint64_t latency_samples = 0;
+  std::uint64_t trace_drops = 0;
+
   // Keeps sizeof(MethodStats) growth over the seed layout at a multiple of
-  // 64 bytes (abort_cause grew by one slot, health counters added three):
+  // 64 bytes (abort_cause grew by one slot, health counters added three,
+  // the two trace counters above were carved out of this block):
   // stats_ sits at the front of every method object and simulated
   // cache-line identity derives from real addresses (mem::line_of), so an
   // odd-sized growth would shift the lock word and method fields onto
-  // different line boundaries and perturb seed-identical runs. Reuse these
-  // slots for future counters.
-  std::uint64_t reserved_[4] = {};
+  // different line boundaries and perturb seed-identical runs. Slot
+  // budget: 2 of the original 4 reserved slots remain; when they run out,
+  // grow by a whole 64-byte line (8 slots) at once.
+  std::uint64_t reserved_[2] = {};
 
   // Lock accounting (Fig 6 "Lock" pane, Fig 7).
   std::uint64_t lock_acquisitions = 0;
@@ -75,6 +84,8 @@ struct MethodStats {
 
   std::string summary() const;
 };
+static_assert(sizeof(MethodStats) % 64 == 0,
+              "MethodStats must stay a whole number of cache lines");
 
 /// Render a per-cause abort histogram ("conflict=12 capacity=3", or "none")
 /// from either MethodStats::abort_cause or HtmDomain::abort_counts().

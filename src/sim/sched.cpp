@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "sim/faultplan.h"
+#include "trace/session.h"
 
 namespace rtle::sim {
 
@@ -105,6 +106,12 @@ void Scheduler::yield() {
 
 void Scheduler::switch_to(SimThread* next) {
   SimThread* me = cur_;
+  // Emitted while cur_ still names the outgoing fiber, so the record lands
+  // in its ring at its clock.
+  if (trace::TraceSession* tr = trace::active_trace();
+      tr != nullptr && tr->config().trace_fiber_switches) {
+    tr->emit(trace::EventType::kFiberSwitch, 0, next->pin);
+  }
   cur_ = next;
   // Direct fiber-to-fiber switch; the main loop is only re-entered when a
   // fiber finishes.

@@ -4,12 +4,15 @@
 
 #include "mem/shim.h"
 #include "sim/env.h"
+#include "trace/session.h"
 
 namespace rtle::sync {
 
 bool TTSLock::probe() const { return mem::plain_load(&word_) != 0; }
 
 void TTSLock::acquire() {
+  trace::TraceSession* tr = trace::active_trace();
+  const std::uint64_t wait_start = tr != nullptr ? cur_sched().now() : 0;
   const auto& cost = cur_mem().cost();
   std::uint64_t backoff = cost.backoff_base;
   for (;;) {
@@ -21,6 +24,7 @@ void TTSLock::acquire() {
   }
   acquired_at_ = cur_sched().now();
   if (stats_ != nullptr) stats_->lock_acquisitions += 1;
+  if (tr != nullptr) tr->lock_acquired(acquired_at_ - wait_start);
   // Fault injection: a preemption window may stall the fresh holder before
   // it runs its critical section, as if the OS took its time slice away.
   // The stall lands after acquired_at_, so it counts as time under lock.
@@ -31,6 +35,7 @@ void TTSLock::release() {
   if (stats_ != nullptr) {
     stats_->cycles_under_lock += cur_sched().now() - acquired_at_;
   }
+  if (trace::TraceSession* tr = trace::active_trace()) tr->lock_released();
   mem::plain_store(&word_, 0);
 }
 

@@ -4,6 +4,7 @@
 
 #include "mem/shim.h"
 #include "sim/env.h"
+#include "trace/session.h"
 
 namespace rtle::tle {
 
@@ -25,6 +26,9 @@ bool AdaptiveFgTle::slow_htm_attempt(ThreadCtx& th, CsBody cs) {
   }
   local_seq_[th.tid] = mem::plain_load(&global_seq_);
   auto& htm = cur_htm();
+  if (trace::TraceSession* tr = trace::active_trace()) {
+    tr->txn_begin(trace::TxPath::kSlow);
+  }
   htm.begin(th.tx);
   // Subscribe to the adaptation words first: a concurrent resize or mode
   // switch must doom us before we use the (new) arrays.
@@ -75,11 +79,17 @@ void AdaptiveFgTle::maybe_adapt() {
     if (++windows_in_tle_mode_ >= policy_.reprobe_windows) {
       windows_in_tle_mode_ = 0;
       mem::plain_store(&instr_word_, 1);
+      if (trace::TraceSession* tr = trace::active_trace()) {
+        tr->emit(trace::EventType::kModeSwitch, 0, 1);
+      }
     }
   } else if (slow_ratio < policy_.min_slow_commit_ratio) {
     // Instrumentation is not buying concurrency: fall back to plain TLE.
     mem::plain_store(&instr_word_, 0);
     windows_in_tle_mode_ = 0;
+    if (trace::TraceSession* tr = trace::active_trace()) {
+      tr->emit(trace::EventType::kModeSwitch, 0, 0);
+    }
   } else {
     const double util = avg_used / n_;
     std::uint32_t new_n = n_;
@@ -93,6 +103,9 @@ void AdaptiveFgTle::maybe_adapt() {
       // word) *before* swapping the arrays, per the §4.2.1 safety argument.
       mem::plain_store(&orec_count_word_, new_n);
       resize_orecs(new_n);
+      if (trace::TraceSession* tr = trace::active_trace()) {
+        tr->emit(trace::EventType::kOrecResize, 0, new_n);
+      }
     }
   }
 

@@ -2,6 +2,7 @@
 
 #include "mem/shim.h"
 #include "sim/env.h"
+#include "trace/session.h"
 #include "util/flat_hash.h"
 
 namespace rtle::tle {
@@ -47,6 +48,9 @@ bool FgTleMethod::slow_htm_attempt(ThreadCtx& th, CsBody cs) {
   // load, so the holder's release increment does not abort us.
   local_seq_[th.tid] = mem::plain_load(&global_seq_);
   auto& htm = cur_htm();
+  if (trace::TraceSession* tr = trace::active_trace()) {
+    tr->txn_begin(trace::TxPath::kSlow);
+  }
   htm.begin(th.tx);
   TxContext ctx(Path::kHtmSlow, th, &barriers_);
   cs(ctx);
@@ -100,12 +104,18 @@ std::uint64_t FgTleMethod::Barriers::read(TxContext& ctx,
   if (m.uniq_r_ < m.n_) {
     ctx.compute(kHashCycles);
     const std::uint64_t idx = m.orec_index(addr);
-    if (mem::plain_load(&m.r_orecs_[idx]) < m.holder_seq_) {
+    const std::uint64_t prev = mem::plain_load(&m.r_orecs_[idx]);
+    if (prev < m.holder_seq_) {
       mem::plain_store(&m.r_orecs_[idx], m.holder_seq_);
       // Store-load fence (§4.2): keep a slow-path writer from committing
       // between our orec acquisition and our data access.
       mem::fence();
       m.uniq_r_ += 1;
+      if (trace::TraceSession* tr = trace::active_trace()) {
+        tr->emit(prev != 0 ? trace::EventType::kOrecSteal
+                           : trace::EventType::kOrecAcquire,
+                 /*flags=*/0, idx);
+      }
     }
   }
   return mem::plain_load(addr);
@@ -129,10 +139,16 @@ void FgTleMethod::Barriers::write(TxContext& ctx, std::uint64_t* addr,
   if (m.uniq_w_ < m.n_) {
     ctx.compute(kHashCycles);
     const std::uint64_t idx = m.orec_index(addr);
-    if (mem::plain_load(&m.w_orecs_[idx]) < m.holder_seq_) {
+    const std::uint64_t prev = mem::plain_load(&m.w_orecs_[idx]);
+    if (prev < m.holder_seq_) {
       mem::plain_store(&m.w_orecs_[idx], m.holder_seq_);
       mem::fence();
       m.uniq_w_ += 1;
+      if (trace::TraceSession* tr = trace::active_trace()) {
+        tr->emit(prev != 0 ? trace::EventType::kOrecSteal
+                           : trace::EventType::kOrecAcquire,
+                 /*flags=*/1, idx);
+      }
     }
   }
   mem::plain_store(addr, value);

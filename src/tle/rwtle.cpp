@@ -2,6 +2,7 @@
 
 #include "mem/shim.h"
 #include "sim/env.h"
+#include "trace/session.h"
 
 namespace rtle::tle {
 
@@ -12,6 +13,9 @@ using runtime::TxContext;
 
 bool RwTleMethod::slow_htm_attempt(ThreadCtx& th, CsBody cs) {
   auto& htm = cur_htm();
+  if (trace::TraceSession* tr = trace::active_trace()) {
+    tr->txn_begin(trace::TxPath::kSlow);
+  }
   htm.begin(th.tx);
   // Subscribe to the write flag: abort now if the holder already wrote, and
   // get doomed later if it writes (or releases the lock) while we run.
@@ -60,6 +64,9 @@ void RwTleMethod::Barriers::write(TxContext& ctx, std::uint64_t* addr,
   if (!m_->holder_wrote_) {
     m_->holder_wrote_ = true;
     mem::plain_store(&m_->write_flag_, 1);
+    if (trace::TraceSession* tr = trace::active_trace()) {
+      tr->emit(trace::EventType::kWriteFlagSet);
+    }
   }
   mem::plain_store(addr, value);
 }

@@ -1,0 +1,83 @@
+// Fixed-size binary trace records for the rtle::trace subsystem.
+//
+// Every observable seam in the runtime (transaction begin/abort/commit,
+// lock acquire/wait/release, orec acquisition, write-flag stores, HtmHealth
+// transitions, scheduler fiber switches) emits one 24-byte record into the
+// emitting fiber's ring buffer. Records are timestamped with the *simulated*
+// clock, so a trace is a deterministic function of the run: two runs with
+// identical seeds produce byte-identical traces.
+//
+// Events are meta-level, like MethodStats counters: emitting one charges
+// zero simulated cycles and touches no simulated memory, so a traced run
+// executes the exact same schedule as an untraced one.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace rtle::trace {
+
+enum class EventType : std::uint16_t {
+  // Transaction lifecycle. `flags` carries the TxPath; for aborts `arg`
+  // carries the htm::AbortCause.
+  kTxnBegin = 0,
+  kTxnCommit,
+  kTxnAbort,
+
+  // Lock lifecycle. kLockAcquire's `arg` is the acquire-loop wait in
+  // cycles; kLockWait is emitted (before the acquire record, timestamped at
+  // the start of the wait) only when that wait was non-zero.
+  kLockWait,
+  kLockAcquire,
+  kLockRelease,
+
+  // FG-TLE ownership records: a lock holder stamping an orec for the first
+  // time in its critical section. `arg` is the orec index, `flags` is 0 for
+  // a read orec and 1 for a write orec. kOrecSteal means the stamp
+  // overwrote a previous holder's stamp; kOrecAcquire means the orec was
+  // virgin. kOrecResize is the adaptive variant swapping its arrays
+  // (`arg` = new orec count); kModeSwitch is its instrumentation toggle
+  // (`arg` = 1 when the slow path is re-enabled, 0 when falling back to
+  // plain TLE).
+  kOrecAcquire,
+  kOrecSteal,
+  kOrecResize,
+  kModeSwitch,
+
+  // RW-TLE's holder announcing its first write of the critical section.
+  kWriteFlagSet,
+
+  // HtmHealth circuit-breaker transitions (runtime/htm_health.h).
+  kHealthDegrade,
+  kHealthProbe,
+  kHealthReenable,
+
+  // Scheduler context switch: the emitting fiber yields to `arg` (the
+  // destination fiber's paper pin).
+  kFiberSwitch,
+};
+
+inline constexpr std::size_t kNumEventTypes =
+    static_cast<std::size_t>(EventType::kFiberSwitch) + 1;
+
+const char* to_string(EventType t);
+
+/// Which engine path a transaction event belongs to (TraceEvent::flags).
+enum class TxPath : std::uint16_t {
+  kFast = 0,  ///< uninstrumented HTM fast path
+  kSlow = 1,  ///< instrumented HTM slow path (refined TLE)
+  kLock = 2,  ///< pessimistic execution under the lock
+};
+
+const char* to_string(TxPath p);
+
+struct TraceEvent {
+  std::uint64_t ts = 0;    ///< simulated cycles (Scheduler clock)
+  std::uint64_t arg = 0;   ///< type-specific payload (cause, index, cycles)
+  std::uint32_t tid = 0;   ///< paper pin of the emitting fiber
+  std::uint16_t type = 0;  ///< EventType
+  std::uint16_t flags = 0; ///< type-specific (TxPath, read/write bit)
+};
+static_assert(sizeof(TraceEvent) == 24, "records are fixed 24-byte binary");
+
+}  // namespace rtle::trace

@@ -1,0 +1,228 @@
+#include "trace/export.h"
+
+#include <cstdio>
+
+#include "htm/htm.h"
+
+namespace rtle::trace {
+
+namespace {
+
+const char* cause_name(std::uint64_t c) {
+  if (c >= htm::kNumAbortCauses) return "?";
+  return htm::to_string(static_cast<htm::AbortCause>(c));
+}
+
+/// Append one trace event object to the JSON array under construction.
+class EventWriter {
+ public:
+  explicit EventWriter(std::string& out) : out_(out) {}
+
+  void raw(const std::string& ev) {
+    out_ += first_ ? "\n" : ",\n";
+    first_ = false;
+    out_ += ev;
+  }
+
+  /// Complete ("X") duration slice.
+  void slice(std::size_t tid, const char* name, std::uint64_t ts,
+             std::uint64_t dur, const std::string& args) {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\":\"%s\",\"cat\":\"rtle\",\"ph\":\"X\","
+                  "\"ts\":%llu,\"dur\":%llu,\"pid\":0,\"tid\":%zu,"
+                  "\"args\":{%s}}",
+                  name, static_cast<unsigned long long>(ts),
+                  static_cast<unsigned long long>(dur), tid, args.c_str());
+    raw(buf);
+  }
+
+  /// Thread-scoped instant ("i") event.
+  void instant(std::size_t tid, const char* name, std::uint64_t ts,
+               const std::string& args) {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\":\"%s\",\"cat\":\"rtle\",\"ph\":\"i\","
+                  "\"ts\":%llu,\"s\":\"t\",\"pid\":0,\"tid\":%zu,"
+                  "\"args\":{%s}}",
+                  name, static_cast<unsigned long long>(ts), tid,
+                  args.c_str());
+    raw(buf);
+  }
+
+ private:
+  std::string& out_;
+  bool first_ = true;
+};
+
+std::string u64_arg(const char* key, std::uint64_t v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "\"%s\":%llu", key,
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+/// Pair one thread's records into slices and instants.
+void export_thread(EventWriter& w, std::size_t tid, const EventRing& ring) {
+  bool txn_open = false;
+  std::uint64_t txn_ts = 0;
+  std::uint16_t txn_path = 0;
+  bool lock_open = false;
+  std::uint64_t lock_ts = 0;
+  std::uint64_t lock_wait = 0;
+
+  char name[32];
+  auto txn_name = [&](std::uint16_t path) {
+    std::snprintf(name, sizeof(name), "txn-%s",
+                  to_string(static_cast<TxPath>(path)));
+    return name;
+  };
+
+  ring.for_each([&](const TraceEvent& ev) {
+    switch (static_cast<EventType>(ev.type)) {
+      case EventType::kTxnBegin:
+        if (txn_open) {
+          // Orphan begin (end lost to ring wraparound): keep it visible.
+          w.instant(tid, txn_name(txn_path), txn_ts, "\"outcome\":\"open\"");
+        }
+        txn_open = true;
+        txn_ts = ev.ts;
+        txn_path = ev.flags;
+        break;
+      case EventType::kTxnCommit:
+        if (txn_open && ev.flags == txn_path) {
+          w.slice(tid, txn_name(txn_path), txn_ts, ev.ts - txn_ts,
+                  "\"outcome\":\"commit\"");
+          txn_open = false;
+        } else {
+          w.instant(tid, txn_name(ev.flags), ev.ts, "\"outcome\":\"commit\"");
+        }
+        break;
+      case EventType::kTxnAbort: {
+        std::string args = "\"outcome\":\"abort\",\"cause\":\"";
+        args += cause_name(ev.arg);
+        args += "\"";
+        if (txn_open && ev.flags == txn_path) {
+          w.slice(tid, txn_name(txn_path), txn_ts, ev.ts - txn_ts, args);
+          txn_open = false;
+        } else {
+          w.instant(tid, txn_name(ev.flags), ev.ts, args);
+        }
+        break;
+      }
+      case EventType::kLockWait:
+        w.slice(tid, "lock-wait", ev.ts, ev.arg, "");
+        break;
+      case EventType::kLockAcquire:
+        lock_open = true;
+        lock_ts = ev.ts;
+        lock_wait = ev.arg;
+        break;
+      case EventType::kLockRelease:
+        if (lock_open) {
+          w.slice(tid, "lock-held", lock_ts, ev.ts - lock_ts,
+                  u64_arg("wait", lock_wait));
+          lock_open = false;
+        } else {
+          w.instant(tid, "lock-release", ev.ts, "");
+        }
+        break;
+      case EventType::kOrecAcquire:
+      case EventType::kOrecSteal: {
+        std::string args = u64_arg("idx", ev.arg) + ",\"rw\":\"";
+        args += ev.flags == 0 ? "r" : "w";
+        args += "\"";
+        w.instant(tid, to_string(static_cast<EventType>(ev.type)), ev.ts,
+                  args);
+        break;
+      }
+      case EventType::kOrecResize:
+        w.instant(tid, "orec-resize", ev.ts, u64_arg("orecs", ev.arg));
+        break;
+      case EventType::kModeSwitch:
+        w.instant(tid, "mode-switch", ev.ts,
+                  u64_arg("instrumentation", ev.arg));
+        break;
+      case EventType::kFiberSwitch:
+        w.instant(tid, "fiber-switch", ev.ts, u64_arg("to", ev.arg));
+        break;
+      default:
+        w.instant(tid, to_string(static_cast<EventType>(ev.type)), ev.ts,
+                  "");
+        break;
+    }
+  });
+  if (txn_open) {
+    w.instant(tid, txn_name(txn_path), txn_ts, "\"outcome\":\"open\"");
+  }
+  if (lock_open) {
+    w.instant(tid, "lock-held", lock_ts, "\"outcome\":\"open\"");
+  }
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const TraceSession& s) {
+  std::string out =
+      "{\"displayTimeUnit\":\"ms\","
+      "\"otherData\":{\"clock\":\"simulated-cycles\"},"
+      "\"traceEvents\":[";
+  EventWriter w(out);
+  const auto& rings = s.rings();
+  for (std::size_t tid = 0; tid < rings.size(); ++tid) {
+    if (rings[tid] == nullptr) continue;
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,"
+                  "\"tid\":%zu,\"args\":{\"name\":\"sim-thread-%zu\"}}",
+                  tid, tid);
+    w.raw(buf);
+    export_thread(w, tid, *rings[tid]);
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+bool write_chrome_trace(const TraceSession& s, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string doc = chrome_trace_json(s);
+  const bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+std::string text_summary(const TraceSession& s) {
+  std::uint64_t per_type[kNumEventTypes] = {};
+  std::uint64_t total = 0;
+  std::string out;
+  char buf[160];
+  const auto& rings = s.rings();
+  for (std::size_t tid = 0; tid < rings.size(); ++tid) {
+    if (rings[tid] == nullptr) continue;
+    rings[tid]->for_each([&](const TraceEvent& ev) {
+      if (ev.type < kNumEventTypes) per_type[ev.type] += 1;
+      total += 1;
+    });
+    std::snprintf(buf, sizeof(buf),
+                  "thread %zu: %llu events (%llu dropped)\n", tid,
+                  static_cast<unsigned long long>(rings[tid]->pushed()),
+                  static_cast<unsigned long long>(rings[tid]->drops()));
+    out += buf;
+  }
+  std::snprintf(buf, sizeof(buf), "total: %llu retained, %llu dropped\n",
+                static_cast<unsigned long long>(total),
+                static_cast<unsigned long long>(s.total_drops()));
+  out += buf;
+  for (std::size_t t = 0; t < kNumEventTypes; ++t) {
+    if (per_type[t] == 0) continue;
+    std::snprintf(buf, sizeof(buf), "  %-16s %llu\n",
+                  to_string(static_cast<EventType>(t)),
+                  static_cast<unsigned long long>(per_type[t]));
+    out += buf;
+  }
+  out += s.latency_summary();
+  out += "\n";
+  return out;
+}
+
+}  // namespace rtle::trace

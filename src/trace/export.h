@@ -1,0 +1,27 @@
+// Trace exporters: Chrome trace-event JSON and a human-readable summary.
+//
+// The Chrome exporter pairs begin/end records from each fiber's ring into
+// duration ("X") slices — transactions (one slice per attempt, labelled by
+// path and outcome) and lock-held / lock-wait intervals — and renders
+// everything else as instant events, one track per simulated thread. The
+// result loads in Perfetto / chrome://tracing. Timestamps are raw
+// simulated cycles (the "microseconds" of the viewer), emitted as
+// integers, so exports of identical runs are byte-identical.
+#pragma once
+
+#include <string>
+
+#include "trace/session.h"
+
+namespace rtle::trace {
+
+/// The full Chrome trace-event JSON document.
+std::string chrome_trace_json(const TraceSession& s);
+
+/// Write chrome_trace_json() to `path`; false on I/O failure.
+bool write_chrome_trace(const TraceSession& s, const std::string& path);
+
+/// Multi-line per-thread event-count digest plus the latency summary.
+std::string text_summary(const TraceSession& s);
+
+}  // namespace rtle::trace

@@ -1,0 +1,66 @@
+#include "trace/histo.h"
+
+#include <bit>
+#include <cmath>
+#include <cstdio>
+
+namespace rtle::trace {
+
+std::size_t LatencyHisto::bucket_index(std::uint64_t v) {
+  if (v < 2 * kSub) return static_cast<std::size_t>(v);  // exact range
+  const int e = 63 - std::countl_zero(v);  // bit_width(v) - 1, e >= kSubBits+1
+  const std::uint64_t mantissa = (v >> (e - kSubBits)) & (kSub - 1);
+  return 2 * kSub + static_cast<std::size_t>(e - kSubBits - 1) * kSub +
+         static_cast<std::size_t>(mantissa);
+}
+
+std::uint64_t LatencyHisto::bucket_upper(std::size_t idx) {
+  if (idx < 2 * kSub) return idx;
+  const std::size_t rel = idx - 2 * kSub;
+  const int e = kSubBits + 1 + static_cast<int>(rel / kSub);
+  const std::uint64_t mantissa = rel % kSub;
+  const std::uint64_t lo = (std::uint64_t{1} << e) | (mantissa << (e - kSubBits));
+  return lo + (std::uint64_t{1} << (e - kSubBits)) - 1;
+}
+
+void LatencyHisto::add(std::uint64_t v) {
+  counts_[bucket_index(v)] += 1;
+  count_ += 1;
+  sum_ += v;
+  if (v < min_) min_ = v;
+  if (v > max_) max_ = v;
+}
+
+std::uint64_t LatencyHisto::percentile(double p) const {
+  if (count_ == 0) return 0;
+  const double want = p / 100.0 * static_cast<double>(count_);
+  std::uint64_t rank = static_cast<std::uint64_t>(std::ceil(want));
+  if (rank == 0) rank = 1;
+  if (rank > count_) rank = count_;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    seen += counts_[i];
+    if (seen >= rank) {
+      // Never report past the recorded maximum (top bucket is coarse).
+      const std::uint64_t up = bucket_upper(i);
+      return up < max_ ? up : max_;
+    }
+  }
+  return max_;
+}
+
+std::string LatencyHisto::summary() const {
+  char buf[192];
+  std::snprintf(
+      buf, sizeof(buf),
+      "n=%llu mean=%.1f p50=%llu p90=%llu p99=%llu p999=%llu max=%llu",
+      static_cast<unsigned long long>(count_), mean(),
+      static_cast<unsigned long long>(percentile(50)),
+      static_cast<unsigned long long>(percentile(90)),
+      static_cast<unsigned long long>(percentile(99)),
+      static_cast<unsigned long long>(percentile(99.9)),
+      static_cast<unsigned long long>(max_));
+  return buf;
+}
+
+}  // namespace rtle::trace

@@ -1,0 +1,212 @@
+#include "trace/json.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace rtle::trace::json {
+
+const Value* Value::find(const std::string& key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : obj) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+std::string Value::get_string(const std::string& key,
+                              const std::string& def) const {
+  const Value* v = find(key);
+  return v != nullptr && v->is_string() ? v->str : def;
+}
+
+double Value::get_number(const std::string& key, double def) const {
+  const Value* v = find(key);
+  return v != nullptr && v->is_number() ? v->number : def;
+}
+
+std::uint64_t Value::get_u64(const std::string& key, std::uint64_t def) const {
+  const Value* v = find(key);
+  return v != nullptr && v->is_number() ? static_cast<std::uint64_t>(v->number)
+                                        : def;
+}
+
+namespace {
+
+class Parser {
+ public:
+  Parser(const std::string& text, std::string* err)
+      : s_(text), err_(err) {}
+
+  bool run(Value& out) {
+    skip_ws();
+    if (!parse_value(out)) return false;
+    skip_ws();
+    if (pos_ != s_.size()) return fail("trailing characters");
+    return true;
+  }
+
+ private:
+  bool fail(const char* why) {
+    if (err_ != nullptr) {
+      *err_ = std::string(why) + " at offset " + std::to_string(pos_);
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool parse_value(Value& out) {
+    if (pos_ >= s_.size()) return fail("unexpected end");
+    switch (s_[pos_]) {
+      case '{': return parse_object(out);
+      case '[': return parse_array(out);
+      case '"': out.kind = Value::Kind::kString; return parse_string(out.str);
+      case 't':
+        if (s_.compare(pos_, 4, "true") != 0) return fail("bad literal");
+        pos_ += 4;
+        out.kind = Value::Kind::kBool;
+        out.boolean = true;
+        return true;
+      case 'f':
+        if (s_.compare(pos_, 5, "false") != 0) return fail("bad literal");
+        pos_ += 5;
+        out.kind = Value::Kind::kBool;
+        out.boolean = false;
+        return true;
+      case 'n':
+        if (s_.compare(pos_, 4, "null") != 0) return fail("bad literal");
+        pos_ += 4;
+        out.kind = Value::Kind::kNull;
+        return true;
+      default: return parse_number(out);
+    }
+  }
+
+  bool parse_object(Value& out) {
+    out.kind = Value::Kind::kObject;
+    ++pos_;  // '{'
+    skip_ws();
+    if (consume('}')) return true;
+    for (;;) {
+      skip_ws();
+      std::string key;
+      if (pos_ >= s_.size() || s_[pos_] != '"') return fail("expected key");
+      if (!parse_string(key)) return false;
+      skip_ws();
+      if (!consume(':')) return fail("expected ':'");
+      skip_ws();
+      Value v;
+      if (!parse_value(v)) return false;
+      out.obj.emplace_back(std::move(key), std::move(v));
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume('}')) return true;
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  bool parse_array(Value& out) {
+    out.kind = Value::Kind::kArray;
+    ++pos_;  // '['
+    skip_ws();
+    if (consume(']')) return true;
+    for (;;) {
+      skip_ws();
+      Value v;
+      if (!parse_value(v)) return false;
+      out.arr.push_back(std::move(v));
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume(']')) return true;
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  bool parse_string(std::string& out) {
+    ++pos_;  // '"'
+    out.clear();
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= s_.size()) return fail("bad escape");
+        const char e = s_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > s_.size()) return fail("bad \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = s_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= h - '0';
+              else if (h >= 'a' && h <= 'f') code |= h - 'a' + 10;
+              else if (h >= 'A' && h <= 'F') code |= h - 'A' + 10;
+              else return fail("bad \\u escape");
+            }
+            if (code > 0x7f) return fail("non-ASCII \\u escape unsupported");
+            out += static_cast<char>(code);
+            break;
+          }
+          default: return fail("bad escape");
+        }
+        continue;
+      }
+      out += c;
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_number(Value& out) {
+    const std::size_t start = pos_;
+    if (consume('-')) {}
+    while (pos_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+    if (consume('.')) {
+      while (pos_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+    }
+    if (pos_ < s_.size() && (s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < s_.size() && (s_[pos_] == '+' || s_[pos_] == '-')) ++pos_;
+      while (pos_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+    }
+    if (pos_ == start || (pos_ == start + 1 && s_[start] == '-')) {
+      return fail("bad number");
+    }
+    out.kind = Value::Kind::kNumber;
+    out.number = std::strtod(s_.c_str() + start, nullptr);
+    return true;
+  }
+
+  const std::string& s_;
+  std::string* err_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool parse(const std::string& text, Value& out, std::string* err) {
+  return Parser(text, err).run(out);
+}
+
+}  // namespace rtle::trace::json

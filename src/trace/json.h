@@ -1,0 +1,46 @@
+// Minimal JSON value type + recursive-descent parser.
+//
+// Exists so the Chrome-trace exporter's output can be consumed without an
+// external dependency: tools/trace_stats parses exported traces back, and
+// the test suite round-trips the exporter through this parser to prove the
+// JSON is well-formed. Supports the full JSON grammar except \uXXXX
+// escapes beyond ASCII (the exporter never emits any).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rtle::trace::json {
+
+struct Value {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<Value> arr;
+  std::vector<std::pair<std::string, Value>> obj;  // insertion order kept
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_number() const { return kind == Kind::kNumber; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const Value* find(const std::string& key) const;
+
+  /// Convenience: member as string/number with a default.
+  std::string get_string(const std::string& key,
+                         const std::string& def = "") const;
+  double get_number(const std::string& key, double def = 0.0) const;
+  std::uint64_t get_u64(const std::string& key, std::uint64_t def = 0) const;
+};
+
+/// Parse `text` into `out`. Returns false (and sets `*err` when given) on
+/// malformed input; trailing non-whitespace is an error.
+bool parse(const std::string& text, Value& out, std::string* err = nullptr);
+
+}  // namespace rtle::trace::json

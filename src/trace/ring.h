@@ -1,0 +1,68 @@
+// Per-fiber SPSC ring buffer of fixed-size trace records.
+//
+// One ring per simulated thread: the owning fiber is the single producer
+// and the exporter (which runs after sched.run() returns) is the single
+// consumer, so no synchronization is needed even conceptually — and the
+// whole simulation is single-OS-threaded anyway. The ring has a fixed
+// power-of-two capacity; when it is full the *oldest* record is overwritten
+// (a timeline viewer wants the most recent window) and the overwrite is
+// counted, so drop accounting is exact: pushed() == size() + drops().
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "trace/event.h"
+
+namespace rtle::trace {
+
+class EventRing {
+ public:
+  /// `capacity` is rounded up to a power of two (minimum 2).
+  explicit EventRing(std::size_t capacity) {
+    std::size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    buf_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  void push(const TraceEvent& ev) {
+    buf_[pushed_ & mask_] = ev;
+    pushed_ += 1;
+  }
+
+  std::size_t capacity() const { return buf_.size(); }
+
+  /// Records currently held (oldest-first via at()).
+  std::size_t size() const {
+    return pushed_ < buf_.size() ? static_cast<std::size_t>(pushed_)
+                                 : buf_.size();
+  }
+
+  /// Total records ever pushed.
+  std::uint64_t pushed() const { return pushed_; }
+
+  /// Records lost to wraparound (oldest overwritten).
+  std::uint64_t drops() const {
+    return pushed_ < buf_.size() ? 0 : pushed_ - buf_.size();
+  }
+
+  /// i-th surviving record, oldest first (i in [0, size())).
+  const TraceEvent& at(std::size_t i) const {
+    return buf_[(drops() + i) & mask_];
+  }
+
+  template <typename F>
+  void for_each(F&& f) const {
+    const std::size_t n = size();
+    for (std::size_t i = 0; i < n; ++i) f(at(i));
+  }
+
+ private:
+  std::vector<TraceEvent> buf_;
+  std::size_t mask_ = 0;
+  std::uint64_t pushed_ = 0;
+};
+
+}  // namespace rtle::trace

@@ -1,0 +1,140 @@
+#include "trace/session.h"
+
+#include "sim/sched.h"
+
+namespace rtle::trace {
+
+namespace {
+TraceSession* g_session = nullptr;
+}  // namespace
+
+TraceSession* active_trace() { return g_session; }
+
+const char* to_string(EventType t) {
+  switch (t) {
+    case EventType::kTxnBegin: return "txn-begin";
+    case EventType::kTxnCommit: return "txn-commit";
+    case EventType::kTxnAbort: return "txn-abort";
+    case EventType::kLockWait: return "lock-wait";
+    case EventType::kLockAcquire: return "lock-acquire";
+    case EventType::kLockRelease: return "lock-release";
+    case EventType::kOrecAcquire: return "orec-acquire";
+    case EventType::kOrecSteal: return "orec-steal";
+    case EventType::kOrecResize: return "orec-resize";
+    case EventType::kModeSwitch: return "mode-switch";
+    case EventType::kWriteFlagSet: return "write-flag-set";
+    case EventType::kHealthDegrade: return "health-degrade";
+    case EventType::kHealthProbe: return "health-probe";
+    case EventType::kHealthReenable: return "health-reenable";
+    case EventType::kFiberSwitch: return "fiber-switch";
+  }
+  return "?";
+}
+
+const char* to_string(TxPath p) {
+  switch (p) {
+    case TxPath::kFast: return "fast";
+    case TxPath::kSlow: return "slow";
+    case TxPath::kLock: return "lock";
+  }
+  return "?";
+}
+
+TraceSession::TraceSession(SessionConfig cfg)
+    : cfg_(cfg), prev_(g_session) {
+  g_session = this;
+}
+
+TraceSession::~TraceSession() {
+  if (g_session == this) g_session = prev_;
+}
+
+TraceSession::Stamp TraceSession::stamp() const {
+  sim::Scheduler* s = sim::current_scheduler();
+  if (s == nullptr) return {0, 0};
+  return {s->now(), s->current_pin()};
+}
+
+void TraceSession::push(std::uint32_t tid, const TraceEvent& ev) {
+  if (tid >= rings_.size()) rings_.resize(tid + 1);
+  if (rings_[tid] == nullptr) {
+    rings_[tid] = std::make_unique<EventRing>(cfg_.ring_capacity);
+  }
+  rings_[tid]->push(ev);
+}
+
+void TraceSession::emit(EventType t, std::uint16_t flags, std::uint64_t arg) {
+  const Stamp s = stamp();
+  push(s.tid, {s.ts, arg, s.tid, static_cast<std::uint16_t>(t), flags});
+}
+
+void TraceSession::txn_begin(TxPath p) {
+  const Stamp s = stamp();
+  if (s.tid < last_abort_ts_.size() && last_abort_ts_[s.tid] != 0) {
+    abort_gap_.add(s.ts - last_abort_ts_[s.tid]);
+    last_abort_ts_[s.tid] = 0;
+  }
+  push(s.tid, {s.ts, 0, s.tid, static_cast<std::uint16_t>(EventType::kTxnBegin),
+               static_cast<std::uint16_t>(p)});
+}
+
+void TraceSession::txn_abort(TxPath p, std::uint64_t cause) {
+  const Stamp s = stamp();
+  if (s.tid >= last_abort_ts_.size()) last_abort_ts_.resize(s.tid + 1, 0);
+  last_abort_ts_[s.tid] = s.ts;
+  push(s.tid, {s.ts, cause, s.tid,
+               static_cast<std::uint16_t>(EventType::kTxnAbort),
+               static_cast<std::uint16_t>(p)});
+}
+
+void TraceSession::txn_commit(TxPath p, std::uint64_t op_start_ts) {
+  const Stamp s = stamp();
+  cs_.add(s.ts - op_start_ts);
+  if (s.tid < last_abort_ts_.size()) last_abort_ts_[s.tid] = 0;
+  push(s.tid, {s.ts, s.ts - op_start_ts, s.tid,
+               static_cast<std::uint16_t>(EventType::kTxnCommit),
+               static_cast<std::uint16_t>(p)});
+}
+
+void TraceSession::lock_acquired(std::uint64_t wait_cycles) {
+  const Stamp s = stamp();
+  lock_wait_.add(wait_cycles);
+  if (wait_cycles != 0) {
+    // Timestamped at the start of the wait so the exporter can render the
+    // contended interval; still monotonic within the ring.
+    push(s.tid, {s.ts - wait_cycles, wait_cycles, s.tid,
+                 static_cast<std::uint16_t>(EventType::kLockWait), 0});
+  }
+  push(s.tid, {s.ts, wait_cycles, s.tid,
+               static_cast<std::uint16_t>(EventType::kLockAcquire), 0});
+}
+
+void TraceSession::lock_released() {
+  emit(EventType::kLockRelease);
+}
+
+std::uint64_t TraceSession::total_events() const {
+  std::uint64_t n = 0;
+  for (const auto& r : rings_) {
+    if (r != nullptr) n += r->pushed();
+  }
+  return n;
+}
+
+std::uint64_t TraceSession::total_drops() const {
+  std::uint64_t n = 0;
+  for (const auto& r : rings_) {
+    if (r != nullptr) n += r->drops();
+  }
+  return n;
+}
+
+std::string TraceSession::latency_summary() const {
+  std::string out;
+  out += "cs-latency: " + cs_.summary();
+  out += " | lock-wait: " + lock_wait_.summary();
+  out += " | abort-gap: " + abort_gap_.summary();
+  return out;
+}
+
+}  // namespace rtle::trace

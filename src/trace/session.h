@@ -1,0 +1,100 @@
+// TraceSession: the ambient event-tracing session.
+//
+// Follows the sim::FaultPlanScope pattern: a TraceSession installs itself
+// as the process-wide active session on construction and restores the
+// previous one on destruction; every instrumented seam consults
+// active_trace() and short-circuits on nullptr. With no session installed
+// there is therefore *zero* behavior change — no simulated cycles, no
+// simulated memory traffic, and no heap-layout change to any hot struct
+// (rings live inside the session, not inside methods or locks, preserving
+// the address-derived cache-line identity the simulator depends on).
+//
+// While a session is installed, the seams emit fixed-size binary records
+// into per-fiber SPSC rings (ring.h) timestamped with the simulated clock,
+// and the session folds three latency distributions on the fly:
+//   * cs        — critical-section start → commit (any path),
+//   * lock_wait — lock-acquire loop entry → acquisition,
+//   * abort_gap — abort → next speculative begin (retry latency).
+// Traces are deterministic: identical seeds yield byte-identical exports.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/event.h"
+#include "trace/histo.h"
+#include "trace/ring.h"
+
+namespace rtle::trace {
+
+struct SessionConfig {
+  /// Ring capacity (records) per simulated thread; rounded up to a power
+  /// of two. At 24 bytes per record the default is ~768 KiB per fiber.
+  std::size_t ring_capacity = std::size_t{1} << 15;
+  /// Record every fiber context switch. A spin-waiting thread switches
+  /// every few simulated cycles, so this firehose evicts the txn/lock
+  /// records a timeline analysis needs — enable it only for schedule
+  /// debugging (ideally with a much larger ring).
+  bool trace_fiber_switches = false;
+};
+
+class TraceSession {
+ public:
+  explicit TraceSession(SessionConfig cfg = {});
+  ~TraceSession();
+
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+  /// Generic emit. Timestamp and thread id are read from the ambient
+  /// scheduler (0/0 outside a simulation). Charges zero simulated cycles.
+  void emit(EventType t, std::uint16_t flags = 0, std::uint64_t arg = 0);
+
+  // Seam helpers: event emission fused with the latency bookkeeping.
+  void txn_begin(TxPath p);
+  void txn_abort(TxPath p, std::uint64_t cause);
+  /// `op_start_ts` is the simulated clock captured when the critical
+  /// section's engine-level execution began (first attempt, any path).
+  void txn_commit(TxPath p, std::uint64_t op_start_ts);
+  void lock_acquired(std::uint64_t wait_cycles);
+  void lock_released();
+
+  const SessionConfig& config() const { return cfg_; }
+
+  // Consumer side (run the simulation first; rings are then stable).
+  const std::vector<std::unique_ptr<EventRing>>& rings() const {
+    return rings_;
+  }
+  std::uint64_t total_events() const;
+  std::uint64_t total_drops() const;
+
+  const LatencyHisto& cs_latency() const { return cs_; }
+  const LatencyHisto& lock_wait() const { return lock_wait_; }
+  const LatencyHisto& abort_gap() const { return abort_gap_; }
+
+  /// Three-line human-readable percentile digest of the histograms.
+  std::string latency_summary() const;
+
+ private:
+  struct Stamp {
+    std::uint64_t ts;
+    std::uint32_t tid;
+  };
+  Stamp stamp() const;
+  void push(std::uint32_t tid, const TraceEvent& ev);
+
+  SessionConfig cfg_;
+  std::vector<std::unique_ptr<EventRing>> rings_;       // indexed by tid
+  std::vector<std::uint64_t> last_abort_ts_;            // 0 = none pending
+  LatencyHisto cs_;
+  LatencyHisto lock_wait_;
+  LatencyHisto abort_gap_;
+  TraceSession* prev_;
+};
+
+/// The installed session, or nullptr (tracing off — the default).
+TraceSession* active_trace();
+
+}  // namespace rtle::trace

@@ -1,0 +1,416 @@
+// Observability suite: the rtle::trace subsystem. Covers the SPSC event
+// ring (wraparound + exact drop accounting), the log-linear latency
+// histogram (percentile accuracy against exact quantiles), the ambient
+// TraceSession scope discipline, the Chrome trace-event exporter (output
+// round-trips through the bundled JSON parser), and the two promises the
+// design leans on: a traced run follows the exact schedule of an untraced
+// one, and identical seeds yield byte-identical trace documents.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util/setbench.h"
+#include "ds/bank.h"
+#include "runtime/engine.h"
+#include "runtime/stats.h"
+#include "sim/env.h"
+#include "test_util.h"
+#include "trace/event.h"
+#include "trace/export.h"
+#include "trace/histo.h"
+#include "trace/json.h"
+#include "trace/ring.h"
+#include "trace/session.h"
+
+namespace rtle {
+namespace {
+
+using runtime::MethodStats;
+using runtime::ThreadCtx;
+using runtime::TxContext;
+using sim::MachineConfig;
+using trace::EventRing;
+using trace::EventType;
+using trace::LatencyHisto;
+using trace::TraceEvent;
+using trace::TraceSession;
+
+// ---------------------------------------------------------------------------
+// EventRing: capacity rounding, wraparound, drop accounting.
+
+TEST(EventRing, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(EventRing(0).capacity(), 2u);
+  EXPECT_EQ(EventRing(1).capacity(), 2u);
+  EXPECT_EQ(EventRing(3).capacity(), 4u);
+  EXPECT_EQ(EventRing(32).capacity(), 32u);
+  EXPECT_EQ(EventRing(33).capacity(), 64u);
+}
+
+TraceEvent ev_with_ts(std::uint64_t ts) {
+  TraceEvent ev{};
+  ev.ts = ts;
+  ev.type = static_cast<std::uint16_t>(EventType::kTxnBegin);
+  return ev;
+}
+
+TEST(EventRing, NoWraparoundKeepsEverything) {
+  EventRing ring(8);
+  for (std::uint64_t i = 0; i < 5; ++i) ring.push(ev_with_ts(i));
+  EXPECT_EQ(ring.size(), 5u);
+  EXPECT_EQ(ring.pushed(), 5u);
+  EXPECT_EQ(ring.drops(), 0u);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(ring.at(i).ts, i);
+}
+
+TEST(EventRing, WraparoundOverwritesOldestWithExactDropAccounting) {
+  EventRing ring(8);
+  for (std::uint64_t i = 0; i < 20; ++i) ring.push(ev_with_ts(i));
+  EXPECT_EQ(ring.size(), 8u);
+  EXPECT_EQ(ring.pushed(), 20u);
+  EXPECT_EQ(ring.drops(), 12u);
+  EXPECT_EQ(ring.pushed(), ring.size() + ring.drops());
+  // Survivors are the 8 newest, oldest-first.
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_EQ(ring.at(i).ts, 12 + i);
+  std::uint64_t seen = 0;
+  ring.for_each([&](const TraceEvent& e) {
+    EXPECT_EQ(e.ts, 12 + seen);
+    seen += 1;
+  });
+  EXPECT_EQ(seen, 8u);
+}
+
+TEST(EventRing, RecordIsFixedSize) {
+  EXPECT_EQ(sizeof(TraceEvent), 24u);
+}
+
+// ---------------------------------------------------------------------------
+// LatencyHisto: bucket math and percentile accuracy vs. exact quantiles.
+
+TEST(LatencyHisto, BucketIndexIsIdentityBelow64) {
+  for (std::uint64_t v = 0; v < 64; ++v) {
+    EXPECT_EQ(LatencyHisto::bucket_index(v), v);
+    EXPECT_EQ(LatencyHisto::bucket_upper(v), v);
+  }
+}
+
+TEST(LatencyHisto, BucketUpperBoundsValueWithinOneThirtySecond) {
+  for (std::uint64_t v : {64ULL, 65ULL, 100ULL, 1000ULL, 4095ULL, 4096ULL,
+                          123456789ULL, (1ULL << 40) + 12345ULL}) {
+    const std::size_t idx = LatencyHisto::bucket_index(v);
+    const std::uint64_t upper = LatencyHisto::bucket_upper(idx);
+    EXPECT_GE(upper, v) << v;
+    EXPECT_LE(upper - v, v / 32) << v;
+    // Monotonic: the next bucket's upper bound is strictly larger.
+    EXPECT_GT(LatencyHisto::bucket_upper(idx + 1), upper) << v;
+  }
+}
+
+TEST(LatencyHisto, PercentilesExactBelow64) {
+  LatencyHisto h;
+  for (std::uint64_t v = 0; v < 64; ++v) h.add(v);
+  // rank = ceil(p/100 * 64); value = rank - 1 (samples are 0..63).
+  EXPECT_EQ(h.percentile(50), 31u);
+  EXPECT_EQ(h.percentile(100), 63u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 63u);
+  EXPECT_EQ(h.count(), 64u);
+}
+
+TEST(LatencyHisto, PercentileWithinBoundedRelativeError) {
+  // Samples 1..N: the exact p-quantile is simply ceil(p/100 * N). The
+  // histogram must report a value in [exact, exact * (1 + 1/32)].
+  constexpr std::uint64_t kN = 200000;
+  LatencyHisto h;
+  // Insertion order is irrelevant to a histogram; use a stride walk to not
+  // depend on it anyway.
+  for (std::uint64_t i = 0; i < kN; ++i) h.add((i * 7919) % kN + 1);
+  EXPECT_EQ(h.count(), kN);
+  EXPECT_EQ(h.min(), 1u);
+  EXPECT_EQ(h.max(), kN);
+  EXPECT_NEAR(h.mean(), (kN + 1) / 2.0, (kN + 1) / 2.0 * 1e-9);
+  for (double p : {50.0, 90.0, 99.0, 99.9}) {
+    const auto exact =
+        static_cast<std::uint64_t>(std::ceil(p / 100.0 * kN));
+    const std::uint64_t got = h.percentile(p);
+    EXPECT_GE(got, exact) << "p=" << p;
+    EXPECT_LE(got, exact + exact / 32) << "p=" << p;
+  }
+  // The top percentile clamps to the recorded maximum, not a bucket bound.
+  EXPECT_EQ(h.percentile(100), kN);
+}
+
+TEST(LatencyHisto, SummaryMentionsEveryQuantile) {
+  LatencyHisto h;
+  for (std::uint64_t v = 1; v <= 1000; ++v) h.add(v);
+  const std::string s = h.summary();
+  for (const char* key : {"n=1000", "mean=", "p50=", "p90=", "p99=",
+                          "p999=", "max=1000"}) {
+    EXPECT_NE(s.find(key), std::string::npos) << s;
+  }
+  EXPECT_EQ(LatencyHisto().summary().rfind("n=0 mean=0.0 ", 0), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// TraceSession: ambient scope discipline (the FaultPlanScope pattern).
+
+TEST(TraceSession, InstallsAndRestoresAmbientSession) {
+  EXPECT_EQ(trace::active_trace(), nullptr);
+  {
+    TraceSession outer;
+    EXPECT_EQ(trace::active_trace(), &outer);
+    {
+      TraceSession inner;
+      EXPECT_EQ(trace::active_trace(), &inner);
+    }
+    EXPECT_EQ(trace::active_trace(), &outer);
+  }
+  EXPECT_EQ(trace::active_trace(), nullptr);
+}
+
+TEST(TraceSession, EmitOutsideSimulationUsesZeroStamp) {
+  TraceSession s;
+  s.emit(EventType::kModeSwitch, 0, 7);
+  ASSERT_EQ(s.rings().size(), 1u);
+  ASSERT_EQ(s.rings()[0]->size(), 1u);
+  const TraceEvent& ev = s.rings()[0]->at(0);
+  EXPECT_EQ(ev.ts, 0u);
+  EXPECT_EQ(ev.tid, 0u);
+  EXPECT_EQ(ev.arg, 7u);
+  EXPECT_EQ(s.total_events(), 1u);
+  EXPECT_EQ(s.total_drops(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Traced workload harness: the bank benchmark under a method, with or
+// without a TraceSession installed around the whole simulation.
+
+constexpr std::size_t kAccounts = 64;
+constexpr std::uint64_t kInitialBalance = 1000;
+
+MethodStats run_bank(runtime::SyncMethod& method, std::uint32_t threads,
+                     std::uint64_t ops_per_thread) {
+  SimScope sim(MachineConfig::corei7());
+  ds::BankAccounts bank(kAccounts, kInitialBalance);
+  method.prepare(threads);
+  test::run_workers(sim, threads, ops_per_thread, /*seed=*/42,
+                    [&](ThreadCtx& th, std::uint64_t) {
+                      const std::size_t from = th.rng.below(bank.size());
+                      std::size_t to = th.rng.below(bank.size() - 1);
+                      if (to >= from) ++to;
+                      const std::uint64_t amount = th.rng.below(100) + 1;
+                      auto cs = [&](TxContext& ctx) {
+                        bank.transfer(ctx, from, to, amount);
+                      };
+                      method.execute(th, cs);
+                    });
+  return method.stats();
+}
+
+struct TracedRun {
+  MethodStats stats;
+  std::string json;
+  std::uint64_t cs_samples = 0;
+  std::uint64_t lock_waits = 0;
+  std::uint64_t events = 0;
+  std::uint64_t drops = 0;
+  std::string text;
+};
+
+TracedRun run_traced_bank(const std::string& method_name,
+                          std::uint32_t threads, std::uint64_t ops,
+                          trace::SessionConfig scfg = {}) {
+  TraceSession session(scfg);
+  auto method = bench::method_by_name(method_name).make();
+  TracedRun out;
+  out.stats = run_bank(*method, threads, ops);
+  out.json = trace::chrome_trace_json(session);
+  out.cs_samples = session.cs_latency().count();
+  out.lock_waits = session.lock_wait().count();
+  out.events = session.total_events();
+  out.drops = session.total_drops();
+  out.text = trace::text_summary(session);
+  return out;
+}
+
+// Fiber-switch records are a schedule-debugging firehose (a spin-waiting
+// thread switches every few cycles and would evict every txn/lock record),
+// so they are opt-in.
+TEST(TraceSession, FiberSwitchTracingIsOptIn) {
+  const TracedRun off = run_traced_bank("TLE", 2, 50);
+  EXPECT_EQ(off.text.find("fiber-switch"), std::string::npos) << off.text;
+  trace::SessionConfig scfg;
+  scfg.trace_fiber_switches = true;
+  const TracedRun on = run_traced_bank("TLE", 2, 50, scfg);
+  EXPECT_GT(on.events, off.events);
+  EXPECT_NE(on.text.find("fiber-switch"), std::string::npos) << on.text;
+}
+
+// ---------------------------------------------------------------------------
+// Exporter: the Chrome trace document is valid JSON (round-tripped through
+// the bundled parser) and its slices add up to the method's own counters.
+
+TEST(TraceExport, ChromeTraceRoundTripsThroughJsonParser) {
+  const TracedRun run = run_traced_bank("TLE", 4, 200);
+  ASSERT_EQ(run.drops, 0u) << "enlarge the default ring for this workload";
+
+  trace::json::Value doc;
+  std::string err;
+  ASSERT_TRUE(trace::json::parse(run.json, doc, &err)) << err;
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.get_string("displayTimeUnit"), "ms");
+  const trace::json::Value* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  ASSERT_FALSE(events->arr.empty());
+
+  std::uint64_t commits = 0;
+  std::uint64_t aborts = 0;
+  std::uint64_t meta = 0;
+  std::uint64_t lock_held = 0;
+  for (const auto& ev : events->arr) {
+    ASSERT_TRUE(ev.is_object());
+    const std::string ph = ev.get_string("ph");
+    ASSERT_FALSE(ph.empty());
+    if (ph == "M") {
+      meta += 1;
+      continue;
+    }
+    const std::string name = ev.get_string("name");
+    const trace::json::Value* args = ev.find("args");
+    if (ph == "X" && name.rfind("txn-", 0) == 0) {
+      ASSERT_NE(args, nullptr);
+      const std::string outcome = args->get_string("outcome");
+      if (outcome == "commit") commits += 1;
+      if (outcome == "abort") {
+        aborts += 1;
+        EXPECT_FALSE(args->get_string("cause").empty());
+      }
+    }
+    if (ph == "X" && name == "lock-held") lock_held += 1;
+  }
+  // One metadata record per simulated thread, one commit slice per op, one
+  // abort slice per recorded abort, one lock-held slice per acquisition —
+  // exact because nothing was dropped.
+  EXPECT_EQ(meta, 4u);
+  EXPECT_EQ(commits, run.stats.ops);
+  EXPECT_EQ(aborts, run.stats.aborts_fast + run.stats.aborts_slow);
+  EXPECT_EQ(lock_held, run.stats.lock_acquisitions);
+}
+
+TEST(TraceExport, TextSummaryReportsCountsAndLatency) {
+  const TracedRun run = run_traced_bank("FG-TLE(16)", 3, 100);
+  for (const char* key :
+       {"thread 0:", "thread 2:", "total:", "cs-latency:", "lock-wait:"}) {
+    EXPECT_NE(run.text.find(key), std::string::npos) << run.text;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Latency wiring: the histograms and MethodStats slots agree with the
+// method's own commit/lock accounting.
+
+TEST(TraceLatency, HistogramCountsMatchMethodCounters) {
+  const TracedRun run = run_traced_bank("TLE", 4, 200);
+  EXPECT_EQ(run.cs_samples, run.stats.ops);
+  EXPECT_EQ(run.stats.latency_samples, run.stats.ops);
+  EXPECT_EQ(run.lock_waits, run.stats.lock_acquisitions);
+  const std::string s = run.stats.summary();
+  EXPECT_NE(s.find("trace("), std::string::npos) << s;
+}
+
+// ---------------------------------------------------------------------------
+// Zero-overhead promise: a traced run follows the exact schedule of an
+// untraced one — every simulation-visible counter matches; only the
+// trace-side MethodStats slots differ.
+
+TEST(TraceOverhead, TracedRunMatchesUntracedSchedule) {
+  auto untraced = bench::method_by_name("FG-TLE(16)").make();
+  const MethodStats base = run_bank(*untraced, 6, 150);
+
+  const TracedRun traced = run_traced_bank("FG-TLE(16)", 6, 150);
+  const MethodStats& st = traced.stats;
+  EXPECT_EQ(st.ops, base.ops);
+  EXPECT_EQ(st.commit_fast_htm, base.commit_fast_htm);
+  EXPECT_EQ(st.commit_slow_htm, base.commit_slow_htm);
+  EXPECT_EQ(st.commit_lock, base.commit_lock);
+  EXPECT_EQ(st.aborts_fast, base.aborts_fast);
+  EXPECT_EQ(st.aborts_slow, base.aborts_slow);
+  EXPECT_EQ(st.lock_acquisitions, base.lock_acquisitions);
+  EXPECT_EQ(st.cycles_under_lock, base.cycles_under_lock);
+  EXPECT_EQ(st.slow_htm_while_locked, base.slow_htm_while_locked);
+  // The only divergence: trace-side sample accounting.
+  EXPECT_EQ(base.latency_samples, 0u);
+  EXPECT_EQ(st.latency_samples, st.ops);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism: identical seeds yield byte-identical trace documents.
+
+TEST(TraceDeterminism, IdenticalRunsExportByteIdenticalTraces) {
+  const TracedRun a = run_traced_bank("FG-TLE(16)", 6, 150);
+  const TracedRun b = run_traced_bank("FG-TLE(16)", 6, 150);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.json, b.json);
+  EXPECT_EQ(a.text, b.text);
+}
+
+// ---------------------------------------------------------------------------
+// Wraparound under load: a deliberately tiny ring drops events with exact
+// accounting, and the exporter still produces a well-formed document.
+
+TEST(TraceWraparound, TinyRingDropsExactlyAndStillExports) {
+  trace::SessionConfig scfg;
+  scfg.ring_capacity = 64;
+  const TracedRun run = run_traced_bank("TLE", 4, 400, scfg);
+  EXPECT_GT(run.drops, 0u);
+  // total_events() counts records ever pushed; emission is meta-level, so
+  // it cannot depend on ring capacity — only what survives does.
+  const TracedRun big = run_traced_bank("TLE", 4, 400);
+  EXPECT_EQ(big.drops, 0u);
+  EXPECT_EQ(run.events, big.events)
+      << "event emission must be independent of ring capacity";
+
+  trace::json::Value doc;
+  std::string err;
+  ASSERT_TRUE(trace::json::parse(run.json, doc, &err)) << err;
+  const trace::json::Value* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  EXPECT_FALSE(events->arr.empty());
+}
+
+// ---------------------------------------------------------------------------
+// JSON parser corners (the exporter's correctness proof leans on it).
+
+TEST(TraceJson, ParsesScalarsStringsAndNesting) {
+  trace::json::Value v;
+  ASSERT_TRUE(trace::json::parse(
+      "{\"a\":[1,2.5,-3],\"b\":{\"c\":\"x\\ny\"},\"d\":true,\"e\":null}",
+      v));
+  ASSERT_TRUE(v.is_object());
+  const trace::json::Value* a = v.find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  ASSERT_EQ(a->arr.size(), 3u);
+  EXPECT_EQ(a->arr[0].number, 1.0);
+  EXPECT_EQ(a->arr[1].number, 2.5);
+  EXPECT_EQ(a->arr[2].number, -3.0);
+  EXPECT_EQ(v.find("b")->get_string("c"), "x\ny");
+  EXPECT_TRUE(v.find("d")->boolean);
+  EXPECT_EQ(v.find("e")->kind, trace::json::Value::Kind::kNull);
+}
+
+TEST(TraceJson, RejectsMalformedInput) {
+  trace::json::Value v;
+  std::string err;
+  EXPECT_FALSE(trace::json::parse("{\"a\":}", v, &err));
+  EXPECT_FALSE(trace::json::parse("[1,2", v, &err));
+  EXPECT_FALSE(trace::json::parse("{} trailing", v, &err));
+  EXPECT_FALSE(trace::json::parse("", v, &err));
+}
+
+}  // namespace
+}  // namespace rtle

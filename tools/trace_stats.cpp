@@ -1,0 +1,235 @@
+// trace_stats: offline analyzer for rtle::trace Chrome-trace exports.
+//
+//   trace_stats <trace.json> [--full]
+//
+// Reads a trace exported by --trace=FILE (or trace::write_chrome_trace) and
+// reports, per simulated thread:
+//   * the time-under-lock timeline (lock-held intervals),
+//   * abort chains (runs of consecutive aborted attempts before a commit),
+//   * slow-path HTM commits that overlap another thread's lock-held
+//     interval — the paper's core claim (optimistic execution concurrent
+//     with a pessimistic lock holder), measured directly from the timeline.
+//
+// --full prints every interval instead of the first few per thread.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "trace/json.h"
+
+namespace {
+
+struct Interval {
+  std::uint64_t ts = 0;
+  std::uint64_t dur = 0;
+  std::uint64_t end() const { return ts + dur; }
+};
+
+struct TxnSlice {
+  Interval iv;
+  std::string path;     // "fast" / "slow" / "lock"
+  std::string outcome;  // "commit" / "abort" / "open"
+  std::string cause;    // abort cause, if any
+};
+
+struct ThreadTimeline {
+  std::vector<Interval> locks;
+  std::vector<TxnSlice> txns;
+};
+
+std::uint64_t overlap(const Interval& a, const Interval& b) {
+  const std::uint64_t lo = std::max(a.ts, b.ts);
+  const std::uint64_t hi = std::min(a.end(), b.end());
+  return hi > lo ? hi - lo : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* path = nullptr;
+  bool full = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--full") == 0) {
+      full = true;
+    } else {
+      path = argv[i];
+    }
+  }
+  if (path == nullptr) {
+    std::fprintf(stderr, "usage: trace_stats <trace.json> [--full]\n");
+    return 2;
+  }
+
+  std::FILE* f = std::fopen(path, "rb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "trace_stats: cannot open '%s'\n", path);
+    return 2;
+  }
+  std::string text;
+  char buf[1 << 16];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+  std::fclose(f);
+
+  rtle::trace::json::Value doc;
+  std::string err;
+  if (!rtle::trace::json::parse(text, doc, &err)) {
+    std::fprintf(stderr, "trace_stats: parse error in '%s': %s\n", path,
+                 err.c_str());
+    return 1;
+  }
+  const auto* events = doc.find("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    std::fprintf(stderr, "trace_stats: no traceEvents array in '%s'\n", path);
+    return 1;
+  }
+
+  std::map<std::uint64_t, ThreadTimeline> threads;
+  for (const auto& ev : events->arr) {
+    if (ev.get_string("ph") != "X") continue;
+    const std::uint64_t tid = ev.get_u64("tid");
+    const std::string name = ev.get_string("name");
+    Interval iv{ev.get_u64("ts"), ev.get_u64("dur")};
+    if (name == "lock-held") {
+      threads[tid].locks.push_back(iv);
+    } else if (name.rfind("txn-", 0) == 0) {
+      TxnSlice t;
+      t.iv = iv;
+      t.path = name.substr(4);
+      if (const auto* args = ev.find("args")) {
+        t.outcome = args->get_string("outcome");
+        t.cause = args->get_string("cause");
+      }
+      threads[tid].txns.push_back(t);
+    }
+  }
+  if (threads.empty()) {
+    std::printf("no duration slices found (empty or truncated trace)\n");
+    return 0;
+  }
+
+  std::printf("== trace_stats: %s ==\n", path);
+  std::printf("%zu simulated threads with timeline data\n\n", threads.size());
+
+  // Per-thread summary + time-under-lock timeline.
+  std::printf("per-thread summary:\n");
+  std::printf("  %-4s %9s %9s %9s %9s %7s %14s %10s\n", "tid", "txn-fast",
+              "txn-slow", "txn-lock", "aborts", "locks", "under-lock",
+              "max-hold");
+  for (const auto& [tid, tl] : threads) {
+    std::uint64_t fast = 0, slow = 0, lockp = 0, aborts = 0;
+    for (const auto& t : tl.txns) {
+      if (t.outcome == "abort") {
+        aborts += 1;
+      } else if (t.outcome == "commit") {
+        if (t.path == "fast") fast += 1;
+        else if (t.path == "slow") slow += 1;
+        else lockp += 1;
+      }
+    }
+    std::uint64_t under = 0, max_hold = 0;
+    for (const auto& iv : tl.locks) {
+      under += iv.dur;
+      max_hold = std::max(max_hold, iv.dur);
+    }
+    std::printf("  %-4llu %9llu %9llu %9llu %9llu %7zu %14llu %10llu\n",
+                static_cast<unsigned long long>(tid),
+                static_cast<unsigned long long>(fast),
+                static_cast<unsigned long long>(slow),
+                static_cast<unsigned long long>(lockp),
+                static_cast<unsigned long long>(aborts), tl.locks.size(),
+                static_cast<unsigned long long>(under),
+                static_cast<unsigned long long>(max_hold));
+  }
+
+  std::printf("\ntime-under-lock timelines (cycles):\n");
+  for (const auto& [tid, tl] : threads) {
+    if (tl.locks.empty()) continue;
+    const std::size_t show =
+        full ? tl.locks.size() : std::min<std::size_t>(tl.locks.size(), 8);
+    std::printf("  tid %llu:", static_cast<unsigned long long>(tid));
+    for (std::size_t i = 0; i < show; ++i) {
+      std::printf(" [%llu,%llu)",
+                  static_cast<unsigned long long>(tl.locks[i].ts),
+                  static_cast<unsigned long long>(tl.locks[i].end()));
+    }
+    if (show < tl.locks.size()) {
+      std::printf(" … +%zu more", tl.locks.size() - show);
+    }
+    std::printf("\n");
+  }
+
+  // Abort chains: consecutive aborted attempts before a commit.
+  std::printf("\nabort chains (consecutive aborted attempts per commit):\n");
+  std::map<std::string, std::uint64_t> causes;
+  for (const auto& [tid, tl] : threads) {
+    std::uint64_t chains = 0, chain = 0, max_chain = 0, sum_chain = 0;
+    for (const auto& t : tl.txns) {
+      if (t.outcome == "abort") {
+        chain += 1;
+        if (!t.cause.empty()) causes[t.cause] += 1;
+      } else if (t.outcome == "commit") {
+        if (chain != 0) {
+          chains += 1;
+          sum_chain += chain;
+          max_chain = std::max(max_chain, chain);
+          chain = 0;
+        }
+      }
+    }
+    if (chains == 0 && chain == 0) continue;
+    std::printf("  tid %llu: %llu chains, max=%llu, avg=%.2f%s\n",
+                static_cast<unsigned long long>(tid),
+                static_cast<unsigned long long>(chains),
+                static_cast<unsigned long long>(max_chain),
+                chains == 0 ? 0.0
+                            : static_cast<double>(sum_chain) / chains,
+                chain != 0 ? " (trailing open chain)" : "");
+  }
+  if (!causes.empty()) {
+    std::printf("  abort causes:");
+    for (const auto& [cause, count] : causes) {
+      std::printf(" %s=%llu", cause.c_str(),
+                  static_cast<unsigned long long>(count));
+    }
+    std::printf("\n");
+  }
+
+  // The paper's core claim: slow-path HTM commits concurrent with a lock
+  // holder on another thread.
+  std::printf("\nconcurrency with lock holder:\n");
+  std::uint64_t slow_commits = 0, concurrent = 0, overlap_cycles = 0;
+  for (const auto& [tid, tl] : threads) {
+    for (const auto& t : tl.txns) {
+      if (t.path != "slow" || t.outcome != "commit") continue;
+      slow_commits += 1;
+      std::uint64_t ov = 0;
+      for (const auto& [other_tid, other] : threads) {
+        if (other_tid == tid) continue;
+        for (const auto& iv : other.locks) {
+          ov += overlap(t.iv, iv);
+        }
+      }
+      if (ov != 0) {
+        concurrent += 1;
+        overlap_cycles += ov;
+      }
+    }
+  }
+  if (slow_commits == 0) {
+    std::printf("  no slow-path HTM commits in this trace\n");
+  } else {
+    std::printf(
+        "  %llu of %llu slow-path HTM commits (%.1f%%) overlapped a "
+        "foreign lock-held interval; total overlap %llu cycles\n",
+        static_cast<unsigned long long>(concurrent),
+        static_cast<unsigned long long>(slow_commits),
+        100.0 * static_cast<double>(concurrent) /
+            static_cast<double>(slow_commits),
+        static_cast<unsigned long long>(overlap_cycles));
+  }
+  return 0;
+}
