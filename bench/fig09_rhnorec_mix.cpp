@@ -28,6 +28,10 @@ int main(int argc, char** argv) {
   cfg.insert_pct = 20;
   cfg.remove_pct = 20;
   cfg.duration_ms = args.scale(2.0, 0.25);
+  cfg.faults = args.faults;
+  cfg.retry_policy = args.retry;
+  cfg.trace_file = args.trace;
+  cfg.latency = args.latency;
   std::vector<std::uint32_t> threads = {1, 2, 4, 8, 12, 16, 18, 24, 28, 36};
   if (args.quick) threads = {1, 8, 18, 36};
 
@@ -45,6 +49,12 @@ int main(int argc, char** argv) {
                    frac(r.stats.rhn_htm_fast), frac(r.stats.rhn_htm_slow),
                    frac(r.stats.commit_stm_ro + r.stats.commit_stm_htm),
                    frac(r.stats.commit_stm_lock)});
+    if (args.stats) {
+      std::printf("  [stats] t=%-2u %s\n", t, r.stats.summary().c_str());
+    }
+    if (args.latency && !r.latency.empty()) {
+      std::printf("  [latency] t=%-2u %s\n", t, r.latency.c_str());
+    }
   }
   table.print(args.csv);
   return 0;

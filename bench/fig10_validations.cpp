@@ -27,6 +27,10 @@ int main(int argc, char** argv) {
   cfg.insert_pct = 20;
   cfg.remove_pct = 20;
   cfg.duration_ms = args.scale(2.0, 0.25);
+  cfg.faults = args.faults;
+  cfg.retry_policy = args.retry;
+  cfg.trace_file = args.trace;
+  cfg.latency = args.latency;
   std::vector<std::uint32_t> threads = {1, 2, 4, 8, 12, 16, 18, 24, 28, 36};
   if (args.quick) threads = {1, 8, 18, 36};
 
@@ -40,6 +44,14 @@ int main(int argc, char** argv) {
     table.add_row({Table::num(std::uint64_t{t}),
                    Table::num(rn.validations_per_tx(), 2),
                    Table::num(rh.validations_per_tx(), 2)});
+    if (args.latency) {
+      if (!rn.latency.empty()) {
+        std::printf("  [latency] NOrec   t=%-2u %s\n", t, rn.latency.c_str());
+      }
+      if (!rh.latency.empty()) {
+        std::printf("  [latency] RHNOrec t=%-2u %s\n", t, rh.latency.c_str());
+      }
+    }
   }
   table.print(args.csv);
   return 0;

@@ -46,6 +46,8 @@ int main(int argc, char** argv) {
   cctsa::AssemblerConfig acfg;
   acfg.k = 27;
   acfg.buckets = args.quick ? (1 << 19) : (1 << 20);
+  acfg.trace_file = args.trace;
+  acfg.latency = args.latency;
 
   std::vector<std::uint32_t> threads = {1, 2, 4, 8, 12, 18, 24, 36};
   if (args.quick) threads = {1, 8, 18, 36};
@@ -73,6 +75,14 @@ int main(int argc, char** argv) {
       row.push_back(Table::num(r.total_ms, 2));
       if (std::string(n) == "TLE") tle_fb = r.lock_fallback;
       if (std::string(n) == "FG-TLE(8192)") fg_fb = r.lock_fallback;
+      if (args.stats) {
+        std::printf("  [stats] %-14s t=%-2u %s\n", n, t,
+                    r.stats.summary().c_str());
+      }
+      if (args.latency && !r.latency.empty()) {
+        std::printf("  [latency] %-12s t=%-2u %s\n", n, t,
+                    r.latency.c_str());
+      }
     }
     table.add_row(std::move(row));
     fallback.add_row({Table::num(std::uint64_t{t}),

@@ -74,9 +74,17 @@ BenchArgs parse_bench_args(int argc, char** argv) {
     if (std::strncmp(argv[i], "--retry=", 8) == 0) args.retry = argv[i] + 8;
     if (std::strcmp(argv[i], "--latency") == 0) args.latency = true;
     if (std::strncmp(argv[i], "--trace=", 8) == 0) args.trace = argv[i] + 8;
+    if (std::strcmp(argv[i], "--check") == 0) args.check = true;
   }
+  // Env access happens during single-threaded argv parsing, before any
+  // simulated fiber exists. NOLINTNEXTLINE(concurrency-mt-unsafe)
   if (const char* q = std::getenv("RTLE_QUICK"); q != nullptr && *q == '1') {
     args.quick = true;
+  }
+  if (args.check) {
+    // The checker session is owned by each cell's SimScope, keyed off the
+    // environment, so the flag just sets the variable for this process.
+    setenv("RTLE_CHECK", "1", /*overwrite=*/1);  // NOLINT(concurrency-mt-unsafe)
   }
   return args;
 }

@@ -50,6 +50,12 @@ struct BenchArgs {
   /// tools/trace_stats). With multiple cells the last cell's trace wins.
   std::string trace;
 
+  // Correctness knobs (check/).
+  /// --check: run every cell under the rtle::check race/invariant checker
+  /// (equivalent to RTLE_CHECK=1 in the environment); any violation aborts
+  /// the bench with a report naming the broken invariant.
+  bool check = false;
+
   double scale(double full, double quick_value) const {
     return quick ? quick_value : full;
   }

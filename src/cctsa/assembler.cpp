@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <optional>
 
 #include "cctsa/graph.h"
 #include "cctsa/kmer.h"
@@ -11,6 +12,8 @@
 #include "mem/shim.h"
 #include "sim/env.h"
 #include "sync/lock.h"
+#include "trace/export.h"
+#include "trace/session.h"
 
 namespace rtle::cctsa {
 
@@ -137,6 +140,11 @@ AssemblerResult assemble_single_map(const sim::MachineConfig& mc,
                                     const runtime::MethodSpec& spec,
                                     const ReadSet& reads) {
   SimScope sim(mc);
+  // Observability: ambient TraceSession for the whole pipeline, same
+  // contract as run_set_bench — no method/lock state changes, so the
+  // simulated schedule is identical with or without it.
+  std::optional<trace::TraceSession> tracer;
+  if (!cfg.trace_file.empty() || cfg.latency) tracer.emplace();
   const std::uint32_t threads = cfg.threads;
   SingleMapRun run(cfg, reads, threads);
   std::unique_ptr<runtime::SyncMethod> method = spec.make();
@@ -186,6 +194,7 @@ AssemblerResult assemble_single_map(const sim::MachineConfig& mc,
 
   // Optional per-phase statistics dump (RTLE_CCTSA_DEBUG=1).
   const bool debug = [] {
+    // NOLINTNEXTLINE(concurrency-mt-unsafe) — single-threaded process
     const char* e = std::getenv("RTLE_CCTSA_DEBUG");
     return e != nullptr && *e == '1';
   }();
@@ -348,6 +357,15 @@ AssemblerResult assemble_single_map(const sim::MachineConfig& mc,
       if (cfg.keep_contigs) res.contig_strings.push_back(std::move(c));
     }
   }
+  if (tracer.has_value()) {
+    res.stats.trace_drops = tracer->total_drops();
+    res.latency = tracer->latency_summary();
+    if (!cfg.trace_file.empty() &&
+        !trace::write_chrome_trace(*tracer, cfg.trace_file)) {
+      std::fprintf(stderr, "rtle cctsa: cannot write trace to '%s'\n",
+                   cfg.trace_file.c_str());
+    }
+  }
   return res;
 }
 
@@ -390,6 +408,8 @@ AssemblerResult assemble_striped(const sim::MachineConfig& mc,
                                  const AssemblerConfig& cfg,
                                  const ReadSet& reads) {
   SimScope sim(mc);
+  std::optional<trace::TraceSession> tracer;
+  if (!cfg.trace_file.empty() || cfg.latency) tracer.emplace();
   const std::uint32_t threads = cfg.threads;
   Stripes st(cfg, reads, threads);
 
@@ -581,6 +601,15 @@ AssemblerResult assemble_striped(const sim::MachineConfig& mc,
       res.contigs += 1;
       res.contig_bases += c.size();
       if (cfg.keep_contigs) res.contig_strings.push_back(std::move(c));
+    }
+  }
+  if (tracer.has_value()) {
+    res.stats.trace_drops = tracer->total_drops();
+    res.latency = tracer->latency_summary();
+    if (!cfg.trace_file.empty() &&
+        !trace::write_chrome_trace(*tracer, cfg.trace_file)) {
+      std::fprintf(stderr, "rtle cctsa: cannot write trace to '%s'\n",
+                   cfg.trace_file.c_str());
     }
   }
   return res;

@@ -34,6 +34,13 @@ struct AssemblerConfig {
   std::uint32_t stripes = 4096;  ///< striped variant (ccTSA default)
   bool keep_contigs = false;     ///< retain contig strings (tests/examples)
   std::uint64_t seed = 9;
+
+  // Observability (trace/): same semantics as SetBenchConfig — the session
+  // is ambient, so the simulated schedule is identical with or without it.
+  /// Export the run as Chrome trace-event JSON to this path ("" = off).
+  std::string trace_file;
+  /// Record latency histograms and fill AssemblerResult::latency.
+  bool latency = false;
 };
 
 struct AssemblerResult {
@@ -50,6 +57,8 @@ struct AssemblerResult {
   double lock_fallback = 0;
   runtime::MethodStats stats;
   std::vector<std::string> contig_strings;
+  /// Latency percentile digest (AssemblerConfig::latency; "" otherwise).
+  std::string latency;
 };
 
 /// Transactified single-map variant under the given synchronization method.

@@ -1,0 +1,569 @@
+#include "check/session.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "sim/sched.h"
+
+namespace rtle::check {
+
+namespace {
+CheckSession* g_session = nullptr;
+}  // namespace
+
+CheckSession* active_check() { return g_session; }
+
+bool env_check_enabled() {
+  static const bool enabled = [] {
+    // NOLINTNEXTLINE(concurrency-mt-unsafe) — read once, single-threaded
+    const char* v = std::getenv("RTLE_CHECK");
+    return v != nullptr &&
+           (std::strcmp(v, "1") == 0 || std::strcmp(v, "ON") == 0 ||
+            std::strcmp(v, "on") == 0);
+  }();
+  return enabled;
+}
+
+void ignore_range(const void* addr, std::size_t bytes) {
+  if (g_session != nullptr) g_session->add_ignore_range(addr, bytes);
+}
+
+void register_meta(const void* addr, std::size_t bytes) {
+  if (g_session != nullptr) g_session->register_meta(addr, bytes);
+}
+
+const char* to_string(ReportKind k) {
+  switch (k) {
+    case ReportKind::kRace: return "data-race";
+    case ReportKind::kSeqParity: return "seq-parity";
+    case ReportKind::kSeqMonotonic: return "seq-monotonic";
+    case ReportKind::kOrecRestamp: return "orec-restamp";
+    case ReportKind::kStaleStamp: return "stale-stamp";
+    case ReportKind::kMissingFence: return "missing-fence";
+    case ReportKind::kSlowMissedAbort: return "slow-missed-abort";
+    case ReportKind::kWriteFlagMissing: return "write-flag-missing";
+  }
+  return "?";
+}
+
+CheckSession::CheckSession(CheckConfig cfg)
+    : cfg_(cfg), fibers_(kMaxFibers), prev_(g_session) {
+  // FastTrack epochs: every fiber's own clock starts at 1, so a first
+  // access by one fiber is never mistaken for being ordered before a first
+  // access by another (epoch 0 would compare as "already seen").
+  for (std::uint32_t f = 0; f < kMaxFibers; ++f) fibers_[f].vc[f] = 1;
+  g_session = this;
+}
+
+CheckSession::~CheckSession() {
+  g_session = prev_;
+  if (cfg_.die_on_report && total_reports_ > 0) {
+    std::fprintf(stderr, "%s", summary().c_str());
+    std::fprintf(stderr,
+                 "rtle check: %zu invariant violation(s) — aborting "
+                 "(RTLE_CHECK environment session)\n",
+                 total_reports_);
+    std::abort();
+  }
+}
+
+std::uint32_t CheckSession::self() const {
+  sim::Scheduler* s = sim::current_scheduler();
+  if (s == nullptr || !s->in_fiber()) return kMaxFibers;
+  const std::uint32_t pin = s->current_pin();
+  return pin < kMaxFibers ? pin : kMaxFibers;
+}
+
+bool CheckSession::is_meta(std::uintptr_t a) const {
+  auto it = meta_.upper_bound(a);
+  if (it == meta_.begin()) return false;
+  --it;
+  return a < it->second;
+}
+
+bool CheckSession::is_ignored(std::uintptr_t a) const {
+  auto it = ignore_.upper_bound(a);
+  if (it == ignore_.begin()) return false;
+  --it;
+  return a < it->second;
+}
+
+CheckSession::VC& CheckSession::sync_clock(std::uintptr_t a) {
+  return sync_[a];  // zero-initialized on first use
+}
+
+void CheckSession::join(VC& dst, const VC& src) {
+  for (std::uint32_t i = 0; i < kMaxFibers; ++i) {
+    if (src[i] > dst[i]) dst[i] = src[i];
+  }
+}
+
+void CheckSession::publish(std::uint32_t f, std::uintptr_t a) {
+  join(sync_clock(a), fibers_[f].vc);
+}
+
+void CheckSession::report(ReportKind k, std::uint32_t tid,
+                          std::uint32_t prior, const void* addr,
+                          const void* pc, std::string detail) {
+  total_reports_ += 1;
+  if (reports_.size() >= cfg_.max_reports) return;
+  sim::Scheduler* s = sim::current_scheduler();
+  Report r;
+  r.kind = k;
+  r.clock = s != nullptr ? s->now() : 0;
+  r.tid = tid;
+  r.prior_tid = prior;
+  r.addr = addr;
+  r.pc = pc;
+  r.detail = std::move(detail);
+  reports_.push_back(std::move(r));
+}
+
+void CheckSession::check_fence_obligation(std::uint32_t f, const void* pc) {
+  Fiber& fb = fibers_[f];
+  if (!fb.fence_pending) return;
+  fb.fence_pending = false;
+  report(ReportKind::kMissingFence, f, 0, fb.fence_orec, pc,
+         "no store-load fence between orec stamp and the holder's next "
+         "access (FG-TLE \xc2\xa7""4.2: a slow-path writer may commit "
+         "between orec acquisition and the data access)");
+}
+
+void CheckSession::check_read(std::uint32_t f, std::uintptr_t a,
+                              const void* pc) {
+  Shadow& sh = shadow_[a];
+  const VC& vc = fibers_[f].vc;
+  if (sh.write_tid < kMaxFibers && sh.write_clock > vc[sh.write_tid] &&
+      raced_.insert(a).second) {
+    report(ReportKind::kRace, f, sh.write_tid,
+           reinterpret_cast<const void*>(a), pc,
+           "read races a prior write by fiber " +
+               std::to_string(sh.write_tid) +
+               " (no lock, committed-transaction or orec ordering)");
+  }
+  const std::uint64_t c = vc[f];
+  if (sh.read_vc != nullptr) {
+    (*sh.read_vc)[f] = c;
+    return;
+  }
+  if (sh.read_tid >= kMaxFibers || sh.read_tid == f ||
+      sh.read_clock <= vc[sh.read_tid]) {
+    sh.read_clock = c;  // exclusive / ordered reader: keep the epoch form
+    sh.read_tid = f;
+    return;
+  }
+  sh.read_vc = std::make_unique<VC>();  // concurrent readers: promote
+  (*sh.read_vc)[sh.read_tid] = sh.read_clock;
+  (*sh.read_vc)[f] = c;
+  sh.read_tid = kMaxFibers;
+}
+
+void CheckSession::check_write(std::uint32_t f, std::uintptr_t a,
+                               const void* pc) {
+  Shadow& sh = shadow_[a];
+  const VC& vc = fibers_[f].vc;
+  if (sh.write_tid < kMaxFibers && sh.write_clock > vc[sh.write_tid] &&
+      raced_.insert(a).second) {
+    report(ReportKind::kRace, f, sh.write_tid,
+           reinterpret_cast<const void*>(a), pc,
+           "write races a prior write by fiber " +
+               std::to_string(sh.write_tid) +
+               " (no lock, committed-transaction or orec ordering)");
+  }
+  if (sh.read_vc != nullptr) {
+    for (std::uint32_t t = 0; t < kMaxFibers; ++t) {
+      if (t != f && (*sh.read_vc)[t] > vc[t] && raced_.insert(a).second) {
+        report(ReportKind::kRace, f, t, reinterpret_cast<const void*>(a),
+               pc,
+               "write races a prior read by fiber " + std::to_string(t) +
+                   " (no lock, committed-transaction or orec ordering)");
+        break;
+      }
+    }
+  } else if (sh.read_tid < kMaxFibers && sh.read_tid != f &&
+             sh.read_clock > vc[sh.read_tid] && raced_.insert(a).second) {
+    report(ReportKind::kRace, f, sh.read_tid,
+           reinterpret_cast<const void*>(a), pc,
+           "write races a prior read by fiber " +
+               std::to_string(sh.read_tid) +
+               " (no lock, committed-transaction or orec ordering)");
+  }
+  sh.write_clock = vc[f];
+  sh.write_tid = f;
+  sh.read_vc.reset();
+  sh.read_tid = kMaxFibers;
+  sh.read_clock = 0;
+}
+
+void CheckSession::plain_access(const void* addr, const void* pc, Op op) {
+  const std::uint32_t f = self();
+  if (f >= kMaxFibers) return;  // host-side setup/teardown: single-threaded
+  const auto a = reinterpret_cast<std::uintptr_t>(addr);
+  if (is_ignored(a)) return;
+  Fiber& fb = fibers_[f];
+  if (fb.spec_depth > 0) {
+    fb.buf.push_back({a, pc, op});
+    return;
+  }
+  check_fence_obligation(f, pc);
+  if (is_meta(a)) {
+    join(fb.vc, sync_clock(a));
+    if (op != Op::kLoad) {
+      publish(f, a);
+      fb.vc[f] += 1;
+    }
+    return;
+  }
+  switch (op) {
+    case Op::kLoad:
+      check_read(f, a, pc);
+      break;
+    case Op::kStore:
+      check_write(f, a, pc);
+      break;
+    case Op::kRmw:
+    case Op::kSyncStore:
+      // Atomic RMW: a sync operation on its own address *and* a write that
+      // still conflicts with unordered plain accesses.
+      join(fb.vc, sync_clock(a));
+      check_write(f, a, pc);
+      publish(f, a);
+      fb.vc[f] += 1;
+      break;
+  }
+}
+
+void CheckSession::on_plain_load(const void* addr, const void* pc) {
+  plain_access(addr, pc, Op::kLoad);
+}
+void CheckSession::on_plain_store(const void* addr, const void* pc) {
+  plain_access(addr, pc, Op::kStore);
+}
+void CheckSession::on_plain_rmw(const void* addr, const void* pc) {
+  plain_access(addr, pc, Op::kRmw);
+}
+
+void CheckSession::on_fence() {
+  const std::uint32_t f = self();
+  if (f >= kMaxFibers) return;
+  fibers_[f].fence_pending = false;
+}
+
+void CheckSession::on_tx_begin() {
+  const std::uint32_t f = self();
+  if (f >= kMaxFibers) return;
+  Fiber& fb = fibers_[f];
+  fb.marks.push_back(fb.buf.size());
+  fb.spec_depth += 1;
+}
+
+void CheckSession::on_tx_read(const void* addr, const void* pc) {
+  const std::uint32_t f = self();
+  if (f >= kMaxFibers) return;
+  Fiber& fb = fibers_[f];
+  if (fb.spec_depth == 0) return;  // session installed mid-transaction
+  const auto a = reinterpret_cast<std::uintptr_t>(addr);
+  if (is_ignored(a)) return;
+  fb.buf.push_back({a, pc, Op::kLoad});
+}
+
+void CheckSession::on_tx_write(const void* addr, const void* pc) {
+  const std::uint32_t f = self();
+  if (f >= kMaxFibers) return;
+  Fiber& fb = fibers_[f];
+  if (fb.spec_depth == 0) return;
+  const auto a = reinterpret_cast<std::uintptr_t>(addr);
+  if (is_ignored(a)) return;
+  fb.buf.push_back({a, pc, Op::kStore});
+}
+
+void CheckSession::bump_serial(std::uint32_t f) {
+  serial_ += 1;
+  fibers_[f].last_serial = serial_;
+}
+
+void CheckSession::apply_commit(std::uint32_t f, bool stm_read_only) {
+  Fiber& fb = fibers_[f];
+  // The commit is one atomic event: join every ordering source first, then
+  // replay the buffered accesses against shadow memory at the commit-time
+  // clock, then publish.
+  join(fb.vc, commit_vc_);
+  std::vector<std::uintptr_t> sync_addrs;
+  for (const BufEntry& e : fb.buf) {
+    if (is_meta(e.addr) || e.op == Op::kRmw || e.op == Op::kSyncStore) {
+      sync_addrs.push_back(e.addr);
+      join(fb.vc, sync_clock(e.addr));
+    }
+  }
+  for (const BufEntry& e : fb.buf) {
+    if (is_meta(e.addr) || e.op == Op::kRmw || e.op == Op::kSyncStore) {
+      continue;  // metadata carries sync clocks, not shadow state
+    }
+    if (e.op == Op::kLoad) {
+      check_read(f, e.addr, e.pc);
+    } else {
+      check_write(f, e.addr, e.pc);
+    }
+  }
+  join(commit_vc_, fb.vc);
+  for (std::uintptr_t a : sync_addrs) publish(f, a);
+  fb.vc[f] += 1;
+  fb.buf.clear();
+  fb.marks.clear();
+  if (stm_read_only && fb.provisional_serial != 0) {
+    // Invisible readers linearize at their last successful snapshot, not at
+    // the commit point — a writer may have committed in between.
+    serial_ += 1;
+    fb.last_serial = fb.provisional_serial;
+  } else {
+    bump_serial(f);
+  }
+}
+
+void CheckSession::on_tx_commit() {
+  const std::uint32_t f = self();
+  if (f >= kMaxFibers) return;
+  Fiber& fb = fibers_[f];
+  if (fb.spec_depth == 0) return;
+  fb.spec_depth -= 1;
+  if (fb.spec_depth == 0) {
+    apply_commit(f, /*stm_read_only=*/false);
+  } else if (!fb.marks.empty()) {
+    fb.marks.pop_back();  // inner HTM txn: merge into the STM window
+  }
+}
+
+void CheckSession::on_tx_fused_commit(const void* addr, const void* pc) {
+  const std::uint32_t f = self();
+  if (f >= kMaxFibers) return;
+  Fiber& fb = fibers_[f];
+  if (fb.spec_depth == 0) return;
+  const auto a = reinterpret_cast<std::uintptr_t>(addr);
+  if (!is_ignored(a)) fb.buf.push_back({a, pc, Op::kSyncStore});
+  on_tx_commit();
+}
+
+void CheckSession::on_tx_abort() {
+  const std::uint32_t f = self();
+  if (f >= kMaxFibers) return;
+  Fiber& fb = fibers_[f];
+  if (fb.spec_depth == 0) return;
+  fb.spec_depth -= 1;
+  if (!fb.marks.empty()) {
+    fb.buf.resize(fb.marks.back());  // discard the aborted speculation
+    fb.marks.pop_back();
+  } else {
+    fb.buf.clear();
+  }
+}
+
+void CheckSession::on_lock_word(const void* word) {
+  const auto a = reinterpret_cast<std::uintptr_t>(word);
+  if (!is_meta(a)) meta_[a] = a + sizeof(std::uint64_t);
+}
+
+void CheckSession::on_lock_released(const void* word) {
+  const std::uint32_t f = self();
+  if (f >= kMaxFibers) return;
+  // The release store itself already published the holder's clock (it is a
+  // metadata store); here we only place the serialization point. A method
+  // that closed its CS explicitly (FG/RW epoch close) already serialized.
+  if (holder_closed_.erase(reinterpret_cast<std::uintptr_t>(word)) == 0) {
+    bump_serial(f);
+  }
+}
+
+void CheckSession::on_stm_begin() {
+  const std::uint32_t f = self();
+  if (f >= kMaxFibers) return;
+  Fiber& fb = fibers_[f];
+  fb.buf.clear();
+  fb.marks.clear();
+  fb.marks.push_back(0);
+  fb.spec_depth = 1;
+  fb.provisional_serial = 0;
+}
+
+void CheckSession::on_stm_snapshot() {
+  const std::uint32_t f = self();
+  if (f >= kMaxFibers) return;
+  serial_ += 1;
+  fibers_[f].provisional_serial = serial_;
+}
+
+void CheckSession::on_stm_commit(bool read_only) {
+  const std::uint32_t f = self();
+  if (f >= kMaxFibers) return;
+  Fiber& fb = fibers_[f];
+  if (fb.spec_depth == 0) return;
+  fb.spec_depth = 0;
+  apply_commit(f, read_only);
+}
+
+void CheckSession::on_stm_abort() {
+  const std::uint32_t f = self();
+  if (f >= kMaxFibers) return;
+  Fiber& fb = fibers_[f];
+  fb.spec_depth = 0;
+  fb.buf.clear();
+  fb.marks.clear();
+}
+
+void CheckSession::register_meta(const void* addr, std::size_t bytes) {
+  if (bytes == 0) return;
+  const auto a = reinterpret_cast<std::uintptr_t>(addr);
+  meta_[a] = a + bytes;
+}
+
+void CheckSession::add_ignore_range(const void* addr, std::size_t bytes) {
+  if (bytes == 0) return;
+  const auto a = reinterpret_cast<std::uintptr_t>(addr);
+  ignore_[a] = a + bytes;
+}
+
+void CheckSession::on_fg_cs_open(const void* method,
+                                 std::uint64_t seq_before,
+                                 std::uint64_t holder_seq) {
+  const std::uint32_t f = self();
+  if (f >= kMaxFibers) return;
+  FgState& st = fg_[method];
+  if (holder_seq != seq_before + 1) {
+    report(ReportKind::kSeqMonotonic, f, 0, nullptr, nullptr,
+           "epoch increment #1 stamped " + std::to_string(holder_seq) +
+               " over " + std::to_string(seq_before) +
+               " — FG-TLE \xc2\xa7""4.2 requires global_seq to advance by "
+               "exactly one at lock acquire");
+  }
+  if ((holder_seq & 1) == 0) {
+    report(ReportKind::kSeqParity, f, 0, nullptr, nullptr,
+           "holder epoch " + std::to_string(holder_seq) +
+               " is even — FG-TLE \xc2\xa7""4.2 requires global_seq odd "
+               "while the lock is held");
+  }
+  if (seq_before < st.last_seq) {
+    report(ReportKind::kSeqMonotonic, f, 0, nullptr, nullptr,
+           "global_seq went backwards (" + std::to_string(seq_before) +
+               " after " + std::to_string(st.last_seq) +
+               ") — FG-TLE \xc2\xa7""4.2 requires monotone epochs");
+  }
+  st.cs_open = true;
+  st.holder_seq = holder_seq;
+  st.stamped.clear();
+}
+
+void CheckSession::on_fg_orec_stamp(const void* method, const void* orec,
+                                    std::uint64_t stamp,
+                                    std::uint64_t prev) {
+  const std::uint32_t f = self();
+  if (f >= kMaxFibers) return;
+  FgState& st = fg_[method];
+  if (st.cs_open && stamp != st.holder_seq) {
+    report(ReportKind::kStaleStamp, f, 0, orec, nullptr,
+           "orec stamped with epoch " + std::to_string(stamp) +
+               " while the holder epoch is " +
+               std::to_string(st.holder_seq) +
+               " — FG-TLE \xc2\xa7""4.2 requires the current holder epoch "
+               "(a stale stamp lets slow-path transactions commit against "
+               "an owned orec)");
+  }
+  if (!st.stamped.insert(orec).second) {
+    report(ReportKind::kOrecRestamp, f, 0, orec, nullptr,
+           "orec stamped twice in one critical section — FG-TLE "
+           "\xc2\xa7""4.2 stamps each orec at most once per CS");
+  }
+  Fiber& fb = fibers_[f];
+  fb.fence_pending = true;
+  fb.fence_orec = orec;
+}
+
+void CheckSession::on_fg_slow_check(const void* method, std::uint64_t stamp,
+                                    std::uint64_t snapshot,
+                                    bool will_abort) {
+  const std::uint32_t f = self();
+  if (f >= kMaxFibers) return;
+  (void)method;
+  if (stamp >= snapshot && !will_abort) {
+    report(ReportKind::kSlowMissedAbort, f, 0, nullptr, nullptr,
+           "slow-path transaction proceeded past an owned orec (stamp " +
+               std::to_string(stamp) + " >= snapshot " +
+               std::to_string(snapshot) +
+               ") — FG-TLE \xc2\xa7""4.1 requires self-abort on a "
+               "conflicting orec");
+  }
+}
+
+void CheckSession::on_fg_cs_close(const void* method, const void* lock_word,
+                                  std::uint64_t seq_after) {
+  const std::uint32_t f = self();
+  if (f >= kMaxFibers) return;
+  FgState& st = fg_[method];
+  if (st.cs_open && seq_after != st.holder_seq + 1) {
+    report(ReportKind::kSeqMonotonic, f, 0, nullptr, nullptr,
+           "epoch increment #2 stamped " + std::to_string(seq_after) +
+               " over holder epoch " + std::to_string(st.holder_seq) +
+               " — FG-TLE \xc2\xa7""4.2 requires global_seq to advance by "
+               "exactly one before release");
+  }
+  if ((seq_after & 1) != 0) {
+    report(ReportKind::kSeqParity, f, 0, nullptr, nullptr,
+           "post-release epoch " + std::to_string(seq_after) +
+               " is odd — FG-TLE \xc2\xa7""4.2 requires global_seq even "
+               "while the lock is free");
+  }
+  st.cs_open = false;
+  st.last_seq = seq_after;
+  fibers_[f].fence_pending = false;
+  bump_serial(f);
+  holder_closed_.insert(reinterpret_cast<std::uintptr_t>(lock_word));
+}
+
+void CheckSession::on_rw_holder_write(const void* method, bool flag_stored) {
+  const std::uint32_t f = self();
+  if (f >= kMaxFibers) return;
+  (void)method;
+  if (!flag_stored) {
+    report(ReportKind::kWriteFlagMissing, f, 0, nullptr, nullptr,
+           "lock holder wrote without first setting write_flag — RW-TLE "
+           "\xc2\xa7""3 requires the flag store to precede the holder's "
+           "first write so slow-path readers self-invalidate");
+  }
+}
+
+void CheckSession::on_rw_cs_close(const void* method,
+                                  const void* lock_word) {
+  const std::uint32_t f = self();
+  if (f >= kMaxFibers) return;
+  (void)method;
+  bump_serial(f);
+  holder_closed_.insert(reinterpret_cast<std::uintptr_t>(lock_word));
+}
+
+std::uint64_t CheckSession::last_serial(std::uint32_t tid) const {
+  return tid < kMaxFibers ? fibers_[tid].last_serial : 0;
+}
+
+std::string CheckSession::summary() const {
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "rtle check: %zu report(s)\n",
+                total_reports_);
+  out += buf;
+  for (const Report& r : reports_) {
+    std::snprintf(buf, sizeof(buf),
+                  "  [%s] fiber %u @ %llu cycles addr=%p pc=%p: ",
+                  to_string(r.kind), r.tid,
+                  static_cast<unsigned long long>(r.clock), r.addr, r.pc);
+    out += buf;
+    out += r.detail;
+    out += '\n';
+  }
+  if (total_reports_ > reports_.size()) {
+    std::snprintf(buf, sizeof(buf), "  ... %zu more suppressed\n",
+                  total_reports_ - reports_.size());
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace rtle::check

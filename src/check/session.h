@@ -1,0 +1,249 @@
+// CheckSession: the ambient dynamic-analysis session — a FastTrack-style
+// vector-clock race detector over shadow memory plus a TLE-protocol
+// invariant checker.
+//
+// Follows the sim::FaultPlanScope / trace::TraceSession pattern: a
+// CheckSession installs itself as the process-wide active session on
+// construction and restores the previous one on destruction; every
+// instrumented seam consults active_check() and short-circuits on nullptr.
+// All hooks are meta-level — they charge zero simulated cycles and touch no
+// simulated memory — so a checked run follows the *exact* schedule of an
+// unchecked one (trace exports are byte-identical; see check_test.cpp).
+//
+// Happens-before model (DESIGN.md §9). Each fiber carries a vector clock.
+// Ordering edges come from the mechanisms the paper relies on:
+//   * the lock — the release store publishes the holder's clock on the lock
+//     word's sync clock; acquirers join it (single-lock atomicity);
+//   * committed transactions — a commit joins and then publishes a global
+//     commit clock (hardware commits are serialization points in the
+//     emulated HTM: requester-wins conflict detection means no two
+//     conflicting live transactions survive to commit), plus the sync
+//     clocks of every metadata word the transaction subscribed to;
+//   * the orec protocol — orecs, the global sequence number, the RW-TLE
+//     write flag, seqlocks etc. are registered as *metadata*: plain stores
+//     and RMWs on them join+publish their per-word sync clock, plain loads
+//     join it. A lock holder stamping an orec therefore happens-after every
+//     slow-path transaction that committed against that orec, and every
+//     later-committing subscriber happens-after the stamp — exactly the
+//     §4.2 epoch argument, made checkable.
+// Speculative accesses (inside a hardware transaction or a NOrec-style
+// software transaction) are buffered per fiber and replayed against shadow
+// memory atomically at commit; aborted speculation is discarded, so doomed
+// readers never produce false reports.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace rtle::check {
+
+/// Everything the checker can complain about. Race reports come from the
+/// vector-clock detector; the rest are TLE-protocol invariants with a
+/// direct paper citation (see to_string()).
+enum class ReportKind : std::uint8_t {
+  kRace,             // conflicting accesses not ordered by lock/txn/orec
+  kSeqParity,        // FG-TLE §4.2: global_seq parity broken
+  kSeqMonotonic,     // FG-TLE §4.2: epoch not advancing by +1 / went back
+  kOrecRestamp,      // FG-TLE §4.2: orec stamped twice in one CS
+  kStaleStamp,       // FG-TLE §4.2: orec stamped with a non-current epoch
+  kMissingFence,     // FG-TLE §4.2: no store-load fence after orec stamp
+  kSlowMissedAbort,  // FG-TLE §4.1: slow path proceeded past an owned orec
+  kWriteFlagMissing, // RW-TLE §3: holder wrote before setting write_flag
+};
+const char* to_string(ReportKind k);
+
+struct Report {
+  ReportKind kind;
+  std::uint64_t clock;     // simulated cycles at detection
+  std::uint32_t tid;       // reporting fiber (scheduler pin)
+  std::uint32_t prior_tid; // other side of a race; 0 otherwise
+  const void* addr;        // address involved (race / orec / flag)
+  const void* pc;          // return address of the triggering seam, if any
+  std::string detail;      // names the violated invariant
+};
+
+struct CheckConfig {
+  /// Stop recording (but keep counting) after this many reports.
+  std::size_t max_reports = 64;
+  /// Abort the process from the destructor if any report was made. Set for
+  /// the RTLE_CHECK=1 environment session so violating tests/benches fail
+  /// loudly; off for explicit sessions that inspect reports().
+  bool die_on_report = false;
+};
+
+class CheckSession {
+ public:
+  /// Fibers are scheduler pins; the emulated HTM has 64 tx slots, so 64 is
+  /// the natural process-wide bound.
+  static constexpr std::uint32_t kMaxFibers = 64;
+
+  explicit CheckSession(CheckConfig cfg = {});
+  ~CheckSession();
+
+  CheckSession(const CheckSession&) = delete;
+  CheckSession& operator=(const CheckSession&) = delete;
+
+  // --- plain-access seams (mem/shim.cpp) ------------------------------
+  void on_plain_load(const void* addr, const void* pc);
+  void on_plain_store(const void* addr, const void* pc);
+  /// FAA and CAS (either outcome): an atomic RMW is a sync operation on its
+  /// own address in addition to being a (checked) write.
+  void on_plain_rmw(const void* addr, const void* pc);
+  void on_fence();
+
+  // --- transactional seams (htm/htm.cpp) ------------------------------
+  void on_tx_begin();
+  void on_tx_read(const void* addr, const void* pc);
+  void on_tx_write(const void* addr, const void* pc);
+  void on_tx_commit();
+  /// Fused store+commit (tx_store_and_commit): the store is a sync store
+  /// (seqlock bump), the commit applies the buffer.
+  void on_tx_fused_commit(const void* addr, const void* pc);
+  void on_tx_abort();
+
+  // --- lock seams (sync/lock.cpp) -------------------------------------
+  /// Registers the lock word as metadata; call before touching it.
+  void on_lock_word(const void* word);
+  void on_lock_released(const void* word);
+
+  // --- software-transaction window (stm/) ------------------------------
+  void on_stm_begin();
+  /// A successful snapshot (begin or validate-extend): the linearization
+  /// point of an invisible reader. Assigns the provisional serial used if
+  /// the transaction commits read-only.
+  void on_stm_snapshot();
+  void on_stm_commit(bool read_only);
+  void on_stm_abort();
+
+  // --- metadata / suppression registry ---------------------------------
+  /// Mark [addr, addr+bytes) as synchronization metadata: excluded from
+  /// race checking, carrying per-word sync clocks instead.
+  void register_meta(const void* addr, std::size_t bytes);
+  /// Exclude [addr, addr+bytes) from the checker entirely (intentional
+  /// benign races, e.g. lock-as-barrier polling in tests).
+  void add_ignore_range(const void* addr, std::size_t bytes);
+
+  // --- FG-TLE protocol invariants (tle/fgtle.cpp) ----------------------
+  /// Epoch increment #1: global_seq was `seq_before`, holder stamped
+  /// `holder_seq`. Checks +1 increment, odd parity, monotonicity.
+  void on_fg_cs_open(const void* method, std::uint64_t seq_before,
+                     std::uint64_t holder_seq);
+  /// Holder stamped `orec` with `stamp` (previous value `prev`). Checks
+  /// current-epoch stamping and at-most-once-per-CS; arms the store-load
+  /// fence obligation cleared by on_fence().
+  void on_fg_orec_stamp(const void* method, const void* orec,
+                        std::uint64_t stamp, std::uint64_t prev);
+  /// Slow-path barrier observed `stamp` against its snapshot and decided
+  /// `will_abort`. Checks the §4.1 self-abort rule.
+  void on_fg_slow_check(const void* method, std::uint64_t stamp,
+                        std::uint64_t snapshot, bool will_abort);
+  /// Epoch increment #2 (just before release): checks +1/parity and
+  /// assigns the holder's serialization point (slow-path transactions may
+  /// still commit between here and the release store).
+  void on_fg_cs_close(const void* method, const void* lock_word,
+                      std::uint64_t seq_after);
+
+  // --- RW-TLE protocol invariants (tle/rwtle.cpp) ----------------------
+  /// Holder performed its first write; `flag_stored` says whether the
+  /// write_flag store preceded it (RW-TLE §3).
+  void on_rw_holder_write(const void* method, bool flag_stored);
+  /// write_flag cleared at CS end: the holder's serialization point.
+  void on_rw_cs_close(const void* method, const void* lock_word);
+
+  // --- results ----------------------------------------------------------
+  std::size_t report_count() const { return total_reports_; }
+  const std::vector<Report>& reports() const { return reports_; }
+  /// Serial number of the last committed critical section of `tid`, for
+  /// the sequential-replay oracle (0 = none yet).
+  std::uint64_t last_serial(std::uint32_t tid) const;
+  /// Human-readable digest of all recorded reports.
+  std::string summary() const;
+
+ private:
+  using VC = std::array<std::uint64_t, kMaxFibers>;
+
+  struct Shadow {
+    std::uint64_t write_clock = 0;
+    std::uint32_t write_tid = kMaxFibers;      // kMaxFibers = none
+    std::uint64_t read_clock = 0;
+    std::uint32_t read_tid = kMaxFibers;       // exclusive reader epoch
+    std::unique_ptr<VC> read_vc;               // promoted on shared reads
+  };
+
+  enum class Op : std::uint8_t { kLoad, kStore, kRmw, kSyncStore };
+  struct BufEntry {
+    std::uintptr_t addr;
+    const void* pc;
+    Op op;
+  };
+
+  struct Fiber {
+    VC vc{};
+    std::vector<BufEntry> buf;
+    std::vector<std::size_t> marks;  // nesting (STM window + inner HTM)
+    std::uint32_t spec_depth = 0;
+    bool fence_pending = false;
+    const void* fence_orec = nullptr;
+    std::uint64_t provisional_serial = 0;
+    std::uint64_t last_serial = 0;
+  };
+
+  struct FgState {
+    bool cs_open = false;
+    std::uint64_t holder_seq = 0;
+    std::uint64_t last_seq = 0;
+    std::unordered_set<const void*> stamped;
+  };
+
+  std::uint32_t self() const;     // current pin, or kMaxFibers if none
+  Fiber& fiber(std::uint32_t f) { return fibers_[f]; }
+  bool is_meta(std::uintptr_t a) const;
+  bool is_ignored(std::uintptr_t a) const;
+  VC& sync_clock(std::uintptr_t a);
+  void join(VC& dst, const VC& src);
+  void publish(std::uint32_t f, std::uintptr_t a);  // sync ⊔= vc, no tick
+
+  void check_fence_obligation(std::uint32_t f, const void* pc);
+  void check_read(std::uint32_t f, std::uintptr_t a, const void* pc);
+  void check_write(std::uint32_t f, std::uintptr_t a, const void* pc);
+  void plain_access(const void* addr, const void* pc, Op op);
+  void apply_commit(std::uint32_t f, bool stm_read_only);
+  void bump_serial(std::uint32_t f);
+
+  void report(ReportKind k, std::uint32_t tid, std::uint32_t prior,
+              const void* addr, const void* pc, std::string detail);
+
+  CheckConfig cfg_;
+  std::vector<Fiber> fibers_;
+  VC commit_vc_{};
+  std::unordered_map<std::uintptr_t, VC> sync_;
+  std::unordered_map<std::uintptr_t, Shadow> shadow_;
+  std::map<std::uintptr_t, std::uintptr_t> meta_;    // start -> end
+  std::map<std::uintptr_t, std::uintptr_t> ignore_;  // start -> end
+  std::unordered_set<std::uintptr_t> raced_;         // dedupe per address
+  std::unordered_map<const void*, FgState> fg_;
+  std::unordered_set<std::uintptr_t> holder_closed_; // lock words
+  std::uint64_t serial_ = 0;
+  std::vector<Report> reports_;
+  std::size_t total_reports_ = 0;
+  CheckSession* prev_;
+};
+
+/// The installed session, or nullptr (checking off — the default).
+CheckSession* active_check();
+
+/// True when RTLE_CHECK=1/ON is set: SimScope installs an environment
+/// session (with die_on_report) unless one is already active.
+bool env_check_enabled();
+
+/// Convenience: forward to the active session, no-op without one.
+void ignore_range(const void* addr, std::size_t bytes);
+void register_meta(const void* addr, std::size_t bytes);
+
+}  // namespace rtle::check

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "check/session.h"
 #include "sim/faultplan.h"
 
 namespace rtle::htm {
@@ -62,6 +63,7 @@ void HtmDomain::begin(Tx& tx) {
   slots_[tx.id_] = &tx;
   ++live_count_;
   sched_->advance(mem_->cost().htm_begin);
+  if (check::CheckSession* chk = check::active_check()) chk->on_tx_begin();
 }
 
 void HtmDomain::commit(Tx& tx) {
@@ -81,6 +83,7 @@ void HtmDomain::commit(Tx& tx) {
   --live_count_;
   tx.live_ = false;
   tx.depth_ = 0;
+  if (check::CheckSession* chk = check::active_check()) chk->on_tx_commit();
 }
 
 void HtmDomain::abort_self(Tx& tx, AbortCause cause) {
@@ -100,6 +103,7 @@ void HtmDomain::finish_abort(Tx& tx) {
   aborts_[static_cast<std::size_t>(tx.doom_cause_)] += 1;
   tx.live_ = false;
   tx.depth_ = 0;
+  if (check::CheckSession* chk = check::active_check()) chk->on_tx_abort();
 }
 
 void HtmDomain::rollback(Tx& tx) {
@@ -190,6 +194,9 @@ std::uint64_t HtmDomain::tx_load(Tx& tx, const std::uint64_t* addr) {
     w.readers |= bit(tx.id_);
     tx.rlines_.push_back(line);
   }
+  if (check::CheckSession* chk = check::active_check()) {
+    chk->on_tx_read(addr, __builtin_return_address(0));
+  }
   return *addr;
 }
 
@@ -220,6 +227,9 @@ void HtmDomain::tx_store(Tx& tx, std::uint64_t* addr, std::uint64_t value) {
   }
   tx.undo_.push_back({addr, *addr});
   *addr = value;
+  if (check::CheckSession* chk = check::active_check()) {
+    chk->on_tx_write(addr, __builtin_return_address(0));
+  }
 }
 
 void HtmDomain::tx_store_and_commit(Tx& tx, std::uint64_t* addr,
@@ -248,6 +258,9 @@ void HtmDomain::tx_store_and_commit(Tx& tx, std::uint64_t* addr,
   --live_count_;
   tx.live_ = false;
   tx.depth_ = 0;
+  if (check::CheckSession* chk = check::active_check()) {
+    chk->on_tx_fused_commit(addr, __builtin_return_address(0));
+  }
 }
 
 void HtmDomain::observe_plain_load(std::uint32_t self, const void* addr) {

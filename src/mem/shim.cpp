@@ -1,5 +1,6 @@
 #include "mem/shim.h"
 
+#include "check/session.h"
 #include "sim/env.h"
 
 namespace rtle::mem {
@@ -8,6 +9,9 @@ std::uint64_t plain_load(const std::uint64_t* addr, std::uint32_t self_tx) {
   SimScope& s = *current_sim();
   s.sched.advance(s.mem.cost_load(s.sched.current_core(), line_of(addr)));
   s.htm.observe_plain_load(self_tx, addr);
+  if (check::CheckSession* chk = check::active_check()) {
+    chk->on_plain_load(addr, __builtin_return_address(0));
+  }
   return *addr;
 }
 
@@ -16,6 +20,9 @@ void plain_store(std::uint64_t* addr, std::uint64_t value,
   SimScope& s = *current_sim();
   s.sched.advance(s.mem.cost_store(s.sched.current_core(), line_of(addr)));
   s.htm.observe_plain_store(self_tx, addr);
+  if (check::CheckSession* chk = check::active_check()) {
+    chk->on_plain_store(addr, __builtin_return_address(0));
+  }
   *addr = value;
 }
 
@@ -25,6 +32,9 @@ bool plain_cas(std::uint64_t* addr, std::uint64_t expect,
   s.sched.advance(s.mem.cost_store(s.sched.current_core(), line_of(addr)) +
                   s.mem.cost().cas);
   s.htm.observe_plain_store(self_tx, addr);
+  if (check::CheckSession* chk = check::active_check()) {
+    chk->on_plain_rmw(addr, __builtin_return_address(0));
+  }
   if (*addr != expect) return false;
   *addr = desired;
   return true;
@@ -36,6 +46,9 @@ std::uint64_t plain_faa(std::uint64_t* addr, std::uint64_t delta,
   s.sched.advance(s.mem.cost_store(s.sched.current_core(), line_of(addr)) +
                   s.mem.cost().cas);
   s.htm.observe_plain_store(self_tx, addr);
+  if (check::CheckSession* chk = check::active_check()) {
+    chk->on_plain_rmw(addr, __builtin_return_address(0));
+  }
   const std::uint64_t old = *addr;
   *addr = old + delta;
   return old;
@@ -44,6 +57,7 @@ std::uint64_t plain_faa(std::uint64_t* addr, std::uint64_t delta,
 void fence() {
   SimScope& s = *current_sim();
   s.sched.advance(s.mem.cost().fence);
+  if (check::CheckSession* chk = check::active_check()) chk->on_fence();
 }
 
 void compute(std::uint64_t cycles) { cur_sched().advance(cycles); }

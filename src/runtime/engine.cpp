@@ -106,8 +106,8 @@ void ElidingMethod::execute(ThreadCtx& th, CsBody cs) {
       }
       health_.note_abort(stats_, probe);
       ++trials;
-      RetryDecision d = policy_->on_fast_abort(th, trials, max_trials_,
-                                               e.cause);
+      const RetryDecision d = policy_->on_fast_abort(th, trials, max_trials_,
+                                                     e.cause);
       if (d.give_up) give_up = true;
       // A degraded-mode probe gets exactly one fast attempt.
       if (probe) give_up = true;

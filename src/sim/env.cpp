@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "check/session.h"
+
 namespace rtle {
 
 namespace {
@@ -13,9 +15,15 @@ SimScope::SimScope(const sim::MachineConfig& mc)
     : sched(mc), mem(mc.cost), htm(mc.htm, &mem, &sched), prev_(g_scope) {
   g_scope = this;
   sim::set_current_scheduler(&sched);
+  if (check::env_check_enabled() && check::active_check() == nullptr) {
+    check::CheckConfig cc;
+    cc.die_on_report = true;
+    env_check_ = std::make_unique<check::CheckSession>(cc);
+  }
 }
 
 SimScope::~SimScope() {
+  env_check_.reset();  // uninstall (and die on violations) first
   g_scope = prev_;
   sim::set_current_scheduler(prev_ != nullptr ? &prev_->sched : nullptr);
 }

@@ -6,12 +6,18 @@
 // data-structure accesses) finds the machine through the ambient accessors.
 #pragma once
 
+#include <memory>
+
 #include "htm/htm.h"
 #include "mem/memmodel.h"
 #include "sim/config.h"
 #include "sim/sched.h"
 
 namespace rtle {
+
+namespace check {
+class CheckSession;
+}  // namespace check
 
 class SimScope {
  public:
@@ -27,6 +33,10 @@ class SimScope {
 
  private:
   SimScope* prev_;  // scopes nest (outer restored on destruction)
+  // RTLE_CHECK=1: every simulated machine gets its own checking session
+  // (unless one is already installed, e.g. by a test inspecting reports);
+  // its destructor aborts the process on any invariant violation.
+  std::unique_ptr<check::CheckSession> env_check_;
 };
 
 /// Ambient accessors (valid while a SimScope is alive).

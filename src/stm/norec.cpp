@@ -1,7 +1,9 @@
 #include "stm/norec.h"
 
+#include "check/session.h"
 #include "mem/shim.h"
 #include "sim/env.h"
+#include "trace/session.h"
 
 namespace rtle::stm {
 
@@ -12,6 +14,9 @@ using runtime::TxContext;
 
 void NOrecMethod::prepare(std::uint32_t nthreads) {
   per_.assign(nthreads, PerThread{});
+  if (check::CheckSession* chk = check::active_check()) {
+    chk->register_meta(&seqlock_, sizeof(seqlock_));
+  }
 }
 
 std::uint64_t NOrecMethod::wait_even_clock() {
@@ -38,6 +43,11 @@ void NOrecMethod::validate_extend(ThreadCtx& th) {
     }
     if (mem::plain_load(&seqlock_) == t) {
       p.snapshot = t;
+      // Invisible readers linearize at their last successful validation —
+      // tell the checker's replay oracle.
+      if (check::CheckSession* chk = check::active_check()) {
+        chk->on_stm_snapshot();
+      }
       return;
     }
   }
@@ -98,12 +108,19 @@ void NOrecMethod::execute(ThreadCtx& th, CsBody cs) { execute_sw(th, cs); }
 
 void NOrecMethod::execute_sw(ThreadCtx& th, CsBody cs) {
   PerThread& p = per(th);
+  trace::TraceSession* tr = trace::active_trace();
+  const std::uint64_t op_start = tr != nullptr ? cur_sched().now() : 0;
   std::uint64_t backoff = cur_mem().cost().backoff_base;
   for (;;) {
     p.rset.clear();
     p.wset.clear();
     p.snapshot = wait_even_clock();
     stats_.stm_begins += 1;
+    if (tr != nullptr) tr->txn_begin(trace::TxPath::kStm);
+    if (check::CheckSession* chk = check::active_check()) {
+      chk->on_stm_begin();
+      chk->on_stm_snapshot();
+    }
     sw_window_open();
     try {
       TxContext ctx(Path::kStm, th, &barriers_);
@@ -114,10 +131,24 @@ void NOrecMethod::execute_sw(ThreadCtx& th, CsBody cs) {
         commit_writer(th);
         stats_.commit_stm_lock += 1;
       }
+      if (check::CheckSession* chk = check::active_check()) {
+        chk->on_stm_commit(/*read_only=*/p.wset.empty());
+      }
+      if (tr != nullptr) {
+        tr->txn_commit(trace::TxPath::kStm, op_start);
+        stats_.latency_samples += 1;
+      }
       sw_window_close();
       stats_.ops += 1;
       return;
     } catch (const StmAbort&) {
+      if (check::CheckSession* chk = check::active_check()) {
+        chk->on_stm_abort();
+      }
+      if (tr != nullptr) {
+        tr->txn_abort(trace::TxPath::kStm,
+                      static_cast<std::uint64_t>(htm::AbortCause::kConflict));
+      }
       sw_window_close();
       stats_.note_abort(/*slow=*/true, htm::AbortCause::kConflict);
       // Randomized backoff so colliding transactions desynchronize.

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 
+#include "check/session.h"
 #include "mem/shim.h"
 #include "sim/env.h"
+#include "trace/session.h"
 
 namespace rtle::stm {
 
@@ -12,13 +14,24 @@ using runtime::Path;
 using runtime::ThreadCtx;
 using runtime::TxContext;
 
+void RHNOrecMethod::prepare(std::uint32_t nthreads) {
+  NOrecMethod::prepare(nthreads);
+  if (check::CheckSession* chk = check::active_check()) {
+    chk->register_meta(&commit_lock_, sizeof(commit_lock_));
+    chk->register_meta(&sw_count_, sizeof(sw_count_));
+  }
+}
+
 bool RHNOrecMethod::try_htm_phase(ThreadCtx& th, CsBody cs) {
   auto& htm = cur_htm();
   const auto& cost = cur_mem().cost();
+  trace::TraceSession* tr = trace::active_trace();
+  const std::uint64_t op_start = tr != nullptr ? cur_sched().now() : 0;
   for (int trial = 0; trial < kHtmTrials; ++trial) {
     // Don't bother starting while a commit-lock holder is stalling everyone.
     while (mem::plain_load(&commit_lock_) != 0) mem::compute(cost.spin_iter);
     try {
+      if (tr != nullptr) tr->txn_begin(trace::TxPath::kFast);
       htm.begin(th.tx);
       if (htm.tx_load(th.tx, &commit_lock_) != 0) {
         htm.abort_self(th.tx, htm::AbortCause::kLockBusy);
@@ -41,9 +54,17 @@ bool RHNOrecMethod::try_htm_phase(ThreadCtx& th, CsBody cs) {
         stats_.rhn_htm_fast += 1;
       }
       stats_.ops += 1;
+      if (tr != nullptr) {
+        tr->txn_commit(trace::TxPath::kFast, op_start);
+        stats_.latency_samples += 1;
+      }
       return true;
     } catch (const htm::HtmAbort& e) {
       stats_.note_abort(/*slow=*/false, e.cause);
+      if (tr != nullptr) {
+        tr->txn_abort(trace::TxPath::kFast,
+                      static_cast<std::uint64_t>(e.cause));
+      }
       // Persistent aborts (no retry hint): go to the software path now.
       if (e.cause == htm::AbortCause::kUnsupported ||
           e.cause == htm::AbortCause::kCapacity) {
@@ -119,6 +140,8 @@ void RHNOrecMethod::execute(ThreadCtx& th, CsBody cs) {
 
   // Software path.
   PerThread& p = per(th);
+  trace::TraceSession* tr = trace::active_trace();
+  const std::uint64_t op_start = tr != nullptr ? cur_sched().now() : 0;
   mem::plain_faa(&sw_count_, 1);
   sw_window_open();
   std::uint64_t backoff = cur_mem().cost().backoff_base;
@@ -127,15 +150,34 @@ void RHNOrecMethod::execute(ThreadCtx& th, CsBody cs) {
     p.wset.clear();
     p.snapshot = wait_even_clock();
     stats_.stm_begins += 1;
+    if (tr != nullptr) tr->txn_begin(trace::TxPath::kStm);
+    if (check::CheckSession* chk = check::active_check()) {
+      chk->on_stm_begin();
+      chk->on_stm_snapshot();
+    }
     try {
       TxContext ctx(Path::kStm, th, &barriers_);
       cs(ctx);
       sw_commit(th);
+      if (check::CheckSession* chk = check::active_check()) {
+        chk->on_stm_commit(/*read_only=*/p.wset.empty());
+      }
+      if (tr != nullptr) {
+        tr->txn_commit(trace::TxPath::kStm, op_start);
+        stats_.latency_samples += 1;
+      }
       sw_window_close();
       mem::plain_faa(&sw_count_, std::uint64_t(-1));
       stats_.ops += 1;
       return;
     } catch (const StmAbort&) {
+      if (check::CheckSession* chk = check::active_check()) {
+        chk->on_stm_abort();
+      }
+      if (tr != nullptr) {
+        tr->txn_abort(trace::TxPath::kStm,
+                      static_cast<std::uint64_t>(htm::AbortCause::kConflict));
+      }
       stats_.note_abort(/*slow=*/true, htm::AbortCause::kConflict);
       mem::compute(th.rng.below(backoff) + 1);
       backoff = std::min<std::uint64_t>(backoff * 2,

@@ -28,6 +28,7 @@ class RHNOrecMethod final : public NOrecMethod {
   static constexpr int kCommitTrials = 5;  ///< reduced-HTx commit attempts
 
   std::string name() const override { return "RHNOrec"; }
+  void prepare(std::uint32_t nthreads) override;
   void execute(runtime::ThreadCtx& th, runtime::CsBody cs) override;
 
  private:

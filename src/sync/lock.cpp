@@ -2,15 +2,24 @@
 
 #include <algorithm>
 
+#include "check/session.h"
 #include "mem/shim.h"
 #include "sim/env.h"
 #include "trace/session.h"
 
 namespace rtle::sync {
 
-bool TTSLock::probe() const { return mem::plain_load(&word_) != 0; }
+bool TTSLock::probe() const {
+  if (check::CheckSession* chk = check::active_check()) {
+    chk->on_lock_word(&word_);
+  }
+  return mem::plain_load(&word_) != 0;
+}
 
 void TTSLock::acquire() {
+  if (check::CheckSession* chk = check::active_check()) {
+    chk->on_lock_word(&word_);
+  }
   trace::TraceSession* tr = trace::active_trace();
   const std::uint64_t wait_start = tr != nullptr ? cur_sched().now() : 0;
   const auto& cost = cur_mem().cost();
@@ -36,10 +45,19 @@ void TTSLock::release() {
     stats_->cycles_under_lock += cur_sched().now() - acquired_at_;
   }
   if (trace::TraceSession* tr = trace::active_trace()) tr->lock_released();
+  if (check::CheckSession* chk = check::active_check()) {
+    chk->on_lock_word(&word_);
+  }
   mem::plain_store(&word_, 0);
+  if (check::CheckSession* chk = check::active_check()) {
+    chk->on_lock_released(&word_);
+  }
 }
 
 void TTSLock::spin_while_held() const {
+  if (check::CheckSession* chk = check::active_check()) {
+    chk->on_lock_word(&word_);
+  }
   const auto& cost = cur_mem().cost();
   while (mem::plain_load(&word_) != 0) {
     mem::compute(cost.spin_iter);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "check/session.h"
 #include "mem/shim.h"
 #include "sim/env.h"
 #include "trace/session.h"
@@ -19,6 +20,16 @@ AdaptiveFgTle::AdaptiveFgTle(std::uint32_t initial_orecs)
 AdaptiveFgTle::AdaptiveFgTle(std::uint32_t initial_orecs, Policy policy)
     : FgTleMethod(initial_orecs), policy_(policy),
       orec_count_word_(initial_orecs) {}
+
+void AdaptiveFgTle::prepare(std::uint32_t nthreads) {
+  FgTleMethod::prepare(nthreads);
+  if (check::CheckSession* chk = check::active_check()) {
+    // The adaptation words slow-path transactions subscribe to are sync
+    // metadata, like the orecs themselves.
+    chk->register_meta(&orec_count_word_, sizeof(orec_count_word_));
+    chk->register_meta(&instr_word_, sizeof(instr_word_));
+  }
+}
 
 bool AdaptiveFgTle::slow_htm_attempt(ThreadCtx& th, CsBody cs) {
   if (mem::plain_load(&instr_word_) == 0) {

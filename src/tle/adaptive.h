@@ -43,6 +43,7 @@ class AdaptiveFgTle final : public FgTleMethod {
   AdaptiveFgTle(std::uint32_t initial_orecs, Policy policy);
 
   std::string name() const override { return "A-FG-TLE"; }
+  void prepare(std::uint32_t nthreads) override;
 
   bool instrumentation_enabled() const { return instr_word_ != 0; }
 

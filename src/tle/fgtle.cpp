@@ -1,5 +1,6 @@
 #include "tle/fgtle.h"
 
+#include "check/session.h"
 #include "mem/shim.h"
 #include "sim/env.h"
 #include "trace/session.h"
@@ -31,6 +32,19 @@ std::string FgTleMethod::name() const {
 
 void FgTleMethod::prepare(std::uint32_t nthreads) {
   local_seq_.assign(nthreads, 0);
+  register_check_meta();
+}
+
+void FgTleMethod::register_check_meta() {
+  check::CheckSession* chk = check::active_check();
+  if (chk == nullptr) return;
+  if (!r_orecs_.empty()) {
+    chk->register_meta(r_orecs_.data(),
+                       r_orecs_.size() * sizeof(std::uint64_t));
+    chk->register_meta(w_orecs_.data(),
+                       w_orecs_.size() * sizeof(std::uint64_t));
+  }
+  chk->register_meta(&global_seq_, sizeof(global_seq_));
 }
 
 std::uint64_t FgTleMethod::orec_index(const void* addr) const {
@@ -41,6 +55,7 @@ void FgTleMethod::resize_orecs(std::uint32_t n) {
   n_ = n;
   r_orecs_.assign(n, 0);
   w_orecs_.assign(n, 0);
+  register_check_meta();
 }
 
 bool FgTleMethod::slow_htm_attempt(ThreadCtx& th, CsBody cs) {
@@ -72,8 +87,12 @@ void FgTleMethod::lock_cs(ThreadCtx& th, CsBody cs) {
   on_lock_acquired(th);
   // Epoch increment #1 (right after acquire): our orec stamps become
   // "owned" relative to every later snapshot.
-  holder_seq_ = mem::plain_load(&global_seq_) + 1;
+  const std::uint64_t seq_before = mem::plain_load(&global_seq_);
+  holder_seq_ = seq_before + 1;
   mem::plain_store(&global_seq_, holder_seq_);
+  if (check::CheckSession* chk = check::active_check()) {
+    chk->on_fg_cs_open(this, seq_before, holder_seq_);
+  }
   uniq_r_ = 0;
   uniq_w_ = 0;
 
@@ -83,6 +102,9 @@ void FgTleMethod::lock_cs(ThreadCtx& th, CsBody cs) {
   // Epoch increment #2 (just before release): implicitly releases every
   // orec without touching them — slow-path transactions keep running.
   mem::plain_store(&global_seq_, holder_seq_ + 1);
+  if (check::CheckSession* chk = check::active_check()) {
+    chk->on_fg_cs_close(this, lock_.word(), holder_seq_ + 1);
+  }
   on_lock_released(th, uniq_r_, uniq_w_);
 }
 
@@ -94,7 +116,13 @@ std::uint64_t FgTleMethod::Barriers::read(TxContext& ctx,
     ctx.compute(kHashCycles);
     const std::uint64_t idx = m.orec_index(addr);
     auto& htm = cur_htm();
-    if (htm.tx_load(th.tx, &m.w_orecs_[idx]) >= m.local_seq_[th.tid]) {
+    const std::uint64_t stamp = htm.tx_load(th.tx, &m.w_orecs_[idx]);
+    const bool conflict = stamp >= m.local_seq_[th.tid];
+    const bool do_abort = conflict && !m.bug_skip_slow_abort_;
+    if (check::CheckSession* chk = check::active_check()) {
+      chk->on_fg_slow_check(&m, stamp, m.local_seq_[th.tid], do_abort);
+    }
+    if (do_abort) {
       htm.abort_self(th.tx, htm::AbortCause::kExplicit);
     }
     return htm.tx_load(th.tx, addr);
@@ -106,10 +134,16 @@ std::uint64_t FgTleMethod::Barriers::read(TxContext& ctx,
     const std::uint64_t idx = m.orec_index(addr);
     const std::uint64_t prev = mem::plain_load(&m.r_orecs_[idx]);
     if (prev < m.holder_seq_) {
-      mem::plain_store(&m.r_orecs_[idx], m.holder_seq_);
+      const std::uint64_t stamp =
+          m.bug_stale_stamp_ ? (m.holder_seq_ >= 2 ? m.holder_seq_ - 2 : 0)
+                             : m.holder_seq_;
+      mem::plain_store(&m.r_orecs_[idx], stamp);
+      if (check::CheckSession* chk = check::active_check()) {
+        chk->on_fg_orec_stamp(&m, &m.r_orecs_[idx], stamp, prev);
+      }
       // Store-load fence (§4.2): keep a slow-path writer from committing
       // between our orec acquisition and our data access.
-      mem::fence();
+      if (!m.bug_skip_fence_) mem::fence();
       m.uniq_r_ += 1;
       if (trace::TraceSession* tr = trace::active_trace()) {
         tr->emit(prev != 0 ? trace::EventType::kOrecSteal
@@ -129,8 +163,20 @@ void FgTleMethod::Barriers::write(TxContext& ctx, std::uint64_t* addr,
     ctx.compute(kHashCycles);
     const std::uint64_t idx = m.orec_index(addr);
     auto& htm = cur_htm();
-    if (htm.tx_load(th.tx, &m.r_orecs_[idx]) >= m.local_seq_[th.tid] ||
-        htm.tx_load(th.tx, &m.w_orecs_[idx]) >= m.local_seq_[th.tid]) {
+    const std::uint64_t snap = m.local_seq_[th.tid];
+    std::uint64_t stamp = htm.tx_load(th.tx, &m.r_orecs_[idx]);
+    bool conflict = stamp >= snap;
+    if (!conflict) {
+      // Same short-circuit as the unchecked `a >= s || b >= s`: the write
+      // orec is only loaded when the read orec is clean.
+      stamp = htm.tx_load(th.tx, &m.w_orecs_[idx]);
+      conflict = stamp >= snap;
+    }
+    const bool do_abort = conflict && !m.bug_skip_slow_abort_;
+    if (check::CheckSession* chk = check::active_check()) {
+      chk->on_fg_slow_check(&m, stamp, snap, do_abort);
+    }
+    if (do_abort) {
       htm.abort_self(th.tx, htm::AbortCause::kExplicit);
     }
     htm.tx_store(th.tx, addr, value);
@@ -141,8 +187,14 @@ void FgTleMethod::Barriers::write(TxContext& ctx, std::uint64_t* addr,
     const std::uint64_t idx = m.orec_index(addr);
     const std::uint64_t prev = mem::plain_load(&m.w_orecs_[idx]);
     if (prev < m.holder_seq_) {
-      mem::plain_store(&m.w_orecs_[idx], m.holder_seq_);
-      mem::fence();
+      const std::uint64_t stamp =
+          m.bug_stale_stamp_ ? (m.holder_seq_ >= 2 ? m.holder_seq_ - 2 : 0)
+                             : m.holder_seq_;
+      mem::plain_store(&m.w_orecs_[idx], stamp);
+      if (check::CheckSession* chk = check::active_check()) {
+        chk->on_fg_orec_stamp(&m, &m.w_orecs_[idx], stamp, prev);
+      }
+      if (!m.bug_skip_fence_) mem::fence();
       m.uniq_w_ += 1;
       if (trace::TraceSession* tr = trace::active_trace()) {
         tr->emit(prev != 0 ? trace::EventType::kOrecSteal

@@ -35,6 +35,26 @@ class FgTleMethod : public runtime::ElidingMethod {
 
   std::uint32_t norecs() const { return n_; }
 
+  /// Seeded protocol bugs for rtle::check's negative tests (check_test.cpp).
+  /// All default to false; with every field false the method's behavior —
+  /// including its simulated schedule — is bit-identical to the unmutated
+  /// one (the flags only gate work that would otherwise always happen).
+  struct SeededBugs {
+    /// Skip the §4.2 store-load fence after stamping an orec.
+    bool skip_holder_fence = false;
+    /// Stamp orecs with holder_seq - 2 (the previous holder's epoch)
+    /// instead of the current one.
+    bool stamp_stale_epoch = false;
+    /// Slow path: observe a conflicting orec but keep running (§4.1
+    /// self-abort skipped).
+    bool skip_slow_orec_abort = false;
+  };
+  void seed_bugs(const SeededBugs& b) {
+    bug_skip_fence_ = b.skip_holder_fence;
+    bug_stale_stamp_ = b.stamp_stale_epoch;
+    bug_skip_slow_abort_ = b.skip_slow_orec_abort;
+  }
+
  protected:
   bool has_slow_path() const override { return true; }
   bool slow_htm_attempt(runtime::ThreadCtx& th, runtime::CsBody cs) override;
@@ -65,8 +85,19 @@ class FgTleMethod : public runtime::ElidingMethod {
 
   void resize_orecs(std::uint32_t n);  // only valid while holding the lock
 
+  /// Register the orec arrays and global_seq as sync metadata with the
+  /// active CheckSession (no-op without one). Idempotent; re-run after
+  /// resize_orecs.
+  void register_check_meta();
+
   std::uint32_t n_;
   bool lazy_subscription_;
+  // Seeded-bug hooks (see SeededBugs); packed into existing padding so the
+  // method's heap layout — and thus the simulated cache-line geometry — is
+  // unchanged.
+  bool bug_skip_fence_ = false;
+  bool bug_stale_stamp_ = false;
+  bool bug_skip_slow_abort_ = false;
   std::vector<std::uint64_t> r_orecs_;
   std::vector<std::uint64_t> w_orecs_;
   alignas(64) std::uint64_t global_seq_ = 0;

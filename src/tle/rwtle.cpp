@@ -1,5 +1,6 @@
 #include "tle/rwtle.h"
 
+#include "check/session.h"
 #include "mem/shim.h"
 #include "sim/env.h"
 #include "trace/session.h"
@@ -10,6 +11,12 @@ using runtime::CsBody;
 using runtime::Path;
 using runtime::ThreadCtx;
 using runtime::TxContext;
+
+void RwTleMethod::prepare(std::uint32_t nthreads) {
+  if (check::CheckSession* chk = check::active_check()) {
+    chk->register_meta(&write_flag_, sizeof(write_flag_));
+  }
+}
 
 bool RwTleMethod::slow_htm_attempt(ThreadCtx& th, CsBody cs) {
   auto& htm = cur_htm();
@@ -41,6 +48,9 @@ void RwTleMethod::lock_cs(ThreadCtx& th, CsBody cs) {
   // semantics): the store dooms slow-path subscribers, pushing them back to
   // the fast path eagerly now that the lock is about to be free.
   mem::plain_store(&write_flag_, 0);
+  if (check::CheckSession* chk = check::active_check()) {
+    chk->on_rw_cs_close(this, lock_.word());
+  }
 }
 
 std::uint64_t RwTleMethod::Barriers::read(TxContext& ctx,
@@ -63,7 +73,12 @@ void RwTleMethod::Barriers::write(TxContext& ctx, std::uint64_t* addr,
   // store (paper §3).
   if (!m_->holder_wrote_) {
     m_->holder_wrote_ = true;
-    mem::plain_store(&m_->write_flag_, 1);
+    if (!m_->bug_skip_write_flag_) {
+      mem::plain_store(&m_->write_flag_, 1);
+    }
+    if (check::CheckSession* chk = check::active_check()) {
+      chk->on_rw_holder_write(m_, !m_->bug_skip_write_flag_);
+    }
     if (trace::TraceSession* tr = trace::active_trace()) {
       tr->emit(trace::EventType::kWriteFlagSet);
     }

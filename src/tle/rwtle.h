@@ -29,6 +29,14 @@ class RwTleMethod final : public runtime::ElidingMethod {
     return lazy_subscription_ ? "RW-TLE-lazy" : "RW-TLE";
   }
 
+  void prepare(std::uint32_t nthreads) override;
+
+  /// Seeded protocol bug for rtle::check's negative tests: the holder
+  /// "forgets" to set write_flag before its first write (RW-TLE §3). False
+  /// by default, in which case behavior is bit-identical to the unmutated
+  /// method.
+  void seed_skip_write_flag(bool on) { bug_skip_write_flag_ = on; }
+
  protected:
   bool has_slow_path() const override { return true; }
   bool slow_htm_attempt(runtime::ThreadCtx& th, runtime::CsBody cs) override;
@@ -50,6 +58,7 @@ class RwTleMethod final : public runtime::ElidingMethod {
   alignas(64) std::uint64_t write_flag_ = 0;
   bool lazy_subscription_;
   bool holder_wrote_ = false;  // at most one holder at a time
+  bool bug_skip_write_flag_ = false;  // fits existing padding: layout intact
   Barriers barriers_;
 };
 

@@ -67,6 +67,7 @@ enum class TxPath : std::uint16_t {
   kFast = 0,  ///< uninstrumented HTM fast path
   kSlow = 1,  ///< instrumented HTM slow path (refined TLE)
   kLock = 2,  ///< pessimistic execution under the lock
+  kStm = 3,   ///< software transaction (NOrec / RHNOrec software path)
 };
 
 const char* to_string(TxPath p);

@@ -36,6 +36,7 @@ const char* to_string(TxPath p) {
     case TxPath::kFast: return "fast";
     case TxPath::kSlow: return "slow";
     case TxPath::kLock: return "lock";
+    case TxPath::kStm: return "stm";
   }
   return "?";
 }

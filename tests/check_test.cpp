@@ -1,0 +1,440 @@
+// rtle::check — race detector + TLE-protocol invariant checker.
+//
+// Three layers of evidence:
+//   * negative tests — seed a known protocol bug (skipped store-load fence,
+//     stale epoch stamp, skipped slow-path self-abort, missing RW-TLE write
+//     flag, a plain data race) and assert the checker reports it by name;
+//   * positive tests — every synchronization method runs a contended ds/
+//     workload (including under adversarial fault plans) with zero reports;
+//   * end-to-end — the checker's serialization oracle replays each run
+//     against a sequential std::set and must reproduce every result, and a
+//     checked run's trace export is byte-identical to an unchecked one
+//     (the checker never perturbs the simulated schedule).
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bench_util/setbench.h"
+#include "check/session.h"
+#include "ds/avl.h"
+#include "mem/shim.h"
+#include "sim/env.h"
+#include "test_util.h"
+#include "tle/fgtle.h"
+#include "tle/rwtle.h"
+#include "trace/export.h"
+#include "trace/session.h"
+
+namespace rtle {
+namespace {
+
+using check::CheckConfig;
+using check::CheckSession;
+using check::ReportKind;
+using runtime::ThreadCtx;
+using runtime::TxContext;
+using sim::MachineConfig;
+
+bool has_kind(const CheckSession& chk, ReportKind k) {
+  for (const auto& r : chk.reports()) {
+    if (r.kind == k) return true;
+  }
+  return false;
+}
+
+std::string detail_of(const CheckSession& chk, ReportKind k) {
+  for (const auto& r : chk.reports()) {
+    if (r.kind == k) return r.detail;
+  }
+  return "";
+}
+
+// ---------------------------------------------------------------------------
+// Negative tests: seeded protocol bugs must be detected and named.
+// ---------------------------------------------------------------------------
+
+/// One lock-held (htm-unfriendly) writer CS under FG-TLE with the given
+/// seeded bugs; contended by a reader thread so the slow path runs.
+void run_seeded_fgtle(CheckSession& chk, const tle::FgTleMethod::SeededBugs& b,
+                      std::uint32_t norecs = 1) {
+  SimScope sim(MachineConfig::corei7());
+  tle::FgTleMethod m(norecs);
+  m.seed_bugs(b);
+  m.prepare(2);
+  alignas(64) static std::uint64_t cell;
+  cell = 0;
+  test::run_workers(sim, 2, 40, 11, [&](ThreadCtx& th, std::uint64_t) {
+    if (th.tid == 0) {
+      auto cs = [&](TxContext& ctx) {
+        ctx.htm_unfriendly();  // force the pessimistic (holder) path
+        ctx.store(&cell, ctx.load(&cell) + 1);
+        ctx.compute(400);  // keep the lock held while the reader runs
+      };
+      m.execute(th, cs);
+    } else {
+      auto cs = [&](TxContext& ctx) { ctx.load(&cell); };
+      m.execute(th, cs);
+    }
+  });
+}
+
+TEST(CheckNegative, SkippedStoreLoadFenceIsReported) {
+  CheckSession chk;
+  tle::FgTleMethod::SeededBugs b;
+  b.skip_holder_fence = true;
+  run_seeded_fgtle(chk, b);
+  ASSERT_GT(chk.report_count(), 0u);
+  EXPECT_TRUE(has_kind(chk, ReportKind::kMissingFence)) << chk.summary();
+  EXPECT_NE(detail_of(chk, ReportKind::kMissingFence).find("fence"),
+            std::string::npos);
+}
+
+TEST(CheckNegative, StaleEpochStampIsReported) {
+  CheckSession chk;
+  tle::FgTleMethod::SeededBugs b;
+  b.stamp_stale_epoch = true;
+  run_seeded_fgtle(chk, b);
+  ASSERT_GT(chk.report_count(), 0u);
+  EXPECT_TRUE(has_kind(chk, ReportKind::kStaleStamp)) << chk.summary();
+  EXPECT_NE(detail_of(chk, ReportKind::kStaleStamp).find("epoch"),
+            std::string::npos);
+}
+
+TEST(CheckNegative, SkippedSlowPathSelfAbortIsReported) {
+  CheckSession chk;
+  tle::FgTleMethod::SeededBugs b;
+  b.skip_slow_orec_abort = true;
+  // One orec: the holder's write stamps the orec every reader checks, so
+  // any slow-path transaction overlapping the CS sees the conflict its
+  // barrier now (buggily) ignores.
+  run_seeded_fgtle(chk, b, /*norecs=*/1);
+  ASSERT_GT(chk.report_count(), 0u);
+  EXPECT_TRUE(has_kind(chk, ReportKind::kSlowMissedAbort)) << chk.summary();
+  EXPECT_NE(detail_of(chk, ReportKind::kSlowMissedAbort).find("abort"),
+            std::string::npos);
+}
+
+TEST(CheckNegative, MissingWriteFlagIsReported) {
+  CheckSession chk;
+  SimScope sim(MachineConfig::corei7());
+  tle::RwTleMethod m;
+  m.seed_skip_write_flag(true);
+  m.prepare(2);
+  alignas(64) static std::uint64_t cell;
+  cell = 0;
+  test::run_workers(sim, 2, 30, 13, [&](ThreadCtx& th, std::uint64_t) {
+    auto cs = [&](TxContext& ctx) {
+      if (th.tid == 0) ctx.htm_unfriendly();  // thread 0: lock holder
+      ctx.store(&cell, ctx.load(&cell) + 1);
+    };
+    m.execute(th, cs);
+  });
+  ASSERT_GT(chk.report_count(), 0u);
+  EXPECT_TRUE(has_kind(chk, ReportKind::kWriteFlagMissing)) << chk.summary();
+  EXPECT_NE(detail_of(chk, ReportKind::kWriteFlagMissing).find("write_flag"),
+            std::string::npos);
+}
+
+TEST(CheckNegative, PlainDataRaceIsReported) {
+  // Two fibers increment the same word with no synchronization at all: the
+  // FastTrack layer itself must fire (not just the protocol invariants).
+  CheckSession chk;
+  SimScope sim(MachineConfig::corei7());
+  alignas(64) static std::uint64_t cell;
+  cell = 0;
+  for (std::uint32_t tid = 0; tid < 2; ++tid) {
+    sim.sched.spawn(
+        [&] {
+          for (int i = 0; i < 20; ++i) {
+            mem::plain_store(&cell, mem::plain_load(&cell) + 1);
+            mem::compute(7);
+          }
+        },
+        tid);
+  }
+  sim.sched.run();
+  ASSERT_GT(chk.report_count(), 0u);
+  EXPECT_TRUE(has_kind(chk, ReportKind::kRace)) << chk.summary();
+}
+
+// ---------------------------------------------------------------------------
+// Positive tests: unmutated methods are clean on real workloads.
+// ---------------------------------------------------------------------------
+
+void expect_clean_cell(const char* method, std::uint32_t threads,
+                       const std::string& faults = "") {
+  // Fresh session per cell: heap addresses are recycled between cells, and
+  // stale shadow state from a previous cell's allocations must not leak.
+  CheckSession chk;
+  bench::SetBenchConfig cfg;
+  cfg.machine = MachineConfig::corei7();
+  cfg.threads = threads;
+  cfg.key_range = 256;
+  cfg.duration_ms = 0.05;
+  cfg.faults = faults;
+  const auto r = bench::run_set_bench(cfg, bench::method_by_name(method));
+  EXPECT_GT(r.ops, 0u) << method;
+  EXPECT_EQ(chk.report_count(), 0u)
+      << method << " t=" << threads << " faults='" << faults << "'\n"
+      << chk.summary();
+}
+
+TEST(CheckPositive, AllMethodsRunCleanOnTheAvlWorkload) {
+  for (const char* m :
+       {"Lock", "TLE", "RW-TLE", "RW-TLE-lazy", "FG-TLE(1)", "FG-TLE(16)",
+        "FG-TLE(1024)", "FG-TLE-lazy(16)", "A-FG-TLE", "NOrec", "RHNOrec",
+        "HybridNOrec"}) {
+    expect_clean_cell(m, 4);
+  }
+}
+
+TEST(CheckPositive, MethodsStayCleanUnderAdversarialFaults) {
+  // HTM region offline mid-run plus a spurious-abort storm: every retry,
+  // fallback and circuit-breaker path must still be race-free and keep the
+  // protocol invariants.
+  const std::string plan = "offline@20000:80000;spurious@0:=11";
+  for (const char* m : {"TLE", "RW-TLE", "FG-TLE(16)", "RHNOrec"}) {
+    expect_clean_cell(m, 4, plan);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end serializability: replay against a sequential oracle.
+// ---------------------------------------------------------------------------
+
+struct OracleOp {
+  std::uint64_t serial;
+  bool read_only;  // tie-break: writers before read-only at equal serial
+  std::uint32_t tid;
+  std::uint32_t seq;  // per-thread issue order (stable tie-break)
+  enum Kind : std::uint8_t { kInsert, kRemove, kContains } kind;
+  std::uint64_t key;
+  bool result;
+};
+
+void run_oracle(const char* method_name) {
+  CheckSession chk;
+  SimScope sim(MachineConfig::corei7());
+  auto method = bench::method_by_name(method_name).make();
+  const std::uint32_t threads = 4;
+  method->prepare(threads);
+
+  constexpr std::uint64_t kKeyRange = 64;  // small: plenty of conflicts
+  ds::AvlSet set(kKeyRange + 64ULL * threads + 256, threads);
+  for (std::uint64_t k = 0; k < kKeyRange; k += 2) set.insert_meta(k);
+
+  std::vector<std::vector<OracleOp>> per_thread(threads);
+  test::run_workers(sim, threads, 150, 17, [&](ThreadCtx& th,
+                                               std::uint64_t i) {
+    set.reserve_nodes(th, 4);
+    const std::uint64_t key = th.rng.below(kKeyRange);
+    const std::uint32_t r = th.rng.below(100);
+    bool result = false;
+    OracleOp::Kind kind;
+    if (r < 30) {
+      kind = OracleOp::kInsert;
+      auto cs = [&](TxContext& ctx) { result = set.insert(ctx, key); };
+      method->execute(th, cs);
+    } else if (r < 60) {
+      kind = OracleOp::kRemove;
+      auto cs = [&](TxContext& ctx) { result = set.remove(ctx, key); };
+      method->execute(th, cs);
+    } else {
+      kind = OracleOp::kContains;
+      auto cs = [&](TxContext& ctx) { result = set.contains(ctx, key); };
+      method->execute(th, cs);
+    }
+    per_thread[th.tid].push_back({chk.last_serial(th.tid),
+                                  kind == OracleOp::kContains, th.tid,
+                                  static_cast<std::uint32_t>(i), kind, key,
+                                  result});
+  });
+  EXPECT_EQ(chk.report_count(), 0u) << method_name << "\n" << chk.summary();
+
+  // Every committed op must have been given a serial, and a thread's
+  // serials must be non-decreasing in issue order.
+  std::vector<OracleOp> ops;
+  for (const auto& tv : per_thread) {
+    std::uint64_t prev = 0;
+    for (const auto& op : tv) {
+      ASSERT_GT(op.serial, 0u) << method_name;
+      EXPECT_GE(op.serial, prev) << method_name;
+      prev = op.serial;
+      ops.push_back(op);
+    }
+  }
+
+  // Replay in serial order against a sequential set. Read-only ops carry
+  // the serial of the last commit they observed, so they sort after the
+  // writer with that serial; equal-serial read-only ops commute.
+  std::stable_sort(ops.begin(), ops.end(),
+                   [](const OracleOp& a, const OracleOp& b) {
+                     if (a.serial != b.serial) return a.serial < b.serial;
+                     return a.read_only < b.read_only;
+                   });
+  std::set<std::uint64_t> oracle;
+  for (std::uint64_t k = 0; k < kKeyRange; k += 2) oracle.insert(k);
+  for (const auto& op : ops) {
+    bool expect = false;
+    switch (op.kind) {
+      case OracleOp::kInsert: expect = oracle.insert(op.key).second; break;
+      case OracleOp::kRemove: expect = oracle.erase(op.key) != 0; break;
+      case OracleOp::kContains: expect = oracle.count(op.key) != 0; break;
+    }
+    ASSERT_EQ(op.result, expect)
+        << method_name << ": serial " << op.serial << " tid " << op.tid
+        << " op " << static_cast<int>(op.kind) << " key " << op.key;
+  }
+
+  // Final contents must match too (single fiber, no concurrency).
+  std::vector<bool> present(kKeyRange, false);
+  ThreadCtx th0(0, 99);
+  sim.sched.spawn(
+      [&] {
+        for (std::uint64_t k = 0; k < kKeyRange; ++k) {
+          auto cs = [&](TxContext& ctx) { present[k] = set.contains(ctx, k); };
+          method->execute(th0, cs);
+        }
+      },
+      0);
+  sim.sched.run();
+  for (std::uint64_t k = 0; k < kKeyRange; ++k) {
+    EXPECT_EQ(present[k], oracle.count(k) != 0)
+        << method_name << ": final contents differ at key " << k;
+  }
+}
+
+TEST(CheckOracle, LockIsSerializable) { run_oracle("Lock"); }
+TEST(CheckOracle, TleIsSerializable) { run_oracle("TLE"); }
+TEST(CheckOracle, RwTleIsSerializable) { run_oracle("RW-TLE"); }
+TEST(CheckOracle, FgTleIsSerializable) { run_oracle("FG-TLE(16)"); }
+TEST(CheckOracle, FgTleOneOrecIsSerializable) { run_oracle("FG-TLE(1)"); }
+TEST(CheckOracle, LazyFgTleIsSerializable) { run_oracle("FG-TLE-lazy(16)"); }
+TEST(CheckOracle, AdaptiveFgTleIsSerializable) { run_oracle("A-FG-TLE"); }
+TEST(CheckOracle, NOrecIsSerializable) { run_oracle("NOrec"); }
+TEST(CheckOracle, RhNOrecIsSerializable) { run_oracle("RHNOrec"); }
+TEST(CheckOracle, HybridNOrecIsSerializable) { run_oracle("HybridNOrec"); }
+
+// ---------------------------------------------------------------------------
+// Schedule identity: the checker must not perturb the simulation.
+// ---------------------------------------------------------------------------
+
+// One traced run of a contended AVL workload; returns the chrome-trace JSON
+// and (through `reports`) the number of checker reports, zero when no
+// checker was installed. The checker is installed only after every
+// simulation-visible allocation (the method's words, the lock, the AVL
+// arena): the cost model prices cache lines by *address*, so
+// checker-internal heap growth interleaved with those allocations would
+// shift their line geometry and hence the schedule. With the addresses
+// pinned, the hooks themselves are meta-level and must not move a single
+// cycle. The second prepare() is idempotent and (re-)registers the
+// method's metadata with the now-active session; it runs in both
+// configurations so the runs stay allocation-for-allocation identical.
+std::string traced_run(const char* method_name, bool with_checker,
+                       std::uint64_t* reports) {
+  SimScope sim(MachineConfig::corei7());
+  trace::TraceSession tracer;
+  auto method = bench::method_by_name(method_name).make();
+  method->prepare(4);
+  ds::AvlSet set(1024 + 64ULL * 4, 4);
+  for (std::uint64_t k = 0; k < 128; k += 2) set.insert_meta(k);
+  std::optional<CheckSession> chk;
+  if (with_checker) chk.emplace();
+  method->prepare(4);
+  test::run_workers(sim, 4, 120, 23, [&](ThreadCtx& th, std::uint64_t) {
+    set.reserve_nodes(th, 4);
+    const std::uint64_t key = th.rng.below(128);
+    const std::uint32_t r = th.rng.below(100);
+    if (r < 30) {
+      auto cs = [&](TxContext& ctx) { set.insert(ctx, key); };
+      method->execute(th, cs);
+    } else if (r < 60) {
+      auto cs = [&](TxContext& ctx) { set.remove(ctx, key); };
+      method->execute(th, cs);
+    } else {
+      auto cs = [&](TxContext& ctx) { set.contains(ctx, key); };
+      method->execute(th, cs);
+    }
+  });
+  *reports = with_checker ? chk->report_count() : 0;
+  return trace::chrome_trace_json(tracer);
+}
+
+// Forks a child that performs one traced run and writes "<reports>\n<json>"
+// to `path`. Byte-identity across configurations is only meaningful if both
+// runs allocate at identical addresses (malloc layout feeds mem::line_of
+// and hence the MESI cost model), and two sequential runs in one process do
+// not: the first run's freed blocks and the surviving trace string reshape
+// the heap the second run allocates from. Forking both children from the
+// same parent snapshot gives them bit-identical heaps, so the only
+// difference left between them is the checker itself.
+pid_t spawn_traced_run(const char* method_name, bool with_checker,
+                       const std::string& path) {
+  const pid_t pid = fork();
+  if (pid != 0) return pid;
+  std::uint64_t reports = 0;
+  const std::string json = traced_run(method_name, with_checker, &reports);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) _exit(2);
+  std::fprintf(f, "%llu\n", static_cast<unsigned long long>(reports));
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  _exit(0);
+}
+
+bool read_traced_result(const std::string& path, std::uint64_t* reports,
+                        std::string* json) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return false;
+  unsigned long long r = 0;
+  if (std::fscanf(f, "%llu\n", &r) != 1) {
+    std::fclose(f);
+    return false;
+  }
+  *reports = r;
+  json->clear();
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) json->append(buf, n);
+  std::fclose(f);
+  std::remove(path.c_str());
+  return true;
+}
+
+TEST(CheckOverhead, CheckedRunExportsByteIdenticalTrace) {
+  for (const char* m : {"TLE", "FG-TLE(16)", "RHNOrec"}) {
+    const std::string dir = ::testing::TempDir();
+    const std::string path_a = dir + "rtle_trace_unchecked.json";
+    const std::string path_b = dir + "rtle_trace_checked.json";
+    // Fork both children back to back — before any waitpid or file I/O —
+    // so they inherit the same heap snapshot.
+    const pid_t pa = spawn_traced_run(m, /*with_checker=*/false, path_a);
+    const pid_t pb = spawn_traced_run(m, /*with_checker=*/true, path_b);
+    ASSERT_GT(pa, 0) << m;
+    ASSERT_GT(pb, 0) << m;
+    int status_a = 0;
+    int status_b = 0;
+    ASSERT_EQ(waitpid(pa, &status_a, 0), pa) << m;
+    ASSERT_EQ(waitpid(pb, &status_b, 0), pb) << m;
+    ASSERT_TRUE(WIFEXITED(status_a) && WEXITSTATUS(status_a) == 0) << m;
+    ASSERT_TRUE(WIFEXITED(status_b) && WEXITSTATUS(status_b) == 0) << m;
+    std::uint64_t reports_a = 0;
+    std::uint64_t reports_b = 0;
+    std::string without;
+    std::string with;
+    ASSERT_TRUE(read_traced_result(path_a, &reports_a, &without)) << m;
+    ASSERT_TRUE(read_traced_result(path_b, &reports_b, &with)) << m;
+    EXPECT_EQ(reports_b, 0u) << m << ": checker reported on a clean run";
+    EXPECT_FALSE(without.empty()) << m;
+    EXPECT_EQ(without, with) << m;
+  }
+}
+
+}  // namespace
+}  // namespace rtle

@@ -1,0 +1,217 @@
+#!/usr/bin/env python3
+"""Shim-bypass linter for simulated shared memory.
+
+Every access to simulated shared memory (the ``std::uint64_t`` words that
+data structures in ``src/ds`` and STMs in ``src/stm`` share across fibers)
+must go through an accounting wrapper — ``mem::plain_load`` /
+``mem::plain_store`` / ``mem::plain_cas`` / ``mem::plain_faa``, the HTM
+``tx_load`` / ``tx_store`` barriers, or a ``TxContext`` accessor
+(``ctx.load`` / ``ctx.store``). A *raw* dereference compiles and even
+produces the right value, but it is invisible to the MESI cost model, to
+conflict detection, and to the ``rtle::check`` race detector — the
+simulation silently stops being a simulation. The C++ type system cannot
+catch this (the pointer types are identical), so this linter does.
+
+Heuristics (regex-level, so deliberately conservative):
+
+  * a unary ``*`` applied to an identifier that the same file declares as
+    ``std::uint64_t*`` (or ``const std::uint64_t*``), outside of the
+    wrapper argument lists named above;
+  * indexing such an identifier with ``[...]``.
+
+Suppressions:
+
+  * a trailing ``// shim-lint: ok (<reason>)`` comment on the offending
+    line — used for meta-level accessors that are documented to run outside
+    the simulation (e.g. ``*_meta`` helpers that execute before fibers
+    start);
+  * function bodies whose name ends in ``_meta`` (the repo-wide convention
+    for setup/teardown helpers that run while no simulated thread exists).
+
+Usage:
+  tools/lint_shim.py [--root REPO_ROOT]     # lint src/ds and src/stm
+  tools/lint_shim.py --self-test            # run the built-in test cases
+
+Exit status: 0 when clean, 1 when findings exist, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+
+# Identifier declared as a (possibly const) pointer to std::uint64_t.
+DECL_RE = re.compile(
+    r"(?:const\s+)?(?:std::)?uint64_t\s*\*\s*(?:const\s+)?([A-Za-z_]\w*)"
+)
+
+# Wrappers whose argument position legitimately *names* (not dereferences)
+# a shared word. Raw '*' inside their parens is address arithmetic, not an
+# access.
+WRAPPER_RE = re.compile(
+    r"\b(?:mem::plain_(?:load|store|cas|faa)|tx_load|tx_store|"
+    r"tx_store_and_commit|ctx\.(?:load|store)|observe_plain_(?:load|store)|"
+    r"register_meta|ignore_range|line_of)\s*\("
+)
+
+SUPPRESS_RE = re.compile(r"//\s*shim-lint:\s*ok\b")
+
+META_FN_RE = re.compile(r"\b[A-Za-z_]\w*_meta\s*\(")
+
+
+def strip_comments_and_strings(line: str) -> str:
+    line = re.sub(r'"(?:\\.|[^"\\])*"', '""', line)
+    line = re.sub(r"'(?:\\.|[^'\\])*'", "''", line)
+    return line.split("//", 1)[0]
+
+
+def shared_pointer_names(text: str) -> set[str]:
+    return set(DECL_RE.findall(text))
+
+
+def lint_text(text: str, path: str) -> list[str]:
+    """Returns findings as 'path:line: message' strings."""
+    names = shared_pointer_names(text)
+    if not names:
+        return []
+    alt = "|".join(map(re.escape, names))
+    deref_res = [
+        # *name outside a wrapper call — unary deref or name[...] indexing.
+        re.compile(r"(?<![\w)\]])\*\s*(" + alt + r")\b"),
+        re.compile(r"\b(" + alt + r")\s*\["),
+    ]
+    findings: list[str] = []
+    meta_depth = 0  # brace depth tracking inside a *_meta function body
+    depth = 0
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        if META_FN_RE.search(raw) and raw.rstrip().endswith("{"):
+            meta_depth = depth + 1
+        code = strip_comments_and_strings(raw)
+        depth += code.count("{") - code.count("}")
+        if meta_depth and depth < meta_depth:
+            meta_depth = 0
+        if meta_depth:
+            continue
+        if SUPPRESS_RE.search(raw):
+            continue
+        # Blank out wrapper argument lists: a '*name' there is fine.
+        scrubbed = code
+        while True:
+            m = WRAPPER_RE.search(scrubbed)
+            if m is None:
+                break
+            # Blank to the matching close paren (single-line heuristic).
+            i = m.end()
+            level = 1
+            while i < len(scrubbed) and level:
+                level += {"(": 1, ")": -1}.get(scrubbed[i], 0)
+                i += 1
+            scrubbed = scrubbed[: m.start()] + " " * (i - m.start()) + scrubbed[i:]
+        for rx in deref_res:
+            m = rx.search(scrubbed)
+            if m:
+                findings.append(
+                    f"{path}:{lineno}: raw access to shared word "
+                    f"'{m.group(1)}' bypasses the mem/ctx shim "
+                    f"(invisible to the cost model and rtle::check); "
+                    f"use mem::plain_* / ctx.load / ctx.store, or annotate "
+                    f"'// shim-lint: ok (<reason>)'"
+                )
+                break
+    return findings
+
+
+def lint_tree(root: pathlib.Path) -> list[str]:
+    findings: list[str] = []
+    for sub in ("src/ds", "src/stm"):
+        for path in sorted((root / sub).glob("*.[ch]pp")) + sorted(
+            (root / sub).glob("*.h")
+        ):
+            findings.extend(lint_text(path.read_text(), str(path.relative_to(root))))
+    return findings
+
+
+SELF_TEST_CASES = [
+    # (name, expect_findings, source)
+    ("raw deref flagged", True, """
+        std::uint64_t read_it(const std::uint64_t* addr) {
+          return *addr;
+        }
+    """),
+    ("indexing flagged", True, """
+        void sum(std::uint64_t* words) {
+          total += words[3];
+        }
+    """),
+    ("wrapper call clean", False, """
+        std::uint64_t read_it(const std::uint64_t* addr) {
+          return mem::plain_load(addr);
+        }
+    """),
+    ("ctx accessor clean", False, """
+        std::uint64_t read_it(runtime::TxContext& ctx, std::uint64_t* addr) {
+          return ctx.load(addr);
+        }
+    """),
+    ("suppression honored", False, """
+        std::uint64_t peek(const std::uint64_t* addr) {
+          return *addr;  // shim-lint: ok (meta-level diagnostic dump)
+        }
+    """),
+    ("meta function body clean", False, """
+        std::uint64_t sum_meta(const std::uint64_t* addr) {
+          return *addr + addr[1];
+        }
+    """),
+    ("multiplication not flagged", False, """
+        std::uint64_t scale(std::uint64_t* addr, std::uint64_t k) {
+          return mem::plain_load(addr) * k;
+        }
+    """),
+    ("unrelated pointer clean", False, """
+        int deref(const int* p) { return *p; }
+    """),
+]
+
+
+def self_test() -> int:
+    failed = 0
+    for name, expect, src in SELF_TEST_CASES:
+        # Re-indent the snippet and force function-start brace detection.
+        text = "\n".join(line[8:] if line.startswith(" " * 8) else line
+                         for line in src.strip("\n").splitlines())
+        got = bool(lint_text(text, "<self-test>"))
+        status = "ok" if got == expect else "FAIL"
+        if got != expect:
+            failed += 1
+        print(f"  [{status}] {name} (expected {'findings' if expect else 'clean'})")
+    print(f"self-test: {len(SELF_TEST_CASES) - failed}/{len(SELF_TEST_CASES)} passed")
+    return 1 if failed else 0
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--root", default=".", help="repository root")
+    ap.add_argument("--self-test", action="store_true",
+                    help="run built-in test cases and exit")
+    args = ap.parse_args()
+    if args.self_test:
+        return self_test()
+    root = pathlib.Path(args.root).resolve()
+    if not (root / "src" / "ds").is_dir():
+        print(f"lint_shim: {root} does not look like the rtle repo", file=sys.stderr)
+        return 2
+    findings = lint_tree(root)
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"lint_shim: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print("lint_shim: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
