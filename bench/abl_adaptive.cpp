@@ -9,18 +9,15 @@
 #include <cstdio>
 #include <vector>
 
-#include "bench_util/setbench.h"
-#include "bench_util/table.h"
+#include "bench_util/figure.h"
 
 using namespace rtle;
 using bench::SetBenchConfig;
 using bench::Table;
 
-int main(int argc, char** argv) {
-  const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
-  bench::print_banner("Ablation: adaptive FG-TLE",
-                      "A-FG-TLE vs fixed configurations, xeon, 18 threads, "
-                      "ops/ms per workload");
+RTLE_FIGURE("abl_adaptive", "Ablation: adaptive FG-TLE",
+            "A-FG-TLE vs fixed configurations, xeon, 18 threads, "
+            "ops/ms per workload") {
 
   const char* methods[] = {"TLE",          "RW-TLE",    "FG-TLE(1)",
                            "FG-TLE(256)",  "FG-TLE(8192)", "A-FG-TLE"};
@@ -59,5 +56,4 @@ int main(int argc, char** argv) {
     t.add_row(std::move(row));
   }
   t.print(args.csv);
-  return 0;
 }

@@ -10,18 +10,15 @@
 #include <cstdio>
 #include <vector>
 
-#include "bench_util/setbench.h"
-#include "bench_util/table.h"
+#include "bench_util/figure.h"
 
 using namespace rtle;
 using bench::SetBenchConfig;
 using bench::Table;
 
-int main(int argc, char** argv) {
-  const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
-  bench::print_banner("Ablation: barrier cost",
-                      "refined TLE vs per-barrier call cost (0 = perfectly "
-                      "inlined), xeon, range 8192, 20% ins/rem, 18 threads");
+RTLE_FIGURE("abl_barrier_cost", "Ablation: barrier cost",
+            "refined TLE vs per-barrier call cost (0 = perfectly "
+            "inlined), xeon, range 8192, 20% ins/rem, 18 threads") {
 
   SetBenchConfig cfg;
   cfg.machine = sim::MachineConfig::xeon();
@@ -37,6 +34,7 @@ int main(int argc, char** argv) {
 
   for (std::uint32_t barrier : {0u, 6u, 12u, 24u, 48u}) {
     cfg.machine.cost.barrier_call = barrier;
+    cfg.cell_tag = "b" + std::to_string(barrier);
     const double lock_cs =
         bench::run_set_bench(cfg, bench::method_by_name("Lock"))
             .avg_cycles_under_lock();
@@ -51,5 +49,4 @@ int main(int argc, char** argv) {
     }
   }
   table.print(args.csv);
-  return 0;
 }

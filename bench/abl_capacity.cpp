@@ -9,18 +9,15 @@
 #include <cstdio>
 #include <vector>
 
-#include "bench_util/setbench.h"
-#include "bench_util/table.h"
+#include "bench_util/figure.h"
 
 using namespace rtle;
 using bench::SetBenchConfig;
 using bench::Table;
 
-int main(int argc, char** argv) {
-  const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
-  bench::print_banner("Ablation: HTM read capacity",
-                      "AVL range 65536 (deep traversals), xeon, 18 threads, "
-                      "20% ins/rem; ops/ms and lock-fallback %");
+RTLE_FIGURE("abl_capacity", "Ablation: HTM read capacity",
+            "AVL range 65536 (deep traversals), xeon, 18 threads, "
+            "20% ins/rem; ops/ms and lock-fallback %") {
 
   const char* methods[] = {"Lock", "TLE", "RW-TLE", "FG-TLE(8192)"};
 
@@ -31,6 +28,7 @@ int main(int argc, char** argv) {
       SetBenchConfig cfg;
       cfg.machine = sim::MachineConfig::xeon();
       cfg.machine.htm.max_read_lines = cap;
+      cfg.cell_tag = "cap" + std::to_string(cap);
       cfg.key_range = 65536;
       cfg.insert_pct = 20;
       cfg.remove_pct = 20;
@@ -45,5 +43,4 @@ int main(int argc, char** argv) {
     }
   }
   t.print(args.csv);
-  return 0;
 }

@@ -11,18 +11,15 @@
 #include <cstdio>
 #include <vector>
 
-#include "bench_util/setbench.h"
-#include "bench_util/table.h"
+#include "bench_util/figure.h"
 
 using namespace rtle;
 using bench::SetBenchConfig;
 using bench::Table;
 
-int main(int argc, char** argv) {
-  const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
-  bench::print_banner("Ablation: hybrid-TM lineage",
-                      "NOrec vs HybridNOrec vs RHNOrec vs refined TLE, "
-                      "xeon, range 8192, 20% ins/rem, ops/ms");
+RTLE_FIGURE("abl_hybrid_tm", "Ablation: hybrid-TM lineage",
+            "NOrec vs HybridNOrec vs RHNOrec vs refined TLE, "
+            "xeon, range 8192, 20% ins/rem, ops/ms") {
 
   SetBenchConfig cfg;
   cfg.machine = sim::MachineConfig::xeon();
@@ -50,5 +47,4 @@ int main(int argc, char** argv) {
     table.add_row(std::move(row));
   }
   table.print(args.csv);
-  return 0;
 }

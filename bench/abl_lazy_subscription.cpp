@@ -6,17 +6,14 @@
 #include <cstdio>
 #include <vector>
 
-#include "bench_util/setbench.h"
-#include "bench_util/table.h"
+#include "bench_util/figure.h"
 
 using namespace rtle;
 using bench::SetBenchConfig;
 using bench::Table;
 
-int main(int argc, char** argv) {
-  const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
-  bench::print_banner("Ablation: lazy subscription",
-                      "eager vs lazy slow-path lock subscription, xeon");
+RTLE_FIGURE("abl_lazy_subscription", "Ablation: lazy subscription",
+            "eager vs lazy slow-path lock subscription, xeon") {
 
   const char* methods[] = {"RW-TLE", "RW-TLE-lazy", "FG-TLE(8192)",
                            "FG-TLE-lazy(8192)"};
@@ -75,5 +72,4 @@ int main(int argc, char** argv) {
     }
     t.print(args.csv);
   }
-  return 0;
 }

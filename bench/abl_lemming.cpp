@@ -12,8 +12,7 @@
 #include <memory>
 #include <vector>
 
-#include "bench_util/setbench.h"
-#include "bench_util/table.h"
+#include "bench_util/figure.h"
 #include "ds/avl.h"
 #include "sim/env.h"
 
@@ -83,12 +82,10 @@ std::vector<double> run_timeline(const char* method_name,
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
-  bench::print_banner("Ablation: lemming-effect timeline",
-                      "ops/ms per 0.2-sim-ms slice; one thread turns "
-                      "HTM-hostile during slice 3, xeon, 18 threads, "
-                      "range 8192, 20% ins/rem");
+RTLE_FIGURE("abl_lemming", "Ablation: lemming-effect timeline",
+            "ops/ms per 0.2-sim-ms slice; one thread turns "
+            "HTM-hostile during slice 3, xeon, 18 threads, "
+            "range 8192, 20% ins/rem") {
 
   const int slices = args.quick ? 6 : 10;
   const int burst = 3;
@@ -98,11 +95,21 @@ int main(int argc, char** argv) {
   const auto tle = run_timeline("TLE", 18, slices, burst, slice_ms);
   const auto rw = run_timeline("RW-TLE", 18, slices, burst, slice_ms);
   const auto fg = run_timeline("FG-TLE(8192)", 18, slices, burst, slice_ms);
+  // Per-slice throughput only; the timeline driver has no per-slice abort
+  // or residency accounting, so the remaining metrics stay 0.
+  const struct { const char* name; const std::vector<double>* v; } series[] =
+      {{"TLE", &tle}, {"RW-TLE", &rw}, {"FG-TLE(8192)", &fg}};
+  for (const auto& sr : series) {
+    for (int s = 0; s < slices; ++s) {
+      bench::report_cell(sr.name,
+                         "xeon/r8192/i20r20/t18/s" + std::to_string(s),
+                         {(*sr.v)[s], 0.0, 0.0, 0.0});
+    }
+  }
   for (int s = 0; s < slices; ++s) {
     table.add_row({Table::num(std::uint64_t(s)), Table::num(tle[s], 0),
                    Table::num(rw[s], 0), Table::num(fg[s], 0),
                    s == burst ? "<- hostile burst" : ""});
   }
   table.print(args.csv);
-  return 0;
 }

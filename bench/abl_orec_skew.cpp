@@ -9,18 +9,15 @@
 #include <cstdio>
 #include <vector>
 
-#include "bench_util/setbench.h"
-#include "bench_util/table.h"
+#include "bench_util/figure.h"
 
 using namespace rtle;
 using bench::SetBenchConfig;
 using bench::Table;
 
-int main(int argc, char** argv) {
-  const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
-  bench::print_banner("Ablation: orec granularity vs skew",
-                      "uniform vs hot-spot keys (90% of ops on 10% of "
-                      "range), xeon, 18 threads, 20% ins/rem, ops/ms");
+RTLE_FIGURE("abl_orec_skew", "Ablation: orec granularity vs skew",
+            "uniform vs hot-spot keys (90% of ops on 10% of "
+            "range), xeon, 18 threads, 20% ins/rem, ops/ms") {
 
   const char* methods[] = {"TLE",         "FG-TLE(1)",    "FG-TLE(16)",
                            "FG-TLE(256)", "FG-TLE(1024)", "FG-TLE(8192)"};
@@ -36,6 +33,7 @@ int main(int argc, char** argv) {
       cfg.remove_pct = 20;
       cfg.threads = 18;
       cfg.duration_ms = args.scale(2.0, 0.25);
+      cfg.cell_tag = hot ? "hotspot" : "uniform";
       if (hot) {
         cfg.hot_access_pct = 90;
         cfg.hot_key_fraction = 0.1;
@@ -47,5 +45,4 @@ int main(int argc, char** argv) {
     t.add_row(std::move(row));
   }
   t.print(args.csv);
-  return 0;
 }

@@ -11,8 +11,7 @@
 #include <memory>
 #include <vector>
 
-#include "bench_util/setbench.h"
-#include "bench_util/table.h"
+#include "bench_util/figure.h"
 #include "ds/avl.h"
 #include "ds/hashmap.h"
 #include "ds/skiplist.h"
@@ -28,6 +27,7 @@ namespace {
 struct RunResult {
   double ops_per_ms = 0;
   double slow_share = 0;  // slow-path commits / ops
+  bench::perf::CellMetrics metrics;
 };
 
 template <typename SetupFn, typename OpFn>
@@ -56,22 +56,26 @@ RunResult run_structure(const char* method_name, std::uint32_t threads,
   }
   sim.sched.run();
   RunResult r;
-  r.ops_per_ms = method->stats().ops / duration_ms;
-  r.slow_share = method->stats().ops == 0
-                     ? 0
-                     : static_cast<double>(method->stats().commit_slow_htm) /
-                           method->stats().ops;
+  const runtime::MethodStats& st = method->stats();
+  r.ops_per_ms = st.ops / duration_ms;
+  r.slow_share =
+      st.ops == 0 ? 0 : static_cast<double>(st.commit_slow_htm) / st.ops;
+  r.metrics.ops_per_ms = r.ops_per_ms;
+  const double attempts = static_cast<double>(st.ops + st.total_aborts());
+  r.metrics.abort_rate = attempts > 0 ? st.total_aborts() / attempts : 0.0;
+  r.metrics.lock_fallback = st.lock_fallback_rate();
+  const double run_cycles = duration_ms * mc.cycles_per_ms();
+  r.metrics.time_under_lock =
+      run_cycles > 0 ? st.cycles_under_lock / run_cycles : 0.0;
   return r;
 }
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
-  bench::print_banner("Ablation: structure generality",
-                      "AVL vs skip list vs hash table, xeon, 18 threads, "
-                      "20% ins / 20% rem / 60% lookup, range 8192; "
-                      "ops/ms (slow-path share)");
+RTLE_FIGURE("abl_structures", "Ablation: structure generality",
+            "AVL vs skip list vs hash table, xeon, 18 threads, "
+            "20% ins / 20% rem / 60% lookup, range 8192; "
+            "ops/ms (slow-path share)") {
 
   constexpr std::uint32_t kThreads = 18;
   constexpr std::uint64_t kRange = 8192;
@@ -105,6 +109,7 @@ int main(int argc, char** argv) {
             };
             method.execute(th, cs);
           });
+      bench::report_cell(m, "xeon/r8192/i20r20/t18/avl", r.metrics);
       row.push_back(Table::num(r.ops_per_ms, 0) + " (" +
                     Table::num(r.slow_share * 100, 1) + "%)");
     }
@@ -136,6 +141,7 @@ int main(int argc, char** argv) {
             };
             method.execute(th, cs);
           });
+      bench::report_cell(m, "xeon/r8192/i20r20/t18/skiplist", r.metrics);
       row.push_back(Table::num(r.ops_per_ms, 0) + " (" +
                     Table::num(r.slow_share * 100, 1) + "%)");
     }
@@ -167,6 +173,7 @@ int main(int argc, char** argv) {
             };
             method.execute(th, cs);
           });
+      bench::report_cell(m, "xeon/r8192/i20r20/t18/hashmap", r.metrics);
       row.push_back(Table::num(r.ops_per_ms, 0) + " (" +
                     Table::num(r.slow_share * 100, 1) + "%)");
     }
@@ -174,5 +181,4 @@ int main(int argc, char** argv) {
   }
 
   table.print(args.csv);
-  return 0;
 }

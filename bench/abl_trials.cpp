@@ -10,8 +10,7 @@
 #include <memory>
 #include <vector>
 
-#include "bench_util/setbench.h"
-#include "bench_util/table.h"
+#include "bench_util/figure.h"
 #include "runtime/engine.h"
 #include "tle/fgtle.h"
 #include "tle/rwtle.h"
@@ -41,12 +40,10 @@ runtime::MethodSpec with_trials(const std::string& base, int trials) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
-  bench::print_banner("Ablation: retry budget / HLE",
-                      "HTM attempts before the lock (1 ≈ Intel HLE, 2 = "
-                      "stock libitm, 5 = paper), xeon, range 8192, 20% "
-                      "ins/rem, ops/ms");
+RTLE_FIGURE("abl_trials", "Ablation: retry budget / HLE",
+            "HTM attempts before the lock (1 ≈ Intel HLE, 2 = "
+            "stock libitm, 5 = paper), xeon, range 8192, 20% "
+            "ins/rem, ops/ms") {
 
   SetBenchConfig cfg;
   cfg.machine = sim::MachineConfig::xeon();
@@ -78,5 +75,4 @@ int main(int argc, char** argv) {
     table.print(args.csv);
     std::printf("\n");
   }
-  return 0;
 }

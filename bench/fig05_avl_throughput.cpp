@@ -7,18 +7,15 @@
 #include <string>
 #include <vector>
 
-#include "bench_util/setbench.h"
-#include "bench_util/table.h"
+#include "bench_util/figure.h"
 
 using namespace rtle;
 using bench::SetBenchConfig;
 using bench::Table;
 
-int main(int argc, char** argv) {
-  const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
-  bench::print_banner("Figure 5",
-                      "AVL set speedup vs. threads (normalized to Lock @ 1 "
-                      "thread)");
+RTLE_FIGURE("fig05", "Figure 5",
+            "AVL set speedup vs. threads (normalized to Lock @ 1 "
+            "thread)") {
   const double duration = args.scale(2.0, 0.25);
 
   struct MachineGrid {
@@ -91,5 +88,4 @@ int main(int argc, char** argv) {
       }
     }
   }
-  return 0;
 }

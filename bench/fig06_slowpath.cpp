@@ -5,19 +5,15 @@
 #include <cstdio>
 #include <vector>
 
-#include "bench_util/setbench.h"
-#include "bench_util/table.h"
+#include "bench_util/figure.h"
 
 using namespace rtle;
 using bench::SetBenchConfig;
 using bench::Table;
 
-int main(int argc, char** argv) {
-  const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
-  bench::print_banner(
-      "Figure 6",
-      "slow-path throughput of refined TLE variants (SlowHTM and Lock "
-      "panes), xeon, range 8192, 20% ins/rem");
+RTLE_FIGURE("fig06", "Figure 6",
+            "slow-path throughput of refined TLE variants (SlowHTM and Lock "
+            "panes), xeon, range 8192, 20% ins/rem") {
 
   SetBenchConfig cfg;
   cfg.machine = sim::MachineConfig::xeon();
@@ -59,5 +55,4 @@ int main(int argc, char** argv) {
   slow_htm.print(args.csv);
   std::printf("\nLock-based critical sections per ms of lock-held time:\n");
   lock_tp.print(args.csv);
-  return 0;
 }

@@ -6,18 +6,15 @@
 #include <cstdio>
 #include <vector>
 
-#include "bench_util/setbench.h"
-#include "bench_util/table.h"
+#include "bench_util/figure.h"
 
 using namespace rtle;
 using bench::SetBenchConfig;
 using bench::Table;
 
-int main(int argc, char** argv) {
-  const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
-  bench::print_banner("Figure 7",
-                      "avg critical-section time under lock relative to the "
-                      "Lock method at the same thread count");
+RTLE_FIGURE("fig07", "Figure 7",
+            "avg critical-section time under lock relative to the "
+            "Lock method at the same thread count") {
 
   SetBenchConfig cfg;
   cfg.machine = sim::MachineConfig::xeon();
@@ -60,5 +57,4 @@ int main(int argc, char** argv) {
     table.add_row(std::move(row));
   }
   table.print(args.csv);
-  return 0;
 }

@@ -9,18 +9,15 @@
 #include <cstdio>
 #include <vector>
 
-#include "bench_util/setbench.h"
-#include "bench_util/table.h"
+#include "bench_util/figure.h"
 
 using namespace rtle;
 using bench::SetBenchConfig;
 using bench::Table;
 
-int main(int argc, char** argv) {
-  const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
-  bench::print_banner("Figure 9",
-                      "RHNOrec execution-type distribution, xeon, range "
-                      "8192, 20% ins/rem");
+RTLE_FIGURE("fig09", "Figure 9",
+            "RHNOrec execution-type distribution, xeon, range "
+            "8192, 20% ins/rem") {
 
   SetBenchConfig cfg;
   cfg.machine = sim::MachineConfig::xeon();
@@ -57,5 +54,4 @@ int main(int argc, char** argv) {
     }
   }
   table.print(args.csv);
-  return 0;
 }

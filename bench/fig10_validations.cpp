@@ -8,18 +8,15 @@
 #include <cstdio>
 #include <vector>
 
-#include "bench_util/setbench.h"
-#include "bench_util/table.h"
+#include "bench_util/figure.h"
 
 using namespace rtle;
 using bench::SetBenchConfig;
 using bench::Table;
 
-int main(int argc, char** argv) {
-  const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
-  bench::print_banner("Figure 10",
-                      "value-based validations per transaction, NOrec vs "
-                      "RHNOrec, xeon, range 8192, 20% ins/rem");
+RTLE_FIGURE("fig10", "Figure 10",
+            "value-based validations per transaction, NOrec vs "
+            "RHNOrec, xeon, range 8192, 20% ins/rem") {
 
   SetBenchConfig cfg;
   cfg.machine = sim::MachineConfig::xeon();
@@ -54,5 +51,4 @@ int main(int argc, char** argv) {
     }
   }
   table.print(args.csv);
-  return 0;
 }

@@ -11,8 +11,7 @@
 #include <optional>
 #include <vector>
 
-#include "bench_util/setbench.h"
-#include "bench_util/table.h"
+#include "bench_util/figure.h"
 #include "ds/bank.h"
 #include "sim/env.h"
 #include "sim/faultplan.h"
@@ -28,6 +27,7 @@ namespace {
 
 struct BankResult {
   double ops_per_ms = 0;
+  bench::perf::CellMetrics metrics;
   std::string stats_summary;
   std::string latency;
 };
@@ -80,7 +80,15 @@ BankResult run_bank(const sim::MachineConfig& mc, std::uint32_t threads,
   }
   sim.sched.run();
   BankResult r;
-  r.ops_per_ms = method->stats().ops / duration_ms;
+  const runtime::MethodStats& st = method->stats();
+  r.ops_per_ms = st.ops / duration_ms;
+  r.metrics.ops_per_ms = r.ops_per_ms;
+  const double attempts = static_cast<double>(st.ops + st.total_aborts());
+  r.metrics.abort_rate = attempts > 0 ? st.total_aborts() / attempts : 0.0;
+  r.metrics.lock_fallback = st.lock_fallback_rate();
+  const double run_cycles = duration_ms * mc.cycles_per_ms();
+  r.metrics.time_under_lock =
+      run_cycles > 0 ? st.cycles_under_lock / run_cycles : 0.0;
   if (args.stats) r.stats_summary = method->stats().summary();
   if (tracer.has_value()) {
     r.latency = tracer->latency_summary();
@@ -95,11 +103,9 @@ BankResult run_bank(const sim::MachineConfig& mc, std::uint32_t threads,
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
-  bench::print_banner("Figure 11",
-                      "bank-accounts transfer throughput (ops/ms), 256 "
-                      "padded accounts, xeon");
+RTLE_FIGURE("fig11", "Figure 11",
+            "bank-accounts transfer throughput (ops/ms), 256 "
+            "padded accounts, xeon") {
 
   const double duration = args.scale(2.0, 0.25);
   std::vector<std::uint32_t> threads = {1, 2, 4, 6, 8, 12, 18, 24, 28, 36};
@@ -118,6 +124,7 @@ int main(int argc, char** argv) {
     for (const char* n : names) {
       const auto r = run_bank(sim::MachineConfig::xeon(), t, duration,
                               bench::method_by_name(n), 3, args);
+      bench::report_cell(n, "xeon/bank256/t" + std::to_string(t), r.metrics);
       row.push_back(Table::num(r.ops_per_ms, 0));
       if (args.stats) {
         std::printf("  [stats] %-14s t=%-2u %s\n", n, t,
@@ -131,5 +138,4 @@ int main(int argc, char** argv) {
     table.add_row(std::move(row));
   }
   table.print(args.csv);
-  return 0;
 }

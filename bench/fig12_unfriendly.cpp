@@ -12,18 +12,15 @@
 #include <cstdio>
 #include <vector>
 
-#include "bench_util/setbench.h"
-#include "bench_util/table.h"
+#include "bench_util/figure.h"
 
 using namespace rtle;
 using bench::SetBenchConfig;
 using bench::Table;
 
-int main(int argc, char** argv) {
-  const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
-  bench::print_banner("Figure 12",
-                      "one HTM-unfriendly updater + (N-1) readers, xeon, "
-                      "range 65536, total ops/ms");
+RTLE_FIGURE("fig12", "Figure 12",
+            "one HTM-unfriendly updater + (N-1) readers, xeon, "
+            "range 65536, total ops/ms") {
 
   SetBenchConfig cfg;
   cfg.machine = sim::MachineConfig::xeon();
@@ -62,5 +59,4 @@ int main(int argc, char** argv) {
     table.add_row(std::move(row));
   }
   table.print(args.csv);
-  return 0;
 }

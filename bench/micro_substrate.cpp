@@ -6,6 +6,7 @@
 
 #include "htm/htm.h"
 #include "mem/shim.h"
+#include "sim/ambient.h"
 #include "sim/env.h"
 #include "sim/fiber.h"
 #include "sim/rng.h"
@@ -110,6 +111,35 @@ void BM_HtmRoundTrip(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(iters));
 }
 BENCHMARK(BM_HtmRoundTrip)->Unit(benchmark::kMillisecond);
+
+void BM_PlainLoadForcedMask(benchmark::State& state) {
+  // Same loop as BM_PlainLoad but with every ambient-dispatch bit forced on,
+  // so each access takes the slow branch, null-checks the (absent) fault
+  // plan / trace session / check session, and proceeds. Measures the cost
+  // the single-word dispatch removes from the common case: the gap between
+  // this and BM_PlainLoad is the win.
+  SimScope sim(sim::MachineConfig::xeon());
+  ambient::force(ambient::kFault | ambient::kTrace | ambient::kCheck);
+  alignas(64) static std::uint64_t word = 7;
+  std::uint64_t sink = 0;
+  std::uint64_t iters = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    SimScope inner(sim::MachineConfig::xeon());
+    state.ResumeTiming();
+    inner.sched.spawn(
+        [&] {
+          for (int i = 0; i < 10000; ++i) sink += mem::plain_load(&word);
+        },
+        0);
+    inner.sched.run();
+    iters += 10000;
+  }
+  ambient::force(0);
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(static_cast<std::int64_t>(iters));
+}
+BENCHMARK(BM_PlainLoadForcedMask)->Unit(benchmark::kMillisecond);
 
 void BM_FlatHashUpsert(benchmark::State& state) {
   util::FlatHash<std::uint64_t> h(1 << 12);

@@ -1,0 +1,90 @@
+#include "bench_util/figure.h"
+
+#include <cstdio>
+
+namespace rtle::bench {
+
+namespace {
+
+// The ambient sink installed by figure_main for the duration of the body.
+perf::FigureRecord* g_sink = nullptr;
+
+}  // namespace
+
+void report_cell(const std::string& method, const std::string& cell,
+                 const perf::CellMetrics& m) {
+  if (g_sink == nullptr) return;
+  perf::MethodRecord* mr = g_sink->find_method(method);
+  if (mr == nullptr) {
+    g_sink->methods.push_back({method, {}});
+    mr = &g_sink->methods.back();
+  }
+  // First report wins for a repeated (method, cell): figures that rerun a
+  // grid point (e.g. a normalization baseline probed up front) must not
+  // produce duplicate records.
+  for (const perf::CellRecord& c : mr->cells) {
+    if (c.cell == cell) return;
+  }
+  perf::CellRecord rec;
+  rec.cell = cell;
+  rec.ops_per_ms = {m.ops_per_ms, 0.0};
+  rec.abort_rate = {m.abort_rate, 0.0};
+  rec.lock_fallback = {m.lock_fallback, 0.0};
+  rec.time_under_lock = {m.time_under_lock, 0.0};
+  mr->cells.push_back(std::move(rec));
+}
+
+std::string cell_label(const SetBenchConfig& cfg) {
+  std::string out = cfg.machine.name + "/r" + std::to_string(cfg.key_range) +
+                    "/i" + std::to_string(cfg.insert_pct) + "r" +
+                    std::to_string(cfg.remove_pct) + "/t" +
+                    std::to_string(cfg.threads);
+  if (!cfg.cell_tag.empty()) out += "/" + cfg.cell_tag;
+  return out;
+}
+
+perf::CellMetrics metrics_from(const SetBenchResult& r,
+                               const sim::MachineConfig& mc) {
+  perf::CellMetrics m;
+  m.ops_per_ms = r.ops_per_ms;
+  const double attempts =
+      static_cast<double>(r.stats.ops + r.stats.total_aborts());
+  m.abort_rate = attempts > 0 ? r.stats.total_aborts() / attempts : 0.0;
+  m.lock_fallback = r.stats.lock_fallback_rate();
+  const double run_cycles = r.sim_ms * mc.cycles_per_ms();
+  m.time_under_lock =
+      run_cycles > 0 ? r.stats.cycles_under_lock / run_cycles : 0.0;
+  return m;
+}
+
+int figure_main(int argc, char** argv, const FigureInfo& info,
+                const std::function<void(const BenchArgs&)>& body) {
+  const BenchArgs args = parse_bench_args(argc, argv);
+  print_banner(info.name, info.description);
+
+  perf::FigureRecord rec;
+  rec.id = info.id;
+  rec.title = info.description;
+  rec.trials = 1;
+  g_sink = &rec;
+  body(args);
+  g_sink = nullptr;
+
+  if (!args.json.empty()) {
+    perf::SuiteRecord suite;
+    suite.mode = args.quick ? "quick" : "full";
+    suite.figures.push_back(std::move(rec));
+    const std::string text = perf::to_json(suite);
+    std::FILE* f = std::fopen(args.json.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "rtle bench: cannot write '%s'\n",
+                   args.json.c_str());
+      return 1;
+    }
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+  }
+  return 0;
+}
+
+}  // namespace rtle::bench

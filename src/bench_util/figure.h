@@ -1,0 +1,63 @@
+// The figure registration layer: the one main() all fig*/abl_* binaries
+// share.
+//
+// A figure binary declares itself with RTLE_FIGURE and writes only its
+// grid loop; argument parsing, the banner, cell collection and the
+// `--json=FILE` perf-fragment emission live here. run_set_bench() reports
+// every cell it runs into the ambient CellSink automatically; drivers with
+// their own loops (fig11's bank, fig13's assembler, the structure/lemming
+// ablations) call report_cell() themselves.
+//
+//   RTLE_FIGURE("fig08", "Figure 8", "RHNOrec slow-path throughput ...") {
+//     SetBenchConfig cfg;          // `args` is the parsed BenchArgs
+//     ...
+//   }
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "bench_util/perf.h"
+#include "bench_util/setbench.h"
+#include "bench_util/table.h"
+
+namespace rtle::bench {
+
+struct FigureInfo {
+  const char* id;           ///< suite key, e.g. "fig08" / "abl_capacity"
+  const char* name;         ///< banner name, e.g. "Figure 8"
+  const char* description;  ///< one line; banner + JSON title
+};
+
+/// Report one grid cell to the ambient sink; no-op when no figure_main is
+/// on the stack (e.g. library tests calling run_set_bench directly).
+void report_cell(const std::string& method, const std::string& cell,
+                 const perf::CellMetrics& m);
+
+/// Canonical grid-point label for a set-bench cell:
+/// "<machine>/r<range>/i<ins>r<rem>/t<threads>", plus "/<cell_tag>" when
+/// the config carries one (ablations use the tag for their swept knob).
+std::string cell_label(const SetBenchConfig& cfg);
+
+/// Standard metric extraction from a set-bench cell.
+perf::CellMetrics metrics_from(const SetBenchResult& r,
+                               const sim::MachineConfig& mc);
+
+/// The shared main(): parses BenchArgs, prints the banner, installs the
+/// cell sink, runs `body`, and writes the single-figure perf fragment when
+/// --json=FILE was given. Returns the process exit code.
+int figure_main(int argc, char** argv, const FigureInfo& info,
+                const std::function<void(const BenchArgs&)>& body);
+
+/// Declares the figure's body function and the main() that wraps it in
+/// figure_main. The body receives `const BenchArgs& args`.
+#define RTLE_FIGURE(ID, NAME, DESCRIPTION)                            \
+  static void rtle_figure_body(const rtle::bench::BenchArgs& args);   \
+  int main(int argc, char** argv) {                                   \
+    return rtle::bench::figure_main(argc, argv,                       \
+                                    {(ID), (NAME), (DESCRIPTION)},    \
+                                    rtle_figure_body);                \
+  }                                                                   \
+  static void rtle_figure_body(const rtle::bench::BenchArgs& args)
+
+}  // namespace rtle::bench

@@ -1,0 +1,268 @@
+#include "bench_util/gate.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/personality.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+namespace rtle::bench::gate {
+
+const std::vector<SuiteEntry>& default_suite() {
+  // Budgets are wall-clock seconds per child run, sized ~10x the observed
+  // quick runtimes on a loaded CI core so only a hang/livelock trips them.
+  static const std::vector<SuiteEntry> kSuite = {
+      {"fig05", "fig05_avl_throughput", 600, 7200},
+      {"fig06", "fig06_slowpath", 300, 3600},
+      {"fig07", "fig07_time_under_lock", 300, 3600},
+      {"fig08", "fig08_rhnorec_slowpath", 120, 1800},
+      {"fig09", "fig09_rhnorec_mix", 120, 1800},
+      {"fig10", "fig10_validations", 120, 1800},
+      {"fig11", "fig11_bank", 300, 3600},
+      {"fig12", "fig12_unfriendly", 300, 3600},
+      {"fig13", "fig13_cctsa", 600, 7200},
+      {"abl_barrier_cost", "abl_barrier_cost", 300, 3600},
+      {"abl_lazy_subscription", "abl_lazy_subscription", 300, 3600},
+      {"abl_adaptive", "abl_adaptive", 300, 3600},
+      {"abl_orec_skew", "abl_orec_skew", 300, 3600},
+      {"abl_capacity", "abl_capacity", 300, 3600},
+      {"abl_trials", "abl_trials", 300, 3600},
+      {"abl_structures", "abl_structures", 600, 7200},
+      {"abl_lemming", "abl_lemming", 300, 3600},
+      {"abl_hybrid_tm", "abl_hybrid_tm", 300, 3600},
+  };
+  return kSuite;
+}
+
+namespace {
+
+double now_s() {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<double>(ts.tv_sec) + ts.tv_nsec * 1e-9;
+}
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+// One scheduled child run of a figure binary.
+struct Run {
+  std::size_t entry;     // index into the entry list
+  int index;             // 0..warmup+trials-1; < warmup means discarded
+  std::string json;      // fragment path the child writes
+  pid_t pid = -1;
+  double deadline = 0;   // CLOCK_MONOTONIC seconds
+  bool timed_out = false;
+  bool started = false;
+  bool done = false;
+  int exit_status = 0;
+};
+
+pid_t spawn_run(const std::string& path, bool quick, const std::string& json) {
+  const pid_t pid = fork();
+  if (pid != 0) return pid;
+  // Child. Simulated results depend on absolute heap addresses; turn off
+  // address-space randomization so every run of a binary sees the same
+  // layout (what `setarch -R` does).
+  personality(ADDR_NO_RANDOMIZE);
+  // The gated record is the plain unchecked/untraced configuration; make
+  // sure ambient environment arming doesn't leak in. Mode travels via the
+  // explicit --quick flag, not RTLE_QUICK.
+  unsetenv("RTLE_CHECK");   // NOLINT(concurrency-mt-unsafe)
+  unsetenv("RTLE_QUICK");   // NOLINT(concurrency-mt-unsafe)
+  const int devnull = open("/dev/null", O_WRONLY);
+  if (devnull >= 0) {
+    dup2(devnull, STDOUT_FILENO);
+    close(devnull);
+  }
+  const std::string json_arg = "--json=" + json;
+  std::vector<char*> argv;
+  argv.push_back(const_cast<char*>(path.c_str()));
+  if (quick) argv.push_back(const_cast<char*>("--quick"));
+  argv.push_back(const_cast<char*>(json_arg.c_str()));
+  argv.push_back(nullptr);
+  execv(path.c_str(), argv.data());
+  std::fprintf(stderr, "benchgate: exec %s: %s\n", path.c_str(),
+               std::strerror(errno));
+  _exit(127);
+}
+
+}  // namespace
+
+RunOutcome run_suite(const RunOptions& opt) {
+  RunOutcome out;
+  out.suite.mode = opt.quick ? "quick" : "full";
+
+  std::vector<SuiteEntry> entries;
+  for (const SuiteEntry& e : default_suite()) {
+    if (opt.only.empty() ||
+        std::find(opt.only.begin(), opt.only.end(), e.id) != opt.only.end()) {
+      entries.push_back(e);
+    }
+  }
+  for (const std::string& id : opt.only) {
+    bool known = false;
+    for (const SuiteEntry& e : default_suite()) {
+      known = known || id == e.id;
+    }
+    if (!known) out.failures.push_back({id, "unknown figure id"});
+  }
+  if (entries.empty()) return out;
+
+  char tmpl[] = "/tmp/rtle_benchgate_XXXXXX";
+  const char* tmpdir = mkdtemp(tmpl);
+  if (tmpdir == nullptr) {
+    out.failures.push_back({"suite", "mkdtemp failed"});
+    return out;
+  }
+
+  const int runs_per_entry = std::max(0, opt.warmup) + std::max(1, opt.trials);
+  std::vector<Run> runs;
+  for (std::size_t ei = 0; ei < entries.size(); ++ei) {
+    for (int ri = 0; ri < runs_per_entry; ++ri) {
+      Run r;
+      r.entry = ei;
+      r.index = ri;
+      r.json = std::string(tmpdir) + "/" + entries[ei].id + "." +
+               std::to_string(ri) + ".json";
+      runs.push_back(std::move(r));
+    }
+  }
+
+  int jobs = opt.jobs;
+  if (jobs <= 0) {
+    jobs = static_cast<int>(std::min<std::size_t>(
+        runs.size(), std::max(1u, std::thread::hardware_concurrency())));
+  }
+
+  std::size_t next = 0;
+  int running = 0;
+  std::size_t finished = 0;
+  while (finished < runs.size()) {
+    while (running < jobs && next < runs.size()) {
+      Run& r = runs[next++];
+      const SuiteEntry& e = entries[r.entry];
+      const std::string path = opt.bindir + "/" + e.binary;
+      const double budget =
+          (opt.quick ? e.quick_budget_s : e.full_budget_s) * opt.budget_scale;
+      if (opt.verbose) {
+        std::fprintf(stderr, "benchgate: start %s run %d (budget %.0fs)\n",
+                     e.id, r.index, budget);
+      }
+      r.pid = spawn_run(path, opt.quick, r.json);
+      r.started = true;
+      if (r.pid < 0) {
+        r.done = true;
+        r.exit_status = -1;
+        ++finished;
+        continue;
+      }
+      r.deadline = now_s() + budget;
+      ++running;
+    }
+    if (running == 0) break;
+    // Reap and enforce budgets.
+    bool progressed = false;
+    for (Run& r : runs) {
+      if (!r.started || r.done || r.pid < 0) continue;
+      int status = 0;
+      const pid_t got = waitpid(r.pid, &status, WNOHANG);
+      if (got == r.pid) {
+        r.done = true;
+        r.exit_status = status;
+        ++finished;
+        --running;
+        progressed = true;
+        if (opt.verbose) {
+          std::fprintf(stderr, "benchgate: done  %s run %d (status %d)\n",
+                       entries[r.entry].id, r.index, status);
+        }
+      } else if (now_s() > r.deadline) {
+        kill(r.pid, SIGKILL);
+        waitpid(r.pid, &status, 0);
+        r.done = true;
+        r.timed_out = true;
+        r.exit_status = status;
+        ++finished;
+        --running;
+        progressed = true;
+        std::fprintf(stderr, "benchgate: KILLED %s run %d (budget exceeded)\n",
+                     entries[r.entry].id, r.index);
+      }
+    }
+    if (!progressed) {
+      timespec nap{0, 5'000'000};  // 5 ms
+      nanosleep(&nap, nullptr);
+    }
+  }
+
+  // Collect per entry: parse the recorded (non-warmup) fragments, merge.
+  for (std::size_t ei = 0; ei < entries.size(); ++ei) {
+    const SuiteEntry& e = entries[ei];
+    std::vector<perf::FigureRecord> trials;
+    std::string fail;
+    for (const Run& r : runs) {
+      if (r.entry != ei) continue;
+      if (r.timed_out) {
+        fail = "wall-clock budget exceeded";
+        break;
+      }
+      if (!WIFEXITED(r.exit_status) || WEXITSTATUS(r.exit_status) != 0) {
+        fail = "child failed (status " + std::to_string(r.exit_status) + ")";
+        break;
+      }
+      if (r.index < opt.warmup) continue;  // warm-up run: discard
+      std::string text;
+      perf::SuiteRecord frag;
+      std::string err;
+      if (!read_file(r.json, text)) {
+        fail = "child wrote no fragment";
+        break;
+      }
+      if (!perf::from_json(text, frag, &err)) {
+        fail = "bad fragment: " + err;
+        break;
+      }
+      if (frag.figures.size() != 1 || frag.figures[0].id != e.id) {
+        fail = "fragment does not contain exactly figure " + std::string(e.id);
+        break;
+      }
+      trials.push_back(std::move(frag.figures[0]));
+    }
+    for (const Run& r : runs) {
+      if (r.entry == ei) unlink(r.json.c_str());
+    }
+    if (fail.empty()) {
+      perf::FigureRecord merged;
+      std::string err;
+      if (perf::merge_trials(trials, merged, &err)) {
+        out.suite.figures.push_back(std::move(merged));
+      } else {
+        fail = "trial merge: " + err;
+      }
+    }
+    if (!fail.empty()) out.failures.push_back({e.id, fail});
+  }
+  rmdir(tmpdir);
+  return out;
+}
+
+}  // namespace rtle::bench::gate

@@ -1,0 +1,72 @@
+// The suite runner behind tools/benchgate: runs every figure binary as a
+// child process (parallel, wall-clock-budgeted), aggregates repeated
+// trials, and produces the schema-versioned SuiteRecord the regression
+// gate compares.
+//
+// Children run with address-space randomization disabled
+// (personality(ADDR_NO_RANDOMIZE)): simulated cache-line identity derives
+// from real heap addresses (mem::line_of), so ASLR would make some
+// figures' conflict patterns — and therefore their deterministic results —
+// vary run to run. With it off, two sweeps of the same binary are
+// byte-identical (the determinism test in tests/bench_pipeline_test.cpp
+// holds the gate to that).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bench_util/perf.h"
+
+namespace rtle::bench::gate {
+
+/// One row of the suite table: a figure binary and its per-run wall-clock
+/// budgets (seconds) in quick and full mode. A run exceeding its budget is
+/// killed and reported as a failure.
+struct SuiteEntry {
+  const char* id;      ///< figure id, matches the binary's RTLE_FIGURE
+  const char* binary;  ///< executable name under the bench directory
+  double quick_budget_s;
+  double full_budget_s;
+};
+
+/// The full figure suite: fig05–fig13 plus the nine ablations.
+/// (micro_substrate is a google-benchmark binary measuring the real-time
+/// substrate, not a simulated grid — it is not part of the perf record.)
+const std::vector<SuiteEntry>& default_suite();
+
+struct RunOptions {
+  bool quick = true;
+  /// Recorded runs per figure; median/IQR aggregate across them. The
+  /// simulator is deterministic, so IQR > 0 is itself a red flag.
+  int trials = 2;
+  /// Discarded runs per figure before the recorded trials (OS page-cache /
+  /// CPU-frequency warm-up; the simulated results are identical anyway).
+  int warmup = 0;
+  /// Max concurrent child processes; 0 = min(#entries, hw threads).
+  int jobs = 0;
+  /// Multiplier on every entry's wall-clock budget.
+  double budget_scale = 1.0;
+  /// Directory containing the figure binaries (e.g. build/bench).
+  std::string bindir;
+  /// Restrict to these figure ids; empty = whole suite.
+  std::vector<std::string> only;
+  /// Progress lines on stderr.
+  bool verbose = false;
+};
+
+struct RunFailure {
+  std::string id;
+  std::string reason;
+};
+
+struct RunOutcome {
+  perf::SuiteRecord suite;  ///< aggregated record of every finished figure
+  std::vector<RunFailure> failures;
+  bool ok() const { return failures.empty(); }
+};
+
+/// Run the sweep. Figures that fail (bad exit, budget kill, malformed
+/// fragment) are listed in `failures` and omitted from the suite.
+RunOutcome run_suite(const RunOptions& opt);
+
+}  // namespace rtle::bench::gate

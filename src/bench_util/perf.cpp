@@ -1,0 +1,449 @@
+#include "bench_util/perf.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cstdio>
+
+#include "trace/json.h"
+
+namespace rtle::bench::perf {
+
+namespace json = rtle::trace::json;
+
+// --- order statistics --------------------------------------------------
+
+namespace {
+
+// Median of the already-sorted subrange [lo, hi).
+double sorted_median(const std::vector<double>& v, std::size_t lo,
+                     std::size_t hi) {
+  const std::size_t n = hi - lo;
+  if (n == 0) return 0.0;
+  const std::size_t mid = lo + n / 2;
+  if (n % 2 == 1) return v[mid];
+  return (v[mid - 1] + v[mid]) / 2.0;
+}
+
+}  // namespace
+
+double median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  return sorted_median(v, 0, v.size());
+}
+
+double iqr(std::vector<double> v) {
+  if (v.size() < 2) return 0.0;
+  std::sort(v.begin(), v.end());
+  const std::size_t half = v.size() / 2;
+  const double q1 = sorted_median(v, 0, half);
+  // Odd count: exclude the middle element from both halves (Tukey).
+  const double q3 = sorted_median(v, v.size() - half, v.size());
+  return q3 - q1;
+}
+
+Stat aggregate(const std::vector<double>& trials) {
+  return {median(trials), iqr(trials)};
+}
+
+// --- record lookups ----------------------------------------------------
+
+MethodRecord* FigureRecord::find_method(const std::string& name) {
+  for (auto& m : methods) {
+    if (m.method == name) return &m;
+  }
+  return nullptr;
+}
+
+const MethodRecord* FigureRecord::find_method(const std::string& name) const {
+  return const_cast<FigureRecord*>(this)->find_method(name);
+}
+
+FigureRecord* SuiteRecord::find_figure(const std::string& id) {
+  for (auto& f : figures) {
+    if (f.id == id) return &f;
+  }
+  return nullptr;
+}
+
+const FigureRecord* SuiteRecord::find_figure(const std::string& id) const {
+  return const_cast<SuiteRecord*>(this)->find_figure(id);
+}
+
+// --- serialization -----------------------------------------------------
+
+namespace {
+
+// Shortest round-trip double: equal values always print identically, so
+// equal records serialize to byte-equal files.
+std::string fmt_double(double v) {
+  char buf[64];
+  auto [p, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  (void)ec;
+  return std::string(buf, p);
+}
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+void emit_stat(std::string& out, const char* name, const Stat& s) {
+  out += '"';
+  out += name;
+  out += "\": {\"median\": " + fmt_double(s.median) +
+         ", \"iqr\": " + fmt_double(s.iqr) + "}";
+}
+
+bool parse_stat(const json::Value& cell, const char* name, Stat& out,
+                std::string* err) {
+  const json::Value* v = cell.find(name);
+  if (v == nullptr || !v->is_object()) {
+    if (err != nullptr) *err = std::string("cell missing metric ") + name;
+    return false;
+  }
+  out.median = v->get_number("median");
+  out.iqr = v->get_number("iqr");
+  return true;
+}
+
+}  // namespace
+
+std::string to_json(const SuiteRecord& suite) {
+  std::string out;
+  out += "{\n";
+  out += "  \"schema\": \"" + escape(suite.schema) + "\",\n";
+  out += "  \"mode\": \"" + escape(suite.mode) + "\",\n";
+  out += "  \"figures\": [";
+  for (std::size_t fi = 0; fi < suite.figures.size(); ++fi) {
+    const FigureRecord& fig = suite.figures[fi];
+    out += fi == 0 ? "\n" : ",\n";
+    out += "    {\"id\": \"" + escape(fig.id) + "\", \"title\": \"" +
+           escape(fig.title) +
+           "\", \"trials\": " + std::to_string(fig.trials) +
+           ", \"methods\": [";
+    for (std::size_t mi = 0; mi < fig.methods.size(); ++mi) {
+      const MethodRecord& m = fig.methods[mi];
+      out += mi == 0 ? "\n" : ",\n";
+      out += "      {\"method\": \"" + escape(m.method) + "\", \"cells\": [";
+      for (std::size_t ci = 0; ci < m.cells.size(); ++ci) {
+        const CellRecord& c = m.cells[ci];
+        out += ci == 0 ? "\n" : ",\n";
+        out += "        {\"cell\": \"" + escape(c.cell) + "\", ";
+        emit_stat(out, "ops_per_ms", c.ops_per_ms);
+        out += ", ";
+        emit_stat(out, "abort_rate", c.abort_rate);
+        out += ", ";
+        emit_stat(out, "lock_fallback", c.lock_fallback);
+        out += ", ";
+        emit_stat(out, "time_under_lock", c.time_under_lock);
+        out += "}";
+      }
+      out += m.cells.empty() ? "]}" : "\n      ]}";
+    }
+    out += fig.methods.empty() ? "]}" : "\n    ]}";
+  }
+  out += suite.figures.empty() ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+bool from_json(const std::string& text, SuiteRecord& out, std::string* err) {
+  json::Value root;
+  if (!json::parse(text, root, err)) return false;
+  if (!root.is_object()) {
+    if (err != nullptr) *err = "suite file is not a JSON object";
+    return false;
+  }
+  out = SuiteRecord{};
+  out.schema = root.get_string("schema");
+  if (out.schema != kSchema) {
+    if (err != nullptr) {
+      *err = "schema mismatch: expected '" + std::string(kSchema) +
+             "', got '" + out.schema + "'";
+    }
+    return false;
+  }
+  out.mode = root.get_string("mode", "full");
+  const json::Value* figures = root.find("figures");
+  if (figures == nullptr || !figures->is_array()) {
+    if (err != nullptr) *err = "missing 'figures' array";
+    return false;
+  }
+  out.figures.clear();
+  for (const json::Value& jf : figures->arr) {
+    FigureRecord fig;
+    fig.id = jf.get_string("id");
+    fig.title = jf.get_string("title");
+    fig.trials = static_cast<std::uint32_t>(jf.get_u64("trials", 1));
+    if (fig.id.empty()) {
+      if (err != nullptr) *err = "figure entry without an 'id'";
+      return false;
+    }
+    const json::Value* methods = jf.find("methods");
+    if (methods == nullptr || !methods->is_array()) {
+      if (err != nullptr) *err = fig.id + ": missing 'methods' array";
+      return false;
+    }
+    for (const json::Value& jm : methods->arr) {
+      MethodRecord m;
+      m.method = jm.get_string("method");
+      const json::Value* cells = jm.find("cells");
+      if (m.method.empty() || cells == nullptr || !cells->is_array()) {
+        if (err != nullptr) *err = fig.id + ": malformed method entry";
+        return false;
+      }
+      for (const json::Value& jc : cells->arr) {
+        CellRecord c;
+        c.cell = jc.get_string("cell");
+        if (c.cell.empty()) {
+          if (err != nullptr) {
+            *err = fig.id + "/" + m.method + ": cell without a label";
+          }
+          return false;
+        }
+        if (!parse_stat(jc, "ops_per_ms", c.ops_per_ms, err) ||
+            !parse_stat(jc, "abort_rate", c.abort_rate, err) ||
+            !parse_stat(jc, "lock_fallback", c.lock_fallback, err) ||
+            !parse_stat(jc, "time_under_lock", c.time_under_lock, err)) {
+          return false;
+        }
+        m.cells.push_back(std::move(c));
+      }
+      fig.methods.push_back(std::move(m));
+    }
+    out.figures.push_back(std::move(fig));
+  }
+  return true;
+}
+
+// --- markdown ----------------------------------------------------------
+
+namespace {
+
+std::string fmt_short(double v) {
+  char buf[32];
+  if (v != 0.0 && (v < 0.01 || v >= 1e6)) {
+    std::snprintf(buf, sizeof(buf), "%.3g", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f", v);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string to_markdown(const SuiteRecord& suite) {
+  std::string out;
+  out += "# Benchmark suite summary\n\n";
+  out += "Schema `" + suite.schema + "`, mode `" + suite.mode +
+         "`. Throughput is operations per *simulated* millisecond; the "
+         "spread is across the figure's grid cells (threads, machines, "
+         "mixes), not across trials — trial IQRs of a deterministic "
+         "simulator are zero.\n";
+  for (const FigureRecord& fig : suite.figures) {
+    out += "\n## " + fig.id + " — " + fig.title + "\n\n";
+    out += "| method | cells | ops/ms min | ops/ms median | ops/ms max | "
+           "abort rate (max) | time under lock (max) |\n";
+    out += "|---|---|---|---|---|---|---|\n";
+    for (const MethodRecord& m : fig.methods) {
+      std::vector<double> tp;
+      double worst_abort = 0.0;
+      double worst_lock = 0.0;
+      for (const CellRecord& c : m.cells) {
+        tp.push_back(c.ops_per_ms.median);
+        worst_abort = std::max(worst_abort, c.abort_rate.median);
+        worst_lock = std::max(worst_lock, c.time_under_lock.median);
+      }
+      if (tp.empty()) continue;
+      const auto [mn, mx] = std::minmax_element(tp.begin(), tp.end());
+      out += "| " + m.method + " | " + std::to_string(m.cells.size()) +
+             " | " + fmt_short(*mn) + " | " + fmt_short(median(tp)) +
+             " | " + fmt_short(*mx) + " | " + fmt_short(worst_abort) +
+             " | " + fmt_short(worst_lock) + " |\n";
+    }
+  }
+  return out;
+}
+
+// --- trial aggregation -------------------------------------------------
+
+bool merge_trials(const std::vector<FigureRecord>& trials, FigureRecord& out,
+                  std::string* err) {
+  if (trials.empty()) {
+    if (err != nullptr) *err = "no trials to merge";
+    return false;
+  }
+  const FigureRecord& first = trials.front();
+  out = FigureRecord{};
+  out.id = first.id;
+  out.title = first.title;
+  out.trials = static_cast<std::uint32_t>(trials.size());
+  for (const MethodRecord& m0 : first.methods) {
+    MethodRecord merged;
+    merged.method = m0.method;
+    for (std::size_t ci = 0; ci < m0.cells.size(); ++ci) {
+      const CellRecord& c0 = m0.cells[ci];
+      std::vector<double> tp;
+      std::vector<double> ar;
+      std::vector<double> lf;
+      std::vector<double> tl;
+      for (const FigureRecord& t : trials) {
+        const MethodRecord* m = t.find_method(m0.method);
+        const CellRecord* c = nullptr;
+        if (m != nullptr) {
+          for (const CellRecord& cc : m->cells) {
+            if (cc.cell == c0.cell) {
+              c = &cc;
+              break;
+            }
+          }
+        }
+        if (c == nullptr) {
+          if (err != nullptr) {
+            *err = first.id + "/" + m0.method + "/" + c0.cell +
+                   ": missing from a trial (nondeterministic grid?)";
+          }
+          return false;
+        }
+        tp.push_back(c->ops_per_ms.median);
+        ar.push_back(c->abort_rate.median);
+        lf.push_back(c->lock_fallback.median);
+        tl.push_back(c->time_under_lock.median);
+      }
+      CellRecord merged_cell;
+      merged_cell.cell = c0.cell;
+      merged_cell.ops_per_ms = aggregate(tp);
+      merged_cell.abort_rate = aggregate(ar);
+      merged_cell.lock_fallback = aggregate(lf);
+      merged_cell.time_under_lock = aggregate(tl);
+      merged.cells.push_back(std::move(merged_cell));
+    }
+    out.methods.push_back(std::move(merged));
+  }
+  return true;
+}
+
+// --- regression gate ---------------------------------------------------
+
+namespace {
+
+double ratio_of(double baseline, double current) {
+  if (baseline <= 0.0) return current <= 0.0 ? 1.0 : 2.0;  // 0 -> nonzero
+  return current / baseline;
+}
+
+}  // namespace
+
+GateResult compare(const SuiteRecord& baseline, const SuiteRecord& current,
+                   const GateConfig& cfg) {
+  GateResult res;
+  const double floor = 1.0 - cfg.max_regression;
+  const double ceil = 1.0 + cfg.max_regression;
+  for (const FigureRecord& bfig : baseline.figures) {
+    const FigureRecord* cfig = current.find_figure(bfig.id);
+    if (cfig == nullptr) {
+      res.missing.push_back("figure " + bfig.id);
+      continue;
+    }
+    for (const MethodRecord& bm : bfig.methods) {
+      const MethodRecord* cm = cfig->find_method(bm.method);
+      if (cm == nullptr) {
+        res.missing.push_back("method " + bfig.id + "/" + bm.method);
+        continue;
+      }
+      std::vector<double> ratios;
+      double base_med_in = 0.0;
+      double cur_med_in = 0.0;
+      {
+        std::vector<double> b;
+        std::vector<double> c;
+        for (const CellRecord& bc : bm.cells) {
+          const CellRecord* cc = nullptr;
+          for (const CellRecord& cand : cm->cells) {
+            if (cand.cell == bc.cell) {
+              cc = &cand;
+              break;
+            }
+          }
+          if (cc == nullptr) {
+            res.missing.push_back("cell " + bfig.id + "/" + bm.method + "/" +
+                                  bc.cell);
+            continue;
+          }
+          const double r = ratio_of(bc.ops_per_ms.median, cc->ops_per_ms.median);
+          ratios.push_back(r);
+          b.push_back(bc.ops_per_ms.median);
+          c.push_back(cc->ops_per_ms.median);
+          if (r < floor) {
+            res.warnings.push_back({bfig.id, bm.method, bc.cell,
+                                    bc.ops_per_ms.median,
+                                    cc->ops_per_ms.median, r});
+          }
+        }
+        base_med_in = median(b);
+        cur_med_in = median(c);
+      }
+      if (ratios.empty()) continue;
+      const double score = median(ratios);
+      if (score < floor) {
+        res.regressions.push_back(
+            {bfig.id, bm.method, "", base_med_in, cur_med_in, score});
+      } else if (score > ceil) {
+        res.improvements.push_back(
+            {bfig.id, bm.method, "", base_med_in, cur_med_in, score});
+      }
+    }
+  }
+  res.pass = res.regressions.empty() && res.missing.empty();
+  return res;
+}
+
+std::string GateResult::render(const GateConfig& cfg) const {
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "perf gate: threshold %.0f%% on median per-cell throughput "
+                "ratio per (figure, method)\n",
+                cfg.max_regression * 100.0);
+  out += buf;
+  for (const std::string& m : missing) {
+    out += "  MISSING  " + m + "\n";
+  }
+  for (const GateFinding& f : regressions) {
+    std::snprintf(buf, sizeof(buf),
+                  "  FAIL     %s/%s median ratio %.3f (median ops/ms %.1f -> "
+                  "%.1f)\n",
+                  f.figure.c_str(), f.method.c_str(), f.ratio, f.baseline,
+                  f.current);
+    out += buf;
+  }
+  for (const GateFinding& f : warnings) {
+    std::snprintf(buf, sizeof(buf),
+                  "  warn     %s/%s cell %s ratio %.3f (%.1f -> %.1f)\n",
+                  f.figure.c_str(), f.method.c_str(), f.cell.c_str(), f.ratio,
+                  f.baseline, f.current);
+    out += buf;
+  }
+  for (const GateFinding& f : improvements) {
+    std::snprintf(buf, sizeof(buf),
+                  "  improve  %s/%s median ratio %.3f (median ops/ms %.1f -> "
+                  "%.1f)\n",
+                  f.figure.c_str(), f.method.c_str(), f.ratio, f.baseline,
+                  f.current);
+    out += buf;
+  }
+  out += pass ? "  PASS\n" : "  GATE FAILED\n";
+  return out;
+}
+
+}  // namespace rtle::bench::perf

@@ -1,0 +1,164 @@
+// Machine-readable performance records for the figure suite.
+//
+// Every figure binary can emit its grid as a single-trial suite fragment
+// (`--json=FILE`); tools/benchgate runs the whole suite as parallel child
+// processes, aggregates repeated trials into median + IQR, writes the
+// schema-versioned BENCH_*.json perf trajectory plus a Markdown summary,
+// and compares two suite files for the CI regression gate.
+//
+// Schema ("rtle-bench-v1"):
+//   {
+//     "schema": "rtle-bench-v1",
+//     "mode": "quick" | "full",
+//     "figures": [
+//       { "id": "fig05", "title": "...", "trials": 3,
+//         "methods": [
+//           { "method": "TLE",
+//             "cells": [
+//               { "cell": "xeon/r8192/i20r20/t8",
+//                 "ops_per_ms":      {"median": ..., "iqr": ...},
+//                 "abort_rate":      {"median": ..., "iqr": ...},
+//                 "lock_fallback":   {"median": ..., "iqr": ...},
+//                 "time_under_lock": {"median": ..., "iqr": ...} } ] } ] } ]
+//   }
+// A single process run is the same shape with trials=1 and every iqr=0, so
+// one parser and one writer serve both the per-binary fragments and the
+// aggregated suite. Numbers are serialized with shortest-round-trip
+// formatting (std::to_chars), so equal records produce byte-equal files —
+// the determinism test depends on that.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace rtle::bench::perf {
+
+inline constexpr const char* kSchema = "rtle-bench-v1";
+
+// --- order statistics --------------------------------------------------
+
+/// Median of `v` (not required sorted; empty -> 0).
+double median(std::vector<double> v);
+
+/// Interquartile range by Tukey hinges: median of the upper half minus
+/// median of the lower half (halves split around, and excluding, the
+/// middle element when the count is odd). Empty or single -> 0.
+double iqr(std::vector<double> v);
+
+/// One aggregated metric. A raw (single-trial) value is {value, 0}.
+struct Stat {
+  double median = 0.0;
+  double iqr = 0.0;
+};
+
+/// Aggregate trial values into {median, iqr}.
+Stat aggregate(const std::vector<double>& trials);
+
+// --- records -----------------------------------------------------------
+
+/// The per-cell metrics every figure reports. ops_per_ms is the gated
+/// throughput; the rest contextualize it (and catch "faster because it
+/// stopped doing the work" regressions by eye).
+struct CellMetrics {
+  double ops_per_ms = 0.0;
+  double abort_rate = 0.0;       // aborts / (commits + aborts)
+  double lock_fallback = 0.0;    // commit_lock / ops
+  double time_under_lock = 0.0;  // lock-held cycles / measured cycles
+};
+
+struct CellRecord {
+  std::string cell;  // grid point label, e.g. "xeon/r8192/i20r20/t8"
+  Stat ops_per_ms;
+  Stat abort_rate;
+  Stat lock_fallback;
+  Stat time_under_lock;
+};
+
+struct MethodRecord {
+  std::string method;  // display name, e.g. "FG-TLE(4)"
+  std::vector<CellRecord> cells;
+};
+
+struct FigureRecord {
+  std::string id;     // "fig05" ... "abl_lemming"
+  std::string title;  // one line, from the figure registration
+  std::uint32_t trials = 1;
+  std::vector<MethodRecord> methods;
+
+  MethodRecord* find_method(const std::string& name);
+  const MethodRecord* find_method(const std::string& name) const;
+};
+
+struct SuiteRecord {
+  std::string schema = kSchema;
+  std::string mode = "full";  // "quick" | "full"
+  std::vector<FigureRecord> figures;
+
+  FigureRecord* find_figure(const std::string& id);
+  const FigureRecord* find_figure(const std::string& id) const;
+};
+
+// --- serialization -----------------------------------------------------
+
+/// Serialize to pretty-printed JSON (stable formatting; see header note).
+std::string to_json(const SuiteRecord& suite);
+
+/// Parse a suite file's text. Returns false (with a message in *err when
+/// given) on malformed JSON or a schema mismatch.
+bool from_json(const std::string& text, SuiteRecord& out,
+               std::string* err = nullptr);
+
+/// Render the human-readable Markdown summary: one table per figure
+/// (method x throughput spread / abort rate / time under lock).
+std::string to_markdown(const SuiteRecord& suite);
+
+// --- trial aggregation -------------------------------------------------
+
+/// Merge N single-figure trial fragments (same binary, same mode) into one
+/// FigureRecord with median/IQR over the trials' medians. Methods and
+/// cells are matched by name; a (method, cell) absent from some trial is
+/// an error. Returns false with *err on mismatch or empty input.
+bool merge_trials(const std::vector<FigureRecord>& trials, FigureRecord& out,
+                  std::string* err = nullptr);
+
+// --- regression gate ---------------------------------------------------
+
+struct GateConfig {
+  /// Fail a (figure, method) whose median cell-throughput ratio
+  /// current/baseline drops below 1 - max_regression.
+  double max_regression = 0.10;
+};
+
+struct GateFinding {
+  std::string figure;
+  std::string method;
+  std::string cell;  // empty for method-level (median-of-cells) findings
+  double baseline = 0.0;
+  double current = 0.0;
+  double ratio = 0.0;
+};
+
+struct GateResult {
+  bool pass = true;
+  /// Method-level failures: median of per-cell throughput ratios below
+  /// the threshold.
+  std::vector<GateFinding> regressions;
+  /// Cell-level drops below the threshold that the method-level median
+  /// absorbed. Advisory: single cells of this deterministic simulator can
+  /// be bistable under heap-layout shifts (DESIGN.md §10).
+  std::vector<GateFinding> warnings;
+  /// Method-level improvements beyond the threshold (informational).
+  std::vector<GateFinding> improvements;
+  /// Figures/methods/cells present in the baseline but missing from the
+  /// current run — always a hard failure (a silently vanished benchmark
+  /// must not pass the gate).
+  std::vector<std::string> missing;
+
+  std::string render(const GateConfig& cfg) const;
+};
+
+/// Compare `current` against `baseline` (ops_per_ms medians only).
+GateResult compare(const SuiteRecord& baseline, const SuiteRecord& current,
+                   const GateConfig& cfg = {});
+
+}  // namespace rtle::bench::perf

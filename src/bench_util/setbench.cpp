@@ -6,6 +6,7 @@
 #include <memory>
 #include <optional>
 
+#include "bench_util/figure.h"
 #include "ds/avl.h"
 #include "runtime/engine.h"
 #include "runtime/retry_policy.h"
@@ -206,6 +207,7 @@ SetBenchResult run_set_bench(const SetBenchConfig& cfg,
                    cfg.trace_file.c_str());
     }
   }
+  report_cell(res.method, cell_label(cfg), metrics_from(res, cfg.machine));
   return res;
 }
 

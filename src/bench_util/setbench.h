@@ -45,6 +45,11 @@ struct SetBenchConfig {
   std::string retry_policy;
   bool htm_health = false;
 
+  /// Extra cell-label component for swept knobs the standard label cannot
+  /// express (barrier-cost cycles, capacity limits, fault tags ...); see
+  /// bench::cell_label(). Empty for plain grid cells.
+  std::string cell_tag;
+
   // Observability (trace/): when either is set, the cell runs under a
   // TraceSession. `trace_file` exports the cell's Chrome trace-event JSON
   // (each traced cell overwrites the file, so with multiple cells the last

@@ -75,6 +75,7 @@ BenchArgs parse_bench_args(int argc, char** argv) {
     if (std::strcmp(argv[i], "--latency") == 0) args.latency = true;
     if (std::strncmp(argv[i], "--trace=", 8) == 0) args.trace = argv[i] + 8;
     if (std::strcmp(argv[i], "--check") == 0) args.check = true;
+    if (std::strncmp(argv[i], "--json=", 7) == 0) args.json = argv[i] + 7;
   }
   // Env access happens during single-threaded argv parsing, before any
   // simulated fiber exists. NOLINTNEXTLINE(concurrency-mt-unsafe)

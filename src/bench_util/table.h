@@ -56,6 +56,11 @@ struct BenchArgs {
   /// the bench with a report naming the broken invariant.
   bool check = false;
 
+  // Perf-trajectory output (bench_util/perf.h).
+  /// --json=FILE: write the figure's grid as a single-trial
+  /// "rtle-bench-v1" suite fragment; tools/benchgate aggregates these.
+  std::string json;
+
   double scale(double full, double quick_value) const {
     return quick ? quick_value : full;
   }

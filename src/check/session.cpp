@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "sim/ambient.h"
 #include "sim/sched.h"
 
 namespace rtle::check {
@@ -33,6 +34,10 @@ void register_meta(const void* addr, std::size_t bytes) {
   if (g_session != nullptr) g_session->register_meta(addr, bytes);
 }
 
+void deregister_meta(const void* addr, std::size_t bytes) {
+  if (g_session != nullptr) g_session->deregister_meta(addr, bytes);
+}
+
 const char* to_string(ReportKind k) {
   switch (k) {
     case ReportKind::kRace: return "data-race";
@@ -54,10 +59,12 @@ CheckSession::CheckSession(CheckConfig cfg)
   // access by another (epoch 0 would compare as "already seen").
   for (std::uint32_t f = 0; f < kMaxFibers; ++f) fibers_[f].vc[f] = 1;
   g_session = this;
+  ambient::set(ambient::kCheck, true);
 }
 
 CheckSession::~CheckSession() {
   g_session = prev_;
+  ambient::set(ambient::kCheck, g_session != nullptr);
   if (cfg_.die_on_report && total_reports_ > 0) {
     std::fprintf(stderr, "%s", summary().c_str());
     std::fprintf(stderr,
@@ -414,6 +421,24 @@ void CheckSession::register_meta(const void* addr, std::size_t bytes) {
   if (bytes == 0) return;
   const auto a = reinterpret_cast<std::uintptr_t>(addr);
   meta_[a] = a + bytes;
+}
+
+void CheckSession::deregister_meta(const void* addr, std::size_t bytes) {
+  if (bytes == 0) return;
+  const auto a = reinterpret_cast<std::uintptr_t>(addr);
+  const std::uintptr_t end = a + bytes;
+  for (auto it = meta_.lower_bound(a);
+       it != meta_.end() && it->first < end;) {
+    if (it->second <= end) {
+      it = meta_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (std::uintptr_t w = a; w < end; w += sizeof(std::uint64_t)) {
+    sync_.erase(w);
+    shadow_.erase(w);
+  }
 }
 
 void CheckSession::add_ignore_range(const void* addr, std::size_t bytes) {

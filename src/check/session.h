@@ -125,6 +125,15 @@ class CheckSession {
   /// Mark [addr, addr+bytes) as synchronization metadata: excluded from
   /// race checking, carrying per-word sync clocks instead.
   void register_meta(const void* addr, std::size_t bytes);
+  /// Undo register_meta for every registered range contained in
+  /// [addr, addr+bytes), dropping the per-word sync clocks and shadow
+  /// state with it. Call *before* freeing the memory (A-FG-TLE's
+  /// resize_orecs): a later allocation that reuses these addresses must
+  /// start clean, neither suppressed as metadata nor inheriting the old
+  /// words' ordering history.
+  void deregister_meta(const void* addr, std::size_t bytes);
+  /// Number of registered metadata ranges (test introspection).
+  std::size_t meta_range_count() const { return meta_.size(); }
   /// Exclude [addr, addr+bytes) from the checker entirely (intentional
   /// benign races, e.g. lock-as-barrier polling in tests).
   void add_ignore_range(const void* addr, std::size_t bytes);
@@ -245,5 +254,6 @@ bool env_check_enabled();
 /// Convenience: forward to the active session, no-op without one.
 void ignore_range(const void* addr, std::size_t bytes);
 void register_meta(const void* addr, std::size_t bytes);
+void deregister_meta(const void* addr, std::size_t bytes);
 
 }  // namespace rtle::check

@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "check/session.h"
+#include "sim/ambient.h"
 #include "sim/faultplan.h"
 
 namespace rtle::htm {
@@ -43,7 +44,8 @@ void HtmDomain::begin(Tx& tx) {
     std::fprintf(stderr, "rtle htm: bad tx id %u\n", tx.id_);
     std::abort();
   }
-  if (sim::FaultPlan* plan = sim::active_fault_plan();
+  if (sim::FaultPlan* plan =
+          ambient::any(ambient::kFault) ? sim::active_fault_plan() : nullptr;
       plan != nullptr && plan->htm_offline_at(sched_->now())) {
     // HTM-offline window (TSX disabled): the xbegin executes and falls
     // straight through to the abort handler with no hint bits. The
@@ -63,7 +65,9 @@ void HtmDomain::begin(Tx& tx) {
   slots_[tx.id_] = &tx;
   ++live_count_;
   sched_->advance(mem_->cost().htm_begin);
-  if (check::CheckSession* chk = check::active_check()) chk->on_tx_begin();
+  if (ambient::any(ambient::kCheck)) {
+    if (check::CheckSession* chk = check::active_check()) chk->on_tx_begin();
+  }
 }
 
 void HtmDomain::commit(Tx& tx) {
@@ -83,7 +87,9 @@ void HtmDomain::commit(Tx& tx) {
   --live_count_;
   tx.live_ = false;
   tx.depth_ = 0;
-  if (check::CheckSession* chk = check::active_check()) chk->on_tx_commit();
+  if (ambient::any(ambient::kCheck)) {
+    if (check::CheckSession* chk = check::active_check()) chk->on_tx_commit();
+  }
 }
 
 void HtmDomain::abort_self(Tx& tx, AbortCause cause) {
@@ -103,7 +109,9 @@ void HtmDomain::finish_abort(Tx& tx) {
   aborts_[static_cast<std::size_t>(tx.doom_cause_)] += 1;
   tx.live_ = false;
   tx.depth_ = 0;
-  if (check::CheckSession* chk = check::active_check()) chk->on_tx_abort();
+  if (ambient::any(ambient::kCheck)) {
+    if (check::CheckSession* chk = check::active_check()) chk->on_tx_abort();
+  }
 }
 
 void HtmDomain::rollback(Tx& tx) {
@@ -145,8 +153,10 @@ void HtmDomain::doom_mask(std::uint64_t mask, AbortCause cause) {
 
 void HtmDomain::maybe_spurious(Tx& tx) {
   std::uint64_t every = params_.spurious_every;
-  if (sim::FaultPlan* plan = sim::active_fault_plan()) {
-    every = plan->spurious_every_at(sched_->now(), every);
+  if (ambient::any(ambient::kFault)) {
+    if (sim::FaultPlan* plan = sim::active_fault_plan()) {
+      every = plan->spurious_every_at(sched_->now(), every);
+    }
   }
   if (every == 0) return;
   ++tx.accesses_;
@@ -156,15 +166,19 @@ void HtmDomain::maybe_spurious(Tx& tx) {
 }
 
 std::uint32_t HtmDomain::max_read_lines_now() const {
-  if (sim::FaultPlan* plan = sim::active_fault_plan()) {
-    return plan->max_read_lines_at(sched_->now(), params_.max_read_lines);
+  if (ambient::any(ambient::kFault)) {
+    if (sim::FaultPlan* plan = sim::active_fault_plan()) {
+      return plan->max_read_lines_at(sched_->now(), params_.max_read_lines);
+    }
   }
   return params_.max_read_lines;
 }
 
 std::uint32_t HtmDomain::max_write_lines_now() const {
-  if (sim::FaultPlan* plan = sim::active_fault_plan()) {
-    return plan->max_write_lines_at(sched_->now(), params_.max_write_lines);
+  if (ambient::any(ambient::kFault)) {
+    if (sim::FaultPlan* plan = sim::active_fault_plan()) {
+      return plan->max_write_lines_at(sched_->now(), params_.max_write_lines);
+    }
   }
   return params_.max_write_lines;
 }
@@ -194,8 +208,10 @@ std::uint64_t HtmDomain::tx_load(Tx& tx, const std::uint64_t* addr) {
     w.readers |= bit(tx.id_);
     tx.rlines_.push_back(line);
   }
-  if (check::CheckSession* chk = check::active_check()) {
-    chk->on_tx_read(addr, __builtin_return_address(0));
+  if (ambient::any(ambient::kCheck)) {
+    if (check::CheckSession* chk = check::active_check()) {
+      chk->on_tx_read(addr, __builtin_return_address(0));
+    }
   }
   return *addr;
 }
@@ -227,8 +243,10 @@ void HtmDomain::tx_store(Tx& tx, std::uint64_t* addr, std::uint64_t value) {
   }
   tx.undo_.push_back({addr, *addr});
   *addr = value;
-  if (check::CheckSession* chk = check::active_check()) {
-    chk->on_tx_write(addr, __builtin_return_address(0));
+  if (ambient::any(ambient::kCheck)) {
+    if (check::CheckSession* chk = check::active_check()) {
+      chk->on_tx_write(addr, __builtin_return_address(0));
+    }
   }
 }
 
@@ -258,13 +276,15 @@ void HtmDomain::tx_store_and_commit(Tx& tx, std::uint64_t* addr,
   --live_count_;
   tx.live_ = false;
   tx.depth_ = 0;
-  if (check::CheckSession* chk = check::active_check()) {
-    chk->on_tx_fused_commit(addr, __builtin_return_address(0));
+  if (ambient::any(ambient::kCheck)) {
+    if (check::CheckSession* chk = check::active_check()) {
+      chk->on_tx_fused_commit(addr, __builtin_return_address(0));
+    }
   }
 }
 
-void HtmDomain::observe_plain_load(std::uint32_t self, const void* addr) {
-  if (live_count_ == 0) return;
+void HtmDomain::observe_plain_load_slow(std::uint32_t self,
+                                        const void* addr) {
   Watch* w = watch_.find(mem::line_of(addr));
   if (w == nullptr) return;
   const std::uint64_t exclude = self < 64 ? bit(self) : 0;
@@ -272,8 +292,8 @@ void HtmDomain::observe_plain_load(std::uint32_t self, const void* addr) {
   if (writers != 0) doom_mask(writers, AbortCause::kConflict);
 }
 
-void HtmDomain::observe_plain_store(std::uint32_t self, const void* addr) {
-  if (live_count_ == 0) return;
+void HtmDomain::observe_plain_store_slow(std::uint32_t self,
+                                         const void* addr) {
   Watch* w = watch_.find(mem::line_of(addr));
   if (w == nullptr) return;
   const std::uint64_t exclude = self < 64 ? bit(self) : 0;

@@ -122,9 +122,18 @@ class HtmDomain {
   /// Conflict hooks for plain (non-transactional) accesses: doom every live
   /// transaction whose footprint intersects the accessed line. `self` is the
   /// id of the accessing thread's own Tx (excluded from dooming) or kNoSelf.
+  /// Inline fast path: with no live transaction (the overwhelmingly common
+  /// state — locks, stats, prefill, STM-only methods) these are a load and
+  /// a taken-home branch, no call.
   static constexpr std::uint32_t kNoSelf = 64;
-  void observe_plain_load(std::uint32_t self, const void* addr);
-  void observe_plain_store(std::uint32_t self, const void* addr);
+  void observe_plain_load(std::uint32_t self, const void* addr) {
+    if (live_count_ == 0) return;
+    observe_plain_load_slow(self, addr);
+  }
+  void observe_plain_store(std::uint32_t self, const void* addr) {
+    if (live_count_ == 0) return;
+    observe_plain_store_slow(self, addr);
+  }
 
   std::uint32_t live_count() const { return live_count_; }
 
@@ -143,6 +152,8 @@ class HtmDomain {
   static std::uint64_t bit(std::uint32_t id) { return 1ULL << id; }
 
   void doom_mask(std::uint64_t mask, AbortCause cause);
+  void observe_plain_load_slow(std::uint32_t self, const void* addr);
+  void observe_plain_store_slow(std::uint32_t self, const void* addr);
   void rollback(Tx& tx);
   void release_footprint(Tx& tx);
   void finish_abort(Tx& tx);  // bookkeeping common to all abort deliveries

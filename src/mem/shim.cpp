@@ -1,7 +1,15 @@
 #include "mem/shim.h"
 
 #include "check/session.h"
+#include "sim/ambient.h"
 #include "sim/env.h"
+
+// Every shimmed access used to consult the ambient checker through an
+// out-of-line call even when no session was installed. These are the
+// hottest functions in the repo (every shared access in every benchmark
+// flows through them), so each now reads the ambient dispatch word once —
+// one load, branch not taken in the common all-sessions-off case — and only
+// then resolves the session pointer.
 
 namespace rtle::mem {
 
@@ -9,8 +17,10 @@ std::uint64_t plain_load(const std::uint64_t* addr, std::uint32_t self_tx) {
   SimScope& s = *current_sim();
   s.sched.advance(s.mem.cost_load(s.sched.current_core(), line_of(addr)));
   s.htm.observe_plain_load(self_tx, addr);
-  if (check::CheckSession* chk = check::active_check()) {
-    chk->on_plain_load(addr, __builtin_return_address(0));
+  if (ambient::any(ambient::kCheck)) {
+    if (check::CheckSession* chk = check::active_check()) {
+      chk->on_plain_load(addr, __builtin_return_address(0));
+    }
   }
   return *addr;
 }
@@ -20,8 +30,10 @@ void plain_store(std::uint64_t* addr, std::uint64_t value,
   SimScope& s = *current_sim();
   s.sched.advance(s.mem.cost_store(s.sched.current_core(), line_of(addr)));
   s.htm.observe_plain_store(self_tx, addr);
-  if (check::CheckSession* chk = check::active_check()) {
-    chk->on_plain_store(addr, __builtin_return_address(0));
+  if (ambient::any(ambient::kCheck)) {
+    if (check::CheckSession* chk = check::active_check()) {
+      chk->on_plain_store(addr, __builtin_return_address(0));
+    }
   }
   *addr = value;
 }
@@ -32,8 +44,10 @@ bool plain_cas(std::uint64_t* addr, std::uint64_t expect,
   s.sched.advance(s.mem.cost_store(s.sched.current_core(), line_of(addr)) +
                   s.mem.cost().cas);
   s.htm.observe_plain_store(self_tx, addr);
-  if (check::CheckSession* chk = check::active_check()) {
-    chk->on_plain_rmw(addr, __builtin_return_address(0));
+  if (ambient::any(ambient::kCheck)) {
+    if (check::CheckSession* chk = check::active_check()) {
+      chk->on_plain_rmw(addr, __builtin_return_address(0));
+    }
   }
   if (*addr != expect) return false;
   *addr = desired;
@@ -46,8 +60,10 @@ std::uint64_t plain_faa(std::uint64_t* addr, std::uint64_t delta,
   s.sched.advance(s.mem.cost_store(s.sched.current_core(), line_of(addr)) +
                   s.mem.cost().cas);
   s.htm.observe_plain_store(self_tx, addr);
-  if (check::CheckSession* chk = check::active_check()) {
-    chk->on_plain_rmw(addr, __builtin_return_address(0));
+  if (ambient::any(ambient::kCheck)) {
+    if (check::CheckSession* chk = check::active_check()) {
+      chk->on_plain_rmw(addr, __builtin_return_address(0));
+    }
   }
   const std::uint64_t old = *addr;
   *addr = old + delta;
@@ -57,7 +73,9 @@ std::uint64_t plain_faa(std::uint64_t* addr, std::uint64_t delta,
 void fence() {
   SimScope& s = *current_sim();
   s.sched.advance(s.mem.cost().fence);
-  if (check::CheckSession* chk = check::active_check()) chk->on_fence();
+  if (ambient::any(ambient::kCheck)) {
+    if (check::CheckSession* chk = check::active_check()) chk->on_fence();
+  }
 }
 
 void compute(std::uint64_t cycles) { cur_sched().advance(cycles); }

@@ -1,0 +1,30 @@
+#include "sim/ambient.h"
+
+namespace rtle::ambient {
+
+namespace detail {
+std::uint32_t g_mask = 0;
+}  // namespace detail
+
+namespace {
+std::uint32_t g_installed = 0;  // bits backed by a live session
+std::uint32_t g_forced = 0;     // bits forced on by tests
+}  // namespace
+
+void set(Kind k, bool on) {
+  if (on) {
+    g_installed |= k;
+  } else {
+    g_installed &= ~static_cast<std::uint32_t>(k);
+  }
+  detail::g_mask = g_installed | g_forced;
+}
+
+void force(std::uint32_t bits) {
+  g_forced = bits;
+  detail::g_mask = g_installed | g_forced;
+}
+
+std::uint32_t forced() { return g_forced; }
+
+}  // namespace rtle::ambient

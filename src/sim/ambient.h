@@ -1,0 +1,63 @@
+// The ambient dispatch word.
+//
+// Three optional ambient sessions can wrap a simulation: a fault plan
+// (sim::FaultPlanScope), a trace session (trace::TraceSession) and a
+// correctness checker (check::CheckSession). Each is consulted from the
+// hottest code in the repo — the memory shim, the emulated HTM's
+// transactional accesses, the lock and the scheduler — and in the common
+// all-off configuration those consultations used to cost three separate
+// out-of-line calls per shimmed access.
+//
+// This header collapses them into one process-wide mask word. Each session
+// kind owns one bit, flipped at install/uninstall time by the session's own
+// ctor/dtor (the same places that maintain the ambient pointers, so the bit
+// can never disagree with the pointer). Hot paths read the mask once —
+// a single load and a predictable not-taken branch when everything is off —
+// and only consult the per-kind ambient pointer behind a set bit.
+//
+// `force()` ORs extra bits into the published mask without installing any
+// session. It exists for one reason: to prove the guards are transparent.
+// With a bit forced on, every guarded path takes the "session present"
+// branch, finds the ambient pointer still null, and must behave identically
+// — tests fork two children off one heap snapshot and compare exported
+// traces byte for byte.
+#pragma once
+
+#include <cstdint>
+
+namespace rtle::ambient {
+
+/// One bit per ambient-session kind.
+enum Kind : std::uint32_t {
+  kFault = 1u << 0,  ///< sim::active_fault_plan() may be non-null
+  kTrace = 1u << 1,  ///< trace::active_trace() may be non-null
+  kCheck = 1u << 2,  ///< check::active_check() may be non-null
+};
+
+namespace detail {
+extern std::uint32_t g_mask;  // published word: installed-bits | forced-bits
+}  // namespace detail
+
+/// The dispatch word. One relaxed-by-construction load; the simulator is
+/// single-OS-threaded so no atomicity is needed.
+inline std::uint32_t mask() { return detail::g_mask; }
+
+/// True iff any of `bits` is set — the hot-path guard.
+inline bool any(std::uint32_t bits) { return (detail::g_mask & bits) != 0; }
+
+/// Publish/retract a kind. Called only by session install/uninstall sites
+/// (FaultPlanScope, TraceSession, CheckSession ctors/dtors); `on` must be
+/// the truth of "is the ambient pointer for this kind non-null now", which
+/// makes nested scopes and null-plan scopes come out right for free.
+void set(Kind k, bool on);
+
+/// Test hook: OR `bits` into the published mask with no session installed
+/// (pass 0 to clear). Forced bits can only add work — guarded paths still
+/// null-check the ambient pointer — so behavior must not change; tests
+/// assert that with byte-identical trace comparisons.
+void force(std::uint32_t bits);
+
+/// Currently forced bits (test introspection).
+std::uint32_t forced();
+
+}  // namespace rtle::ambient

@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "sim/ambient.h"
+
 namespace rtle::sim {
 
 namespace {
@@ -224,8 +226,12 @@ FaultPlan* active_fault_plan() { return g_plan; }
 
 FaultPlanScope::FaultPlanScope(FaultPlan* plan) : prev_(g_plan) {
   g_plan = plan;
+  ambient::set(ambient::kFault, g_plan != nullptr);
 }
 
-FaultPlanScope::~FaultPlanScope() { g_plan = prev_; }
+FaultPlanScope::~FaultPlanScope() {
+  g_plan = prev_;
+  ambient::set(ambient::kFault, g_plan != nullptr);
+}
 
 }  // namespace rtle::sim

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "sim/ambient.h"
 #include "sim/faultplan.h"
 #include "trace/session.h"
 
@@ -87,6 +88,7 @@ void Scheduler::advance(std::uint64_t cycles) {
 
 void Scheduler::charge_holder_preemption() {
   if (cur_ == nullptr) return;
+  if (!ambient::any(ambient::kFault)) return;
   FaultPlan* plan = active_fault_plan();
   if (plan == nullptr) return;
   const std::uint64_t stall = plan->preemption_stall(cur_->clock);
@@ -108,7 +110,9 @@ void Scheduler::switch_to(SimThread* next) {
   SimThread* me = cur_;
   // Emitted while cur_ still names the outgoing fiber, so the record lands
   // in its ring at its clock.
-  if (trace::TraceSession* tr = trace::active_trace();
+  if (trace::TraceSession* tr = ambient::any(ambient::kTrace)
+                                    ? trace::active_trace()
+                                    : nullptr;
       tr != nullptr && tr->config().trace_fiber_switches) {
     tr->emit(trace::EventType::kFiberSwitch, 0, next->pin);
   }

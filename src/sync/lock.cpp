@@ -4,23 +4,33 @@
 
 #include "check/session.h"
 #include "mem/shim.h"
+#include "sim/ambient.h"
 #include "sim/env.h"
 #include "trace/session.h"
+
+// Each entry point reads the ambient dispatch word once; with all sessions
+// off that is the only session-related work the lock does.
 
 namespace rtle::sync {
 
 bool TTSLock::probe() const {
-  if (check::CheckSession* chk = check::active_check()) {
-    chk->on_lock_word(&word_);
+  if (ambient::any(ambient::kCheck)) {
+    if (check::CheckSession* chk = check::active_check()) {
+      chk->on_lock_word(&word_);
+    }
   }
   return mem::plain_load(&word_) != 0;
 }
 
 void TTSLock::acquire() {
-  if (check::CheckSession* chk = check::active_check()) {
-    chk->on_lock_word(&word_);
+  const std::uint32_t amb = ambient::mask();
+  if ((amb & ambient::kCheck) != 0) {
+    if (check::CheckSession* chk = check::active_check()) {
+      chk->on_lock_word(&word_);
+    }
   }
-  trace::TraceSession* tr = trace::active_trace();
+  trace::TraceSession* tr =
+      (amb & ambient::kTrace) != 0 ? trace::active_trace() : nullptr;
   const std::uint64_t wait_start = tr != nullptr ? cur_sched().now() : 0;
   const auto& cost = cur_mem().cost();
   std::uint64_t backoff = cost.backoff_base;
@@ -37,26 +47,35 @@ void TTSLock::acquire() {
   // Fault injection: a preemption window may stall the fresh holder before
   // it runs its critical section, as if the OS took its time slice away.
   // The stall lands after acquired_at_, so it counts as time under lock.
-  cur_sched().charge_holder_preemption();
+  if ((amb & ambient::kFault) != 0) cur_sched().charge_holder_preemption();
 }
 
 void TTSLock::release() {
   if (stats_ != nullptr) {
     stats_->cycles_under_lock += cur_sched().now() - acquired_at_;
   }
-  if (trace::TraceSession* tr = trace::active_trace()) tr->lock_released();
-  if (check::CheckSession* chk = check::active_check()) {
-    chk->on_lock_word(&word_);
+  const std::uint32_t amb = ambient::mask();
+  if ((amb & ambient::kTrace) != 0) {
+    if (trace::TraceSession* tr = trace::active_trace()) tr->lock_released();
+  }
+  if ((amb & ambient::kCheck) != 0) {
+    if (check::CheckSession* chk = check::active_check()) {
+      chk->on_lock_word(&word_);
+    }
   }
   mem::plain_store(&word_, 0);
-  if (check::CheckSession* chk = check::active_check()) {
-    chk->on_lock_released(&word_);
+  if ((amb & ambient::kCheck) != 0) {
+    if (check::CheckSession* chk = check::active_check()) {
+      chk->on_lock_released(&word_);
+    }
   }
 }
 
 void TTSLock::spin_while_held() const {
-  if (check::CheckSession* chk = check::active_check()) {
-    chk->on_lock_word(&word_);
+  if (ambient::any(ambient::kCheck)) {
+    if (check::CheckSession* chk = check::active_check()) {
+      chk->on_lock_word(&word_);
+    }
   }
   const auto& cost = cur_mem().cost();
   while (mem::plain_load(&word_) != 0) {

@@ -52,6 +52,16 @@ std::uint64_t FgTleMethod::orec_index(const void* addr) const {
 }
 
 void FgTleMethod::resize_orecs(std::uint32_t n) {
+  // Unregister the outgoing arrays while the pointers are still valid:
+  // assign() below may reallocate, and a later allocation reusing the freed
+  // addresses must not be suppressed as stale orec metadata (ROADMAP item).
+  if (check::CheckSession* chk = check::active_check();
+      chk != nullptr && !r_orecs_.empty()) {
+    chk->deregister_meta(r_orecs_.data(),
+                         r_orecs_.size() * sizeof(std::uint64_t));
+    chk->deregister_meta(w_orecs_.data(),
+                         w_orecs_.size() * sizeof(std::uint64_t));
+  }
   n_ = n;
   r_orecs_.assign(n, 0);
   w_orecs_.assign(n, 0);

@@ -1,5 +1,6 @@
 #include "trace/session.h"
 
+#include "sim/ambient.h"
 #include "sim/sched.h"
 
 namespace rtle::trace {
@@ -44,10 +45,12 @@ const char* to_string(TxPath p) {
 TraceSession::TraceSession(SessionConfig cfg)
     : cfg_(cfg), prev_(g_session) {
   g_session = this;
+  ambient::set(ambient::kTrace, true);
 }
 
 TraceSession::~TraceSession() {
   if (g_session == this) g_session = prev_;
+  ambient::set(ambient::kTrace, g_session != nullptr);
 }
 
 TraceSession::Stamp TraceSession::stamp() const {

@@ -1,0 +1,145 @@
+// rtle::ambient — the single cached dispatch word behind the hot-path
+// session checks (fault plan / trace session / check session).
+//
+// Two properties carry the whole optimization:
+//   * exactness — a bit is set exactly while the corresponding ambient
+//     session pointer is non-null, across nesting and unwind order;
+//   * neutrality — forcing bits on (ambient::force, the test hook) only
+//     makes guarded paths take their slow branch and re-discover the null
+//     session; it must not move the simulation by a single cycle. Proven
+//     fork-style: two children inherit the parent's heap byte-for-byte, one
+//     runs with every bit forced, and their stats must match exactly.
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+
+#include "bench_util/setbench.h"
+#include "check/session.h"
+#include "sim/ambient.h"
+#include "sim/env.h"
+#include "sim/faultplan.h"
+#include "trace/session.h"
+
+namespace rtle {
+namespace {
+
+using sim::MachineConfig;
+
+TEST(AmbientMask, StartsClear) { EXPECT_EQ(ambient::mask(), 0u); }
+
+TEST(AmbientMask, TracksTraceSessionNesting) {
+  EXPECT_FALSE(ambient::any(ambient::kTrace));
+  {
+    trace::TraceSession outer;
+    EXPECT_TRUE(ambient::any(ambient::kTrace));
+    {
+      trace::TraceSession inner;
+      EXPECT_TRUE(ambient::any(ambient::kTrace));
+    }
+    // The inner session's unwind restores the outer one; the bit must
+    // reflect "a session is installed", not "the last one was removed".
+    EXPECT_TRUE(ambient::any(ambient::kTrace));
+  }
+  EXPECT_FALSE(ambient::any(ambient::kTrace));
+}
+
+TEST(AmbientMask, TracksFaultAndCheckSessions) {
+  EXPECT_EQ(ambient::mask(), 0u);
+  {
+    check::CheckSession chk;
+    EXPECT_EQ(ambient::mask(), ambient::kCheck);
+    sim::FaultPlan plan = sim::FaultPlan::parse("spurious@0:=11");
+    {
+      sim::FaultPlanScope fault(&plan);
+      EXPECT_EQ(ambient::mask(), ambient::kCheck | ambient::kFault);
+    }
+    EXPECT_EQ(ambient::mask(), ambient::kCheck);
+  }
+  EXPECT_EQ(ambient::mask(), 0u);
+}
+
+TEST(AmbientMask, ForcedBitsOrIntoThePublishedMask) {
+  ambient::force(ambient::kTrace | ambient::kFault);
+  EXPECT_EQ(ambient::forced(), ambient::kTrace | ambient::kFault);
+  EXPECT_TRUE(ambient::any(ambient::kTrace));
+  EXPECT_TRUE(ambient::any(ambient::kFault));
+  EXPECT_FALSE(ambient::any(ambient::kCheck));
+  {
+    // Installed bits stay independent of forced ones.
+    check::CheckSession chk;
+    EXPECT_EQ(ambient::mask(),
+              ambient::kTrace | ambient::kFault | ambient::kCheck);
+  }
+  EXPECT_EQ(ambient::mask(), ambient::kTrace | ambient::kFault);
+  ambient::force(0);
+  EXPECT_EQ(ambient::mask(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Neutrality: all bits forced, no sessions installed -> identical run.
+// ---------------------------------------------------------------------------
+
+// Forks a child that runs one contended set-bench cell and writes
+// "<ops> <aborts>\n<stats summary>" to `path`. Forking both children from
+// the same parent snapshot gives them bit-identical heaps (mem::line_of
+// prices coherence by address), so the only difference left between them is
+// the forced dispatch mask.
+pid_t spawn_bench_round(bool force_all, const std::string& path) {
+  const pid_t pid = fork();
+  if (pid != 0) return pid;
+  if (force_all) {
+    ambient::force(ambient::kFault | ambient::kTrace | ambient::kCheck);
+  }
+  bench::SetBenchConfig cfg;
+  cfg.machine = MachineConfig::corei7();
+  cfg.threads = 4;
+  cfg.key_range = 256;
+  cfg.duration_ms = 0.05;
+  const auto r = bench::run_set_bench(cfg, bench::method_by_name("FG-TLE(16)"));
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) _exit(2);
+  std::fprintf(f, "%llu %llu\n%s",
+               static_cast<unsigned long long>(r.stats.ops),
+               static_cast<unsigned long long>(r.stats.total_aborts()),
+               r.stats.summary().c_str());
+  std::fclose(f);
+  _exit(0);
+}
+
+std::string slurp(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return "";
+  std::string out;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) out.append(buf, n);
+  std::fclose(f);
+  std::remove(path.c_str());
+  return out;
+}
+
+TEST(AmbientMask, ForcedDispatchDoesNotPerturbTheSimulation) {
+  const std::string dir = ::testing::TempDir();
+  const std::string path_a = dir + "rtle_ambient_plain.txt";
+  const std::string path_b = dir + "rtle_ambient_forced.txt";
+  const pid_t pa = spawn_bench_round(/*force_all=*/false, path_a);
+  const pid_t pb = spawn_bench_round(/*force_all=*/true, path_b);
+  ASSERT_GT(pa, 0);
+  ASSERT_GT(pb, 0);
+  int status_a = 0;
+  int status_b = 0;
+  ASSERT_EQ(waitpid(pa, &status_a, 0), pa);
+  ASSERT_EQ(waitpid(pb, &status_b, 0), pb);
+  ASSERT_TRUE(WIFEXITED(status_a) && WEXITSTATUS(status_a) == 0);
+  ASSERT_TRUE(WIFEXITED(status_b) && WEXITSTATUS(status_b) == 0);
+  const std::string plain = slurp(path_a);
+  const std::string forced = slurp(path_b);
+  ASSERT_FALSE(plain.empty());
+  EXPECT_EQ(plain, forced);
+}
+
+}  // namespace
+}  // namespace rtle

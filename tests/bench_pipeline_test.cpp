@@ -1,0 +1,283 @@
+// Benchmark pipeline (bench_util/perf + gate): schema round-trip, order
+// statistics, trial merging, the regression comparator, and end-to-end
+// determinism of the suite runner (two sweeps of one figure must serialize
+// byte-identically — ADDR_NO_RANDOMIZE in the children makes the simulated
+// heap geometry, and hence the results, reproducible).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "bench_util/gate.h"
+#include "bench_util/perf.h"
+
+namespace rtle::bench {
+namespace {
+
+using perf::CellRecord;
+using perf::FigureRecord;
+using perf::GateConfig;
+using perf::GateResult;
+using perf::MethodRecord;
+using perf::SuiteRecord;
+
+// ---------------------------------------------------------------------------
+// Order statistics.
+// ---------------------------------------------------------------------------
+
+TEST(PerfMath, MedianHandlesOddEvenEmpty) {
+  EXPECT_DOUBLE_EQ(perf::median({}), 0.0);
+  EXPECT_DOUBLE_EQ(perf::median({42.0}), 42.0);
+  EXPECT_DOUBLE_EQ(perf::median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(perf::median({4.0, 1.0, 3.0, 2.0}), 2.5);
+}
+
+TEST(PerfMath, IqrUsesTukeyHinges) {
+  EXPECT_DOUBLE_EQ(perf::iqr({}), 0.0);
+  EXPECT_DOUBLE_EQ(perf::iqr({5.0}), 0.0);
+  // Even count: halves are {1,2} and {3,4} -> 3.5 - 1.5.
+  EXPECT_DOUBLE_EQ(perf::iqr({4.0, 2.0, 3.0, 1.0}), 2.0);
+  // Odd count: the middle element belongs to neither half -> {1,2} / {4,5}.
+  EXPECT_DOUBLE_EQ(perf::iqr({1.0, 2.0, 3.0, 4.0, 5.0}), 3.0);
+}
+
+TEST(PerfMath, AggregateIsMedianPlusIqr) {
+  const perf::Stat s = perf::aggregate({10.0, 30.0, 20.0, 40.0});
+  EXPECT_DOUBLE_EQ(s.median, 25.0);
+  EXPECT_DOUBLE_EQ(s.iqr, 20.0);
+}
+
+// ---------------------------------------------------------------------------
+// Schema round-trip.
+// ---------------------------------------------------------------------------
+
+CellRecord cell(const std::string& label, double ops, double iqr = 0.0) {
+  CellRecord c;
+  c.cell = label;
+  c.ops_per_ms = {ops, iqr};
+  c.abort_rate = {0.125, 0.0};
+  c.lock_fallback = {3.3e-05, 0.0};
+  c.time_under_lock = {0.36589217391304346, 0.0};
+  return c;
+}
+
+SuiteRecord sample_suite() {
+  SuiteRecord s;
+  s.mode = "quick";
+  FigureRecord fig;
+  fig.id = "fig99";
+  fig.title = "synthetic \"quoted\" title \\ with escapes";
+  fig.trials = 3;
+  MethodRecord tle;
+  tle.method = "TLE";
+  tle.cells = {cell("xeon/r8192/i20r20/t8", 123456.0, 17.5),
+               cell("xeon/r8192/i20r20/t18", 1e-9)};
+  MethodRecord fg;
+  fg.method = "FG-TLE(8192)";
+  fg.cells = {cell("xeon/r8192/i20r20/t8", 98765.4321)};
+  fig.methods = {tle, fg};
+  s.figures = {fig};
+  return s;
+}
+
+TEST(PerfJson, RoundTripIsByteStable) {
+  const SuiteRecord s = sample_suite();
+  const std::string text = perf::to_json(s);
+  SuiteRecord back;
+  std::string err;
+  ASSERT_TRUE(perf::from_json(text, back, &err)) << err;
+  EXPECT_EQ(back.schema, perf::kSchema);
+  EXPECT_EQ(back.mode, "quick");
+  ASSERT_EQ(back.figures.size(), 1u);
+  EXPECT_EQ(back.figures[0].title, s.figures[0].title);
+  EXPECT_EQ(back.figures[0].trials, 3u);
+  ASSERT_NE(back.find_figure("fig99"), nullptr);
+  const MethodRecord* m = back.figures[0].find_method("TLE");
+  ASSERT_NE(m, nullptr);
+  ASSERT_EQ(m->cells.size(), 2u);
+  EXPECT_DOUBLE_EQ(m->cells[0].ops_per_ms.median, 123456.0);
+  EXPECT_DOUBLE_EQ(m->cells[0].ops_per_ms.iqr, 17.5);
+  EXPECT_DOUBLE_EQ(m->cells[1].ops_per_ms.median, 1e-9);
+  // Shortest-round-trip formatting: parse -> serialize is the identity on
+  // bytes, which is what the determinism test below leans on.
+  EXPECT_EQ(perf::to_json(back), text);
+}
+
+TEST(PerfJson, RejectsWrongSchemaAndGarbage) {
+  SuiteRecord out;
+  std::string err;
+  EXPECT_FALSE(perf::from_json("{\"schema\": \"other-v9\", \"mode\": "
+                               "\"full\", \"figures\": []}",
+                               out, &err));
+  EXPECT_NE(err.find("schema"), std::string::npos) << err;
+  EXPECT_FALSE(perf::from_json("not json at all", out, &err));
+  EXPECT_FALSE(perf::from_json("{}", out, &err));
+}
+
+TEST(PerfJson, MarkdownMentionsEveryFigureAndMethod) {
+  const std::string md = perf::to_markdown(sample_suite());
+  EXPECT_NE(md.find("fig99"), std::string::npos);
+  EXPECT_NE(md.find("TLE"), std::string::npos);
+  EXPECT_NE(md.find("FG-TLE(8192)"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Trial merging.
+// ---------------------------------------------------------------------------
+
+FigureRecord trial_fig(double ops) {
+  FigureRecord f;
+  f.id = "fig99";
+  f.title = "t";
+  f.trials = 1;
+  MethodRecord m;
+  m.method = "TLE";
+  m.cells = {cell("xeon/r8192/i20r20/t8", ops)};
+  f.methods = {m};
+  return f;
+}
+
+TEST(PerfMerge, MedianAndIqrAcrossTrials) {
+  FigureRecord out;
+  std::string err;
+  ASSERT_TRUE(perf::merge_trials(
+      {trial_fig(100.0), trial_fig(300.0), trial_fig(200.0)}, out, &err))
+      << err;
+  EXPECT_EQ(out.trials, 3u);
+  ASSERT_EQ(out.methods.size(), 1u);
+  ASSERT_EQ(out.methods[0].cells.size(), 1u);
+  EXPECT_DOUBLE_EQ(out.methods[0].cells[0].ops_per_ms.median, 200.0);
+  EXPECT_DOUBLE_EQ(out.methods[0].cells[0].ops_per_ms.iqr, 200.0);
+}
+
+TEST(PerfMerge, MissingCellIsAnError) {
+  FigureRecord a = trial_fig(100.0);
+  FigureRecord b = trial_fig(100.0);
+  b.methods[0].cells[0].cell = "xeon/r8192/i20r20/t18";  // renamed away
+  FigureRecord out;
+  std::string err;
+  EXPECT_FALSE(perf::merge_trials({a, b}, out, &err));
+  EXPECT_FALSE(err.empty());
+  EXPECT_FALSE(perf::merge_trials({}, out, &err));
+}
+
+// ---------------------------------------------------------------------------
+// Regression comparator.
+// ---------------------------------------------------------------------------
+
+SuiteRecord one_method_suite(const std::vector<double>& cells) {
+  SuiteRecord s;
+  FigureRecord f;
+  f.id = "fig99";
+  f.title = "t";
+  MethodRecord m;
+  m.method = "TLE";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    m.cells.push_back(cell("c" + std::to_string(i), cells[i]));
+  }
+  f.methods = {m};
+  s.figures = {f};
+  return s;
+}
+
+TEST(PerfGate, UnchangedSuitePasses) {
+  const SuiteRecord base = one_method_suite({100.0, 200.0, 300.0});
+  const GateResult r = perf::compare(base, base);
+  EXPECT_TRUE(r.pass);
+  EXPECT_TRUE(r.regressions.empty());
+  EXPECT_TRUE(r.warnings.empty());
+  EXPECT_TRUE(r.improvements.empty());
+  EXPECT_TRUE(r.missing.empty());
+}
+
+TEST(PerfGate, MethodWideRegressionFails) {
+  const SuiteRecord base = one_method_suite({100.0, 200.0, 300.0});
+  const SuiteRecord cur = one_method_suite({80.0, 160.0, 240.0});  // -20%
+  const GateResult r = perf::compare(base, cur);
+  EXPECT_FALSE(r.pass);
+  ASSERT_EQ(r.regressions.size(), 1u);
+  EXPECT_EQ(r.regressions[0].figure, "fig99");
+  EXPECT_EQ(r.regressions[0].method, "TLE");
+  EXPECT_NEAR(r.regressions[0].ratio, 0.8, 1e-12);
+  EXPECT_NE(r.render(GateConfig{}).find("TLE"), std::string::npos);
+}
+
+TEST(PerfGate, ImprovementIsReportedAndPasses) {
+  const SuiteRecord base = one_method_suite({100.0, 200.0});
+  const SuiteRecord cur = one_method_suite({150.0, 300.0});  // +50%
+  const GateResult r = perf::compare(base, cur);
+  EXPECT_TRUE(r.pass);
+  ASSERT_EQ(r.improvements.size(), 1u);
+  EXPECT_NEAR(r.improvements[0].ratio, 1.5, 1e-12);
+}
+
+TEST(PerfGate, SingleCellDropAbsorbedByMedianIsAWarning) {
+  const SuiteRecord base = one_method_suite({100.0, 200.0, 300.0});
+  // One cell craters, the method median of ratios stays 1.0: advisory only
+  // (single cells can be bistable under heap-layout shifts).
+  const SuiteRecord cur = one_method_suite({40.0, 200.0, 300.0});
+  const GateResult r = perf::compare(base, cur);
+  EXPECT_TRUE(r.pass);
+  EXPECT_TRUE(r.regressions.empty());
+  ASSERT_EQ(r.warnings.size(), 1u);
+  EXPECT_EQ(r.warnings[0].cell, "c0");
+}
+
+TEST(PerfGate, MissingFigureMethodOrCellIsAHardFailure) {
+  SuiteRecord base = one_method_suite({100.0});
+  const GateResult gone_figure = perf::compare(base, SuiteRecord{});
+  EXPECT_FALSE(gone_figure.pass);
+  ASSERT_FALSE(gone_figure.missing.empty());
+
+  SuiteRecord cur = base;
+  cur.figures[0].methods.clear();
+  EXPECT_FALSE(perf::compare(base, cur).pass);
+
+  cur = base;
+  cur.figures[0].methods[0].cells.clear();
+  EXPECT_FALSE(perf::compare(base, cur).pass);
+}
+
+TEST(PerfGate, ThresholdIsConfigurable) {
+  const SuiteRecord base = one_method_suite({100.0});
+  const SuiteRecord cur = one_method_suite({85.0});  // -15%
+  EXPECT_FALSE(perf::compare(base, cur, {0.10}).pass);
+  EXPECT_TRUE(perf::compare(base, cur, {0.20}).pass);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end determinism of the suite runner.
+// ---------------------------------------------------------------------------
+
+#ifdef RTLE_BENCH_BIN_DIR
+TEST(BenchGate, TwoSweepsOfAFigureAreByteIdentical) {
+  gate::RunOptions opt;
+  opt.quick = true;
+  opt.trials = 1;
+  opt.bindir = RTLE_BENCH_BIN_DIR;
+  opt.only = {"fig08"};
+  const gate::RunOutcome a = gate::run_suite(opt);
+  const gate::RunOutcome b = gate::run_suite(opt);
+  ASSERT_TRUE(a.ok()) << (a.failures.empty() ? "" : a.failures[0].reason);
+  ASSERT_TRUE(b.ok()) << (b.failures.empty() ? "" : b.failures[0].reason);
+  ASSERT_EQ(a.suite.figures.size(), 1u);
+  const std::string ja = perf::to_json(a.suite);
+  const std::string jb = perf::to_json(b.suite);
+  EXPECT_FALSE(ja.empty());
+  EXPECT_EQ(ja, jb);
+  // And the comparator sees two identical suites as a clean pass.
+  EXPECT_TRUE(perf::compare(a.suite, b.suite).pass);
+}
+
+TEST(BenchGate, UnknownFigureIdIsAFailure) {
+  gate::RunOptions opt;
+  opt.bindir = RTLE_BENCH_BIN_DIR;
+  opt.only = {"fig_nonexistent"};
+  const gate::RunOutcome r = gate::run_suite(opt);
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.suite.figures.empty());
+}
+#endif  // RTLE_BENCH_BIN_DIR
+
+}  // namespace
+}  // namespace rtle::bench

@@ -436,5 +436,62 @@ TEST(CheckOverhead, CheckedRunExportsByteIdenticalTrace) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Metadata deregistration: a freed (or shrunk) meta range must not keep
+// suppressing the race detector at its old addresses.
+// ---------------------------------------------------------------------------
+
+TEST(CheckMeta, DeregisteredRangeIsRaceCheckedAgain) {
+  CheckSession chk;
+  SimScope sim(MachineConfig::corei7());
+  alignas(64) static std::uint64_t cell;
+  cell = 0;
+  chk.register_meta(&cell, sizeof(cell));
+  auto racy_round = [&] {
+    for (std::uint32_t tid = 0; tid < 2; ++tid) {
+      sim.sched.spawn(
+          [&] {
+            for (int i = 0; i < 20; ++i) {
+              mem::plain_store(&cell, mem::plain_load(&cell) + 1);
+              mem::compute(7);
+            }
+          },
+          tid);
+    }
+    sim.sched.run();
+  };
+  // While registered, the unsynchronized increments are metadata accesses
+  // and exempt from FastTrack.
+  racy_round();
+  EXPECT_EQ(chk.report_count(), 0u) << chk.summary();
+  // After deregistration the very same access pattern is an ordinary data
+  // race again — including fresh shadow state, so stale epochs from the
+  // exempt phase cannot mask it.
+  chk.deregister_meta(&cell, sizeof(cell));
+  racy_round();
+  EXPECT_TRUE(has_kind(chk, ReportKind::kRace)) << chk.summary();
+}
+
+TEST(CheckMeta, ResizeOrecsDeregistersTheOldArrays) {
+  // A-FG-TLE resizes its orec arrays at runtime; each resize must retire
+  // the outgoing ranges (ROADMAP item), or meta_ grows without bound and —
+  // worse — later allocations reusing the freed addresses are silently
+  // exempted from race checking.
+  struct ResizableFgTle : tle::FgTleMethod {
+    using tle::FgTleMethod::FgTleMethod;
+    using tle::FgTleMethod::resize_orecs;  // protected: adaptive-tuning API
+  };
+  CheckSession chk;
+  SimScope sim(MachineConfig::corei7());
+  ResizableFgTle m(16);
+  m.prepare(2);
+  const std::size_t before = chk.meta_range_count();
+  ASSERT_GT(before, 0u);
+  m.resize_orecs(64);
+  EXPECT_EQ(chk.meta_range_count(), before);
+  m.resize_orecs(8);
+  EXPECT_EQ(chk.meta_range_count(), before);
+}
+
 }  // namespace
 }  // namespace rtle

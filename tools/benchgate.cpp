@@ -1,0 +1,197 @@
+// benchgate — run the figure suite into a machine-readable perf record,
+// and gate changes against a committed baseline.
+//
+// Sweep (default): run every fig*/abl_* binary as budgeted parallel child
+// processes, aggregate warmup/trial statistics, and write the
+// schema-versioned perf trajectory plus a Markdown summary:
+//
+//   tools/benchgate --quick                       # BENCH_PR4.json + .md
+//   tools/benchgate --full --trials=3 --warmup=1
+//   tools/benchgate --quick --only=fig08,fig10 --out=sub.json
+//
+// Compare (CI regression gate): exit nonzero when the current record
+// regresses the baseline by more than the threshold:
+//
+//   tools/benchgate --compare BENCH_PR4.json current.json [--threshold=0.10]
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util/gate.h"
+#include "bench_util/perf.h"
+
+namespace {
+
+using namespace rtle::bench;
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+bool write_file(const std::string& path, const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  return true;
+}
+
+/// Default binary directory: the `bench` sibling of this executable's
+/// directory (benchgate lives in <build>/tools, the figures in
+/// <build>/bench).
+std::string default_bindir() {
+  char buf[4096];
+  const ssize_t n = readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n <= 0) return "bench";
+  buf[n] = '\0';
+  std::string path(buf);
+  const std::size_t slash = path.rfind('/');
+  if (slash == std::string::npos) return "bench";
+  path.resize(slash);  // .../tools
+  const std::size_t slash2 = path.rfind('/');
+  if (slash2 == std::string::npos) return "bench";
+  return path.substr(0, slash2) + "/bench";
+}
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : s) {
+    if (c == ',') {
+      if (!cur.empty()) out.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: benchgate [--quick|--full] [--trials=N] [--warmup=N]\n"
+      "                 [--jobs=N] [--bindir=DIR] [--only=fig08,...]\n"
+      "                 [--out=FILE] [--md=FILE] [--budget-scale=X] [-v]\n"
+      "       benchgate --compare BASELINE.json CURRENT.json\n"
+      "                 [--threshold=0.10]\n");
+  return 2;
+}
+
+int run_compare(const std::string& base_path, const std::string& cur_path,
+                double threshold) {
+  std::string base_text;
+  std::string cur_text;
+  perf::SuiteRecord base;
+  perf::SuiteRecord cur;
+  std::string err;
+  if (!read_file(base_path, base_text) ||
+      !perf::from_json(base_text, base, &err)) {
+    std::fprintf(stderr, "benchgate: baseline %s: %s\n", base_path.c_str(),
+                 err.empty() ? "unreadable" : err.c_str());
+    return 2;
+  }
+  if (!read_file(cur_path, cur_text) ||
+      !perf::from_json(cur_text, cur, &err)) {
+    std::fprintf(stderr, "benchgate: current %s: %s\n", cur_path.c_str(),
+                 err.empty() ? "unreadable" : err.c_str());
+    return 2;
+  }
+  const perf::GateConfig cfg{threshold};
+  const perf::GateResult res = perf::compare(base, cur, cfg);
+  std::fputs(res.render(cfg).c_str(), stdout);
+  return res.pass ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool compare = false;
+  double threshold = 0.10;
+  std::vector<std::string> positional;
+  gate::RunOptions opt;
+  opt.quick = true;
+  opt.trials = 2;
+  std::string out_path = "BENCH_PR4.json";
+  std::string md_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strcmp(a, "--compare") == 0) {
+      compare = true;
+    } else if (std::strcmp(a, "--quick") == 0) {
+      opt.quick = true;
+    } else if (std::strcmp(a, "--full") == 0) {
+      opt.quick = false;
+    } else if (std::strncmp(a, "--trials=", 9) == 0) {
+      opt.trials = std::atoi(a + 9);
+    } else if (std::strncmp(a, "--warmup=", 9) == 0) {
+      opt.warmup = std::atoi(a + 9);
+    } else if (std::strncmp(a, "--jobs=", 7) == 0) {
+      opt.jobs = std::atoi(a + 7);
+    } else if (std::strncmp(a, "--bindir=", 9) == 0) {
+      opt.bindir = a + 9;
+    } else if (std::strncmp(a, "--only=", 7) == 0) {
+      opt.only = split_csv(a + 7);
+    } else if (std::strncmp(a, "--out=", 6) == 0) {
+      out_path = a + 6;
+    } else if (std::strncmp(a, "--md=", 5) == 0) {
+      md_path = a + 5;
+    } else if (std::strncmp(a, "--budget-scale=", 15) == 0) {
+      opt.budget_scale = std::atof(a + 15);
+    } else if (std::strncmp(a, "--threshold=", 12) == 0) {
+      threshold = std::atof(a + 12);
+    } else if (std::strcmp(a, "-v") == 0 || std::strcmp(a, "--verbose") == 0) {
+      opt.verbose = true;
+    } else if (a[0] == '-') {
+      std::fprintf(stderr, "benchgate: unknown option '%s'\n", a);
+      return usage();
+    } else {
+      positional.push_back(a);
+    }
+  }
+
+  if (compare) {
+    if (positional.size() != 2) return usage();
+    return run_compare(positional[0], positional[1], threshold);
+  }
+  if (!positional.empty()) return usage();
+
+  if (opt.bindir.empty()) opt.bindir = default_bindir();
+  if (md_path.empty()) {
+    md_path = out_path;
+    const std::size_t dot = md_path.rfind(".json");
+    if (dot != std::string::npos) md_path.resize(dot);
+    md_path += ".md";
+  }
+
+  std::fprintf(stderr,
+               "benchgate: %s sweep, %d trial(s) + %d warmup, bindir %s\n",
+               opt.quick ? "quick" : "full", std::max(1, opt.trials),
+               opt.warmup, opt.bindir.c_str());
+  const gate::RunOutcome res = gate::run_suite(opt);
+  for (const gate::RunFailure& f : res.failures) {
+    std::fprintf(stderr, "benchgate: FAILED %s: %s\n", f.id.c_str(),
+                 f.reason.c_str());
+  }
+  if (!write_file(out_path, perf::to_json(res.suite)) ||
+      !write_file(md_path, perf::to_markdown(res.suite))) {
+    std::fprintf(stderr, "benchgate: cannot write output files\n");
+    return 2;
+  }
+  std::fprintf(stderr, "benchgate: wrote %s and %s (%zu figures)\n",
+               out_path.c_str(), md_path.c_str(), res.suite.figures.size());
+  return res.ok() ? 0 : 1;
+}
