@@ -1,0 +1,102 @@
+// OLTP shard sweep: throughput of the sharded transactional key-value
+// store as the shard count grows, per elision method, at a fixed thread
+// count. Xeon, 18 threads.
+//
+// The sweep isolates the two ways refined TLE recovers scalability: more
+// shards means more independent elidable locks (coarse sharding), while
+// RW-TLE / FG-TLE refine *within* each shard lock. A single-shard run is
+// the classic one-global-lock configuration; single-lock TLE collapses
+// there under the write mix, whereas the refined methods and the sharded
+// configurations keep scaling. 10% of operations are cross-shard
+// transfers, so larger shard counts also pay the multi-lock commit path.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util/figure.h"
+#include "oltp/workload.h"
+#include "sim/config.h"
+
+using namespace rtle;
+using bench::Table;
+
+namespace {
+
+bench::perf::CellMetrics metrics_of(const oltp::WorkloadResult& r,
+                                    const sim::MachineConfig& mc,
+                                    double duration_ms) {
+  bench::perf::CellMetrics m;
+  m.ops_per_ms = r.ops_per_ms;
+  const double attempts =
+      static_cast<double>(r.stats.ops + r.stats.total_aborts());
+  m.abort_rate = attempts > 0 ? r.stats.total_aborts() / attempts : 0.0;
+  m.lock_fallback = r.stats.lock_fallback_rate();
+  const double run_cycles = duration_ms * mc.cycles_per_ms();
+  m.time_under_lock =
+      run_cycles > 0 ? r.stats.cycles_under_lock / run_cycles : 0.0;
+  return m;
+}
+
+}  // namespace
+
+RTLE_FIGURE("oltp_shard_sweep", "OLTP shard sweep",
+            "sharded store throughput (ops/ms) vs shard count, "
+            "50/20/30 read/upsert/transfer mix, capacity-bound "
+            "transfers, 18 threads, xeon") {
+  const double duration = args.scale(2.0, 0.25);
+  const std::uint32_t threads = 18;
+
+  std::vector<std::uint32_t> shard_counts = {1, 2, 4, 8, 16, 32};
+  if (args.quick) shard_counts = {1, 4, 16};
+
+  const char* names[] = {"Lock",   "TLE",         "HLE",    "RW-TLE",
+                         "FG-TLE(256)", "NOrec", "RHNOrec"};
+
+  std::vector<std::string> header = {"shards"};
+  for (const char* n : names) header.push_back(n);
+  Table table(header);
+  for (std::uint32_t shards : shard_counts) {
+    std::vector<std::string> row = {Table::num(std::uint64_t{shards})};
+    for (const char* n : names) {
+      oltp::WorkloadConfig cfg;
+      cfg.machine = sim::MachineConfig::xeon();
+      cfg.threads = threads;
+      cfg.shards = shards;
+      // HTM-unfriendly transfers (the Figure-12 recipe applied to OLTP):
+      // a 1-line write capacity means every 2-key transfer overflows and
+      // must run under the fallback guard(s), while single-key reads and
+      // upserts still elide. At one shard the transfer guard is a global
+      // lock the whole store convoys behind; sharding confines each
+      // transfer to the two shards it touches, and the refined methods
+      // additionally keep non-conflicting fast-path operations
+      // committing inside a held shard.
+      cfg.machine.htm.max_write_lines = 1;
+      cfg.keys = 1 << 12;
+      cfg.zipf_theta = 0.6;
+      cfg.read_pct = 70;
+      cfg.multi_pct = 20;
+      cfg.multi_min = 2;
+      cfg.multi_max = 2;
+      cfg.duration_ms = duration;
+      cfg.seed = 9;
+      cfg.faults = args.faults;
+      cfg.trace_file = args.trace;
+      cfg.latency = args.latency;
+      const auto r = oltp::run_workload(cfg, bench::method_by_name(n));
+      bench::report_cell(
+          n, "xeon/k4096/t18/s" + std::to_string(shards),
+          metrics_of(r, cfg.machine, duration));
+      row.push_back(Table::num(r.ops_per_ms, 0));
+      if (args.stats) {
+        std::printf("  [stats] %-12s s=%-2u %s\n", n, shards,
+                    r.stats.summary().c_str());
+      }
+      if (args.latency && !r.latency.empty()) {
+        std::printf("  [latency] %-10s s=%-2u %s\n", n, shards,
+                    r.latency.c_str());
+      }
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(args.csv);
+}

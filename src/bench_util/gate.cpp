@@ -42,6 +42,8 @@ const std::vector<SuiteEntry>& default_suite() {
       {"abl_structures", "abl_structures", 600, 7200},
       {"abl_lemming", "abl_lemming", 300, 3600},
       {"abl_hybrid_tm", "abl_hybrid_tm", 300, 3600},
+      {"oltp_shard_sweep", "oltp_shard_sweep", 300, 3600},
+      {"oltp_skew", "oltp_skew", 300, 3600},
   };
   return kSuite;
 }

@@ -48,6 +48,7 @@ const char* to_string(ReportKind k) {
     case ReportKind::kMissingFence: return "missing-fence";
     case ReportKind::kSlowMissedAbort: return "slow-missed-abort";
     case ReportKind::kWriteFlagMissing: return "write-flag-missing";
+    case ReportKind::kLockOrder: return "lock-order";
   }
   return "?";
 }
@@ -286,8 +287,15 @@ void CheckSession::on_tx_write(const void* addr, const void* pc) {
 }
 
 void CheckSession::bump_serial(std::uint32_t f) {
+  Fiber& fb = fibers_[f];
+  if (fb.in_cross) {
+    // One serialization point per cross-shard section: the first per-shard
+    // close (or the HTM commit) wins, later closes are absorbed.
+    if (fb.cross_serialized) return;
+    fb.cross_serialized = true;
+  }
   serial_ += 1;
-  fibers_[f].last_serial = serial_;
+  fb.last_serial = serial_;
 }
 
 void CheckSession::apply_commit(std::uint32_t f, bool stm_read_only) {
@@ -541,6 +549,48 @@ void CheckSession::on_fg_cs_close(const void* method, const void* lock_word,
   fibers_[f].fence_pending = false;
   bump_serial(f);
   holder_closed_.insert(reinterpret_cast<std::uintptr_t>(lock_word));
+}
+
+void CheckSession::on_cross_begin() {
+  const std::uint32_t f = self();
+  if (f >= kMaxFibers) return;
+  Fiber& fb = fibers_[f];
+  fb.in_cross = true;
+  fb.cross_serialized = false;
+  fb.cross_has_guard = false;
+}
+
+void CheckSession::on_cross_guard(std::uint32_t shard) {
+  const std::uint32_t f = self();
+  if (f >= kMaxFibers) return;
+  Fiber& fb = fibers_[f];
+  if (fb.cross_has_guard && shard <= fb.cross_last_guard) {
+    report(ReportKind::kLockOrder, f, 0, nullptr, nullptr,
+           "cross-shard guard " + std::to_string(shard) +
+               " acquired after guard " +
+               std::to_string(fb.cross_last_guard) +
+               " — multi-shard transactions must acquire shard guards in "
+               "ascending shard order (the deterministic order that makes "
+               "the pessimistic fallback deadlock-free)");
+  }
+  fb.cross_has_guard = true;
+  fb.cross_last_guard = shard;
+}
+
+void CheckSession::on_cross_release() {
+  const std::uint32_t f = self();
+  if (f >= kMaxFibers) return;
+  bump_serial(f);
+}
+
+void CheckSession::on_cross_end() {
+  const std::uint32_t f = self();
+  if (f >= kMaxFibers) return;
+  Fiber& fb = fibers_[f];
+  if (fb.in_cross && !fb.cross_serialized) bump_serial(f);
+  fb.in_cross = false;
+  fb.cross_serialized = false;
+  fb.cross_has_guard = false;
 }
 
 void CheckSession::on_rw_holder_write(const void* method, bool flag_stored) {

@@ -55,6 +55,7 @@ enum class ReportKind : std::uint8_t {
   kMissingFence,     // FG-TLE §4.2: no store-load fence after orec stamp
   kSlowMissedAbort,  // FG-TLE §4.1: slow path proceeded past an owned orec
   kWriteFlagMissing, // RW-TLE §3: holder wrote before setting write_flag
+  kLockOrder,        // oltp: cross-shard guards acquired out of order
 };
 const char* to_string(ReportKind k);
 
@@ -158,6 +159,25 @@ class CheckSession {
   void on_fg_cs_close(const void* method, const void* lock_word,
                       std::uint64_t seq_after);
 
+  // --- cross-shard transactions (oltp/store.cpp) -----------------------
+  /// Entering a multi-shard section: arms guard-order tracking and
+  /// collapses the section's serialization points into one — the first
+  /// guard release (or the commit, on the HTM path) places the serial;
+  /// every later per-shard close is absorbed. A serial per *shard* would
+  /// break the sequential-replay oracle: a transaction committing on one
+  /// shard between our first and last releases could sort before us
+  /// despite reading our writes.
+  void on_cross_begin();
+  /// Pessimistic fallback acquired the guard of `shard`. Checks the
+  /// deterministic ascending-shard lock order (deadlock freedom).
+  void on_cross_guard(std::uint32_t shard);
+  /// Serialization point for guards without a TTSLock release hook (the
+  /// STM seqlock holders): called by cross_lock_leave before the guard
+  /// reopens. Subject to the same first-one-wins collapsing.
+  void on_cross_release();
+  /// Leaving the multi-shard section (any path, after all releases).
+  void on_cross_end();
+
   // --- RW-TLE protocol invariants (tle/rwtle.cpp) ----------------------
   /// Holder performed its first write; `flag_stored` says whether the
   /// write_flag store preceded it (RW-TLE §3).
@@ -201,6 +221,11 @@ class CheckSession {
     const void* fence_orec = nullptr;
     std::uint64_t provisional_serial = 0;
     std::uint64_t last_serial = 0;
+    // Cross-shard section state (on_cross_begin .. on_cross_end).
+    bool in_cross = false;
+    bool cross_serialized = false;
+    bool cross_has_guard = false;
+    std::uint32_t cross_last_guard = 0;
   };
 
   struct FgState {

@@ -101,6 +101,24 @@ bool TxHashMap::erase(TxContext& ctx, std::uint64_t key) {
   return false;
 }
 
+bool TxHashMap::insert_meta(std::uint64_t key, std::uint64_t value) {
+  const std::size_t b = bucket_of(key);
+  for (Node* n = buckets_[b]; n != nullptr; n = n->next) {
+    if (n->key == key) return false;
+  }
+  if (bump_ >= arena_.size()) {
+    std::fprintf(stderr, "rtle hashmap: arena exhausted (%zu nodes)\n",
+                 arena_.size());
+    std::abort();
+  }
+  Node* n = &arena_[bump_++];
+  n->key = key;
+  n->value = value;
+  n->next = buckets_[b];
+  buckets_[b] = n;
+  return true;
+}
+
 std::size_t TxHashMap::size_meta() const {
   std::size_t count = 0;
   for_each_meta([&](std::uint64_t, std::uint64_t) { ++count; });

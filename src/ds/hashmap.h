@@ -88,6 +88,10 @@ class TxHashMap {
   }
 
   // --- Meta-level helpers (no simulated cost; tests & verification). ---
+  /// Prefill insert: allocates straight from the arena, touches no
+  /// simulated memory. Call only before the simulated threads start.
+  /// Returns false (and leaves the old value) if the key already exists.
+  bool insert_meta(std::uint64_t key, std::uint64_t value);
   std::size_t size_meta() const;
   template <typename F>
   void for_each_meta(F&& fn) const {

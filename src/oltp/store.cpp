@@ -1,0 +1,227 @@
+#include "oltp/store.h"
+
+#include <bit>
+#include <cstdio>
+#include <cstdlib>
+
+#include "check/session.h"
+#include "htm/htm.h"
+#include "mem/shim.h"
+#include "sim/ambient.h"
+#include "sim/env.h"
+#include "trace/session.h"
+
+namespace rtle::oltp {
+
+using runtime::Path;
+using runtime::ThreadCtx;
+using runtime::TxContext;
+
+namespace {
+
+trace::TraceSession* tracer() {
+  return ambient::any(ambient::kTrace) ? trace::active_trace() : nullptr;
+}
+
+}  // namespace
+
+Store::Store(const StoreConfig& cfg, const runtime::MethodSpec& spec) {
+  if (cfg.shards == 0 || cfg.shards > kMaxShards ||
+      !std::has_single_bit(cfg.shards)) {
+    std::fprintf(stderr, "rtle oltp: shard count %u is not a power of two "
+                 "in 1..%u\n", cfg.shards, kMaxShards);
+    std::abort();
+  }
+  shard_bits_ = static_cast<std::uint32_t>(std::countr_zero(cfg.shards));
+  cross_trials_ = cfg.cross_trials;
+  methods_.reserve(cfg.shards);
+  maps_.reserve(cfg.shards);
+  for (std::uint32_t s = 0; s < cfg.shards; ++s) {
+    methods_.push_back(spec.make());
+    methods_.back()->prepare(cfg.max_threads);
+    maps_.push_back(std::make_unique<ds::TxHashMap>(
+        cfg.buckets_per_shard, cfg.max_nodes_per_shard, cfg.max_threads));
+  }
+}
+
+bool Store::get(ThreadCtx& th, std::uint64_t key, std::uint64_t& out) {
+  const std::uint32_t s = shard_of(key);
+  bool found = false;
+  std::uint64_t val = 0;
+  auto cs = [&](TxContext& ctx) {
+    std::uint64_t* v = maps_[s]->find(ctx, key);
+    found = v != nullptr;
+    val = found ? ctx.load(v) : 0;
+  };
+  methods_[s]->execute(th, cs);
+  out = val;
+  if (trace::TraceSession* tr = tracer()) {
+    tr->emit(trace::EventType::kShardCommit, 0, s);
+  }
+  return found;
+}
+
+void Store::put(ThreadCtx& th, std::uint64_t key, std::uint64_t value) {
+  const std::uint32_t s = shard_of(key);
+  maps_[s]->reserve_nodes(th, 1);
+  auto cs = [&](TxContext& ctx) {
+    bool inserted = false;
+    std::uint64_t* v = maps_[s]->find_or_insert(ctx, key, inserted);
+    ctx.store(v, value);
+  };
+  methods_[s]->execute(th, cs);
+  if (trace::TraceSession* tr = tracer()) {
+    tr->emit(trace::EventType::kShardCommit, 0, s);
+  }
+}
+
+bool Store::erase(ThreadCtx& th, std::uint64_t key) {
+  const std::uint32_t s = shard_of(key);
+  bool erased = false;
+  auto cs = [&](TxContext& ctx) { erased = maps_[s]->erase(ctx, key); };
+  methods_[s]->execute(th, cs);
+  if (trace::TraceSession* tr = tracer()) {
+    tr->emit(trace::EventType::kShardCommit, 0, s);
+  }
+  return erased;
+}
+
+TxContext& Store::MultiTx::ctx_for(std::uint32_t shard) {
+  if (shared_ctx_ != nullptr) return *shared_ctx_;
+  auto& slot = per_shard_[shard];
+  if (!slot.has_value()) {
+    runtime::SyncMethod& m = store_.method(shard);
+    slot.emplace(m.cross_lock_path(), th_, m.cross_lock_barriers());
+  }
+  return *slot;
+}
+
+std::uint64_t Store::MultiTx::read(std::uint64_t key) {
+  const std::uint32_t s = store_.shard_of(key);
+  TxContext& ctx = ctx_for(s);
+  std::uint64_t* v = store_.maps_[s]->find(ctx, key);
+  return v == nullptr ? 0 : ctx.load(v);
+}
+
+void Store::MultiTx::write(std::uint64_t key, std::uint64_t value) {
+  const std::uint32_t s = store_.shard_of(key);
+  TxContext& ctx = ctx_for(s);
+  bool inserted = false;
+  std::uint64_t* v = store_.maps_[s]->find_or_insert(ctx, key, inserted);
+  ctx.store(v, value);
+  wrote_mask_ |= std::uint64_t{1} << s;
+}
+
+void Store::multi(ThreadCtx& th, const std::uint64_t* keys, std::size_t nkeys,
+                  MultiBody body) {
+  // Involved shards, ascending (the canonical lock order).
+  std::uint64_t mask = 0;
+  for (std::size_t i = 0; i < nkeys; ++i) {
+    mask |= std::uint64_t{1} << shard_of(keys[i]);  // shim-lint: ok (caller's private key list, not simulated shared memory)
+  }
+  std::uint32_t order[kMaxShards];
+  std::size_t ns = 0;
+  for (std::uint32_t s = 0; s < shards(); ++s) {
+    if ((mask >> s) & 1) order[ns++] = s;
+  }
+  // Free-list discipline: top up every involved shard outside the section
+  // (worst case every key inserts, and speculation may replay the body).
+  for (std::size_t i = 0; i < ns; ++i) {
+    maps_[order[i]]->reserve_nodes(th, nkeys);
+  }
+
+  trace::TraceSession* tr = tracer();
+  check::CheckSession* chk = check::active_check();
+  const std::uint64_t op_start = tr != nullptr ? cur_sched().now() : 0;
+  if (chk != nullptr) chk->on_cross_begin();
+  if (tr != nullptr) tr->emit(trace::EventType::kCrossBegin, 0, mask);
+
+  auto finish = [&](bool lock_path) {
+    cross_.commits += 1;
+    (lock_path ? cross_.lock_commits : cross_.htm_commits) += 1;
+    if (tr != nullptr) {
+      tr->txn_commit(lock_path ? trace::TxPath::kLock : trace::TxPath::kFast,
+                     op_start);
+      for (std::size_t i = 0; i < ns; ++i) {
+        tr->emit(trace::EventType::kShardCommit, 1, order[i]);
+      }
+      tr->emit(trace::EventType::kCrossCommit, lock_path ? 1 : 0, mask);
+    }
+    if (chk != nullptr) chk->on_cross_end();
+  };
+
+  // Optimistic path: one hardware transaction subscribed to every involved
+  // shard's guard, entered in ascending order for determinism.
+  auto& htm = cur_htm();
+  for (int trials = 0; trials < cross_trials_; ++trials) {
+    try {
+      if (tr != nullptr) tr->txn_begin(trace::TxPath::kFast);
+      htm.begin(th.tx);
+      for (std::size_t i = 0; i < ns; ++i) {
+        methods_[order[i]]->cross_htm_enter(th);
+      }
+      TxContext ctx(Path::kHtmFast, th);
+      MultiTx mtx(*this, th, &ctx);
+      body(mtx);
+      for (std::size_t i = 0; i < ns; ++i) {
+        methods_[order[i]]->cross_htm_publish(
+            th, ((mtx.wrote_mask_ >> order[i]) & 1) != 0);
+      }
+      htm.commit(th.tx);
+      finish(/*lock_path=*/false);
+      return;
+    } catch (const htm::HtmAbort& e) {
+      cross_.aborts += 1;
+      if (tr != nullptr) {
+        tr->txn_abort(trace::TxPath::kFast,
+                      static_cast<std::uint64_t>(e.cause));
+      }
+      // A capacity overflow is deterministic for a fixed footprint —
+      // further trials cannot succeed, so go straight to the locks
+      // (the cause-aware-retry insight applied to the cross path).
+      if (e.cause == htm::AbortCause::kCapacity) break;
+      // Randomized backoff so repeatedly colliding cross transactions
+      // desynchronize (deterministic: drawn from the thread's own RNG).
+      mem::compute(16 + th.rng.below(64u << (trials < 6 ? trials : 6)));
+    }
+  }
+
+  // Pessimistic fallback: acquire every involved guard with the methods'
+  // full holder protocols, in ascending shard order (deadlock-free).
+  if (tr != nullptr) tr->txn_begin(trace::TxPath::kLock);
+  for (std::size_t i = 0; i < ns; ++i) {
+    // The seeded-bug knob flips the acquisition order so tests can watch
+    // rtle::check report the kLockOrder violation by name.
+    const std::uint32_t s = descending_bug_ ? order[ns - 1 - i] : order[i];
+    methods_[s]->cross_lock_enter(th);
+    if (chk != nullptr) chk->on_cross_guard(s);
+    if (tr != nullptr) tr->emit(trace::EventType::kShardAcquire, 0, s);
+  }
+  {
+    MultiTx mtx(*this, th, nullptr);
+    body(mtx);
+  }
+  for (std::size_t i = ns; i-- > 0;) {
+    const std::uint32_t s = descending_bug_ ? order[ns - 1 - i] : order[i];
+    methods_[s]->cross_lock_leave(th);
+    if (tr != nullptr) tr->emit(trace::EventType::kShardRelease, 0, s);
+  }
+  finish(/*lock_path=*/true);
+}
+
+std::uint64_t Store::ops() const {
+  std::uint64_t n = cross_.commits;
+  for (const auto& m : methods_) n += m->stats().ops;
+  return n;
+}
+
+std::uint64_t Store::sum_meta() const {
+  std::uint64_t sum = 0;
+  for (const auto& map : maps_) {
+    map->for_each_meta(
+        [&](std::uint64_t, std::uint64_t value) { sum += value; });
+  }
+  return sum;
+}
+
+}  // namespace rtle::oltp

@@ -1,0 +1,140 @@
+// rtle::oltp::Store — a sharded transactional key-value store.
+//
+// Each shard is an independent TxHashMap guarded by its own SyncMethod
+// instance (any of the paper's methods). Single-key operations run through
+// the owning shard's method->execute() exactly like the set benchmarks.
+// Multi-key transactions span shards: the store composes the per-method
+// cross-shard seam (runtime/method.h) into one atomic section — a single
+// hardware transaction subscribing every involved shard's guard, with a
+// pessimistic fallback that acquires the guards in ascending shard order
+// (the deterministic total order that makes the fallback deadlock-free).
+//
+// Keys route to shards by the *top* bits of util::mix64 — TxHashMap's
+// bucket index uses the bottom bits, so shard choice and bucket choice stay
+// independent. Shard count is a power of two, at most 64 (shard indices
+// must fit the trace bitmask and the HTM conflict-mask width).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "ds/hashmap.h"
+#include "runtime/method.h"
+#include "util/fn_ref.h"
+
+namespace rtle::oltp {
+
+struct StoreConfig {
+  std::uint32_t shards = 4;  ///< power of two, 1..64
+  std::size_t buckets_per_shard = 1024;
+  /// Arena size per shard. Shard membership is hash-derived, so size each
+  /// arena for the worst case the workload can produce, not keys/shards.
+  std::size_t max_nodes_per_shard = 1 << 16;
+  std::uint32_t max_threads = 8;
+  /// HTM attempts a multi-key transaction makes before taking the
+  /// pessimistic lock fallback. 0 forces the fallback deterministically.
+  int cross_trials = 5;
+};
+
+/// Multi-shard commit accounting (the per-shard methods' MethodStats only
+/// see their own single-shard operations).
+struct CrossStats {
+  std::uint64_t commits = 0;
+  std::uint64_t htm_commits = 0;
+  std::uint64_t lock_commits = 0;
+  std::uint64_t aborts = 0;
+};
+
+class Store {
+ public:
+  static constexpr std::uint32_t kMaxShards = 64;
+
+  Store(const StoreConfig& cfg, const runtime::MethodSpec& spec);
+
+  Store(const Store&) = delete;
+  Store& operator=(const Store&) = delete;
+
+  std::uint32_t shards() const { return static_cast<std::uint32_t>(maps_.size()); }
+  std::uint32_t shard_of(std::uint64_t key) const {
+    return shard_bits_ == 0
+               ? 0
+               : static_cast<std::uint32_t>(util::mix64(key) >>
+                                            (64 - shard_bits_));
+  }
+
+  // --- single-key operations (one shard, ordinary execute()) -----------
+  /// True and sets `out` iff the key exists.
+  bool get(runtime::ThreadCtx& th, std::uint64_t key, std::uint64_t& out);
+  /// Upsert.
+  void put(runtime::ThreadCtx& th, std::uint64_t key, std::uint64_t value);
+  /// True iff the key existed.
+  bool erase(runtime::ThreadCtx& th, std::uint64_t key);
+
+  // --- multi-key transactions ------------------------------------------
+  /// The body's access handle. Reads/writes route to the owning shard's
+  /// context; writes are upserts. Like any CsBody, the body may run
+  /// multiple times (failed speculation) and must therefore perform
+  /// externally visible work only through this handle.
+  class MultiTx {
+   public:
+    /// Value of `key`, or 0 when absent.
+    std::uint64_t read(std::uint64_t key);
+    /// Upsert `key` := `value`.
+    void write(std::uint64_t key, std::uint64_t value);
+
+   private:
+    friend class Store;
+    MultiTx(Store& store, runtime::ThreadCtx& th,
+            runtime::TxContext* shared_ctx)
+        : store_(store), th_(th), shared_ctx_(shared_ctx) {}
+    runtime::TxContext& ctx_for(std::uint32_t shard);
+
+    Store& store_;
+    runtime::ThreadCtx& th_;
+    runtime::TxContext* shared_ctx_;  ///< HTM path; null on the lock path
+    std::uint64_t wrote_mask_ = 0;
+    std::array<std::optional<runtime::TxContext>, kMaxShards> per_shard_;
+  };
+  using MultiBody = util::FnRef<void(MultiTx&)>;
+
+  /// Execute `body` atomically across the shards owning `keys` (the body
+  /// may only touch keys routing to one of those shards). Retries
+  /// internally; returns only on success.
+  void multi(runtime::ThreadCtx& th, const std::uint64_t* keys,
+             std::size_t nkeys, MultiBody body);
+
+  // --- prefill (before the simulated threads start) ---------------------
+  /// Meta-level upsert-if-absent: no simulated cost, no transaction.
+  void prefill_meta(std::uint64_t key, std::uint64_t value) {
+    maps_[shard_of(key)]->insert_meta(key, value);
+  }
+
+  // --- knobs & introspection --------------------------------------------
+  void set_cross_trials(int n) { cross_trials_ = n; }
+  /// Test hook: acquire fallback guards in *descending* shard order — the
+  /// seeded lock-ordering bug rtle::check must catch (kLockOrder).
+  void seed_descending_acquisition(bool on) { descending_bug_ = on; }
+
+  runtime::SyncMethod& method(std::uint32_t shard) { return *methods_[shard]; }
+  ds::TxHashMap& map(std::uint32_t shard) { return *maps_[shard]; }
+  const CrossStats& cross_stats() const { return cross_; }
+  /// Completed operations: every single-shard execute() plus every
+  /// multi-shard commit (cross commits do not bump per-shard ops).
+  std::uint64_t ops() const;
+  /// Sum of `value` over every key in the store (meta-level; the bank
+  /// invariant tests compare it across a run, mod 2^64).
+  std::uint64_t sum_meta() const;
+
+ private:
+  std::uint32_t shard_bits_ = 0;
+  int cross_trials_ = 5;
+  bool descending_bug_ = false;
+  std::vector<std::unique_ptr<runtime::SyncMethod>> methods_;
+  std::vector<std::unique_ptr<ds::TxHashMap>> maps_;
+  CrossStats cross_;
+};
+
+}  // namespace rtle::oltp

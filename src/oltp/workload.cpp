@@ -1,0 +1,178 @@
+#include "oltp/workload.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "mem/shim.h"
+#include "sim/env.h"
+#include "sim/faultplan.h"
+#include "sim/rng.h"
+#include "trace/export.h"
+#include "trace/histo.h"
+#include "trace/session.h"
+
+namespace rtle::oltp {
+
+using runtime::ThreadCtx;
+
+void accumulate(runtime::MethodStats& into, const runtime::MethodStats& s) {
+  into.ops += s.ops;
+  into.commit_fast_htm += s.commit_fast_htm;
+  into.commit_slow_htm += s.commit_slow_htm;
+  into.commit_lock += s.commit_lock;
+  into.commit_stm_ro += s.commit_stm_ro;
+  into.commit_stm_htm += s.commit_stm_htm;
+  into.commit_stm_lock += s.commit_stm_lock;
+  into.rhn_htm_fast += s.rhn_htm_fast;
+  into.rhn_htm_slow += s.rhn_htm_slow;
+  into.slow_htm_while_locked += s.slow_htm_while_locked;
+  into.aborts_fast += s.aborts_fast;
+  into.aborts_slow += s.aborts_slow;
+  for (std::size_t c = 0; c < s.abort_cause.size(); ++c) {
+    into.abort_cause[c] += s.abort_cause[c];
+  }
+  into.health_degrades += s.health_degrades;
+  into.health_probes += s.health_probes;
+  into.health_reenables += s.health_reenables;
+  into.latency_samples += s.latency_samples;
+  into.trace_drops += s.trace_drops;
+  into.lock_acquisitions += s.lock_acquisitions;
+  into.cycles_under_lock += s.cycles_under_lock;
+  into.stm_begins += s.stm_begins;
+  into.validations += s.validations;
+  into.cycles_sw_running += s.cycles_sw_running;
+}
+
+WorkloadResult run_workload(const WorkloadConfig& cfg,
+                            const runtime::MethodSpec& spec) {
+  SimScope sim(cfg.machine);
+  sim::FaultPlan plan;
+  std::optional<sim::FaultPlanScope> fault_scope;
+  if (!cfg.faults.empty()) {
+    plan = sim::FaultPlan::parse(cfg.faults);
+    fault_scope.emplace(&plan);
+  }
+  std::optional<trace::TraceSession> tracer;
+  if (!cfg.trace_file.empty() || cfg.latency) tracer.emplace();
+
+  StoreConfig sc;
+  sc.shards = cfg.shards;
+  sc.buckets_per_shard =
+      std::max<std::size_t>(64, cfg.keys / std::max(1u, cfg.shards));
+  // Shard membership is hash-derived, so every arena must be able to hold
+  // the entire key range plus per-thread free-list slack.
+  sc.max_nodes_per_shard = cfg.keys + 64ULL * cfg.threads + 64;
+  sc.max_threads = cfg.threads;
+  sc.cross_trials = cfg.cross_trials;
+  Store store(sc, spec);
+  for (std::uint64_t k = 0; k < cfg.keys; ++k) {
+    store.prefill_meta(k, cfg.initial_value);
+  }
+
+  const sim::ZipfRng zipf(cfg.keys, cfg.zipf_theta);
+  const std::uint64_t duration_cycles = static_cast<std::uint64_t>(
+      cfg.duration_ms * cfg.machine.cycles_per_ms());
+  const std::uint64_t t_start = sim.sched.epoch();
+  const std::uint64_t t_end = t_start + duration_cycles;
+
+  std::vector<std::unique_ptr<ThreadCtx>> threads;
+  threads.reserve(cfg.threads);
+  for (std::uint32_t tid = 0; tid < cfg.threads; ++tid) {
+    threads.push_back(
+        std::make_unique<ThreadCtx>(tid, cfg.seed * 7919 + tid));
+  }
+
+  // One operation from the configured mix. The multi-key transfer debits
+  // its first key and credits its last through sequential read-then-write
+  // steps, so the sum over all keys is preserved (mod 2^64) even when the
+  // two endpoints sample the same key.
+  constexpr std::uint32_t kMaxSpan = 16;
+  auto do_op = [&](ThreadCtx& th) {
+    const std::uint64_t r = th.rng.below(100);
+    if (r < cfg.multi_pct) {
+      const std::uint32_t span = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+          kMaxSpan, th.rng.range(cfg.multi_min, cfg.multi_max)));
+      std::uint64_t keys[kMaxSpan];
+      for (std::uint32_t i = 0; i < span; ++i) keys[i] = zipf.next(th.rng);
+      auto body = [&](Store::MultiTx& tx) {
+        const std::uint64_t v0 = tx.read(keys[0]);
+        tx.write(keys[0], v0 - 1);
+        for (std::uint32_t i = 1; i + 1 < span; ++i) tx.read(keys[i]);
+        const std::uint64_t vn = tx.read(keys[span - 1]);
+        tx.write(keys[span - 1], vn + 1);
+      };
+      store.multi(th, keys, span, body);
+    } else if (r < cfg.multi_pct + cfg.read_pct) {
+      std::uint64_t out = 0;
+      store.get(th, zipf.next(th.rng), out);
+    } else {
+      store.put(th, zipf.next(th.rng), th.rng.next());
+    }
+  };
+
+  trace::LatencyHisto sojourn;
+  const bool open_loop = cfg.arrivals_per_ms > 0.0;
+  const double cycles_per_arrival =
+      open_loop ? cfg.machine.cycles_per_ms() / cfg.arrivals_per_ms : 0.0;
+  for (std::uint32_t tid = 0; tid < cfg.threads; ++tid) {
+    ThreadCtx* th = threads[tid].get();
+    if (open_loop) {
+      // Open loop: thread t serves arrivals t, t+threads, t+2*threads, ...
+      // of the aggregate fixed-rate stream, idling until each arrival and
+      // recording its sojourn (queueing delay + service).
+      sim.sched.spawn(
+          [&, th, tid] {
+            auto& sched = cur_sched();
+            for (std::uint64_t j = tid;; j += cfg.threads) {
+              const std::uint64_t arrival =
+                  t_start + static_cast<std::uint64_t>(
+                                static_cast<double>(j) * cycles_per_arrival);
+              if (arrival >= t_end) break;
+              if (sched.now() < arrival) mem::compute(arrival - sched.now());
+              do_op(*th);
+              sojourn.add(sched.now() - arrival);
+            }
+          },
+          tid);
+    } else {
+      sim.sched.spawn(
+          [&, th] {
+            auto& sched = cur_sched();
+            while (sched.now() < t_end) do_op(*th);
+          },
+          tid);
+    }
+  }
+  sim.sched.run();
+
+  WorkloadResult res;
+  res.method = spec.name;
+  res.threads = cfg.threads;
+  for (std::uint32_t s = 0; s < store.shards(); ++s) {
+    accumulate(res.stats, store.method(s).stats());
+  }
+  res.cross = store.cross_stats();
+  res.ops = store.ops();
+  res.sim_ms = static_cast<double>(duration_cycles) /
+               cfg.machine.cycles_per_ms();
+  res.ops_per_ms = res.sim_ms > 0 ? res.ops / res.sim_ms : 0.0;
+  if (open_loop) {
+    res.sojourn_p50 = sojourn.percentile(50);
+    res.sojourn_p99 = sojourn.percentile(99);
+  }
+  if (tracer.has_value()) {
+    res.stats.trace_drops = tracer->total_drops();
+    res.latency = tracer->latency_summary();
+    if (!cfg.trace_file.empty() &&
+        !trace::write_chrome_trace(*tracer, cfg.trace_file)) {
+      std::fprintf(stderr, "rtle oltp: cannot write trace to '%s'\n",
+                   cfg.trace_file.c_str());
+    }
+  }
+  return res;
+}
+
+}  // namespace rtle::oltp

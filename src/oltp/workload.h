@@ -1,0 +1,71 @@
+// rtle::oltp workload engine — a deterministic OLTP driver over Store.
+//
+// Key popularity follows a Zipf distribution (sim::ZipfRng) over a dense
+// integer key space; the operation mix is single-key reads, single-key
+// upserts, and multi-key bank-style transfers spanning shards. Two drivers:
+//   * closed loop — every thread issues its next operation immediately
+//     (the set-benchmark discipline; measures saturated throughput);
+//   * open loop  — operations arrive at a fixed aggregate rate and queue;
+//     each thread serves arrival j*threads+t at time j*threads+t over the
+//     rate, idling until its next arrival. The sojourn time (arrival →
+//     completion, queueing included) lands in a latency histogram.
+//
+// Everything is deterministic: same config, same schedule, same numbers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "oltp/store.h"
+#include "runtime/method.h"
+#include "runtime/stats.h"
+#include "sim/config.h"
+
+namespace rtle::oltp {
+
+struct WorkloadConfig {
+  sim::MachineConfig machine;
+  std::uint32_t threads = 4;
+  std::uint32_t shards = 4;
+  std::uint64_t keys = 1 << 12;  ///< dense key space [0, keys)
+  double zipf_theta = 0.0;       ///< 0 = uniform
+  /// Operation mix, in percent. Whatever read_pct + multi_pct leaves of
+  /// 100 is single-key upserts (which write arbitrary values — set
+  /// read_pct + multi_pct = 100 to preserve the bank-sum invariant).
+  std::uint32_t read_pct = 80;
+  std::uint32_t multi_pct = 10;
+  std::uint32_t multi_min = 2;  ///< keys per multi-key transfer
+  std::uint32_t multi_max = 4;
+  double duration_ms = 1.0;
+  std::uint64_t seed = 42;
+  /// > 0 switches to the open-loop driver: aggregate arrivals per
+  /// simulated millisecond across all threads.
+  double arrivals_per_ms = 0.0;
+  int cross_trials = 5;
+  std::uint64_t initial_value = 1000;  ///< prefilled balance per key
+  std::string faults;      ///< sim::FaultPlan::parse spec ("" = none)
+  std::string trace_file;  ///< Chrome trace export path ("" = none)
+  bool latency = false;    ///< install a TraceSession for latency digests
+};
+
+struct WorkloadResult {
+  std::string method;
+  std::uint32_t threads = 0;
+  std::uint64_t ops = 0;  ///< single-shard ops + cross commits
+  double sim_ms = 0.0;
+  double ops_per_ms = 0.0;
+  runtime::MethodStats stats;  ///< field-wise sum over the shard methods
+  CrossStats cross;
+  /// Open-loop sojourn percentiles (cycles); 0 in closed-loop runs.
+  std::uint64_t sojourn_p50 = 0;
+  std::uint64_t sojourn_p99 = 0;
+  std::string latency;  ///< TraceSession digest when cfg.latency was set
+};
+
+/// Field-wise accumulation of per-shard method stats into a run total.
+void accumulate(runtime::MethodStats& into, const runtime::MethodStats& s);
+
+WorkloadResult run_workload(const WorkloadConfig& cfg,
+                            const runtime::MethodSpec& spec);
+
+}  // namespace rtle::oltp

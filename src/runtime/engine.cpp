@@ -1,11 +1,36 @@
 #include "runtime/engine.h"
 
+#include <cstdio>
+#include <cstdlib>
+
 #include "mem/shim.h"
 #include "sim/ambient.h"
 #include "sim/env.h"
 #include "trace/session.h"
 
 namespace rtle::runtime {
+
+void SyncMethod::cross_unsupported() const {
+  std::fprintf(stderr,
+               "rtle: method '%s' does not implement the cross-shard "
+               "transaction seam\n",
+               name().c_str());
+  std::abort();
+}
+
+void ElidingMethod::cross_htm_enter(ThreadCtx& th) {
+  auto& htm = cur_htm();
+  if (htm.tx_load(th.tx, lock_.word()) != 0) {
+    htm.abort_self(th.tx, htm::AbortCause::kLockBusy);
+  }
+}
+
+void LockMethod::cross_htm_enter(ThreadCtx& th) {
+  auto& htm = cur_htm();
+  if (htm.tx_load(th.tx, lock_.word()) != 0) {
+    htm.abort_self(th.tx, htm::AbortCause::kLockBusy);
+  }
+}
 
 void ElidingMethod::execute(ThreadCtx& th, CsBody cs) {
   // Tracing is meta-level: the session pointer is read once per execution,

@@ -58,6 +58,15 @@ class ElidingMethod : public SyncMethod {
   void enable_htm_health(HtmHealth::Config cfg) { health_.enable(cfg); }
   HtmHealth& htm_health() { return health_; }
 
+  // Cross-shard seam: subscribe the lock word inside the foreign HTM
+  // transaction (the TLE fast-path discipline); pessimistic fallback is a
+  // plain acquire/release with kRaw holder accesses. RW-TLE and FG-TLE
+  // override the lock half with their holder protocols.
+  void cross_htm_enter(ThreadCtx& th) override;
+  void cross_htm_publish(ThreadCtx& th, bool wrote) override {}
+  void cross_lock_enter(ThreadCtx& th) override { lock_.acquire(); }
+  void cross_lock_leave(ThreadCtx& th) override { lock_.release(); }
+
  protected:
   /// Whether this method can speculate while the lock is held. When true,
   /// a fast-path failure loops straight back to the probe (Figure 1) so the
@@ -96,6 +105,11 @@ class LockMethod final : public SyncMethod {
  public:
   std::string name() const override { return "Lock"; }
   void execute(ThreadCtx& th, CsBody cs) override;
+
+  void cross_htm_enter(ThreadCtx& th) override;
+  void cross_htm_publish(ThreadCtx& th, bool wrote) override {}
+  void cross_lock_enter(ThreadCtx& th) override { lock_.acquire(); }
+  void cross_lock_leave(ThreadCtx& th) override { lock_.release(); }
 
  private:
   sync::TTSLock lock_{&stats_};

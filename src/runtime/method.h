@@ -39,8 +39,45 @@ class SyncMethod {
   MethodStats& stats() { return stats_; }
   const MethodStats& stats() const { return stats_; }
 
+  // --- cross-shard transaction seam (oltp::Store) ---------------------
+  //
+  // A multi-shard transaction executes one critical section under several
+  // methods at once (one per shard). It cannot go through execute() —
+  // that owns exactly one guard — so each method instead exposes its two
+  // halves: how a foreign hardware transaction subscribes to its guard,
+  // and how a pessimistic holder opens/closes its guard with full holder
+  // duties (epoch increments, write flags, odd seqlocks). The store
+  // composes them: one HTM transaction entering every shard ascending, or
+  // a deadlock-free ascending lock acquisition as the fallback.
+
+  /// Inside an already-open HTM transaction: subscribe this method's guard
+  /// word(s), aborting now (or getting doomed later) instead of running
+  /// concurrently with a pessimistic holder.
+  virtual void cross_htm_enter(ThreadCtx& th) { cross_unsupported(); }
+
+  /// Inside the same transaction, immediately before its commit: publish
+  /// whatever this method's software readers validate against (STM clock
+  /// bumps). `wrote` says whether the transaction wrote this shard.
+  virtual void cross_htm_publish(ThreadCtx& th, bool wrote) {
+    cross_unsupported();
+  }
+
+  /// Pessimistic fallback: acquire / release this method's guard with the
+  /// same holder protocol lock_cs-style execution uses. Acquisition order
+  /// across shards is the caller's responsibility (ascending shard index).
+  virtual void cross_lock_enter(ThreadCtx& th) { cross_unsupported(); }
+  virtual void cross_lock_leave(ThreadCtx& th) { cross_unsupported(); }
+
+  /// Path (and barriers) the fallback body must use for this shard's data
+  /// while the guard is held via cross_lock_enter.
+  virtual Path cross_lock_path() const { return Path::kRaw; }
+  virtual SlowBarriers* cross_lock_barriers() { return nullptr; }
+
  protected:
   MethodStats stats_;
+
+ private:
+  [[noreturn]] void cross_unsupported() const;
 };
 
 /// A named way to construct a method — the unit benchmarks sweep over.

@@ -5,7 +5,9 @@
 // reproducible: same seed ⇒ same schedule ⇒ same statistics.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
+#include <vector>
 
 namespace rtle::sim {
 
@@ -54,6 +56,60 @@ class Rng {
 
  private:
   std::uint64_t s0_, s1_;
+};
+
+/// Zipf(theta)-distributed ranks over [0, n): P(rank = k) ∝ 1/(k+1)^theta.
+///
+/// The weight table is built once (the only floating-point step, quantized
+/// to 32-bit relative precision so sub-ulp libm differences between
+/// platforms cannot change the table) and sampling is pure integer
+/// arithmetic against the cumulative table — a binary search per draw, fed
+/// from the caller's Rng so a workload stays a deterministic function of
+/// its seed. theta = 0 degenerates to the uniform distribution; the classic
+/// "YCSB-skewed" settings are theta ≈ 0.99.
+class ZipfRng {
+ public:
+  ZipfRng(std::uint64_t n, double theta) : cum_(n) {
+    std::uint64_t total = 0;
+    for (std::uint64_t k = 0; k < n; ++k) {
+      // Quantized weight: round(2^32 * (k+1)^-theta), floored at 1 so every
+      // rank stays reachable even for extreme skew.
+      const double w =
+          4294967296.0 * std::pow(static_cast<double>(k + 1), -theta);
+      std::uint64_t q = w >= 1.0 ? static_cast<std::uint64_t>(w + 0.5) : 1;
+      total += q;
+      cum_[k] = total;
+    }
+  }
+
+  std::uint64_t size() const { return cum_.size(); }
+  std::uint64_t total_weight() const { return cum_.empty() ? 0 : cum_.back(); }
+
+  /// Probability mass of `rank` as the exact table ratio.
+  double mass(std::uint64_t rank) const {
+    const std::uint64_t lo = rank == 0 ? 0 : cum_[rank - 1];
+    return static_cast<double>(cum_[rank] - lo) /
+           static_cast<double>(cum_.back());
+  }
+
+  /// Draw one rank in [0, n); hot ranks are the small ones.
+  std::uint64_t next(Rng& rng) const {
+    const std::uint64_t u = rng.below(cum_.back());
+    // First index with cum_[i] > u.
+    std::uint64_t lo = 0, hi = cum_.size() - 1;
+    while (lo < hi) {
+      const std::uint64_t mid = lo + (hi - lo) / 2;
+      if (cum_[mid] > u) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    return lo;
+  }
+
+ private:
+  std::vector<std::uint64_t> cum_;  // inclusive cumulative weights
 };
 
 }  // namespace rtle::sim

@@ -94,6 +94,44 @@ void NOrecMethod::commit_writer(ThreadCtx& th) {
   mem::plain_store(&seqlock_, p.snapshot + 2);
 }
 
+void NOrecMethod::cross_htm_enter(ThreadCtx& th) {
+  auto& htm = cur_htm();
+  // Subscribe the sequence lock: abort while a software writer publishes
+  // (odd clock), get doomed if one starts publishing while we run.
+  if ((htm.tx_load(th.tx, &seqlock_) & 1) != 0) {
+    htm.abort_self(th.tx, htm::AbortCause::kLockBusy);
+  }
+}
+
+void NOrecMethod::cross_htm_publish(ThreadCtx& th, bool wrote) {
+  if (!wrote) return;
+  auto& htm = cur_htm();
+  // Bump the clock inside the transaction so software readers revalidate
+  // against our writes the instant the commit lands (both become visible
+  // atomically).
+  const std::uint64_t ts = htm.tx_load(th.tx, &seqlock_);
+  htm.tx_store(th.tx, &seqlock_, ts + 2);
+}
+
+void NOrecMethod::cross_lock_enter(ThreadCtx& th) {
+  const auto& cost = cur_mem().cost();
+  for (;;) {
+    const std::uint64_t ts = mem::plain_load(&seqlock_);
+    if ((ts & 1) == 0 && mem::plain_cas(&seqlock_, ts, ts + 1)) return;
+    mem::compute(cost.spin_iter);
+  }
+}
+
+void NOrecMethod::cross_lock_leave(ThreadCtx& th) {
+  const std::uint64_t ts = mem::plain_load(&seqlock_);
+  // Serialization point before the even store: a software transaction
+  // blocked on the odd clock commits strictly after us.
+  if (check::CheckSession* chk = check::active_check()) {
+    chk->on_cross_release();
+  }
+  mem::plain_store(&seqlock_, ts + 1);
+}
+
 void NOrecMethod::sw_window_open() {
   if (sw_active_++ == 0) sw_window_start_ = cur_sched().now();
 }

@@ -29,6 +29,18 @@ class NOrecMethod : public runtime::SyncMethod {
   void prepare(std::uint32_t nthreads) override;
   void execute(runtime::ThreadCtx& th, runtime::CsBody cs) override;
 
+  // Cross-shard seam: a foreign hardware transaction subscribes the
+  // sequence lock (abort while a writer publishes, doomed when one starts)
+  // and bumps it inside the transaction when it wrote — Hybrid-NOrec's
+  // hardware-commit discipline. The pessimistic fallback holds the clock
+  // odd for the whole section: an extended writer publish that stalls
+  // validators and blocks software commits. Holder accesses stay raw
+  // (value-based validation needs no orecs). HybridNOrec inherits these.
+  void cross_htm_enter(runtime::ThreadCtx& th) override;
+  void cross_htm_publish(runtime::ThreadCtx& th, bool wrote) override;
+  void cross_lock_enter(runtime::ThreadCtx& th) override;
+  void cross_lock_leave(runtime::ThreadCtx& th) override;
+
  protected:
   struct ReadEntry {
     const std::uint64_t* addr;

@@ -22,6 +22,53 @@ void RHNOrecMethod::prepare(std::uint32_t nthreads) {
   }
 }
 
+void RHNOrecMethod::cross_htm_enter(ThreadCtx& th) {
+  auto& htm = cur_htm();
+  if (htm.tx_load(th.tx, &commit_lock_) != 0) {
+    htm.abort_self(th.tx, htm::AbortCause::kLockBusy);
+  }
+  if ((htm.tx_load(th.tx, &seqlock_) & 1) != 0) {
+    htm.abort_self(th.tx, htm::AbortCause::kLockBusy);
+  }
+}
+
+void RHNOrecMethod::cross_htm_publish(ThreadCtx& th, bool wrote) {
+  if (!wrote) return;
+  auto& htm = cur_htm();
+  // Mirror the HTM-slow commit: bump the timestamp only while software
+  // transactions are running — the refinement that keeps hardware commits
+  // off the hot word when no one is validating.
+  if (htm.tx_load(th.tx, &sw_count_) > 0) {
+    const std::uint64_t ts = htm.tx_load(th.tx, &seqlock_);
+    htm.tx_store(th.tx, &seqlock_, ts + 2);
+  }
+}
+
+void RHNOrecMethod::cross_lock_enter(ThreadCtx& th) {
+  // The sw_commit fallback discipline: commit lock first (halts hardware
+  // transactions and software commits), then hold the clock odd (stalls
+  // value-based validators) for the whole cross section.
+  const auto& cost = cur_mem().cost();
+  for (;;) {
+    if (mem::plain_load(&commit_lock_) == 0 &&
+        mem::plain_cas(&commit_lock_, 0, 1)) {
+      break;
+    }
+    mem::compute(cost.spin_iter);
+  }
+  const std::uint64_t ts = mem::plain_load(&seqlock_);
+  mem::plain_store(&seqlock_, ts + 1);
+}
+
+void RHNOrecMethod::cross_lock_leave(ThreadCtx& th) {
+  const std::uint64_t ts = mem::plain_load(&seqlock_);
+  if (check::CheckSession* chk = check::active_check()) {
+    chk->on_cross_release();
+  }
+  mem::plain_store(&seqlock_, ts + 1);
+  mem::plain_store(&commit_lock_, 0);
+}
+
 bool RHNOrecMethod::try_htm_phase(ThreadCtx& th, CsBody cs) {
   auto& htm = cur_htm();
   const auto& cost = cur_mem().cost();

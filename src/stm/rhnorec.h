@@ -31,6 +31,15 @@ class RHNOrecMethod final : public NOrecMethod {
   void prepare(std::uint32_t nthreads) override;
   void execute(runtime::ThreadCtx& th, runtime::CsBody cs) override;
 
+  // Cross-shard seam: subscribe the commit lock on top of the sequence
+  // lock, publish with the conditional sw_count_ bump (the RHNOrec
+  // refinement), and fall back to the commit-lock + odd-clock halt that
+  // sw_commit's lock path uses.
+  void cross_htm_enter(runtime::ThreadCtx& th) override;
+  void cross_htm_publish(runtime::ThreadCtx& th, bool wrote) override;
+  void cross_lock_enter(runtime::ThreadCtx& th) override;
+  void cross_lock_leave(runtime::ThreadCtx& th) override;
+
  private:
   /// True if the critical section committed purely in hardware.
   bool try_htm_phase(runtime::ThreadCtx& th, runtime::CsBody cs);

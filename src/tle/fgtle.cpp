@@ -93,7 +93,7 @@ bool FgTleMethod::slow_htm_attempt(ThreadCtx& th, CsBody cs) {
   return true;
 }
 
-void FgTleMethod::lock_cs(ThreadCtx& th, CsBody cs) {
+void FgTleMethod::holder_open(ThreadCtx& th) {
   on_lock_acquired(th);
   // Epoch increment #1 (right after acquire): our orec stamps become
   // "owned" relative to every later snapshot.
@@ -105,10 +105,9 @@ void FgTleMethod::lock_cs(ThreadCtx& th, CsBody cs) {
   }
   uniq_r_ = 0;
   uniq_w_ = 0;
+}
 
-  TxContext ctx(Path::kLockSlow, th, &barriers_);
-  cs(ctx);
-
+void FgTleMethod::holder_close(ThreadCtx& th) {
   // Epoch increment #2 (just before release): implicitly releases every
   // orec without touching them — slow-path transactions keep running.
   mem::plain_store(&global_seq_, holder_seq_ + 1);
@@ -116,6 +115,23 @@ void FgTleMethod::lock_cs(ThreadCtx& th, CsBody cs) {
     chk->on_fg_cs_close(this, lock_.word(), holder_seq_ + 1);
   }
   on_lock_released(th, uniq_r_, uniq_w_);
+}
+
+void FgTleMethod::lock_cs(ThreadCtx& th, CsBody cs) {
+  holder_open(th);
+  TxContext ctx(Path::kLockSlow, th, &barriers_);
+  cs(ctx);
+  holder_close(th);
+}
+
+void FgTleMethod::cross_lock_enter(ThreadCtx& th) {
+  lock_.acquire();
+  holder_open(th);
+}
+
+void FgTleMethod::cross_lock_leave(ThreadCtx& th) {
+  holder_close(th);
+  lock_.release();
 }
 
 std::uint64_t FgTleMethod::Barriers::read(TxContext& ctx,

@@ -55,6 +55,17 @@ class FgTleMethod : public runtime::ElidingMethod {
     bug_skip_slow_abort_ = b.skip_slow_orec_abort;
   }
 
+  // Cross-shard seam: a cross holder runs the full §4.2 holder protocol
+  // (epoch increments around the section, orec stamping through the holder
+  // barriers) so slow-path transactions on this shard keep their free
+  // optimistic attempts while the cross transaction holds the lock.
+  void cross_lock_enter(runtime::ThreadCtx& th) override;
+  void cross_lock_leave(runtime::ThreadCtx& th) override;
+  runtime::Path cross_lock_path() const override {
+    return runtime::Path::kLockSlow;
+  }
+  runtime::SlowBarriers* cross_lock_barriers() override { return &barriers_; }
+
  protected:
   bool has_slow_path() const override { return true; }
   bool slow_htm_attempt(runtime::ThreadCtx& th, runtime::CsBody cs) override;
@@ -89,6 +100,12 @@ class FgTleMethod : public runtime::ElidingMethod {
   /// active CheckSession (no-op without one). Idempotent; re-run after
   /// resize_orecs.
   void register_check_meta();
+
+  /// The two halves of the holder protocol, shared by lock_cs and the
+  /// cross-shard seam: epoch increment #1 + uniq reset right after the
+  /// acquire, epoch increment #2 + utilization hook right before release.
+  void holder_open(runtime::ThreadCtx& th);
+  void holder_close(runtime::ThreadCtx& th);
 
   std::uint32_t n_;
   bool lazy_subscription_;

@@ -53,6 +53,19 @@ void RwTleMethod::lock_cs(ThreadCtx& th, CsBody cs) {
   }
 }
 
+void RwTleMethod::cross_lock_enter(ThreadCtx& th) {
+  lock_.acquire();
+  holder_wrote_ = false;
+}
+
+void RwTleMethod::cross_lock_leave(ThreadCtx& th) {
+  mem::plain_store(&write_flag_, 0);
+  if (check::CheckSession* chk = check::active_check()) {
+    chk->on_rw_cs_close(this, lock_.word());
+  }
+  lock_.release();
+}
+
 std::uint64_t RwTleMethod::Barriers::read(TxContext& ctx,
                                           const std::uint64_t* addr) {
   if (ctx.path() == Path::kHtmSlow) {

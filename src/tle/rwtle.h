@@ -37,6 +37,16 @@ class RwTleMethod final : public runtime::ElidingMethod {
   /// method.
   void seed_skip_write_flag(bool on) { bug_skip_write_flag_ = on; }
 
+  // Cross-shard seam: a cross holder runs the full write_flag protocol
+  // (instrumented accesses through the holder barriers) so slow-path
+  // readers on this shard still self-invalidate on its first write.
+  void cross_lock_enter(runtime::ThreadCtx& th) override;
+  void cross_lock_leave(runtime::ThreadCtx& th) override;
+  runtime::Path cross_lock_path() const override {
+    return runtime::Path::kLockSlow;
+  }
+  runtime::SlowBarriers* cross_lock_barriers() override { return &barriers_; }
+
  protected:
   bool has_slow_path() const override { return true; }
   bool slow_htm_attempt(runtime::ThreadCtx& th, runtime::CsBody cs) override;

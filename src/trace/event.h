@@ -55,10 +55,24 @@ enum class EventType : std::uint16_t {
   // Scheduler context switch: the emitting fiber yields to `arg` (the
   // destination fiber's paper pin).
   kFiberSwitch,
+
+  // OLTP cross-shard transactions (oltp/store.cpp). kShardAcquire /
+  // kShardRelease frame one shard guard held by a pessimistic cross
+  // transaction (`arg` = shard index); the acquire order of the records is
+  // the lock order. kShardCommit attributes a committed transaction to a
+  // shard (`arg` = shard index, `flags` = 0 single-shard / 1 cross-shard).
+  // kCrossBegin / kCrossCommit frame a whole multi-shard transaction
+  // (`arg` = bitmask of involved shards — shard indices fit in 64 —
+  // `flags` = 0 on the HTM path, 1 on the lock fallback).
+  kShardAcquire,
+  kShardRelease,
+  kShardCommit,
+  kCrossBegin,
+  kCrossCommit,
 };
 
 inline constexpr std::size_t kNumEventTypes =
-    static_cast<std::size_t>(EventType::kFiberSwitch) + 1;
+    static_cast<std::size_t>(EventType::kCrossCommit) + 1;
 
 const char* to_string(EventType t);
 

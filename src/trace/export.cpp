@@ -1,6 +1,8 @@
 #include "trace/export.h"
 
 #include <cstdio>
+#include <utility>
+#include <vector>
 
 #include "htm/htm.h"
 
@@ -70,6 +72,12 @@ void export_thread(EventWriter& w, std::size_t tid, const EventRing& ring) {
   bool lock_open = false;
   std::uint64_t lock_ts = 0;
   std::uint64_t lock_wait = 0;
+  // Cross-shard guard nesting (acquired ascending, released descending, so
+  // the held windows nest properly) and the enclosing cross transaction.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> shard_stack;
+  bool cross_open = false;
+  std::uint64_t cross_ts = 0;
+  std::uint64_t cross_mask = 0;
 
   char name[32];
   auto txn_name = [&](std::uint16_t path) {
@@ -145,6 +153,43 @@ void export_thread(EventWriter& w, std::size_t tid, const EventRing& ring) {
         break;
       case EventType::kFiberSwitch:
         w.instant(tid, "fiber-switch", ev.ts, u64_arg("to", ev.arg));
+        break;
+      case EventType::kShardAcquire:
+        shard_stack.emplace_back(ev.arg, ev.ts);
+        break;
+      case EventType::kShardRelease:
+        if (!shard_stack.empty() && shard_stack.back().first == ev.arg) {
+          w.slice(tid, "shard-held", shard_stack.back().second,
+                  ev.ts - shard_stack.back().second,
+                  u64_arg("shard", ev.arg));
+          shard_stack.pop_back();
+        } else {
+          w.instant(tid, "shard-release", ev.ts, u64_arg("shard", ev.arg));
+        }
+        break;
+      case EventType::kShardCommit:
+        w.instant(tid, "shard-commit", ev.ts,
+                  u64_arg("shard", ev.arg) + "," +
+                      u64_arg("cross", ev.flags));
+        break;
+      case EventType::kCrossBegin:
+        if (cross_open) {
+          w.instant(tid, "cross-txn", cross_ts, "\"outcome\":\"open\"");
+        }
+        cross_open = true;
+        cross_ts = ev.ts;
+        cross_mask = ev.arg;
+        break;
+      case EventType::kCrossCommit:
+        if (cross_open) {
+          std::string args = u64_arg("shards", cross_mask) + ",\"path\":\"";
+          args += ev.flags == 0 ? "htm" : "lock";
+          args += "\"";
+          w.slice(tid, "cross-txn", cross_ts, ev.ts - cross_ts, args);
+          cross_open = false;
+        } else {
+          w.instant(tid, "cross-txn", ev.ts, "\"outcome\":\"commit\"");
+        }
         break;
       default:
         w.instant(tid, to_string(static_cast<EventType>(ev.type)), ev.ts,

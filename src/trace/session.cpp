@@ -28,6 +28,11 @@ const char* to_string(EventType t) {
     case EventType::kHealthProbe: return "health-probe";
     case EventType::kHealthReenable: return "health-reenable";
     case EventType::kFiberSwitch: return "fiber-switch";
+    case EventType::kShardAcquire: return "shard-acquire";
+    case EventType::kShardRelease: return "shard-release";
+    case EventType::kShardCommit: return "shard-commit";
+    case EventType::kCrossBegin: return "cross-begin";
+    case EventType::kCrossCommit: return "cross-commit";
   }
   return "?";
 }

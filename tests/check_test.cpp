@@ -24,6 +24,7 @@
 #include "check/session.h"
 #include "ds/avl.h"
 #include "mem/shim.h"
+#include "oltp/store.h"
 #include "sim/env.h"
 #include "test_util.h"
 #include "tle/fgtle.h"
@@ -491,6 +492,72 @@ TEST(CheckMeta, ResizeOrecsDeregistersTheOldArrays) {
   EXPECT_EQ(chk.meta_range_count(), before);
   m.resize_orecs(8);
   EXPECT_EQ(chk.meta_range_count(), before);
+}
+
+// ---------------------------------------------------------------------------
+// Cross-shard (oltp) guard ordering: the pessimistic fallback must acquire
+// shard guards in ascending shard order — the deterministic total order
+// that makes it deadlock-free. The seeded descending-acquisition bug must
+// be reported by name.
+
+/// Two keys routing to different shards of `store`, lowest keys first.
+std::pair<std::uint64_t, std::uint64_t> two_cross_keys(oltp::Store& store) {
+  std::uint64_t k0 = 0, k1 = 1;
+  while (store.shard_of(k1) == store.shard_of(k0)) ++k1;
+  return {k0, k1};
+}
+
+void run_cross_pair(oltp::Store& store, SimScope& sim, std::uint64_t k0,
+                    std::uint64_t k1) {
+  runtime::ThreadCtx th(0, 1);
+  sim.sched.spawn(
+      [&] {
+        std::uint64_t keys[2] = {k0, k1};
+        auto body = [&](oltp::Store::MultiTx& tx) {
+          tx.write(k0, tx.read(k0) - 1);
+          tx.write(k1, tx.read(k1) + 1);
+        };
+        store.multi(th, keys, 2, body);
+      },
+      0);
+  sim.sched.run();
+}
+
+TEST(CheckNegative, DescendingCrossShardAcquisitionIsReportedAsLockOrder) {
+  CheckSession chk;
+  SimScope sim(MachineConfig::corei7());
+  oltp::StoreConfig sc;
+  sc.shards = 4;
+  sc.max_nodes_per_shard = 64;
+  sc.max_threads = 1;
+  sc.cross_trials = 0;  // force the pessimistic fallback deterministically
+  oltp::Store store(sc, bench::method_by_name("TLE"));
+  store.seed_descending_acquisition(true);
+  const auto [k0, k1] = two_cross_keys(store);
+  store.prefill_meta(k0, 10);
+  store.prefill_meta(k1, 10);
+  run_cross_pair(store, sim, k0, k1);
+  EXPECT_TRUE(has_kind(chk, ReportKind::kLockOrder)) << chk.summary();
+  EXPECT_STREQ(check::to_string(ReportKind::kLockOrder), "lock-order");
+  const std::string detail = detail_of(chk, ReportKind::kLockOrder);
+  EXPECT_NE(detail.find("ascending"), std::string::npos) << detail;
+}
+
+TEST(CheckPositive, AscendingCrossShardAcquisitionIsClean) {
+  CheckSession chk;
+  SimScope sim(MachineConfig::corei7());
+  oltp::StoreConfig sc;
+  sc.shards = 4;
+  sc.max_nodes_per_shard = 64;
+  sc.max_threads = 1;
+  sc.cross_trials = 0;
+  oltp::Store store(sc, bench::method_by_name("TLE"));
+  const auto [k0, k1] = two_cross_keys(store);
+  store.prefill_meta(k0, 10);
+  store.prefill_meta(k1, 10);
+  run_cross_pair(store, sim, k0, k1);
+  EXPECT_EQ(chk.report_count(), 0u) << chk.summary();
+  EXPECT_EQ(store.cross_stats().lock_commits, 1u);
 }
 
 }  // namespace

@@ -1,0 +1,373 @@
+// rtle::oltp — sharded transactional key-value store + workload engine.
+//
+// Coverage:
+//   * single-shard operations have plain map semantics (mirror model);
+//   * multi-shard bank-style transfers preserve the global sum across every
+//     synchronization method, on both the HTM cross path and the forced
+//     pessimistic (ascending lock order) fallback;
+//   * the rtle::check serializability oracle: with a CheckSession installed,
+//     a mixed single-/multi-shard run produces zero reports and its
+//     per-operation serial numbers replay sequentially to the same values;
+//   * the workload engine: determinism (same config ⇒ identical results),
+//     Zipf skew concentrating load, open-loop sojourn measurement.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_util/setbench.h"
+#include "check/session.h"
+#include "oltp/store.h"
+#include "oltp/workload.h"
+#include "sim/env.h"
+#include "sim/rng.h"
+#include "test_util.h"
+
+namespace rtle {
+namespace {
+
+using check::CheckSession;
+using check::ReportKind;
+using oltp::Store;
+using oltp::StoreConfig;
+using oltp::WorkloadConfig;
+using oltp::WorkloadResult;
+using runtime::ThreadCtx;
+using sim::MachineConfig;
+
+/// The ten methods of the paper sweep (acceptance criterion: the bank
+/// invariant and the serializability oracle must hold for every one).
+const char* kAllMethods[] = {
+    "Lock",      "TLE",    "HLE",     "RW-TLE",      "FG-TLE(16)",
+    "FG-TLE(256)", "A-FG-TLE", "NOrec", "RHNOrec", "HybridNOrec",
+};
+
+// ---------------------------------------------------------------------------
+// Single-shard semantics: the store is an ordinary map.
+
+TEST(OltpStore, SingleShardMatchesMapSemantics) {
+  SimScope sim(MachineConfig::corei7());
+  StoreConfig sc;
+  sc.shards = 1;
+  sc.buckets_per_shard = 64;
+  sc.max_nodes_per_shard = 512;
+  sc.max_threads = 1;
+  Store store(sc, bench::method_by_name("TLE"));
+  std::map<std::uint64_t, std::uint64_t> model;
+  ThreadCtx th(0, 99);
+  sim.sched.spawn(
+      [&] {
+        sim::Rng rng(7);
+        for (std::uint64_t i = 0; i < 1500; ++i) {
+          const std::uint64_t key = rng.below(200);
+          switch (rng.below(3)) {
+            case 0:
+              store.put(th, key, i);
+              model[key] = i;
+              break;
+            case 1: {
+              std::uint64_t out = 0;
+              const bool found = store.get(th, key, out);
+              EXPECT_EQ(found, model.count(key) != 0);
+              if (found) {
+                EXPECT_EQ(out, model[key]);
+              }
+              break;
+            }
+            default:
+              EXPECT_EQ(store.erase(th, key), model.erase(key) != 0);
+              break;
+          }
+        }
+      },
+      0);
+  sim.sched.run();
+  std::size_t live = 0;
+  store.map(0).for_each_meta([&](std::uint64_t k, std::uint64_t v) {
+    ASSERT_EQ(model.count(k), 1u);
+    EXPECT_EQ(model[k], v);
+    ++live;
+  });
+  EXPECT_EQ(live, model.size());
+}
+
+TEST(OltpStore, ShardRoutingIsStableAndInRange) {
+  SimScope sim(MachineConfig::corei7());
+  StoreConfig sc;
+  sc.shards = 8;
+  sc.max_threads = 1;
+  Store store(sc, bench::method_by_name("Lock"));
+  std::uint64_t seen = 0;
+  for (std::uint64_t k = 0; k < 4096; ++k) {
+    const std::uint32_t s = store.shard_of(k);
+    ASSERT_LT(s, 8u);
+    EXPECT_EQ(s, store.shard_of(k));
+    seen |= std::uint64_t{1} << s;
+  }
+  // mix64 spreads a dense key range over every shard.
+  EXPECT_EQ(seen, 0xffu);
+}
+
+// ---------------------------------------------------------------------------
+// Multi-shard transfers: bank-sum invariant across all methods and paths.
+
+constexpr std::uint64_t kBankKeys = 192;
+constexpr std::uint64_t kBankInit = 1000;
+
+void run_bank(const std::string& method, int cross_trials,
+              std::uint32_t threads, std::uint64_t ops_per_thread) {
+  SimScope sim(MachineConfig::corei7());
+  StoreConfig sc;
+  sc.shards = 8;
+  sc.buckets_per_shard = 64;
+  sc.max_nodes_per_shard = kBankKeys + 64 * threads;
+  sc.max_threads = threads;
+  sc.cross_trials = cross_trials;
+  Store store(sc, bench::method_by_name(method));
+  for (std::uint64_t k = 0; k < kBankKeys; ++k) {
+    store.prefill_meta(k, kBankInit);
+  }
+  test::run_workers(sim, threads, ops_per_thread, 31,
+                    [&](ThreadCtx& th, std::uint64_t) {
+                      std::uint64_t keys[3] = {th.rng.below(kBankKeys),
+                                               th.rng.below(kBankKeys),
+                                               th.rng.below(kBankKeys)};
+                      auto body = [&](Store::MultiTx& tx) {
+                        const std::uint64_t v0 = tx.read(keys[0]);
+                        tx.write(keys[0], v0 - 1);
+                        tx.read(keys[1]);
+                        const std::uint64_t v2 = tx.read(keys[2]);
+                        tx.write(keys[2], v2 + 1);
+                      };
+                      store.multi(th, keys, 3, body);
+                    });
+  EXPECT_EQ(store.sum_meta(), kBankKeys * kBankInit) << method;
+  EXPECT_EQ(store.cross_stats().commits, threads * ops_per_thread) << method;
+  if (cross_trials == 0) {
+    EXPECT_EQ(store.cross_stats().lock_commits, threads * ops_per_thread)
+        << method;
+  }
+}
+
+TEST(OltpMultiShard, BankInvariantHoldsForAllMethodsHtmPath) {
+  for (const char* m : kAllMethods) run_bank(m, 5, 4, 120);
+}
+
+TEST(OltpMultiShard, BankInvariantHoldsForAllMethodsLockFallback) {
+  for (const char* m : kAllMethods) run_bank(m, 0, 4, 120);
+}
+
+TEST(OltpMultiShard, HtmPathActuallyCommitsInHardware) {
+  SimScope sim(MachineConfig::corei7());
+  StoreConfig sc;
+  sc.shards = 4;
+  sc.max_nodes_per_shard = 256;
+  sc.max_threads = 2;
+  Store store(sc, bench::method_by_name("TLE"));
+  for (std::uint64_t k = 0; k < 64; ++k) store.prefill_meta(k, 1);
+  test::run_workers(sim, 2, 50, 5, [&](ThreadCtx& th, std::uint64_t) {
+    std::uint64_t keys[2] = {th.rng.below(64), th.rng.below(64)};
+    auto body = [&](Store::MultiTx& tx) {
+      const std::uint64_t v = tx.read(keys[0]);
+      tx.write(keys[0], v - 1);
+      const std::uint64_t w = tx.read(keys[1]);
+      tx.write(keys[1], w + 1);
+    };
+    store.multi(th, keys, 2, body);
+  });
+  EXPECT_GT(store.cross_stats().htm_commits, 0u);
+  EXPECT_EQ(store.cross_stats().commits, 100u);
+  EXPECT_EQ(store.ops(), 100u);
+}
+
+// ---------------------------------------------------------------------------
+// Serializability oracle: zero reports + sequential replay of the serials.
+
+struct OpRec {
+  std::uint64_t serial = 0;
+  bool is_multi = false;
+  std::uint64_t k0 = 0, k1 = 0;
+  std::uint64_t r0 = 0, r1 = 0;  // values the operation observed
+};
+
+void run_oracle(const std::string& method) {
+  CheckSession chk({/*max_reports=*/16});
+  SimScope sim(MachineConfig::corei7());
+  constexpr std::uint64_t kKeys = 96;
+  StoreConfig sc;
+  sc.shards = 4;
+  sc.buckets_per_shard = 64;
+  sc.max_nodes_per_shard = kKeys + 64 * 3;
+  sc.max_threads = 3;
+  sc.cross_trials = 2;  // exercise the HTM path and the lock fallback
+  Store store(sc, bench::method_by_name(method));
+  for (std::uint64_t k = 0; k < kKeys; ++k) store.prefill_meta(k, kBankInit);
+  std::vector<OpRec> recs;
+  test::run_workers(sim, 3, 70, 17, [&](ThreadCtx& th, std::uint64_t) {
+    OpRec rec;
+    if (th.rng.pct(60)) {
+      rec.is_multi = true;
+      rec.k0 = th.rng.below(kKeys);
+      rec.k1 = th.rng.below(kKeys);
+      std::uint64_t keys[2] = {rec.k0, rec.k1};
+      auto body = [&](Store::MultiTx& tx) {
+        rec.r0 = tx.read(rec.k0);
+        tx.write(rec.k0, rec.r0 - 1);
+        rec.r1 = tx.read(rec.k1);
+        tx.write(rec.k1, rec.r1 + 1);
+      };
+      store.multi(th, keys, 2, body);
+    } else {
+      rec.k0 = th.rng.below(kKeys);
+      std::uint64_t out = 0;
+      EXPECT_TRUE(store.get(th, rec.k0, out));
+      rec.r0 = out;
+    }
+    rec.serial = chk.last_serial(th.tid);
+    recs.push_back(rec);
+  });
+  EXPECT_EQ(chk.report_count(), 0u) << method << "\n" << chk.summary();
+
+  // Every committed section must have received a distinct serial.
+  std::sort(recs.begin(), recs.end(),
+            [](const OpRec& a, const OpRec& b) { return a.serial < b.serial; });
+  for (std::size_t i = 1; i < recs.size(); ++i) {
+    ASSERT_NE(recs[i].serial, recs[i - 1].serial) << method;
+  }
+  // Sequential replay in serial order must reproduce every observed value.
+  std::map<std::uint64_t, std::uint64_t> model;
+  for (std::uint64_t k = 0; k < kKeys; ++k) model[k] = kBankInit;
+  for (const OpRec& rec : recs) {
+    if (rec.is_multi) {
+      ASSERT_EQ(rec.r0, model[rec.k0]) << method << " serial " << rec.serial;
+      model[rec.k0] = rec.r0 - 1;
+      ASSERT_EQ(rec.r1, model[rec.k1]) << method << " serial " << rec.serial;
+      model[rec.k1] = rec.r1 + 1;
+    } else {
+      ASSERT_EQ(rec.r0, model[rec.k0]) << method << " serial " << rec.serial;
+    }
+  }
+}
+
+TEST(OltpSerializability, OracleReplaysCleanForAllMethods) {
+  for (const char* m : kAllMethods) run_oracle(m);
+}
+
+// ---------------------------------------------------------------------------
+// Workload engine.
+
+WorkloadConfig small_workload() {
+  WorkloadConfig cfg;
+  cfg.machine = MachineConfig::corei7();
+  cfg.threads = 4;
+  cfg.shards = 8;
+  cfg.keys = 256;
+  cfg.read_pct = 70;
+  cfg.multi_pct = 30;  // read + multi = 100: sum-preserving mix
+  cfg.duration_ms = 0.05;
+  cfg.seed = 11;
+  return cfg;
+}
+
+TEST(OltpWorkload, RunsAndCountsEveryCommitPath) {
+  const WorkloadResult res =
+      run_workload(small_workload(), bench::method_by_name("TLE"));
+  EXPECT_GT(res.ops, 0u);
+  EXPECT_GT(res.ops_per_ms, 0.0);
+  EXPECT_GT(res.cross.commits, 0u);
+  EXPECT_EQ(res.cross.commits,
+            res.cross.htm_commits + res.cross.lock_commits);
+  EXPECT_EQ(res.ops, res.stats.ops + res.cross.commits);
+}
+
+TEST(OltpWorkload, IdenticalConfigsAreDeterministic) {
+  const WorkloadConfig cfg = small_workload();
+  const WorkloadResult a = run_workload(cfg, bench::method_by_name("RW-TLE"));
+  const WorkloadResult b = run_workload(cfg, bench::method_by_name("RW-TLE"));
+  EXPECT_EQ(a.ops, b.ops);
+  EXPECT_EQ(a.cross.commits, b.cross.commits);
+  EXPECT_EQ(a.cross.htm_commits, b.cross.htm_commits);
+  EXPECT_EQ(a.stats.ops, b.stats.ops);
+  EXPECT_EQ(a.stats.aborts_fast, b.stats.aborts_fast);
+}
+
+TEST(OltpWorkload, ZipfSkewShiftsLoadOntoHotShards) {
+  // Under heavy skew the hottest few ranks dominate; the shards owning
+  // them must see disproportionally many single-shard commits.
+  WorkloadConfig cfg = small_workload();
+  cfg.multi_pct = 0;
+  cfg.read_pct = 100;
+  cfg.zipf_theta = 1.2;
+  cfg.duration_ms = 0.1;
+  SimScope probe(cfg.machine);  // only for shard_of of the hot rank
+  StoreConfig sc;
+  sc.shards = cfg.shards;
+  sc.max_threads = 1;
+  Store router(sc, bench::method_by_name("Lock"));
+  const std::uint32_t hot_shard = router.shard_of(0);
+
+  // Re-run through the engine and compare per-shard op counts.
+  // (run_workload owns its Store, so count via a fresh store driven the
+  // same way: one thread, direct Zipf stream.)
+  const sim::ZipfRng zipf(cfg.keys, cfg.zipf_theta);
+  sim::Rng rng(3);
+  std::vector<std::uint64_t> hits(cfg.shards, 0);
+  for (int i = 0; i < 20000; ++i) hits[router.shard_of(zipf.next(rng))] += 1;
+  const std::uint64_t max_hits = *std::max_element(hits.begin(), hits.end());
+  EXPECT_EQ(hits[hot_shard], max_hits);
+  std::uint64_t total = 0;
+  for (std::uint64_t h : hits) total += h;
+  // The hot shard alone carries well above the uniform 1/shards share.
+  EXPECT_GT(hits[hot_shard] * cfg.shards, total * 2);
+}
+
+TEST(OltpWorkload, OpenLoopMeasuresSojournTimes) {
+  WorkloadConfig cfg = small_workload();
+  cfg.arrivals_per_ms = 2000.0;
+  cfg.duration_ms = 0.1;
+  const WorkloadResult res =
+      run_workload(cfg, bench::method_by_name("FG-TLE(16)"));
+  EXPECT_GT(res.ops, 0u);
+  EXPECT_GT(res.sojourn_p99, 0u);
+  EXPECT_GE(res.sojourn_p99, res.sojourn_p50);
+  // Open loop issues at most rate * duration arrivals.
+  EXPECT_LE(res.ops, static_cast<std::uint64_t>(
+                         cfg.arrivals_per_ms * cfg.duration_ms) +
+                         cfg.threads);
+}
+
+TEST(OltpWorkload, BankSumSurvivesTheEngineMix) {
+  // read + multi = 100% means every write is a sum-preserving transfer;
+  // verify through a store driven exactly like the engine drives it.
+  WorkloadConfig cfg = small_workload();
+  SimScope sim(cfg.machine);
+  StoreConfig sc;
+  sc.shards = cfg.shards;
+  sc.buckets_per_shard = 64;
+  sc.max_nodes_per_shard = cfg.keys + 64 * cfg.threads;
+  sc.max_threads = cfg.threads;
+  Store store(sc, bench::method_by_name("NOrec"));
+  for (std::uint64_t k = 0; k < cfg.keys; ++k) {
+    store.prefill_meta(k, cfg.initial_value);
+  }
+  const sim::ZipfRng zipf(cfg.keys, cfg.zipf_theta);
+  test::run_workers(sim, cfg.threads, 80, cfg.seed,
+                    [&](ThreadCtx& th, std::uint64_t) {
+                      std::uint64_t keys[2] = {zipf.next(th.rng),
+                                               zipf.next(th.rng)};
+                      auto body = [&](Store::MultiTx& tx) {
+                        const std::uint64_t v0 = tx.read(keys[0]);
+                        tx.write(keys[0], v0 - 1);
+                        const std::uint64_t v1 = tx.read(keys[1]);
+                        tx.write(keys[1], v1 + 1);
+                      };
+                      store.multi(th, keys, 2, body);
+                    });
+  EXPECT_EQ(store.sum_meta(), cfg.keys * cfg.initial_value);
+}
+
+}  // namespace
+}  // namespace rtle

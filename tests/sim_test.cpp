@@ -173,6 +173,66 @@ TEST(Scheduler, PinningMapsThreadsToCoresPaperStyle) {
   EXPECT_EQ(cores[19], 1u);
 }
 
+TEST(Zipf, ThetaZeroDegeneratesToUniform) {
+  const sim::ZipfRng z(64, 0.0);
+  EXPECT_EQ(z.size(), 64u);
+  // Every rank carries the identical quantized weight 2^32.
+  EXPECT_EQ(z.total_weight(), std::uint64_t{64} << 32);
+  for (std::uint64_t k = 0; k < 64; ++k) {
+    EXPECT_DOUBLE_EQ(z.mass(k), 1.0 / 64.0);
+  }
+  int buckets[8] = {0};
+  sim::Rng r(5);
+  for (int i = 0; i < 80000; ++i) buckets[z.next(r) / 8]++;
+  for (int b : buckets) {
+    EXPECT_GT(b, 8000);
+    EXPECT_LT(b, 12000);
+  }
+}
+
+TEST(Zipf, MassIsMonotoneNonIncreasingInRank) {
+  for (double theta : {0.5, 0.99, 1.2}) {
+    const sim::ZipfRng z(1024, theta);
+    for (std::uint64_t k = 1; k < 1024; ++k) {
+      EXPECT_LE(z.mass(k), z.mass(k - 1)) << "theta=" << theta << " k=" << k;
+    }
+    // Skew concentrates: rank 0 far above the uniform share.
+    EXPECT_GT(z.mass(0), 4.0 / 1024.0) << "theta=" << theta;
+  }
+}
+
+TEST(Zipf, EmpiricalFrequencyTracksTheTableMass) {
+  const sim::ZipfRng z(16, 0.99);
+  sim::Rng r(11);
+  std::uint64_t hits[16] = {0};
+  constexpr int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) hits[z.next(r)]++;
+  for (std::uint64_t k = 0; k < 16; ++k) {
+    const double freq = static_cast<double>(hits[k]) / kDraws;
+    EXPECT_NEAR(freq, z.mass(k), 0.01) << "rank " << k;
+  }
+}
+
+TEST(Zipf, SamplingIsDeterministicAcrossInstances) {
+  const sim::ZipfRng a(512, 0.99);
+  const sim::ZipfRng b(512, 0.99);
+  EXPECT_EQ(a.total_weight(), b.total_weight());
+  sim::Rng ra(77), rb(77);
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t rank = a.next(ra);
+    EXPECT_EQ(rank, b.next(rb));
+    ASSERT_LT(rank, 512u);
+  }
+}
+
+TEST(Zipf, ExtremeSkewKeepsEveryRankReachable) {
+  // The weight floor (q >= 1) guarantees nonzero mass even when the
+  // double-precision tail underflows the 2^-32 quantum.
+  const sim::ZipfRng z(256, 8.0);
+  for (std::uint64_t k = 0; k < 256; ++k) EXPECT_GT(z.mass(k), 0.0);
+  EXPECT_GT(z.mass(0), 0.99);  // theta=8: essentially all mass on rank 0
+}
+
 TEST(Rng, DeterministicAndRoughlyUniform) {
   sim::Rng r(42);
   sim::Rng r2(42);

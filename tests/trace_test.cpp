@@ -15,6 +15,7 @@
 
 #include "bench_util/setbench.h"
 #include "ds/bank.h"
+#include "oltp/store.h"
 #include "runtime/engine.h"
 #include "runtime/stats.h"
 #include "sim/env.h"
@@ -411,6 +412,106 @@ TEST(TraceJson, RejectsMalformedInput) {
   EXPECT_FALSE(trace::json::parse("{} trailing", v, &err));
   EXPECT_FALSE(trace::json::parse("", v, &err));
 }
+
+// ---------------------------------------------------------------------------
+// OLTP per-shard events: emission, Chrome export pairing, and the
+// trace_stats per-shard analysis view.
+
+/// A small forced-fallback oltp run (cross_trials=0 so every multi-shard
+/// transaction takes the pessimistic path and emits shard guard events),
+/// exported as a Chrome trace JSON document.
+std::string oltp_trace_json() {
+  TraceSession session;
+  SimScope sim(MachineConfig::corei7());
+  oltp::StoreConfig sc;
+  sc.shards = 4;
+  sc.buckets_per_shard = 64;
+  sc.max_nodes_per_shard = 256;
+  sc.max_threads = 2;
+  sc.cross_trials = 0;
+  oltp::Store store(sc, bench::method_by_name("TLE"));
+  for (std::uint64_t k = 0; k < 64; ++k) store.prefill_meta(k, 100);
+  test::run_workers(sim, 2, 40, 9, [&](ThreadCtx& th, std::uint64_t i) {
+    if (i % 2 == 0) {
+      std::uint64_t keys[2] = {th.rng.below(64), th.rng.below(64)};
+      auto body = [&](oltp::Store::MultiTx& tx) {
+        const std::uint64_t v = tx.read(keys[0]);
+        tx.write(keys[0], v - 1);
+        const std::uint64_t w = tx.read(keys[1]);
+        tx.write(keys[1], w + 1);
+      };
+      store.multi(th, keys, 2, body);
+    } else {
+      std::uint64_t out = 0;
+      store.get(th, th.rng.below(64), out);
+    }
+  });
+  return trace::chrome_trace_json(session);
+}
+
+TEST(TraceOltp, PerShardEventsPairIntoSlices) {
+  const std::string json = oltp_trace_json();
+  trace::json::Value doc;
+  ASSERT_TRUE(trace::json::parse(json, doc));
+  const auto* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  std::size_t shard_held = 0, cross = 0, shard_commit = 0;
+  std::size_t single_commit = 0, cross_commit = 0;
+  for (const auto& ev : events->arr) {
+    const std::string name = ev.get_string("name");
+    const auto* args = ev.find("args");
+    if (name == "shard-held") {
+      // Guard windows paired into complete slices, never orphan instants.
+      EXPECT_EQ(ev.get_string("ph"), "X");
+      ASSERT_NE(args, nullptr);
+      EXPECT_LT(args->get_u64("shard"), 4u);
+      ++shard_held;
+    } else if (name == "cross-txn") {
+      EXPECT_EQ(ev.get_string("ph"), "X");
+      ASSERT_NE(args, nullptr);
+      EXPECT_EQ(args->get_string("path"), "lock");  // cross_trials = 0
+      EXPECT_NE(args->get_u64("shards"), 0u);
+      ++cross;
+    } else if (name == "shard-commit") {
+      ASSERT_NE(args, nullptr);
+      (args->get_u64("cross") != 0 ? cross_commit : single_commit) += 1;
+      ++shard_commit;
+    }
+  }
+  // 2 threads x 20 multi ops, each holding >= 1 guards; 20 single gets.
+  EXPECT_EQ(cross, 40u);
+  EXPECT_GE(shard_held, cross);
+  EXPECT_EQ(single_commit, 40u);
+  EXPECT_GE(cross_commit, cross);  // >= 1 involved shard per cross txn
+  EXPECT_EQ(shard_commit, single_commit + cross_commit);
+}
+
+#ifdef RTLE_TOOL_BIN_DIR
+TEST(TraceOltp, TraceStatsReportsThePerShardView) {
+  const std::string json = oltp_trace_json();
+  const std::string path = ::testing::TempDir() + "rtle_oltp_trace.json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+
+  const std::string cmd =
+      std::string(RTLE_TOOL_BIN_DIR) + "/trace_stats " + path + " 2>&1";
+  std::FILE* pipe = popen(cmd.c_str(), "r");
+  ASSERT_NE(pipe, nullptr);
+  std::string out;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), pipe)) > 0) out.append(buf, n);
+  EXPECT_EQ(pclose(pipe), 0);
+
+  EXPECT_NE(out.find("per-shard summary:"), std::string::npos) << out;
+  EXPECT_NE(out.find("per-shard guard-hold timelines"), std::string::npos);
+  EXPECT_NE(out.find("cross-shard span chains:"), std::string::npos);
+  EXPECT_NE(out.find("path=lock"), std::string::npos);
+  std::remove(path.c_str());
+}
+#endif  // RTLE_TOOL_BIN_DIR
 
 }  // namespace
 }  // namespace rtle

@@ -10,8 +10,16 @@
 //     interval — the paper's core claim (optimistic execution concurrent
 //     with a pessimistic lock holder), measured directly from the timeline.
 //
+// Traces from the oltp workloads additionally get a per-shard view:
+//   * per-shard commit counts (single-shard vs cross-shard),
+//   * per-shard guard-hold timelines (pessimistic cross-transaction
+//     fallbacks holding that shard's guard),
+//   * cross-shard span chains: each multi-shard transaction's interval with
+//     its involved-shard set and the path (htm / lock) that committed it.
+//
 // --full prints every interval instead of the first few per thread.
 #include <algorithm>
+#include <bit>
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -35,9 +43,22 @@ struct TxnSlice {
   std::string cause;    // abort cause, if any
 };
 
+struct CrossSpan {
+  Interval iv;
+  std::uint64_t shards = 0;  // bitmask of involved shard indices
+  std::string path;          // "htm" / "lock"
+};
+
 struct ThreadTimeline {
   std::vector<Interval> locks;
   std::vector<TxnSlice> txns;
+  std::vector<CrossSpan> crosses;
+};
+
+struct ShardStats {
+  std::uint64_t commits = 0;        // single-shard operations
+  std::uint64_t cross_commits = 0;  // multi-shard transactions touching it
+  std::vector<Interval> holds;      // guard-held intervals (lock fallback)
 };
 
 std::uint64_t overlap(const Interval& a, const Interval& b) {
@@ -88,13 +109,37 @@ int main(int argc, char** argv) {
   }
 
   std::map<std::uint64_t, ThreadTimeline> threads;
+  std::map<std::uint64_t, ShardStats> shards;
   for (const auto& ev : events->arr) {
-    if (ev.get_string("ph") != "X") continue;
+    const std::string ph = ev.get_string("ph");
     const std::uint64_t tid = ev.get_u64("tid");
     const std::string name = ev.get_string("name");
+    if (ph == "i") {
+      if (name == "shard-commit") {
+        const auto* args = ev.find("args");
+        if (args != nullptr) {
+          ShardStats& st = shards[args->get_u64("shard")];
+          (args->get_u64("cross") != 0 ? st.cross_commits : st.commits) += 1;
+        }
+      }
+      continue;
+    }
+    if (ph != "X") continue;
     Interval iv{ev.get_u64("ts"), ev.get_u64("dur")};
     if (name == "lock-held") {
       threads[tid].locks.push_back(iv);
+    } else if (name == "shard-held") {
+      if (const auto* args = ev.find("args")) {
+        shards[args->get_u64("shard")].holds.push_back(iv);
+      }
+    } else if (name == "cross-txn") {
+      CrossSpan cs;
+      cs.iv = iv;
+      if (const auto* args = ev.find("args")) {
+        cs.shards = args->get_u64("shards");
+        cs.path = args->get_string("path");
+      }
+      threads[tid].crosses.push_back(cs);
     } else if (name.rfind("txn-", 0) == 0) {
       TxnSlice t;
       t.iv = iv;
@@ -230,6 +275,83 @@ int main(int argc, char** argv) {
         100.0 * static_cast<double>(concurrent) /
             static_cast<double>(slow_commits),
         static_cast<unsigned long long>(overlap_cycles));
+  }
+
+  // Per-shard view (present only in oltp traces).
+  if (!shards.empty()) {
+    std::printf("\nper-shard summary:\n");
+    std::printf("  %-6s %9s %13s %12s %13s %10s\n", "shard", "commits",
+                "cross-commit", "guard-holds", "guard-cycles", "max-hold");
+    for (const auto& [shard, st] : shards) {
+      std::uint64_t held = 0, max_hold = 0;
+      for (const auto& iv : st.holds) {
+        held += iv.dur;
+        max_hold = std::max(max_hold, iv.dur);
+      }
+      std::printf("  %-6llu %9llu %13llu %12zu %13llu %10llu\n",
+                  static_cast<unsigned long long>(shard),
+                  static_cast<unsigned long long>(st.commits),
+                  static_cast<unsigned long long>(st.cross_commits),
+                  st.holds.size(), static_cast<unsigned long long>(held),
+                  static_cast<unsigned long long>(max_hold));
+    }
+
+    std::printf("\nper-shard guard-hold timelines (cycles):\n");
+    for (const auto& [shard, st] : shards) {
+      if (st.holds.empty()) continue;
+      const std::size_t show =
+          full ? st.holds.size() : std::min<std::size_t>(st.holds.size(), 8);
+      std::printf("  shard %llu:", static_cast<unsigned long long>(shard));
+      for (std::size_t i = 0; i < show; ++i) {
+        std::printf(" [%llu,%llu)",
+                    static_cast<unsigned long long>(st.holds[i].ts),
+                    static_cast<unsigned long long>(st.holds[i].end()));
+      }
+      if (show < st.holds.size()) {
+        std::printf(" … +%zu more", st.holds.size() - show);
+      }
+      std::printf("\n");
+    }
+  }
+
+  bool any_cross = false;
+  for (const auto& [tid, tl] : threads) any_cross |= !tl.crosses.empty();
+  if (any_cross) {
+    std::printf("\ncross-shard span chains:\n");
+    for (const auto& [tid, tl] : threads) {
+      if (tl.crosses.empty()) continue;
+      std::uint64_t htm = 0, lockp = 0;
+      int max_span = 0;
+      for (const auto& cs : tl.crosses) {
+        (cs.path == "lock" ? lockp : htm) += 1;
+        max_span = std::max(max_span, std::popcount(cs.shards));
+      }
+      std::printf("  tid %llu: %zu spans (htm=%llu, lock=%llu), "
+                  "max-span-shards=%d\n",
+                  static_cast<unsigned long long>(tid), tl.crosses.size(),
+                  static_cast<unsigned long long>(htm),
+                  static_cast<unsigned long long>(lockp), max_span);
+      const std::size_t show =
+          full ? tl.crosses.size()
+               : std::min<std::size_t>(tl.crosses.size(), 4);
+      for (std::size_t i = 0; i < show; ++i) {
+        const CrossSpan& cs = tl.crosses[i];
+        std::printf("    [%llu,%llu) path=%s shards={",
+                    static_cast<unsigned long long>(cs.iv.ts),
+                    static_cast<unsigned long long>(cs.iv.end()),
+                    cs.path.c_str());
+        bool first = true;
+        for (int s = 0; s < 64; ++s) {
+          if (((cs.shards >> s) & 1) == 0) continue;
+          std::printf("%s%d", first ? "" : ",", s);
+          first = false;
+        }
+        std::printf("}\n");
+      }
+      if (show < tl.crosses.size()) {
+        std::printf("    … +%zu more\n", tl.crosses.size() - show);
+      }
+    }
   }
   return 0;
 }
