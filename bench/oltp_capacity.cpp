@@ -1,0 +1,155 @@
+// OLTP capacity sweep: max sustainable load under a sojourn-time SLO.
+//
+// An open-loop service does not degrade gracefully on its own: past the
+// saturation point the queue grows without bound and every sojourn
+// percentile diverges. This figure sweeps the offered arrival rate per
+// synchronization method and reports the p99 sojourn at each rate — the
+// largest rate whose p99 still meets the SLO is that method's usable
+// capacity. The "Adaptive" column runs the same store (TLE guards) behind
+// rtle::admit admission control: instead of diverging past saturation it
+// sheds the excess and holds the *served* traffic's p99 inside the SLO at
+// every offered rate, trading goodput for bounded latency.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util/figure.h"
+#include "oltp/workload.h"
+#include "sim/config.h"
+
+using namespace rtle;
+using bench::Table;
+
+namespace {
+
+/// p99 sojourn SLO, simulated cycles (~22us on the 2.3GHz xeon model).
+constexpr std::uint64_t kSloCycles = 50'000;
+
+bench::perf::CellMetrics metrics_of(const oltp::WorkloadResult& r,
+                                    const sim::MachineConfig& mc,
+                                    double duration_ms) {
+  bench::perf::CellMetrics m;
+  m.ops_per_ms = r.ops_per_ms;
+  const double attempts =
+      static_cast<double>(r.stats.ops + r.stats.total_aborts());
+  m.abort_rate = attempts > 0 ? r.stats.total_aborts() / attempts : 0.0;
+  m.lock_fallback = r.stats.lock_fallback_rate();
+  const double run_cycles = duration_ms * mc.cycles_per_ms();
+  m.time_under_lock =
+      run_cycles > 0 ? r.stats.cycles_under_lock / run_cycles : 0.0;
+  return m;
+}
+
+oltp::WorkloadConfig base_config(const bench::BenchArgs& args,
+                                 double duration) {
+  oltp::WorkloadConfig cfg;
+  cfg.machine = sim::MachineConfig::xeon();
+  cfg.threads = 18;
+  cfg.shards = 8;
+  cfg.keys = 1 << 12;
+  cfg.zipf_theta = 0.8;
+  cfg.read_pct = 80;
+  cfg.multi_pct = 10;
+  cfg.duration_ms = duration;
+  cfg.seed = 23;
+  cfg.faults = args.faults;
+  cfg.trace_file = args.trace;
+  cfg.latency = args.latency;
+  return cfg;
+}
+
+std::string rate_tag(double rate) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "r%gk", rate / 1000.0);
+  return buf;
+}
+
+}  // namespace
+
+RTLE_FIGURE("oltp_capacity", "OLTP capacity under SLO",
+            "arrival-rate sweep: p99 sojourn per method vs offered load, "
+            "and admission control holding the SLO past saturation") {
+  const double duration = args.scale(1.0, 0.25);
+
+  std::vector<double> rates = {8'000, 32'000, 96'000,
+                               192'000, 320'000, 480'000};
+  if (args.quick) rates = {8'000, 96'000, 320'000};
+
+  // Static columns plus the admission-controlled store (TLE guards; no
+  // method switching here — this figure isolates the shedding behavior).
+  const char* statics[] = {"Lock", "TLE", "RW-TLE", "FG-TLE(256)",
+                           "RHNOrec"};
+
+  struct Cell {
+    std::uint64_t p99 = 0;
+    double served_per_ms = 0.0;
+    std::uint64_t sheds = 0;
+  };
+  std::vector<std::vector<Cell>> grid;  // [rate][method], Adaptive last
+
+  std::vector<std::string> header = {"arrivals/ms"};
+  for (const char* n : statics) header.push_back(n);
+  header.push_back("Adaptive");
+  Table p99_table(header);
+
+  for (double rate : rates) {
+    std::vector<Cell> row_cells;
+    std::vector<std::string> row = {Table::num(rate, 0)};
+    auto run_one = [&](const char* name, bool adaptive) {
+      oltp::WorkloadConfig cfg = base_config(args, duration);
+      cfg.arrivals_per_ms = rate;
+      if (adaptive) {
+        cfg.policy.enabled = true;
+        cfg.policy.admit.slo_p99_cycles = kSloCycles;
+        cfg.policy.admit.interval_cycles = 4 * kSloCycles;
+      }
+      const auto r =
+          oltp::run_workload(cfg, bench::method_by_name(name));
+      const std::string label = adaptive ? "Adaptive" : name;
+      bench::report_cell(label, "xeon/s8/t18/" + rate_tag(rate),
+                         metrics_of(r, cfg.machine, duration));
+      Cell c;
+      c.p99 = r.sojourn_p99;
+      c.served_per_ms = r.ops_per_ms;
+      c.sheds = r.admit_sheds;
+      row_cells.push_back(c);
+      row.push_back(Table::num(c.p99 / 1000.0, 1) +
+                    (c.p99 > kSloCycles ? "*" : ""));
+      if (args.stats) {
+        std::printf("  [stats] %-12s r=%-7g %s\n", label.c_str(), rate,
+                    r.stats.summary().c_str());
+      }
+    };
+    for (const char* n : statics) run_one(n, /*adaptive=*/false);
+    run_one("TLE", /*adaptive=*/true);
+    grid.push_back(std::move(row_cells));
+    p99_table.add_row(std::move(row));
+  }
+  std::printf("p99 sojourn (kcycles; * = misses the %llu-cycle SLO):\n",
+              static_cast<unsigned long long>(kSloCycles));
+  p99_table.print(args.csv);
+
+  // Capacity summary: largest swept rate each method sustains within the
+  // SLO, and what the admission-controlled store served (and shed) at the
+  // top of the sweep.
+  Table cap({"method", "max rate (SLO ok)", "served ops/ms", "shed"});
+  const std::size_t ncols = std::size(statics) + 1;
+  for (std::size_t m = 0; m < ncols; ++m) {
+    double max_rate = 0.0;
+    double served = 0.0;
+    for (std::size_t ri = 0; ri < rates.size(); ++ri) {
+      if (grid[ri][m].p99 <= kSloCycles && rates[ri] > max_rate) {
+        max_rate = rates[ri];
+        served = grid[ri][m].served_per_ms;
+      }
+    }
+    const Cell& top = grid.back()[m];
+    const char* name = m < std::size(statics) ? statics[m] : "Adaptive";
+    cap.add_row({name,
+                 max_rate > 0 ? Table::num(max_rate, 0) : "none",
+                 Table::num(served, 0),
+                 m + 1 == ncols ? Table::num(top.sheds) : "-"});
+  }
+  std::printf("capacity under SLO (shed column: top-rate run):\n");
+  cap.print(args.csv);
+}

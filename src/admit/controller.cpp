@@ -1,0 +1,308 @@
+#include "admit/controller.h"
+
+#include <algorithm>
+
+#include "sim/ambient.h"
+#include "trace/session.h"
+
+namespace rtle::admit {
+
+namespace {
+
+trace::TraceSession* tracer() {
+  return ambient::any(ambient::kTrace) ? trace::active_trace() : nullptr;
+}
+
+}  // namespace
+
+const char* to_string(State s) {
+  switch (s) {
+    case State::kOpen: return "open";
+    case State::kShedding: return "shedding";
+  }
+  return "?";
+}
+
+const char* to_string(Regime r) {
+  switch (r) {
+    case Regime::kLight: return "light";
+    case Regime::kQueueing: return "queueing";
+    case Regime::kConflict: return "conflict";
+    case Regime::kCapacity: return "capacity";
+  }
+  return "?";
+}
+
+Controller::Controller(const Config& cfg) : cfg_(cfg) {
+  // Derive unset knobs from the SLO so a bench only has to state its
+  // latency objective. With no SLO either, fall back to fixed defaults
+  // that keep the controller functional for unit tests.
+  const std::uint64_t slo =
+      cfg_.slo_p99_cycles != 0 ? cfg_.slo_p99_cycles : 100'000;
+  target_delay_ = cfg_.target_delay_cycles != 0 ? cfg_.target_delay_cycles
+                                                : std::max<std::uint64_t>(
+                                                      slo / 4, 1);
+  interval_ = cfg_.interval_cycles != 0 ? cfg_.interval_cycles : 8 * slo;
+  defer_penalty_ =
+      cfg_.defer_cycles != 0 ? cfg_.defer_cycles : target_delay_;
+  stale_ = cfg_.stale_cycles != 0
+               ? cfg_.stale_cycles
+               : (cfg_.slo_p99_cycles != 0 ? cfg_.slo_p99_cycles / 2
+                                           : 4 * target_delay_);
+
+  // Normalize tenant weights to integer permille once, so quota splits are
+  // a deterministic integer computation per window. The remainder from
+  // truncation goes to tenant 0 (largest share is typically first).
+  const std::size_t tenants =
+      cfg_.tenant_weights.empty() ? 1 : cfg_.tenant_weights.size();
+  weight_permille_.assign(tenants, 0);
+  if (cfg_.tenant_weights.empty()) {
+    weight_permille_[0] = 1000;
+  } else {
+    double sum = 0.0;
+    for (double w : cfg_.tenant_weights) sum += w > 0.0 ? w : 0.0;
+    if (sum <= 0.0) sum = 1.0;
+    std::uint32_t assigned = 0;
+    for (std::size_t t = 0; t < tenants; ++t) {
+      const double w =
+          cfg_.tenant_weights[t] > 0.0 ? cfg_.tenant_weights[t] : 0.0;
+      weight_permille_[t] = static_cast<std::uint32_t>(w / sum * 1000.0);
+      assigned += weight_permille_[t];
+    }
+    if (assigned < 1000) weight_permille_[0] += 1000 - assigned;
+  }
+  per_tenant_.assign(tenants, {});
+  window_tenant_admitted_.assign(tenants, 0);
+}
+
+void Controller::emit(std::uint16_t type, std::uint16_t flags,
+                      std::uint64_t arg) {
+  if (trace::TraceSession* tr = tracer()) {
+    tr->emit(static_cast<trace::EventType>(type), flags, arg);
+  }
+}
+
+Decision Controller::on_arrival(std::uint32_t tenant,
+                                std::uint64_t queue_delay,
+                                std::uint64_t /*now*/) {
+  if (tenant >= per_tenant_.size()) tenant = 0;
+  window_min_delay_ = std::min(window_min_delay_, queue_delay);
+
+  Decision d;
+  if (queue_delay > stale_) {
+    // Doomed arrival: its queueing alone already spent the latency budget,
+    // so completing it cannot meet the SLO. Head-drop regardless of state
+    // or quota — this is what lets a backlogged thread burn through stale
+    // work in zero time and get back to serving fresh arrivals.
+    d.verdict = Verdict::kShed;
+  } else if (state_ == State::kShedding) {
+    // Weighted fair quota: each tenant's share of the window quota is
+    // reserved for it. A tenant past its share may spill only into global
+    // headroom that is NOT some other tenant's still-unclaimed share, so
+    // an early-arriving flash crowd cannot consume slots a well-behaved
+    // tenant will claim later in the window.
+    const auto tenant_quota = [&](std::size_t t) {
+      return std::max<std::uint64_t>(quota_ * weight_permille_[t] / 1000, 1);
+    };
+    bool admit = false;
+    if (window_admitted_ < quota_) {
+      if (window_tenant_admitted_[tenant] < tenant_quota(tenant)) {
+        admit = true;
+      } else {
+        std::uint64_t reserved = 0;
+        for (std::size_t t = 0; t < per_tenant_.size(); ++t) {
+          if (t == tenant) continue;
+          const std::uint64_t q = tenant_quota(t);
+          if (window_tenant_admitted_[t] < q) {
+            reserved += q - window_tenant_admitted_[t];
+          }
+        }
+        admit = window_admitted_ + reserved < quota_;
+      }
+    }
+    if (admit) {
+      d.verdict = Verdict::kAdmit;
+      d.probe = probe_window_;
+    } else if (cfg_.defer_instead_of_shed) {
+      d.verdict = Verdict::kDefer;
+      d.defer_cycles = defer_penalty_;
+    } else {
+      d.verdict = Verdict::kShed;
+    }
+  }
+
+  TenantCounters& tc = per_tenant_[tenant];
+  switch (d.verdict) {
+    case Verdict::kAdmit:
+      admitted_ += 1;
+      tc.admitted += 1;
+      window_admitted_ += 1;
+      window_tenant_admitted_[tenant] += 1;
+      break;
+    case Verdict::kDefer: {
+      defers_ += 1;
+      tc.defers += 1;
+      window_sheds_ += 1;  // counts as demand the quota could not take
+      const std::uint64_t kc = d.defer_cycles / 1024;
+      emit(static_cast<std::uint16_t>(trace::EventType::kAdmitDefer),
+           static_cast<std::uint16_t>(std::min<std::uint64_t>(kc, 0xffff)),
+           tenant);
+      break;
+    }
+    case Verdict::kShed:
+      sheds_ += 1;
+      tc.sheds += 1;
+      window_sheds_ += 1;
+      emit(static_cast<std::uint16_t>(trace::EventType::kAdmitShed), 0,
+           tenant);
+      break;
+  }
+  return d;
+}
+
+void Controller::on_complete(std::uint32_t tenant, std::uint64_t sojourn,
+                             std::uint64_t /*now*/) {
+  if (tenant >= per_tenant_.size()) tenant = 0;
+  window_completed_ += 1;
+  window_sojourn_.add(sojourn);
+}
+
+void Controller::reset_window(std::uint64_t now) {
+  window_start_ = now;
+  window_min_delay_ = ~0ULL;
+  window_admitted_ = 0;
+  window_sheds_ = 0;
+  window_completed_ = 0;
+  std::fill(window_tenant_admitted_.begin(), window_tenant_admitted_.end(),
+            std::uint64_t{0});
+  window_sojourn_ = trace::LatencyHisto{};
+}
+
+Regime Controller::classify(const WindowSample& s, std::uint64_t window_p99,
+                            bool good) const {
+  const std::uint64_t aborts = s.total_aborts();
+  const std::uint64_t attempts = s.ops + aborts;
+  if (attempts == 0) return regime_;  // idle window: no evidence, hold
+  // Capacity regime: the abort stream is dominated by capacity-class
+  // causes AND aborts are a large share of attempts (a third). The rate
+  // leg matters: a workload with a modest fixed fraction of
+  // deterministically-overflowing transactions (which abort once and fall
+  // back) shows a capacity-heavy *mix* at any load — that is the method
+  // handling capacity correctly, not a regime worth switching for.
+  if (aborts != 0 && s.aborts_capacity * 4 >= aborts &&
+      aborts * 3 >= attempts) {
+    return Regime::kCapacity;
+  }
+  // Conflict regime: a large share of attempts abort on data conflicts or
+  // lock-busy (the serialized-retry face of the same contention).
+  if ((s.aborts_conflict + s.aborts_lock_busy) * 4 >= attempts) {
+    return Regime::kConflict;
+  }
+  // Aborts are low. If the window still missed its targets, or the sojourn
+  // tail is rising steeply, the pressure is queueing (offered load), not
+  // the synchronization method.
+  const bool rising_tail =
+      prev_window_p99_ != 0 && window_p99 > prev_window_p99_ +
+                                                prev_window_p99_ / 4;
+  if (!good || rising_tail) return Regime::kQueueing;
+  return Regime::kLight;
+}
+
+WindowVerdict Controller::close_window(const WindowSample& s,
+                                       std::uint64_t now) {
+  WindowVerdict v;
+  const std::uint64_t p99 = window_sojourn_.count() != 0
+                                ? window_sojourn_.percentile(cfg_.slo_quantile)
+                                : 0;
+  const bool standing_queue =
+      window_min_delay_ != ~0ULL && window_min_delay_ > target_delay_;
+  v.slo_violated = cfg_.slo_p99_cycles != 0 && p99 > cfg_.slo_p99_cycles;
+  v.good = !standing_queue && !v.slo_violated;
+  v.p99 = p99;
+  v.admitted = window_admitted_;
+  v.sheds = window_sheds_;
+  v.completed = window_completed_;
+
+  // --- shedding state machine (HtmHealth's degrade/probe/re-enable, with
+  // a quota instead of a binary gate) --------------------------------------
+  probe_window_ = false;
+  if (state_ == State::kOpen) {
+    if (!v.good && window_admitted_ != 0) {
+      state_ = State::kShedding;
+      degrades_ += 1;
+      // Seed the quota from what the system demonstrably served this
+      // window: hold at measured capacity, shed the rest.
+      quota_ = std::max<std::uint64_t>(
+          std::max(window_completed_, std::uint64_t{cfg_.min_quota}), 1);
+      backoff_shift_ = 0;
+      windows_until_probe_ = 0;
+      emit(static_cast<std::uint16_t>(trace::EventType::kAdmitState),
+           static_cast<std::uint16_t>(regime_),
+           static_cast<std::uint64_t>(State::kShedding));
+    }
+  } else {
+    if (!v.good) {
+      // Failed window while shedding: halve the quota and back off the
+      // next probe exponentially (a failed probe must not immediately
+      // retry — the overload needs room to drain).
+      quota_ = std::max<std::uint64_t>(quota_ / 2,
+                                       std::max<std::uint32_t>(cfg_.min_quota,
+                                                               1));
+      if (backoff_shift_ < cfg_.backoff_max_shift) backoff_shift_ += 1;
+      windows_until_probe_ = 1u << backoff_shift_;
+    } else if (windows_until_probe_ > 0) {
+      windows_until_probe_ -= 1;
+    } else {
+      // Probe: grow the quota multiplicatively and mark the next window's
+      // admissions as probe traffic. A probe window that sheds nothing
+      // proves the offered load fits — re-open entirely.
+      probes_ += 1;
+      quota_ += std::max<std::uint64_t>(quota_ / 4, 1);
+      probe_window_ = true;
+      emit(static_cast<std::uint16_t>(trace::EventType::kAdmitProbe), 0,
+           quota_);
+      if (window_sheds_ == 0) {
+        state_ = State::kOpen;
+        reopens_ += 1;
+        backoff_shift_ = 0;
+        emit(static_cast<std::uint16_t>(trace::EventType::kAdmitState),
+             static_cast<std::uint16_t>(regime_),
+             static_cast<std::uint64_t>(State::kOpen));
+      }
+    }
+  }
+
+  // --- regime detection + switch hysteresis -------------------------------
+  const Regime r = classify(s, p99, v.good);
+  v.regime = r;
+  if (r != regime_) {
+    if (r == candidate_regime_) {
+      candidate_streak_ += 1;
+    } else {
+      candidate_regime_ = r;
+      candidate_streak_ = 1;
+    }
+    if (candidate_streak_ >= cfg_.switch_streak && cooldown_windows_ == 0) {
+      regime_ = r;
+      candidate_streak_ = 0;
+      // Queueing is a load problem, not a method problem: update the
+      // regime (shedding handles it) but do not recommend a switch.
+      v.switch_method = r != Regime::kQueueing;
+    }
+  } else {
+    candidate_streak_ = 0;
+  }
+  if (cooldown_windows_ > 0) cooldown_windows_ -= 1;
+
+  v.state = state_;
+  v.quota = state_ == State::kShedding ? quota_ : 0;
+  prev_window_p99_ = p99 != 0 ? p99 : prev_window_p99_;
+  reset_window(now);
+  return v;
+}
+
+void Controller::confirm_switch() {
+  cooldown_windows_ = cfg_.switch_cooldown_windows;
+}
+
+}  // namespace rtle::admit

@@ -1,0 +1,249 @@
+// rtle::admit — runtime admission control and graceful degradation.
+//
+// The HtmHealth circuit breaker (runtime/htm_health.h) protects one method
+// from a sick fast path; this controller generalizes the same
+// degrade → probe → re-enable state machine to whole-system overload: when
+// offered load exceeds capacity, an open-loop service does not get slower
+// by a constant — its queues grow without bound and every percentile of
+// sojourn time diverges. The only graceful behaviors are to *shed* (drop
+// arrivals), *defer* (delay them), and *re-decide* the synchronization
+// method when the regime the static configuration was chosen for is gone.
+//
+// The controller is a sliding-window feedback loop in the CoDel tradition:
+//
+//   * every arrival reports its queueing delay; the controller tracks the
+//     *minimum* delay per evaluation interval (a standing queue is proven
+//     by its floor, not its spikes — one slow op is noise, a nonzero
+//     minimum is backlog);
+//   * every completion reports its sojourn time into a per-window
+//     histogram; the window's p99 (trace::LatencyHisto) is checked against
+//     the SLO;
+//   * a bad window (standing queue above target, or p99 above SLO) trips
+//     the controller from kOpen to kShedding with a per-interval admission
+//     quota seeded from the measured service rate — the system keeps
+//     serving at capacity and drops the excess deterministically;
+//   * while shedding, quota raises are *probes*: a good probe window grows
+//     the quota multiplicatively, a bad one halves it and doubles the wait
+//     before the next probe (exponential backoff, exactly HtmHealth's
+//     failed-probe countdown); a good window that shed nothing re-opens;
+//   * multi-tenant fairness: the quota is split by configured tenant
+//     weight, so a flash crowd from one tenant cannot starve the others —
+//     the aggressor's excess is shed first, quota unused by one tenant
+//     spills to the rest.
+//
+// A regime detector runs on the same windows: the abort-cause mix
+// (conflict vs capacity vs lock-busy) plus the sojourn slope classify the
+// current operating regime, and a decisive, repeated regime flip recommends
+// switching the shard guards' elision method at runtime
+// (oltp::Store::switch_method) — the paper's §4.2.1 per-lock adaptivity
+// lifted to whole-system scope.
+//
+// Everything is meta-level and deterministic: decisions are pure functions
+// of the arrival/completion stream, no wall clock, no randomness. Trace
+// sessions see kAdmit* events; the host copies the counters into
+// MethodStats (admit_sheds / admit_defers) after the run.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/histo.h"
+
+namespace rtle::admit {
+
+enum class Verdict : std::uint8_t {
+  kAdmit = 0,
+  kDefer,  ///< admit after a penalty delay (load smoothing)
+  kShed,   ///< drop the arrival (never served)
+};
+
+enum class State : std::uint8_t { kOpen = 0, kShedding = 1 };
+
+/// Operating regime, classified per window from the abort-cause mix and
+/// the sojourn slope. The host maps regimes to methods.
+enum class Regime : std::uint8_t {
+  kLight = 0,  ///< low abort rate, SLO comfortable
+  kQueueing,   ///< SLO at risk but aborts low: load, not the method
+  kConflict,   ///< abort stream dominated by data conflicts
+  kCapacity,   ///< abort stream dominated by capacity-class causes
+};
+
+const char* to_string(State s);
+const char* to_string(Regime r);
+
+struct Decision {
+  Verdict verdict = Verdict::kAdmit;
+  /// True when the arrival was admitted by a probe window while shedding.
+  bool probe = false;
+  /// Penalty delay for kDefer verdicts (simulated cycles).
+  std::uint64_t defer_cycles = 0;
+};
+
+struct Config {
+  /// Sojourn-time SLO in simulated cycles at `slo_quantile`. 0 disables the
+  /// latency leg of the window check (queue-delay leg still applies).
+  std::uint64_t slo_p99_cycles = 0;
+  double slo_quantile = 99.0;
+  /// CoDel-style queue-delay target: a window whose *minimum* arrival
+  /// queueing delay exceeds this has a standing queue. 0 = slo/4.
+  std::uint64_t target_delay_cycles = 0;
+  /// Evaluation window length in simulated cycles. 0 = 8 * slo.
+  std::uint64_t interval_cycles = 0;
+  /// Overload action: defer (delay + admit) instead of shed (drop).
+  bool defer_instead_of_shed = false;
+  /// Penalty delay per deferred arrival. 0 = target_delay_cycles.
+  std::uint64_t defer_cycles = 0;
+  /// Head-drop threshold: an arrival whose queueing delay alone already
+  /// exceeds this is doomed (it cannot complete within the SLO), so it is
+  /// shed outright — any state, never deferred, no quota consumed. Serving
+  /// doomed work is the classic bufferbloat failure: it delays fresh
+  /// arrivals without ever producing an SLO-compliant completion.
+  /// 0 = slo/2 (half the budget for queueing, half for service), or
+  /// 4 * target_delay_cycles when no SLO is set.
+  std::uint64_t stale_cycles = 0;
+  /// Floor of the per-interval admission quota while shedding.
+  std::uint32_t min_quota = 1;
+  /// Cap on the exponential probe backoff (wait ≤ 2^cap bad windows).
+  std::uint32_t backoff_max_shift = 6;
+  /// Per-tenant arrival shares. Empty = one tenant with weight 1. Weights
+  /// are normalized internally (integer permille, deterministic).
+  std::vector<double> tenant_weights;
+  /// Consecutive windows a new regime must persist before a method switch
+  /// is recommended.
+  std::uint32_t switch_streak = 2;
+  /// Windows to hold off after a recommended switch (quiesce + settle).
+  std::uint32_t switch_cooldown_windows = 4;
+};
+
+/// What the host measured over the closing window, for regime detection.
+/// Deltas, not totals (the host snapshots its MethodStats each window).
+struct WindowSample {
+  std::uint64_t ops = 0;
+  std::uint64_t aborts_conflict = 0;
+  std::uint64_t aborts_capacity = 0;   ///< capacity + HTM-unavailable
+  std::uint64_t aborts_lock_busy = 0;
+  std::uint64_t aborts_other = 0;
+  std::uint64_t commit_lock = 0;
+  std::uint64_t total_aborts() const {
+    return aborts_conflict + aborts_capacity + aborts_lock_busy +
+           aborts_other;
+  }
+};
+
+/// Controller verdict for a closed window.
+struct WindowVerdict {
+  Regime regime = Regime::kLight;
+  /// The regime flipped decisively: the host should re-pick the shard
+  /// guards' method (and call confirm_switch once done).
+  bool switch_method = false;
+  /// Window p99 exceeded the SLO (reported even while the queue leg is
+  /// what tripped shedding).
+  bool slo_violated = false;
+  /// Window was good (no standing queue, SLO met).
+  bool good = false;
+  // Snapshot of the closing window, for timeline reporting (the internal
+  // accounting is reset as close_window returns).
+  State state = State::kOpen;  ///< state after this window's transition
+  std::uint64_t p99 = 0;       ///< window sojourn quantile (0 = no samples)
+  std::uint64_t admitted = 0;
+  std::uint64_t sheds = 0;  ///< sheds + defers while shedding
+  std::uint64_t completed = 0;
+  std::uint64_t quota = 0;  ///< 0 when open
+};
+
+class Controller {
+ public:
+  explicit Controller(const Config& cfg);
+
+  // --- host seams (all meta-level; zero simulated cycles) ---------------
+  /// Align the first evaluation window to the simulation epoch. Call once
+  /// before the first arrival (windows otherwise start at clock 0).
+  void start(std::uint64_t now) { reset_window(now); }
+  /// Decide one arrival. `queue_delay` is now - arrival time (the backlog
+  /// this arrival found), `now` the simulated clock.
+  Decision on_arrival(std::uint32_t tenant, std::uint64_t queue_delay,
+                      std::uint64_t now);
+  /// Record one completed (admitted) operation's sojourn time.
+  void on_complete(std::uint32_t tenant, std::uint64_t sojourn,
+                   std::uint64_t now);
+  /// True when `now` has crossed the current evaluation window's end: the
+  /// host should snapshot a WindowSample and call close_window.
+  bool window_due(std::uint64_t now) const {
+    return now >= window_start_ + interval_;
+  }
+  WindowVerdict close_window(const WindowSample& s, std::uint64_t now);
+  /// The host performed the recommended method switch (starts cooldown).
+  void confirm_switch();
+
+  // --- introspection ----------------------------------------------------
+  State state() const { return state_; }
+  Regime regime() const { return regime_; }
+  std::uint64_t quota() const { return quota_; }
+  std::uint64_t interval_cycles() const { return interval_; }
+
+  struct TenantCounters {
+    std::uint64_t admitted = 0;
+    std::uint64_t sheds = 0;
+    std::uint64_t defers = 0;
+  };
+  std::uint64_t admitted() const { return admitted_; }
+  std::uint64_t sheds() const { return sheds_; }
+  std::uint64_t defers() const { return defers_; }
+  std::uint64_t degrades() const { return degrades_; }
+  std::uint64_t probes() const { return probes_; }
+  std::uint64_t reopens() const { return reopens_; }
+  std::uint32_t tenants() const {
+    return static_cast<std::uint32_t>(per_tenant_.size());
+  }
+  const TenantCounters& tenant(std::uint32_t t) const {
+    return per_tenant_[t];
+  }
+
+ private:
+  void emit(std::uint16_t type, std::uint16_t flags, std::uint64_t arg);
+  void reset_window(std::uint64_t now);
+  Regime classify(const WindowSample& s, std::uint64_t window_p99,
+                  bool good) const;
+
+  Config cfg_;
+  std::uint64_t interval_ = 0;
+  std::uint64_t target_delay_ = 0;
+  std::uint64_t defer_penalty_ = 0;
+  std::uint64_t stale_ = 0;
+  std::vector<std::uint32_t> weight_permille_;  // per tenant, sums to 1000
+
+  State state_ = State::kOpen;
+  Regime regime_ = Regime::kLight;
+
+  // Current-window accounting.
+  std::uint64_t window_start_ = 0;
+  std::uint64_t window_min_delay_ = ~0ULL;
+  std::uint64_t window_admitted_ = 0;
+  std::uint64_t window_sheds_ = 0;
+  std::uint64_t window_completed_ = 0;
+  std::vector<std::uint64_t> window_tenant_admitted_;
+  trace::LatencyHisto window_sojourn_;
+  std::uint64_t prev_window_p99_ = 0;
+
+  // Shedding state.
+  std::uint64_t quota_ = 0;           // admissions per window while shedding
+  std::uint32_t backoff_shift_ = 0;   // exponential probe backoff
+  std::uint32_t windows_until_probe_ = 0;
+  bool probe_window_ = false;
+
+  // Regime-switch hysteresis.
+  Regime candidate_regime_ = Regime::kLight;
+  std::uint32_t candidate_streak_ = 0;
+  std::uint32_t cooldown_windows_ = 0;
+
+  // Run counters.
+  std::uint64_t admitted_ = 0;
+  std::uint64_t sheds_ = 0;
+  std::uint64_t defers_ = 0;
+  std::uint64_t degrades_ = 0;
+  std::uint64_t probes_ = 0;
+  std::uint64_t reopens_ = 0;
+  std::vector<TenantCounters> per_tenant_;
+};
+
+}  // namespace rtle::admit

@@ -44,6 +44,8 @@ const std::vector<SuiteEntry>& default_suite() {
       {"abl_hybrid_tm", "abl_hybrid_tm", 300, 3600},
       {"oltp_shard_sweep", "oltp_shard_sweep", 300, 3600},
       {"oltp_skew", "oltp_skew", 300, 3600},
+      {"oltp_capacity", "oltp_capacity", 300, 3600},
+      {"oltp_burst", "oltp_burst", 300, 3600},
   };
   return kSuite;
 }

@@ -258,6 +258,12 @@ void CheckSession::on_fence() {
   fibers_[f].fence_pending = false;
 }
 
+void CheckSession::on_quiesce_barrier() {
+  VC barrier{};
+  for (Fiber& fb : fibers_) join(barrier, fb.vc);
+  for (Fiber& fb : fibers_) join(fb.vc, barrier);
+}
+
 void CheckSession::on_tx_begin() {
   const std::uint32_t f = self();
   if (f >= kMaxFibers) return;

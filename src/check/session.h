@@ -97,6 +97,16 @@ class CheckSession {
   /// own address in addition to being a (checked) write.
   void on_plain_rmw(const void* addr, const void* pc);
   void on_fence();
+  /// A host-level quiesce point (oltp::Store::switch_method): the caller
+  /// has drained every in-flight operation and blocks new entrants, so
+  /// everything before the barrier happens-before everything after it. The
+  /// gate itself is meta-level (plain host fields, no simulated
+  /// synchronization), so without this edge the detector would see
+  /// post-switch accesses under the *new* guard lock race pre-switch
+  /// accesses under the old one. Conservative: joins ALL fibers' clocks
+  /// (a cross-fiber race whose two sides straddle a switch is masked —
+  /// acceptable, switches are rare and the window is one quiesce).
+  void on_quiesce_barrier();
 
   // --- transactional seams (htm/htm.cpp) ------------------------------
   void on_tx_begin();

@@ -7,6 +7,7 @@
 #include "check/session.h"
 #include "htm/htm.h"
 #include "mem/shim.h"
+#include "oltp/workload.h"
 #include "sim/ambient.h"
 #include "sim/env.h"
 #include "trace/session.h"
@@ -23,6 +24,11 @@ trace::TraceSession* tracer() {
   return ambient::any(ambient::kTrace) ? trace::active_trace() : nullptr;
 }
 
+/// Simulated cycles a fiber burns per poll of a shard gate it found shut.
+/// Coarse on purpose: quiescing is rare (method switches) and the wait
+/// should cede the conflict window to draining operations, not spin hot.
+constexpr std::uint64_t kGatePollCycles = 128;
+
 }  // namespace
 
 Store::Store(const StoreConfig& cfg, const runtime::MethodSpec& spec) {
@@ -33,7 +39,9 @@ Store::Store(const StoreConfig& cfg, const runtime::MethodSpec& spec) {
     std::abort();
   }
   shard_bits_ = static_cast<std::uint32_t>(std::countr_zero(cfg.shards));
+  max_threads_ = cfg.max_threads;
   cross_trials_ = cfg.cross_trials;
+  gates_.assign(cfg.shards, {});
   methods_.reserve(cfg.shards);
   maps_.reserve(cfg.shards);
   for (std::uint32_t s = 0; s < cfg.shards; ++s) {
@@ -53,7 +61,9 @@ bool Store::get(ThreadCtx& th, std::uint64_t key, std::uint64_t& out) {
     found = v != nullptr;
     val = found ? ctx.load(v) : 0;
   };
+  enter_shard(s);
   methods_[s]->execute(th, cs);
+  leave_shard(s);
   out = val;
   if (trace::TraceSession* tr = tracer()) {
     tr->emit(trace::EventType::kShardCommit, 0, s);
@@ -69,7 +79,9 @@ void Store::put(ThreadCtx& th, std::uint64_t key, std::uint64_t value) {
     std::uint64_t* v = maps_[s]->find_or_insert(ctx, key, inserted);
     ctx.store(v, value);
   };
+  enter_shard(s);
   methods_[s]->execute(th, cs);
+  leave_shard(s);
   if (trace::TraceSession* tr = tracer()) {
     tr->emit(trace::EventType::kShardCommit, 0, s);
   }
@@ -79,7 +91,9 @@ bool Store::erase(ThreadCtx& th, std::uint64_t key) {
   const std::uint32_t s = shard_of(key);
   bool erased = false;
   auto cs = [&](TxContext& ctx) { erased = maps_[s]->erase(ctx, key); };
+  enter_shard(s);
   methods_[s]->execute(th, cs);
+  leave_shard(s);
   if (trace::TraceSession* tr = tracer()) {
     tr->emit(trace::EventType::kShardCommit, 0, s);
   }
@@ -129,6 +143,10 @@ void Store::multi(ThreadCtx& th, const std::uint64_t* keys, std::size_t nkeys,
   for (std::size_t i = 0; i < ns; ++i) {
     maps_[order[i]]->reserve_nodes(th, nkeys);
   }
+  // Hold every involved shard's quiesce gate for the whole transaction:
+  // the HTM path touches each method object via the cross seam, so none of
+  // them may be swapped out from under us (see switch_method).
+  for (std::size_t i = 0; i < ns; ++i) enter_shard(order[i]);
 
   trace::TraceSession* tr = tracer();
   check::CheckSession* chk = check::active_check();
@@ -137,6 +155,7 @@ void Store::multi(ThreadCtx& th, const std::uint64_t* keys, std::size_t nkeys,
   if (tr != nullptr) tr->emit(trace::EventType::kCrossBegin, 0, mask);
 
   auto finish = [&](bool lock_path) {
+    for (std::size_t i = 0; i < ns; ++i) leave_shard(order[i]);
     cross_.commits += 1;
     (lock_path ? cross_.lock_commits : cross_.htm_commits) += 1;
     if (tr != nullptr) {
@@ -172,6 +191,7 @@ void Store::multi(ThreadCtx& th, const std::uint64_t* keys, std::size_t nkeys,
       return;
     } catch (const htm::HtmAbort& e) {
       cross_.aborts += 1;
+      cross_.abort_cause[static_cast<std::size_t>(e.cause)] += 1;
       if (tr != nullptr) {
         tr->txn_abort(trace::TxPath::kFast,
                       static_cast<std::uint64_t>(e.cause));
@@ -209,8 +229,46 @@ void Store::multi(ThreadCtx& th, const std::uint64_t* keys, std::size_t nkeys,
   finish(/*lock_path=*/true);
 }
 
+void Store::enter_shard(std::uint32_t s) {
+  ShardGate& g = gates_[s];
+  // The switching flag blocks *new* entrants only, so the active count can
+  // only drain while it is set — the switcher's wait is finite.
+  while (g.switching) mem::compute(kGatePollCycles);
+  g.active += 1;
+}
+
+void Store::switch_method(std::uint32_t shard, const runtime::MethodSpec& spec,
+                          std::uint16_t regime) {
+  ShardGate& g = gates_[shard];
+  // Serialize switchers on the same shard (last one's spec wins).
+  while (g.switching) mem::compute(kGatePollCycles);
+  g.switching = true;
+  while (g.active != 0) mem::compute(kGatePollCycles);
+  // Quiesced: every pre-switch operation drained, no fiber can enter. Tell
+  // the race checker — the gate is meta-level, so the ordering it enforces
+  // is invisible to the vector clocks without this edge, and accesses under
+  // the new instance's fresh guard would be reported as racing accesses
+  // made under the old one.
+  if (check::CheckSession* chk = check::active_check()) {
+    chk->on_quiesce_barrier();
+  }
+  // Fold the
+  // retiring instance's counters into the store-lifetime accumulator so
+  // run totals survive the swap, then replace the object wholesale (a
+  // fresh instance also resets HtmHealth and any adaptive mode state —
+  // intentional, the new regime invalidates the old evidence).
+  accumulate(retired_, methods_[shard]->stats());
+  retired_.method_switches += 1;
+  methods_[shard] = spec.make();
+  methods_[shard]->prepare(max_threads_);
+  if (trace::TraceSession* tr = tracer()) {
+    tr->emit(trace::EventType::kAdmitSwitch, regime, shard);
+  }
+  g.switching = false;
+}
+
 std::uint64_t Store::ops() const {
-  std::uint64_t n = cross_.commits;
+  std::uint64_t n = cross_.commits + retired_.ops;
   for (const auto& m : methods_) n += m->stats().ops;
   return n;
 }

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "ds/hashmap.h"
+#include "htm/htm.h"
 #include "runtime/method.h"
 #include "util/fn_ref.h"
 
@@ -46,6 +47,10 @@ struct CrossStats {
   std::uint64_t htm_commits = 0;
   std::uint64_t lock_commits = 0;
   std::uint64_t aborts = 0;
+  /// Per-cause breakdown of `aborts` — the admission controller's regime
+  /// detector needs to see capacity-bound transfers, which never touch the
+  /// per-shard MethodStats.
+  std::array<std::uint64_t, htm::kNumAbortCauses> abort_cause{};
 };
 
 class Store {
@@ -112,6 +117,26 @@ class Store {
     maps_[shard_of(key)]->insert_meta(key, value);
   }
 
+  // --- runtime method switching -----------------------------------------
+  /// Quiesce `shard` and replace its guard method with a fresh instance of
+  /// `spec`. Must be called from a simulated fiber that holds no shard
+  /// (i.e. between its own operations). The shard's gate first blocks new
+  /// entrants, then waits for in-flight operations to drain, so the old
+  /// method object is destroyed only once no fiber can touch it. The
+  /// retired instance's counters are folded into retired_stats() (and
+  /// method_switches is bumped there, once per swap). `regime` is recorded
+  /// in the kAdmitSwitch trace event as the reason for the swap.
+  ///
+  /// Deadlock-freedom: switchers wait only on active counts, entrants wait
+  /// only on switching flags, and a waiting entrant never holds the gate it
+  /// waits on — so wait-for cycles cannot form even when a multi-shard
+  /// transaction gates several shards while another fiber switches one of
+  /// them.
+  void switch_method(std::uint32_t shard, const runtime::MethodSpec& spec,
+                     std::uint16_t regime = 0);
+  /// Accumulated stats of every method instance retired by switch_method.
+  const runtime::MethodStats& retired_stats() const { return retired_; }
+
   // --- knobs & introspection --------------------------------------------
   void set_cross_trials(int n) { cross_trials_ = n; }
   /// Test hook: acquire fallback guards in *descending* shard order — the
@@ -129,11 +154,25 @@ class Store {
   std::uint64_t sum_meta() const;
 
  private:
+  /// Per-shard quiesce gate for switch_method. Host-side (meta) state: the
+  /// simulator is one OS thread, so these are plain fields, and when no
+  /// switch is pending enter/leave touch no simulated state at all — a
+  /// store that never switches runs the exact seed schedule.
+  struct ShardGate {
+    std::uint32_t active = 0;  ///< operations currently inside the shard
+    bool switching = false;    ///< a switcher holds the gate shut
+  };
+  void enter_shard(std::uint32_t s);
+  void leave_shard(std::uint32_t s) { gates_[s].active -= 1; }
+
   std::uint32_t shard_bits_ = 0;
+  std::uint32_t max_threads_ = 8;
   int cross_trials_ = 5;
   bool descending_bug_ = false;
   std::vector<std::unique_ptr<runtime::SyncMethod>> methods_;
   std::vector<std::unique_ptr<ds::TxHashMap>> maps_;
+  std::vector<ShardGate> gates_;
+  runtime::MethodStats retired_;
   CrossStats cross_;
 };
 

@@ -1,6 +1,7 @@
 #include "oltp/workload.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <memory>
 #include <optional>
@@ -37,6 +38,9 @@ void accumulate(runtime::MethodStats& into, const runtime::MethodStats& s) {
   into.health_degrades += s.health_degrades;
   into.health_probes += s.health_probes;
   into.health_reenables += s.health_reenables;
+  into.admit_sheds += s.admit_sheds;
+  into.admit_defers += s.admit_defers;
+  into.method_switches += s.method_switches;
   into.latency_samples += s.latency_samples;
   into.trace_drops += s.trace_drops;
   into.lock_acquisitions += s.lock_acquisitions;
@@ -44,6 +48,145 @@ void accumulate(runtime::MethodStats& into, const runtime::MethodStats& s) {
   into.stm_begins += s.stm_begins;
   into.validations += s.validations;
   into.cycles_sw_running += s.cycles_sw_running;
+}
+
+namespace {
+
+/// Quantized exponential deviate with the given mean (cycles), following
+/// ZipfRng's precedent: the uniform is snapped to the 2^-32 grid before the
+/// only libm call, so sub-ulp cross-platform drift in log() cannot move an
+/// arrival time. Never returns 0.
+std::uint64_t exp_cycles(sim::Rng& rng, double mean_cycles) {
+  const std::uint64_t q = (rng.next() >> 32) | 1;  // (0, 2^32), never 0
+  const double u = static_cast<double>(q) * (1.0 / 4294967296.0);
+  const double v = -std::log(u) * mean_cycles;
+  return v >= 1.0 ? static_cast<std::uint64_t>(v) : 1;
+}
+
+/// One constant-rate stretch of the arrival timeline.
+struct Segment {
+  std::uint64_t start = 0;
+  std::uint64_t end = 0;
+  double rate_per_ms = 0.0;
+};
+
+void fill_segment(std::vector<Arrival>& out, const Segment& seg,
+                  double cycles_per_ms, bool poisson, sim::Rng& rng) {
+  if (seg.rate_per_ms <= 0.0 || seg.end <= seg.start) return;
+  const double cpa = cycles_per_ms / seg.rate_per_ms;
+  if (poisson) {
+    for (std::uint64_t t = seg.start + exp_cycles(rng, cpa); t < seg.end;
+         t += exp_cycles(rng, cpa)) {
+      out.push_back({t, 0});
+    }
+  } else {
+    // Even spacing — for a run-length segment this is bit-identical to the
+    // legacy fixed-rate formula (arrival j at floor(j * cpa) past start).
+    for (std::uint64_t j = 0;; ++j) {
+      const std::uint64_t ts =
+          seg.start +
+          static_cast<std::uint64_t>(static_cast<double>(j) * cpa);
+      if (ts >= seg.end) break;
+      out.push_back({ts, 0});
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Arrival> build_arrivals(const WorkloadConfig& cfg,
+                                    std::uint64_t t_start,
+                                    std::uint64_t t_end) {
+  std::vector<Arrival> out;
+  if (cfg.arrivals_per_ms <= 0.0 || t_end <= t_start) return out;
+  const double cpm = cfg.machine.cycles_per_ms();
+  const double base = cfg.arrivals_per_ms;
+  sim::Rng proc_rng(cfg.seed * 6271 + 17);
+
+  std::vector<Segment> segs;
+  switch (cfg.arrival.process) {
+    case ArrivalProcess::kFixed:
+    case ArrivalProcess::kFlash:
+      // kFlash's baseline is the plain fixed stream; the crowd is
+      // superimposed below, so outside the flash window the timeline is
+      // byte-identical to kFixed.
+      segs.push_back({t_start, t_end, base});
+      break;
+    case ArrivalProcess::kMmpp: {
+      bool burst = false;
+      std::uint64_t t = t_start;
+      while (t < t_end) {
+        const std::uint64_t dwell =
+            exp_cycles(proc_rng, cfg.arrival.mean_dwell_ms * cpm);
+        const std::uint64_t end = std::min(t_end, t + dwell);
+        segs.push_back(
+            {t, end, burst ? base * cfg.arrival.burst_multiplier : base});
+        t = end;
+        burst = !burst;
+      }
+      break;
+    }
+    case ArrivalProcess::kDiurnal: {
+      // One "day" per run: trough at 0.2x, peak at 2x the base rate.
+      static constexpr double kLevels[8] = {1.0, 0.5, 0.2, 0.5,
+                                            1.0, 1.5, 2.0, 1.5};
+      const std::uint64_t span = t_end - t_start;
+      for (std::uint64_t i = 0; i < 8; ++i) {
+        segs.push_back({t_start + span * i / 8, t_start + span * (i + 1) / 8,
+                        base * kLevels[i]});
+      }
+      break;
+    }
+  }
+  const bool poisson =
+      cfg.arrival.poisson && cfg.arrival.process != ArrivalProcess::kFixed;
+  for (const Segment& seg : segs) {
+    fill_segment(out, seg, cpm, poisson, proc_rng);
+  }
+
+  // Tenant attribution of the baseline stream: a quantized weighted draw
+  // per arrival from a dedicated RNG (single-tenant configs spend none).
+  const std::size_t ntenants = cfg.tenants.empty() ? 1 : cfg.tenants.size();
+  if (ntenants > 1) {
+    std::vector<std::uint64_t> cum(ntenants);
+    std::uint64_t total = 0;
+    for (std::size_t t = 0; t < ntenants; ++t) {
+      const double w =
+          cfg.tenants[t].weight > 0.0 ? cfg.tenants[t].weight : 0.0;
+      total += std::max<std::uint64_t>(
+          1, static_cast<std::uint64_t>(w * 1048576.0));
+      cum[t] = total;
+    }
+    sim::Rng ten_rng(cfg.seed * 7393 + 29);
+    for (Arrival& a : out) {
+      const std::uint64_t u = ten_rng.below(total);
+      a.tenant = static_cast<std::uint32_t>(
+          std::upper_bound(cum.begin(), cum.end(), u) - cum.begin());
+    }
+  }
+
+  if (cfg.arrival.process == ArrivalProcess::kFlash &&
+      cfg.arrival.flash_multiplier > 1.0 && cfg.arrival.flash_len_ms > 0.0) {
+    const std::uint64_t fs =
+        t_start +
+        static_cast<std::uint64_t>(cfg.arrival.flash_start_ms * cpm);
+    const std::uint64_t fe = std::min(
+        t_end,
+        fs + static_cast<std::uint64_t>(cfg.arrival.flash_len_ms * cpm));
+    std::vector<Arrival> extra;
+    fill_segment(extra, {fs, fe, base * (cfg.arrival.flash_multiplier - 1.0)},
+                 cpm, cfg.arrival.poisson, proc_rng);
+    const std::uint32_t ft =
+        cfg.arrival.flash_tenant < ntenants ? cfg.arrival.flash_tenant : 0;
+    for (Arrival& a : extra) a.tenant = ft;
+    std::vector<Arrival> merged(out.size() + extra.size());
+    std::merge(out.begin(), out.end(), extra.begin(), extra.end(),
+               merged.begin(), [](const Arrival& x, const Arrival& y) {
+                 return x.ts < y.ts;
+               });
+    out = std::move(merged);
+  }
+  return out;
 }
 
 WorkloadResult run_workload(const WorkloadConfig& cfg,
@@ -72,7 +215,31 @@ WorkloadResult run_workload(const WorkloadConfig& cfg,
     store.prefill_meta(k, cfg.initial_value);
   }
 
-  const sim::ZipfRng zipf(cfg.keys, cfg.zipf_theta);
+  // Per-tenant runtime state: key distribution and operation mix, with
+  // negative TenantSpec fields inheriting the global knobs. Tenant 0 is
+  // the whole stream when no tenants are configured.
+  struct TenantRt {
+    sim::ZipfRng zipf;
+    std::uint32_t read_pct;
+    std::uint32_t multi_pct;
+  };
+  std::vector<TenantRt> tens;
+  if (cfg.tenants.empty()) {
+    tens.push_back(TenantRt{sim::ZipfRng(cfg.keys, cfg.zipf_theta),
+                            cfg.read_pct, cfg.multi_pct});
+  } else {
+    tens.reserve(cfg.tenants.size());
+    for (const TenantSpec& ts : cfg.tenants) {
+      tens.push_back(TenantRt{
+          sim::ZipfRng(cfg.keys,
+                       ts.zipf_theta < 0.0 ? cfg.zipf_theta : ts.zipf_theta),
+          ts.read_pct < 0 ? cfg.read_pct
+                          : static_cast<std::uint32_t>(ts.read_pct),
+          ts.multi_pct < 0 ? cfg.multi_pct
+                           : static_cast<std::uint32_t>(ts.multi_pct)});
+    }
+  }
+
   const std::uint64_t duration_cycles = static_cast<std::uint64_t>(
       cfg.duration_ms * cfg.machine.cycles_per_ms());
   const std::uint64_t t_start = sim.sched.epoch();
@@ -85,18 +252,19 @@ WorkloadResult run_workload(const WorkloadConfig& cfg,
         std::make_unique<ThreadCtx>(tid, cfg.seed * 7919 + tid));
   }
 
-  // One operation from the configured mix. The multi-key transfer debits
-  // its first key and credits its last through sequential read-then-write
-  // steps, so the sum over all keys is preserved (mod 2^64) even when the
-  // two endpoints sample the same key.
+  // One operation from the (tenant's) configured mix. The multi-key
+  // transfer debits its first key and credits its last through sequential
+  // read-then-write steps, so the sum over all keys is preserved (mod 2^64)
+  // even when the two endpoints sample the same key.
   constexpr std::uint32_t kMaxSpan = 16;
-  auto do_op = [&](ThreadCtx& th) {
+  auto do_op = [&](ThreadCtx& th, std::uint32_t tenant) {
+    const TenantRt& tn = tens[tenant];
     const std::uint64_t r = th.rng.below(100);
-    if (r < cfg.multi_pct) {
+    if (r < tn.multi_pct) {
       const std::uint32_t span = static_cast<std::uint32_t>(std::min<std::uint64_t>(
           kMaxSpan, th.rng.range(cfg.multi_min, cfg.multi_max)));
       std::uint64_t keys[kMaxSpan];
-      for (std::uint32_t i = 0; i < span; ++i) keys[i] = zipf.next(th.rng);
+      for (std::uint32_t i = 0; i < span; ++i) keys[i] = tn.zipf.next(th.rng);
       auto body = [&](Store::MultiTx& tx) {
         const std::uint64_t v0 = tx.read(keys[0]);
         tx.write(keys[0], v0 - 1);
@@ -105,35 +273,141 @@ WorkloadResult run_workload(const WorkloadConfig& cfg,
         tx.write(keys[span - 1], vn + 1);
       };
       store.multi(th, keys, span, body);
-    } else if (r < cfg.multi_pct + cfg.read_pct) {
+    } else if (r < tn.multi_pct + tn.read_pct) {
       std::uint64_t out = 0;
-      store.get(th, zipf.next(th.rng), out);
+      store.get(th, tn.zipf.next(th.rng), out);
     } else {
-      store.put(th, zipf.next(th.rng), th.rng.next());
+      store.put(th, tn.zipf.next(th.rng), th.rng.next());
     }
   };
 
+  // --- admission control + window machinery (policy.enabled only) -------
+  std::optional<admit::Controller> ctrl;
+  if (cfg.policy.enabled) {
+    admit::Config ac = cfg.policy.admit;
+    if (ac.tenant_weights.empty() && cfg.tenants.size() > 1) {
+      for (const TenantSpec& ts : cfg.tenants) {
+        ac.tenant_weights.push_back(ts.weight);
+      }
+    }
+    ctrl.emplace(ac);
+    ctrl->start(t_start);
+  }
+
+  auto sum_store_stats = [&]() {
+    runtime::MethodStats t;
+    for (std::uint32_t s = 0; s < store.shards(); ++s) {
+      accumulate(t, store.method(s).stats());
+    }
+    accumulate(t, store.retired_stats());
+    return t;
+  };
+  runtime::MethodStats win_base = sum_store_stats();
+  CrossStats cross_win_base = store.cross_stats();
+  auto make_sample = [&]() {
+    const runtime::MethodStats cur = sum_store_stats();
+    const CrossStats& xcur = store.cross_stats();
+    auto delta = [&](htm::AbortCause c) {
+      const std::size_t i = static_cast<std::size_t>(c);
+      return (cur.abort_cause[i] - win_base.abort_cause[i]) +
+             (xcur.abort_cause[i] - cross_win_base.abort_cause[i]);
+    };
+    admit::WindowSample ws;
+    ws.ops = (cur.ops - win_base.ops) +
+             (xcur.commits - cross_win_base.commits);
+    ws.aborts_conflict = delta(htm::AbortCause::kConflict);
+    ws.aborts_capacity = delta(htm::AbortCause::kCapacity) +
+                         delta(htm::AbortCause::kHtmUnavailable);
+    ws.aborts_lock_busy = delta(htm::AbortCause::kLockBusy);
+    ws.aborts_other = (cur.total_aborts() - win_base.total_aborts()) +
+                      (xcur.aborts - cross_win_base.aborts) -
+                      ws.aborts_conflict - ws.aborts_capacity -
+                      ws.aborts_lock_busy;
+    ws.commit_lock = (cur.commit_lock - win_base.commit_lock) +
+                     (xcur.lock_commits - cross_win_base.lock_commits);
+    win_base = cur;
+    cross_win_base = xcur;
+    return ws;
+  };
+
+  std::vector<WorkloadResult::WindowPoint> timeline;
+  auto maybe_close_window = [&](std::uint64_t now) {
+    if (!ctrl.has_value() || !ctrl->window_due(now)) return;
+    const admit::WindowVerdict v = ctrl->close_window(make_sample(), now);
+    bool switched = false;
+    if (v.switch_method && cfg.policy.switch_methods) {
+      const std::optional<runtime::MethodSpec>* target = nullptr;
+      switch (v.regime) {
+        case admit::Regime::kLight: target = &cfg.policy.method_light; break;
+        case admit::Regime::kConflict:
+          target = &cfg.policy.method_conflict;
+          break;
+        case admit::Regime::kCapacity:
+          target = &cfg.policy.method_capacity;
+          break;
+        case admit::Regime::kQueueing: break;  // load problem, not method
+      }
+      if (target != nullptr && target->has_value() &&
+          (*target)->name != store.method(0).name()) {
+        for (std::uint32_t s = 0; s < store.shards(); ++s) {
+          store.switch_method(s, **target,
+                              static_cast<std::uint16_t>(v.regime));
+        }
+        ctrl->confirm_switch();
+        switched = true;
+      }
+    }
+    WorkloadResult::WindowPoint p;
+    p.t_ms = static_cast<double>(now - t_start) / cfg.machine.cycles_per_ms();
+    p.p99 = v.p99;
+    p.admitted = v.admitted;
+    p.sheds = v.sheds;
+    p.completed = v.completed;
+    p.quota = v.quota;
+    p.state = static_cast<std::uint8_t>(v.state);
+    p.regime = static_cast<std::uint8_t>(v.regime);
+    p.switched = switched;
+    p.method = store.method(0).name();
+    timeline.push_back(std::move(p));
+  };
+
   trace::LatencyHisto sojourn;
+  std::vector<trace::LatencyHisto> tenant_sojourn(tens.size());
   const bool open_loop = cfg.arrivals_per_ms > 0.0;
-  const double cycles_per_arrival =
-      open_loop ? cfg.machine.cycles_per_ms() / cfg.arrivals_per_ms : 0.0;
+  const std::vector<Arrival> arrivals =
+      open_loop ? build_arrivals(cfg, t_start, t_end) : std::vector<Arrival>{};
   for (std::uint32_t tid = 0; tid < cfg.threads; ++tid) {
     ThreadCtx* th = threads[tid].get();
     if (open_loop) {
       // Open loop: thread t serves arrivals t, t+threads, t+2*threads, ...
-      // of the aggregate fixed-rate stream, idling until each arrival and
-      // recording its sojourn (queueing delay + service).
+      // of the precomputed aggregate timeline, idling until each arrival
+      // and recording its sojourn (queueing delay + service). With the
+      // policy armed, each arrival first passes the admission controller.
       sim.sched.spawn(
           [&, th, tid] {
             auto& sched = cur_sched();
-            for (std::uint64_t j = tid;; j += cfg.threads) {
-              const std::uint64_t arrival =
-                  t_start + static_cast<std::uint64_t>(
-                                static_cast<double>(j) * cycles_per_arrival);
-              if (arrival >= t_end) break;
-              if (sched.now() < arrival) mem::compute(arrival - sched.now());
-              do_op(*th);
-              sojourn.add(sched.now() - arrival);
+            for (std::size_t j = tid; j < arrivals.size();
+                 j += cfg.threads) {
+              const Arrival a = arrivals[j];
+              if (sched.now() < a.ts) mem::compute(a.ts - sched.now());
+              maybe_close_window(sched.now());
+              const std::uint64_t now = sched.now();
+              if (ctrl.has_value()) {
+                const admit::Decision d =
+                    ctrl->on_arrival(a.tenant, now - a.ts, now);
+                if (d.verdict == admit::Verdict::kShed) continue;
+                if (d.verdict == admit::Verdict::kDefer &&
+                    d.defer_cycles > 0) {
+                  mem::compute(d.defer_cycles);
+                }
+              }
+              do_op(*th, a.tenant);
+              const std::uint64_t done = sched.now();
+              sojourn.add(done - a.ts);
+              tenant_sojourn[a.tenant].add(done - a.ts);
+              if (ctrl.has_value()) {
+                ctrl->on_complete(a.tenant, done - a.ts, done);
+              }
             }
           },
           tid);
@@ -141,7 +415,7 @@ WorkloadResult run_workload(const WorkloadConfig& cfg,
       sim.sched.spawn(
           [&, th] {
             auto& sched = cur_sched();
-            while (sched.now() < t_end) do_op(*th);
+            while (sched.now() < t_end) do_op(*th, 0);
           },
           tid);
     }
@@ -154,14 +428,44 @@ WorkloadResult run_workload(const WorkloadConfig& cfg,
   for (std::uint32_t s = 0; s < store.shards(); ++s) {
     accumulate(res.stats, store.method(s).stats());
   }
+  accumulate(res.stats, store.retired_stats());
   res.cross = store.cross_stats();
   res.ops = store.ops();
   res.sim_ms = static_cast<double>(duration_cycles) /
                cfg.machine.cycles_per_ms();
   res.ops_per_ms = res.sim_ms > 0 ? res.ops / res.sim_ms : 0.0;
   if (open_loop) {
+    res.arrivals = arrivals.size();
+    res.sojourn = sojourn;
     res.sojourn_p50 = sojourn.percentile(50);
     res.sojourn_p99 = sojourn.percentile(99);
+    res.sojourn_p999 = sojourn.percentile(99.9);
+    if (tens.size() > 1 || ctrl.has_value()) {
+      res.tenants.resize(tens.size());
+      for (std::size_t t = 0; t < tens.size(); ++t) {
+        res.tenants[t].sojourn_p99 = tenant_sojourn[t].percentile(99);
+        if (ctrl.has_value() && t < ctrl->tenants()) {
+          res.tenants[t].admitted = ctrl->tenant(
+              static_cast<std::uint32_t>(t)).admitted;
+          res.tenants[t].sheds =
+              ctrl->tenant(static_cast<std::uint32_t>(t)).sheds;
+          res.tenants[t].defers =
+              ctrl->tenant(static_cast<std::uint32_t>(t)).defers;
+        }
+      }
+    }
+  }
+  if (ctrl.has_value()) {
+    res.admitted = ctrl->admitted();
+    res.admit_sheds = ctrl->sheds();
+    res.admit_defers = ctrl->defers();
+    res.admit_degrades = ctrl->degrades();
+    res.admit_probes = ctrl->probes();
+    res.admit_reopens = ctrl->reopens();
+    res.stats.admit_sheds += ctrl->sheds();
+    res.stats.admit_defers += ctrl->defers();
+    res.method_switches = res.stats.method_switches;
+    res.timeline = std::move(timeline);
   }
   if (tracer.has_value()) {
     res.stats.trace_drops = tracer->total_drops();

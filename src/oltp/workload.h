@@ -5,23 +5,96 @@
 // upserts, and multi-key bank-style transfers spanning shards. Two drivers:
 //   * closed loop — every thread issues its next operation immediately
 //     (the set-benchmark discipline; measures saturated throughput);
-//   * open loop  — operations arrive at a fixed aggregate rate and queue;
-//     each thread serves arrival j*threads+t at time j*threads+t over the
-//     rate, idling until its next arrival. The sojourn time (arrival →
-//     completion, queueing included) lands in a latency histogram.
+//   * open loop  — operations arrive on a precomputed aggregate timeline
+//     and queue; thread t serves arrivals j ≡ t (mod threads), idling until
+//     each arrival. The sojourn time (arrival → completion, queueing
+//     included) lands in a latency histogram.
+//
+// The open-loop arrival timeline is built meta-level before the simulated
+// threads start (build_arrivals — exposed so tests can pin its math) and
+// supports non-stationary processes: MMPP-style bursty modulation, a
+// diurnal rate cycle, and a flash crowd superimposed on a steady baseline,
+// plus multi-tenant attribution with per-tenant Zipf/mix overrides.
+//
+// When cfg.policy.enabled is set, every arrival passes through an
+// rtle::admit::Controller before it is served: shed arrivals are dropped
+// (counted, never served), deferred ones pay a delay penalty first, and at
+// each window close the controller's regime detector may direct the driver
+// to quiesce the store's shards and switch their guard method at runtime
+// (Store::switch_method).
 //
 // Everything is deterministic: same config, same schedule, same numbers.
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <vector>
 
+#include "admit/controller.h"
 #include "oltp/store.h"
 #include "runtime/method.h"
 #include "runtime/stats.h"
 #include "sim/config.h"
+#include "trace/histo.h"
 
 namespace rtle::oltp {
+
+/// Shape of the open-loop arrival process (rate cfg.arrivals_per_ms).
+enum class ArrivalProcess : std::uint8_t {
+  /// Evenly spaced arrivals at the aggregate rate. Arrival j lands at
+  /// t_start + floor(j * cycles_per_arrival) — the exact legacy math, so
+  /// existing fixed-rate configs reproduce their seed schedules.
+  kFixed = 0,
+  /// Markov-modulated rate: alternates base and base*burst_multiplier
+  /// with exponentially distributed dwell times (bursty traffic).
+  kMmpp,
+  /// Deterministic "day/night" cycle: the rate steps through a fixed
+  /// level table across the run (trough ≈ 0.15x, peak = 2x base).
+  kDiurnal,
+  /// Steady baseline at the base rate (identical timestamps to kFixed)
+  /// plus a flash crowd: an extra stream at (flash_multiplier-1)x base,
+  /// attributed to flash_tenant, during [flash_start, flash_start+len).
+  kFlash,
+};
+
+struct ArrivalConfig {
+  ArrivalProcess process = ArrivalProcess::kFixed;
+  /// Exponential (quantized) inter-arrivals within each constant-rate
+  /// segment instead of even spacing. kFixed ignores this (legacy math).
+  bool poisson = false;
+  // kMmpp
+  double burst_multiplier = 8.0;
+  double mean_dwell_ms = 0.25;
+  // kFlash
+  double flash_multiplier = 8.0;
+  double flash_start_ms = 0.25;
+  double flash_len_ms = 0.5;
+  std::uint32_t flash_tenant = 0;
+};
+
+/// One tenant's share of the arrival stream and its workload overrides.
+/// Negative override fields inherit the global WorkloadConfig value.
+struct TenantSpec {
+  double weight = 1.0;      ///< relative share of (non-flash) arrivals
+  double zipf_theta = -1.0; ///< < 0 = inherit cfg.zipf_theta
+  int read_pct = -1;        ///< < 0 = inherit cfg.read_pct
+  int multi_pct = -1;       ///< < 0 = inherit cfg.multi_pct
+};
+
+/// Admission control + runtime method switching, off by default.
+struct AdaptivePolicy {
+  bool enabled = false;       ///< arm the admit::Controller
+  admit::Config admit;        ///< SLO, window and quota knobs
+  bool switch_methods = false;
+  /// Regime → method targets for switch_methods (unset = never switch to
+  /// that regime's method). The driver swaps every shard's guard when the
+  /// detector recommends a switch and the target differs from the current
+  /// method.
+  std::optional<runtime::MethodSpec> method_light;
+  std::optional<runtime::MethodSpec> method_conflict;
+  std::optional<runtime::MethodSpec> method_capacity;
+};
 
 struct WorkloadConfig {
   sim::MachineConfig machine;
@@ -39,14 +112,31 @@ struct WorkloadConfig {
   double duration_ms = 1.0;
   std::uint64_t seed = 42;
   /// > 0 switches to the open-loop driver: aggregate arrivals per
-  /// simulated millisecond across all threads.
+  /// simulated millisecond across all threads (the base rate; see arrival).
   double arrivals_per_ms = 0.0;
+  ArrivalConfig arrival;
+  /// Multi-tenant arrival attribution. Empty = one tenant taking the whole
+  /// stream (and no RNG draws spent on attribution).
+  std::vector<TenantSpec> tenants;
+  AdaptivePolicy policy;
   int cross_trials = 5;
   std::uint64_t initial_value = 1000;  ///< prefilled balance per key
   std::string faults;      ///< sim::FaultPlan::parse spec ("" = none)
   std::string trace_file;  ///< Chrome trace export path ("" = none)
   bool latency = false;    ///< install a TraceSession for latency digests
 };
+
+/// One open-loop arrival: when, and whose.
+struct Arrival {
+  std::uint64_t ts = 0;
+  std::uint32_t tenant = 0;
+};
+
+/// Precompute the whole arrival timeline for [t_start, t_end) — meta-level
+/// and deterministic (all randomness from cfg.seed). Exposed for tests.
+std::vector<Arrival> build_arrivals(const WorkloadConfig& cfg,
+                                    std::uint64_t t_start,
+                                    std::uint64_t t_end);
 
 struct WorkloadResult {
   std::string method;
@@ -59,7 +149,43 @@ struct WorkloadResult {
   /// Open-loop sojourn percentiles (cycles); 0 in closed-loop runs.
   std::uint64_t sojourn_p50 = 0;
   std::uint64_t sojourn_p99 = 0;
+  std::uint64_t sojourn_p999 = 0;
+  /// Full sojourn distribution of *served* arrivals (open loop only).
+  trace::LatencyHisto sojourn;
   std::string latency;  ///< TraceSession digest when cfg.latency was set
+
+  // --- admission-control outcome (policy.enabled runs) ------------------
+  std::uint64_t arrivals = 0;  ///< timeline length (served + shed)
+  std::uint64_t admitted = 0;
+  std::uint64_t admit_sheds = 0;
+  std::uint64_t admit_defers = 0;
+  std::uint64_t admit_degrades = 0;
+  std::uint64_t admit_probes = 0;
+  std::uint64_t admit_reopens = 0;
+  std::uint64_t method_switches = 0;
+
+  struct TenantResult {
+    std::uint64_t admitted = 0;
+    std::uint64_t sheds = 0;
+    std::uint64_t defers = 0;
+    std::uint64_t sojourn_p99 = 0;
+  };
+  std::vector<TenantResult> tenants;
+
+  /// One point per closed controller window — the oltp_burst timeline.
+  struct WindowPoint {
+    double t_ms = 0.0;  ///< window end, ms since run start
+    std::uint64_t p99 = 0;
+    std::uint64_t admitted = 0;
+    std::uint64_t sheds = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t quota = 0;
+    std::uint8_t state = 0;   ///< admit::State
+    std::uint8_t regime = 0;  ///< admit::Regime
+    bool switched = false;    ///< a method switch happened at this close
+    std::string method;       ///< shard-guard method after the close
+  };
+  std::vector<WindowPoint> timeline;
 };
 
 /// Field-wise accumulation of per-shard method stats into a run total.

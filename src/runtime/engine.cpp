@@ -66,7 +66,7 @@ void ElidingMethod::execute(ThreadCtx& th, CsBody cs) {
             tr->txn_abort(trace::TxPath::kSlow,
                           static_cast<std::uint64_t>(e.cause));
           }
-          health_.note_abort(stats_, probe);
+          health_.note_abort(stats_, probe, e.cause);
           continue;  // free retry: re-probe, maybe the lock is gone
         }
         if (attempted) {
@@ -131,7 +131,7 @@ void ElidingMethod::execute(ThreadCtx& th, CsBody cs) {
         tr->txn_abort(trace::TxPath::kFast,
                       static_cast<std::uint64_t>(e.cause));
       }
-      health_.note_abort(stats_, probe);
+      health_.note_abort(stats_, probe, e.cause);
       ++trials;
       const RetryDecision d = policy_->on_fast_abort(th, trials, max_trials_,
                                                      e.cause);

@@ -40,10 +40,24 @@ void HtmHealth::note_htm_commit(MethodStats& stats, bool probe) {
   if (window_attempts_ >= cfg_.window) close_window(stats);
 }
 
-void HtmHealth::note_abort(MethodStats& stats, bool probe) {
+void HtmHealth::note_abort(MethodStats& stats, bool probe,
+                           htm::AbortCause cause) {
   if (!enabled_) return;
   if (state_ == State::kDegraded) {
-    if (probe) ops_since_probe_ = 0;  // probe failed: full countdown again
+    if (probe) {
+      if (capacity_class(cause)) {
+        ops_since_probe_ = 0;  // probe failed for real: full countdown again
+      } else {
+        // Inconclusive probe (another thread's conflict, a busy lock, a
+        // stray interrupt): re-probe after an eighth of the period rather
+        // than serving a full degradation window for evidence that never
+        // implicated the hardware.
+        const std::uint64_t quick =
+            cfg_.probe_period > 8 ? cfg_.probe_period / 8 : 1;
+        ops_since_probe_ =
+            cfg_.probe_period > quick ? cfg_.probe_period - quick : 0;
+      }
+    }
     return;
   }
   window_attempts_ += 1;

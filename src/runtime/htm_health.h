@@ -19,6 +19,7 @@
 
 #include <cstdint>
 
+#include "htm/htm.h"
 #include "runtime/stats.h"
 
 namespace rtle::runtime {
@@ -53,9 +54,21 @@ class HtmHealth {
   /// re-enables speculation.
   void note_htm_commit(MethodStats& stats, bool probe);
 
-  /// An HTM attempt aborted. An aborting probe restarts the degraded
-  /// countdown.
-  void note_abort(MethodStats& stats, bool probe);
+  /// An HTM attempt aborted. Probe aborts are cause-aware: only a
+  /// *capacity-class* cause (kCapacity, kHtmUnavailable — evidence the
+  /// hardware still cannot commit this workload) restarts the full
+  /// degraded countdown. A probe killed by transient contention
+  /// (conflict, lock-busy, spurious, explicit) says nothing about HTM
+  /// health, so the next probe is scheduled after only 1/8 of the period
+  /// instead of extending the degradation window.
+  void note_abort(MethodStats& stats, bool probe, htm::AbortCause cause);
+
+  /// True for causes that indicate the hardware itself (not contention)
+  /// defeated the attempt.
+  static bool capacity_class(htm::AbortCause c) {
+    return c == htm::AbortCause::kCapacity ||
+           c == htm::AbortCause::kHtmUnavailable;
+  }
 
  private:
   void close_window(MethodStats& stats);

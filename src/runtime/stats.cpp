@@ -47,6 +47,14 @@ std::string MethodStats::summary() const {
                   static_cast<unsigned long long>(health_reenables));
     out += buf;
   }
+  if (admit_sheds != 0 || admit_defers != 0 || method_switches != 0) {
+    std::snprintf(buf, sizeof(buf),
+                  " admit(sheds/defers/switches)=%llu/%llu/%llu",
+                  static_cast<unsigned long long>(admit_sheds),
+                  static_cast<unsigned long long>(admit_defers),
+                  static_cast<unsigned long long>(method_switches));
+    out += buf;
+  }
   if (latency_samples != 0 || trace_drops != 0) {
     std::snprintf(buf, sizeof(buf), " trace(latency_samples/drops)=%llu/%llu",
                   static_cast<unsigned long long>(latency_samples),

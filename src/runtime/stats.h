@@ -50,6 +50,17 @@ struct MethodStats {
   std::uint64_t latency_samples = 0;
   std::uint64_t trace_drops = 0;
 
+  // Admission-control accounting (src/admit). `admit_sheds` / `admit_defers`
+  // count arrivals the rtle::admit controller dropped or delayed before they
+  // reached this method's guard; `method_switches` counts the times
+  // oltp::Store::switch_method retired a method instance on a shard guard
+  // (the counter rides on the *retired* method's stats so a run total
+  // accumulates it exactly once per swap). Surfaced by --stats and
+  // tools/trace_stats.
+  std::uint64_t admit_sheds = 0;
+  std::uint64_t admit_defers = 0;
+  std::uint64_t method_switches = 0;
+
   // Keeps sizeof(MethodStats) growth over the seed layout at a multiple of
   // 64 bytes (abort_cause grew by one slot, health counters added three,
   // the two trace counters above were carved out of this block):
@@ -57,9 +68,10 @@ struct MethodStats {
   // cache-line identity derives from real addresses (mem::line_of), so an
   // odd-sized growth would shift the lock word and method fields onto
   // different line boundaries and perturb seed-identical runs. Slot
-  // budget: 2 of the original 4 reserved slots remain; when they run out,
-  // grow by a whole 64-byte line (8 slots) at once.
-  std::uint64_t reserved_[2] = {};
+  // budget: the three admit counters above overflowed the original four
+  // reserved slots, so this block grew by a whole 64-byte line (8 slots)
+  // at once, leaving 7 free; when those run out, grow by another line.
+  std::uint64_t reserved_[7] = {};
 
   // Lock accounting (Fig 6 "Lock" pane, Fig 7).
   std::uint64_t lock_acquisitions = 0;

@@ -69,10 +69,24 @@ enum class EventType : std::uint16_t {
   kShardCommit,
   kCrossBegin,
   kCrossCommit,
+
+  // Admission control (src/admit). kAdmitShed / kAdmitDefer record one
+  // controller verdict each (`arg` = tenant id; for defers `flags` is the
+  // delay in units of 1024 cycles, saturated). kAdmitState marks a
+  // controller state change (`arg` = admit::State, `flags` = the regime the
+  // detector saw). kAdmitProbe marks a re-admission probe interval opening
+  // (`arg` = current admission quota per interval). kAdmitSwitch records
+  // oltp::Store::switch_method swapping a shard's guard method (`arg` =
+  // shard index, `flags` = the regime that motivated the switch).
+  kAdmitShed,
+  kAdmitDefer,
+  kAdmitState,
+  kAdmitProbe,
+  kAdmitSwitch,
 };
 
 inline constexpr std::size_t kNumEventTypes =
-    static_cast<std::size_t>(EventType::kCrossCommit) + 1;
+    static_cast<std::size_t>(EventType::kAdmitSwitch) + 1;
 
 const char* to_string(EventType t);
 

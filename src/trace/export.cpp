@@ -191,6 +191,27 @@ void export_thread(EventWriter& w, std::size_t tid, const EventRing& ring) {
           w.instant(tid, "cross-txn", ev.ts, "\"outcome\":\"commit\"");
         }
         break;
+      case EventType::kAdmitShed:
+        w.instant(tid, "admit-shed", ev.ts, u64_arg("tenant", ev.arg));
+        break;
+      case EventType::kAdmitDefer:
+        w.instant(tid, "admit-defer", ev.ts,
+                  u64_arg("tenant", ev.arg) + "," +
+                      u64_arg("kcycles", ev.flags));
+        break;
+      case EventType::kAdmitState:
+        w.instant(tid, "admit-state", ev.ts,
+                  u64_arg("state", ev.arg) + "," +
+                      u64_arg("regime", ev.flags));
+        break;
+      case EventType::kAdmitProbe:
+        w.instant(tid, "admit-probe", ev.ts, u64_arg("quota", ev.arg));
+        break;
+      case EventType::kAdmitSwitch:
+        w.instant(tid, "admit-switch", ev.ts,
+                  u64_arg("shard", ev.arg) + "," +
+                      u64_arg("regime", ev.flags));
+        break;
       default:
         w.instant(tid, to_string(static_cast<EventType>(ev.type)), ev.ts,
                   "");

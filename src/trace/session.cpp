@@ -33,6 +33,11 @@ const char* to_string(EventType t) {
     case EventType::kShardCommit: return "shard-commit";
     case EventType::kCrossBegin: return "cross-begin";
     case EventType::kCrossCommit: return "cross-commit";
+    case EventType::kAdmitShed: return "admit-shed";
+    case EventType::kAdmitDefer: return "admit-defer";
+    case EventType::kAdmitState: return "admit-state";
+    case EventType::kAdmitProbe: return "admit-probe";
+    case EventType::kAdmitSwitch: return "admit-switch";
   }
   return "?";
 }

@@ -1,0 +1,499 @@
+// rtle::admit — admission control, regime detection, runtime switching.
+//
+// Coverage:
+//   * controller state machine: a bad window trips kOpen → kShedding with
+//     the quota seeded from measured completions; bad windows halve the
+//     quota and back off the next probe exponentially; probes grow the
+//     quota and a probe window that sheds nothing re-opens;
+//   * stale head-drop: an arrival whose queueing delay alone exceeds the
+//     stale threshold is shed in any state;
+//   * weighted-fair tenancy: one tenant's burst cannot claim quota slots
+//     reserved for the other tenants' unclaimed shares;
+//   * regime classifier: abort-mix thresholds, switch hysteresis (streak)
+//     and post-switch cooldown; queueing never recommends a switch;
+//   * Store::switch_method: the serializability oracle stays clean and the
+//     bank invariant holds across a storm of runtime method switches, and
+//     retired-instance counters keep the run totals consistent;
+//   * end-to-end: a flash-crowd workload with the policy armed sheds load,
+//     switches methods, accounts every arrival, and stays deterministic.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "admit/controller.h"
+#include "bench_util/setbench.h"
+#include "check/session.h"
+#include "oltp/store.h"
+#include "oltp/workload.h"
+#include "sim/env.h"
+#include "test_util.h"
+
+namespace rtle {
+namespace {
+
+using admit::Config;
+using admit::Controller;
+using admit::Decision;
+using admit::Regime;
+using admit::State;
+using admit::Verdict;
+using admit::WindowSample;
+using admit::WindowVerdict;
+using check::CheckSession;
+using oltp::Store;
+using oltp::StoreConfig;
+using runtime::ThreadCtx;
+using sim::MachineConfig;
+
+constexpr std::uint64_t kSlo = 10'000;
+
+Config slo_config() {
+  Config c;
+  c.slo_p99_cycles = kSlo;
+  c.interval_cycles = 4 * kSlo;
+  return c;
+}
+
+/// Drive one whole window: `n` arrivals with tiny queueing delay, each
+/// completing with `sojourn`; returns the verdict at the window close.
+WindowVerdict run_window(Controller& c, std::uint64_t& now, std::uint64_t n,
+                         std::uint64_t sojourn,
+                         const WindowSample& s = WindowSample{}) {
+  std::uint64_t served = 0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    if (c.on_arrival(0, 0, now).verdict == Verdict::kAdmit) {
+      c.on_complete(0, sojourn, now);
+      served += 1;
+    }
+  }
+  now += c.interval_cycles();
+  EXPECT_TRUE(c.window_due(now));
+  WindowSample ws = s;
+  if (ws.ops == 0) ws.ops = served;
+  return c.close_window(ws, now);
+}
+
+TEST(AdmitController, GoodWindowsStayOpenAndAdmitEverything) {
+  Controller c(slo_config());
+  std::uint64_t now = 500;
+  c.start(now);
+  for (int w = 0; w < 4; ++w) {
+    const WindowVerdict v = run_window(c, now, 100, kSlo / 10);
+    EXPECT_TRUE(v.good);
+    EXPECT_EQ(v.state, State::kOpen);
+  }
+  EXPECT_EQ(c.admitted(), 400u);
+  EXPECT_EQ(c.sheds(), 0u);
+  EXPECT_EQ(c.degrades(), 0u);
+}
+
+TEST(AdmitController, SloViolationTripsSheddingWithMeasuredQuota) {
+  Controller c(slo_config());
+  std::uint64_t now = 0;
+  c.start(now);
+  const WindowVerdict v = run_window(c, now, 80, 3 * kSlo);
+  EXPECT_TRUE(v.slo_violated);
+  EXPECT_FALSE(v.good);
+  EXPECT_EQ(v.state, State::kShedding);
+  EXPECT_EQ(c.state(), State::kShedding);
+  EXPECT_EQ(c.quota(), 80u);  // seeded from this window's completions
+  EXPECT_EQ(c.degrades(), 1u);
+}
+
+TEST(AdmitController, StandingQueueTripsSheddingWithoutSloBreach) {
+  // Sojourns are fine, but every arrival in the window waited longer than
+  // the CoDel target (slo/4): the delay *floor* proves a standing queue.
+  Controller c(slo_config());
+  std::uint64_t now = 0;
+  c.start(now);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(c.on_arrival(0, kSlo / 2, now).verdict, Verdict::kAdmit);
+    c.on_complete(0, kSlo / 2, now);
+  }
+  now += c.interval_cycles();
+  WindowSample s;
+  s.ops = 50;
+  const WindowVerdict v = c.close_window(s, now);
+  EXPECT_FALSE(v.slo_violated);
+  EXPECT_FALSE(v.good);
+  EXPECT_EQ(c.state(), State::kShedding);
+}
+
+TEST(AdmitController, BadWindowsHalveQuotaAndBackOffExponentially) {
+  Controller c(slo_config());
+  std::uint64_t now = 0;
+  c.start(now);
+  run_window(c, now, 64, 3 * kSlo);  // trip: quota = 64
+  ASSERT_EQ(c.quota(), 64u);
+  run_window(c, now, 64, 3 * kSlo);  // bad while shedding: halve
+  EXPECT_EQ(c.quota(), 32u);
+  run_window(c, now, 64, 3 * kSlo);
+  EXPECT_EQ(c.quota(), 16u);
+  // Now recover: good windows must first burn the exponential backoff
+  // (2 bad windows → wait 4) before the first probe grows the quota.
+  const std::uint64_t frozen = c.quota();
+  for (int w = 0; w < 4; ++w) {
+    run_window(c, now, 8, kSlo / 10);
+    EXPECT_EQ(c.quota(), frozen) << "probe fired during backoff, w=" << w;
+    EXPECT_EQ(c.probes(), 0u);
+  }
+  run_window(c, now, 8, kSlo / 10);  // backoff burned: probe
+  EXPECT_EQ(c.probes(), 1u);
+  EXPECT_GT(c.quota(), frozen);
+}
+
+TEST(AdmitController, ProbeWindowWithoutShedsReopens) {
+  Config cfg = slo_config();
+  cfg.backoff_max_shift = 2;
+  Controller c(cfg);
+  std::uint64_t now = 0;
+  c.start(now);
+  run_window(c, now, 40, 3 * kSlo);  // trip (no backoff yet: probe next)
+  ASSERT_EQ(c.state(), State::kShedding);
+  // Demand now fits the quota: good windows, no sheds. The first close is
+  // the probe (grows quota), and because the window shed nothing the
+  // controller re-opens.
+  WindowVerdict v = run_window(c, now, 10, kSlo / 10);
+  EXPECT_EQ(c.reopens(), 1u);
+  EXPECT_EQ(c.state(), State::kOpen);
+  EXPECT_EQ(v.state, State::kOpen);
+}
+
+TEST(AdmitController, StaleArrivalsAreHeadDroppedInAnyState) {
+  Controller c(slo_config());  // stale threshold defaults to slo/2
+  std::uint64_t now = 0;
+  c.start(now);
+  EXPECT_EQ(c.state(), State::kOpen);
+  const Decision d = c.on_arrival(0, kSlo, now);  // delay alone = full SLO
+  EXPECT_EQ(d.verdict, Verdict::kShed);
+  EXPECT_EQ(c.sheds(), 1u);
+  // Fresh arrivals are untouched.
+  EXPECT_EQ(c.on_arrival(0, kSlo / 4, now).verdict, Verdict::kAdmit);
+}
+
+TEST(AdmitController, DeferVerdictCarriesPenalty) {
+  Config cfg = slo_config();
+  cfg.defer_instead_of_shed = true;
+  Controller c(cfg);
+  std::uint64_t now = 0;
+  c.start(now);
+  run_window(c, now, 20, 3 * kSlo);  // trip; quota 20
+  for (int i = 0; i < 20; ++i) c.on_arrival(0, 0, now);
+  const Decision d = c.on_arrival(0, 0, now);  // 21st: over quota
+  EXPECT_EQ(d.verdict, Verdict::kDefer);
+  EXPECT_GT(d.defer_cycles, 0u);
+  EXPECT_EQ(c.defers(), 1u);
+  EXPECT_EQ(c.sheds(), 0u);
+}
+
+TEST(AdmitController, TenantSharesAreReservedNotFirstComeFirstServed) {
+  Config cfg = slo_config();
+  cfg.tenant_weights = {3.0, 1.0};
+  Controller c(cfg);
+  std::uint64_t now = 0;
+  c.start(now);
+  // Trip shedding with quota 8 (8 completions in the bad window).
+  for (int i = 0; i < 8; ++i) {
+    c.on_arrival(0, 0, now);
+    c.on_complete(0, 3 * kSlo, now);
+  }
+  now += c.interval_cycles();
+  WindowSample s;
+  s.ops = 8;
+  c.close_window(s, now);
+  ASSERT_EQ(c.state(), State::kShedding);
+  ASSERT_EQ(c.quota(), 8u);
+
+  // Tenant 1 (weight 1/4 → share 2) stampedes first. It must not get more
+  // than its share: the remaining 6 slots are reserved for tenant 0.
+  std::uint64_t t1_admitted = 0;
+  for (int i = 0; i < 20; ++i) {
+    if (c.on_arrival(1, 0, now).verdict == Verdict::kAdmit) t1_admitted += 1;
+  }
+  EXPECT_EQ(t1_admitted, 2u);
+  // Tenant 0 arrives late and still gets its whole reserved share.
+  std::uint64_t t0_admitted = 0;
+  for (int i = 0; i < 20; ++i) {
+    if (c.on_arrival(0, 0, now).verdict == Verdict::kAdmit) t0_admitted += 1;
+  }
+  EXPECT_EQ(t0_admitted, 6u);
+  EXPECT_EQ(c.tenant(1).sheds, 18u);
+  EXPECT_EQ(c.tenant(0).admitted, 8u + 6u);  // trip window + this one
+}
+
+TEST(AdmitController, UnusedShareSpillsToTheOtherTenant) {
+  Config cfg = slo_config();
+  cfg.tenant_weights = {3.0, 1.0};
+  Controller c(cfg);
+  std::uint64_t now = 0;
+  c.start(now);
+  for (int i = 0; i < 8; ++i) {
+    c.on_arrival(0, 0, now);
+    c.on_complete(0, 3 * kSlo, now);
+  }
+  now += c.interval_cycles();
+  WindowSample s;
+  s.ops = 8;
+  c.close_window(s, now);
+  ASSERT_EQ(c.quota(), 8u);
+  // Tenant 0 uses only 4 of its 6 reserved slots...
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(c.on_arrival(0, 0, now).verdict, Verdict::kAdmit);
+  }
+  // ...then tenant 1 may take its own share (2) plus the spill the quota
+  // still allows over tenant 0's remaining reservation (2): 8 total - 4
+  // used - 2 reserved = 2 spill slots on top of its 2.
+  std::uint64_t t1_admitted = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (c.on_arrival(1, 0, now).verdict == Verdict::kAdmit) t1_admitted += 1;
+  }
+  EXPECT_EQ(t1_admitted, 2u);  // own share only: t0's 2 stay reserved
+  // Tenant 0 returns and claims exactly its reserved remainder.
+  std::uint64_t t0_more = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (c.on_arrival(0, 0, now).verdict == Verdict::kAdmit) t0_more += 1;
+  }
+  EXPECT_EQ(t0_more, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Regime classifier + switch hysteresis.
+
+WindowSample conflict_sample() {
+  WindowSample s;
+  s.ops = 100;
+  s.aborts_conflict = 60;
+  s.aborts_lock_busy = 20;
+  return s;
+}
+
+WindowSample capacity_sample() {
+  WindowSample s;
+  s.ops = 100;
+  s.aborts_capacity = 70;
+  s.aborts_conflict = 10;
+  return s;
+}
+
+TEST(AdmitRegime, ConflictMixRecommendsSwitchAfterStreak) {
+  Controller c(slo_config());
+  std::uint64_t now = 0;
+  c.start(now);
+  WindowVerdict v = run_window(c, now, 50, kSlo / 10, conflict_sample());
+  EXPECT_FALSE(v.switch_method);  // streak 1: hold
+  v = run_window(c, now, 50, kSlo / 10, conflict_sample());
+  EXPECT_TRUE(v.switch_method);  // streak 2: flip
+  EXPECT_EQ(v.regime, Regime::kConflict);
+  EXPECT_EQ(c.regime(), Regime::kConflict);
+}
+
+TEST(AdmitRegime, CapacityMixNeedsDominanceAndRate) {
+  Controller c(slo_config());
+  std::uint64_t now = 0;
+  c.start(now);
+  for (int i = 0; i < 2; ++i) {
+    run_window(c, now, 50, kSlo / 10, capacity_sample());
+  }
+  EXPECT_EQ(c.regime(), Regime::kCapacity);
+
+  // A capacity-heavy *mix* at a low abort rate is not a capacity regime
+  // (deterministic overflows falling back once are the method working).
+  Controller c2(slo_config());
+  now = 0;
+  c2.start(now);
+  WindowSample weak;
+  weak.ops = 100;
+  weak.aborts_capacity = 10;  // 10/110 attempts: well under the rate leg
+  for (int i = 0; i < 3; ++i) run_window(c2, now, 50, kSlo / 10, weak);
+  EXPECT_EQ(c2.regime(), Regime::kLight);
+}
+
+TEST(AdmitRegime, QueueingNeverRecommendsASwitch) {
+  Controller c(slo_config());
+  std::uint64_t now = 0;
+  c.start(now);
+  // Bad windows with a clean abort profile: load problem, not method.
+  WindowSample s;
+  s.ops = 50;
+  WindowVerdict v;
+  for (int i = 0; i < 3; ++i) v = run_window(c, now, 50, 3 * kSlo, s);
+  EXPECT_EQ(c.regime(), Regime::kQueueing);
+  EXPECT_FALSE(v.switch_method);
+}
+
+TEST(AdmitRegime, CooldownSuppressesBackToBackSwitches) {
+  Controller c(slo_config());
+  std::uint64_t now = 0;
+  c.start(now);
+  run_window(c, now, 50, kSlo / 10, conflict_sample());
+  WindowVerdict v = run_window(c, now, 50, kSlo / 10, conflict_sample());
+  ASSERT_TRUE(v.switch_method);
+  c.confirm_switch();
+  // The mix immediately flips back toward capacity — but the cooldown must
+  // hold the line for switch_cooldown_windows closes.
+  int recommended = 0;
+  for (int i = 0; i < 4; ++i) {
+    v = run_window(c, now, 50, kSlo / 10, capacity_sample());
+    recommended += v.switch_method ? 1 : 0;
+  }
+  EXPECT_EQ(recommended, 0);
+  v = run_window(c, now, 50, kSlo / 10, capacity_sample());
+  EXPECT_TRUE(v.switch_method);  // cooldown expired, streak satisfied
+}
+
+// ---------------------------------------------------------------------------
+// Runtime method switching under the serializability oracle.
+
+TEST(AdmitSwitch, OracleAndBankInvariantHoldAcrossSwitchStorm) {
+  CheckSession chk({/*max_reports=*/16});
+  SimScope sim(MachineConfig::corei7());
+  constexpr std::uint64_t kKeys = 128;
+  constexpr std::uint64_t kInit = 1000;
+  constexpr std::uint32_t kThreads = 4;
+  StoreConfig sc;
+  sc.shards = 8;
+  sc.buckets_per_shard = 64;
+  sc.max_nodes_per_shard = kKeys + 64 * kThreads;
+  sc.max_threads = kThreads;
+  sc.cross_trials = 2;
+  Store store(sc, bench::method_by_name("TLE"));
+  for (std::uint64_t k = 0; k < kKeys; ++k) store.prefill_meta(k, kInit);
+
+  // Thread 0 cycles every shard through a rotation of methods between its
+  // own transfers; the rest hammer transfers and reads the whole time.
+  const char* rotation[] = {"Lock", "RHNOrec", "FG-TLE(16)", "TLE"};
+  std::uint64_t switches = 0;
+  test::run_workers(sim, kThreads, 60, 23, [&](ThreadCtx& th,
+                                               std::uint64_t i) {
+    if (th.tid == 0 && i % 10 == 5) {
+      const runtime::MethodSpec spec =
+          bench::method_by_name(rotation[(i / 10) % 4]);
+      for (std::uint32_t s = 0; s < store.shards(); ++s) {
+        store.switch_method(s, spec);
+        switches += 1;
+      }
+    }
+    if (th.rng.pct(70)) {
+      std::uint64_t keys[2] = {th.rng.below(kKeys), th.rng.below(kKeys)};
+      auto body = [&](Store::MultiTx& tx) {
+        const std::uint64_t v0 = tx.read(keys[0]);
+        tx.write(keys[0], v0 - 1);
+        const std::uint64_t v1 = tx.read(keys[1]);
+        tx.write(keys[1], v1 + 1);
+      };
+      store.multi(th, keys, 2, body);
+    } else {
+      std::uint64_t out = 0;
+      store.get(th, th.rng.below(kKeys), out);
+    }
+  });
+
+  EXPECT_GT(switches, 0u);
+  EXPECT_EQ(chk.report_count(), 0u) << chk.summary();
+  EXPECT_EQ(store.sum_meta(), kKeys * kInit);
+  EXPECT_EQ(store.retired_stats().method_switches, switches);
+  // Run totals survive the swaps: every single-key op is accounted either
+  // in a live instance or in the retired accumulator.
+  std::uint64_t live_ops = 0;
+  for (std::uint32_t s = 0; s < store.shards(); ++s) {
+    live_ops += store.method(s).stats().ops;
+  }
+  EXPECT_EQ(store.ops(),
+            live_ops + store.retired_stats().ops + store.cross_stats().commits);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: flash crowd through the workload engine with the policy on.
+
+oltp::WorkloadConfig flash_workload() {
+  oltp::WorkloadConfig cfg;
+  cfg.machine = MachineConfig::corei7();
+  cfg.threads = 4;
+  cfg.shards = 4;
+  cfg.keys = 256;
+  cfg.read_pct = 70;
+  cfg.multi_pct = 30;
+  cfg.duration_ms = 0.4;
+  cfg.seed = 11;
+  cfg.arrivals_per_ms = 20000.0;
+  cfg.arrival.process = oltp::ArrivalProcess::kFlash;
+  cfg.arrival.flash_multiplier = 10.0;
+  cfg.arrival.flash_start_ms = 0.1;
+  cfg.arrival.flash_len_ms = 0.2;
+  cfg.arrival.flash_tenant = 1;
+  cfg.tenants = {{3.0, -1.0, -1, -1}, {1.0, 0.9, 0, 60}};
+  cfg.policy.enabled = true;
+  cfg.policy.admit.slo_p99_cycles = 20'000;
+  cfg.policy.admit.interval_cycles = 60'000;
+  return cfg;
+}
+
+TEST(AdmitWorkload, FlashCrowdShedsAndAccountsEveryArrival) {
+  const oltp::WorkloadResult r =
+      run_workload(flash_workload(), bench::method_by_name("TLE"));
+  EXPECT_GT(r.arrivals, 0u);
+  EXPECT_GT(r.admit_sheds, 0u);        // the crowd exceeded capacity
+  EXPECT_GT(r.admit_degrades, 0u);     // the controller tripped
+  EXPECT_EQ(r.arrivals, r.admitted + r.admit_sheds + r.admit_defers);
+  EXPECT_EQ(r.stats.admit_sheds, r.admit_sheds);
+  EXPECT_EQ(r.stats.admit_defers, r.admit_defers);
+  EXPECT_FALSE(r.timeline.empty());
+  // The aggressor absorbs the sheds: its shed fraction dominates.
+  ASSERT_EQ(r.tenants.size(), 2u);
+  EXPECT_GT(r.tenants[1].sheds, r.tenants[0].sheds);
+  // Sojourn percentiles only cover served arrivals and stay well under the
+  // unprotected divergence (the flash is 10x capacity for a full 0.2ms).
+  EXPECT_GT(r.sojourn_p99, 0u);
+}
+
+TEST(AdmitWorkload, MethodSwitchingFiresUnderTheCheckerEndToEnd) {
+  CheckSession chk({/*max_reports=*/16});
+  oltp::WorkloadConfig cfg = flash_workload();
+  cfg.read_pct = 70;
+  cfg.multi_pct = 30;
+  // Make the flash capacity-hostile so the regime detector has a reason to
+  // switch: 1-line write capacity turns every transfer into a guaranteed
+  // overflow, and the aggressor tenant is 60% transfers.
+  cfg.machine.htm.max_write_lines = 1;
+  cfg.policy.switch_methods = true;
+  cfg.policy.method_light = bench::method_by_name("TLE");
+  cfg.policy.method_conflict = bench::method_by_name("Lock");
+  cfg.policy.method_capacity = bench::method_by_name("Lock");
+  const oltp::WorkloadResult r =
+      run_workload(cfg, bench::method_by_name("TLE"));
+  EXPECT_GT(r.method_switches, 0u);
+  EXPECT_EQ(r.stats.method_switches, r.method_switches);
+  EXPECT_EQ(chk.report_count(), 0u) << chk.summary();
+  bool saw_switch_in_timeline = false;
+  for (const auto& w : r.timeline) saw_switch_in_timeline |= w.switched;
+  EXPECT_TRUE(saw_switch_in_timeline);
+}
+
+TEST(AdmitWorkload, PolicyRunsAreDeterministic) {
+  oltp::WorkloadConfig cfg = flash_workload();
+  cfg.policy.switch_methods = true;
+  cfg.policy.method_light = bench::method_by_name("TLE");
+  cfg.policy.method_conflict = bench::method_by_name("Lock");
+  cfg.policy.method_capacity = bench::method_by_name("Lock");
+  const oltp::WorkloadResult a =
+      run_workload(cfg, bench::method_by_name("TLE"));
+  const oltp::WorkloadResult b =
+      run_workload(cfg, bench::method_by_name("TLE"));
+  EXPECT_EQ(a.ops, b.ops);
+  EXPECT_EQ(a.admitted, b.admitted);
+  EXPECT_EQ(a.admit_sheds, b.admit_sheds);
+  EXPECT_EQ(a.method_switches, b.method_switches);
+  EXPECT_EQ(a.sojourn_p99, b.sojourn_p99);
+  ASSERT_EQ(a.timeline.size(), b.timeline.size());
+  for (std::size_t i = 0; i < a.timeline.size(); ++i) {
+    EXPECT_EQ(a.timeline[i].admitted, b.timeline[i].admitted);
+    EXPECT_EQ(a.timeline[i].method, b.timeline[i].method);
+  }
+  // The full sojourn histograms agree byte for byte.
+  EXPECT_EQ(std::memcmp(&a.sojourn, &b.sojourn, sizeof a.sojourn), 0);
+}
+
+}  // namespace
+}  // namespace rtle

@@ -427,6 +427,63 @@ TEST(HtmHealth, StaysDegradedWhileHtmNeverRecovers) {
             runtime::HtmHealth::State::kDegraded);
 }
 
+namespace {
+
+/// Drive allow_speculation until the degraded breaker issues its next
+/// probe; returns how many operations that took (0 = no probe within the
+/// limit).
+std::uint64_t ops_until_probe(runtime::HtmHealth& h, MethodStats& st,
+                              std::uint64_t limit = 10000) {
+  for (std::uint64_t n = 1; n <= limit; ++n) {
+    bool probe = false;
+    if (h.allow_speculation(probe, st)) {
+      EXPECT_TRUE(probe);  // degraded: only probes may speculate
+      return n;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+// Regression (PR 6): while degraded, a probe killed by transient contention
+// (conflict, lock-busy, spurious) must not restart the full probe
+// countdown — only a capacity-class abort (capacity, HTM-unavailable) is
+// evidence the hardware still cannot commit. Before the fix, note_abort
+// counted every probe abort alike, so a single conflicting neighbor could
+// extend the degradation window indefinitely.
+TEST(HtmHealth, TransientProbeAbortDoesNotExtendDegradation) {
+  runtime::HtmHealth h;
+  h.enable({.window = 8, .min_commits = 1, .probe_period = 64});
+  MethodStats st;
+  for (int i = 0; i < 8; ++i) {
+    h.note_abort(st, /*probe=*/false, AbortCause::kCapacity);
+  }
+  ASSERT_EQ(h.state(), runtime::HtmHealth::State::kDegraded);
+  EXPECT_EQ(st.health_degrades, 1u);
+
+  // First probe arrives after a full period.
+  EXPECT_EQ(ops_until_probe(h, st), 64u);
+  // Probe killed by a conflict: quick re-probe after period/8 operations.
+  h.note_abort(st, /*probe=*/true, AbortCause::kConflict);
+  EXPECT_EQ(ops_until_probe(h, st), 8u);
+  // Lock-busy and spurious aborts are equally inconclusive.
+  h.note_abort(st, /*probe=*/true, AbortCause::kLockBusy);
+  EXPECT_EQ(ops_until_probe(h, st), 8u);
+  h.note_abort(st, /*probe=*/true, AbortCause::kSpurious);
+  EXPECT_EQ(ops_until_probe(h, st), 8u);
+  // Capacity-class probe aborts restart the full countdown.
+  h.note_abort(st, /*probe=*/true, AbortCause::kCapacity);
+  EXPECT_EQ(ops_until_probe(h, st), 64u);
+  h.note_abort(st, /*probe=*/true, AbortCause::kHtmUnavailable);
+  EXPECT_EQ(ops_until_probe(h, st), 64u);
+
+  // A committing probe re-enables speculation as before.
+  h.note_htm_commit(st, /*probe=*/true);
+  EXPECT_EQ(h.state(), runtime::HtmHealth::State::kHealthy);
+  EXPECT_EQ(st.health_reenables, 1u);
+}
+
 TEST(HtmHealth, DisabledBreakerLeavesMethodUntouched) {
   tle::TleMethod method;
   EXPECT_FALSE(method.htm_health().enabled());

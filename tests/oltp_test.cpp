@@ -14,6 +14,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstring>
 #include <map>
 #include <string>
 #include <vector>
@@ -367,6 +368,155 @@ TEST(OltpWorkload, BankSumSurvivesTheEngineMix) {
                       store.multi(th, keys, 2, body);
                     });
   EXPECT_EQ(store.sum_meta(), cfg.keys * cfg.initial_value);
+}
+
+// ---------------------------------------------------------------------------
+// Open-loop arrival math (build_arrivals is meta-level and deterministic).
+
+TEST(OltpArrivals, FixedProcessMatchesTheLegacyFormula) {
+  WorkloadConfig cfg = small_workload();
+  cfg.arrivals_per_ms = 2000.0;
+  const std::uint64_t t0 = 1'000'000;
+  const std::uint64_t t1 =
+      t0 + static_cast<std::uint64_t>(0.1 * cfg.machine.cycles_per_ms());
+  const auto a = oltp::build_arrivals(cfg, t0, t1);
+  ASSERT_FALSE(a.empty());
+  const double cpa = cfg.machine.cycles_per_ms() / cfg.arrivals_per_ms;
+  for (std::size_t j = 0; j < a.size(); ++j) {
+    EXPECT_EQ(a[j].ts,
+              t0 + static_cast<std::uint64_t>(static_cast<double>(j) * cpa));
+    EXPECT_EQ(a[j].tenant, 0u);  // single tenant: no attribution draws
+  }
+  EXPECT_LT(a.back().ts, t1);
+}
+
+TEST(OltpArrivals, CoincidentArrivalsAtRatesAboveOnePerCycle) {
+  // More than one arrival per simulated cycle: floor(j * cpa) repeats, so
+  // the timeline must carry coincident timestamps without losing any.
+  WorkloadConfig cfg = small_workload();
+  cfg.arrivals_per_ms = 3.0 * cfg.machine.cycles_per_ms();  // cpa = 1/3
+  const std::uint64_t t0 = 0, t1 = 100;
+  const auto a = oltp::build_arrivals(cfg, t0, t1);
+  EXPECT_EQ(a.size(), 300u);  // 3 per cycle over 100 cycles
+  std::uint64_t coincident = 0;
+  for (std::size_t j = 1; j < a.size(); ++j) {
+    ASSERT_GE(a[j].ts, a[j - 1].ts);  // non-decreasing
+    coincident += a[j].ts == a[j - 1].ts ? 1 : 0;
+  }
+  EXPECT_EQ(coincident, 200u);  // every cycle holds exactly 3 arrivals
+  EXPECT_LT(a.back().ts, t1);
+}
+
+TEST(OltpArrivals, ZeroDurationWindowYieldsNoArrivals) {
+  WorkloadConfig cfg = small_workload();
+  cfg.arrivals_per_ms = 2000.0;
+  EXPECT_TRUE(oltp::build_arrivals(cfg, 500, 500).empty());
+  EXPECT_TRUE(oltp::build_arrivals(cfg, 500, 400).empty());
+  cfg.arrival.process = oltp::ArrivalProcess::kMmpp;
+  EXPECT_TRUE(oltp::build_arrivals(cfg, 500, 500).empty());
+}
+
+TEST(OltpArrivals, FlashSuperimposesOntoTheFixedBaseline) {
+  WorkloadConfig cfg = small_workload();
+  cfg.arrivals_per_ms = 1000.0;
+  cfg.tenants = {{3.0, -1.0, -1, -1}, {1.0, -1.0, -1, -1}};
+  const std::uint64_t t0 = 0;
+  const std::uint64_t t1 =
+      t0 + static_cast<std::uint64_t>(0.2 * cfg.machine.cycles_per_ms());
+  const auto base = oltp::build_arrivals(cfg, t0, t1);
+
+  WorkloadConfig fc = cfg;
+  fc.arrival.process = oltp::ArrivalProcess::kFlash;
+  fc.arrival.flash_multiplier = 4.0;
+  fc.arrival.flash_start_ms = 0.05;
+  fc.arrival.flash_len_ms = 0.1;
+  fc.arrival.flash_tenant = 1;
+  const auto flash = oltp::build_arrivals(fc, t0, t1);
+  ASSERT_GT(flash.size(), base.size());
+
+  const std::uint64_t fs = static_cast<std::uint64_t>(
+      fc.arrival.flash_start_ms * cfg.machine.cycles_per_ms());
+  const std::uint64_t fe = fs + static_cast<std::uint64_t>(
+      fc.arrival.flash_len_ms * cfg.machine.cycles_per_ms());
+  // Outside the crowd window the two timelines are identical (timestamps
+  // AND tenant attribution — the baseline draws are unaffected).
+  std::vector<oltp::Arrival> outside;
+  for (const auto& a : flash) {
+    if (a.ts < fs || a.ts >= fe) outside.push_back(a);
+  }
+  std::size_t bi = 0;
+  for (const auto& a : outside) {
+    while (bi < base.size() && (base[bi].ts >= fs && base[bi].ts < fe)) ++bi;
+    ASSERT_LT(bi, base.size());
+    EXPECT_EQ(a.ts, base[bi].ts);
+    EXPECT_EQ(a.tenant, base[bi].tenant);
+    ++bi;
+  }
+  // The extra stream: all inside the window, all the flash tenant, at
+  // (multiplier - 1) x base on top of the baseline.
+  const std::uint64_t extra = flash.size() - base.size();
+  const double expect_extra = (fc.arrival.flash_multiplier - 1.0) *
+                              cfg.arrivals_per_ms * fc.arrival.flash_len_ms;
+  EXPECT_NEAR(static_cast<double>(extra), expect_extra, 2.0);
+  for (std::size_t j = 1; j < flash.size(); ++j) {
+    ASSERT_GE(flash[j].ts, flash[j - 1].ts);  // merge kept global order
+  }
+}
+
+TEST(OltpArrivals, ModulatedProcessesAreDeterministicPerSeed) {
+  WorkloadConfig cfg = small_workload();
+  cfg.arrivals_per_ms = 1000.0;
+  const std::uint64_t t1 =
+      static_cast<std::uint64_t>(0.3 * cfg.machine.cycles_per_ms());
+  for (auto proc : {oltp::ArrivalProcess::kMmpp,
+                    oltp::ArrivalProcess::kDiurnal}) {
+    cfg.arrival.process = proc;
+    cfg.arrival.poisson = true;
+    const auto a = oltp::build_arrivals(cfg, 0, t1);
+    const auto b = oltp::build_arrivals(cfg, 0, t1);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t j = 0; j < a.size(); ++j) {
+      ASSERT_EQ(a[j].ts, b[j].ts);
+      ASSERT_EQ(a[j].tenant, b[j].tenant);
+    }
+    WorkloadConfig other = cfg;
+    other.seed += 1;
+    const auto c = oltp::build_arrivals(other, 0, t1);
+    bool differs = c.size() != a.size();
+    for (std::size_t j = 0; !differs && j < a.size(); ++j) {
+      differs = c[j].ts != a[j].ts;
+    }
+    EXPECT_TRUE(differs) << "seed must steer the modulation";
+  }
+}
+
+TEST(OltpArrivals, MmppBurstsRaiseTheArrivalCount) {
+  WorkloadConfig cfg = small_workload();
+  cfg.arrivals_per_ms = 1000.0;
+  const std::uint64_t t1 =
+      static_cast<std::uint64_t>(0.5 * cfg.machine.cycles_per_ms());
+  const auto fixed = oltp::build_arrivals(cfg, 0, t1);
+  cfg.arrival.process = oltp::ArrivalProcess::kMmpp;
+  cfg.arrival.burst_multiplier = 8.0;
+  cfg.arrival.mean_dwell_ms = 0.05;
+  const auto mmpp = oltp::build_arrivals(cfg, 0, t1);
+  // Alternating base/8x segments must land strictly more arrivals than the
+  // steady base stream (and stay inside the window).
+  EXPECT_GT(mmpp.size(), fixed.size());
+  EXPECT_LT(mmpp.back().ts, t1);
+}
+
+TEST(OltpWorkload, OpenLoopSojournHistogramsAreByteIdentical) {
+  WorkloadConfig cfg = small_workload();
+  cfg.arrivals_per_ms = 2000.0;
+  cfg.duration_ms = 0.1;
+  cfg.arrival.process = oltp::ArrivalProcess::kMmpp;
+  cfg.arrival.poisson = true;
+  const WorkloadResult a = run_workload(cfg, bench::method_by_name("TLE"));
+  const WorkloadResult b = run_workload(cfg, bench::method_by_name("TLE"));
+  EXPECT_GT(a.sojourn.count(), 0u);
+  EXPECT_EQ(a.sojourn_p99, b.sojourn_p99);
+  EXPECT_EQ(std::memcmp(&a.sojourn, &b.sojourn, sizeof a.sojourn), 0);
 }
 
 }  // namespace

@@ -5,14 +5,14 @@
 // processes, aggregate warmup/trial statistics, and write the
 // schema-versioned perf trajectory plus a Markdown summary:
 //
-//   tools/benchgate --quick                       # BENCH_PR5.json + .md
+//   tools/benchgate --quick                       # BENCH_PR6.json + .md
 //   tools/benchgate --full --trials=3 --warmup=1
 //   tools/benchgate --quick --only=fig08,fig10 --out=sub.json
 //
 // Compare (CI regression gate): exit nonzero when the current record
 // regresses the baseline by more than the threshold:
 //
-//   tools/benchgate --compare BENCH_PR5.json current.json [--threshold=0.10]
+//   tools/benchgate --compare BENCH_PR6.json current.json [--threshold=0.10]
 #include <unistd.h>
 
 #include <cstdio>
@@ -124,7 +124,7 @@ int main(int argc, char** argv) {
   gate::RunOptions opt;
   opt.quick = true;
   opt.trials = 2;
-  std::string out_path = "BENCH_PR5.json";
+  std::string out_path = "BENCH_PR6.json";
   std::string md_path;
 
   for (int i = 1; i < argc; ++i) {

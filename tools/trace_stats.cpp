@@ -61,6 +61,20 @@ struct ShardStats {
   std::vector<Interval> holds;      // guard-held intervals (lock fallback)
 };
 
+/// Admission-control view (present only in traces from runs with the
+/// rtle::admit controller enabled).
+struct AdmitView {
+  std::map<std::uint64_t, std::uint64_t> sheds_by_tenant;
+  std::map<std::uint64_t, std::uint64_t> defers_by_tenant;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> states;  // ts, state
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> switches;  // ts, shard
+  std::uint64_t probes = 0;
+  bool any() const {
+    return !sheds_by_tenant.empty() || !defers_by_tenant.empty() ||
+           !states.empty() || !switches.empty() || probes != 0;
+  }
+};
+
 std::uint64_t overlap(const Interval& a, const Interval& b) {
   const std::uint64_t lo = std::max(a.ts, b.ts);
   const std::uint64_t hi = std::min(a.end(), b.end());
@@ -110,6 +124,7 @@ int main(int argc, char** argv) {
 
   std::map<std::uint64_t, ThreadTimeline> threads;
   std::map<std::uint64_t, ShardStats> shards;
+  AdmitView admit;
   for (const auto& ev : events->arr) {
     const std::string ph = ev.get_string("ph");
     const std::uint64_t tid = ev.get_u64("tid");
@@ -121,6 +136,22 @@ int main(int argc, char** argv) {
           ShardStats& st = shards[args->get_u64("shard")];
           (args->get_u64("cross") != 0 ? st.cross_commits : st.commits) += 1;
         }
+      } else if (name == "admit-shed") {
+        const auto* args = ev.find("args");
+        admit.sheds_by_tenant[args ? args->get_u64("tenant") : 0] += 1;
+      } else if (name == "admit-defer") {
+        const auto* args = ev.find("args");
+        admit.defers_by_tenant[args ? args->get_u64("tenant") : 0] += 1;
+      } else if (name == "admit-state") {
+        const auto* args = ev.find("args");
+        admit.states.emplace_back(ev.get_u64("ts"),
+                                  args ? args->get_u64("state") : 0);
+      } else if (name == "admit-probe") {
+        admit.probes += 1;
+      } else if (name == "admit-switch") {
+        const auto* args = ev.find("args");
+        admit.switches.emplace_back(ev.get_u64("ts"),
+                                    args ? args->get_u64("shard") : 0);
       }
       continue;
     }
@@ -351,6 +382,67 @@ int main(int argc, char** argv) {
       if (show < tl.crosses.size()) {
         std::printf("    … +%zu more\n", tl.crosses.size() - show);
       }
+    }
+  }
+
+  // Admission-control view (rtle::admit traces only).
+  if (admit.any()) {
+    std::printf("\nadmission control:\n");
+    std::uint64_t sheds = 0, defers = 0;
+    for (const auto& [t, n] : admit.sheds_by_tenant) sheds += n;
+    for (const auto& [t, n] : admit.defers_by_tenant) defers += n;
+    std::printf("  sheds=%llu defers=%llu probes=%llu state-changes=%zu "
+                "method-switches=%zu\n",
+                static_cast<unsigned long long>(sheds),
+                static_cast<unsigned long long>(defers),
+                static_cast<unsigned long long>(admit.probes),
+                admit.states.size(), admit.switches.size());
+    if (!admit.sheds_by_tenant.empty()) {
+      std::printf("  sheds by tenant:");
+      for (const auto& [tenant, n] : admit.sheds_by_tenant) {
+        std::printf(" t%llu=%llu", static_cast<unsigned long long>(tenant),
+                    static_cast<unsigned long long>(n));
+      }
+      std::printf("\n");
+    }
+    if (!admit.defers_by_tenant.empty()) {
+      std::printf("  defers by tenant:");
+      for (const auto& [tenant, n] : admit.defers_by_tenant) {
+        std::printf(" t%llu=%llu", static_cast<unsigned long long>(tenant),
+                    static_cast<unsigned long long>(n));
+      }
+      std::printf("\n");
+    }
+    if (!admit.states.empty()) {
+      const std::size_t show =
+          full ? admit.states.size()
+               : std::min<std::size_t>(admit.states.size(), 12);
+      std::printf("  controller timeline:");
+      for (std::size_t i = 0; i < show; ++i) {
+        std::printf(" @%llu→%s",
+                    static_cast<unsigned long long>(admit.states[i].first),
+                    admit.states[i].second == 0 ? "open" : "shedding");
+      }
+      if (show < admit.states.size()) {
+        std::printf(" … +%zu more", admit.states.size() - show);
+      }
+      std::printf("\n");
+    }
+    if (!admit.switches.empty()) {
+      const std::size_t show =
+          full ? admit.switches.size()
+               : std::min<std::size_t>(admit.switches.size(), 12);
+      std::printf("  method switches:");
+      for (std::size_t i = 0; i < show; ++i) {
+        std::printf(" @%llu shard %llu",
+                    static_cast<unsigned long long>(admit.switches[i].first),
+                    static_cast<unsigned long long>(
+                        admit.switches[i].second));
+      }
+      if (show < admit.switches.size()) {
+        std::printf(" … +%zu more", admit.switches.size() - show);
+      }
+      std::printf("\n");
     }
   }
   return 0;
