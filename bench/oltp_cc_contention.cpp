@@ -1,0 +1,133 @@
+// OLTP concurrency-control contention ladder: the transaction-level CC
+// protocols (Silo-OCC, TicToc, wait-die 2PL) head-to-head against the
+// elision family (TLE, RW-TLE, RHNOrec) on the sharded store as contention
+// sharpens. Xeon, 8 shards, 18 threads.
+//
+// Two axes, both of which move the protocols differently:
+//
+//   * Zipf theta at a fixed 50% write mix — skew concentrates conflicts on
+//     hot records. Record-granularity CC (slot tables) keeps disjoint
+//     writers parallel where NOrec-style global clocks serialize, but pays
+//     per-record metadata on every access; elision pays nothing until the
+//     hardware aborts.
+//   * write fraction at fixed theta 0.99 — read-mostly mixes favor
+//     optimistic validation (Silo's read sets verify cheaply, TicToc
+//     extends timestamps instead of aborting), write-heavy mixes favor
+//     pessimistic locking (wait-die holds its slots and never re-executes).
+//
+// --stats adds the per-method MethodStats summary, whose cc() section
+// (validation aborts / wounds / timestamp extensions) attributes the
+// protocol-specific abort work.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util/figure.h"
+#include "oltp/workload.h"
+#include "sim/config.h"
+
+using namespace rtle;
+using bench::Table;
+
+namespace {
+
+bench::perf::CellMetrics metrics_of(const oltp::WorkloadResult& r,
+                                    const sim::MachineConfig& mc,
+                                    double duration_ms) {
+  bench::perf::CellMetrics m;
+  m.ops_per_ms = r.ops_per_ms;
+  const double attempts =
+      static_cast<double>(r.stats.ops + r.stats.total_aborts());
+  m.abort_rate = attempts > 0 ? r.stats.total_aborts() / attempts : 0.0;
+  m.lock_fallback = r.stats.lock_fallback_rate();
+  const double run_cycles = duration_ms * mc.cycles_per_ms();
+  m.time_under_lock =
+      run_cycles > 0 ? r.stats.cycles_under_lock / run_cycles : 0.0;
+  return m;
+}
+
+oltp::WorkloadConfig base_config(const bench::BenchArgs& args,
+                                 double duration) {
+  oltp::WorkloadConfig cfg;
+  cfg.machine = sim::MachineConfig::xeon();
+  cfg.threads = 18;
+  cfg.shards = 8;
+  cfg.keys = 1 << 12;
+  cfg.read_pct = 50;
+  cfg.multi_pct = 10;
+  cfg.duration_ms = duration;
+  cfg.seed = 23;
+  cfg.faults = args.faults;
+  cfg.trace_file = args.trace;
+  cfg.latency = args.latency;
+  return cfg;
+}
+
+std::string theta_tag(double theta) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "z%.2f", theta);
+  return buf;
+}
+
+}  // namespace
+
+RTLE_FIGURE("oltp_cc_contention", "OLTP CC contention ladder",
+            "Silo-OCC / TicToc / wait-die 2PL vs the elision family on the "
+            "sharded store, swept by Zipf theta and write fraction, "
+            "8 shards, 18 threads, xeon") {
+  const double duration = args.scale(2.0, 0.25);
+
+  const char* names[] = {"Silo-OCC", "TicToc",  "WaitDie",
+                         "RW-TLE",   "TLE",     "RHNOrec"};
+
+  // Axis 1: skew at a fixed 50% write mix.
+  std::vector<double> thetas = {0.0, 0.8, 0.99, 1.2};
+  if (args.quick) thetas = {0.99};
+  std::vector<std::string> header = {"theta"};
+  for (const char* n : names) header.push_back(n);
+  Table skew(header);
+  for (double theta : thetas) {
+    std::vector<std::string> row = {Table::num(theta, 2)};
+    for (const char* n : names) {
+      oltp::WorkloadConfig cfg = base_config(args, duration);
+      cfg.zipf_theta = theta;
+      const auto r = oltp::run_workload(cfg, bench::method_by_name(n));
+      bench::report_cell(n, "xeon/s8/t18/" + theta_tag(theta),
+                         metrics_of(r, cfg.machine, duration));
+      row.push_back(Table::num(r.ops_per_ms, 0));
+      if (args.stats) {
+        std::printf("  [stats] %-10s z=%.2f %s\n", n, theta,
+                    r.stats.summary().c_str());
+      }
+    }
+    skew.add_row(std::move(row));
+  }
+  std::printf("skew ladder (50%% writes, saturated ops/ms):\n");
+  skew.print(args.csv);
+
+  // Axis 2: write fraction at fixed theta 0.99.
+  std::vector<int> write_pcts = {10, 50, 90};
+  if (args.quick) write_pcts = {90};
+  header = {"writes%"};
+  for (const char* n : names) header.push_back(n);
+  Table writes(header);
+  for (int w : write_pcts) {
+    std::vector<std::string> row = {std::to_string(w)};
+    for (const char* n : names) {
+      oltp::WorkloadConfig cfg = base_config(args, duration);
+      cfg.zipf_theta = 0.99;
+      cfg.read_pct = 100 - w;
+      const auto r = oltp::run_workload(cfg, bench::method_by_name(n));
+      bench::report_cell(n, "xeon/s8/t18/z0.99/w" + std::to_string(w),
+                         metrics_of(r, cfg.machine, duration));
+      row.push_back(Table::num(r.ops_per_ms, 0));
+      if (args.stats) {
+        std::printf("  [stats] %-10s w=%d %s\n", n, w,
+                    r.stats.summary().c_str());
+      }
+    }
+    writes.add_row(std::move(row));
+  }
+  std::printf("write-fraction ladder (theta 0.99, saturated ops/ms):\n");
+  writes.print(args.csv);
+}

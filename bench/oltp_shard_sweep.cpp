@@ -49,8 +49,9 @@ RTLE_FIGURE("oltp_shard_sweep", "OLTP shard sweep",
   std::vector<std::uint32_t> shard_counts = {1, 2, 4, 8, 16, 32};
   if (args.quick) shard_counts = {1, 4, 16};
 
-  const char* names[] = {"Lock",   "TLE",         "HLE",    "RW-TLE",
-                         "FG-TLE(256)", "NOrec", "RHNOrec"};
+  const char* names[] = {"Lock",        "TLE",   "HLE",     "RW-TLE",
+                         "FG-TLE(256)", "NOrec", "RHNOrec", "Silo-OCC",
+                         "TicToc",      "WaitDie"};
 
   std::vector<std::string> header = {"shards"};
   for (const char* n : names) header.push_back(n);

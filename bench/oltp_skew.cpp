@@ -69,7 +69,8 @@ RTLE_FIGURE("oltp_skew", "OLTP skew sweep",
   std::vector<double> thetas = {0.0, 0.5, 0.8, 0.99, 1.2};
   if (args.quick) thetas = {0.0, 0.99};
 
-  const char* names[] = {"TLE", "RW-TLE", "FG-TLE(256)", "RHNOrec"};
+  const char* names[] = {"TLE",     "RW-TLE",   "FG-TLE(256)",
+                         "RHNOrec", "Silo-OCC", "TicToc"};
 
   // Closed loop: saturated throughput per skew level.
   std::vector<std::string> header = {"theta"};

@@ -198,6 +198,18 @@ Regime Controller::classify(const WindowSample& s, std::uint64_t window_p99,
   if ((s.aborts_conflict + s.aborts_lock_busy) * 4 >= attempts) {
     return Regime::kConflict;
   }
+  // CC-attributed aborts (validation failures + wait-die wounds) are data
+  // conflicts *by construction*: the protocol proved a real overlap at
+  // commit time, after a full execution was paid for. One of those is far
+  // stronger evidence than one speculative HTM conflict abort (which may
+  // be false sharing retried for almost nothing), so when they dominate
+  // the abort stream the kConflict call is justified at a lower abort
+  // rate than the all-cause rule above demands. The host's regime→method
+  // map decides the direction: a shard thrashing on elision moves to a CC
+  // protocol, one thrashing on CC validation moves back.
+  if (aborts != 0 && s.aborts_cc * 2 >= aborts && aborts * 8 >= attempts) {
+    return Regime::kConflict;
+  }
   // Aborts are low. If the window still missed its targets, or the sojourn
   // tail is rising steeply, the pressure is queueing (offered load), not
   // the synchronization method.

@@ -123,6 +123,12 @@ struct WindowSample {
   std::uint64_t aborts_capacity = 0;   ///< capacity + HTM-unavailable
   std::uint64_t aborts_lock_busy = 0;
   std::uint64_t aborts_other = 0;
+  /// Aborts attributed to a CC protocol proving a real data overlap
+  /// (validation failures + wait-die wounds). These already appear in
+  /// aborts_conflict / aborts_lock_busy under their htm::AbortCause, so
+  /// this is an attribution overlay, not a fifth bucket — total_aborts()
+  /// must not add it.
+  std::uint64_t aborts_cc = 0;
   std::uint64_t commit_lock = 0;
   std::uint64_t total_aborts() const {
     return aborts_conflict + aborts_capacity + aborts_lock_busy +

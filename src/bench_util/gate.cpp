@@ -46,6 +46,7 @@ const std::vector<SuiteEntry>& default_suite() {
       {"oltp_skew", "oltp_skew", 300, 3600},
       {"oltp_capacity", "oltp_capacity", 300, 3600},
       {"oltp_burst", "oltp_burst", 300, 3600},
+      {"oltp_cc_contention", "oltp_cc_contention", 300, 3600},
   };
   return kSuite;
 }
@@ -87,11 +88,6 @@ pid_t spawn_run(const std::string& path, bool quick, const std::string& json) {
   // address-space randomization so every run of a binary sees the same
   // layout (what `setarch -R` does).
   personality(ADDR_NO_RANDOMIZE);
-  // The gated record is the plain unchecked/untraced configuration; make
-  // sure ambient environment arming doesn't leak in. Mode travels via the
-  // explicit --quick flag, not RTLE_QUICK.
-  unsetenv("RTLE_CHECK");   // NOLINT(concurrency-mt-unsafe)
-  unsetenv("RTLE_QUICK");   // NOLINT(concurrency-mt-unsafe)
   const int devnull = open("/dev/null", O_WRONLY);
   if (devnull >= 0) {
     dup2(devnull, STDOUT_FILENO);
@@ -103,7 +99,17 @@ pid_t spawn_run(const std::string& path, bool quick, const std::string& json) {
   if (quick) argv.push_back(const_cast<char*>("--quick"));
   argv.push_back(const_cast<char*>(json_arg.c_str()));
   argv.push_back(nullptr);
-  execv(path.c_str(), argv.data());
+  // Exec with a fixed minimal environment, for two reasons. First, the
+  // gated record is the plain unchecked/untraced configuration, so ambient
+  // arming (RTLE_CHECK / RTLE_QUICK) must not leak in — mode travels via
+  // the explicit --quick flag. Second, with ASLR off the kernel places the
+  // environment strings at the top of the initial stack, so the *byte size*
+  // of the inherited environment shifts every stack address in the child;
+  // methods that hash absolute addresses (FG-TLE orec tables) would then
+  // see a different conflict schedule per invocation context, and baseline
+  // reruns would not be byte-identical across shells or CI.
+  static const char* kChildEnv[] = {"PATH=/usr/bin:/bin", nullptr};
+  execve(path.c_str(), argv.data(), const_cast<char* const*>(kChildEnv));
   std::fprintf(stderr, "benchgate: exec %s: %s\n", path.c_str(),
                std::strerror(errno));
   _exit(127);

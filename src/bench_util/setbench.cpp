@@ -7,6 +7,9 @@
 #include <optional>
 
 #include "bench_util/figure.h"
+#include "cc/silo.h"
+#include "cc/tictoc.h"
+#include "cc/waitdie.h"
 #include "ds/avl.h"
 #include "runtime/engine.h"
 #include "runtime/retry_policy.h"
@@ -260,6 +263,16 @@ MethodSpec method_by_name(const std::string& name) {
   }
   if (name == "RW-TLE-lazy") {
     return {name, [] { return std::make_unique<tle::RwTleMethod>(true); }};
+  }
+  // Transaction-level concurrency-control protocols (src/cc).
+  if (name == "Silo-OCC") {
+    return {name, [] { return std::make_unique<cc::SiloOccMethod>(); }};
+  }
+  if (name == "TicToc") {
+    return {name, [] { return std::make_unique<cc::TicTocMethod>(); }};
+  }
+  if (name == "WaitDie") {
+    return {name, [] { return std::make_unique<cc::WaitDieMethod>(); }};
   }
   // Arbitrary orec counts: "FG-TLE(n)" and "FG-TLE-lazy(n)".
   unsigned n = 0;

@@ -1,0 +1,212 @@
+#include "cc/protocol.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "check/session.h"
+#include "mem/shim.h"
+#include "sim/env.h"
+#include "trace/session.h"
+#include "util/flat_hash.h"
+
+namespace rtle::cc {
+
+using runtime::CsBody;
+using runtime::Path;
+using runtime::ThreadCtx;
+using runtime::TxContext;
+
+CcMethod::CcMethod(std::uint32_t slots) : barriers_(this) {
+  slots_.assign(std::bit_ceil(std::max<std::uint32_t>(slots, 2)), 0);
+}
+
+CcMethod::~CcMethod() {
+  check::deregister_meta(&cross_seq_, sizeof(cross_seq_));
+  check::deregister_meta(&wclock_, sizeof(wclock_));
+  check::deregister_meta(slots_.data(), slots_.size() * sizeof(slots_[0]));
+}
+
+void CcMethod::prepare(std::uint32_t nthreads) {
+  per_.assign(nthreads, PerThread{});
+  if (check::CheckSession* chk = check::active_check()) {
+    chk->register_meta(&cross_seq_, sizeof(cross_seq_));
+    chk->register_meta(&wclock_, sizeof(wclock_));
+    chk->register_meta(slots_.data(), slots_.size() * sizeof(slots_[0]));
+  }
+}
+
+std::uint32_t CcMethod::slot_of(const void* addr) {
+  // One 64-byte line per record (TxHashMap nodes are alignas(64)); hashing
+  // the line spreads neighbouring records across the table. Hash the line's
+  // *offset from the first line this method ever saw*, not the absolute
+  // address: slot aliasing is modular, so it is not translation-invariant
+  // the way mem::line_of equality is, and hashing absolute addresses would
+  // make the abort/conflict schedule depend on where the heap happened to
+  // place this run's node arena. Offsets within one shard's arena are
+  // stable across runs, so this keeps repeated runs deterministic.
+  const std::uint64_t line = reinterpret_cast<std::uintptr_t>(addr) >> 6;
+  if (base_line_ == 0) base_line_ = line;
+  return static_cast<std::uint32_t>(util::mix64(line - base_line_) &
+                                    (slots_.size() - 1));
+}
+
+bool CcMethod::wset_lookup(PerThread& p, const std::uint64_t* addr,
+                           std::uint64_t& out) {
+  mem::compute(1 + p.wset.size() / 4);
+  for (auto it = p.wset.rbegin(); it != p.wset.rend(); ++it) {
+    if (it->addr == addr) {
+      out = it->value;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::uint32_t CcMethod::wset_upsert(PerThread& p, std::uint64_t* addr,
+                                    std::uint64_t value) {
+  mem::compute(1 + p.wset.size() / 4);
+  for (WriteEntry& e : p.wset) {
+    if (e.addr == addr) {
+      e.value = value;
+      return e.slot;
+    }
+  }
+  const std::uint32_t slot = slot_of(addr);
+  p.wset.push_back({addr, value, slot});
+  return slot;
+}
+
+std::uint64_t CcMethod::wait_cross_even() {
+  const auto& cost = cur_mem().cost();
+  for (;;) {
+    const std::uint64_t t = mem::plain_load(&cross_seq_);
+    if ((t & 1) == 0) return t;
+    mem::compute(cost.spin_iter);
+  }
+}
+
+std::uint64_t CcMethod::mem_cross_load() { return mem::plain_load(&cross_seq_); }
+
+std::uint64_t CcMethod::lock_wclock() {
+  const auto& cost = cur_mem().cost();
+  for (;;) {
+    const std::uint64_t c = mem::plain_load(&wclock_);
+    if ((c & 1) == 0 && mem::plain_cas(&wclock_, c, c + 1)) return c;
+    mem::compute(cost.spin_iter);
+  }
+}
+
+void CcMethod::unlock_wclock(std::uint64_t c, bool published) {
+  mem::plain_store(&wclock_, published ? c + 2 : c);
+}
+
+void CcMethod::begin_attempt(ThreadCtx& th) {
+  PerThread& p = per(th);
+  p.rset.clear();
+  p.wset.clear();
+  p.lockset.clear();
+}
+
+void CcMethod::execute(ThreadCtx& th, CsBody cs) {
+  PerThread& p = per(th);
+  trace::TraceSession* tr = trace::active_trace();
+  const std::uint64_t op_start = tr != nullptr ? cur_sched().now() : 0;
+  std::uint64_t backoff = cur_mem().cost().backoff_base;
+  for (;;) {
+    begin_attempt(th);
+    p.snapshot = wait_cross_even();
+    stats_.stm_begins += 1;
+    if (tr != nullptr) tr->txn_begin(trace::TxPath::kStm);
+    if (check::CheckSession* chk = check::active_check()) {
+      chk->on_stm_begin();
+      chk->on_stm_snapshot();
+    }
+    try {
+      TxContext ctx(Path::kStm, th, &barriers_);
+      cs(ctx);
+      const bool read_only = p.wset.empty();
+      // commit_attempt's final simulated access is the serialization point;
+      // the commit hook runs atomically with it (the shim returns from an
+      // access without yielding).
+      commit_attempt(th);
+      if (check::CheckSession* chk = check::active_check()) {
+        chk->on_stm_commit(read_only);
+      }
+      post_commit(th);
+      (read_only ? stats_.commit_stm_ro : stats_.commit_stm_lock) += 1;
+      if (tr != nullptr) {
+        tr->txn_commit(trace::TxPath::kStm, op_start);
+        stats_.latency_samples += 1;
+      }
+      stats_.ops += 1;
+      return;
+    } catch (const CcAbort& a) {
+      abort_cleanup(th);
+      if (check::CheckSession* chk = check::active_check()) {
+        chk->on_stm_abort();
+      }
+      if (tr != nullptr) {
+        tr->txn_abort(trace::TxPath::kStm,
+                      static_cast<std::uint64_t>(a.cause));
+      }
+      stats_.note_abort(/*slow=*/true, a.cause);
+      // Randomized backoff so colliding transactions desynchronize.
+      mem::compute(th.rng.below(backoff) + 1);
+      backoff = std::min<std::uint64_t>(backoff * 2,
+                                        cur_mem().cost().backoff_cap);
+    }
+  }
+}
+
+void CcMethod::cross_htm_enter(ThreadCtx& th) {
+  auto& htm = cur_htm();
+  // Subscribe both shared words: abort while a cross section or a CC
+  // write-back is in flight (odd), get doomed the instant one starts.
+  if ((htm.tx_load(th.tx, &cross_seq_) & 1) != 0 ||
+      (htm.tx_load(th.tx, &wclock_) & 1) != 0) {
+    htm.abort_self(th.tx, htm::AbortCause::kLockBusy);
+  }
+}
+
+void CcMethod::cross_htm_publish(ThreadCtx& th, bool wrote) {
+  if (!wrote) return;
+  auto& htm = cur_htm();
+  // Bump both clocks inside the transaction: in-flight CC attempts see
+  // cross_seq_ moved and abort, read-only linearization loops see wclock_
+  // moved and revalidate — both atomically with the cross commit.
+  const std::uint64_t s = htm.tx_load(th.tx, &cross_seq_);
+  htm.tx_store(th.tx, &cross_seq_, s + 2);
+  const std::uint64_t c = htm.tx_load(th.tx, &wclock_);
+  htm.tx_store(th.tx, &wclock_, c + 2);
+}
+
+void CcMethod::cross_lock_enter(ThreadCtx& th) {
+  const auto& cost = cur_mem().cost();
+  // Claim the cross seqlock first: odd cross_seq_ makes every CC commit
+  // that still has to check it back off...
+  for (;;) {
+    const std::uint64_t s = mem::plain_load(&cross_seq_);
+    if ((s & 1) == 0 && mem::plain_cas(&cross_seq_, s, s + 1)) break;
+    mem::compute(cost.spin_iter);
+  }
+  // ...then drain in-flight write-backs by taking wclock_: a committer
+  // already holding it finishes its (finite) write-back and releases; one
+  // acquiring after us sees cross_seq_ moved and backs off. No new odd
+  // holder can appear, so this wait terminates and the cross body owns the
+  // shard exclusively — its accesses stay raw.
+  lock_wclock();
+}
+
+void CcMethod::cross_lock_leave(ThreadCtx& th) {
+  const std::uint64_t c = mem::plain_load(&wclock_);
+  const std::uint64_t s = mem::plain_load(&cross_seq_);
+  // Serialization point before the even stores: a CC transaction blocked on
+  // either odd word commits strictly after this cross section.
+  if (check::CheckSession* chk = check::active_check()) {
+    chk->on_cross_release();
+  }
+  mem::plain_store(&wclock_, c + 1);
+  mem::plain_store(&cross_seq_, s + 1);
+}
+
+}  // namespace rtle::cc

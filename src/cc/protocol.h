@@ -1,0 +1,195 @@
+// rtle::cc — transaction-level concurrency control protocols.
+//
+// The paper's ten methods compete at the *lock-elision* level: every
+// critical section is an opaque unit and the contest is about how cheaply
+// one guard can be elided. Real OLTP engines compete one level up, on
+// transaction-level CC — validation against per-record versions (Silo-style
+// OCC), timestamp-embedded validation with lazy extension (TicToc), and
+// timestamp-ordered two-phase locking (wait-die 2PL). This module makes
+// those protocols first-class runtime::SyncMethods so the sharded store
+// (src/oltp) can run them head-to-head against the RTLE methods under the
+// same serializability oracle and race checker.
+//
+// Shape shared by all three protocols (CcMethod):
+//   * the body runs on Path::kStm through per-protocol SlowBarriers —
+//     reads/writes dispatch to read_impl/write_impl, writes are buffered in
+//     a redo log so an aborted attempt leaks nothing;
+//   * per-record metadata (a version word, a read/write timestamp pair, or
+//     a lock entry) lives in a fixed power-of-two array of *slots*, indexed
+//     by the 64-byte line of the accessed word — ds::TxHashMap nodes are
+//     alignas(64), so one line is one record, and aliasing two records to a
+//     slot is merely conservative (extra conflicts, never missed ones);
+//   * commits retry on CcAbort with randomized exponential backoff, exactly
+//     the NOrec discipline, and report the full begin/validate/commit/abort
+//     lifecycle to the ambient CheckSession (STM speculation windows, so
+//     doomed attempts are discarded) and TraceSession (kCcValidate /
+//     kCcWound / kCcExtend events).
+//
+// Cross-shard seam. CC protocols validate against record metadata, which a
+// foreign cross-shard transaction (oltp::Store::multi) does not maintain —
+// its accesses are raw inside one HTM transaction, or raw under the
+// pessimistic guards. Two shared words bridge the gap:
+//   * cross_seq_ — a seqlock counting cross sections. Every CC transaction
+//     snapshots it at begin (waiting out an odd value) and aborts at commit
+//     if it moved: any cross-shard commit since begin conservatively kills
+//     in-flight CC transactions on that shard, which is exactly the
+//     write-visibility rule per-record validation cannot provide. The HTM
+//     cross path subscribes the word (doomed by a starting cross section)
+//     and bumps it at publish; the lock fallback holds it odd.
+//   * wclock_ — the write-back seqlock. A writer holds it odd for its
+//     validate + write-back window, a read-only commit linearizes by
+//     observing it unchanged and even around validation, and a cross
+//     section owns it for its whole body. This gives every commit a real
+//     serialization *point* (the final store or load before the checker
+//     hook runs — the mem shim performs an access and returns without
+//     yielding, so the hook is atomic with it), which the sequential-replay
+//     oracle requires.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "htm/htm.h"
+#include "runtime/method.h"
+
+namespace rtle::cc {
+
+/// Thrown when a CC attempt must abort; caught by the retry loop in
+/// CcMethod::execute. `cause` feeds the abort-cause histogram (and through
+/// it the admission controller's regime classifier): kConflict for
+/// validation failures, kLockBusy for wait-die deaths, kExplicit for
+/// cross-section invalidation, kCapacity for a runaway read set.
+struct CcAbort {
+  htm::AbortCause cause = htm::AbortCause::kConflict;
+};
+
+class CcMethod : public runtime::SyncMethod {
+ public:
+  /// `slots` is rounded up to a power of two.
+  explicit CcMethod(std::uint32_t slots);
+  ~CcMethod() override;
+
+  void prepare(std::uint32_t nthreads) override;
+  void execute(runtime::ThreadCtx& th, runtime::CsBody cs) override;
+
+  // Cross-shard seam (see the header comment): subscribe both shared words
+  // on the HTM path, own both on the pessimistic path. Holder accesses stay
+  // raw — a cross section excludes every CC commit on this shard.
+  void cross_htm_enter(runtime::ThreadCtx& th) override;
+  void cross_htm_publish(runtime::ThreadCtx& th, bool wrote) override;
+  void cross_lock_enter(runtime::ThreadCtx& th) override;
+  void cross_lock_leave(runtime::ThreadCtx& th) override;
+
+  std::uint32_t slot_count() const {
+    return static_cast<std::uint32_t>(slots_.size());
+  }
+
+ protected:
+  /// Redo-log entry: writes are buffered per attempt and applied at commit.
+  struct WriteEntry {
+    std::uint64_t* addr;
+    std::uint64_t value;
+    std::uint32_t slot;
+  };
+
+  struct PerThread {
+    std::vector<WriteEntry> wset;
+    /// Protocol-specific read set: (slot, metadata word observed at read).
+    struct ReadEntry {
+      std::uint32_t slot;
+      std::uint64_t word;
+    };
+    std::vector<ReadEntry> rset;
+    /// Wait-die: slots this transaction holds locked, acquisition order.
+    std::vector<std::uint32_t> lockset;
+    /// cross_seq_ at begin; any movement at commit aborts the attempt.
+    std::uint64_t snapshot = 0;
+    /// Wait-die timestamp; kept across retries (die keeps seniority, the
+    /// classic livelock-freedom argument), 0 = unassigned.
+    std::uint64_t ts = 0;
+  };
+
+  class Barriers final : public runtime::SlowBarriers {
+   public:
+    explicit Barriers(CcMethod* m) : m_(m) {}
+    std::uint64_t read(runtime::TxContext& ctx,
+                       const std::uint64_t* addr) override {
+      return m_->read_impl(ctx.thread(), addr);
+    }
+    void write(runtime::TxContext& ctx, std::uint64_t* addr,
+               std::uint64_t value) override {
+      m_->write_impl(ctx.thread(), addr, value);
+    }
+
+   private:
+    CcMethod* m_;
+  };
+
+  // --- protocol hooks, called by the execute() retry loop ---------------
+  /// Reset per-attempt state (read/write sets). Runs before the checker's
+  /// speculation window opens; wait-die assigns its timestamp here.
+  virtual void begin_attempt(runtime::ThreadCtx& th);
+  /// Validate and publish the attempt; throws CcAbort after restoring any
+  /// partially acquired commit state. The last simulated access a
+  /// successful call makes is the commit's serialization point — execute()
+  /// invokes the checker's commit hook immediately after it returns.
+  virtual void commit_attempt(runtime::ThreadCtx& th) = 0;
+  /// Undo execution-time state after an abort (wait-die lock release).
+  virtual void abort_cleanup(runtime::ThreadCtx& th) {}
+  /// Runs after the checker's commit hook (wait-die shrink phase: 2PL may
+  /// only release its record locks once the serialization point is fixed).
+  virtual void post_commit(runtime::ThreadCtx& th) {}
+
+  virtual std::uint64_t read_impl(runtime::ThreadCtx& th,
+                                  const std::uint64_t* addr) = 0;
+  virtual void write_impl(runtime::ThreadCtx& th, std::uint64_t* addr,
+                          std::uint64_t value) = 0;
+
+  // --- shared machinery --------------------------------------------------
+  std::uint32_t slot_of(const void* addr);
+  std::uint64_t* slot_word(std::uint32_t slot) { return &slots_[slot]; }
+  PerThread& per(const runtime::ThreadCtx& th) { return per_[th.tid]; }
+
+  /// Redo-log lookup (a transaction sees its own writes); true and sets
+  /// `out` when `addr` has a buffered write.
+  bool wset_lookup(PerThread& p, const std::uint64_t* addr,
+                   std::uint64_t& out);
+  /// Buffer (or update) a write; returns the owning slot.
+  std::uint32_t wset_upsert(PerThread& p, std::uint64_t* addr,
+                            std::uint64_t value);
+
+  /// Spin until cross_seq_ is even and return it (begin snapshot).
+  std::uint64_t wait_cross_even();
+  /// True iff no cross-shard section committed or started since begin.
+  bool cross_unchanged(const PerThread& p) {
+    return mem_cross_load() == p.snapshot;
+  }
+
+  /// Acquire the write-back seqlock (spin until even, CAS odd); returns
+  /// the even value it replaced.
+  std::uint64_t lock_wclock();
+  /// Release it: `published` stores c+2 (a write-back happened — read-only
+  /// linearization loops observing c must re-validate), a backout restores
+  /// the even value unchanged.
+  void unlock_wclock(std::uint64_t c, bool published);
+
+  /// Grows without bound only when speculation walked an inconsistent
+  /// structure (a stale traversal can cycle); the cap turns non-termination
+  /// into a kCapacity abort, after which a fresh attempt sees a consistent
+  /// state.
+  static constexpr std::size_t kMaxReadSet = 1 << 16;
+
+  alignas(64) std::uint64_t cross_seq_ = 0;
+  alignas(64) std::uint64_t wclock_ = 0;
+  std::vector<std::uint64_t> slots_;
+  std::vector<PerThread> per_;
+  Barriers barriers_;
+  /// First line ever hashed; slot_of hashes offsets from it so that slot
+  /// aliasing does not depend on absolute heap placement (see slot_of).
+  std::uint64_t base_line_ = 0;
+
+ private:
+  std::uint64_t mem_cross_load();
+};
+
+}  // namespace rtle::cc

@@ -1,0 +1,172 @@
+#include "cc/silo.h"
+
+#include <algorithm>
+
+#include "check/session.h"
+#include "mem/shim.h"
+#include "sim/env.h"
+#include "trace/session.h"
+
+namespace rtle::cc {
+
+using runtime::ThreadCtx;
+
+SiloOccMethod::SiloOccMethod(std::uint32_t slots) : CcMethod(slots) {}
+
+void SiloOccMethod::prepare_scratch(std::uint32_t nthreads) {
+  lock_scratch_.assign(nthreads, {});
+}
+
+std::uint64_t SiloOccMethod::read_impl(ThreadCtx& th,
+                                       const std::uint64_t* addr) {
+  PerThread& p = per(th);
+  std::uint64_t own = 0;
+  if (wset_lookup(p, addr, own)) return own;
+  if (p.rset.size() >= kMaxReadSet) {
+    throw CcAbort{htm::AbortCause::kCapacity};
+  }
+  const auto& cost = cur_mem().cost();
+  const std::uint32_t slot = slot_of(addr);
+  std::uint64_t* w = slot_word(slot);
+  // Even-version double-check: the data load lands between two identical
+  // unlocked versions, so it observed a committed value.
+  for (;;) {
+    const std::uint64_t v1 = mem::plain_load(w);
+    if (locked(v1)) {
+      mem::compute(cost.spin_iter);
+      continue;
+    }
+    const std::uint64_t val = mem::plain_load(addr);
+    if (mem::plain_load(w) == v1) {
+      p.rset.push_back({slot, v1});
+      return val;
+    }
+    mem::compute(cost.spin_iter);
+  }
+}
+
+void SiloOccMethod::write_impl(ThreadCtx& th, std::uint64_t* addr,
+                               std::uint64_t value) {
+  wset_upsert(per(th), addr, value);
+}
+
+void SiloOccMethod::collect_lock_slots(PerThread& p,
+                                       std::vector<std::uint32_t>& out) {
+  out.clear();
+  for (const WriteEntry& e : p.wset) out.push_back(e.slot);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  mem::compute(1 + p.wset.size() / 2);
+}
+
+bool SiloOccMethod::validate(ThreadCtx& th,
+                             const std::vector<std::uint32_t>& locks) {
+  PerThread& p = per(th);
+  check::CheckSession* chk = check::active_check();
+  bool pass = true;
+  for (const PerThread::ReadEntry& e : p.rset) {
+    const std::uint64_t cur = mem::plain_load(slot_word(e.slot));
+    const bool own_lock =
+        std::binary_search(locks.begin(), locks.end(), e.slot);
+    // Stale iff the version moved, or a foreign commit holds the record.
+    const bool ok =
+        version_of(cur) == version_of(e.word) && (!locked(cur) || own_lock);
+    const bool will_abort = !ok && !seed_skip_validation_;
+    if (chk != nullptr) {
+      chk->on_cc_validate(this, version_of(e.word), version_of(cur),
+                          will_abort);
+    }
+    if (will_abort) pass = false;
+    if (!pass) break;
+  }
+  return pass;
+}
+
+void SiloOccMethod::commit_attempt(ThreadCtx& th) {
+  PerThread& p = per(th);
+  trace::TraceSession* tr = trace::active_trace();
+  check::CheckSession* chk = check::active_check();
+
+  if (p.wset.empty()) {
+    // Read-only linearization loop: validation is only meaningful at an
+    // instant when no write-back is in flight, so bracket it with two equal
+    // even wclock_ observations — the commit linearizes at the closing
+    // load, and the snapshot hook right after it is atomic with it.
+    const auto& cost = cur_mem().cost();
+    for (;;) {
+      const std::uint64_t c0 = mem::plain_load(&wclock_);
+      if ((c0 & 1) != 0) {
+        mem::compute(cost.spin_iter);
+        continue;
+      }
+      static const std::vector<std::uint32_t> kNoLocks;
+      if (!validate(th, kNoLocks)) {
+        stats_.cc_validation_aborts += 1;
+        if (tr != nullptr) {
+          tr->emit(trace::EventType::kCcValidate, 0, p.rset.size());
+        }
+        throw CcAbort{htm::AbortCause::kConflict};
+      }
+      if (!cross_unchanged(p)) throw CcAbort{htm::AbortCause::kExplicit};
+      if (mem::plain_load(&wclock_) == c0) break;
+    }
+    if (chk != nullptr) chk->on_stm_snapshot();
+    if (tr != nullptr) {
+      tr->emit(trace::EventType::kCcValidate, 1, p.rset.size());
+    }
+    return;
+  }
+
+  // Writer: lock write-set slots in ascending slot order (deadlock-free
+  // against concurrent committers).
+  std::vector<std::uint32_t>& locks = lock_scratch_[th.tid];
+  collect_lock_slots(p, locks);
+  const auto& cost = cur_mem().cost();
+  std::size_t held = 0;
+  for (const std::uint32_t slot : locks) {
+    std::uint64_t* w = slot_word(slot);
+    for (;;) {
+      const std::uint64_t v = mem::plain_load(w);
+      if (!locked(v) && mem::plain_cas(w, v, v | 1)) break;
+      mem::compute(cost.spin_iter);
+    }
+    held += 1;
+  }
+  mem::fence();
+
+  auto backout = [&](htm::AbortCause cause) {
+    for (std::size_t i = 0; i < held; ++i) {
+      std::uint64_t* w = slot_word(locks[i]);
+      mem::plain_store(w, mem::plain_load(w) & ~std::uint64_t{1});
+    }
+    throw CcAbort{cause};
+  };
+
+  const std::uint64_t c0 = lock_wclock();
+  if (!cross_unchanged(p)) {
+    unlock_wclock(c0, /*published=*/false);
+    backout(htm::AbortCause::kExplicit);
+  }
+  if (!validate(th, locks)) {
+    stats_.cc_validation_aborts += 1;
+    if (tr != nullptr) {
+      tr->emit(trace::EventType::kCcValidate, 0, p.rset.size());
+    }
+    unlock_wclock(c0, /*published=*/false);
+    backout(htm::AbortCause::kConflict);
+  }
+  if (tr != nullptr) {
+    tr->emit(trace::EventType::kCcValidate, 1, p.rset.size());
+  }
+  // Publish: redo-log write-back, then bump-and-unlock every locked slot,
+  // then release wclock_ — the commit's serialization point.
+  for (const WriteEntry& e : p.wset) mem::plain_store(e.addr, e.value);
+  for (const std::uint32_t slot : locks) {
+    std::uint64_t* w = slot_word(slot);
+    const std::uint64_t v = mem::plain_load(w);
+    mem::plain_store(w, (version_of(v) + 1) << 1);
+  }
+  unlock_wclock(c0, /*published=*/true);
+}
+
+}  // namespace rtle::cc

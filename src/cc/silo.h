@@ -1,0 +1,65 @@
+// Silo-style OCC: invisible reads validated against per-record versions at
+// commit, write locking only inside the commit window (Tu et al., SOSP'13,
+// scaled down to the simulator's word-granularity records).
+//
+// Slot word layout: bit 0 = commit lock, bits 63..1 = version. Reads record
+// (slot, version) pairs taken with an even-version double-check around the
+// data load; a writer locks its write-set slots in ascending slot order
+// (deadlock-free), then — under the shard's write-back seqlock — validates
+// every read entry: the version must be unchanged and the slot unlocked
+// (or locked by this very transaction). Validation failure is precisely an
+// anti-dependency that would break serializability; the seeded
+// `seed_skip_validation` knob proceeds anyway, and the checker's
+// on_cc_validate invariant plus the serializability oracle catch the
+// admitted write skew by name (kCcValidation).
+#pragma once
+
+#include "cc/protocol.h"
+
+namespace rtle::cc {
+
+class SiloOccMethod : public CcMethod {
+ public:
+  explicit SiloOccMethod(std::uint32_t slots = kDefaultSlots);
+
+  std::string name() const override { return "Silo-OCC"; }
+
+  /// Seeded bug: commit past stale read versions (skips the abort, not the
+  /// check), admitting write skew for the negative tests.
+  void seed_skip_validation(bool on) { seed_skip_validation_ = on; }
+
+  static constexpr std::uint32_t kDefaultSlots = 4096;
+
+ protected:
+  void commit_attempt(runtime::ThreadCtx& th) override;
+  std::uint64_t read_impl(runtime::ThreadCtx& th,
+                          const std::uint64_t* addr) override;
+  void write_impl(runtime::ThreadCtx& th, std::uint64_t* addr,
+                  std::uint64_t value) override;
+
+ private:
+  static std::uint64_t version_of(std::uint64_t word) { return word >> 1; }
+  static bool locked(std::uint64_t word) { return (word & 1) != 0; }
+
+  /// Validate the read set; `locks` holds the slots this commit has locked
+  /// (sorted). Returns false on a stale entry unless the seeded knob is on.
+  bool validate(runtime::ThreadCtx& th,
+                const std::vector<std::uint32_t>& locks);
+
+  /// Unique ascending slots of the write set (commit lock order).
+  void collect_lock_slots(PerThread& p, std::vector<std::uint32_t>& out);
+
+  bool seed_skip_validation_ = false;
+  /// Commit-scoped scratch (one commit per thread at a time).
+  std::vector<std::vector<std::uint32_t>> lock_scratch_;
+
+  void prepare_scratch(std::uint32_t nthreads);
+
+ public:
+  void prepare(std::uint32_t nthreads) override {
+    CcMethod::prepare(nthreads);
+    prepare_scratch(nthreads);
+  }
+};
+
+}  // namespace rtle::cc

@@ -1,0 +1,216 @@
+#include "cc/tictoc.h"
+
+#include <algorithm>
+
+#include "check/session.h"
+#include "mem/shim.h"
+#include "sim/env.h"
+#include "trace/session.h"
+
+namespace rtle::cc {
+
+using runtime::ThreadCtx;
+
+TicTocMethod::TicTocMethod(std::uint32_t slots) : CcMethod(slots) {}
+
+void TicTocMethod::prepare_scratch(std::uint32_t nthreads) {
+  lock_scratch_.assign(nthreads, {});
+}
+
+std::uint64_t TicTocMethod::read_impl(ThreadCtx& th,
+                                      const std::uint64_t* addr) {
+  PerThread& p = per(th);
+  std::uint64_t own = 0;
+  if (wset_lookup(p, addr, own)) return own;
+  if (p.rset.size() >= kMaxReadSet) {
+    throw CcAbort{htm::AbortCause::kCapacity};
+  }
+  const auto& cost = cur_mem().cost();
+  const std::uint32_t slot = slot_of(addr);
+  std::uint64_t* w = slot_word(slot);
+  // Consistent (timestamp word, value) pair: the data load lands between
+  // two identical unlocked words.
+  for (;;) {
+    const std::uint64_t w1 = mem::plain_load(w);
+    if (locked(w1)) {
+      mem::compute(cost.spin_iter);
+      continue;
+    }
+    const std::uint64_t val = mem::plain_load(addr);
+    if (mem::plain_load(w) == w1) {
+      p.rset.push_back({slot, w1});
+      return val;
+    }
+    mem::compute(cost.spin_iter);
+  }
+}
+
+void TicTocMethod::write_impl(ThreadCtx& th, std::uint64_t* addr,
+                              std::uint64_t value) {
+  wset_upsert(per(th), addr, value);
+}
+
+void TicTocMethod::collect_lock_slots(PerThread& p,
+                                      std::vector<std::uint32_t>& out) {
+  out.clear();
+  for (const WriteEntry& e : p.wset) out.push_back(e.slot);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  mem::compute(1 + p.wset.size() / 2);
+}
+
+bool TicTocMethod::validate_at(ThreadCtx& th, std::uint64_t commit_ts,
+                               const std::vector<std::uint32_t>& locks) {
+  PerThread& p = per(th);
+  trace::TraceSession* tr = trace::active_trace();
+  check::CheckSession* chk = check::active_check();
+  for (PerThread::ReadEntry& e : p.rset) {
+    std::uint64_t* w = slot_word(e.slot);
+    for (;;) {
+      const std::uint64_t cur = mem::plain_load(w);
+      // The version this transaction read must still be current...
+      if (wts_of(cur) != wts_of(e.word)) {
+        if (chk != nullptr) {
+          chk->on_cc_validate(this, wts_of(e.word), wts_of(cur),
+                              /*will_abort=*/true);
+        }
+        return false;
+      }
+      const bool own_lock =
+          std::binary_search(locks.begin(), locks.end(), e.slot);
+      // ...and valid at commit_ts: already-granted rts suffices, an owned
+      // slot is being overwritten (commit_ts > its lock-time rts by
+      // construction), otherwise extend rts to commit_ts.
+      if (own_lock || rts_of(cur) >= commit_ts) {
+        if (chk != nullptr) {
+          chk->on_cc_validate(this, wts_of(e.word), wts_of(cur),
+                              /*will_abort=*/false);
+        }
+        break;
+      }
+      if (locked(cur)) {
+        // A foreign commit is about to install a new wts; its version will
+        // fail the check above anyway — abort rather than extend.
+        if (chk != nullptr) {
+          chk->on_cc_validate(this, wts_of(e.word), wts_of(cur),
+                              /*will_abort=*/true);
+        }
+        return false;
+      }
+      const std::uint64_t ext = make_word(wts_of(cur), commit_ts);
+      if (mem::plain_cas(w, cur, ext)) {
+        e.word = ext;
+        stats_.cc_ts_extensions += 1;
+        if (tr != nullptr) {
+          tr->emit(trace::EventType::kCcExtend, 0, e.slot);
+        }
+        if (chk != nullptr) {
+          chk->on_cc_validate(this, wts_of(ext), wts_of(ext),
+                              /*will_abort=*/false);
+        }
+        break;
+      }
+      // CAS lost to a concurrent extension or writer — re-examine.
+    }
+  }
+  return true;
+}
+
+void TicTocMethod::commit_attempt(ThreadCtx& th) {
+  PerThread& p = per(th);
+  trace::TraceSession* tr = trace::active_trace();
+  check::CheckSession* chk = check::active_check();
+
+  if (p.wset.empty()) {
+    // Read-only: the commit timestamp is the newest version read — every
+    // entry then needs rts >= that, granted by extension where missing.
+    std::uint64_t commit_ts = 0;
+    for (const PerThread::ReadEntry& e : p.rset) {
+      commit_ts = std::max(commit_ts, wts_of(e.word));
+    }
+    const auto& cost = cur_mem().cost();
+    static const std::vector<std::uint32_t> kNoLocks;
+    for (;;) {
+      const std::uint64_t c0 = mem::plain_load(&wclock_);
+      if ((c0 & 1) != 0) {
+        mem::compute(cost.spin_iter);
+        continue;
+      }
+      if (!validate_at(th, commit_ts, kNoLocks)) {
+        stats_.cc_validation_aborts += 1;
+        if (tr != nullptr) {
+          tr->emit(trace::EventType::kCcValidate, 0, p.rset.size());
+        }
+        throw CcAbort{htm::AbortCause::kConflict};
+      }
+      if (!cross_unchanged(p)) throw CcAbort{htm::AbortCause::kExplicit};
+      if (mem::plain_load(&wclock_) == c0) break;
+    }
+    if (chk != nullptr) chk->on_stm_snapshot();
+    if (tr != nullptr) {
+      tr->emit(trace::EventType::kCcValidate, 1, p.rset.size());
+    }
+    return;
+  }
+
+  // Writer: lock write-set slots ascending, then derive the commit
+  // timestamp from the footprint alone (TicToc's no-global-clock rule):
+  // past every locked record's granted reads, at or past every read
+  // version's birth.
+  std::vector<std::uint32_t>& locks = lock_scratch_[th.tid];
+  collect_lock_slots(p, locks);
+  const auto& cost = cur_mem().cost();
+  std::size_t held = 0;
+  std::uint64_t commit_ts = 0;
+  for (const std::uint32_t slot : locks) {
+    std::uint64_t* w = slot_word(slot);
+    for (;;) {
+      const std::uint64_t v = mem::plain_load(w);
+      if (!locked(v) && mem::plain_cas(w, v, v | kLockBit)) {
+        commit_ts = std::max(commit_ts, rts_of(v) + 1);
+        break;
+      }
+      mem::compute(cost.spin_iter);
+    }
+    held += 1;
+  }
+  for (const PerThread::ReadEntry& e : p.rset) {
+    commit_ts = std::max(commit_ts, wts_of(e.word));
+  }
+  mem::fence();
+
+  auto backout = [&](htm::AbortCause cause) {
+    for (std::size_t i = 0; i < held; ++i) {
+      std::uint64_t* w = slot_word(locks[i]);
+      mem::plain_store(w, mem::plain_load(w) & ~kLockBit);
+    }
+    throw CcAbort{cause};
+  };
+
+  const std::uint64_t c0 = lock_wclock();
+  if (!cross_unchanged(p)) {
+    unlock_wclock(c0, /*published=*/false);
+    backout(htm::AbortCause::kExplicit);
+  }
+  if (!validate_at(th, commit_ts, locks)) {
+    stats_.cc_validation_aborts += 1;
+    if (tr != nullptr) {
+      tr->emit(trace::EventType::kCcValidate, 0, p.rset.size());
+    }
+    unlock_wclock(c0, /*published=*/false);
+    backout(htm::AbortCause::kConflict);
+  }
+  if (tr != nullptr) {
+    tr->emit(trace::EventType::kCcValidate, 1, p.rset.size());
+  }
+  // Publish: write back, install (wts = rts = commit_ts, unlocked), release
+  // wclock_ — the serialization point.
+  for (const WriteEntry& e : p.wset) mem::plain_store(e.addr, e.value);
+  const std::uint64_t installed = make_word(commit_ts, commit_ts);
+  for (const std::uint32_t slot : locks) {
+    mem::plain_store(slot_word(slot), installed);
+  }
+  unlock_wclock(c0, /*published=*/true);
+}
+
+}  // namespace rtle::cc

@@ -1,0 +1,81 @@
+// TicToc: timestamp-embedded validation with lazy timestamp extension
+// (Yu et al., SIGMOD'16). Each record carries a write timestamp (wts, the
+// commit ts of its last writer) and a read timestamp (rts = wts + delta,
+// the latest commit ts any reader has been granted on this version). A
+// commit computes its timestamp from its footprint alone — no global clock
+// on the read path — as max(rts(write set) + 1, wts(read set)), then makes
+// every read valid *at* that timestamp: unchanged wts, and rts >= commit_ts
+// or an rts extension CASed into the slot (cc_ts_extensions / kCcExtend).
+//
+// Slot word layout: bit 63 = commit lock, bits 62..20 = wts, bits 19..0 =
+// delta (saturating; an extension that overflows delta slides wts forward,
+// which conservatively aborts concurrent readers of the old wts).
+//
+// The shard write-back seqlock (CcMethod::wclock_) still brackets
+// validate + write-back and read-only linearization: TicToc's timestamps
+// order commits logically, but the sequential-replay oracle demands a
+// real-time serialization point per commit, and anti-dependencies allowed
+// by pure TicToc can place a logically-earlier commit after a
+// logically-later one in wall-clock order. The per-record timestamps keep
+// their measured role — conflict detection without any shared-clock traffic
+// on reads, the difference this bench quantifies against NOrec.
+#pragma once
+
+#include "cc/protocol.h"
+
+namespace rtle::cc {
+
+class TicTocMethod : public CcMethod {
+ public:
+  explicit TicTocMethod(std::uint32_t slots = kDefaultSlots);
+
+  std::string name() const override { return "TicToc"; }
+
+  static constexpr std::uint32_t kDefaultSlots = 4096;
+
+ protected:
+  void commit_attempt(runtime::ThreadCtx& th) override;
+  std::uint64_t read_impl(runtime::ThreadCtx& th,
+                          const std::uint64_t* addr) override;
+  void write_impl(runtime::ThreadCtx& th, std::uint64_t* addr,
+                  std::uint64_t value) override;
+
+ private:
+  static constexpr std::uint64_t kLockBit = std::uint64_t{1} << 63;
+  static constexpr std::uint64_t kDeltaBits = 20;
+  static constexpr std::uint64_t kDeltaMax = (std::uint64_t{1} << kDeltaBits) - 1;
+
+  static bool locked(std::uint64_t w) { return (w & kLockBit) != 0; }
+  static std::uint64_t wts_of(std::uint64_t w) {
+    return (w & ~kLockBit) >> kDeltaBits;
+  }
+  static std::uint64_t rts_of(std::uint64_t w) {
+    return wts_of(w) + (w & kDeltaMax);
+  }
+  /// Encode (wts, rts). Sliding wts forward on delta overflow keeps rts
+  /// exact — that is the safety-critical field (a writer picks rts + 1).
+  static std::uint64_t make_word(std::uint64_t wts, std::uint64_t rts) {
+    if (rts - wts > kDeltaMax) wts = rts - kDeltaMax;
+    return (wts << kDeltaBits) | (rts - wts);
+  }
+
+  /// Validate every read entry at `commit_ts`, extending rts where needed;
+  /// updates rset words in place so a re-validation pass stays consistent.
+  /// `locks` = sorted slots this commit holds. Returns false on failure.
+  bool validate_at(runtime::ThreadCtx& th, std::uint64_t commit_ts,
+                   const std::vector<std::uint32_t>& locks);
+
+  void collect_lock_slots(PerThread& p, std::vector<std::uint32_t>& out);
+
+  std::vector<std::vector<std::uint32_t>> lock_scratch_;
+
+  void prepare_scratch(std::uint32_t nthreads);
+
+ public:
+  void prepare(std::uint32_t nthreads) override {
+    CcMethod::prepare(nthreads);
+    prepare_scratch(nthreads);
+  }
+};
+
+}  // namespace rtle::cc

@@ -1,0 +1,135 @@
+#include "cc/waitdie.h"
+
+#include "check/session.h"
+#include "mem/shim.h"
+#include "sim/env.h"
+#include "trace/session.h"
+
+namespace rtle::cc {
+
+using runtime::ThreadCtx;
+
+WaitDieMethod::WaitDieMethod(std::uint32_t slots) : CcMethod(slots) {}
+
+WaitDieMethod::~WaitDieMethod() {
+  check::deregister_meta(&ts_clock_, sizeof(ts_clock_));
+}
+
+void WaitDieMethod::prepare(std::uint32_t nthreads) {
+  CcMethod::prepare(nthreads);
+  if (check::CheckSession* chk = check::active_check()) {
+    chk->register_meta(&ts_clock_, sizeof(ts_clock_));
+  }
+}
+
+void WaitDieMethod::begin_attempt(ThreadCtx& th) {
+  CcMethod::begin_attempt(th);
+  PerThread& p = per(th);
+  // Seniority is per transaction, not per attempt: a retry keeps its
+  // timestamp, so a transaction only ever gets relatively older and its
+  // next attempt dies less easily (the classic no-livelock argument).
+  if (p.ts == 0) p.ts = mem::plain_faa(&ts_clock_, 1) + 1;
+}
+
+void WaitDieMethod::lock_slot(ThreadCtx& th, std::uint32_t slot) {
+  PerThread& p = per(th);
+  mem::compute(1 + p.lockset.size() / 4);
+  for (const std::uint32_t held : p.lockset) {
+    if (held == slot) return;
+  }
+  const auto& cost = cur_mem().cost();
+  check::CheckSession* chk = check::active_check();
+  bool reported = false;
+  std::uint64_t* w = slot_word(slot);
+  for (;;) {
+    const std::uint64_t h = mem::plain_load(w);
+    if (h == 0) {
+      if (mem::plain_cas(w, 0, p.ts)) {
+        p.lockset.push_back(slot);
+        return;
+      }
+      continue;
+    }
+    // Wait-die: the younger requester dies, the older waits. The seeded
+    // knob inverts the decision; the checker sees every decision and
+    // reports inversions by name.
+    const bool requester_dies = seed_wound_older_ ? p.ts < h : p.ts > h;
+    if (chk != nullptr && !reported) {
+      chk->on_cc_wound(this, p.ts, h, requester_dies);
+      reported = true;
+    }
+    if (requester_dies) {
+      stats_.cc_wounds += 1;
+      if (trace::TraceSession* tr = trace::active_trace()) {
+        tr->emit(trace::EventType::kCcWound, 1, h);
+      }
+      throw CcAbort{htm::AbortCause::kLockBusy};
+    }
+    mem::compute(cost.spin_iter);
+  }
+}
+
+std::uint64_t WaitDieMethod::read_impl(ThreadCtx& th,
+                                       const std::uint64_t* addr) {
+  PerThread& p = per(th);
+  std::uint64_t own = 0;
+  if (wset_lookup(p, addr, own)) return own;
+  lock_slot(th, slot_of(addr));
+  const std::uint64_t v = mem::plain_load(addr);
+  // Lock-protected against CC peers, but a cross-shard section writes raw
+  // past the slots — detect one immediately (also bounds a traversal that
+  // a cross commit made inconsistent).
+  if (!cross_unchanged(p)) throw CcAbort{htm::AbortCause::kExplicit};
+  return v;
+}
+
+void WaitDieMethod::write_impl(ThreadCtx& th, std::uint64_t* addr,
+                               std::uint64_t value) {
+  lock_slot(th, slot_of(addr));
+  wset_upsert(per(th), addr, value);
+}
+
+void WaitDieMethod::commit_attempt(ThreadCtx& th) {
+  PerThread& p = per(th);
+  check::CheckSession* chk = check::active_check();
+  if (p.wset.empty()) {
+    // Reads were lock-protected; only a cross-shard section can have
+    // invalidated them. The check's load is the serialization point.
+    if (!cross_unchanged(p)) throw CcAbort{htm::AbortCause::kExplicit};
+    if (chk != nullptr) chk->on_stm_snapshot();
+    return;
+  }
+  // Write-back under the shard write-back seqlock so a cross-shard section
+  // never observes a torn transaction (it drains wclock_ before running).
+  const std::uint64_t c0 = lock_wclock();
+  if (!cross_unchanged(p)) {
+    unlock_wclock(c0, /*published=*/false);
+    throw CcAbort{htm::AbortCause::kExplicit};
+  }
+  for (const WriteEntry& e : p.wset) mem::plain_store(e.addr, e.value);
+  unlock_wclock(c0, /*published=*/true);
+}
+
+void WaitDieMethod::release_locks(PerThread& p) {
+  for (const std::uint32_t slot : p.lockset) {
+    mem::plain_store(slot_word(slot), 0);
+  }
+  p.lockset.clear();
+}
+
+void WaitDieMethod::abort_cleanup(ThreadCtx& th) {
+  // A death releases everything it held (its redo log was never applied);
+  // the kept timestamp makes the retry strictly harder to kill.
+  release_locks(per(th));
+}
+
+void WaitDieMethod::post_commit(ThreadCtx& th) {
+  // Shrink phase strictly after the serialization point (the commit hook):
+  // releasing earlier would let a competitor read our writes, commit, and
+  // serialize *before* us.
+  PerThread& p = per(th);
+  release_locks(p);
+  p.ts = 0;
+}
+
+}  // namespace rtle::cc

@@ -1,0 +1,65 @@
+// Wait-die two-phase locking: pessimistic per-record exclusive locks with
+// timestamp-ordered deadlock avoidance (Rosenkrantz et al., TODS'78). Every
+// transaction draws a monotone timestamp at its first attempt and keeps it
+// across retries — a transaction only gets older, so its locks eventually
+// outrank every contender and it runs to completion (no livelock). On a
+// lock conflict the *older* transaction (smaller ts) waits, the *younger*
+// dies: wait-for edges only ever point young -> old, so no cycle — and no
+// deadlock — can form. Deaths release everything, count as cc_wounds, and
+// retry with the inherited seniority.
+//
+// Slot word = holder timestamp (0 = free). Growing phase: barriers acquire
+// the record's slot on first touch (reads are lock-protected, so no read
+// validation exists — the pessimistic end of the PAPERS.md "cost of
+// concurrency" trade-off). Writes still go to a redo log: a death must
+// leak nothing. Shrinking happens strictly after the commit's
+// serialization point (CcMethod::post_commit), the 2PL rule the oracle
+// depends on.
+//
+// Seeded bug knob `seed_wound_older`: inverts the decision — the older
+// transaction dies, the younger keeps the lock. Seniority then guarantees
+// nothing; the checker's on_cc_wound invariant reports the inversion by
+// name (kCcWoundOrder) in both shapes it takes (an older death, a younger
+// wait).
+#pragma once
+
+#include "cc/protocol.h"
+
+namespace rtle::cc {
+
+class WaitDieMethod : public CcMethod {
+ public:
+  explicit WaitDieMethod(std::uint32_t slots = kDefaultSlots);
+  ~WaitDieMethod() override;
+
+  std::string name() const override { return "WaitDie"; }
+
+  void prepare(std::uint32_t nthreads) override;
+
+  /// Seeded bug: wound the older transaction instead of the younger.
+  void seed_wound_older(bool on) { seed_wound_older_ = on; }
+
+  static constexpr std::uint32_t kDefaultSlots = 4096;
+
+ protected:
+  void begin_attempt(runtime::ThreadCtx& th) override;
+  void commit_attempt(runtime::ThreadCtx& th) override;
+  void abort_cleanup(runtime::ThreadCtx& th) override;
+  void post_commit(runtime::ThreadCtx& th) override;
+  std::uint64_t read_impl(runtime::ThreadCtx& th,
+                          const std::uint64_t* addr) override;
+  void write_impl(runtime::ThreadCtx& th, std::uint64_t* addr,
+                  std::uint64_t value) override;
+
+ private:
+  /// Acquire `slot` for this transaction (idempotent). Throws CcAbort
+  /// (kLockBusy) when the wait-die rule says die.
+  void lock_slot(runtime::ThreadCtx& th, std::uint32_t slot);
+  void release_locks(PerThread& p);
+
+  bool seed_wound_older_ = false;
+  /// Transaction timestamps (seniority). FAA'd once per transaction.
+  alignas(64) std::uint64_t ts_clock_ = 0;
+};
+
+}  // namespace rtle::cc

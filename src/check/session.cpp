@@ -49,6 +49,8 @@ const char* to_string(ReportKind k) {
     case ReportKind::kSlowMissedAbort: return "slow-missed-abort";
     case ReportKind::kWriteFlagMissing: return "write-flag-missing";
     case ReportKind::kLockOrder: return "lock-order";
+    case ReportKind::kCcValidation: return "cc-validation";
+    case ReportKind::kCcWoundOrder: return "cc-wound-order";
   }
   return "?";
 }
@@ -529,6 +531,41 @@ void CheckSession::on_fg_slow_check(const void* method, std::uint64_t stamp,
                std::to_string(snapshot) +
                ") — FG-TLE \xc2\xa7""4.1 requires self-abort on a "
                "conflicting orec");
+  }
+}
+
+void CheckSession::on_cc_validate(const void* method, std::uint64_t observed,
+                                  std::uint64_t current, bool will_abort) {
+  const std::uint32_t f = self();
+  if (f >= kMaxFibers) return;
+  (void)method;
+  if (current != observed && !will_abort) {
+    report(ReportKind::kCcValidation, f, 0, nullptr, nullptr,
+           "cc commit proceeding past a stale read (observed version " +
+               std::to_string(observed) + ", current " +
+               std::to_string(current) +
+               ") — skipping anti-dependency validation admits write "
+               "skew");
+  }
+}
+
+void CheckSession::on_cc_wound(const void* method, std::uint64_t requester_ts,
+                               std::uint64_t holder_ts, bool requester_dies) {
+  const std::uint32_t f = self();
+  if (f >= kMaxFibers) return;
+  (void)method;
+  if (requester_dies && requester_ts < holder_ts) {
+    report(ReportKind::kCcWoundOrder, f, 0, nullptr, nullptr,
+           "wait-die wounded the older transaction (requester ts " +
+               std::to_string(requester_ts) + " < holder ts " +
+               std::to_string(holder_ts) +
+               ") — seniority never wins, so the system can livelock");
+  } else if (!requester_dies && requester_ts > holder_ts) {
+    report(ReportKind::kCcWoundOrder, f, 0, nullptr, nullptr,
+           "wait-die let the younger transaction wait (requester ts " +
+               std::to_string(requester_ts) + " > holder ts " +
+               std::to_string(holder_ts) +
+               ") — young-on-old wait edges can close a deadlock cycle");
   }
 }
 

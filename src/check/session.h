@@ -56,6 +56,8 @@ enum class ReportKind : std::uint8_t {
   kSlowMissedAbort,  // FG-TLE §4.1: slow path proceeded past an owned orec
   kWriteFlagMissing, // RW-TLE §3: holder wrote before setting write_flag
   kLockOrder,        // oltp: cross-shard guards acquired out of order
+  kCcValidation,     // cc: commit proceeded past a stale read version
+  kCcWoundOrder,     // cc: wait-die wound/wait decision inverted by age
 };
 const char* to_string(ReportKind k);
 
@@ -163,6 +165,21 @@ class CheckSession {
   /// `will_abort`. Checks the §4.1 self-abort rule.
   void on_fg_slow_check(const void* method, std::uint64_t stamp,
                         std::uint64_t snapshot, bool will_abort);
+
+  // --- transaction-level concurrency control (src/cc) ------------------
+  /// A commit-time validation pass examined one read entry: it observed
+  /// version `observed` at read time, sees `current` now, and the protocol
+  /// decided `will_abort`. Proceeding past a moved version admits write
+  /// skew (the Silo-OCC seeded bug) — reported as kCcValidation.
+  void on_cc_validate(const void* method, std::uint64_t observed,
+                      std::uint64_t current, bool will_abort);
+  /// A wait-die lock conflict was decided: requester (ts `requester_ts`)
+  /// against holder (ts `holder_ts`), and the requester dies iff
+  /// `requester_dies`. Wait-die admits exactly young-waits-on-old edges;
+  /// either inversion (older dies, or younger waits) is reported as
+  /// kCcWoundOrder.
+  void on_cc_wound(const void* method, std::uint64_t requester_ts,
+                   std::uint64_t holder_ts, bool requester_dies);
   /// Epoch increment #2 (just before release): checks +1/parity and
   /// assigns the holder's serialization point (slow-path transactions may
   /// still commit between here and the release store).

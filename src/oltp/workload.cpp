@@ -41,6 +41,9 @@ void accumulate(runtime::MethodStats& into, const runtime::MethodStats& s) {
   into.admit_sheds += s.admit_sheds;
   into.admit_defers += s.admit_defers;
   into.method_switches += s.method_switches;
+  into.cc_validation_aborts += s.cc_validation_aborts;
+  into.cc_wounds += s.cc_wounds;
+  into.cc_ts_extensions += s.cc_ts_extensions;
   into.latency_samples += s.latency_samples;
   into.trace_drops += s.trace_drops;
   into.lock_acquisitions += s.lock_acquisitions;
@@ -323,6 +326,11 @@ WorkloadResult run_workload(const WorkloadConfig& cfg,
                       (xcur.aborts - cross_win_base.aborts) -
                       ws.aborts_conflict - ws.aborts_capacity -
                       ws.aborts_lock_busy;
+    // CC attribution overlay (see WindowSample::aborts_cc): these aborts
+    // are already inside the cause buckets above.
+    ws.aborts_cc =
+        (cur.cc_validation_aborts - win_base.cc_validation_aborts) +
+        (cur.cc_wounds - win_base.cc_wounds);
     ws.commit_lock = (cur.commit_lock - win_base.commit_lock) +
                      (xcur.lock_commits - cross_win_base.lock_commits);
     win_base = cur;

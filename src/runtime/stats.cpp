@@ -55,6 +55,14 @@ std::string MethodStats::summary() const {
                   static_cast<unsigned long long>(method_switches));
     out += buf;
   }
+  if (cc_validation_aborts != 0 || cc_wounds != 0 || cc_ts_extensions != 0) {
+    std::snprintf(buf, sizeof(buf),
+                  " cc(val_aborts/wounds/extends)=%llu/%llu/%llu",
+                  static_cast<unsigned long long>(cc_validation_aborts),
+                  static_cast<unsigned long long>(cc_wounds),
+                  static_cast<unsigned long long>(cc_ts_extensions));
+    out += buf;
+  }
   if (latency_samples != 0 || trace_drops != 0) {
     std::snprintf(buf, sizeof(buf), " trace(latency_samples/drops)=%llu/%llu",
                   static_cast<unsigned long long>(latency_samples),

@@ -61,6 +61,18 @@ struct MethodStats {
   std::uint64_t admit_defers = 0;
   std::uint64_t method_switches = 0;
 
+  // Transaction-level concurrency control (src/cc). `cc_validation_aborts`
+  // counts commit-time read-set validation failures (Silo-OCC version
+  // mismatches, TicToc wts changes / inextensible rts) — a strict subset of
+  // the kConflict aborts above; `cc_wounds` counts wait-die deaths (the
+  // younger transaction killed on a lock conflict, a subset of kLockBusy);
+  // `cc_ts_extensions` counts TicToc lazy rts extensions CASed into record
+  // slots (successful, not attempted). Surfaced by --stats and
+  // tools/trace_stats.
+  std::uint64_t cc_validation_aborts = 0;
+  std::uint64_t cc_wounds = 0;
+  std::uint64_t cc_ts_extensions = 0;
+
   // Keeps sizeof(MethodStats) growth over the seed layout at a multiple of
   // 64 bytes (abort_cause grew by one slot, health counters added three,
   // the two trace counters above were carved out of this block):
@@ -68,10 +80,11 @@ struct MethodStats {
   // cache-line identity derives from real addresses (mem::line_of), so an
   // odd-sized growth would shift the lock word and method fields onto
   // different line boundaries and perturb seed-identical runs. Slot
-  // budget: the three admit counters above overflowed the original four
-  // reserved slots, so this block grew by a whole 64-byte line (8 slots)
-  // at once, leaving 7 free; when those run out, grow by another line.
-  std::uint64_t reserved_[7] = {};
+  // budget: the three admit counters overflowed the original four reserved
+  // slots, so this block grew by a whole 64-byte line (8 slots) at once;
+  // the three CC counters above then took the free count from 7 down to 4.
+  // When those run out, grow by another line.
+  std::uint64_t reserved_[4] = {};
 
   // Lock accounting (Fig 6 "Lock" pane, Fig 7).
   std::uint64_t lock_acquisitions = 0;

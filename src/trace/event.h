@@ -83,10 +83,19 @@ enum class EventType : std::uint16_t {
   kAdmitState,
   kAdmitProbe,
   kAdmitSwitch,
+
+  // Transaction-level concurrency control (src/cc). kCcValidate records one
+  // commit-time read-set validation pass (`flags` = 1 pass / 0 fail,
+  // `arg` = read-set size). kCcWound records a wait-die death (`arg` = the
+  // surviving holder's timestamp). kCcExtend records a TicToc lazy rts
+  // extension (`arg` = the extended slot index).
+  kCcValidate,
+  kCcWound,
+  kCcExtend,
 };
 
 inline constexpr std::size_t kNumEventTypes =
-    static_cast<std::size_t>(EventType::kAdmitSwitch) + 1;
+    static_cast<std::size_t>(EventType::kCcExtend) + 1;
 
 const char* to_string(EventType t);
 

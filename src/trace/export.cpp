@@ -212,6 +212,17 @@ void export_thread(EventWriter& w, std::size_t tid, const EventRing& ring) {
                   u64_arg("shard", ev.arg) + "," +
                       u64_arg("regime", ev.flags));
         break;
+      case EventType::kCcValidate:
+        w.instant(tid, "cc-validate", ev.ts,
+                  u64_arg("rset", ev.arg) + "," +
+                      u64_arg("pass", ev.flags));
+        break;
+      case EventType::kCcWound:
+        w.instant(tid, "cc-wound", ev.ts, u64_arg("holder", ev.arg));
+        break;
+      case EventType::kCcExtend:
+        w.instant(tid, "cc-extend", ev.ts, u64_arg("slot", ev.arg));
+        break;
       default:
         w.instant(tid, to_string(static_cast<EventType>(ev.type)), ev.ts,
                   "");

@@ -38,6 +38,9 @@ const char* to_string(EventType t) {
     case EventType::kAdmitState: return "admit-state";
     case EventType::kAdmitProbe: return "admit-probe";
     case EventType::kAdmitSwitch: return "admit-switch";
+    case EventType::kCcValidate: return "cc-validate";
+    case EventType::kCcWound: return "cc-wound";
+    case EventType::kCcExtend: return "cc-extend";
   }
   return "?";
 }

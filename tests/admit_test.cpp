@@ -343,6 +343,31 @@ TEST(AdmitRegime, CooldownSuppressesBackToBackSwitches) {
   EXPECT_TRUE(v.switch_method);  // cooldown expired, streak satisfied
 }
 
+TEST(AdmitRegime, CcProvenConflictsFlipAtALowerRate) {
+  // 15 conflict-cause aborts over 115 attempts is well under the all-cause
+  // quarter-of-attempts rule — but 14 of them are CC-validated overlaps
+  // (the protocol proved the intersection at commit time), and that
+  // majority flips the window to kConflict on the CC overlay rule.
+  Controller c(slo_config());
+  std::uint64_t now = 0;
+  c.start(now);
+  WindowSample s;
+  s.ops = 100;
+  s.aborts_conflict = 15;
+  s.aborts_cc = 14;
+  for (int i = 0; i < 2; ++i) run_window(c, now, 50, kSlo / 10, s);
+  EXPECT_EQ(c.regime(), Regime::kConflict);
+
+  // The same abort stream with the CC attribution in the minority stays
+  // kLight: 13% raw speculative conflicts are not switch-worthy.
+  Controller c2(slo_config());
+  now = 0;
+  c2.start(now);
+  s.aborts_cc = 5;
+  for (int i = 0; i < 3; ++i) run_window(c2, now, 50, kSlo / 10, s);
+  EXPECT_EQ(c2.regime(), Regime::kLight);
+}
+
 // ---------------------------------------------------------------------------
 // Runtime method switching under the serializability oracle.
 
@@ -469,6 +494,30 @@ TEST(AdmitWorkload, MethodSwitchingFiresUnderTheCheckerEndToEnd) {
   bool saw_switch_in_timeline = false;
   for (const auto& w : r.timeline) saw_switch_in_timeline |= w.switched;
   EXPECT_TRUE(saw_switch_in_timeline);
+}
+
+TEST(AdmitWorkload, ElisionSwapsToCcProtocolUnderConflictRegime) {
+  // The regime detector drives the elision↔CC seam end-to-end: a
+  // conflict-hostile flash (hot zipf, write-heavy transfers) trips the
+  // detector, the policy's conflict target is a CC protocol, and the store
+  // swaps every shard's guard from TLE to Silo-OCC mid-run — all under the
+  // armed checker, which must stay silent across the transition.
+  CheckSession chk({/*max_reports=*/16});
+  oltp::WorkloadConfig cfg = flash_workload();
+  cfg.read_pct = 10;
+  cfg.multi_pct = 40;
+  cfg.zipf_theta = 1.2;
+  cfg.tenants = {{3.0, -1.0, -1, -1}, {1.0, 1.2, 0, 60}};
+  cfg.policy.switch_methods = true;
+  cfg.policy.method_light = bench::method_by_name("TLE");
+  cfg.policy.method_conflict = bench::method_by_name("Silo-OCC");
+  const oltp::WorkloadResult r =
+      run_workload(cfg, bench::method_by_name("TLE"));
+  EXPECT_GT(r.method_switches, 0u);
+  bool saw_cc = false;
+  for (const auto& w : r.timeline) saw_cc |= w.method == "Silo-OCC";
+  EXPECT_TRUE(saw_cc);
+  EXPECT_EQ(chk.report_count(), 0u) << chk.summary();
 }
 
 TEST(AdmitWorkload, PolicyRunsAreDeterministic) {

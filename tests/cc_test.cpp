@@ -1,0 +1,499 @@
+// rtle::cc — transaction-level concurrency-control protocols.
+//
+// Coverage:
+//   * single-shard store operations have plain map semantics under every CC
+//     protocol (mirror model, including erases);
+//   * the bank-sum invariant holds across multi-shard transfers on both the
+//     HTM cross path and the forced pessimistic fallback;
+//   * the serializability oracle replays clean for all three protocols
+//     (mixed single-/multi-shard, zero reports, distinct serials);
+//   * seeded bugs are caught by name: Silo-OCC skipping anti-dependency
+//     validation (kCcValidation / lost updates), wait-die wounding the
+//     older transaction (kCcWoundOrder);
+//   * TicToc actually exercises lazy rts extension (cc_ts_extensions > 0);
+//   * runtime switching between an elision method and CC protocols stays
+//     oracle-clean (the admit seam);
+//   * determinism: identical configs produce identical results.
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_util/setbench.h"
+#include "cc/silo.h"
+#include "cc/tictoc.h"
+#include "cc/waitdie.h"
+#include "check/session.h"
+#include "oltp/store.h"
+#include "oltp/workload.h"
+#include "sim/env.h"
+#include "sim/rng.h"
+#include "test_util.h"
+
+namespace rtle {
+namespace {
+
+using check::CheckSession;
+using check::ReportKind;
+using oltp::Store;
+using oltp::StoreConfig;
+using runtime::ThreadCtx;
+using runtime::TxContext;
+using sim::MachineConfig;
+
+const char* kCcMethods[] = {"Silo-OCC", "TicToc", "WaitDie"};
+
+bool has_kind(const CheckSession& chk, ReportKind k) {
+  for (const auto& r : chk.reports()) {
+    if (r.kind == k) return true;
+  }
+  return false;
+}
+
+std::string detail_of(const CheckSession& chk, ReportKind k) {
+  for (const auto& r : chk.reports()) {
+    if (r.kind == k) return r.detail;
+  }
+  return "";
+}
+
+// ---------------------------------------------------------------------------
+// Single-shard semantics: the store is an ordinary map under CC protocols.
+
+TEST(CcStore, SingleShardMatchesMapSemantics) {
+  for (const char* method : kCcMethods) {
+    SimScope sim(MachineConfig::corei7());
+    StoreConfig sc;
+    sc.shards = 1;
+    sc.buckets_per_shard = 64;
+    sc.max_nodes_per_shard = 512;
+    sc.max_threads = 1;
+    Store store(sc, bench::method_by_name(method));
+    std::map<std::uint64_t, std::uint64_t> model;
+    ThreadCtx th(0, 99);
+    sim.sched.spawn(
+        [&] {
+          sim::Rng rng(7);
+          for (std::uint64_t i = 0; i < 1200; ++i) {
+            const std::uint64_t key = rng.below(200);
+            switch (rng.below(3)) {
+              case 0:
+                store.put(th, key, i);
+                model[key] = i;
+                break;
+              case 1: {
+                std::uint64_t out = 0;
+                const bool found = store.get(th, key, out);
+                EXPECT_EQ(found, model.count(key) != 0) << method;
+                if (found) {
+                  EXPECT_EQ(out, model[key]) << method;
+                }
+                break;
+              }
+              default:
+                EXPECT_EQ(store.erase(th, key), model.erase(key) != 0)
+                    << method;
+                break;
+            }
+          }
+        },
+        0);
+    sim.sched.run();
+    std::size_t live = 0;
+    store.map(0).for_each_meta([&](std::uint64_t k, std::uint64_t v) {
+      ASSERT_EQ(model.count(k), 1u) << method;
+      EXPECT_EQ(model[k], v) << method;
+      ++live;
+    });
+    EXPECT_EQ(live, model.size()) << method;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Multi-shard transfers: bank-sum invariant on both cross paths.
+
+constexpr std::uint64_t kBankKeys = 192;
+constexpr std::uint64_t kBankInit = 1000;
+
+void run_bank(const std::string& method, int cross_trials,
+              std::uint32_t threads, std::uint64_t ops_per_thread) {
+  SimScope sim(MachineConfig::corei7());
+  StoreConfig sc;
+  sc.shards = 8;
+  sc.buckets_per_shard = 64;
+  sc.max_nodes_per_shard = kBankKeys + 64 * threads;
+  sc.max_threads = threads;
+  sc.cross_trials = cross_trials;
+  Store store(sc, bench::method_by_name(method));
+  for (std::uint64_t k = 0; k < kBankKeys; ++k) {
+    store.prefill_meta(k, kBankInit);
+  }
+  test::run_workers(sim, threads, ops_per_thread, 31,
+                    [&](ThreadCtx& th, std::uint64_t) {
+                      std::uint64_t keys[3] = {th.rng.below(kBankKeys),
+                                               th.rng.below(kBankKeys),
+                                               th.rng.below(kBankKeys)};
+                      auto body = [&](Store::MultiTx& tx) {
+                        const std::uint64_t v0 = tx.read(keys[0]);
+                        tx.write(keys[0], v0 - 1);
+                        tx.read(keys[1]);
+                        const std::uint64_t v2 = tx.read(keys[2]);
+                        tx.write(keys[2], v2 + 1);
+                      };
+                      store.multi(th, keys, 3, body);
+                    });
+  EXPECT_EQ(store.sum_meta(), kBankKeys * kBankInit) << method;
+  EXPECT_EQ(store.cross_stats().commits, threads * ops_per_thread) << method;
+  if (cross_trials == 0) {
+    EXPECT_EQ(store.cross_stats().lock_commits, threads * ops_per_thread)
+        << method;
+  }
+}
+
+TEST(CcMultiShard, BankInvariantHoldsHtmPath) {
+  for (const char* m : kCcMethods) run_bank(m, 5, 4, 120);
+}
+
+TEST(CcMultiShard, BankInvariantHoldsLockFallback) {
+  for (const char* m : kCcMethods) run_bank(m, 0, 4, 120);
+}
+
+// Single-shard contention between CC transactions themselves (no cross
+// path): concurrent increments must not lose updates.
+TEST(CcStore, ContendedIncrementsLoseNothing) {
+  for (const char* method : kCcMethods) {
+    SimScope sim(MachineConfig::corei7());
+    StoreConfig sc;
+    sc.shards = 2;
+    sc.buckets_per_shard = 64;
+    sc.max_nodes_per_shard = 256;
+    sc.max_threads = 4;
+    Store store(sc, bench::method_by_name(method));
+    constexpr std::uint64_t kHotKeys = 4;
+    for (std::uint64_t k = 0; k < kHotKeys; ++k) store.prefill_meta(k, 0);
+    constexpr std::uint64_t kOps = 150;
+    test::run_workers(sim, 4, kOps, 19, [&](ThreadCtx& th, std::uint64_t) {
+      const std::uint64_t key = th.rng.below(kHotKeys);
+      std::uint64_t v = 0;
+      store.get(th, key, v);
+      // Not atomic as two store ops — do it as one transaction via multi
+      // on a single key (still a CC transaction on that shard's method).
+      std::uint64_t keys[1] = {key};
+      store.multi(th, keys, 1, [&](Store::MultiTx& tx) {
+        tx.write(key, tx.read(key) + 1);
+      });
+    });
+    EXPECT_EQ(store.sum_meta(), 4 * kOps) << method;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Serializability oracle: zero reports + sequential replay of the serials.
+
+struct OpRec {
+  std::uint64_t serial = 0;
+  bool is_multi = false;
+  std::uint64_t k0 = 0, k1 = 0;
+  std::uint64_t r0 = 0, r1 = 0;
+};
+
+void run_oracle(const std::string& method) {
+  CheckSession chk({/*max_reports=*/16});
+  SimScope sim(MachineConfig::corei7());
+  constexpr std::uint64_t kKeys = 96;
+  StoreConfig sc;
+  sc.shards = 4;
+  sc.buckets_per_shard = 64;
+  sc.max_nodes_per_shard = kKeys + 64 * 3;
+  sc.max_threads = 3;
+  sc.cross_trials = 2;  // exercise the HTM path and the lock fallback
+  Store store(sc, bench::method_by_name(method));
+  for (std::uint64_t k = 0; k < kKeys; ++k) store.prefill_meta(k, kBankInit);
+  std::vector<OpRec> recs;
+  test::run_workers(sim, 3, 70, 17, [&](ThreadCtx& th, std::uint64_t) {
+    OpRec rec;
+    if (th.rng.pct(60)) {
+      rec.is_multi = true;
+      rec.k0 = th.rng.below(kKeys);
+      rec.k1 = th.rng.below(kKeys);
+      std::uint64_t keys[2] = {rec.k0, rec.k1};
+      auto body = [&](Store::MultiTx& tx) {
+        rec.r0 = tx.read(rec.k0);
+        tx.write(rec.k0, rec.r0 - 1);
+        rec.r1 = tx.read(rec.k1);
+        tx.write(rec.k1, rec.r1 + 1);
+      };
+      store.multi(th, keys, 2, body);
+    } else {
+      rec.k0 = th.rng.below(kKeys);
+      std::uint64_t out = 0;
+      EXPECT_TRUE(store.get(th, rec.k0, out));
+      rec.r0 = out;
+    }
+    rec.serial = chk.last_serial(th.tid);
+    recs.push_back(rec);
+  });
+  EXPECT_EQ(chk.report_count(), 0u) << method << "\n" << chk.summary();
+
+  std::sort(recs.begin(), recs.end(),
+            [](const OpRec& a, const OpRec& b) { return a.serial < b.serial; });
+  for (std::size_t i = 1; i < recs.size(); ++i) {
+    ASSERT_NE(recs[i].serial, recs[i - 1].serial) << method;
+  }
+  std::map<std::uint64_t, std::uint64_t> model;
+  for (std::uint64_t k = 0; k < kKeys; ++k) model[k] = kBankInit;
+  for (const OpRec& rec : recs) {
+    if (rec.is_multi) {
+      ASSERT_EQ(rec.r0, model[rec.k0]) << method << " serial " << rec.serial;
+      model[rec.k0] = rec.r0 - 1;
+      ASSERT_EQ(rec.r1, model[rec.k1]) << method << " serial " << rec.serial;
+      model[rec.k1] = rec.r1 + 1;
+    } else {
+      ASSERT_EQ(rec.r0, model[rec.k0]) << method << " serial " << rec.serial;
+    }
+  }
+}
+
+TEST(CcSerializability, OracleReplaysCleanForAllCcProtocols) {
+  for (const char* m : kCcMethods) run_oracle(m);
+}
+
+// ---------------------------------------------------------------------------
+// Seeded bugs: must be detected and named.
+
+TEST(CcNegative, SiloSkippedValidationIsReported) {
+  CheckSession chk({/*max_reports=*/32});
+  SimScope sim(MachineConfig::corei7());
+  cc::SiloOccMethod m(64);
+  m.seed_skip_validation(true);
+  m.prepare(3);
+  alignas(64) static std::uint64_t cell;
+  cell = 0;
+  test::run_workers(sim, 3, 60, 11, [&](ThreadCtx& th, std::uint64_t) {
+    auto cs = [&](TxContext& ctx) {
+      const std::uint64_t v = ctx.load(&cell);
+      ctx.compute(300);  // widen the read→commit window so versions move
+      ctx.store(&cell, v + 1);
+    };
+    m.execute(th, cs);
+  });
+  ASSERT_GT(chk.report_count(), 0u);
+  EXPECT_TRUE(has_kind(chk, ReportKind::kCcValidation)) << chk.summary();
+  EXPECT_NE(detail_of(chk, ReportKind::kCcValidation).find("write "
+                                                           "skew"),
+            std::string::npos);
+  // The admitted write skew is a real lost update: with validation skipped,
+  // concurrent increments overwrite each other.
+  EXPECT_LT(cell, 3u * 60u);
+  // The correct protocol would have aborted these commits.
+  EXPECT_EQ(m.stats().cc_validation_aborts, 0u);
+}
+
+TEST(CcNegative, WaitDieWoundingTheOlderIsReported) {
+  CheckSession chk({/*max_reports=*/32});
+  SimScope sim(MachineConfig::corei7());
+  cc::WaitDieMethod m(64);
+  m.seed_wound_older(true);
+  m.prepare(3);
+  alignas(64) static std::uint64_t cell;
+  cell = 0;
+  test::run_workers(sim, 3, 60, 13, [&](ThreadCtx& th, std::uint64_t) {
+    auto cs = [&](TxContext& ctx) {
+      const std::uint64_t v = ctx.load(&cell);
+      ctx.compute(300);  // hold the record lock long enough to conflict
+      ctx.store(&cell, v + 1);
+    };
+    m.execute(th, cs);
+  });
+  ASSERT_GT(chk.report_count(), 0u);
+  EXPECT_TRUE(has_kind(chk, ReportKind::kCcWoundOrder)) << chk.summary();
+  EXPECT_NE(detail_of(chk, ReportKind::kCcWoundOrder).find("older"),
+            std::string::npos);
+  // 2PL still excludes writers even with the inverted wound rule, so the
+  // counter survives as a sanity check that conflicts actually happened.
+  EXPECT_EQ(cell, 3u * 60u);
+}
+
+// The un-seeded protocols run the same contended workloads report-free.
+TEST(CcNegative, CorrectProtocolsAreReportFree) {
+  for (const char* method : kCcMethods) {
+    CheckSession chk({/*max_reports=*/16});
+    SimScope sim(MachineConfig::corei7());
+    runtime::MethodSpec spec = bench::method_by_name(method);
+    auto m = spec.make();
+    m->prepare(3);
+    alignas(64) static std::uint64_t cell;
+    cell = 0;
+    test::run_workers(sim, 3, 60, 11, [&](ThreadCtx& th, std::uint64_t) {
+      auto cs = [&](TxContext& ctx) {
+        const std::uint64_t v = ctx.load(&cell);
+        ctx.compute(300);
+        ctx.store(&cell, v + 1);
+      };
+      m->execute(th, cs);
+    });
+    EXPECT_EQ(chk.report_count(), 0u) << method << "\n" << chk.summary();
+    EXPECT_EQ(cell, 3u * 60u) << method;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// TicToc: lazy rts extension actually fires.
+
+TEST(CcTicToc, LazyExtensionFires) {
+  SimScope sim(MachineConfig::corei7());
+  cc::TicTocMethod m(256);
+  m.prepare(4);
+  // cells[0] is a hot read-mostly record; each thread rewrites its own
+  // private record, driving its commit_ts past the hot record's rts so
+  // validation must extend it.
+  alignas(64) static std::uint64_t cells[8 * 5];
+  for (auto& c : cells) c = 0;
+  test::run_workers(sim, 4, 80, 29, [&](ThreadCtx& th, std::uint64_t i) {
+    auto cs = [&](TxContext& ctx) {
+      const std::uint64_t hot = ctx.load(&cells[0]);
+      std::uint64_t* mine = &cells[8 * (1 + th.tid)];
+      ctx.store(mine, hot + i);
+    };
+    m.execute(th, cs);
+  });
+  EXPECT_GT(m.stats().cc_ts_extensions, 0u);
+  EXPECT_EQ(m.stats().ops, 4u * 80u);
+}
+
+// ---------------------------------------------------------------------------
+// Runtime switching between elision and CC protocols (the admit seam).
+
+TEST(CcSwitch, ElisionToCcSwitchStormStaysOracleClean) {
+  CheckSession chk({/*max_reports=*/16});
+  SimScope sim(MachineConfig::corei7());
+  constexpr std::uint64_t kKeys = 128;
+  constexpr std::uint64_t kInit = 1000;
+  constexpr std::uint32_t kThreads = 4;
+  StoreConfig sc;
+  sc.shards = 8;
+  sc.buckets_per_shard = 64;
+  sc.max_nodes_per_shard = kKeys + 64 * kThreads;
+  sc.max_threads = kThreads;
+  sc.cross_trials = 2;
+  Store store(sc, bench::method_by_name("TLE"));
+  for (std::uint64_t k = 0; k < kKeys; ++k) store.prefill_meta(k, kInit);
+
+  // Thread 0 rotates every shard through elision → CC → elision while the
+  // rest hammer transfers and reads.
+  const char* rotation[] = {"Silo-OCC", "TLE", "TicToc", "WaitDie"};
+  std::uint64_t switches = 0;
+  test::run_workers(sim, kThreads, 60, 23, [&](ThreadCtx& th,
+                                               std::uint64_t i) {
+    if (th.tid == 0 && i % 10 == 5) {
+      const runtime::MethodSpec spec =
+          bench::method_by_name(rotation[(i / 10) % 4]);
+      for (std::uint32_t s = 0; s < store.shards(); ++s) {
+        store.switch_method(s, spec);
+        switches += 1;
+      }
+    }
+    if (th.rng.pct(70)) {
+      std::uint64_t keys[2] = {th.rng.below(kKeys), th.rng.below(kKeys)};
+      auto body = [&](Store::MultiTx& tx) {
+        const std::uint64_t v0 = tx.read(keys[0]);
+        tx.write(keys[0], v0 - 1);
+        const std::uint64_t v1 = tx.read(keys[1]);
+        tx.write(keys[1], v1 + 1);
+      };
+      store.multi(th, keys, 2, body);
+    } else {
+      std::uint64_t out = 0;
+      store.get(th, th.rng.below(kKeys), out);
+    }
+  });
+  EXPECT_GT(switches, 0u);
+  EXPECT_EQ(store.sum_meta(), kKeys * kInit);
+  EXPECT_EQ(chk.report_count(), 0u) << chk.summary();
+}
+
+// ---------------------------------------------------------------------------
+// Determinism: identical configs produce identical results.
+//
+// CC slot tables hash record addresses (offsets from a per-method base), so
+// the conflict schedule depends on heap layout. Two sequential runs in one
+// process do not see the same layout — the first run's surviving result
+// vectors reshape the heap the second run allocates from. Forking both runs
+// from the same parent snapshot gives them bit-identical heaps (the same
+// idiom check_test/ambient_test use for byte-identity), leaving nothing to
+// differ but the workload itself.
+
+// Forks a child that runs one CC workload and writes its headline counters
+// to `path` as a single line.
+pid_t spawn_cc_workload(const char* method, const std::string& path) {
+  const pid_t pid = fork();
+  if (pid != 0) return pid;
+  oltp::WorkloadConfig cfg;
+  cfg.machine = MachineConfig::corei7();
+  cfg.threads = 4;
+  cfg.shards = 8;
+  cfg.keys = 256;
+  cfg.read_pct = 60;
+  cfg.multi_pct = 30;
+  cfg.zipf_theta = 0.9;
+  cfg.duration_ms = 0.05;
+  cfg.seed = 11;
+  const oltp::WorkloadResult r =
+      run_workload(cfg, bench::method_by_name(method));
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) _exit(2);
+  std::fprintf(f, "%llu %llu %llu %llu %llu %llu\n",
+               static_cast<unsigned long long>(r.ops),
+               static_cast<unsigned long long>(r.stats.stm_begins),
+               static_cast<unsigned long long>(r.stats.total_aborts()),
+               static_cast<unsigned long long>(r.stats.cc_validation_aborts),
+               static_cast<unsigned long long>(r.stats.cc_wounds),
+               static_cast<unsigned long long>(r.stats.cc_ts_extensions));
+  std::fclose(f);
+  _exit(0);
+}
+
+std::string slurp(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return "";
+  char buf[256] = {0};
+  const std::size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+  std::fclose(f);
+  return std::string(buf, n);
+}
+
+TEST(CcWorkload, RunsAreDeterministic) {
+  for (const char* method : kCcMethods) {
+    const std::string base = testing::TempDir() + "cc_det_" +
+                             std::to_string(getpid()) + "_" + method;
+    const std::string pa = base + "_a.txt";
+    const std::string pb = base + "_b.txt";
+    const pid_t a = spawn_cc_workload(method, pa);
+    ASSERT_GT(a, 0) << method;
+    int status = 0;
+    ASSERT_EQ(waitpid(a, &status, 0), a);
+    ASSERT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0) << method;
+    const pid_t b = spawn_cc_workload(method, pb);
+    ASSERT_GT(b, 0) << method;
+    ASSERT_EQ(waitpid(b, &status, 0), b);
+    ASSERT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0) << method;
+    const std::string ra = slurp(pa);
+    const std::string rb = slurp(pb);
+    ASSERT_FALSE(ra.empty()) << method;
+    EXPECT_EQ(ra, rb) << method;
+    unsigned long long ops = 0;
+    ASSERT_EQ(std::sscanf(ra.c_str(), "%llu", &ops), 1) << method;
+    EXPECT_GT(ops, 0ull) << method;
+    std::remove(pa.c_str());
+    std::remove(pb.c_str());
+  }
+}
+
+}  // namespace
+}  // namespace rtle

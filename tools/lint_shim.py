@@ -125,7 +125,7 @@ def lint_text(text: str, path: str) -> list[str]:
 
 def lint_tree(root: pathlib.Path) -> list[str]:
     findings: list[str] = []
-    for sub in ("src/ds", "src/stm", "src/oltp", "src/admit"):
+    for sub in ("src/ds", "src/stm", "src/oltp", "src/admit", "src/cc"):
         for path in sorted((root / sub).glob("*.[ch]pp")) + sorted(
             (root / sub).glob("*.h")
         ):

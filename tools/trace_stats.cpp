@@ -75,6 +75,19 @@ struct AdmitView {
   }
 };
 
+/// Concurrency-control view (present only in traces from runs using the
+/// rtle::cc transaction protocols).
+struct CcView {
+  std::uint64_t validate_pass = 0;
+  std::uint64_t validate_fail = 0;
+  std::uint64_t wounds = 0;
+  std::uint64_t extends = 0;
+  bool any() const {
+    return validate_pass != 0 || validate_fail != 0 || wounds != 0 ||
+           extends != 0;
+  }
+};
+
 std::uint64_t overlap(const Interval& a, const Interval& b) {
   const std::uint64_t lo = std::max(a.ts, b.ts);
   const std::uint64_t hi = std::min(a.end(), b.end());
@@ -125,6 +138,7 @@ int main(int argc, char** argv) {
   std::map<std::uint64_t, ThreadTimeline> threads;
   std::map<std::uint64_t, ShardStats> shards;
   AdmitView admit;
+  CcView cc;
   for (const auto& ev : events->arr) {
     const std::string ph = ev.get_string("ph");
     const std::uint64_t tid = ev.get_u64("tid");
@@ -152,6 +166,15 @@ int main(int argc, char** argv) {
         const auto* args = ev.find("args");
         admit.switches.emplace_back(ev.get_u64("ts"),
                                     args ? args->get_u64("shard") : 0);
+      } else if (name == "cc-validate") {
+        const auto* args = ev.find("args");
+        (args != nullptr && args->get_u64("pass") != 0 ? cc.validate_pass
+                                                       : cc.validate_fail) +=
+            1;
+      } else if (name == "cc-wound") {
+        cc.wounds += 1;
+      } else if (name == "cc-extend") {
+        cc.extends += 1;
       }
       continue;
     }
@@ -383,6 +406,23 @@ int main(int argc, char** argv) {
         std::printf("    … +%zu more\n", tl.crosses.size() - show);
       }
     }
+  }
+
+  // Concurrency-control view (rtle::cc traces only).
+  if (cc.any()) {
+    const std::uint64_t validations = cc.validate_pass + cc.validate_fail;
+    std::printf("\nconcurrency control (cc-* events):\n");
+    std::printf("  validations=%llu (pass=%llu fail=%llu, %.1f%% pass) "
+                "wounds=%llu ts-extensions=%llu\n",
+                static_cast<unsigned long long>(validations),
+                static_cast<unsigned long long>(cc.validate_pass),
+                static_cast<unsigned long long>(cc.validate_fail),
+                validations == 0
+                    ? 0.0
+                    : 100.0 * static_cast<double>(cc.validate_pass) /
+                          static_cast<double>(validations),
+                static_cast<unsigned long long>(cc.wounds),
+                static_cast<unsigned long long>(cc.extends));
   }
 
   // Admission-control view (rtle::admit traces only).
