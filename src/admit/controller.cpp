@@ -9,9 +9,7 @@ namespace rtle::admit {
 
 namespace {
 
-trace::TraceSession* tracer() {
-  return ambient::any(ambient::kTrace) ? trace::active_trace() : nullptr;
-}
+trace::TraceSession* tracer() { return trace::tracer(); }
 
 }  // namespace
 

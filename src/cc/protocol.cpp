@@ -28,7 +28,7 @@ CcMethod::~CcMethod() {
 
 void CcMethod::prepare(std::uint32_t nthreads) {
   per_.assign(nthreads, PerThread{});
-  if (check::CheckSession* chk = check::active_check()) {
+  if (check::CheckSession* chk = check::checker()) {
     chk->register_meta(&cross_seq_, sizeof(cross_seq_));
     chk->register_meta(&wclock_, sizeof(wclock_));
     chk->register_meta(slots_.data(), slots_.size() * sizeof(slots_[0]));
@@ -109,7 +109,7 @@ void CcMethod::begin_attempt(ThreadCtx& th) {
 
 void CcMethod::execute(ThreadCtx& th, CsBody cs) {
   PerThread& p = per(th);
-  trace::TraceSession* tr = trace::active_trace();
+  trace::TraceSession* tr = trace::tracer();
   const std::uint64_t op_start = tr != nullptr ? cur_sched().now() : 0;
   std::uint64_t backoff = cur_mem().cost().backoff_base;
   for (;;) {
@@ -117,7 +117,7 @@ void CcMethod::execute(ThreadCtx& th, CsBody cs) {
     p.snapshot = wait_cross_even();
     stats_.stm_begins += 1;
     if (tr != nullptr) tr->txn_begin(trace::TxPath::kStm);
-    if (check::CheckSession* chk = check::active_check()) {
+    if (check::CheckSession* chk = check::checker()) {
       chk->on_stm_begin();
       chk->on_stm_snapshot();
     }
@@ -129,7 +129,7 @@ void CcMethod::execute(ThreadCtx& th, CsBody cs) {
       // the commit hook runs atomically with it (the shim returns from an
       // access without yielding).
       commit_attempt(th);
-      if (check::CheckSession* chk = check::active_check()) {
+      if (check::CheckSession* chk = check::checker()) {
         chk->on_stm_commit(read_only);
       }
       post_commit(th);
@@ -142,7 +142,7 @@ void CcMethod::execute(ThreadCtx& th, CsBody cs) {
       return;
     } catch (const CcAbort& a) {
       abort_cleanup(th);
-      if (check::CheckSession* chk = check::active_check()) {
+      if (check::CheckSession* chk = check::checker()) {
         chk->on_stm_abort();
       }
       if (tr != nullptr) {
@@ -180,7 +180,7 @@ void CcMethod::cross_htm_publish(ThreadCtx& th, bool wrote) {
   htm.tx_store(th.tx, &wclock_, c + 2);
 }
 
-void CcMethod::cross_lock_enter(ThreadCtx& th) {
+void CcMethod::cross_lock_enter(ThreadCtx& /*th*/) {
   const auto& cost = cur_mem().cost();
   // Claim the cross seqlock first: odd cross_seq_ makes every CC commit
   // that still has to check it back off...
@@ -197,12 +197,12 @@ void CcMethod::cross_lock_enter(ThreadCtx& th) {
   lock_wclock();
 }
 
-void CcMethod::cross_lock_leave(ThreadCtx& th) {
+void CcMethod::cross_lock_leave(ThreadCtx& /*th*/) {
   const std::uint64_t c = mem::plain_load(&wclock_);
   const std::uint64_t s = mem::plain_load(&cross_seq_);
   // Serialization point before the even stores: a CC transaction blocked on
   // either odd word commits strictly after this cross section.
-  if (check::CheckSession* chk = check::active_check()) {
+  if (check::CheckSession* chk = check::checker()) {
     chk->on_cross_release();
   }
   mem::plain_store(&wclock_, c + 1);

@@ -135,10 +135,10 @@ class CcMethod : public runtime::SyncMethod {
   /// invokes the checker's commit hook immediately after it returns.
   virtual void commit_attempt(runtime::ThreadCtx& th) = 0;
   /// Undo execution-time state after an abort (wait-die lock release).
-  virtual void abort_cleanup(runtime::ThreadCtx& th) {}
+  virtual void abort_cleanup(runtime::ThreadCtx& /*th*/) {}
   /// Runs after the checker's commit hook (wait-die shrink phase: 2PL may
   /// only release its record locks once the serialization point is fixed).
-  virtual void post_commit(runtime::ThreadCtx& th) {}
+  virtual void post_commit(runtime::ThreadCtx& /*th*/) {}
 
   virtual std::uint64_t read_impl(runtime::ThreadCtx& th,
                                   const std::uint64_t* addr) = 0;

@@ -62,7 +62,7 @@ void SiloOccMethod::collect_lock_slots(PerThread& p,
 bool SiloOccMethod::validate(ThreadCtx& th,
                              const std::vector<std::uint32_t>& locks) {
   PerThread& p = per(th);
-  check::CheckSession* chk = check::active_check();
+  check::CheckSession* chk = check::checker();
   bool pass = true;
   for (const PerThread::ReadEntry& e : p.rset) {
     const std::uint64_t cur = mem::plain_load(slot_word(e.slot));
@@ -84,8 +84,8 @@ bool SiloOccMethod::validate(ThreadCtx& th,
 
 void SiloOccMethod::commit_attempt(ThreadCtx& th) {
   PerThread& p = per(th);
-  trace::TraceSession* tr = trace::active_trace();
-  check::CheckSession* chk = check::active_check();
+  trace::TraceSession* tr = trace::tracer();
+  check::CheckSession* chk = check::checker();
 
   if (p.wset.empty()) {
     // Read-only linearization loop: validation is only meaningful at an

@@ -62,8 +62,8 @@ void TicTocMethod::collect_lock_slots(PerThread& p,
 bool TicTocMethod::validate_at(ThreadCtx& th, std::uint64_t commit_ts,
                                const std::vector<std::uint32_t>& locks) {
   PerThread& p = per(th);
-  trace::TraceSession* tr = trace::active_trace();
-  check::CheckSession* chk = check::active_check();
+  trace::TraceSession* tr = trace::tracer();
+  check::CheckSession* chk = check::checker();
   for (PerThread::ReadEntry& e : p.rset) {
     std::uint64_t* w = slot_word(e.slot);
     for (;;) {
@@ -118,8 +118,8 @@ bool TicTocMethod::validate_at(ThreadCtx& th, std::uint64_t commit_ts,
 
 void TicTocMethod::commit_attempt(ThreadCtx& th) {
   PerThread& p = per(th);
-  trace::TraceSession* tr = trace::active_trace();
-  check::CheckSession* chk = check::active_check();
+  trace::TraceSession* tr = trace::tracer();
+  check::CheckSession* chk = check::checker();
 
   if (p.wset.empty()) {
     // Read-only: the commit timestamp is the newest version read — every

@@ -17,7 +17,7 @@ WaitDieMethod::~WaitDieMethod() {
 
 void WaitDieMethod::prepare(std::uint32_t nthreads) {
   CcMethod::prepare(nthreads);
-  if (check::CheckSession* chk = check::active_check()) {
+  if (check::CheckSession* chk = check::checker()) {
     chk->register_meta(&ts_clock_, sizeof(ts_clock_));
   }
 }
@@ -38,7 +38,7 @@ void WaitDieMethod::lock_slot(ThreadCtx& th, std::uint32_t slot) {
     if (held == slot) return;
   }
   const auto& cost = cur_mem().cost();
-  check::CheckSession* chk = check::active_check();
+  check::CheckSession* chk = check::checker();
   bool reported = false;
   std::uint64_t* w = slot_word(slot);
   for (;;) {
@@ -60,7 +60,7 @@ void WaitDieMethod::lock_slot(ThreadCtx& th, std::uint32_t slot) {
     }
     if (requester_dies) {
       stats_.cc_wounds += 1;
-      if (trace::TraceSession* tr = trace::active_trace()) {
+      if (trace::TraceSession* tr = trace::tracer()) {
         tr->emit(trace::EventType::kCcWound, 1, h);
       }
       throw CcAbort{htm::AbortCause::kLockBusy};
@@ -91,7 +91,7 @@ void WaitDieMethod::write_impl(ThreadCtx& th, std::uint64_t* addr,
 
 void WaitDieMethod::commit_attempt(ThreadCtx& th) {
   PerThread& p = per(th);
-  check::CheckSession* chk = check::active_check();
+  check::CheckSession* chk = check::checker();
   if (p.wset.empty()) {
     // Reads were lock-protected; only a cross-shard section can have
     // invalidated them. The check's load is the serialization point.

@@ -495,7 +495,7 @@ void CheckSession::on_fg_cs_open(const void* method,
 
 void CheckSession::on_fg_orec_stamp(const void* method, const void* orec,
                                     std::uint64_t stamp,
-                                    std::uint64_t prev) {
+                                    std::uint64_t /*prev*/) {
   const std::uint32_t f = self();
   if (f >= kMaxFibers) return;
   FgState& st = fg_[method];

@@ -41,6 +41,8 @@
 #include <unordered_set>
 #include <vector>
 
+#include "sim/ambient.h"
+
 namespace rtle::check {
 
 /// Everything the checker can complain about. Race reports come from the
@@ -298,6 +300,15 @@ class CheckSession {
 
 /// The installed session, or nullptr (checking off — the default).
 CheckSession* active_check();
+
+/// Inline gated accessor for hot paths: tests the process-wide ambient
+/// dispatch word before paying the cross-TU call into active_check().
+/// Installing a session sets ambient::kCheck, so bit ⇔ session non-null
+/// and this is semantically identical to active_check() — just one
+/// predictable load in the all-off configuration (DESIGN.md §8).
+inline CheckSession* checker() {
+  return ambient::any(ambient::kCheck) ? active_check() : nullptr;
+}
 
 /// True when RTLE_CHECK=1/ON is set: SimScope installs an environment
 /// session (with die_on_report) unless one is already active.

@@ -44,8 +44,7 @@ void HtmDomain::begin(Tx& tx) {
     std::fprintf(stderr, "rtle htm: bad tx id %u\n", tx.id_);
     std::abort();
   }
-  if (sim::FaultPlan* plan =
-          ambient::any(ambient::kFault) ? sim::active_fault_plan() : nullptr;
+  if (sim::FaultPlan* plan = sim::fault_plan();
       plan != nullptr && plan->htm_offline_at(sched_->now())) {
     // HTM-offline window (TSX disabled): the xbegin executes and falls
     // straight through to the abort handler with no hint bits. The
@@ -213,7 +212,7 @@ std::uint64_t HtmDomain::tx_load(Tx& tx, const std::uint64_t* addr) {
       chk->on_tx_read(addr, __builtin_return_address(0));
     }
   }
-  return *addr;
+  return *addr;  // shim-lint: ok (emulated HTM: tx_load is the wrapper)
 }
 
 void HtmDomain::tx_store(Tx& tx, std::uint64_t* addr, std::uint64_t value) {
@@ -241,8 +240,8 @@ void HtmDomain::tx_store(Tx& tx, std::uint64_t* addr, std::uint64_t value) {
     w.writers |= bit(tx.id_);
     tx.wlines_.push_back(line);
   }
-  tx.undo_.push_back({addr, *addr});
-  *addr = value;
+  tx.undo_.push_back({addr, *addr});  // shim-lint: ok (undo log snapshot)
+  *addr = value;  // shim-lint: ok (emulated HTM: tx_store is the wrapper)
   if (ambient::any(ambient::kCheck)) {
     if (check::CheckSession* chk = check::active_check()) {
       chk->on_tx_write(addr, __builtin_return_address(0));
@@ -270,7 +269,7 @@ void HtmDomain::tx_store_and_commit(Tx& tx, std::uint64_t* addr,
     const std::uint64_t others = (w->readers | w->writers) & ~bit(tx.id_);
     if (others != 0) doom_mask(others, AbortCause::kConflict);
   }
-  *addr = value;  // committed: no undo logging needed
+  *addr = value;  // committed, no undo log — shim-lint: ok (fused commit)
   release_footprint(tx);
   slots_[tx.id_] = nullptr;
   --live_count_;

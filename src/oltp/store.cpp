@@ -20,9 +20,7 @@ using runtime::TxContext;
 
 namespace {
 
-trace::TraceSession* tracer() {
-  return ambient::any(ambient::kTrace) ? trace::active_trace() : nullptr;
-}
+trace::TraceSession* tracer() { return trace::tracer(); }
 
 /// Simulated cycles a fiber burns per poll of a shard gate it found shut.
 /// Coarse on purpose: quiescing is rare (method switches) and the wait
@@ -149,7 +147,7 @@ void Store::multi(ThreadCtx& th, const std::uint64_t* keys, std::size_t nkeys,
   for (std::size_t i = 0; i < ns; ++i) enter_shard(order[i]);
 
   trace::TraceSession* tr = tracer();
-  check::CheckSession* chk = check::active_check();
+  check::CheckSession* chk = check::checker();
   const std::uint64_t op_start = tr != nullptr ? cur_sched().now() : 0;
   if (chk != nullptr) chk->on_cross_begin();
   if (tr != nullptr) tr->emit(trace::EventType::kCrossBegin, 0, mask);
@@ -212,7 +210,10 @@ void Store::multi(ThreadCtx& th, const std::uint64_t* keys, std::size_t nkeys,
   for (std::size_t i = 0; i < ns; ++i) {
     // The seeded-bug knob flips the acquisition order so tests can watch
     // rtle::check report the kLockOrder violation by name.
-    const std::uint32_t s = descending_bug_ ? order[ns - 1 - i] : order[i];
+    const std::uint32_t s =
+        descending_bug_
+            ? order[ns - 1 - i]  // rtle-analyze: ok(lock-order) (seeded bug)
+            : order[i];
     methods_[s]->cross_lock_enter(th);
     if (chk != nullptr) chk->on_cross_guard(s);
     if (tr != nullptr) tr->emit(trace::EventType::kShardAcquire, 0, s);
@@ -249,7 +250,7 @@ void Store::switch_method(std::uint32_t shard, const runtime::MethodSpec& spec,
   // is invisible to the vector clocks without this edge, and accesses under
   // the new instance's fresh guard would be reported as racing accesses
   // made under the old one.
-  if (check::CheckSession* chk = check::active_check()) {
+  if (check::CheckSession* chk = check::checker()) {
     chk->on_quiesce_barrier();
   }
   // Fold the

@@ -36,8 +36,7 @@ void ElidingMethod::execute(ThreadCtx& th, CsBody cs) {
   // Tracing is meta-level: the session pointer is read once per execution,
   // hooks fire only when one is installed, and no hook charges simulated
   // cycles — a traced run follows the exact schedule of an untraced one.
-  trace::TraceSession* tr =
-      ambient::any(ambient::kTrace) ? trace::active_trace() : nullptr;
+  trace::TraceSession* tr = trace::tracer();
   const std::uint64_t op_start = tr != nullptr ? cur_sched().now() : 0;
   int trials = 0;
   // Adaptive serial mode (as in GCC's libitm): a thread whose critical
@@ -149,8 +148,7 @@ void ElidingMethod::execute(ThreadCtx& th, CsBody cs) {
 }
 
 void LockMethod::execute(ThreadCtx& th, CsBody cs) {
-  trace::TraceSession* tr =
-      ambient::any(ambient::kTrace) ? trace::active_trace() : nullptr;
+  trace::TraceSession* tr = trace::tracer();
   const std::uint64_t op_start = tr != nullptr ? cur_sched().now() : 0;
   lock_.acquire();
   if (tr != nullptr) tr->txn_begin(trace::TxPath::kLock);

@@ -63,9 +63,9 @@ class ElidingMethod : public SyncMethod {
   // plain acquire/release with kRaw holder accesses. RW-TLE and FG-TLE
   // override the lock half with their holder protocols.
   void cross_htm_enter(ThreadCtx& th) override;
-  void cross_htm_publish(ThreadCtx& th, bool wrote) override {}
-  void cross_lock_enter(ThreadCtx& th) override { lock_.acquire(); }
-  void cross_lock_leave(ThreadCtx& th) override { lock_.release(); }
+  void cross_htm_publish(ThreadCtx& /*th*/, bool /*wrote*/) override {}
+  void cross_lock_enter(ThreadCtx& /*th*/) override { lock_.acquire(); }
+  void cross_lock_leave(ThreadCtx& /*th*/) override { lock_.release(); }
 
  protected:
   /// Whether this method can speculate while the lock is held. When true,
@@ -77,7 +77,7 @@ class ElidingMethod : public SyncMethod {
   /// One instrumented-HTM attempt while the lock is (probably) held.
   /// Returns true on commit; throws htm::HtmAbort on failure; returns false
   /// if the method declined to attempt (plain TLE: wait instead).
-  virtual bool slow_htm_attempt(ThreadCtx& th, CsBody cs) { return false; }
+  virtual bool slow_htm_attempt(ThreadCtx& /*th*/, CsBody /*cs*/) { return false; }
 
   /// Pessimistic execution with the lock held (raw for TLE, instrumented
   /// for refined TLE). The engine acquires/releases the lock around it.
@@ -107,9 +107,9 @@ class LockMethod final : public SyncMethod {
   void execute(ThreadCtx& th, CsBody cs) override;
 
   void cross_htm_enter(ThreadCtx& th) override;
-  void cross_htm_publish(ThreadCtx& th, bool wrote) override {}
-  void cross_lock_enter(ThreadCtx& th) override { lock_.acquire(); }
-  void cross_lock_leave(ThreadCtx& th) override { lock_.release(); }
+  void cross_htm_publish(ThreadCtx& /*th*/, bool /*wrote*/) override {}
+  void cross_lock_enter(ThreadCtx& /*th*/) override { lock_.acquire(); }
+  void cross_lock_leave(ThreadCtx& /*th*/) override { lock_.release(); }
 
  private:
   sync::TTSLock lock_{&stats_};

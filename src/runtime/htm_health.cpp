@@ -12,7 +12,7 @@ bool HtmHealth::allow_speculation(bool& probe, MethodStats& stats) {
     ops_since_probe_ = 0;
     probe = true;
     stats.health_probes += 1;
-    if (trace::TraceSession* tr = trace::active_trace()) {
+    if (trace::TraceSession* tr = trace::tracer()) {
       tr->emit(trace::EventType::kHealthProbe);
     }
     return true;
@@ -29,7 +29,7 @@ void HtmHealth::note_htm_commit(MethodStats& stats, bool probe) {
       window_attempts_ = 0;
       window_commits_ = 0;
       stats.health_reenables += 1;
-      if (trace::TraceSession* tr = trace::active_trace()) {
+      if (trace::TraceSession* tr = trace::tracer()) {
         tr->emit(trace::EventType::kHealthReenable);
       }
     }
@@ -69,8 +69,9 @@ void HtmHealth::close_window(MethodStats& stats) {
     state_ = State::kDegraded;
     ops_since_probe_ = 0;
     stats.health_degrades += 1;
-    if (trace::TraceSession* tr = trace::active_trace()) {
-      tr->emit(trace::EventType::kHealthDegrade);
+    if (trace::TraceSession* tr = trace::tracer()) {
+      // arg = commits in the window that closed below min_commits.
+      tr->emit(trace::EventType::kHealthDegrade, 0, window_commits_);
     }
   }
   window_attempts_ = 0;

@@ -25,7 +25,7 @@ class SyncMethod {
 
   /// Prepare per-thread state for `nthreads` worker threads (tids
   /// 0..nthreads-1). Called once before the workers start.
-  virtual void prepare(std::uint32_t nthreads) {}
+  virtual void prepare(std::uint32_t /*nthreads*/) {}
 
   /// Execute one critical section to completion under this method's
   /// concurrency control. Retries internally; returns only on success.
@@ -53,20 +53,20 @@ class SyncMethod {
   /// Inside an already-open HTM transaction: subscribe this method's guard
   /// word(s), aborting now (or getting doomed later) instead of running
   /// concurrently with a pessimistic holder.
-  virtual void cross_htm_enter(ThreadCtx& th) { cross_unsupported(); }
+  virtual void cross_htm_enter(ThreadCtx& /*th*/) { cross_unsupported(); }
 
   /// Inside the same transaction, immediately before its commit: publish
   /// whatever this method's software readers validate against (STM clock
   /// bumps). `wrote` says whether the transaction wrote this shard.
-  virtual void cross_htm_publish(ThreadCtx& th, bool wrote) {
+  virtual void cross_htm_publish(ThreadCtx& /*th*/, bool /*wrote*/) {
     cross_unsupported();
   }
 
   /// Pessimistic fallback: acquire / release this method's guard with the
   /// same holder protocol lock_cs-style execution uses. Acquisition order
   /// across shards is the caller's responsibility (ascending shard index).
-  virtual void cross_lock_enter(ThreadCtx& th) { cross_unsupported(); }
-  virtual void cross_lock_leave(ThreadCtx& th) { cross_unsupported(); }
+  virtual void cross_lock_enter(ThreadCtx& /*th*/) { cross_unsupported(); }
+  virtual void cross_lock_leave(ThreadCtx& /*th*/) { cross_unsupported(); }
 
   /// Path (and barriers) the fallback body must use for this shard's data
   /// while the guard is held via cross_lock_enter.

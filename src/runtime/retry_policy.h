@@ -64,10 +64,10 @@ class RetryPolicy {
                                       htm::AbortCause cause) = 0;
 
   /// The operation committed on an HTM path (fast or slow).
-  virtual void on_htm_commit(ThreadCtx& th) {}
+  virtual void on_htm_commit(ThreadCtx& /*th*/) {}
 
   /// The operation completed under the lock.
-  virtual void on_lock_commit(ThreadCtx& th) {}
+  virtual void on_lock_commit(ThreadCtx& /*th*/) {}
 };
 
 /// The paper's policy (§2, §6.2.1) — seed-identical behavior: constant

@@ -39,6 +39,17 @@ std::string MethodStats::summary() const {
   out += " causes[";
   out += abort_cause_histogram(abort_cause);
   out += "]";
+  if (stm_begins != 0) {
+    std::snprintf(buf, sizeof(buf), " stm_begins=%llu",
+                  static_cast<unsigned long long>(stm_begins));
+    out += buf;
+  }
+  if (rhn_htm_fast != 0 || rhn_htm_slow != 0) {
+    std::snprintf(buf, sizeof(buf), " rhn(fast/slow)=%llu/%llu",
+                  static_cast<unsigned long long>(rhn_htm_fast),
+                  static_cast<unsigned long long>(rhn_htm_slow));
+    out += buf;
+  }
   if (health_degrades != 0 || health_probes != 0 || health_reenables != 0) {
     std::snprintf(buf, sizeof(buf),
                   " health(degrade/probe/reenable)=%llu/%llu/%llu",

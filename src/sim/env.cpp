@@ -15,7 +15,7 @@ SimScope::SimScope(const sim::MachineConfig& mc)
     : sched(mc), mem(mc.cost), htm(mc.htm, &mem, &sched), prev_(g_scope) {
   g_scope = this;
   sim::set_current_scheduler(&sched);
-  if (check::env_check_enabled() && check::active_check() == nullptr) {
+  if (check::env_check_enabled() && check::checker() == nullptr) {
     check::CheckConfig cc;
     cc.die_on_report = true;
     env_check_ = std::make_unique<check::CheckSession>(cc);

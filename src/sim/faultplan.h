@@ -21,6 +21,8 @@
 #include <string>
 #include <vector>
 
+#include "sim/ambient.h"
+
 namespace rtle::sim {
 
 enum class FaultKind : std::uint8_t {
@@ -118,6 +120,15 @@ class FaultPlan {
 /// Ambient active plan, consulted by HtmDomain, Scheduler and TTSLock.
 /// nullptr (the default) disables all fault injection.
 FaultPlan* active_fault_plan();
+
+/// Inline gated accessor for hot paths: tests the ambient dispatch word
+/// before paying the cross-TU call into active_fault_plan(). Installing
+/// a plan sets ambient::kFault, so bit ⇔ plan non-null and this is
+/// semantically identical to active_fault_plan() — just one predictable
+/// load in the all-off configuration (DESIGN.md §8).
+inline FaultPlan* fault_plan() {
+  return ambient::any(ambient::kFault) ? active_fault_plan() : nullptr;
+}
 
 /// RAII installation; scopes nest like SimScope does.
 class FaultPlanScope {

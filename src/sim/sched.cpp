@@ -88,8 +88,7 @@ void Scheduler::advance(std::uint64_t cycles) {
 
 void Scheduler::charge_holder_preemption() {
   if (cur_ == nullptr) return;
-  if (!ambient::any(ambient::kFault)) return;
-  FaultPlan* plan = active_fault_plan();
+  FaultPlan* plan = fault_plan();
   if (plan == nullptr) return;
   const std::uint64_t stall = plan->preemption_stall(cur_->clock);
   if (stall != 0) advance(stall);
@@ -110,9 +109,7 @@ void Scheduler::switch_to(SimThread* next) {
   SimThread* me = cur_;
   // Emitted while cur_ still names the outgoing fiber, so the record lands
   // in its ring at its clock.
-  if (trace::TraceSession* tr = ambient::any(ambient::kTrace)
-                                    ? trace::active_trace()
-                                    : nullptr;
+  if (trace::TraceSession* tr = trace::tracer();
       tr != nullptr && tr->config().trace_fiber_switches) {
     tr->emit(trace::EventType::kFiberSwitch, 0, next->pin);
   }

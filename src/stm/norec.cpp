@@ -14,7 +14,7 @@ using runtime::TxContext;
 
 void NOrecMethod::prepare(std::uint32_t nthreads) {
   per_.assign(nthreads, PerThread{});
-  if (check::CheckSession* chk = check::active_check()) {
+  if (check::CheckSession* chk = check::checker()) {
     chk->register_meta(&seqlock_, sizeof(seqlock_));
   }
 }
@@ -45,7 +45,7 @@ void NOrecMethod::validate_extend(ThreadCtx& th) {
       p.snapshot = t;
       // Invisible readers linearize at their last successful validation —
       // tell the checker's replay oracle.
-      if (check::CheckSession* chk = check::active_check()) {
+      if (check::CheckSession* chk = check::checker()) {
         chk->on_stm_snapshot();
       }
       return;
@@ -113,7 +113,7 @@ void NOrecMethod::cross_htm_publish(ThreadCtx& th, bool wrote) {
   htm.tx_store(th.tx, &seqlock_, ts + 2);
 }
 
-void NOrecMethod::cross_lock_enter(ThreadCtx& th) {
+void NOrecMethod::cross_lock_enter(ThreadCtx& /*th*/) {
   const auto& cost = cur_mem().cost();
   for (;;) {
     const std::uint64_t ts = mem::plain_load(&seqlock_);
@@ -122,11 +122,11 @@ void NOrecMethod::cross_lock_enter(ThreadCtx& th) {
   }
 }
 
-void NOrecMethod::cross_lock_leave(ThreadCtx& th) {
+void NOrecMethod::cross_lock_leave(ThreadCtx& /*th*/) {
   const std::uint64_t ts = mem::plain_load(&seqlock_);
   // Serialization point before the even store: a software transaction
   // blocked on the odd clock commits strictly after us.
-  if (check::CheckSession* chk = check::active_check()) {
+  if (check::CheckSession* chk = check::checker()) {
     chk->on_cross_release();
   }
   mem::plain_store(&seqlock_, ts + 1);
@@ -146,7 +146,7 @@ void NOrecMethod::execute(ThreadCtx& th, CsBody cs) { execute_sw(th, cs); }
 
 void NOrecMethod::execute_sw(ThreadCtx& th, CsBody cs) {
   PerThread& p = per(th);
-  trace::TraceSession* tr = trace::active_trace();
+  trace::TraceSession* tr = trace::tracer();
   const std::uint64_t op_start = tr != nullptr ? cur_sched().now() : 0;
   std::uint64_t backoff = cur_mem().cost().backoff_base;
   for (;;) {
@@ -155,7 +155,7 @@ void NOrecMethod::execute_sw(ThreadCtx& th, CsBody cs) {
     p.snapshot = wait_even_clock();
     stats_.stm_begins += 1;
     if (tr != nullptr) tr->txn_begin(trace::TxPath::kStm);
-    if (check::CheckSession* chk = check::active_check()) {
+    if (check::CheckSession* chk = check::checker()) {
       chk->on_stm_begin();
       chk->on_stm_snapshot();
     }
@@ -169,7 +169,7 @@ void NOrecMethod::execute_sw(ThreadCtx& th, CsBody cs) {
         commit_writer(th);
         stats_.commit_stm_lock += 1;
       }
-      if (check::CheckSession* chk = check::active_check()) {
+      if (check::CheckSession* chk = check::checker()) {
         chk->on_stm_commit(/*read_only=*/p.wset.empty());
       }
       if (tr != nullptr) {
@@ -180,7 +180,7 @@ void NOrecMethod::execute_sw(ThreadCtx& th, CsBody cs) {
       stats_.ops += 1;
       return;
     } catch (const StmAbort&) {
-      if (check::CheckSession* chk = check::active_check()) {
+      if (check::CheckSession* chk = check::checker()) {
         chk->on_stm_abort();
       }
       if (tr != nullptr) {

@@ -16,7 +16,7 @@ using runtime::TxContext;
 
 void RHNOrecMethod::prepare(std::uint32_t nthreads) {
   NOrecMethod::prepare(nthreads);
-  if (check::CheckSession* chk = check::active_check()) {
+  if (check::CheckSession* chk = check::checker()) {
     chk->register_meta(&commit_lock_, sizeof(commit_lock_));
     chk->register_meta(&sw_count_, sizeof(sw_count_));
   }
@@ -44,7 +44,7 @@ void RHNOrecMethod::cross_htm_publish(ThreadCtx& th, bool wrote) {
   }
 }
 
-void RHNOrecMethod::cross_lock_enter(ThreadCtx& th) {
+void RHNOrecMethod::cross_lock_enter(ThreadCtx& /*th*/) {
   // The sw_commit fallback discipline: commit lock first (halts hardware
   // transactions and software commits), then hold the clock odd (stalls
   // value-based validators) for the whole cross section.
@@ -60,9 +60,9 @@ void RHNOrecMethod::cross_lock_enter(ThreadCtx& th) {
   mem::plain_store(&seqlock_, ts + 1);
 }
 
-void RHNOrecMethod::cross_lock_leave(ThreadCtx& th) {
+void RHNOrecMethod::cross_lock_leave(ThreadCtx& /*th*/) {
   const std::uint64_t ts = mem::plain_load(&seqlock_);
-  if (check::CheckSession* chk = check::active_check()) {
+  if (check::CheckSession* chk = check::checker()) {
     chk->on_cross_release();
   }
   mem::plain_store(&seqlock_, ts + 1);
@@ -72,7 +72,7 @@ void RHNOrecMethod::cross_lock_leave(ThreadCtx& th) {
 bool RHNOrecMethod::try_htm_phase(ThreadCtx& th, CsBody cs) {
   auto& htm = cur_htm();
   const auto& cost = cur_mem().cost();
-  trace::TraceSession* tr = trace::active_trace();
+  trace::TraceSession* tr = trace::tracer();
   const std::uint64_t op_start = tr != nullptr ? cur_sched().now() : 0;
   for (int trial = 0; trial < kHtmTrials; ++trial) {
     // Don't bother starting while a commit-lock holder is stalling everyone.
@@ -187,7 +187,7 @@ void RHNOrecMethod::execute(ThreadCtx& th, CsBody cs) {
 
   // Software path.
   PerThread& p = per(th);
-  trace::TraceSession* tr = trace::active_trace();
+  trace::TraceSession* tr = trace::tracer();
   const std::uint64_t op_start = tr != nullptr ? cur_sched().now() : 0;
   mem::plain_faa(&sw_count_, 1);
   sw_window_open();
@@ -198,7 +198,7 @@ void RHNOrecMethod::execute(ThreadCtx& th, CsBody cs) {
     p.snapshot = wait_even_clock();
     stats_.stm_begins += 1;
     if (tr != nullptr) tr->txn_begin(trace::TxPath::kStm);
-    if (check::CheckSession* chk = check::active_check()) {
+    if (check::CheckSession* chk = check::checker()) {
       chk->on_stm_begin();
       chk->on_stm_snapshot();
     }
@@ -206,7 +206,7 @@ void RHNOrecMethod::execute(ThreadCtx& th, CsBody cs) {
       TxContext ctx(Path::kStm, th, &barriers_);
       cs(ctx);
       sw_commit(th);
-      if (check::CheckSession* chk = check::active_check()) {
+      if (check::CheckSession* chk = check::checker()) {
         chk->on_stm_commit(/*read_only=*/p.wset.empty());
       }
       if (tr != nullptr) {
@@ -218,7 +218,7 @@ void RHNOrecMethod::execute(ThreadCtx& th, CsBody cs) {
       stats_.ops += 1;
       return;
     } catch (const StmAbort&) {
-      if (check::CheckSession* chk = check::active_check()) {
+      if (check::CheckSession* chk = check::checker()) {
         chk->on_stm_abort();
       }
       if (tr != nullptr) {

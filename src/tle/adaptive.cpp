@@ -23,7 +23,7 @@ AdaptiveFgTle::AdaptiveFgTle(std::uint32_t initial_orecs, Policy policy)
 
 void AdaptiveFgTle::prepare(std::uint32_t nthreads) {
   FgTleMethod::prepare(nthreads);
-  if (check::CheckSession* chk = check::active_check()) {
+  if (check::CheckSession* chk = check::checker()) {
     // The adaptation words slow-path transactions subscribe to are sync
     // metadata, like the orecs themselves.
     chk->register_meta(&orec_count_word_, sizeof(orec_count_word_));
@@ -37,7 +37,7 @@ bool AdaptiveFgTle::slow_htm_attempt(ThreadCtx& th, CsBody cs) {
   }
   local_seq_[th.tid] = mem::plain_load(&global_seq_);
   auto& htm = cur_htm();
-  if (trace::TraceSession* tr = trace::active_trace()) {
+  if (trace::TraceSession* tr = trace::tracer()) {
     tr->txn_begin(trace::TxPath::kSlow);
   }
   htm.begin(th.tx);
@@ -65,9 +65,9 @@ void AdaptiveFgTle::lock_cs(ThreadCtx& th, CsBody cs) {
   FgTleMethod::lock_cs(th, cs);
 }
 
-void AdaptiveFgTle::on_lock_acquired(ThreadCtx& th) { maybe_adapt(); }
+void AdaptiveFgTle::on_lock_acquired(ThreadCtx& /*th*/) { maybe_adapt(); }
 
-void AdaptiveFgTle::on_lock_released(ThreadCtx& th, std::uint32_t used_r,
+void AdaptiveFgTle::on_lock_released(ThreadCtx& /*th*/, std::uint32_t used_r,
                                      std::uint32_t used_w) {
   window_lock_cs_ += 1;
   window_used_sum_ += std::max(used_r, used_w);
@@ -90,7 +90,7 @@ void AdaptiveFgTle::maybe_adapt() {
     if (++windows_in_tle_mode_ >= policy_.reprobe_windows) {
       windows_in_tle_mode_ = 0;
       mem::plain_store(&instr_word_, 1);
-      if (trace::TraceSession* tr = trace::active_trace()) {
+      if (trace::TraceSession* tr = trace::tracer()) {
         tr->emit(trace::EventType::kModeSwitch, 0, 1);
       }
     }
@@ -98,7 +98,7 @@ void AdaptiveFgTle::maybe_adapt() {
     // Instrumentation is not buying concurrency: fall back to plain TLE.
     mem::plain_store(&instr_word_, 0);
     windows_in_tle_mode_ = 0;
-    if (trace::TraceSession* tr = trace::active_trace()) {
+    if (trace::TraceSession* tr = trace::tracer()) {
       tr->emit(trace::EventType::kModeSwitch, 0, 0);
     }
   } else {
@@ -114,7 +114,7 @@ void AdaptiveFgTle::maybe_adapt() {
       // word) *before* swapping the arrays, per the §4.2.1 safety argument.
       mem::plain_store(&orec_count_word_, new_n);
       resize_orecs(new_n);
-      if (trace::TraceSession* tr = trace::active_trace()) {
+      if (trace::TraceSession* tr = trace::tracer()) {
         tr->emit(trace::EventType::kOrecResize, 0, new_n);
       }
     }

@@ -36,7 +36,7 @@ void FgTleMethod::prepare(std::uint32_t nthreads) {
 }
 
 void FgTleMethod::register_check_meta() {
-  check::CheckSession* chk = check::active_check();
+  check::CheckSession* chk = check::checker();
   if (chk == nullptr) return;
   if (!r_orecs_.empty()) {
     chk->register_meta(r_orecs_.data(),
@@ -55,7 +55,7 @@ void FgTleMethod::resize_orecs(std::uint32_t n) {
   // Unregister the outgoing arrays while the pointers are still valid:
   // assign() below may reallocate, and a later allocation reusing the freed
   // addresses must not be suppressed as stale orec metadata (ROADMAP item).
-  if (check::CheckSession* chk = check::active_check();
+  if (check::CheckSession* chk = check::checker();
       chk != nullptr && !r_orecs_.empty()) {
     chk->deregister_meta(r_orecs_.data(),
                          r_orecs_.size() * sizeof(std::uint64_t));
@@ -73,7 +73,7 @@ bool FgTleMethod::slow_htm_attempt(ThreadCtx& th, CsBody cs) {
   // load, so the holder's release increment does not abort us.
   local_seq_[th.tid] = mem::plain_load(&global_seq_);
   auto& htm = cur_htm();
-  if (trace::TraceSession* tr = trace::active_trace()) {
+  if (trace::TraceSession* tr = trace::tracer()) {
     tr->txn_begin(trace::TxPath::kSlow);
   }
   htm.begin(th.tx);
@@ -100,7 +100,7 @@ void FgTleMethod::holder_open(ThreadCtx& th) {
   const std::uint64_t seq_before = mem::plain_load(&global_seq_);
   holder_seq_ = seq_before + 1;
   mem::plain_store(&global_seq_, holder_seq_);
-  if (check::CheckSession* chk = check::active_check()) {
+  if (check::CheckSession* chk = check::checker()) {
     chk->on_fg_cs_open(this, seq_before, holder_seq_);
   }
   uniq_r_ = 0;
@@ -111,7 +111,7 @@ void FgTleMethod::holder_close(ThreadCtx& th) {
   // Epoch increment #2 (just before release): implicitly releases every
   // orec without touching them — slow-path transactions keep running.
   mem::plain_store(&global_seq_, holder_seq_ + 1);
-  if (check::CheckSession* chk = check::active_check()) {
+  if (check::CheckSession* chk = check::checker()) {
     chk->on_fg_cs_close(this, lock_.word(), holder_seq_ + 1);
   }
   on_lock_released(th, uniq_r_, uniq_w_);
@@ -145,7 +145,7 @@ std::uint64_t FgTleMethod::Barriers::read(TxContext& ctx,
     const std::uint64_t stamp = htm.tx_load(th.tx, &m.w_orecs_[idx]);
     const bool conflict = stamp >= m.local_seq_[th.tid];
     const bool do_abort = conflict && !m.bug_skip_slow_abort_;
-    if (check::CheckSession* chk = check::active_check()) {
+    if (check::CheckSession* chk = check::checker()) {
       chk->on_fg_slow_check(&m, stamp, m.local_seq_[th.tid], do_abort);
     }
     if (do_abort) {
@@ -164,14 +164,14 @@ std::uint64_t FgTleMethod::Barriers::read(TxContext& ctx,
           m.bug_stale_stamp_ ? (m.holder_seq_ >= 2 ? m.holder_seq_ - 2 : 0)
                              : m.holder_seq_;
       mem::plain_store(&m.r_orecs_[idx], stamp);
-      if (check::CheckSession* chk = check::active_check()) {
+      if (check::CheckSession* chk = check::checker()) {
         chk->on_fg_orec_stamp(&m, &m.r_orecs_[idx], stamp, prev);
       }
       // Store-load fence (§4.2): keep a slow-path writer from committing
       // between our orec acquisition and our data access.
       if (!m.bug_skip_fence_) mem::fence();
       m.uniq_r_ += 1;
-      if (trace::TraceSession* tr = trace::active_trace()) {
+      if (trace::TraceSession* tr = trace::tracer()) {
         tr->emit(prev != 0 ? trace::EventType::kOrecSteal
                            : trace::EventType::kOrecAcquire,
                  /*flags=*/0, idx);
@@ -199,7 +199,7 @@ void FgTleMethod::Barriers::write(TxContext& ctx, std::uint64_t* addr,
       conflict = stamp >= snap;
     }
     const bool do_abort = conflict && !m.bug_skip_slow_abort_;
-    if (check::CheckSession* chk = check::active_check()) {
+    if (check::CheckSession* chk = check::checker()) {
       chk->on_fg_slow_check(&m, stamp, snap, do_abort);
     }
     if (do_abort) {
@@ -217,12 +217,12 @@ void FgTleMethod::Barriers::write(TxContext& ctx, std::uint64_t* addr,
           m.bug_stale_stamp_ ? (m.holder_seq_ >= 2 ? m.holder_seq_ - 2 : 0)
                              : m.holder_seq_;
       mem::plain_store(&m.w_orecs_[idx], stamp);
-      if (check::CheckSession* chk = check::active_check()) {
+      if (check::CheckSession* chk = check::checker()) {
         chk->on_fg_orec_stamp(&m, &m.w_orecs_[idx], stamp, prev);
       }
       if (!m.bug_skip_fence_) mem::fence();
       m.uniq_w_ += 1;
-      if (trace::TraceSession* tr = trace::active_trace()) {
+      if (trace::TraceSession* tr = trace::tracer()) {
         tr->emit(prev != 0 ? trace::EventType::kOrecSteal
                            : trace::EventType::kOrecAcquire,
                  /*flags=*/1, idx);

@@ -73,11 +73,11 @@ class FgTleMethod : public runtime::ElidingMethod {
 
   /// Hook for AdaptiveFgTle: runs with the lock held, before the epoch is
   /// advanced; may resize the orec arrays.
-  virtual void on_lock_acquired(runtime::ThreadCtx& th) {}
+  virtual void on_lock_acquired(runtime::ThreadCtx& /*th*/) {}
   /// Hook for AdaptiveFgTle: runs with the lock still held, after the
   /// closing epoch increment; sees this CS's orec utilization.
-  virtual void on_lock_released(runtime::ThreadCtx& th, std::uint32_t used_r,
-                                std::uint32_t used_w) {}
+  virtual void on_lock_released(runtime::ThreadCtx& /*th*/, std::uint32_t /*used_r*/,
+                                std::uint32_t /*used_w*/) {}
 
   class Barriers final : public runtime::SlowBarriers {
    public:

@@ -12,15 +12,15 @@ using runtime::Path;
 using runtime::ThreadCtx;
 using runtime::TxContext;
 
-void RwTleMethod::prepare(std::uint32_t nthreads) {
-  if (check::CheckSession* chk = check::active_check()) {
+void RwTleMethod::prepare(std::uint32_t /*nthreads*/) {
+  if (check::CheckSession* chk = check::checker()) {
     chk->register_meta(&write_flag_, sizeof(write_flag_));
   }
 }
 
 bool RwTleMethod::slow_htm_attempt(ThreadCtx& th, CsBody cs) {
   auto& htm = cur_htm();
-  if (trace::TraceSession* tr = trace::active_trace()) {
+  if (trace::TraceSession* tr = trace::tracer()) {
     tr->txn_begin(trace::TxPath::kSlow);
   }
   htm.begin(th.tx);
@@ -48,19 +48,19 @@ void RwTleMethod::lock_cs(ThreadCtx& th, CsBody cs) {
   // semantics): the store dooms slow-path subscribers, pushing them back to
   // the fast path eagerly now that the lock is about to be free.
   mem::plain_store(&write_flag_, 0);
-  if (check::CheckSession* chk = check::active_check()) {
+  if (check::CheckSession* chk = check::checker()) {
     chk->on_rw_cs_close(this, lock_.word());
   }
 }
 
-void RwTleMethod::cross_lock_enter(ThreadCtx& th) {
+void RwTleMethod::cross_lock_enter(ThreadCtx& /*th*/) {
   lock_.acquire();
   holder_wrote_ = false;
 }
 
-void RwTleMethod::cross_lock_leave(ThreadCtx& th) {
+void RwTleMethod::cross_lock_leave(ThreadCtx& /*th*/) {
   mem::plain_store(&write_flag_, 0);
-  if (check::CheckSession* chk = check::active_check()) {
+  if (check::CheckSession* chk = check::checker()) {
     chk->on_rw_cs_close(this, lock_.word());
   }
   lock_.release();
@@ -89,10 +89,10 @@ void RwTleMethod::Barriers::write(TxContext& ctx, std::uint64_t* addr,
     if (!m_->bug_skip_write_flag_) {
       mem::plain_store(&m_->write_flag_, 1);
     }
-    if (check::CheckSession* chk = check::active_check()) {
+    if (check::CheckSession* chk = check::checker()) {
       chk->on_rw_holder_write(m_, !m_->bug_skip_write_flag_);
     }
-    if (trace::TraceSession* tr = trace::active_trace()) {
+    if (trace::TraceSession* tr = trace::tracer()) {
       tr->emit(trace::EventType::kWriteFlagSet);
     }
   }

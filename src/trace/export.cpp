@@ -223,6 +223,18 @@ void export_thread(EventWriter& w, std::size_t tid, const EventRing& ring) {
       case EventType::kCcExtend:
         w.instant(tid, "cc-extend", ev.ts, u64_arg("slot", ev.arg));
         break;
+      case EventType::kWriteFlagSet:
+        w.instant(tid, "write-flag-set", ev.ts, "");
+        break;
+      case EventType::kHealthDegrade:
+        w.instant(tid, "health-degrade", ev.ts, u64_arg("commits", ev.arg));
+        break;
+      case EventType::kHealthProbe:
+        w.instant(tid, "health-probe", ev.ts, "");
+        break;
+      case EventType::kHealthReenable:
+        w.instant(tid, "health-reenable", ev.ts, "");
+        break;
       default:
         w.instant(tid, to_string(static_cast<EventType>(ev.type)), ev.ts,
                   "");

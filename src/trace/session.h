@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/ambient.h"
 #include "trace/event.h"
 #include "trace/histo.h"
 #include "trace/ring.h"
@@ -96,5 +97,14 @@ class TraceSession {
 
 /// The installed session, or nullptr (tracing off — the default).
 TraceSession* active_trace();
+
+/// Inline gated accessor for hot paths: tests the ambient dispatch word
+/// before paying the cross-TU call into active_trace(). Installing a
+/// session sets ambient::kTrace, so bit ⇔ session non-null and this is
+/// semantically identical to active_trace() — just one predictable load
+/// in the all-off configuration (DESIGN.md §8).
+inline TraceSession* tracer() {
+  return ambient::any(ambient::kTrace) ? active_trace() : nullptr;
+}
 
 }  // namespace rtle::trace

@@ -1,0 +1,16 @@
+// Fixture CC lock-order source: the write-set slots are sorted before
+// commit-time locking.
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace rtle::cc {
+
+std::vector<std::uint32_t> collect_lock_slots(
+    const std::vector<std::uint32_t>& writes) {
+  std::vector<std::uint32_t> slots = writes;
+  std::sort(slots.begin(), slots.end());
+  return slots;
+}
+
+}  // namespace rtle::cc

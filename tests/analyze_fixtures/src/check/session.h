@@ -1,0 +1,11 @@
+// Fixture checker vocabulary.
+#pragma once
+
+namespace rtle::check {
+
+enum class ReportKind {
+  kRace,
+  kLockOrder,
+};
+
+}  // namespace rtle::check

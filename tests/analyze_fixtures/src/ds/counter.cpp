@@ -1,0 +1,42 @@
+// Fixture data structure: shared words go through the mem shim, and the
+// trace session is only consulted behind the ambient dispatch word.
+#include <cstdint>
+
+namespace rtle::mem {
+std::uint64_t plain_load(const std::uint64_t* addr);
+void plain_store(std::uint64_t* addr, std::uint64_t value);
+}  // namespace rtle::mem
+
+namespace rtle::ambient {
+enum Kind : std::uint32_t { kTrace = 1u << 1 };
+bool any(std::uint32_t bits);
+}  // namespace rtle::ambient
+
+namespace rtle::trace {
+struct TraceSession;
+TraceSession* active_trace();
+void note(TraceSession* tr);
+}  // namespace rtle::trace
+
+namespace rtle::ds {
+
+void bump_remote(std::uint64_t* word) {
+  const std::uint64_t v = mem::plain_load(word);
+  mem::plain_store(word, v + 1);
+}
+
+class Counter {
+ public:
+  void bump() {
+    const std::uint64_t v = mem::plain_load(&value_);
+    mem::plain_store(&value_, v + 1);
+    if (ambient::any(ambient::kTrace)) {
+      trace::note(trace::active_trace());
+    }
+  }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+}  // namespace rtle::ds

@@ -1,0 +1,17 @@
+// Fixture corpus for tests/analyze_test.cpp — a miniature of the real
+// tree, clean under every rtle_analyze pass. The tests mutate copies of
+// these files in memory and assert each pass names the planted violation.
+#pragma once
+
+#include <cstddef>
+
+namespace rtle::htm {
+
+enum class AbortCause {
+  kNone,
+  kConflict,
+};
+
+inline constexpr std::size_t kNumAbortCauses = 2;
+
+}  // namespace rtle::htm

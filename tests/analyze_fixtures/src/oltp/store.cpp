@@ -1,0 +1,14 @@
+// Fixture cross-shard acquisition: guards taken in ascending order.
+#include <cstdint>
+
+namespace rtle::oltp {
+
+void enter_shard(std::uint32_t s);
+
+void acquire_all(const std::uint32_t* order, std::uint32_t n) {
+  for (std::uint32_t i = 0; i < n; ++i) {
+    enter_shard(order[i]);
+  }
+}
+
+}  // namespace rtle::oltp

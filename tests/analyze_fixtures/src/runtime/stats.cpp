@@ -1,0 +1,16 @@
+// Fixture stats surface: every non-reserved MethodStats counter appears
+// here by name.
+#include "runtime/stats.h"
+
+namespace rtle::runtime {
+
+int surface(const MethodStats& s) {
+  int total = 0;
+  total += static_cast<int>(s.ops);
+  total += static_cast<int>(s.commits);
+  total += static_cast<int>(s.aborts[0]);
+  total += static_cast<int>(s.abort_cause[0]);
+  return total;
+}
+
+}  // namespace rtle::runtime

@@ -1,0 +1,19 @@
+// Fixture MethodStats: 8 uint64_t words = 64 bytes, one whole cache line.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "htm/htm.h"
+
+namespace rtle::runtime {
+
+struct MethodStats {
+  std::uint64_t ops = 0;
+  std::uint64_t commits = 0;
+  std::uint64_t aborts[2] = {};
+  std::array<std::uint64_t, htm::kNumAbortCauses> abort_cause{};
+  std::uint64_t reserved_[2] = {};
+};
+
+}  // namespace rtle::runtime

@@ -1,0 +1,23 @@
+// Fixture event vocabulary: one paired kind (txn begin/commit) and one
+// instant kind.
+#pragma once
+
+#include <cstdint>
+
+namespace rtle::trace {
+
+enum class EventType : std::uint8_t {
+  kTxnBegin,
+  kTxnCommit,
+  kModeSwitch,
+};
+
+struct TraceEvent {
+  std::uint64_t ts = 0;
+  std::uint64_t arg = 0;
+  std::uint8_t type = 0;
+};
+
+const char* to_string(EventType t);
+
+}  // namespace rtle::trace

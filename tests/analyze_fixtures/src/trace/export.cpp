@@ -1,0 +1,21 @@
+// Fixture exporter: txn begin/commit pair into one "txn-" slice; the
+// mode switch exports as an arg-preserving instant.
+#include "trace/event.h"
+
+namespace rtle::trace {
+
+void export_one(const TraceEvent& ev, int& open_ts) {
+  switch (static_cast<EventType>(ev.type)) {
+    case EventType::kTxnBegin:
+      open_ts = static_cast<int>(ev.ts);
+      break;
+    case EventType::kTxnCommit:
+      open_ts = static_cast<int>(ev.ts - static_cast<std::uint64_t>(open_ts));
+      break;
+    case EventType::kModeSwitch:
+      open_ts = static_cast<int>(ev.arg);
+      break;
+  }
+}
+
+}  // namespace rtle::trace

@@ -1,0 +1,15 @@
+// Fixture to_string: the JSON name of each event kind.
+#include "trace/event.h"
+
+namespace rtle::trace {
+
+const char* to_string(EventType t) {
+  switch (t) {
+    case EventType::kTxnBegin: return "txn-begin";
+    case EventType::kTxnCommit: return "txn-commit";
+    case EventType::kModeSwitch: return "mode-switch";
+  }
+  return "?";
+}
+
+}  // namespace rtle::trace

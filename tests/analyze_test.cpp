@@ -1,0 +1,205 @@
+// Tests for tools/rtle_analyze — the in-tree static invariant analyzer
+// (DESIGN.md §15).
+//
+// The strategy is mutation self-testing: tests/analyze_fixtures/ holds a
+// miniature repo that is clean under every pass; each test copies that
+// corpus in memory, plants exactly one violation, and asserts the right
+// pass names it. A pass that cannot detect its own seeded bug is a claim,
+// not a check — the same standard the dynamic checker is held to by
+// CheckNegative.*.
+//
+// Two invariants about the real tree ride along: the repo's own sources
+// must stay clean (the zero-unsuppressed-findings acceptance bar), and
+// two independent loads + runs must render byte-identical output (CI
+// diffs findings artifacts across runs).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "analyze.h"
+
+namespace rtle::analyze {
+namespace {
+
+Corpus fixtures() { return load_tree(RTLE_ANALYZE_FIXTURES); }
+
+/// Replace `from` with `to` in the corpus file at `path`; fails the test
+/// if either the file or the needle is missing (a stale fixture would
+/// otherwise turn the mutation test into a silent no-op).
+void mutate(Corpus& corpus, const std::string& path, const std::string& from,
+            const std::string& to) {
+  for (SourceFile& f : corpus.files) {
+    if (f.path != path) continue;
+    const std::size_t at = f.text.find(from);
+    ASSERT_NE(at, std::string::npos)
+        << "fixture " << path << " lost the needle: " << from;
+    f.text.replace(at, from.size(), to);
+    return;
+  }
+  FAIL() << "no fixture file " << path;
+}
+
+bool names(const std::vector<Finding>& fs, const std::string& pass,
+           const std::string& needle) {
+  for (const Finding& f : fs) {
+    if (f.pass == pass && f.message.find(needle) != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string dump(const std::vector<Finding>& fs) {
+  return render_text(fs);
+}
+
+TEST(Analyze, FixtureCorpusIsClean) {
+  const std::vector<Finding> fs = run(fixtures(), {});
+  EXPECT_TRUE(fs.empty()) << dump(fs);
+}
+
+TEST(Analyze, EveryPassHasANameAndDescription) {
+  EXPECT_GE(passes().size(), 6u);
+  for (const Pass& p : passes()) {
+    EXPECT_NE(p.name[0], '\0');
+    EXPECT_NE(p.description[0], '\0');
+  }
+}
+
+TEST(Analyze, UnknownPassNameIsAnError) {
+  EXPECT_THROW(run(fixtures(), {"no-such-pass"}), std::exception);
+}
+
+// --- shim-bypass --------------------------------------------------------
+
+TEST(AnalyzeMutation, ShimBypassDetectsRawStore) {
+  Corpus c = fixtures();
+  mutate(c, "src/ds/counter.cpp", "mem::plain_store(word, v + 1);",
+         "*word = v + 1;");
+  const std::vector<Finding> fs = run(c, {"shim-bypass"});
+  EXPECT_TRUE(names(fs, "shim-bypass", "'word'")) << dump(fs);
+}
+
+TEST(AnalyzeMutation, ShimBypassHonorsTheHistoricalSuppression) {
+  Corpus c = fixtures();
+  mutate(c, "src/ds/counter.cpp", "mem::plain_store(word, v + 1);",
+         "*word = v + 1;  // shim-lint: ok (fixture)");
+  const std::vector<Finding> fs = run(c, {"shim-bypass"});
+  EXPECT_TRUE(fs.empty()) << dump(fs);
+}
+
+// --- trace-events -------------------------------------------------------
+
+TEST(AnalyzeMutation, TraceEventsDetectsMissingExportCase) {
+  Corpus c = fixtures();
+  mutate(c, "src/trace/export.cpp",
+         "    case EventType::kModeSwitch:\n"
+         "      open_ts = static_cast<int>(ev.arg);\n"
+         "      break;\n",
+         "");
+  const std::vector<Finding> fs = run(c, {"trace-events"});
+  EXPECT_TRUE(names(fs, "trace-events", "kModeSwitch")) << dump(fs);
+  EXPECT_TRUE(names(fs, "trace-events", "no explicit case")) << dump(fs);
+}
+
+TEST(AnalyzeMutation, TraceEventsDetectsArgDroppingExport) {
+  Corpus c = fixtures();
+  mutate(c, "src/trace/export.cpp", "open_ts = static_cast<int>(ev.arg);",
+         "open_ts = 0;");
+  const std::vector<Finding> fs = run(c, {"trace-events"});
+  EXPECT_TRUE(names(fs, "trace-events", "not arg-preserving")) << dump(fs);
+}
+
+TEST(AnalyzeMutation, TraceEventsDetectsUnhandledNameInTraceStats) {
+  Corpus c = fixtures();
+  mutate(c, "tools/trace_stats.cpp", "if (name == \"mode-switch\") return 2;",
+         "");
+  const std::vector<Finding> fs = run(c, {"trace-events"});
+  EXPECT_TRUE(names(fs, "trace-events", "\"mode-switch\"")) << dump(fs);
+  EXPECT_TRUE(names(fs, "trace-events", "no handler")) << dump(fs);
+}
+
+// --- stats-ledger -------------------------------------------------------
+
+TEST(AnalyzeMutation, StatsLedgerDetectsBrokenCacheLineBudget) {
+  Corpus c = fixtures();
+  mutate(c, "src/runtime/stats.h", "std::uint64_t reserved_[2] = {};",
+         "std::uint64_t reserved_[3] = {};");
+  const std::vector<Finding> fs = run(c, {"stats-ledger"});
+  EXPECT_TRUE(names(fs, "stats-ledger", "64-byte")) << dump(fs);
+}
+
+TEST(AnalyzeMutation, StatsLedgerDetectsUnsurfacedCounter) {
+  Corpus c = fixtures();
+  mutate(c, "src/runtime/stats.h", "std::uint64_t reserved_[2] = {};",
+         "std::uint64_t orphan_[2] = {};");
+  const std::vector<Finding> fs = run(c, {"stats-ledger"});
+  EXPECT_TRUE(names(fs, "stats-ledger", "orphan_")) << dump(fs);
+  EXPECT_TRUE(names(fs, "stats-ledger", "never surfaced")) << dump(fs);
+}
+
+// --- lock-order ---------------------------------------------------------
+
+TEST(AnalyzeMutation, LockOrderDetectsReversedAcquisitionIndex) {
+  Corpus c = fixtures();
+  mutate(c, "src/oltp/store.cpp", "enter_shard(order[i]);",
+         "enter_shard(order[n - 1 - i]);");
+  const std::vector<Finding> fs = run(c, {"lock-order"});
+  EXPECT_TRUE(names(fs, "lock-order", "induction variable")) << dump(fs);
+}
+
+TEST(AnalyzeMutation, LockOrderDetectsUnsortedLockSlots) {
+  Corpus c = fixtures();
+  mutate(c, "src/cc/silo.cpp", "std::sort(slots.begin(), slots.end());", "");
+  const std::vector<Finding> fs = run(c, {"lock-order"});
+  EXPECT_TRUE(names(fs, "lock-order", "collect_lock_slots")) << dump(fs);
+}
+
+// --- check-coverage -----------------------------------------------------
+
+TEST(AnalyzeMutation, CheckCoverageDetectsUntestedReportKind) {
+  Corpus c = fixtures();
+  mutate(c, "tests/check_test.cpp",
+         "int cover_order() { return "
+         "static_cast<int>(check::ReportKind::kLockOrder); }",
+         "");
+  const std::vector<Finding> fs = run(c, {"check-coverage"});
+  EXPECT_TRUE(names(fs, "check-coverage", "kLockOrder")) << dump(fs);
+}
+
+// --- ambient-seam -------------------------------------------------------
+
+TEST(AnalyzeMutation, AmbientSeamDetectsUnguardedSessionHook) {
+  Corpus c = fixtures();
+  mutate(c, "src/ds/counter.cpp",
+         "    if (ambient::any(ambient::kTrace)) {\n"
+         "      trace::note(trace::active_trace());\n"
+         "    }",
+         "    trace::note(trace::active_trace());");
+  const std::vector<Finding> fs = run(c, {"ambient-seam"});
+  EXPECT_TRUE(names(fs, "ambient-seam", "active_trace")) << dump(fs);
+}
+
+// --- the real tree ------------------------------------------------------
+
+TEST(AnalyzeTree, RepoSourcesAreClean) {
+  const std::vector<Finding> fs = run(load_tree(RTLE_SOURCE_DIR), {});
+  EXPECT_TRUE(fs.empty()) << dump(fs);
+}
+
+TEST(AnalyzeTree, TwoRunsRenderByteIdenticalOutput) {
+  const std::vector<Finding> a = run(load_tree(RTLE_SOURCE_DIR), {});
+  const std::vector<Finding> b = run(load_tree(RTLE_SOURCE_DIR), {});
+  EXPECT_EQ(render_json(a), render_json(b));
+  EXPECT_EQ(render_text(a), render_text(b));
+  // The fixture corpus too — with findings present, in mutated form.
+  Corpus c1 = fixtures();
+  Corpus c2 = fixtures();
+  mutate(c1, "src/cc/silo.cpp", "std::sort(slots.begin(), slots.end());", "");
+  mutate(c2, "src/cc/silo.cpp", "std::sort(slots.begin(), slots.end());", "");
+  EXPECT_EQ(render_json(run(c1, {})), render_json(run(c2, {})));
+}
+
+}  // namespace
+}  // namespace rtle::analyze

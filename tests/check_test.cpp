@@ -62,7 +62,7 @@ std::string detail_of(const CheckSession& chk, ReportKind k) {
 
 /// One lock-held (htm-unfriendly) writer CS under FG-TLE with the given
 /// seeded bugs; contended by a reader thread so the slow path runs.
-void run_seeded_fgtle(CheckSession& chk, const tle::FgTleMethod::SeededBugs& b,
+void run_seeded_fgtle(CheckSession& /*chk (installed; kept for lifetime)*/, const tle::FgTleMethod::SeededBugs& b,
                       std::uint32_t norecs = 1) {
   SimScope sim(MachineConfig::corei7());
   tle::FgTleMethod m(norecs);
@@ -118,6 +118,55 @@ TEST(CheckNegative, SkippedSlowPathSelfAbortIsReported) {
   ASSERT_GT(chk.report_count(), 0u);
   EXPECT_TRUE(has_kind(chk, ReportKind::kSlowMissedAbort)) << chk.summary();
   EXPECT_NE(detail_of(chk, ReportKind::kSlowMissedAbort).find("abort"),
+            std::string::npos);
+}
+
+// The three §4.2 epoch-shape invariants are driven through the public
+// hooks directly: each test plants exactly the malformed epoch transition
+// the checker must name, from a real simulated fiber (the hooks no-op
+// off-fiber).
+
+TEST(CheckNegative, EvenHolderEpochIsReportedAsSeqParity) {
+  CheckSession chk;
+  SimScope sim(MachineConfig::corei7());
+  int marker;
+  test::run_workers(sim, 1, 1, 7, [&](ThreadCtx&, std::uint64_t) {
+    // +1 increment holds (1 -> 2) but the holder epoch is even.
+    chk.on_fg_cs_open(&marker, 1, 2);
+  });
+  ASSERT_GT(chk.report_count(), 0u);
+  EXPECT_TRUE(has_kind(chk, ReportKind::kSeqParity)) << chk.summary();
+  EXPECT_NE(detail_of(chk, ReportKind::kSeqParity).find("odd"),
+            std::string::npos);
+}
+
+TEST(CheckNegative, NonUnitEpochIncrementIsReportedAsSeqMonotonic) {
+  CheckSession chk;
+  SimScope sim(MachineConfig::corei7());
+  int marker;
+  test::run_workers(sim, 1, 1, 7, [&](ThreadCtx&, std::uint64_t) {
+    // Holder stamped 5 over 2: parity is fine, the +1 rule is not.
+    chk.on_fg_cs_open(&marker, 2, 5);
+  });
+  ASSERT_GT(chk.report_count(), 0u);
+  EXPECT_TRUE(has_kind(chk, ReportKind::kSeqMonotonic)) << chk.summary();
+  EXPECT_NE(detail_of(chk, ReportKind::kSeqMonotonic).find("one"),
+            std::string::npos);
+}
+
+TEST(CheckNegative, DoubleOrecStampInOneCsIsReportedAsOrecRestamp) {
+  CheckSession chk;
+  SimScope sim(MachineConfig::corei7());
+  int marker;
+  std::uint64_t orec = 0;
+  test::run_workers(sim, 1, 1, 7, [&](ThreadCtx&, std::uint64_t) {
+    chk.on_fg_cs_open(&marker, 2, 3);
+    chk.on_fg_orec_stamp(&marker, &orec, 3, 0);  // stamps the holder epoch
+    chk.on_fg_orec_stamp(&marker, &orec, 3, 3);  // ... twice in one CS
+  });
+  ASSERT_GT(chk.report_count(), 0u);
+  EXPECT_TRUE(has_kind(chk, ReportKind::kOrecRestamp)) << chk.summary();
+  EXPECT_NE(detail_of(chk, ReportKind::kOrecRestamp).find("twice"),
             std::string::npos);
 }
 

@@ -74,7 +74,9 @@ TEST(TxHashMap, MatchesUnorderedMapReference) {
           std::uint64_t* v = map.find(ctx, key);
           auto it = ref.find(key);
           ASSERT_EQ(v != nullptr, it != ref.end());
-          if (v != nullptr) EXPECT_EQ(ctx.load(v), it->second);
+          if (v != nullptr) {
+            EXPECT_EQ(ctx.load(v), it->second);
+          }
           break;
         }
         default: {  // erase (less often than upsert so the map grows)

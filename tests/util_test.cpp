@@ -82,7 +82,7 @@ TEST(TTSLock, MutualExclusionUnderContention) {
   std::uint64_t in_cs = 0;
   std::uint64_t max_in_cs = 0;
   test::run_workers(sim, 12, 100, 17,
-                    [&](runtime::ThreadCtx& th, std::uint64_t) {
+                    [&](runtime::ThreadCtx& /*th*/, std::uint64_t) {
                       lock.acquire();
                       in_cs += 1;
                       max_in_cs = std::max(max_in_cs, in_cs);

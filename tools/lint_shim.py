@@ -1,224 +1,125 @@
 #!/usr/bin/env python3
-"""Shim-bypass linter for simulated shared memory.
+"""DEPRECATED shim-bypass linter — now a thin wrapper over rtle_analyze.
 
-Every access to simulated shared memory (the ``std::uint64_t`` words that
-data structures in ``src/ds`` and STMs in ``src/stm`` share across fibers)
-must go through an accounting wrapper — ``mem::plain_load`` /
-``mem::plain_store`` / ``mem::plain_cas`` / ``mem::plain_faa``, the HTM
-``tx_load`` / ``tx_store`` barriers, or a ``TxContext`` accessor
-(``ctx.load`` / ``ctx.store``). A *raw* dereference compiles and even
-produces the right value, but it is invisible to the MESI cost model, to
-conflict detection, and to the ``rtle::check`` race detector — the
-simulation silently stops being a simulation. The C++ type system cannot
-catch this (the pointer types are identical), so this linter does.
+The regex linter that used to live here was superseded by the
+``shim-bypass`` pass of ``tools/rtle_analyze`` (DESIGN.md §15): a
+token-level, scope-aware analyzer built by the normal CMake tree. The
+pass keeps this script's conventions verbatim — the
+``// shim-lint: ok (<reason>)`` suppression comment and the ``*_meta``
+function-body exemption — and widens coverage from src/ds + src/stm to
+all of src/ and tools/.
 
-Heuristics (regex-level, so deliberately conservative):
-
-  * a unary ``*`` applied to an identifier that the same file declares as
-    ``std::uint64_t*`` (or ``const std::uint64_t*``), outside of the
-    wrapper argument lists named above;
-  * indexing such an identifier with ``[...]``.
-
-Suppressions:
-
-  * a trailing ``// shim-lint: ok (<reason>)`` comment on the offending
-    line — used for meta-level accessors that are documented to run outside
-    the simulation (e.g. ``*_meta`` helpers that execute before fibers
-    start);
-  * function bodies whose name ends in ``_meta`` (the repo-wide convention
-    for setup/teardown helpers that run while no simulated thread exists).
+This wrapper remains so existing invocations (CI, git hooks, muscle
+memory) keep working. It locates the compiled ``rtle_analyze`` binary and
+runs ``rtle_analyze --pass=shim-bypass``; the binary is found via, in
+order: ``--bin``, the ``RTLE_ANALYZE_BIN`` environment variable, then the
+conventional build locations under ``<root>``.
 
 Usage:
-  tools/lint_shim.py [--root REPO_ROOT]     # lint src/ds and src/stm
-  tools/lint_shim.py --self-test            # run the built-in test cases
+  tools/lint_shim.py [--root REPO_ROOT] [--bin PATH]
+  tools/lint_shim.py --self-test     # end-to-end delegation self-test
 
-Exit status: 0 when clean, 1 when findings exist, 2 on usage errors.
+Exit status: 0 when clean, 1 when findings exist, 2 on usage/environment
+errors — the same contract the regex linter had.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import pathlib
-import re
+import subprocess
 import sys
+import tempfile
 
-# Identifier declared as a (possibly const) pointer to std::uint64_t.
-DECL_RE = re.compile(
-    r"(?:const\s+)?(?:std::)?uint64_t\s*\*\s*(?:const\s+)?([A-Za-z_]\w*)"
+DEPRECATION_NOTE = (
+    "lint_shim.py is deprecated: it now delegates to "
+    "`rtle_analyze --pass=shim-bypass` (see DESIGN.md §15). "
+    "Invoke the binary directly for the other passes."
 )
 
-# Wrappers whose argument position legitimately *names* (not dereferences)
-# a shared word. Raw '*' inside their parens is address arithmetic, not an
-# access.
-WRAPPER_RE = re.compile(
-    r"\b(?:mem::plain_(?:load|store|cas|faa)|tx_load|tx_store|"
-    r"tx_store_and_commit|ctx\.(?:load|store)|observe_plain_(?:load|store)|"
-    r"register_meta|ignore_range|line_of)\s*\("
+CANDIDATE_BINS = (
+    "build/tools/rtle_analyze",
+    "build/Release/tools/rtle_analyze",
+    "build/Debug/tools/rtle_analyze",
 )
 
-SUPPRESS_RE = re.compile(r"//\s*shim-lint:\s*ok\b")
 
-META_FN_RE = re.compile(r"\b[A-Za-z_]\w*_meta\s*\(")
-
-
-def strip_comments_and_strings(line: str) -> str:
-    line = re.sub(r'"(?:\\.|[^"\\])*"', '""', line)
-    line = re.sub(r"'(?:\\.|[^'\\])*'", "''", line)
-    return line.split("//", 1)[0]
-
-
-def shared_pointer_names(text: str) -> set[str]:
-    return set(DECL_RE.findall(text))
-
-
-def lint_text(text: str, path: str) -> list[str]:
-    """Returns findings as 'path:line: message' strings."""
-    names = shared_pointer_names(text)
-    if not names:
-        return []
-    alt = "|".join(map(re.escape, names))
-    deref_res = [
-        # *name outside a wrapper call — unary deref or name[...] indexing.
-        re.compile(r"(?<![\w)\]])\*\s*(" + alt + r")\b"),
-        re.compile(r"\b(" + alt + r")\s*\["),
-    ]
-    findings: list[str] = []
-    meta_depth = 0  # brace depth tracking inside a *_meta function body
-    depth = 0
-    for lineno, raw in enumerate(text.splitlines(), start=1):
-        if META_FN_RE.search(raw) and raw.rstrip().endswith("{"):
-            meta_depth = depth + 1
-        code = strip_comments_and_strings(raw)
-        depth += code.count("{") - code.count("}")
-        if meta_depth and depth < meta_depth:
-            meta_depth = 0
-        if meta_depth:
-            continue
-        if SUPPRESS_RE.search(raw):
-            continue
-        # Blank out wrapper argument lists: a '*name' there is fine.
-        scrubbed = code
-        while True:
-            m = WRAPPER_RE.search(scrubbed)
-            if m is None:
-                break
-            # Blank to the matching close paren (single-line heuristic).
-            i = m.end()
-            level = 1
-            while i < len(scrubbed) and level:
-                level += {"(": 1, ")": -1}.get(scrubbed[i], 0)
-                i += 1
-            scrubbed = scrubbed[: m.start()] + " " * (i - m.start()) + scrubbed[i:]
-        for rx in deref_res:
-            m = rx.search(scrubbed)
-            if m:
-                findings.append(
-                    f"{path}:{lineno}: raw access to shared word "
-                    f"'{m.group(1)}' bypasses the mem/ctx shim "
-                    f"(invisible to the cost model and rtle::check); "
-                    f"use mem::plain_* / ctx.load / ctx.store, or annotate "
-                    f"'// shim-lint: ok (<reason>)'"
-                )
-                break
-    return findings
+def find_binary(root: pathlib.Path, explicit: str | None) -> pathlib.Path | None:
+    if explicit:
+        p = pathlib.Path(explicit)
+        return p if p.is_file() else None
+    env = os.environ.get("RTLE_ANALYZE_BIN")
+    if env:
+        p = pathlib.Path(env)
+        return p if p.is_file() else None
+    for rel in CANDIDATE_BINS:
+        p = root / rel
+        if p.is_file():
+            return p
+    return None
 
 
-def lint_tree(root: pathlib.Path) -> list[str]:
-    findings: list[str] = []
-    for sub in ("src/ds", "src/stm", "src/oltp", "src/admit", "src/cc"):
-        for path in sorted((root / sub).glob("*.[ch]pp")) + sorted(
-            (root / sub).glob("*.h")
-        ):
-            findings.extend(lint_text(path.read_text(), str(path.relative_to(root))))
-    return findings
-
-
-SELF_TEST_CASES = [
-    # (name, expect_findings, source)
-    ("raw deref flagged", True, """
-        std::uint64_t read_it(const std::uint64_t* addr) {
-          return *addr;
-        }
-    """),
-    ("indexing flagged", True, """
-        void sum(std::uint64_t* words) {
-          total += words[3];
-        }
-    """),
-    ("wrapper call clean", False, """
-        std::uint64_t read_it(const std::uint64_t* addr) {
-          return mem::plain_load(addr);
-        }
-    """),
-    ("ctx accessor clean", False, """
-        std::uint64_t read_it(runtime::TxContext& ctx, std::uint64_t* addr) {
-          return ctx.load(addr);
-        }
-    """),
-    ("suppression honored", False, """
-        std::uint64_t peek(const std::uint64_t* addr) {
-          return *addr;  // shim-lint: ok (meta-level diagnostic dump)
-        }
-    """),
-    ("meta function body clean", False, """
-        std::uint64_t sum_meta(const std::uint64_t* addr) {
-          return *addr + addr[1];
-        }
-    """),
-    ("multiplication not flagged", False, """
-        std::uint64_t scale(std::uint64_t* addr, std::uint64_t k) {
-          return mem::plain_load(addr) * k;
-        }
-    """),
-    ("unrelated pointer clean", False, """
-        int deref(const int* p) { return *p; }
-    """),
-    # oltp code shares TxHashMap value words across shards; a raw deref of
-    # the returned value pointer bypasses the shim like anywhere else.
-    ("oltp value-pointer bypass flagged", True, """
-        std::uint64_t Store::MultiTx::read(std::uint64_t key) {
-          std::uint64_t* v = store_.maps_[s]->find(ctx, key);
-          return v == nullptr ? 0 : *v;
-        }
-    """),
-]
-
-
-def self_test() -> int:
-    failed = 0
-    for name, expect, src in SELF_TEST_CASES:
-        # Re-indent the snippet and force function-start brace detection.
-        text = "\n".join(line[8:] if line.startswith(" " * 8) else line
-                         for line in src.strip("\n").splitlines())
-        got = bool(lint_text(text, "<self-test>"))
-        status = "ok" if got == expect else "FAIL"
-        if got != expect:
-            failed += 1
-        print(f"  [{status}] {name} (expected {'findings' if expect else 'clean'})")
-    print(f"self-test: {len(SELF_TEST_CASES) - failed}/{len(SELF_TEST_CASES)} passed")
-    return 1 if failed else 0
+def self_test(binary: pathlib.Path) -> int:
+    """Prove the delegation end-to-end: a planted raw dereference must be
+    reported, and a ``// shim-lint: ok`` suppressed one must not. The full
+    per-pass mutation self-tests live in tests/analyze_test.cpp and run
+    under ctest; this keeps ``--self-test`` meaningful without a second
+    copy of that corpus."""
+    ok = True
+    for suppress, expect_findings in ((False, True), (True, False)):
+        with tempfile.TemporaryDirectory() as tmp:
+            src = pathlib.Path(tmp) / "src" / "ds"
+            src.mkdir(parents=True)
+            tail = "  // shim-lint: ok (self-test)" if suppress else ""
+            (src / "probe.cpp").write_text(
+                "#include <cstdint>\n"
+                "void probe(std::uint64_t* w) {\n"
+                f"  *w = 1;{tail}\n"
+                "}\n"
+            )
+            r = subprocess.run(
+                [str(binary), f"--root={tmp}", "--pass=shim-bypass"],
+                capture_output=True,
+            )
+            if (r.returncode == 1) != expect_findings or r.returncode > 1:
+                ok = False
+                sys.stderr.write(r.stdout.decode() + r.stderr.decode())
+    print("self-test:", "PASS" if ok else "FAIL")
+    return 0 if ok else 1
 
 
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--root", default=".", help="repository root")
+    ap.add_argument("--bin", default=None,
+                    help="path to the rtle_analyze binary "
+                         "(default: $RTLE_ANALYZE_BIN, then build/tools/)")
     ap.add_argument("--self-test", action="store_true",
-                    help="run built-in test cases and exit")
+                    help="run the end-to-end delegation self-test")
     args = ap.parse_args()
-    if args.self_test:
-        return self_test()
-    root = pathlib.Path(args.root).resolve()
-    if not (root / "src" / "ds").is_dir():
-        print(f"lint_shim: {root} does not look like the rtle repo", file=sys.stderr)
+
+    print(f"note: {DEPRECATION_NOTE}", file=sys.stderr)
+
+    root = pathlib.Path(args.root)
+    if not root.is_dir():
+        print(f"lint_shim: no such root '{root}'", file=sys.stderr)
         return 2
-    findings = lint_tree(root)
-    for f in findings:
-        print(f)
-    if findings:
-        print(f"lint_shim: {len(findings)} finding(s)", file=sys.stderr)
-        return 1
-    print("lint_shim: clean")
-    return 0
+    binary = find_binary(root, args.bin)
+    if binary is None:
+        print(
+            "lint_shim: cannot find the rtle_analyze binary — build it "
+            "first (`cmake --build build --target rtle_analyze`) or point "
+            "--bin / $RTLE_ANALYZE_BIN at it",
+            file=sys.stderr,
+        )
+        return 2
+
+    if args.self_test:
+        return self_test(binary)
+
+    r = subprocess.run([str(binary), f"--root={root}", "--pass=shim-bypass"])
+    return r.returncode
 
 
 if __name__ == "__main__":

@@ -1,0 +1,305 @@
+#include "analyze.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace rtle::analyze {
+
+namespace fs = std::filesystem;
+
+const SourceFile* Corpus::find(std::string_view path) const {
+  for (const SourceFile& f : files) {
+    if (f.path == path) return &f;
+  }
+  return nullptr;
+}
+
+// --- FileScan -----------------------------------------------------------
+
+namespace {
+
+/// Parse suppression comments out of the raw text (the lexer drops
+/// comments, so this walks lines directly).
+void scan_suppressions(
+    const std::string& text,
+    std::map<int, std::set<std::string, std::less<>>>& ok_lines,
+    std::set<int>& shim_ok_lines) {
+  int line = 1;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    const std::string_view lv(text.data() + pos,
+                              (eol == std::string::npos ? text.size() : eol) -
+                                  pos);
+    if (lv.find("shim-lint: ok") != std::string_view::npos) {
+      shim_ok_lines.insert(line);
+    }
+    const std::size_t m = lv.find("rtle-analyze: ok");
+    if (m != std::string_view::npos) {
+      std::string_view rest = lv.substr(m + std::string_view("rtle-analyze: ok").size());
+      std::set<std::string, std::less<>> names;
+      if (!rest.empty() && rest.front() == '(') {
+        const std::size_t close = rest.find(')');
+        std::string inner(rest.substr(1, close == std::string_view::npos
+                                             ? rest.size() - 1
+                                             : close - 1));
+        std::string cur;
+        for (char c : inner + ",") {
+          if (c == ',') {
+            if (!cur.empty()) names.insert(cur);
+            cur.clear();
+          } else if (c != ' ') {
+            cur += c;
+          }
+        }
+      }
+      ok_lines[line] = std::move(names);  // empty set = all passes
+    }
+    if (eol == std::string::npos) break;
+    pos = eol + 1;
+    line += 1;
+  }
+}
+
+}  // namespace
+
+FileScan::FileScan(const SourceFile& file) : file_(&file), toks_(lex(file.text)) {
+  scan_suppressions(file.text, ok_lines_, shim_ok_lines_);
+  // `_meta` function bodies: an identifier ending in "_meta" followed by
+  // '(' at a position where a function *definition* can start, whose
+  // parameter list is followed by '{'. Track the body's line range.
+  const auto& t = toks_;
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (t[i].kind != TokKind::kIdent) continue;
+    const std::string_view name = t[i].text;
+    if (name.size() < 5 || name.substr(name.size() - 5) != "_meta") continue;
+    if (t[i + 1].text != "(") continue;
+    const std::size_t close = close_of(t, i + 1);
+    if (close >= t.size()) continue;
+    // Skip trailing specifiers (const/noexcept/...) up to '{' or give up
+    // at tokens that end a declaration.
+    std::size_t j = close + 1;
+    while (j < t.size() && t[j].text != "{" && t[j].text != ";" &&
+           t[j].text != ")" && t[j].text != ",") {
+      j += 1;
+    }
+    if (j >= t.size() || t[j].text != "{") continue;
+    const std::size_t body_close = close_of(t, j);
+    if (body_close >= t.size()) continue;
+    meta_ranges_.emplace_back(t[j].line, t[body_close].line);
+  }
+}
+
+bool FileScan::suppressed(int line, std::string_view pass) const {
+  if (pass == "shim-bypass" && shim_ok_lines_.count(line) != 0) return true;
+  const auto it = ok_lines_.find(line);
+  if (it == ok_lines_.end()) return false;
+  return it->second.empty() || it->second.count(pass) != 0;
+}
+
+bool FileScan::in_meta_fn(int line) const {
+  for (const auto& [lo, hi] : meta_ranges_) {
+    if (line >= lo && line <= hi) return true;
+  }
+  return false;
+}
+
+// --- token helpers ------------------------------------------------------
+
+bool match(const std::vector<Tok>& t, std::size_t i,
+           std::initializer_list<std::string_view> pat) {
+  if (i + pat.size() > t.size()) return false;
+  std::size_t k = i;
+  for (std::string_view p : pat) {
+    if (t[k].text != p) return false;
+    k += 1;
+  }
+  return true;
+}
+
+std::size_t close_of(const std::vector<Tok>& t, std::size_t i) {
+  const std::string_view open = t[i].text;
+  const std::string_view close =
+      open == "(" ? ")" : open == "{" ? "}" : "]";
+  int depth = 0;
+  for (std::size_t k = i; k < t.size(); ++k) {
+    if (t[k].kind != TokKind::kPunct) continue;
+    if (t[k].text == open) depth += 1;
+    if (t[k].text == close) {
+      depth -= 1;
+      if (depth == 0) return k;
+    }
+  }
+  return t.size();
+}
+
+std::vector<std::string> enum_members(const SourceFile& file,
+                                      std::string_view name) {
+  const std::vector<Tok> t = lex(file.text);
+  for (std::size_t i = 0; i + 3 < t.size(); ++i) {
+    if (!(t[i].text == "enum" && t[i + 1].text == "class" &&
+          t[i + 2].text == name)) {
+      continue;
+    }
+    std::size_t j = i + 3;
+    while (j < t.size() && t[j].text != "{") j += 1;  // skip `: base`
+    if (j >= t.size()) return {};
+    const std::size_t close = close_of(t, j);
+    std::vector<std::string> out;
+    // Grammar inside: ident [= expr] , ... — an enumerator is an ident
+    // directly after '{' or ','.
+    bool expect = true;
+    for (std::size_t k = j + 1; k < close; ++k) {
+      if (expect && t[k].kind == TokKind::kIdent) {
+        out.emplace_back(t[k].text);
+        expect = false;
+      } else if (t[k].text == ",") {
+        expect = true;
+      }
+    }
+    return out;
+  }
+  return {};
+}
+
+// --- registry / driver --------------------------------------------------
+
+const std::vector<Pass>& passes() {
+  static const std::vector<Pass> kPasses = {
+      {"shim-bypass",
+       "raw accesses to shared uint64_t words that bypass the mem/ctx shim",
+       &pass_shim_bypass},
+      {"trace-events",
+       "every EventType enumerator has an export case and a trace_stats "
+       "handler",
+       &pass_trace_events},
+      {"stats-ledger",
+       "MethodStats stays a whole number of cache lines and every counter "
+       "is surfaced",
+       &pass_stats_ledger},
+      {"lock-order",
+       "cross-shard / CC guard acquisition loops iterate in ascending "
+       "order",
+       &pass_lock_order},
+      {"check-coverage",
+       "every check::ReportKind is exercised by name in a test under "
+       "tests/",
+       &pass_check_coverage},
+      {"ambient-seam",
+       "session hook calls are gated by the ambient-dispatch word",
+       &pass_ambient_seam},
+  };
+  return kPasses;
+}
+
+std::vector<Finding> run(const Corpus& corpus,
+                         const std::vector<std::string>& only) {
+  std::vector<Finding> out;
+  for (const Pass& p : passes()) {
+    if (!only.empty() &&
+        std::find(only.begin(), only.end(), p.name) == only.end()) {
+      continue;
+    }
+    std::vector<Finding> f = p.fn(corpus);
+    out.insert(out.end(), f.begin(), f.end());
+  }
+  if (!only.empty()) {
+    for (const std::string& name : only) {
+      const bool known =
+          std::any_of(passes().begin(), passes().end(),
+                      [&](const Pass& p) { return name == p.name; });
+      if (!known) throw std::runtime_error("unknown pass: " + name);
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
+    if (a.file != b.file) return a.file < b.file;
+    if (a.line != b.line) return a.line < b.line;
+    if (a.pass != b.pass) return a.pass < b.pass;
+    return a.message < b.message;
+  });
+  return out;
+}
+
+std::string render_text(const std::vector<Finding>& findings) {
+  std::string out;
+  for (const Finding& f : findings) {
+    out += f.file + ":" + std::to_string(f.line) + ": [" + f.pass + "] " +
+           f.message + "\n";
+  }
+  out += "rtle_analyze: " + std::to_string(findings.size()) + " finding(s)\n";
+  return out;
+}
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string render_json(const std::vector<Finding>& findings) {
+  std::string out = "{\"tool\":\"rtle_analyze\",\"version\":1,\"findings\":[";
+  bool first = true;
+  for (const Finding& f : findings) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "  {\"pass\":\"" + json_escape(f.pass) + "\",\"file\":\"" +
+           json_escape(f.file) + "\",\"line\":" + std::to_string(f.line) +
+           ",\"message\":\"" + json_escape(f.message) + "\"}";
+  }
+  out += "\n],\"count\":" + std::to_string(findings.size()) + "}\n";
+  return out;
+}
+
+Corpus load_tree(const std::string& root) {
+  const fs::path rootp(root);
+  if (!fs::is_directory(rootp / "src")) {
+    throw std::runtime_error(root + " does not look like the rtle repo "
+                             "(no src/ directory)");
+  }
+  Corpus corpus;
+  for (const char* top : {"src", "tools", "tests"}) {
+    const fs::path dir = rootp / top;
+    if (!fs::is_directory(dir)) continue;
+    for (const auto& ent : fs::recursive_directory_iterator(dir)) {
+      if (!ent.is_regular_file()) continue;
+      const std::string ext = ent.path().extension().string();
+      if (ext != ".h" && ext != ".cpp") continue;
+      std::ifstream in(ent.path(), std::ios::binary);
+      std::ostringstream ss;
+      ss << in.rdbuf();
+      corpus.files.push_back(
+          {fs::relative(ent.path(), rootp).generic_string(), ss.str()});
+    }
+  }
+  std::sort(corpus.files.begin(), corpus.files.end(),
+            [](const SourceFile& a, const SourceFile& b) {
+              return a.path < b.path;
+            });
+  return corpus;
+}
+
+}  // namespace rtle::analyze

@@ -1,0 +1,127 @@
+// rtle_analyze: the in-tree static invariant analyzer.
+//
+// The simulator's correctness rests on conventions the C++ type system
+// cannot see: shared-word accesses must flow through the mem/ctx shim,
+// session hooks on hot paths must hide behind the ambient-dispatch word,
+// cross-shard guards must be taken in ascending order, and every
+// EventType / MethodStats / ReportKind addition must be wired end-to-end
+// through export, stats and tests. Each convention is one *pass* here; a
+// pass is a pure function from a source Corpus to a list of Findings, so
+// the whole tool is trivially deterministic and self-testable (the
+// mutation tests in tests/analyze_test.cpp inject one violation per pass
+// and assert the finding fires by name).
+//
+// Suppression conventions (see DESIGN.md §15):
+//   * `// shim-lint: ok (<reason>)` — line-level, honored by the
+//     shim-bypass pass only (inherited from the retired lint_shim.py).
+//   * `// rtle-analyze: ok(<pass>) (<reason>)` — line-level, pass-named.
+//     `// rtle-analyze: ok (<reason>)` suppresses every pass on the line.
+//   * function bodies whose name ends in `_meta` are exempt from the
+//     shim-bypass pass (the repo-wide convention for setup/teardown
+//     helpers that run while no simulated thread exists).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lexer.h"
+
+namespace rtle::analyze {
+
+struct SourceFile {
+  std::string path;  // repo-relative, '/'-separated (e.g. "src/mem/shim.cpp")
+  std::string text;
+};
+
+struct Corpus {
+  std::vector<SourceFile> files;  // sorted by path (load_tree guarantees it)
+
+  /// The file with exactly this repo-relative path, or nullptr.
+  const SourceFile* find(std::string_view path) const;
+};
+
+struct Finding {
+  std::string pass;     // pass name, e.g. "shim-bypass"
+  std::string file;     // repo-relative path
+  int line = 0;         // 1-based
+  std::string message;  // names the violated contract and the remedy
+};
+
+/// Everything a pass needs from one file, computed once: the token stream,
+/// the per-line suppression table, and the `_meta`-function line ranges.
+class FileScan {
+ public:
+  FileScan(const SourceFile& file);
+
+  const SourceFile& file() const { return *file_; }
+  const std::vector<Tok>& toks() const { return toks_; }
+
+  /// True when `line` carries a suppression naming `pass` (or naming no
+  /// pass at all). `shim-lint: ok` counts only for pass "shim-bypass".
+  bool suppressed(int line, std::string_view pass) const;
+
+  /// True when `line` is inside the body of a `*_meta` function.
+  bool in_meta_fn(int line) const;
+
+ private:
+  const SourceFile* file_;
+  std::vector<Tok> toks_;
+  // line -> comma-separated pass names; "" = all passes.
+  std::map<int, std::set<std::string, std::less<>>> ok_lines_;
+  std::set<int> shim_ok_lines_;
+  std::vector<std::pair<int, int>> meta_ranges_;  // [first, last] lines
+};
+
+using PassFn = std::vector<Finding> (*)(const Corpus&);
+
+struct Pass {
+  const char* name;
+  const char* description;  // one line, shown by --list-passes
+  PassFn fn;
+};
+
+/// The pass suite, in canonical order.
+const std::vector<Pass>& passes();
+
+/// Run `only` (all passes when empty); returns findings sorted by
+/// (file, line, pass, message) — the byte-stable order the determinism
+/// test and the CI artifact rely on. Unknown pass names throw
+/// std::runtime_error.
+std::vector<Finding> run(const Corpus& corpus,
+                         const std::vector<std::string>& only);
+
+std::string render_text(const std::vector<Finding>& findings);
+std::string render_json(const std::vector<Finding>& findings);
+
+/// Load `root`/{src,tools,tests} recursively (*.h, *.cpp), paths sorted.
+/// Throws std::runtime_error when `root` lacks a src/ directory.
+Corpus load_tree(const std::string& root);
+
+// --- shared token helpers (used by the passes) --------------------------
+
+/// tok[i..] matches the identifier/punct spellings in `pat` exactly.
+bool match(const std::vector<Tok>& t, std::size_t i,
+           std::initializer_list<std::string_view> pat);
+
+/// Index of the punct matching the opener at `i` ('(' / '{' / '['), or
+/// t.size() when unbalanced.
+std::size_t close_of(const std::vector<Tok>& t, std::size_t i);
+
+/// Enumerator names of `enum class <name>` in `file`, in declaration
+/// order; empty when the enum is not found.
+std::vector<std::string> enum_members(const SourceFile& file,
+                                      std::string_view name);
+
+// Individual passes (registered in passes(); exposed for focused tests).
+std::vector<Finding> pass_shim_bypass(const Corpus&);
+std::vector<Finding> pass_trace_events(const Corpus&);
+std::vector<Finding> pass_stats_ledger(const Corpus&);
+std::vector<Finding> pass_lock_order(const Corpus&);
+std::vector<Finding> pass_check_coverage(const Corpus&);
+std::vector<Finding> pass_ambient_seam(const Corpus&);
+
+}  // namespace rtle::analyze

@@ -1,0 +1,156 @@
+#include "lexer.h"
+
+#include <cctype>
+
+namespace rtle::analyze {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool ident_cont(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+// Multi-char punctuators, longest first within each leading char. The
+// passes only ever inspect "::", "->", "++", "--", and single chars, but
+// lexing the rest correctly keeps token boundaries honest (e.g. "<<" must
+// not produce two template-angle tokens).
+constexpr const char* kPuncts[] = {
+    "<<=", ">>=", "...", "->*", "::", "->", "++", "--", "<<", ">>", "<=",
+    ">=", "==", "!=", "&&", "||", "+=", "-=", "*=", "/=", "%=", "&=",
+    "|=", "^=", ".*",
+};
+
+}  // namespace
+
+bool is_keyword_like(std::string_view ident) {
+  // After these, '*' is a unary dereference. Everything else that can
+  // precede a binary '*' is an identifier, number, ')' or ']'.
+  return ident == "return" || ident == "case" || ident == "else" ||
+         ident == "do" || ident == "throw" || ident == "co_return" ||
+         ident == "co_yield" || ident == "goto" || ident == "new" ||
+         ident == "delete" || ident == "sizeof" || ident == "while" ||
+         ident == "if" || ident == "switch" || ident == "for";
+}
+
+std::vector<Tok> lex(std::string_view text) {
+  std::vector<Tok> out;
+  out.reserve(text.size() / 6);
+  std::size_t i = 0;
+  const std::size_t n = text.size();
+  int line = 1;
+  bool at_line_start = true;  // only whitespace seen since the newline
+
+  auto push = [&](TokKind k, std::size_t begin, std::size_t end) {
+    out.push_back(Tok{k, text.substr(begin, end - begin), line});
+  };
+
+  while (i < n) {
+    const char c = text[i];
+    if (c == '\n') {
+      line += 1;
+      at_line_start = true;
+      i += 1;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      i += 1;
+      continue;
+    }
+    // Preprocessor directive: drop to end of line, honoring backslash
+    // continuations (the directive is not code the passes reason about).
+    if (c == '#' && at_line_start) {
+      while (i < n) {
+        if (text[i] == '\\' && i + 1 < n && text[i + 1] == '\n') {
+          line += 1;
+          i += 2;
+          continue;
+        }
+        if (text[i] == '\n') break;
+        i += 1;
+      }
+      continue;
+    }
+    at_line_start = false;
+    // Comments.
+    if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+      while (i < n && text[i] != '\n') i += 1;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+      i += 2;
+      while (i + 1 < n && !(text[i] == '*' && text[i + 1] == '/')) {
+        if (text[i] == '\n') line += 1;
+        i += 1;
+      }
+      i = i + 1 < n ? i + 2 : n;
+      continue;
+    }
+    // Raw string literal: R"delim( ... )delim".
+    if (c == 'R' && i + 1 < n && text[i + 1] == '"') {
+      const std::size_t begin = i;
+      std::size_t d = i + 2;
+      while (d < n && text[d] != '(') d += 1;
+      const std::string delim =
+          ")" + std::string(text.substr(i + 2, d - (i + 2))) + "\"";
+      std::size_t end = text.find(delim, d);
+      end = end == std::string_view::npos ? n : end + delim.size();
+      for (std::size_t k = begin; k < end; ++k) {
+        if (text[k] == '\n') line += 1;
+      }
+      // Line of a multi-line raw string is its *last* line; acceptable —
+      // no pass anchors findings inside raw strings.
+      push(TokKind::kString, begin, end);
+      i = end;
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      const std::size_t begin = i;
+      i += 1;
+      while (i < n && text[i] != c) {
+        if (text[i] == '\\' && i + 1 < n) i += 1;
+        if (text[i] == '\n') line += 1;  // unterminated; keep line honest
+        i += 1;
+      }
+      i = i < n ? i + 1 : n;
+      push(c == '"' ? TokKind::kString : TokKind::kChar, begin, i);
+      continue;
+    }
+    if (ident_start(c)) {
+      const std::size_t begin = i;
+      while (i < n && ident_cont(text[i])) i += 1;
+      push(TokKind::kIdent, begin, i);
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0 ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(text[i + 1])) != 0)) {
+      const std::size_t begin = i;
+      while (i < n && (ident_cont(text[i]) || text[i] == '.' ||
+                       ((text[i] == '+' || text[i] == '-') && i > begin &&
+                        (text[i - 1] == 'e' || text[i - 1] == 'E' ||
+                         text[i - 1] == 'p' || text[i - 1] == 'P')))) {
+        i += 1;
+      }
+      push(TokKind::kNumber, begin, i);
+      continue;
+    }
+    // Punctuation: longest match against the multi-char table.
+    std::size_t len = 1;
+    for (const char* p : kPuncts) {
+      const std::string_view pv(p);
+      if (text.substr(i, pv.size()) == pv) {
+        len = pv.size();
+        break;
+      }
+    }
+    push(TokKind::kPunct, i, i + len);
+    i += len;
+  }
+  return out;
+}
+
+}  // namespace rtle::analyze

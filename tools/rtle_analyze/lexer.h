@@ -1,0 +1,49 @@
+// A dependency-free C++ tokenizer for rtle_analyze.
+//
+// The analyzer's passes work on token streams, not ASTs: the contracts they
+// enforce (shim routing, switch exhaustiveness, loop direction, guard
+// pairing) are all visible at the lexical level once comments and string
+// literals stop masquerading as code — exactly the failure mode of the
+// regex linter this tool supersedes. The lexer therefore does the one job
+// regexes cannot: it classifies every byte of a translation unit as
+// identifier / number / punctuation / string / char literal, drops
+// comments and preprocessor directives from the code stream, and records
+// the line of every token so findings are clickable.
+//
+// Suppression comments are the exception: they live *in* comments, so the
+// lexer extracts them into a side table before discarding the trivia
+// (see SuppressionTable in analyze.h).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rtle::analyze {
+
+enum class TokKind : unsigned char {
+  kIdent,   // identifiers and keywords (passes treat keywords by spelling)
+  kNumber,  // integer / float literals, including suffixes
+  kPunct,   // operators and punctuation, longest-match ("::", "->", "<<=")
+  kString,  // "..." including raw strings; text excludes the quotes' content
+  kChar,    // '...'
+};
+
+struct Tok {
+  TokKind kind;
+  std::string_view text;  // points into the owning SourceFile's text
+  int line;               // 1-based
+};
+
+/// Tokenize C++ source. Comments and preprocessor lines are dropped (a
+/// directive is dropped through its line continuations). String/char
+/// literal tokens keep their quoted spelling so passes can match exported
+/// name literals.
+std::vector<Tok> lex(std::string_view text);
+
+/// True for identifiers C++ treats as operators/statement heads — the
+/// tokens after which a '*' is unary, not a multiplication.
+bool is_keyword_like(std::string_view ident);
+
+}  // namespace rtle::analyze

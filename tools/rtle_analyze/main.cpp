@@ -1,0 +1,100 @@
+// rtle_analyze CLI. See analyze.h for the pass model and DESIGN.md §15
+// for the catalog.
+//
+//   rtle_analyze [--root=DIR] [--pass=NAME[,NAME...]] [--format=text|json]
+//                [--out=FILE] [--list-passes]
+//
+// Text findings go to stdout; --out writes the machine-readable JSON
+// findings artifact (CI uploads it) regardless of --format. Exit status:
+// 0 clean, 1 findings, 2 usage/environment errors — the same contract the
+// retired lint_shim.py had.
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "analyze.h"
+
+namespace {
+
+std::vector<std::string> split_commas(const std::string& s) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : s + ",") {
+    if (c == ',') {
+      if (!cur.empty()) out.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::string format = "text";
+  std::string out_path;
+  std::vector<std::string> only;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* name) {
+      return arg.substr(std::strlen(name));
+    };
+    if (arg.rfind("--root=", 0) == 0) {
+      root = value("--root=");
+    } else if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg.rfind("--pass=", 0) == 0) {
+      const std::vector<std::string> names = split_commas(value("--pass="));
+      only.insert(only.end(), names.begin(), names.end());
+    } else if (arg.rfind("--format=", 0) == 0) {
+      format = value("--format=");
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_path = value("--out=");
+    } else if (arg == "--list-passes") {
+      for (const auto& p : rtle::analyze::passes()) {
+        std::printf("%-16s %s\n", p.name, p.description);
+      }
+      return 0;
+    } else {
+      std::fprintf(stderr,
+                   "usage: rtle_analyze [--root=DIR] [--pass=NAME,...] "
+                   "[--format=text|json] [--out=FILE] [--list-passes]\n");
+      return 2;
+    }
+  }
+  if (format != "text" && format != "json") {
+    std::fprintf(stderr, "rtle_analyze: unknown --format=%s\n",
+                 format.c_str());
+    return 2;
+  }
+
+  try {
+    const rtle::analyze::Corpus corpus = rtle::analyze::load_tree(root);
+    const std::vector<rtle::analyze::Finding> findings =
+        rtle::analyze::run(corpus, only);
+    const std::string text = format == "json"
+                                 ? rtle::analyze::render_json(findings)
+                                 : rtle::analyze::render_text(findings);
+    std::fwrite(text.data(), 1, text.size(), stdout);
+    if (!out_path.empty()) {
+      std::FILE* f = std::fopen(out_path.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "rtle_analyze: cannot write '%s'\n",
+                     out_path.c_str());
+        return 2;
+      }
+      const std::string json = rtle::analyze::render_json(findings);
+      std::fwrite(json.data(), 1, json.size(), f);
+      std::fclose(f);
+    }
+    return findings.empty() ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "rtle_analyze: %s\n", e.what());
+    return 2;
+  }
+}

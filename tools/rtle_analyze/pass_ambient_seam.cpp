@@ -1,0 +1,132 @@
+// Pass "ambient-seam": the ambient sessions (fault plan, trace, checker)
+// are consulted from the hottest code in the repo, and PR 4 collapsed
+// those consultations into one process-wide dispatch word precisely so
+// the all-off configuration costs a single predictable branch. The
+// contract since then: nobody calls the out-of-line ambient accessors —
+// check::active_check(), trace::active_trace(), sim::active_fault_plan()
+// — without first testing the dispatch word (ambient::any / ambient::mask
+// or a cached copy of it), or going through the inline gated wrappers
+// (check::checker(), trace::tracer(), sim::fault_plan()) that do it for
+// them. An unguarded call is a cross-TU function call on a path that is
+// supposed to cost one load; ~25% of plain-load throughput was recovered
+// by enforcing exactly this (DESIGN.md §8).
+//
+// Detection: a call to one of the accessors is compliant when
+//   * the same line already reads the dispatch word (`ambient::` appears
+//     in the same-line condition — covers the `cond ? active_x() : null`
+//     idiom and cached `amb & ambient::kX` masks), or
+//   * it sits inside a block whose controlling `if` condition read the
+//     dispatch word (brace-tracked; else-branches do not inherit).
+// The accessor *definitions* (src/check/session.cpp, src/trace/
+// session.cpp, src/sim/faultplan.cpp, src/sim/ambient.cpp) are exempt.
+#include "analyze.h"
+
+namespace rtle::analyze {
+
+namespace {
+
+bool is_accessor(std::string_view s) {
+  return s == "active_check" || s == "active_trace" ||
+         s == "active_fault_plan";
+}
+
+bool exempt_file(const std::string& path) {
+  return path == "src/check/session.cpp" || path == "src/trace/session.cpp" ||
+         path == "src/sim/faultplan.cpp" || path == "src/sim/ambient.cpp";
+}
+
+}  // namespace
+
+std::vector<Finding> pass_ambient_seam(const Corpus& corpus) {
+  std::vector<Finding> out;
+  for (const SourceFile& f : corpus.files) {
+    if (f.path.rfind("src/", 0) != 0 || exempt_file(f.path)) continue;
+    const FileScan scan(f);
+    const std::vector<Tok>& t = scan.toks();
+
+    // Lines that read the dispatch word: `ambient :: ...` anywhere on the
+    // line. (The cached-mask idiom `amb & ambient::kTrace` also names
+    // ambient:: on its line, so one rule covers both.)
+    std::vector<int> guard_lines;
+    for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+      if (t[i].kind == TokKind::kIdent && t[i].text == "ambient" &&
+          t[i + 1].text == "::") {
+        guard_lines.push_back(t[i].line);
+      }
+    }
+    auto line_guarded = [&](int line) {
+      for (int g : guard_lines) {
+        if (g == line) return true;
+      }
+      return false;
+    };
+
+    // Scope stack: for each open '{', whether its controlling condition
+    // (the parenthesized group of the `if`/`while`/`for` directly before
+    // it) read the dispatch word. Nested scopes inherit.
+    std::vector<bool> guarded_stack;
+    bool pending_guard = false;     // next '{' opens a guarded block
+    bool stmt_guard = false;        // brace-less guarded if-statement
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      const Tok& tok = t[i];
+      if (tok.kind == TokKind::kIdent && tok.text == "if" &&
+          i + 1 < t.size() && t[i + 1].text == "(") {
+        const std::size_t close = close_of(t, i + 1);
+        bool cond_guarded = false;
+        for (std::size_t k = i + 2; k < close && k < t.size(); ++k) {
+          if (t[k].kind == TokKind::kIdent && t[k].text == "ambient") {
+            cond_guarded = true;
+            break;
+          }
+        }
+        if (close < t.size()) {
+          if (close + 1 < t.size() && t[close + 1].text == "{") {
+            pending_guard = cond_guarded;
+          } else {
+            stmt_guard = cond_guarded;  // single-statement body
+          }
+        }
+        continue;
+      }
+      if (tok.text == "{") {
+        guarded_stack.push_back(pending_guard ||
+                                (!guarded_stack.empty() &&
+                                 guarded_stack.back()));
+        pending_guard = false;
+      } else if (tok.text == "}") {
+        if (!guarded_stack.empty()) guarded_stack.pop_back();
+      } else if (tok.text == ";") {
+        stmt_guard = false;
+      }
+
+      if (tok.kind != TokKind::kIdent || !is_accessor(tok.text)) continue;
+      if (i + 1 >= t.size() || t[i + 1].text != "(") continue;
+      // Skip declarations (`FaultPlan* active_fault_plan();`): a call site
+      // is preceded by '::', '=', '(', ',', 'return', '?', ':' or similar;
+      // a declaration is preceded by '*' or the return type's identifier.
+      if (i > 0 &&
+          (t[i - 1].text == "*" || (t[i - 1].kind == TokKind::kIdent &&
+                                    !is_keyword_like(t[i - 1].text)))) {
+        continue;
+      }
+      const bool guarded = line_guarded(tok.line) || stmt_guard ||
+                           (!guarded_stack.empty() && guarded_stack.back());
+      if (guarded) continue;
+      if (scan.suppressed(tok.line, "ambient-seam")) continue;
+      const char* wrapper = tok.text == "active_check" ? "check::checker()"
+                            : tok.text == "active_trace"
+                                ? "trace::tracer()"
+                                : "sim::fault_plan()";
+      out.push_back(
+          {"ambient-seam", f.path, tok.line,
+           "session hook '" + std::string(tok.text) +
+               "()' reached without an ambient-dispatch guard — use the "
+               "inline gated wrapper " + wrapper +
+               " (or test ambient::any(...) first); an unguarded call is "
+               "a cross-TU call on a path budgeted at one load"});
+    }
+  }
+  return out;
+}
+
+}  // namespace rtle::analyze

@@ -1,0 +1,58 @@
+// Pass "check-coverage": the dynamic checker (src/check) is only as
+// trustworthy as its negative tests. Every check::ReportKind enumerator
+// must be exercised *by name* in at least one test under tests/ — i.e.
+// some seeded-bug test plants the violation and asserts the checker
+// reports that exact kind. A report kind nobody has ever seen fire is a
+// claim, not a check: the PR that added it may have wired the detection
+// condition backwards and no test would notice (the §4.2 fence obligation
+// and the CC wound-order rule both earned their tests this way).
+#include "analyze.h"
+
+namespace rtle::analyze {
+
+namespace {
+constexpr const char* kCheckHeader = "src/check/session.h";
+}
+
+std::vector<Finding> pass_check_coverage(const Corpus& corpus) {
+  std::vector<Finding> out;
+  const SourceFile* header = corpus.find(kCheckHeader);
+  if (header == nullptr) return out;
+  const std::vector<std::string> kinds = enum_members(*header, "ReportKind");
+  if (kinds.empty()) return out;
+
+  for (const std::string& kind : kinds) {
+    bool covered = false;
+    for (const SourceFile& f : corpus.files) {
+      if (f.path.rfind("tests/", 0) != 0) continue;
+      const std::vector<Tok> t = lex(f.text);
+      for (const Tok& tok : t) {
+        if (tok.kind == TokKind::kIdent && tok.text == kind) {
+          covered = true;
+          break;
+        }
+      }
+      if (covered) break;
+    }
+    if (!covered) {
+      // Anchor at the enumerator's line in the header.
+      int line = 1;
+      for (const Tok& tok : lex(header->text)) {
+        if (tok.kind == TokKind::kIdent && tok.text == kind) {
+          line = tok.line;
+          break;
+        }
+      }
+      out.push_back(
+          {"check-coverage", std::string(kCheckHeader), line,
+           "ReportKind::" + kind +
+               " is never exercised by name under tests/ — add a seeded-"
+               "bug negative test that plants the violation and asserts "
+               "this kind is reported (see CheckNegative.* in "
+               "tests/check_test.cpp)"});
+    }
+  }
+  return out;
+}
+
+}  // namespace rtle::analyze

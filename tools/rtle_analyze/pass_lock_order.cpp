@@ -1,0 +1,156 @@
+// Pass "lock-order": deadlock freedom across shards and CC slots rests on
+// one discipline — guards are acquired in ascending deterministic order
+// (DESIGN.md §11; the dynamic checker reports violations as kLockOrder at
+// runtime, but only on schedules that reach them). This pass checks the
+// discipline at the source level in src/oltp and src/cc:
+//
+//   * a loop that calls a guard-acquisition primitive (cross_lock_enter,
+//     enter_shard) must not run its induction variable backwards
+//     (`i--` / `--i` in the update clause), and
+//   * inside such a loop, indexing the order array with a reversed
+//     expression (`order[ns - 1 - i]`) is flagged — that is precisely the
+//     seeded-bug shape tests/check_test.cpp plants behind descending_bug_;
+//   * every definition of collect_lock_slots (the CC write-set lock-order
+//     source) must sort its output — Silo/TicToc commit safety depends on
+//     locking slots in ascending slot order.
+//
+// The intentional seeded-bug line in src/oltp/store.cpp carries an
+// `// rtle-analyze: ok(lock-order)` annotation explaining itself.
+#include "analyze.h"
+
+namespace rtle::analyze {
+
+namespace {
+
+bool is_acquire(std::string_view s) {
+  return s == "cross_lock_enter" || s == "enter_shard";
+}
+
+}  // namespace
+
+std::vector<Finding> pass_lock_order(const Corpus& corpus) {
+  std::vector<Finding> out;
+  for (const SourceFile& f : corpus.files) {
+    if (f.path.rfind("src/oltp/", 0) != 0 && f.path.rfind("src/cc/", 0) != 0) {
+      continue;
+    }
+    const FileScan scan(f);
+    const std::vector<Tok>& t = scan.toks();
+
+    for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+      // collect_lock_slots definitions must sort.
+      if (t[i].kind == TokKind::kIdent && t[i].text == "collect_lock_slots" &&
+          t[i + 1].text == "(") {
+        const std::size_t close = close_of(t, i + 1);
+        std::size_t j = close + 1;
+        while (j < t.size() && t[j].text != "{" && t[j].text != ";" &&
+               t[j].text != ")") {
+          j += 1;
+        }
+        if (j < t.size() && t[j].text == "{") {  // a definition
+          const std::size_t end = close_of(t, j);
+          bool sorts = false;
+          for (std::size_t k = j; k < end && k < t.size(); ++k) {
+            if (t[k].kind == TokKind::kIdent &&
+                (t[k].text == "sort" || t[k].text == "stable_sort")) {
+              sorts = true;
+              break;
+            }
+          }
+          if (!sorts && !scan.suppressed(t[i].line, "lock-order")) {
+            out.push_back(
+                {"lock-order", f.path, t[i].line,
+                 "collect_lock_slots does not sort its slots — CC commits "
+                 "lock write-set slots in this order, and an unsorted set "
+                 "deadlocks concurrent committers"});
+          }
+        }
+        continue;
+      }
+
+      // For-loops that acquire guards.
+      if (!(t[i].kind == TokKind::kIdent && t[i].text == "for" &&
+            t[i + 1].text == "(")) {
+        continue;
+      }
+      const std::size_t hdr_close = close_of(t, i + 1);
+      if (hdr_close >= t.size()) continue;
+      // Induction variable: first identifier in the header that is
+      // immediately assigned (`i = 0` / `std::size_t i = 0`). Range-fors
+      // have no '=' at clause level and are skipped (they iterate a
+      // container in its own order — covered by the sort contract above).
+      std::string_view ivar;
+      bool descending = false;
+      for (std::size_t k = i + 2; k < hdr_close; ++k) {
+        if (ivar.empty() && t[k].kind == TokKind::kIdent &&
+            k + 1 < hdr_close && t[k + 1].text == "=") {
+          ivar = t[k].text;
+        }
+        if (t[k].text == "--") descending = true;
+      }
+      if (ivar.empty()) continue;
+
+      // Body range: '{...}' or a single statement up to ';'.
+      std::size_t body_begin = hdr_close + 1;
+      std::size_t body_end;
+      if (body_begin < t.size() && t[body_begin].text == "{") {
+        body_end = close_of(t, body_begin);
+      } else {
+        body_end = body_begin;
+        while (body_end < t.size() && t[body_end].text != ";") body_end += 1;
+      }
+
+      bool acquires = false;
+      int acquire_line = 0;
+      for (std::size_t k = body_begin; k < body_end && k < t.size(); ++k) {
+        if (t[k].kind == TokKind::kIdent && is_acquire(t[k].text) &&
+            k + 1 < t.size() && t[k + 1].text == "(") {
+          acquires = true;
+          acquire_line = t[k].line;
+          break;
+        }
+      }
+      if (!acquires) continue;
+
+      if (descending && !scan.suppressed(acquire_line, "lock-order")) {
+        out.push_back(
+            {"lock-order", f.path, acquire_line,
+             "guard acquisition inside a descending loop (induction "
+             "variable '" + std::string(ivar) +
+                 "' runs backwards) — cross-shard guards must be taken in "
+                 "ascending deterministic order (deadlock freedom, "
+                 "DESIGN.md §11)"});
+        continue;
+      }
+
+      // Reversed indexing inside the body: a '[ ... - ... ivar ... ]'
+      // subscript re-orders an ascending walk into a descending one.
+      for (std::size_t k = body_begin; k < body_end && k < t.size(); ++k) {
+        if (t[k].text != "[") continue;
+        const std::size_t sub_close = close_of(t, k);
+        bool minus_seen = false;
+        bool reversed = false;
+        for (std::size_t m = k + 1; m < sub_close && m < t.size(); ++m) {
+          if (t[m].text == "-") minus_seen = true;
+          if (minus_seen && t[m].kind == TokKind::kIdent &&
+              t[m].text == ivar) {
+            reversed = true;
+            break;
+          }
+        }
+        if (reversed && !scan.suppressed(t[k].line, "lock-order")) {
+          out.push_back(
+              {"lock-order", f.path, t[k].line,
+               "guard-order index reverses the loop's induction variable "
+               "('... - " + std::string(ivar) +
+                   "') in an acquisition loop — this is the descending-"
+                   "acquisition shape the checker reports as kLockOrder"});
+        }
+        k = sub_close;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace rtle::analyze

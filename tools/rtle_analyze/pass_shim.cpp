@@ -1,0 +1,166 @@
+// Pass "shim-bypass": every access to simulated shared memory (the
+// std::uint64_t words data structures share across fibers) must go through
+// an accounting wrapper — mem::plain_load/store/cas/faa, the HTM
+// tx_load/tx_store barriers, or a TxContext accessor. A raw dereference
+// compiles and even produces the right value, but it is invisible to the
+// MESI cost model, to conflict detection, and to the rtle::check race
+// detector — the simulation silently stops being a simulation.
+//
+// Supersedes tools/lint_shim.py's regexes with a token-level, scope-aware
+// tracker: a name declared `std::uint64_t*` is suspect only from its
+// declaration to the end of its enclosing scope (the regex version
+// poisoned the name file-wide, so a harmless `int* words` in another
+// function could never reuse the identifier), and wrapper argument lists
+// are recognized across line breaks (the regex version's single-line
+// blanking missed wrapped calls). Scope: all of src/ plus tools/.
+//
+// Suppressions: `// shim-lint: ok (<reason>)` on the line (the historical
+// convention, kept verbatim), `// rtle-analyze: ok(shim-bypass)`, and
+// `*_meta` function bodies (setup/teardown helpers documented to run while
+// no simulated thread exists).
+#include "analyze.h"
+
+namespace rtle::analyze {
+
+namespace {
+
+/// Wrapper calls whose argument lists legitimately *name* (not access) a
+/// shared word: a '*' or '[' inside them is address arithmetic.
+bool is_wrapper_head(const std::vector<Tok>& t, std::size_t i) {
+  if (t[i].kind != TokKind::kIdent) return false;
+  const std::string_view s = t[i].text;
+  if (s == "plain_load" || s == "plain_store" || s == "plain_cas" ||
+      s == "plain_faa" || s == "tx_load" || s == "tx_store" ||
+      s == "tx_store_and_commit" || s == "observe_plain_load" ||
+      s == "observe_plain_store" || s == "register_meta" ||
+      s == "deregister_meta" || s == "ignore_range" || s == "line_of") {
+    return true;
+  }
+  // Any object's .load / .store accessor (ctx.load, tx.store, ...): the
+  // TxContext pattern. Requires a preceding '.' or '->'.
+  if ((s == "load" || s == "store") && i > 0 &&
+      (t[i - 1].text == "." || t[i - 1].text == "->")) {
+    return true;
+  }
+  return false;
+}
+
+/// A '*' at i is a unary dereference (not multiplication) judging by the
+/// preceding token, mirroring lint_shim's `(?<![\w)\]])` heuristic.
+bool star_is_unary(const std::vector<Tok>& t, std::size_t i) {
+  if (i == 0) return true;
+  const Tok& p = t[i - 1];
+  if (p.kind == TokKind::kNumber) return false;
+  if (p.kind == TokKind::kIdent) return is_keyword_like(p.text);
+  return !(p.text == ")" || p.text == "]");
+}
+
+struct Decl {
+  std::string_view name;
+  int scope;  // brace depth the name is live in
+};
+
+}  // namespace
+
+std::vector<Finding> pass_shim_bypass(const Corpus& corpus) {
+  std::vector<Finding> out;
+  for (const SourceFile& f : corpus.files) {
+    const bool in_scope =
+        f.path.rfind("src/", 0) == 0 || f.path.rfind("tools/", 0) == 0;
+    if (!in_scope) continue;
+    const FileScan scan(f);
+    const std::vector<Tok>& t = scan.toks();
+
+    std::vector<Decl> live;
+    std::vector<std::string_view> pending;  // params awaiting their body '{'
+    int depth = 0;
+    int paren = 0;
+    std::size_t wrapper_end = 0;   // tokens below this index are wrapper args
+    std::size_t decl_ident = t.size();  // declarator just consumed
+
+    auto is_live = [&](std::string_view name) {
+      for (const Decl& d : live) {
+        if (d.name == name) return true;
+      }
+      return false;
+    };
+
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      const Tok& tok = t[i];
+      if (tok.kind == TokKind::kPunct) {
+        if (tok.text == "{") {
+          depth += 1;
+          for (std::string_view p : pending) live.push_back({p, depth});
+          pending.clear();
+        } else if (tok.text == "}") {
+          while (!live.empty() && live.back().scope >= depth) live.pop_back();
+          depth -= 1;
+        } else if (tok.text == "(") {
+          paren += 1;
+        } else if (tok.text == ")") {
+          paren -= 1;
+        } else if (tok.text == ";" && paren == 0) {
+          pending.clear();  // a plain declaration ended; params only
+                            // survive up to the definition's '{'
+        }
+      }
+
+      // Declaration pattern: [const] [std::]uint64_t * [const] name.
+      if (tok.kind == TokKind::kIdent && tok.text == "uint64_t") {
+        std::size_t j = i + 1;
+        if (j < t.size() && t[j].text == "*") {
+          j += 1;
+          if (j < t.size() && t[j].text == "const") j += 1;
+          if (j < t.size() && t[j].kind == TokKind::kIdent) {
+            // Exclude casts/templates: `(std::uint64_t*)x`, `<std::uint64_t*>`
+            // end in ')' / '>', not an identifier, so reaching here means a
+            // real declarator.
+            if (paren > 0) {
+              pending.push_back(t[j].text);
+            } else {
+              live.push_back({t[j].text, depth});
+            }
+            decl_ident = j;
+          }
+        }
+      }
+
+      // Enter wrapper argument ranges.
+      if (i >= wrapper_end && is_wrapper_head(t, i) && i + 1 < t.size() &&
+          t[i + 1].text == "(") {
+        wrapper_end = close_of(t, i + 1);
+        continue;
+      }
+      if (i < wrapper_end) continue;
+
+      // Violations: *name (unary) or name[...] on a live shared pointer.
+      std::string_view hit;
+      int line = 0;
+      if (tok.text == "*" && star_is_unary(t, i) && i + 1 < t.size() &&
+          t[i + 1].kind == TokKind::kIdent && is_live(t[i + 1].text)) {
+        // `*name =` / `return *name` / `(*name)` — but not `type* name`
+        // redeclarations, which the decl pattern above consumed first.
+        hit = t[i + 1].text;
+        line = t[i + 1].line;
+      } else if (tok.kind == TokKind::kIdent && is_live(tok.text) &&
+                 i != decl_ident && i + 1 < t.size() &&
+                 t[i + 1].text == "[") {
+        hit = tok.text;
+        line = tok.line;
+      }
+      if (hit.empty()) continue;
+      if (scan.suppressed(line, "shim-bypass") || scan.in_meta_fn(line)) {
+        continue;
+      }
+      out.push_back(
+          {"shim-bypass", f.path, line,
+           "raw access to shared word '" + std::string(hit) +
+               "' bypasses the mem/ctx shim (invisible to the cost model "
+               "and rtle::check); use mem::plain_* / ctx.load / ctx.store, "
+               "or annotate '// shim-lint: ok (<reason>)'"});
+    }
+  }
+  return out;
+}
+
+}  // namespace rtle::analyze

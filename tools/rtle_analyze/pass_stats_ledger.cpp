@@ -1,0 +1,158 @@
+// Pass "stats-ledger": MethodStats is the simulator's accounting ledger,
+// and it carries two contracts the compiler only half-sees.
+//
+// (1) Layout budget: stats_ sits at the front of every method object and
+//     simulated cache-line identity derives from real addresses
+//     (mem::line_of), so sizeof(MethodStats) must stay a whole number of
+//     64-byte lines — an odd-sized growth shifts the lock word onto a
+//     different line boundary and perturbs seed-identical runs. The
+//     static_assert in stats.h catches this at *compile* time; this pass
+//     catches it at *review* time, including the usual mistake of carving
+//     a counter out of the reserved_ block without shrinking it.
+//
+// (2) Surfacing: every counter is only worth its 8 bytes if someone can
+//     read it. Each non-reserved field must appear by name in one of the
+//     stats surfaces — the --stats summary (src/runtime/stats.cpp) or the
+//     bench drivers that fold counters into figure columns
+//     (src/bench_util/figure.cpp, src/bench_util/setbench.cpp). PR 7's
+//     dead-code admit rule slipped through exactly this gap.
+#include "analyze.h"
+
+namespace rtle::analyze {
+
+namespace {
+
+constexpr const char* kStatsHeader = "src/runtime/stats.h";
+constexpr const char* kHtmHeader = "src/htm/htm.h";
+constexpr const char* kSurfaces[] = {
+    "src/runtime/stats.cpp",
+    "src/bench_util/figure.cpp",
+    "src/bench_util/setbench.cpp",
+};
+
+struct Field {
+  std::string name;
+  int line;
+  std::size_t words;  // number of uint64_t slots this field occupies
+};
+
+/// Parse the uint64_t fields of `struct MethodStats { ... }` at struct
+/// depth (skipping member-function bodies). Recognized shapes:
+///   std::uint64_t name = 0;            (1 word)
+///   std::uint64_t name[N] = {};        (N words)
+///   std::array<std::uint64_t, D> name{};  (D words; D may be an ident)
+std::vector<Field> parse_fields(const SourceFile& f, std::size_t dim_of_ident) {
+  std::vector<Field> out;
+  const std::vector<Tok> t = lex(f.text);
+  for (std::size_t i = 0; i + 2 < t.size(); ++i) {
+    if (!(t[i].text == "struct" && t[i + 1].text == "MethodStats" &&
+          t[i + 2].text == "{")) {
+      continue;
+    }
+    const std::size_t open = i + 2;
+    const std::size_t close = close_of(t, open);
+    int depth = 1;
+    for (std::size_t k = open + 1; k < close; ++k) {
+      if (t[k].text == "{") depth += 1;
+      if (t[k].text == "}") depth -= 1;
+      if (depth != 1) continue;  // inside a member function / initializer
+      if (t[k].text != "uint64_t") continue;
+      // std::array<std::uint64_t, D> name
+      if (k >= 4 && t[k - 4].text == "array" && t[k - 3].text == "<") {
+        std::size_t j = k + 1;
+        if (j < close && t[j].text == ",") {
+          j += 1;
+          std::size_t dim = 0;
+          if (t[j].kind == TokKind::kNumber) {
+            dim = std::stoul(std::string(t[j].text));
+            j += 1;
+          } else {
+            // qualified ident, e.g. htm::kNumAbortCauses
+            while (j < close && t[j].text != ">") j += 1;
+            dim = dim_of_ident;
+          }
+          if (j < close && t[j].text == ">" && j + 1 < close &&
+              t[j + 1].kind == TokKind::kIdent) {
+            out.push_back({std::string(t[j + 1].text), t[j + 1].line, dim});
+          }
+        }
+        continue;
+      }
+      // std::uint64_t name ... — plain scalar or C array.
+      std::size_t j = k + 1;
+      if (j < close && t[j].kind == TokKind::kIdent &&
+          t[j].text != "operator") {
+        const std::string name(t[j].text);
+        const int line = t[j].line;
+        // Member function `std::uint64_t total_aborts() const` — skip.
+        if (j + 1 < close && t[j + 1].text == "(") continue;
+        std::size_t words = 1;
+        if (j + 1 < close && t[j + 1].text == "[" &&
+            t[j + 2].kind == TokKind::kNumber) {
+          words = std::stoul(std::string(t[j + 2].text));
+        }
+        out.push_back({name, line, words});
+      }
+    }
+    break;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Finding> pass_stats_ledger(const Corpus& corpus) {
+  std::vector<Finding> out;
+  const SourceFile* header = corpus.find(kStatsHeader);
+  if (header == nullptr) return out;
+
+  // Dimension of abort_cause: htm::kNumAbortCauses == the number of
+  // AbortCause enumerators.
+  std::size_t causes = 0;
+  if (const SourceFile* htm = corpus.find(kHtmHeader)) {
+    causes = enum_members(*htm, "AbortCause").size();
+  }
+  const std::vector<Field> fields = parse_fields(*header, causes);
+  if (fields.empty()) return out;
+
+  std::size_t words = 0;
+  int struct_line = fields.front().line;
+  for (const Field& f : fields) words += f.words;
+  if (causes != 0 && (words * 8) % 64 != 0) {
+    out.push_back(
+        {"stats-ledger", std::string(kStatsHeader), struct_line,
+         "sizeof(MethodStats) = " + std::to_string(words * 8) +
+             " bytes — not a whole number of 64-byte cache lines; grow or "
+             "shrink the reserved_ block to rebalance (the lock word's "
+             "line identity depends on it)"});
+  }
+
+  for (const Field& f : fields) {
+    if (f.name == "reserved_") continue;
+    bool surfaced = false;
+    for (const char* s : kSurfaces) {
+      const SourceFile* sf = corpus.find(s);
+      if (sf == nullptr) continue;
+      const std::vector<Tok> t = lex(sf->text);
+      for (const Tok& tok : t) {
+        if (tok.kind == TokKind::kIdent && tok.text == f.name) {
+          surfaced = true;
+          break;
+        }
+      }
+      if (surfaced) break;
+    }
+    if (!surfaced) {
+      out.push_back(
+          {"stats-ledger", std::string(kStatsHeader), f.line,
+           "MethodStats::" + f.name +
+               " is counted but never surfaced — add it to the --stats "
+               "summary (src/runtime/stats.cpp) or a bench surface "
+               "(src/bench_util/figure.cpp, setbench.cpp), or it is dead "
+               "weight in every cache line"});
+    }
+  }
+  return out;
+}
+
+}  // namespace rtle::analyze

@@ -1,0 +1,174 @@
+// Pass "trace-events": the trace vocabulary must be wired end-to-end.
+// Every rtle::trace::EventType enumerator must have
+//   (1) an explicit, arg-preserving `case` in src/trace/export.cpp —
+//       events that fall to the `default:` arm are exported as bare
+//       instants, silently dropping their arg/flags payload the moment
+//       someone adds a new event kind; and
+//   (2) a handler that names the event in tools/trace_stats.cpp — the
+//       offline analyzer consumes the exported JSON by name string, so an
+//       unhandled name is invisible to every per-shard / admission / CC
+//       report the tool produces.
+//
+// The expected handler name is the event's to_string() spelling (parsed
+// from src/trace/session.cpp), except for events export.cpp deliberately
+// *pairs into synthesized slices* — those are mapped through kAliases
+// below (e.g. kLockAcquire + kLockRelease become "lock-held" slices).
+// A new enumerator therefore fails this pass until both the exporter and
+// trace_stats know about it — which is the point.
+#include "analyze.h"
+
+#include <map>
+
+namespace rtle::analyze {
+
+namespace {
+
+constexpr const char* kEventHeader = "src/trace/event.h";
+constexpr const char* kExport = "src/trace/export.cpp";
+constexpr const char* kToString = "src/trace/session.cpp";
+constexpr const char* kStats = "tools/trace_stats.cpp";
+
+/// Events whose exported JSON name differs from to_string() because the
+/// exporter pairs begin/end records into one synthesized slice.
+const std::map<std::string, std::string>& aliases() {
+  static const std::map<std::string, std::string> kAliases = {
+      {"kTxnBegin", "txn-"},       {"kTxnCommit", "txn-"},
+      {"kTxnAbort", "txn-"},       {"kLockAcquire", "lock-held"},
+      {"kLockRelease", "lock-held"}, {"kShardAcquire", "shard-held"},
+      {"kShardRelease", "shard-held"}, {"kCrossBegin", "cross-txn"},
+      {"kCrossCommit", "cross-txn"},
+  };
+  return kAliases;
+}
+
+/// Map enumerator -> to_string() literal, parsed from the switch in
+/// src/trace/session.cpp: `case EventType::kX: return "name";`.
+std::map<std::string, std::string> to_string_names(const SourceFile& f) {
+  std::map<std::string, std::string> out;
+  const std::vector<Tok> t = lex(f.text);
+  for (std::size_t i = 0; i + 6 < t.size(); ++i) {
+    if (!(t[i].text == "case" && t[i + 1].text == "EventType" &&
+          t[i + 2].text == "::" && t[i + 4].text == ":" &&
+          t[i + 5].text == "return" &&
+          t[i + 6].kind == TokKind::kString)) {
+      continue;
+    }
+    const std::string_view lit = t[i + 6].text;  // includes the quotes
+    out[std::string(t[i + 3].text)] =
+        std::string(lit.substr(1, lit.size() - 2));
+  }
+  return out;
+}
+
+/// Line of `name` inside the enum in the header (for finding anchors).
+int line_of_enumerator(const SourceFile& f, std::string_view name) {
+  const std::vector<Tok> t = lex(f.text);
+  for (const Tok& tok : t) {
+    if (tok.kind == TokKind::kIdent && tok.text == name) return tok.line;
+  }
+  return 1;
+}
+
+}  // namespace
+
+std::vector<Finding> pass_trace_events(const Corpus& corpus) {
+  std::vector<Finding> out;
+  const SourceFile* header = corpus.find(kEventHeader);
+  const SourceFile* exporter = corpus.find(kExport);
+  const SourceFile* names_file = corpus.find(kToString);
+  const SourceFile* stats = corpus.find(kStats);
+  if (header == nullptr) return out;  // corpus without the subsystem
+  const std::vector<std::string> members = enum_members(*header, "EventType");
+  if (members.empty()) return out;
+
+  // Explicit cases in export.cpp, and whether each case group's body
+  // mentions `ev` (arg preservation: the exporter must look at the record,
+  // not emit a bare name).
+  std::map<std::string, bool> exported;  // enumerator -> body uses `ev`
+  if (exporter != nullptr) {
+    const std::vector<Tok> t = lex(exporter->text);
+    std::vector<std::string> group;  // consecutive labels sharing one body
+    for (std::size_t i = 0; i + 4 < t.size(); ++i) {
+      if (t[i].text == "case" && t[i + 1].text == "EventType" &&
+          t[i + 2].text == "::" && t[i + 4].text == ":") {
+        group.emplace_back(t[i + 3].text);
+        // Scan the body up to the next case/default at this level. A label
+        // with an empty body is a fallthrough: it keeps accumulating in
+        // `group` and shares the verdict of the body that follows.
+        bool uses_ev = false;
+        bool has_body = false;
+        int depth = 0;
+        for (std::size_t k = i + 5; k < t.size(); ++k) {
+          if (t[k].text == "{") depth += 1;
+          if (t[k].text == "}") {
+            if (depth == 0) break;  // end of switch
+            depth -= 1;
+          }
+          if (depth == 0 &&
+              (t[k].text == "case" || t[k].text == "default")) {
+            break;
+          }
+          has_body = true;
+          if (t[k].kind == TokKind::kIdent && t[k].text == "ev") {
+            uses_ev = true;
+          }
+        }
+        if (has_body) {
+          for (const std::string& g : group) exported[g] = uses_ev;
+          group.clear();
+        }
+      }
+    }
+    for (const std::string& g : group) exported[g] = false;
+  }
+
+  const std::map<std::string, std::string> names =
+      names_file != nullptr ? to_string_names(*names_file)
+                            : std::map<std::string, std::string>{};
+
+  for (const std::string& m : members) {
+    const int line = line_of_enumerator(*header, m);
+    if (exporter != nullptr) {
+      const auto it = exported.find(m);
+      if (it == exported.end()) {
+        out.push_back({"trace-events", std::string(kEventHeader), line,
+                       "EventType::" + m + " has no explicit case in " +
+                           kExport +
+                           " — it falls to the default arm, which exports "
+                           "a bare instant and drops the arg/flags payload"});
+      } else if (!it->second) {
+        out.push_back({"trace-events", std::string(kEventHeader), line,
+                       "EventType::" + m + "'s case in " + kExport +
+                           " never reads the TraceEvent record (`ev`) — "
+                           "the export is not arg-preserving"});
+      }
+    }
+    if (stats != nullptr) {
+      const auto alias = aliases().find(m);
+      std::string want;
+      if (alias != aliases().end()) {
+        want = alias->second;
+      } else {
+        const auto nm = names.find(m);
+        if (nm == names.end()) {
+          out.push_back({"trace-events", std::string(kEventHeader), line,
+                         "EventType::" + m + " has no to_string() name in " +
+                             kToString});
+          continue;
+        }
+        want = nm->second;
+      }
+      const std::string quoted = "\"" + want + "\"";
+      if (stats->text.find(quoted) == std::string::npos) {
+        out.push_back(
+            {"trace-events", std::string(kEventHeader), line,
+             "event \"" + want + "\" (EventType::" + m +
+                 ") has no handler naming it in " + kStats +
+                 " — the offline analyzer drops it on the floor"});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace rtle::analyze

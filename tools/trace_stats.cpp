@@ -88,6 +88,30 @@ struct CcView {
   }
 };
 
+/// Runtime-detail view: lock-wait pressure, orec traffic, mode and fiber
+/// switches, RW-TLE write-flag announcements and HTM-health transitions.
+/// These are low-volume diagnostics; the section prints only when the
+/// trace contains any of them.
+struct RuntimeView {
+  std::uint64_t lock_waits = 0;
+  std::uint64_t lock_wait_cycles = 0;
+  std::uint64_t orec_acquires = 0;
+  std::uint64_t orec_steals = 0;
+  std::uint64_t orec_resizes = 0;
+  std::uint64_t mode_switches = 0;
+  std::uint64_t fiber_switches = 0;
+  std::uint64_t write_flag_sets = 0;
+  std::uint64_t health_degrades = 0;
+  std::uint64_t health_probes = 0;
+  std::uint64_t health_reenables = 0;
+  bool any() const {
+    return lock_waits != 0 || orec_acquires != 0 || orec_steals != 0 ||
+           orec_resizes != 0 || mode_switches != 0 || fiber_switches != 0 ||
+           write_flag_sets != 0 || health_degrades != 0 ||
+           health_probes != 0 || health_reenables != 0;
+  }
+};
+
 std::uint64_t overlap(const Interval& a, const Interval& b) {
   const std::uint64_t lo = std::max(a.ts, b.ts);
   const std::uint64_t hi = std::min(a.end(), b.end());
@@ -139,6 +163,7 @@ int main(int argc, char** argv) {
   std::map<std::uint64_t, ShardStats> shards;
   AdmitView admit;
   CcView cc;
+  RuntimeView rt;
   for (const auto& ev : events->arr) {
     const std::string ph = ev.get_string("ph");
     const std::uint64_t tid = ev.get_u64("tid");
@@ -175,12 +200,33 @@ int main(int argc, char** argv) {
         cc.wounds += 1;
       } else if (name == "cc-extend") {
         cc.extends += 1;
+      } else if (name == "orec-acquire") {
+        rt.orec_acquires += 1;
+      } else if (name == "orec-steal") {
+        rt.orec_steals += 1;
+      } else if (name == "orec-resize") {
+        rt.orec_resizes += 1;
+      } else if (name == "mode-switch") {
+        rt.mode_switches += 1;
+      } else if (name == "fiber-switch") {
+        rt.fiber_switches += 1;
+      } else if (name == "write-flag-set") {
+        rt.write_flag_sets += 1;
+      } else if (name == "health-degrade") {
+        rt.health_degrades += 1;
+      } else if (name == "health-probe") {
+        rt.health_probes += 1;
+      } else if (name == "health-reenable") {
+        rt.health_reenables += 1;
       }
       continue;
     }
     if (ph != "X") continue;
     Interval iv{ev.get_u64("ts"), ev.get_u64("dur")};
-    if (name == "lock-held") {
+    if (name == "lock-wait") {
+      rt.lock_waits += 1;
+      rt.lock_wait_cycles += iv.dur;
+    } else if (name == "lock-held") {
       threads[tid].locks.push_back(iv);
     } else if (name == "shard-held") {
       if (const auto* args = ev.find("args")) {
@@ -405,6 +451,38 @@ int main(int argc, char** argv) {
       if (show < tl.crosses.size()) {
         std::printf("    … +%zu more\n", tl.crosses.size() - show);
       }
+    }
+  }
+
+  // Runtime detail (orec traffic, switches, health transitions).
+  if (rt.any()) {
+    std::printf("\nruntime detail:\n");
+    if (rt.lock_waits != 0) {
+      std::printf("  lock-waits=%llu (%llu cycles)\n",
+                  static_cast<unsigned long long>(rt.lock_waits),
+                  static_cast<unsigned long long>(rt.lock_wait_cycles));
+    }
+    if (rt.orec_acquires != 0 || rt.orec_steals != 0 ||
+        rt.orec_resizes != 0) {
+      std::printf("  orec: acquires=%llu steals=%llu resizes=%llu\n",
+                  static_cast<unsigned long long>(rt.orec_acquires),
+                  static_cast<unsigned long long>(rt.orec_steals),
+                  static_cast<unsigned long long>(rt.orec_resizes));
+    }
+    if (rt.mode_switches != 0 || rt.fiber_switches != 0 ||
+        rt.write_flag_sets != 0) {
+      std::printf("  mode-switches=%llu fiber-switches=%llu "
+                  "write-flag-sets=%llu\n",
+                  static_cast<unsigned long long>(rt.mode_switches),
+                  static_cast<unsigned long long>(rt.fiber_switches),
+                  static_cast<unsigned long long>(rt.write_flag_sets));
+    }
+    if (rt.health_degrades != 0 || rt.health_probes != 0 ||
+        rt.health_reenables != 0) {
+      std::printf("  htm-health: degrades=%llu probes=%llu reenables=%llu\n",
+                  static_cast<unsigned long long>(rt.health_degrades),
+                  static_cast<unsigned long long>(rt.health_probes),
+                  static_cast<unsigned long long>(rt.health_reenables));
     }
   }
 
