@@ -1,0 +1,115 @@
+// OLTP read-mostly traffic: throughput of the sharded store at 95/5 and
+// 99/1 read/upsert mixes as the shard count grows, SUX elision vs the
+// exclusive-lock family vs OCC. Xeon, 18 threads.
+//
+// The machine's write capacity is pinned to zero lines, so every upsert's
+// HTM attempt dies on kCapacity and the write always runs under its
+// shard's fallback guard — the shape where the guard's *kind* decides
+// everything:
+//
+//   * TLE / HLE — the pessimistic writer holds the one exclusive word for
+//     its whole section; every elided reader on that shard aborts and
+//     convoys behind it.
+//   * RW-TLE — the writer still takes the exclusive word, but readers get
+//     an instrumented slow HTM path subscribed to the write flag, so they
+//     keep committing through the holder's read prefix.
+//   * SUX-TLE / SUX-RW-TLE — the writer enters in *update* mode, which
+//     leaves is_locked() false; elided readers (subscribing is_locked()
+//     only) never notice it until the upgrade publishes the exclusive
+//     word for just the write suffix. Read fallbacks take shared mode and
+//     coexist with each other and with the update holder.
+//   * Silo-OCC — no guard at all; reads validate at commit.
+//
+// At 99/1 on 4+ shards the SUX methods should hold near-reader-only
+// throughput while single-exclusive TLE pays a full convoy per upsert —
+// the crossover BENCH_PR9 pins.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util/figure.h"
+#include "oltp/workload.h"
+#include "sim/config.h"
+
+using namespace rtle;
+using bench::Table;
+
+namespace {
+
+bench::perf::CellMetrics metrics_of(const oltp::WorkloadResult& r,
+                                    const sim::MachineConfig& mc,
+                                    double duration_ms) {
+  bench::perf::CellMetrics m;
+  m.ops_per_ms = r.ops_per_ms;
+  const double attempts =
+      static_cast<double>(r.stats.ops + r.stats.total_aborts());
+  m.abort_rate = attempts > 0 ? r.stats.total_aborts() / attempts : 0.0;
+  m.lock_fallback = r.stats.lock_fallback_rate();
+  const double run_cycles = duration_ms * mc.cycles_per_ms();
+  m.time_under_lock =
+      run_cycles > 0 ? r.stats.cycles_under_lock / run_cycles : 0.0;
+  return m;
+}
+
+}  // namespace
+
+RTLE_FIGURE("oltp_readmostly", "OLTP read-mostly mixes",
+            "sharded store throughput (ops/ms) vs shard count at 95/5 and "
+            "99/1 read/upsert mixes, writes forced pessimistic "
+            "(max_write_lines=0), 18 threads, xeon") {
+  const double duration = args.scale(2.0, 0.25);
+  const std::uint32_t threads = 18;
+
+  std::vector<std::uint32_t> shard_counts = {1, 2, 4, 8, 16};
+  if (args.quick) shard_counts = {1, 4, 16};
+
+  const char* names[] = {"TLE",     "RW-TLE",     "SUX-TLE",
+                         "SUX-RW-TLE", "Silo-OCC"};
+
+  for (std::uint32_t read_pct : {95u, 99u}) {
+    std::printf("-- %u/%u read/upsert --\n", read_pct, 100 - read_pct);
+    std::vector<std::string> header = {"shards"};
+    for (const char* n : names) header.push_back(n);
+    Table table(header);
+    for (std::uint32_t shards : shard_counts) {
+      std::vector<std::string> row = {Table::num(std::uint64_t{shards})};
+      for (const char* n : names) {
+        oltp::WorkloadConfig cfg;
+        cfg.machine = sim::MachineConfig::xeon();
+        // Zero write capacity: any transactional store aborts the hardware
+        // transaction, so upserts always run under the fallback guard
+        // while pure reads keep eliding — isolating how each guard treats
+        // readers during a writer's pessimistic section.
+        cfg.machine.htm.max_write_lines = 0;
+        cfg.threads = threads;
+        cfg.shards = shards;
+        cfg.keys = 1 << 12;
+        cfg.zipf_theta = 0.8;
+        cfg.read_pct = read_pct;
+        cfg.multi_pct = 0;
+        cfg.duration_ms = duration;
+        cfg.seed = 11;
+        cfg.faults = args.faults;
+        cfg.trace_file = args.trace;
+        cfg.latency = args.latency;
+        const auto r = oltp::run_workload(cfg, bench::method_by_name(n));
+        bench::report_cell(n,
+                           "xeon/r" + std::to_string(read_pct) + "/t18/s" +
+                               std::to_string(shards),
+                           metrics_of(r, cfg.machine, duration));
+        row.push_back(Table::num(r.ops_per_ms, 0));
+        if (args.stats) {
+          std::printf("  [stats] %-10s r=%u s=%-2u %s\n", n, read_pct,
+                      shards, r.stats.summary().c_str());
+        }
+        if (args.latency && !r.latency.empty()) {
+          std::printf("  [latency] %-10s r=%u s=%-2u %s\n", n, read_pct,
+                      shards, r.latency.c_str());
+        }
+      }
+      table.add_row(std::move(row));
+    }
+    table.print(args.csv);
+    std::printf("\n");
+  }
+}

@@ -1,0 +1,106 @@
+// OLTP secondary-index lookups: throughput of read-only multi-key
+// snapshots (Store::multi_get) as the shard count grows. Xeon, 18 threads.
+//
+// Each lookup resolves one popular "index entry" to a contiguous cluster
+// of 4..8 primary keys, which hash routing scatters across shards — so a
+// single logical read becomes a cross-shard read-only transaction. The
+// cluster snapshot runs on the *read* cross seam: one hardware
+// transaction entered through every involved shard's read subscription,
+// with a shared-mode (for SUX) or exclusive (for the others) pessimistic
+// fallback. A 5% upsert stream forces pessimistic writers into the mix
+// (max_write_lines=0, as in oltp_readmostly), so the figure shows what a
+// waiting or update-holding writer on *one* shard does to snapshots
+// spanning *several*: under exclusive guards the writer dooms every
+// lookup that touches its shard, under SUX only the upgrade's write
+// suffix does.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util/figure.h"
+#include "oltp/workload.h"
+#include "sim/config.h"
+
+using namespace rtle;
+using bench::Table;
+
+namespace {
+
+bench::perf::CellMetrics metrics_of(const oltp::WorkloadResult& r,
+                                    const sim::MachineConfig& mc,
+                                    double duration_ms) {
+  bench::perf::CellMetrics m;
+  m.ops_per_ms = r.ops_per_ms;
+  const double attempts = static_cast<double>(
+      r.stats.ops + r.cross.commits + r.stats.total_aborts() +
+      r.cross.aborts);
+  const double aborts =
+      static_cast<double>(r.stats.total_aborts() + r.cross.aborts);
+  m.abort_rate = attempts > 0 ? aborts / attempts : 0.0;
+  m.lock_fallback = r.stats.lock_fallback_rate();
+  const double run_cycles = duration_ms * mc.cycles_per_ms();
+  m.time_under_lock =
+      run_cycles > 0 ? r.stats.cycles_under_lock / run_cycles : 0.0;
+  return m;
+}
+
+}  // namespace
+
+RTLE_FIGURE("oltp_secondary", "OLTP secondary-index lookups",
+            "read-only multi-shard cluster snapshots (ops/ms) vs shard "
+            "count, 65/30/5 lookup/read/upsert mix, writes forced "
+            "pessimistic, 18 threads, xeon") {
+  const double duration = args.scale(2.0, 0.25);
+  const std::uint32_t threads = 18;
+
+  std::vector<std::uint32_t> shard_counts = {1, 2, 4, 8, 16};
+  if (args.quick) shard_counts = {1, 4, 16};
+
+  const char* names[] = {"TLE",     "RW-TLE",     "SUX-TLE",
+                         "SUX-RW-TLE", "Silo-OCC"};
+
+  std::vector<std::string> header = {"shards"};
+  for (const char* n : names) header.push_back(n);
+  Table table(header);
+  for (std::uint32_t shards : shard_counts) {
+    std::vector<std::string> row = {Table::num(std::uint64_t{shards})};
+    for (const char* n : names) {
+      oltp::WorkloadConfig cfg;
+      cfg.machine = sim::MachineConfig::xeon();
+      cfg.machine.htm.max_write_lines = 0;
+      cfg.threads = threads;
+      cfg.shards = shards;
+      cfg.keys = 1 << 12;
+      cfg.zipf_theta = 0.8;
+      // 65% secondary-index lookups (4..8-key clusters), 30% single-key
+      // reads, 5% upserts. No transfers: the write stream exists only to
+      // put pessimistic writers in the snapshots' way.
+      cfg.read_pct = 30;
+      cfg.multi_pct = 0;
+      cfg.secondary_pct = 65;
+      cfg.multi_min = 4;
+      cfg.multi_max = 8;
+      cfg.duration_ms = duration;
+      cfg.seed = 13;
+      cfg.faults = args.faults;
+      cfg.trace_file = args.trace;
+      cfg.latency = args.latency;
+      const auto r = oltp::run_workload(cfg, bench::method_by_name(n));
+      bench::report_cell(n, "xeon/sec65/t18/s" + std::to_string(shards),
+                         metrics_of(r, cfg.machine, duration));
+      row.push_back(Table::num(r.ops_per_ms, 0));
+      if (args.stats) {
+        std::printf("  [stats] %-10s s=%-2u %s cross(htm/lock)=%llu/%llu\n",
+                    n, shards, r.stats.summary().c_str(),
+                    static_cast<unsigned long long>(r.cross.htm_commits),
+                    static_cast<unsigned long long>(r.cross.lock_commits));
+      }
+      if (args.latency && !r.latency.empty()) {
+        std::printf("  [latency] %-10s s=%-2u %s\n", n, shards,
+                    r.latency.c_str());
+      }
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(args.csv);
+}

@@ -47,6 +47,8 @@ const std::vector<SuiteEntry>& default_suite() {
       {"oltp_capacity", "oltp_capacity", 300, 3600},
       {"oltp_burst", "oltp_burst", 300, 3600},
       {"oltp_cc_contention", "oltp_cc_contention", 300, 3600},
+      {"oltp_readmostly", "oltp_readmostly", 300, 3600},
+      {"oltp_secondary", "oltp_secondary", 300, 3600},
   };
   return kSuite;
 }

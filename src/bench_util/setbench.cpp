@@ -19,6 +19,7 @@
 #include "stm/norec.h"
 #include "stm/hybrid_norec.h"
 #include "stm/rhnorec.h"
+#include "sync/suxtle.h"
 #include "trace/export.h"
 #include "trace/session.h"
 #include "tle/adaptive.h"
@@ -263,6 +264,13 @@ MethodSpec method_by_name(const std::string& name) {
   }
   if (name == "RW-TLE-lazy") {
     return {name, [] { return std::make_unique<tle::RwTleMethod>(true); }};
+  }
+  // SUX family (src/sync/suxtle.h): shared/update/exclusive elision.
+  if (name == "SUX-TLE") {
+    return {name, [] { return std::make_unique<sync::SuxTleMethod>(); }};
+  }
+  if (name == "SUX-RW-TLE") {
+    return {name, [] { return std::make_unique<sync::SuxRwTleMethod>(); }};
   }
   // Transaction-level concurrency-control protocols (src/cc).
   if (name == "Silo-OCC") {

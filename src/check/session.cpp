@@ -51,6 +51,9 @@ const char* to_string(ReportKind k) {
     case ReportKind::kLockOrder: return "lock-order";
     case ReportKind::kCcValidation: return "cc-validation";
     case ReportKind::kCcWoundOrder: return "cc-wound-order";
+    case ReportKind::kSuxSharedWrite: return "sux-shared-write";
+    case ReportKind::kSuxSubscription: return "sux-subscription";
+    case ReportKind::kSuxUpgrade: return "sux-upgrade";
   }
   return "?";
 }
@@ -655,6 +658,50 @@ void CheckSession::on_rw_cs_close(const void* method,
   (void)method;
   bump_serial(f);
   holder_closed_.insert(reinterpret_cast<std::uintptr_t>(lock_word));
+}
+
+void CheckSession::on_sux_shared_subscribe(const void* method,
+                                           bool waiting_subscribed) {
+  const std::uint32_t f = self();
+  if (f >= kMaxFibers) return;
+  (void)method;
+  if (waiting_subscribed) {
+    report(ReportKind::kSuxSubscription, f, 0, nullptr, nullptr,
+           "elided shared acquisition subscribed is_locked_or_waiting() — "
+           "shared mode must subscribe is_locked() only, so waiting "
+           "writers do not abort elided readers (the MariaDB "
+           "transactional_shared_lock_guard predicate)");
+  }
+}
+
+void CheckSession::on_sux_shared_write(const void* method) {
+  const std::uint32_t f = self();
+  if (f >= kMaxFibers) return;
+  (void)method;
+  report(ReportKind::kSuxSharedWrite, f, 0, nullptr, nullptr,
+         "shared-mode holder performed a write — shared holders never "
+         "write; a writing section must enter through update mode and "
+         "upgrade to exclusive first");
+}
+
+void CheckSession::on_sux_upgrade(const void* method, bool had_update,
+                                  std::uint64_t readers_left) {
+  const std::uint32_t f = self();
+  if (f >= kMaxFibers) return;
+  (void)method;
+  if (!had_update) {
+    report(ReportKind::kSuxUpgrade, f, 0, nullptr, nullptr,
+           "upgrade to exclusive without holding update mode — only the "
+           "update holder may claim exclusivity (it is what makes the "
+           "upgrade deadlock-free)");
+  }
+  if (readers_left != 0) {
+    report(ReportKind::kSuxUpgrade, f, 0, nullptr, nullptr,
+           "exclusive word published with " + std::to_string(readers_left) +
+               " pessimistic reader(s) still inside — the upgrade must "
+               "drain the shared count before the word_ store creates the "
+               "happens-before edge that dooms elided readers");
+  }
 }
 
 std::uint64_t CheckSession::last_serial(std::uint32_t tid) const {

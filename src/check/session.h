@@ -60,6 +60,9 @@ enum class ReportKind : std::uint8_t {
   kLockOrder,        // oltp: cross-shard guards acquired out of order
   kCcValidation,     // cc: commit proceeded past a stale read version
   kCcWoundOrder,     // cc: wait-die wound/wait decision inverted by age
+  kSuxSharedWrite,   // SUX: shared-mode holder performed a write
+  kSuxSubscription,  // SUX: elided reader subscribed is_locked_or_waiting()
+  kSuxUpgrade,       // SUX: upgrade without update mode / with readers left
 };
 const char* to_string(ReportKind k);
 
@@ -213,6 +216,28 @@ class CheckSession {
   void on_rw_holder_write(const void* method, bool flag_stored);
   /// write_flag cleared at CS end: the holder's serialization point.
   void on_rw_cs_close(const void* method, const void* lock_word);
+
+  // --- SUX protocol invariants (sync/suxtle.cpp) ------------------------
+  /// An elided shared acquisition declared its subscription predicate:
+  /// `waiting_subscribed` says the fast path also subscribed to the
+  /// waiter/claim word (is_locked_or_waiting()). Shared mode must
+  /// subscribe is_locked() only — the whole point of the mode is that
+  /// waiting writers do not abort elided readers (MariaDB's
+  /// transactional_shared_lock_guard); subscribing the waiter word is
+  /// reported as kSuxSubscription.
+  void on_sux_shared_subscribe(const void* method, bool waiting_subscribed);
+  /// A shared-mode critical section performed a write. Shared holders
+  /// never write (upgrade through update mode instead) — reported as
+  /// kSuxSharedWrite.
+  void on_sux_shared_write(const void* method);
+  /// Update-mode holder upgraded to exclusive: `had_update` says the
+  /// upgrade came from update mode (the only legal source), and
+  /// `readers_left` is the pessimistic-reader count observed when the
+  /// exclusive word was published. Either violation — an upgrade from
+  /// nowhere, or publishing exclusivity with readers still inside — is
+  /// reported as kSuxUpgrade.
+  void on_sux_upgrade(const void* method, bool had_update,
+                      std::uint64_t readers_left);
 
   // --- results ----------------------------------------------------------
   std::size_t report_count() const { return total_reports_; }

@@ -29,11 +29,19 @@ constexpr std::uint64_t kGatePollCycles = 128;
 
 }  // namespace
 
-Store::Store(const StoreConfig& cfg, const runtime::MethodSpec& spec) {
+Store::Store(const StoreConfig& cfg, const runtime::MethodSpec& spec)
+    : Store(cfg, std::vector<runtime::MethodSpec>{spec}) {}
+
+Store::Store(const StoreConfig& cfg,
+             const std::vector<runtime::MethodSpec>& specs) {
   if (cfg.shards == 0 || cfg.shards > kMaxShards ||
       !std::has_single_bit(cfg.shards)) {
     std::fprintf(stderr, "rtle oltp: shard count %u is not a power of two "
                  "in 1..%u\n", cfg.shards, kMaxShards);
+    std::abort();
+  }
+  if (specs.empty()) {
+    std::fprintf(stderr, "rtle oltp: empty per-shard method spec list\n");
     std::abort();
   }
   shard_bits_ = static_cast<std::uint32_t>(std::countr_zero(cfg.shards));
@@ -43,7 +51,7 @@ Store::Store(const StoreConfig& cfg, const runtime::MethodSpec& spec) {
   methods_.reserve(cfg.shards);
   maps_.reserve(cfg.shards);
   for (std::uint32_t s = 0; s < cfg.shards; ++s) {
-    methods_.push_back(spec.make());
+    methods_.push_back(specs[s % specs.size()].make());
     methods_.back()->prepare(cfg.max_threads);
     maps_.push_back(std::make_unique<ds::TxHashMap>(
         cfg.buckets_per_shard, cfg.max_nodes_per_shard, cfg.max_threads));
@@ -60,7 +68,9 @@ bool Store::get(ThreadCtx& th, std::uint64_t key, std::uint64_t& out) {
     val = found ? ctx.load(v) : 0;
   };
   enter_shard(s);
-  methods_[s]->execute(th, cs);
+  // Read seam: SUX shards serve this with shared-mode elision / shared
+  // acquisition; every other method's execute_read is plain execute.
+  methods_[s]->execute_read(th, cs);
   leave_shard(s);
   out = val;
   if (trace::TraceSession* tr = tracer()) {
@@ -226,6 +236,111 @@ void Store::multi(ThreadCtx& th, const std::uint64_t* keys, std::size_t nkeys,
     const std::uint32_t s = descending_bug_ ? order[ns - 1 - i] : order[i];
     methods_[s]->cross_lock_leave(th);
     if (tr != nullptr) tr->emit(trace::EventType::kShardRelease, 0, s);
+  }
+  finish(/*lock_path=*/true);
+}
+
+void Store::multi_get(ThreadCtx& th, const std::uint64_t* keys,
+                      std::size_t nkeys, std::uint64_t* out) {
+  std::uint64_t mask = 0;
+  for (std::size_t i = 0; i < nkeys; ++i) {
+    mask |= std::uint64_t{1} << shard_of(keys[i]);  // shim-lint: ok (caller's private key list, not simulated shared memory)
+  }
+  std::uint32_t order[kMaxShards];
+  std::size_t ns = 0;
+  for (std::uint32_t s = 0; s < shards(); ++s) {
+    if ((mask >> s) & 1) order[ns++] = s;
+  }
+  // Same gate discipline as multi(): the HTM path touches every involved
+  // method object through the read seam, so none may be swapped mid-flight.
+  for (std::size_t i = 0; i < ns; ++i) enter_shard(order[i]);
+
+  trace::TraceSession* tr = tracer();
+  check::CheckSession* chk = check::checker();
+  const std::uint64_t op_start = tr != nullptr ? cur_sched().now() : 0;
+  if (chk != nullptr) chk->on_cross_begin();
+  if (tr != nullptr) tr->emit(trace::EventType::kCrossBegin, 0, mask);
+
+  auto finish = [&](bool lock_path) {
+    for (std::size_t i = 0; i < ns; ++i) leave_shard(order[i]);
+    cross_.commits += 1;
+    (lock_path ? cross_.lock_commits : cross_.htm_commits) += 1;
+    if (tr != nullptr) {
+      tr->txn_commit(lock_path ? trace::TxPath::kLock : trace::TxPath::kFast,
+                     op_start);
+      for (std::size_t i = 0; i < ns; ++i) {
+        tr->emit(trace::EventType::kShardCommit, 1, order[i]);
+      }
+      tr->emit(trace::EventType::kCrossCommit, lock_path ? 1 : 0, mask);
+    }
+    if (chk != nullptr) chk->on_cross_end();
+  };
+
+  // `keys` and `out` are the caller's private buffers (thread-local key
+  // draws and the result vector), not simulated shared memory.
+  auto read_key = [&](TxContext& ctx, std::size_t i) {
+    const std::uint32_t s = shard_of(keys[i]);        // shim-lint: ok (private key buffer)
+    std::uint64_t* v = maps_[s]->find(ctx, keys[i]);  // shim-lint: ok (private key buffer)
+    out[i] = v == nullptr ? 0 : ctx.load(v);          // shim-lint: ok (private result buffer)
+  };
+
+  // Optimistic path: one hardware transaction entered through each shard's
+  // *read* subscription — SUX shards expose is_locked() only here, so a
+  // writer waiting on (or update-holding) any involved shard does not doom
+  // the snapshot the way it would doom a read-write multi().
+  auto& htm = cur_htm();
+  for (int trials = 0; trials < cross_trials_; ++trials) {
+    try {
+      if (tr != nullptr) tr->txn_begin(trace::TxPath::kFast);
+      htm.begin(th.tx);
+      for (std::size_t i = 0; i < ns; ++i) {
+        methods_[order[i]]->cross_htm_enter_read(th);
+      }
+      TxContext ctx(Path::kHtmFast, th);
+      for (std::size_t i = 0; i < nkeys; ++i) read_key(ctx, i);
+      htm.commit(th.tx);
+      finish(/*lock_path=*/false);
+      return;
+    } catch (const htm::HtmAbort& e) {
+      cross_.aborts += 1;
+      cross_.abort_cause[static_cast<std::size_t>(e.cause)] += 1;
+      if (tr != nullptr) {
+        tr->txn_abort(trace::TxPath::kFast,
+                      static_cast<std::uint64_t>(e.cause));
+      }
+      if (e.cause == htm::AbortCause::kCapacity) break;
+      mem::compute(16 + th.rng.below(64u << (trials < 6 ? trials : 6)));
+    }
+  }
+
+  // Pessimistic fallback: every involved guard's *read* mode, ascending —
+  // the same total order as multi()'s write fallback, so mixed read/write
+  // cross transactions cannot form a wait-for cycle either.
+  if (tr != nullptr) tr->txn_begin(trace::TxPath::kLock);
+  for (std::size_t i = 0; i < ns; ++i) {
+    methods_[order[i]]->cross_lock_enter_read(th);
+    if (chk != nullptr) chk->on_cross_guard(order[i]);
+    if (tr != nullptr) {
+      tr->emit(trace::EventType::kShardAcquire, 1, order[i]);
+    }
+  }
+  {
+    std::array<std::optional<TxContext>, kMaxShards> rctx;
+    for (std::size_t i = 0; i < nkeys; ++i) {
+      const std::uint32_t s = shard_of(keys[i]);  // shim-lint: ok (private key buffer)
+      auto& slot = rctx[s];
+      if (!slot.has_value()) {
+        slot.emplace(methods_[s]->cross_lock_read_path(), th,
+                     methods_[s]->cross_lock_read_barriers());
+      }
+      read_key(*slot, i);
+    }
+  }
+  for (std::size_t i = ns; i-- > 0;) {
+    methods_[order[i]]->cross_lock_leave_read(th);
+    if (tr != nullptr) {
+      tr->emit(trace::EventType::kShardRelease, 1, order[i]);
+    }
   }
   finish(/*lock_path=*/true);
 }

@@ -58,6 +58,12 @@ class Store {
   static constexpr std::uint32_t kMaxShards = 64;
 
   Store(const StoreConfig& cfg, const runtime::MethodSpec& spec);
+  /// Per-shard guard choice: shard s is guarded by specs[s % specs.size()]
+  /// (one spec per shard for full control, or a short pattern to
+  /// alternate). Mixed stores exercise the cross-shard seams across
+  /// different method families — e.g. SUX shards beside exclusive ones.
+  Store(const StoreConfig& cfg,
+        const std::vector<runtime::MethodSpec>& specs);
 
   Store(const Store&) = delete;
   Store& operator=(const Store&) = delete;
@@ -110,6 +116,15 @@ class Store {
   /// internally; returns only on success.
   void multi(runtime::ThreadCtx& th, const std::uint64_t* keys,
              std::size_t nkeys, MultiBody body);
+
+  /// Read-only multi-key transaction: atomically snapshot the values of
+  /// `keys` into `out` (0 for absent keys). Runs on the *read* cross seam:
+  /// one hardware transaction entered via cross_htm_enter_read per shard
+  /// (for SUX shards that subscribes is_locked() only, so writers waiting
+  /// on other shards never doom the snapshot), with a pessimistic fallback
+  /// that takes every involved guard's read mode in ascending shard order.
+  void multi_get(runtime::ThreadCtx& th, const std::uint64_t* keys,
+                 std::size_t nkeys, std::uint64_t* out);
 
   // --- prefill (before the simulated threads start) ---------------------
   /// Meta-level upsert-if-absent: no simulated cost, no transaction.

@@ -48,6 +48,9 @@ void accumulate(runtime::MethodStats& into, const runtime::MethodStats& s) {
   into.trace_drops += s.trace_drops;
   into.lock_acquisitions += s.lock_acquisitions;
   into.cycles_under_lock += s.cycles_under_lock;
+  into.sux_shared_acquisitions += s.sux_shared_acquisitions;
+  into.cycles_under_shared += s.cycles_under_shared;
+  into.sux_upgrades += s.sux_upgrades;
   into.stm_begins += s.stm_begins;
   into.validations += s.validations;
   into.cycles_sw_running += s.cycles_sw_running;
@@ -279,6 +282,28 @@ WorkloadResult run_workload(const WorkloadConfig& cfg,
     } else if (r < tn.multi_pct + tn.read_pct) {
       std::uint64_t out = 0;
       store.get(th, tn.zipf.next(th.rng), out);
+    } else if (r < tn.multi_pct + tn.read_pct + cfg.multi_read_pct) {
+      // Read-only snapshot of span independent keys (Store::multi_get).
+      const std::uint32_t span = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+          kMaxSpan, th.rng.range(cfg.multi_min, cfg.multi_max)));
+      std::uint64_t keys[kMaxSpan];
+      std::uint64_t vals[kMaxSpan];
+      for (std::uint32_t i = 0; i < span; ++i) keys[i] = tn.zipf.next(th.rng);
+      store.multi_get(th, keys, span, vals);
+    } else if (r < tn.multi_pct + tn.read_pct + cfg.multi_read_pct +
+                       cfg.secondary_pct) {
+      // Secondary-index lookup: one popular index entry fans out to a
+      // contiguous cluster of primary keys, which hash routing scatters
+      // across shards — the multi-shard read-only shape.
+      const std::uint32_t span = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+          kMaxSpan, th.rng.range(cfg.multi_min, cfg.multi_max)));
+      const std::uint64_t base = tn.zipf.next(th.rng);
+      std::uint64_t keys[kMaxSpan];
+      std::uint64_t vals[kMaxSpan];
+      for (std::uint32_t i = 0; i < span; ++i) {
+        keys[i] = (base + i) % cfg.keys;
+      }
+      store.multi_get(th, keys, span, vals);
     } else {
       store.put(th, tn.zipf.next(th.rng), th.rng.next());
     }

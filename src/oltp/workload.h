@@ -109,6 +109,16 @@ struct WorkloadConfig {
   std::uint32_t multi_pct = 10;
   std::uint32_t multi_min = 2;  ///< keys per multi-key transfer
   std::uint32_t multi_max = 4;
+  /// Read-only multi-key snapshots (Store::multi_get) on the read cross
+  /// seam — the read-mostly figure's multi-get shape. Carved out of the
+  /// same 100: whatever read_pct + multi_pct + multi_read_pct +
+  /// secondary_pct leaves is single-key upserts. Default 0 keeps existing
+  /// configs RNG-identical (the branch spends no draws when never taken).
+  std::uint32_t multi_read_pct = 0;
+  /// Secondary-index lookups: one Zipf draw picks an index entry, and the
+  /// lookup multi-gets the contiguous cluster of multi_min..multi_max
+  /// primary keys it points at (clusters straddle shards by hash routing).
+  std::uint32_t secondary_pct = 0;
   double duration_ms = 1.0;
   std::uint64_t seed = 42;
   /// > 0 switches to the open-loop driver: aggregate arrivals per

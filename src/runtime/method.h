@@ -34,6 +34,17 @@ class SyncMethod {
   /// through the TxContext.
   virtual void execute(ThreadCtx& th, CsBody cs) = 0;
 
+  /// Execute one *read-only* critical section. Methods with a shared mode
+  /// (the SUX family) override this to take shared acquisition — elided
+  /// readers subscribe is_locked() only, pessimistic readers coexist with
+  /// each other and with the update holder's read prefix. The default
+  /// forwards to execute(): for every exclusive-only method a read is just
+  /// a critical section, and the forwarding keeps their behavior (and
+  /// simulated schedule) bit-identical to before the seam existed. The
+  /// body must not write through the TxContext; SUX methods report a write
+  /// as check::ReportKind::kSuxSharedWrite under an armed checker.
+  virtual void execute_read(ThreadCtx& th, CsBody cs) { execute(th, cs); }
+
   /// Run-wide statistics. Updated by all simulated threads (race-free: the
   /// simulation is single-OS-threaded and counters are meta-level).
   MethodStats& stats() { return stats_; }
@@ -72,6 +83,18 @@ class SyncMethod {
   /// while the guard is held via cross_lock_enter.
   virtual Path cross_lock_path() const { return Path::kRaw; }
   virtual SlowBarriers* cross_lock_barriers() { return nullptr; }
+
+  // Read-only variants of the cross seam, used by Store::multi_get. The
+  // defaults forward to the exclusive seam, so exclusive-only methods
+  // serve read transactions exactly as before; SUX methods override them
+  // with shared subscription / shared acquisition.
+  virtual void cross_htm_enter_read(ThreadCtx& th) { cross_htm_enter(th); }
+  virtual void cross_lock_enter_read(ThreadCtx& th) { cross_lock_enter(th); }
+  virtual void cross_lock_leave_read(ThreadCtx& th) { cross_lock_leave(th); }
+  virtual Path cross_lock_read_path() const { return cross_lock_path(); }
+  virtual SlowBarriers* cross_lock_read_barriers() {
+    return cross_lock_barriers();
+  }
 
  protected:
   MethodStats stats_;

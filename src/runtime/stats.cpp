@@ -66,6 +66,15 @@ std::string MethodStats::summary() const {
                   static_cast<unsigned long long>(method_switches));
     out += buf;
   }
+  if (sux_shared_acquisitions != 0 || sux_upgrades != 0 ||
+      cycles_under_shared != 0) {
+    std::snprintf(buf, sizeof(buf),
+                  " sux(shared/upgrades)=%llu/%llu shared_cycles=%llu",
+                  static_cast<unsigned long long>(sux_shared_acquisitions),
+                  static_cast<unsigned long long>(sux_upgrades),
+                  static_cast<unsigned long long>(cycles_under_shared));
+    out += buf;
+  }
   if (cc_validation_aborts != 0 || cc_wounds != 0 || cc_ts_extensions != 0) {
     std::snprintf(buf, sizeof(buf),
                   " cc(val_aborts/wounds/extends)=%llu/%llu/%llu",

@@ -73,6 +73,13 @@ struct MethodStats {
   std::uint64_t cc_wounds = 0;
   std::uint64_t cc_ts_extensions = 0;
 
+  // SUX reader-writer accounting (sync/suxlock.cpp): pessimistic
+  // shared/update acquisitions, cycles spent holding the shared side, and
+  // update→exclusive upgrades. Surfaced by --stats and tools/trace_stats.
+  std::uint64_t sux_shared_acquisitions = 0;
+  std::uint64_t cycles_under_shared = 0;
+  std::uint64_t sux_upgrades = 0;
+
   // Keeps sizeof(MethodStats) growth over the seed layout at a multiple of
   // 64 bytes (abort_cause grew by one slot, health counters added three,
   // the two trace counters above were carved out of this block):
@@ -82,9 +89,10 @@ struct MethodStats {
   // different line boundaries and perturb seed-identical runs. Slot
   // budget: the three admit counters overflowed the original four reserved
   // slots, so this block grew by a whole 64-byte line (8 slots) at once;
-  // the three CC counters above then took the free count from 7 down to 4.
-  // When those run out, grow by another line.
-  std::uint64_t reserved_[4] = {};
+  // the three CC counters took the free count from 7 down to 4, and the
+  // three SUX counters above from 4 down to 1. When that runs out, grow by
+  // another line.
+  std::uint64_t reserved_[1] = {};
 
   // Lock accounting (Fig 6 "Lock" pane, Fig 7).
   std::uint64_t lock_acquisitions = 0;

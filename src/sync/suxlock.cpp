@@ -1,0 +1,239 @@
+#include "sync/suxlock.h"
+
+#include <algorithm>
+
+#include "check/session.h"
+#include "mem/shim.h"
+#include "sim/ambient.h"
+#include "sim/env.h"
+#include "trace/session.h"
+
+// Each entry point reads the ambient dispatch word once, like TTSLock; with
+// all sessions off that is the only session-related work the lock does.
+
+namespace rtle::sync {
+
+void SuxLock::note_words() const {
+  if (ambient::any(ambient::kCheck)) {
+    if (check::CheckSession* chk = check::active_check()) {
+      chk->on_lock_word(&word_);
+      chk->on_lock_word(&state_);
+    }
+  }
+}
+
+bool SuxLock::probe_locked() const {
+  if (ambient::any(ambient::kCheck)) {
+    if (check::CheckSession* chk = check::active_check()) {
+      chk->on_lock_word(&word_);
+    }
+  }
+  return mem::plain_load(&word_) != 0;
+}
+
+std::uint64_t SuxLock::acquire_shared() {
+  const std::uint32_t amb = ambient::mask();
+  if ((amb & ambient::kCheck) != 0) note_words();
+  trace::TraceSession* tr =
+      (amb & ambient::kTrace) != 0 ? trace::active_trace() : nullptr;
+  const std::uint64_t wait_start = tr != nullptr ? cur_sched().now() : 0;
+  const auto& cost = cur_mem().cost();
+  std::uint64_t backoff = cost.backoff_base;
+  for (;;) {
+    const std::uint64_t s = mem::plain_load(&state_);
+    // Pessimistic readers respect claims and waiting writers (writer
+    // preference); only *elided* readers get to ignore the waiter word.
+    if ((s & (kXClaim | kWaitMask)) == 0 && mem::plain_load(&word_) == 0) {
+      // Any claim appearing between the loads and here mutates state_, so
+      // the CAS fails; word_ can only become nonzero after a state_ claim.
+      if (mem::plain_cas(&state_, s, s + kReader)) break;
+    }
+    mem::compute(backoff);
+    backoff = std::min<std::uint64_t>(backoff * 2, cost.backoff_cap);
+  }
+  const std::uint64_t now = cur_sched().now();
+  if (stats_ != nullptr) stats_->sux_shared_acquisitions += 1;
+  if (tr != nullptr) {
+    tr->emit(trace::EventType::kSharedAcquire, 0, now - wait_start);
+  }
+  if ((amb & ambient::kFault) != 0) cur_sched().charge_holder_preemption();
+  return now;
+}
+
+void SuxLock::release_shared(std::uint64_t acquired_at) {
+  if (stats_ != nullptr) {
+    stats_->cycles_under_shared += cur_sched().now() - acquired_at;
+  }
+  const std::uint32_t amb = ambient::mask();
+  if ((amb & ambient::kTrace) != 0) {
+    if (trace::TraceSession* tr = trace::active_trace()) {
+      tr->emit(trace::EventType::kSharedRelease);
+    }
+  }
+  if ((amb & ambient::kCheck) != 0) note_words();
+  mem::plain_faa(&state_, 0ull - kReader);
+  if ((amb & ambient::kCheck) != 0) {
+    if (check::CheckSession* chk = check::active_check()) {
+      chk->on_lock_released(&state_);
+    }
+  }
+}
+
+void SuxLock::acquire_update() {
+  const std::uint32_t amb = ambient::mask();
+  if ((amb & ambient::kCheck) != 0) note_words();
+  trace::TraceSession* tr =
+      (amb & ambient::kTrace) != 0 ? trace::active_trace() : nullptr;
+  const std::uint64_t wait_start = tr != nullptr ? cur_sched().now() : 0;
+  const auto& cost = cur_mem().cost();
+  std::uint64_t backoff = cost.backoff_base;
+  for (;;) {
+    const std::uint64_t s = mem::plain_load(&state_);
+    if ((s & (kUpdate | kXClaim)) == 0 && mem::plain_load(&word_) == 0) {
+      if (mem::plain_cas(&state_, s, s | kUpdate)) break;
+    }
+    mem::compute(backoff);
+    backoff = std::min<std::uint64_t>(backoff * 2, cost.backoff_cap);
+  }
+  update_acquired_at_ = cur_sched().now();
+  if (stats_ != nullptr) stats_->sux_shared_acquisitions += 1;
+  if (tr != nullptr) {
+    tr->emit(trace::EventType::kSharedAcquire, 1,
+             update_acquired_at_ - wait_start);
+  }
+  if ((amb & ambient::kFault) != 0) cur_sched().charge_holder_preemption();
+}
+
+void SuxLock::release_update() {
+  if (stats_ != nullptr) {
+    stats_->cycles_under_shared += cur_sched().now() - update_acquired_at_;
+  }
+  const std::uint32_t amb = ambient::mask();
+  if ((amb & ambient::kTrace) != 0) {
+    if (trace::TraceSession* tr = trace::active_trace()) {
+      tr->emit(trace::EventType::kSharedRelease, 1);
+    }
+  }
+  if ((amb & ambient::kCheck) != 0) note_words();
+  mem::plain_faa(&state_, 0ull - kUpdate);
+  if ((amb & ambient::kCheck) != 0) {
+    if (check::CheckSession* chk = check::active_check()) {
+      chk->on_lock_released(&state_);
+    }
+  }
+}
+
+std::uint64_t SuxLock::upgrade() {
+  const std::uint32_t amb = ambient::mask();
+  if ((amb & ambient::kCheck) != 0) note_words();
+  trace::TraceSession* tr =
+      (amb & ambient::kTrace) != 0 ? trace::active_trace() : nullptr;
+  const std::uint64_t drain_start = cur_sched().now();
+  // Claiming exclusivity never blocks: kUpdate and kXClaim are mutually
+  // exclusive claims, and exclusive acquisition requires kUpdate clear, so
+  // the update holder is the only fiber that can be here.
+  mem::plain_faa(&state_, kXClaim);
+  const auto& cost = cur_mem().cost();
+  if (!bug_skip_drain_) {
+    while ((mem::plain_load(&state_) & kReaderMask) != 0) {
+      mem::compute(cost.spin_iter);
+    }
+  }
+  const std::uint64_t readers_left = mem::plain_load(&state_) & kReaderMask;
+  // The word_ store dooms every elided shared transaction *before* the
+  // first post-upgrade data write — the happens-before edge that makes
+  // upgrade-in-place sound.
+  mem::plain_store(&word_, 1);
+  acquired_at_ = cur_sched().now();
+  if (stats_ != nullptr) {
+    stats_->sux_upgrades += 1;
+    stats_->lock_acquisitions += 1;
+  }
+  if (tr != nullptr) {
+    tr->lock_acquired(acquired_at_ - drain_start);
+    tr->emit(trace::EventType::kUpgrade, 0, acquired_at_ - drain_start);
+  }
+  if ((amb & ambient::kFault) != 0) cur_sched().charge_holder_preemption();
+  return readers_left;
+}
+
+void SuxLock::downgrade_to_update() {
+  if (stats_ != nullptr) {
+    stats_->cycles_under_lock += cur_sched().now() - acquired_at_;
+  }
+  const std::uint32_t amb = ambient::mask();
+  if ((amb & ambient::kTrace) != 0) {
+    if (trace::TraceSession* tr = trace::active_trace()) tr->lock_released();
+  }
+  if ((amb & ambient::kCheck) != 0) note_words();
+  mem::plain_store(&word_, 0);
+  mem::plain_faa(&state_, 0ull - kXClaim);
+  if ((amb & ambient::kCheck) != 0) {
+    if (check::CheckSession* chk = check::active_check()) {
+      chk->on_lock_released(&word_);
+    }
+  }
+}
+
+void SuxLock::acquire_exclusive() {
+  const std::uint32_t amb = ambient::mask();
+  if ((amb & ambient::kCheck) != 0) note_words();
+  trace::TraceSession* tr =
+      (amb & ambient::kTrace) != 0 ? trace::active_trace() : nullptr;
+  const std::uint64_t wait_start = tr != nullptr ? cur_sched().now() : 0;
+  // Register as a waiter first: from here until the release,
+  // is_locked_or_waiting() stays continuously true, so elided
+  // exclusive/update attempts back off for the whole handoff.
+  mem::plain_faa(&state_, kWriterWait);
+  const auto& cost = cur_mem().cost();
+  std::uint64_t backoff = cost.backoff_base;
+  for (;;) {
+    const std::uint64_t s = mem::plain_load(&state_);
+    if ((s & (kUpdate | kXClaim)) == 0) {
+      if (mem::plain_cas(&state_, s, s | kXClaim)) break;
+    }
+    mem::compute(backoff);
+    backoff = std::min<std::uint64_t>(backoff * 2, cost.backoff_cap);
+  }
+  while ((mem::plain_load(&state_) & kReaderMask) != 0) {
+    mem::compute(cost.spin_iter);
+  }
+  mem::plain_store(&word_, 1);
+  mem::plain_faa(&state_, 0ull - kWriterWait);
+  acquired_at_ = cur_sched().now();
+  if (stats_ != nullptr) stats_->lock_acquisitions += 1;
+  if (tr != nullptr) tr->lock_acquired(acquired_at_ - wait_start);
+  if ((amb & ambient::kFault) != 0) cur_sched().charge_holder_preemption();
+}
+
+void SuxLock::release_exclusive() {
+  if (stats_ != nullptr) {
+    stats_->cycles_under_lock += cur_sched().now() - acquired_at_;
+  }
+  const std::uint32_t amb = ambient::mask();
+  if ((amb & ambient::kTrace) != 0) {
+    if (trace::TraceSession* tr = trace::active_trace()) tr->lock_released();
+  }
+  if ((amb & ambient::kCheck) != 0) note_words();
+  mem::plain_store(&word_, 0);
+  mem::plain_faa(&state_, 0ull - kXClaim);
+  if ((amb & ambient::kCheck) != 0) {
+    if (check::CheckSession* chk = check::active_check()) {
+      chk->on_lock_released(&word_);
+    }
+  }
+}
+
+void SuxLock::spin_while_locked() const {
+  if (ambient::any(ambient::kCheck)) {
+    if (check::CheckSession* chk = check::active_check()) {
+      chk->on_lock_word(&word_);
+    }
+  }
+  const auto& cost = cur_mem().cost();
+  while (mem::plain_load(&word_) != 0) {
+    mem::compute(cost.spin_iter);
+  }
+}
+
+}  // namespace rtle::sync

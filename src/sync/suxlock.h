@@ -1,0 +1,131 @@
+// SuxLock: an elidable shared/update/exclusive reader-writer lock, modeled
+// on MariaDB's transactional_shared_lock_guard family (SNIPPETS.md
+// Snippet 1).
+//
+// The lock is split across two cache lines on purpose:
+//
+//   * `word_`  — the exclusive-holder word. Nonzero exactly while an
+//     exclusive holder is inside; this is `is_locked()`, the *only* word
+//     an elided shared acquisition subscribes to. Waiting writers and even
+//     the update holder's read prefix leave it zero, so they do not abort
+//     elided readers — the property that makes the shared mode pay off in
+//     read-mostly traffic.
+//   * `state_` — readers / waiters / claims, packed:
+//       bits  0..15  pessimistic shared-holder count
+//       bits 16..31  waiting exclusive acquirers
+//       bit  32      update-mode holder (at most one)
+//       bit  33      exclusivity claim (an upgrade or exclusive acquire in
+//                    progress; blocks new pessimistic readers)
+//     `is_locked_or_waiting()` is `word_ != 0 || state_ != 0` — the
+//     conservative predicate exclusive/update elision subscribes to, and
+//     the predicate the seeded subscription bug wrongly applies to shared
+//     elision (check::ReportKind::kSuxSubscription).
+//
+// Mode protocols:
+//   * shared: CAS `state_ += kReader` while no claim/waiter is visible and
+//     `word_` is zero. Readers coexist with each other and with the update
+//     holder's read prefix.
+//   * update: CAS the kUpdate bit while no other claim exists. A read mode
+//     — readers keep entering — that reserves the sole right to upgrade.
+//   * upgrade (update holder only): set the kXClaim bit (always free:
+//     kUpdate and kXClaim are mutually exclusive claims and exclusive
+//     acquisition requires both clear, so the upgrade can never deadlock),
+//     drain the pessimistic reader count, then publish `word_ = 1`. The
+//     word_ store dooms every elided reader *before* the first data write
+//     — the happens-before edge the checker's kSuxUpgrade invariant
+//     guards.
+//   * exclusive: register as a waiter, claim kXClaim, drain readers,
+//     publish `word_`, deregister. The waiter count keeps
+//     is_locked_or_waiting() continuously true across the handoff.
+//
+// All word traffic goes through the memory shim, so hardware transactions
+// subscribed to either word are doomed exactly as on real hardware, and
+// the checker sees the RMWs as sync operations on registered metadata
+// (happens-before edges come for free).
+#pragma once
+
+#include <cstdint>
+
+#include "runtime/stats.h"
+
+namespace rtle::sync {
+
+class SuxLock {
+ public:
+  /// If `stats` is given, exclusive acquisitions land in
+  /// lock_acquisitions / cycles_under_lock and shared/update acquisitions
+  /// in sux_shared_acquisitions / cycles_under_shared / sux_upgrades.
+  explicit SuxLock(runtime::MethodStats* stats = nullptr) : stats_(stats) {}
+
+  SuxLock(const SuxLock&) = delete;
+  SuxLock& operator=(const SuxLock&) = delete;
+
+  // Packed state_ fields.
+  static constexpr std::uint64_t kReader = 1;
+  static constexpr std::uint64_t kReaderMask = 0xffff;
+  static constexpr std::uint64_t kWriterWait = std::uint64_t{1} << 16;
+  static constexpr std::uint64_t kWaitMask = std::uint64_t{0xffff} << 16;
+  static constexpr std::uint64_t kUpdate = std::uint64_t{1} << 32;
+  static constexpr std::uint64_t kXClaim = std::uint64_t{1} << 33;
+
+  /// One probing load of the exclusive word (is_locked()).
+  bool probe_locked() const;
+
+  /// Pessimistic shared acquisition; returns the acquisition timestamp
+  /// (pass it back to release_shared for the cycles_under_shared ledger).
+  std::uint64_t acquire_shared();
+  void release_shared(std::uint64_t acquired_at);
+
+  /// Update mode: a shared-side mode that additionally reserves the sole
+  /// right to upgrade. Readers keep entering while it is held.
+  void acquire_update();
+  void release_update();
+
+  /// Upgrade update→exclusive without dropping the read side. Caller must
+  /// hold update mode. Returns the pessimistic reader count observed when
+  /// the exclusive word was published (0 unless a seeded bug skipped the
+  /// drain — the checker hook receives it).
+  std::uint64_t upgrade();
+  /// Release after upgrade(): drops exclusivity back to plain update mode
+  /// still held, so the caller ends the section with release_update().
+  void downgrade_to_update();
+
+  /// Plain exclusive acquisition / release (no update mode involved).
+  void acquire_exclusive();
+  void release_exclusive();
+
+  /// Spin (charging cycles) until the exclusive word is observed free.
+  void spin_while_locked() const;
+
+  /// The word elided *shared* transactions subscribe to: is_locked().
+  std::uint64_t* locked_word() { return &word_; }
+  const std::uint64_t* locked_word() const { return &word_; }
+  /// The extra word elided *exclusive/update* transactions subscribe to on
+  /// top of locked_word(): any nonzero bit means a reader, waiter, or
+  /// claim exists (is_locked_or_waiting() = both words).
+  std::uint64_t* state_word() { return &state_; }
+  const std::uint64_t* state_word() const { return &state_; }
+
+  /// Zero-cost (meta) peeks, used only for statistics classification.
+  bool locked_meta() const { return word_ != 0; }
+  std::uint64_t readers_meta() const { return state_ & kReaderMask; }
+
+  /// Seeded bug for the kSuxUpgrade negative test: publish the exclusive
+  /// word without draining the pessimistic reader count first.
+  void seed_skip_reader_drain(bool on) { bug_skip_drain_ = on; }
+
+ private:
+  /// Register both words as checker metadata (idempotent), gated on the
+  /// ambient dispatch word.
+  void note_words() const;
+
+  alignas(64) std::uint64_t word_ = 0;
+  std::uint64_t acquired_at_ = 0;         // exclusive side
+  std::uint64_t update_acquired_at_ = 0;  // update side (single holder)
+  runtime::MethodStats* stats_;
+  // Packed into word_'s line padding: layout-neutral seeded-bug knob.
+  bool bug_skip_drain_ = false;
+  alignas(64) std::uint64_t state_ = 0;
+};
+
+}  // namespace rtle::sync

@@ -1,0 +1,337 @@
+#include "sync/suxtle.h"
+
+#include "check/session.h"
+#include "mem/shim.h"
+#include "sim/env.h"
+#include "trace/session.h"
+
+namespace rtle::sync {
+
+using runtime::CsBody;
+using runtime::Path;
+using runtime::ThreadCtx;
+using runtime::TxContext;
+
+void SuxTleMethod::prepare(std::uint32_t nthreads) {
+  read_tokens_.assign(nthreads, 0);
+}
+
+void SuxTleMethod::subscribe_shared(ThreadCtx& th) {
+  auto& htm = cur_htm();
+  if (check::CheckSession* chk = check::checker()) {
+    chk->on_sux_shared_subscribe(this, bug_subscribe_waiting_);
+  }
+  if (htm.tx_load(th.tx, lock_.locked_word()) != 0) {
+    htm.abort_self(th.tx, htm::AbortCause::kLockBusy);
+  }
+  if (bug_subscribe_waiting_) {
+    // The seeded bug: also subscribe the waiter/claim word, turning the
+    // predicate into is_locked_or_waiting() — waiting writers now doom
+    // elided readers, which is exactly what shared mode exists to avoid.
+    if (htm.tx_load(th.tx, lock_.state_word()) != 0) {
+      htm.abort_self(th.tx, htm::AbortCause::kLockBusy);
+    }
+  }
+}
+
+void SuxTleMethod::execute(ThreadCtx& th, CsBody cs) {
+  trace::TraceSession* tr = trace::tracer();
+  const std::uint64_t op_start = tr != nullptr ? cur_sched().now() : 0;
+  int trials = 0;
+  for (;;) {
+    // Test-and-test-and-set discipline against the exclusive word; waiting
+    // out a pessimistic *writer* is unavoidable for a writer too.
+    if (lock_.probe_locked()) {
+      lock_.spin_while_locked();
+      continue;
+    }
+
+    if (trials >= max_trials_) {
+      // Pessimistic fallback: enter in update mode — a read mode, so every
+      // reader (elided or pessimistic) stays concurrent with the section's
+      // read prefix — and upgrade to exclusive at the first data write.
+      lock_.acquire_update();
+      upgraded_ = false;
+      wrote_ = false;
+      if (tr != nullptr) tr->txn_begin(trace::TxPath::kLock);
+      TxContext ctx(Path::kLockSlow, th, &wbarriers_);
+      cs(ctx);
+      on_holder_cs_close();
+      if (tr != nullptr) {
+        tr->txn_commit(trace::TxPath::kLock, op_start);
+        stats_.latency_samples += 1;
+      }
+      if (upgraded_) lock_.downgrade_to_update();
+      lock_.release_update();
+      stats_.ops += 1;
+      stats_.commit_lock += 1;
+      return;
+    }
+
+    // Fast path: uninstrumented HTM against the conservative predicate —
+    // both words completely free (is_locked_or_waiting()), the
+    // transactional_lock_guard rule for a section that may write.
+    auto& htm = cur_htm();
+    try {
+      if (tr != nullptr) tr->txn_begin(trace::TxPath::kFast);
+      htm.begin(th.tx);
+      if (htm.tx_load(th.tx, lock_.locked_word()) != 0) {
+        htm.abort_self(th.tx, htm::AbortCause::kLockBusy);
+      }
+      if (htm.tx_load(th.tx, lock_.state_word()) != 0) {
+        htm.abort_self(th.tx, htm::AbortCause::kLockBusy);
+      }
+      TxContext ctx(Path::kHtmFast, th);
+      cs(ctx);
+      htm.commit(th.tx);
+      stats_.ops += 1;
+      stats_.commit_fast_htm += 1;
+      if (tr != nullptr) {
+        tr->txn_commit(trace::TxPath::kFast, op_start);
+        stats_.latency_samples += 1;
+      }
+      return;
+    } catch (const htm::HtmAbort& e) {
+      stats_.note_abort(/*slow=*/false, e.cause);
+      if (tr != nullptr) {
+        tr->txn_abort(trace::TxPath::kFast,
+                      static_cast<std::uint64_t>(e.cause));
+      }
+      ++trials;
+    }
+  }
+}
+
+bool SuxTleMethod::read_slow_htm_attempt(ThreadCtx& /*th*/, CsBody /*cs*/) {
+  return false;  // plain SUX-TLE readers wait for the exclusive holder
+}
+
+void SuxTleMethod::execute_read(ThreadCtx& th, CsBody cs) {
+  trace::TraceSession* tr = trace::tracer();
+  const std::uint64_t op_start = tr != nullptr ? cur_sched().now() : 0;
+  int trials = 0;
+  for (;;) {
+    if (lock_.probe_locked()) {
+      if (has_read_slow_path()) {
+        try {
+          if (read_slow_htm_attempt(th, cs)) {
+            stats_.ops += 1;
+            stats_.commit_slow_htm += 1;
+            if (lock_.locked_meta()) stats_.slow_htm_while_locked += 1;
+            if (tr != nullptr) {
+              tr->txn_commit(trace::TxPath::kSlow, op_start);
+              stats_.latency_samples += 1;
+            }
+            return;
+          }
+        } catch (const htm::HtmAbort& e) {
+          stats_.note_abort(/*slow=*/true, e.cause);
+          if (tr != nullptr) {
+            tr->txn_abort(trace::TxPath::kSlow,
+                          static_cast<std::uint64_t>(e.cause));
+          }
+          continue;  // free retry: re-probe, maybe the holder is gone
+        }
+      }
+      lock_.spin_while_locked();
+      continue;
+    }
+
+    if (trials >= max_trials_) {
+      // Pessimistic shared acquisition: coexists with every other reader
+      // and with the update holder's read prefix. The body must not write
+      // (ReadBarriers reports kSuxSharedWrite if it does).
+      const std::uint64_t token = lock_.acquire_shared();
+      if (tr != nullptr) tr->txn_begin(trace::TxPath::kLock);
+      TxContext ctx(Path::kLockSlow, th, &rbarriers_);
+      cs(ctx);
+      if (tr != nullptr) {
+        tr->txn_commit(trace::TxPath::kLock, op_start);
+        stats_.latency_samples += 1;
+      }
+      lock_.release_shared(token);
+      stats_.ops += 1;
+      stats_.commit_lock += 1;
+      return;
+    }
+
+    // Fast path: uninstrumented HTM subscribing is_locked() only — the
+    // headline SUX semantics. Waiting writers, pessimistic readers and the
+    // update holder's read prefix do not abort us.
+    auto& htm = cur_htm();
+    try {
+      if (tr != nullptr) tr->txn_begin(trace::TxPath::kFast);
+      htm.begin(th.tx);
+      subscribe_shared(th);
+      TxContext ctx(Path::kHtmFast, th);
+      cs(ctx);
+      htm.commit(th.tx);
+      stats_.ops += 1;
+      stats_.commit_fast_htm += 1;
+      if (tr != nullptr) {
+        tr->txn_commit(trace::TxPath::kFast, op_start);
+        stats_.latency_samples += 1;
+      }
+      return;
+    } catch (const htm::HtmAbort& e) {
+      stats_.note_abort(/*slow=*/false, e.cause);
+      if (tr != nullptr) {
+        tr->txn_abort(trace::TxPath::kFast,
+                      static_cast<std::uint64_t>(e.cause));
+      }
+      ++trials;
+    }
+  }
+}
+
+// --- cross-shard seam ---------------------------------------------------
+
+void SuxTleMethod::cross_htm_enter(ThreadCtx& th) {
+  auto& htm = cur_htm();
+  if (htm.tx_load(th.tx, lock_.locked_word()) != 0) {
+    htm.abort_self(th.tx, htm::AbortCause::kLockBusy);
+  }
+  if (htm.tx_load(th.tx, lock_.state_word()) != 0) {
+    htm.abort_self(th.tx, htm::AbortCause::kLockBusy);
+  }
+}
+
+void SuxTleMethod::cross_lock_enter(ThreadCtx& /*th*/) {
+  // Eager upgrade: a multi-shard fallback holds several guards at once, so
+  // the exclusive claim must be taken here, inside the store's ascending
+  // acquisition sweep. Deferring it to the first data write (as execute()
+  // does for its single lock) would add a wait-for edge *after* later
+  // guards are held — a reader parked in this lock's shared count while
+  // blocked on a higher shard's guard would deadlock against our drain.
+  // The write flag (SUX-RW-TLE) still waits for the first data write, so
+  // slow-path readers keep committing through the section's read prefix.
+  lock_.acquire_update();
+  const std::uint64_t readers_left = lock_.upgrade();
+  if (check::CheckSession* chk = check::checker()) {
+    chk->on_sux_upgrade(this, /*had_update=*/true, readers_left);
+  }
+  upgraded_ = true;
+  wrote_ = false;
+}
+
+void SuxTleMethod::cross_lock_leave(ThreadCtx& /*th*/) {
+  on_holder_cs_close();
+  if (upgraded_) lock_.downgrade_to_update();
+  lock_.release_update();
+}
+
+void SuxTleMethod::cross_htm_enter_read(ThreadCtx& th) {
+  subscribe_shared(th);
+}
+
+void SuxTleMethod::cross_lock_enter_read(ThreadCtx& th) {
+  read_tokens_[th.tid] = lock_.acquire_shared();
+}
+
+void SuxTleMethod::cross_lock_leave_read(ThreadCtx& th) {
+  lock_.release_shared(read_tokens_[th.tid]);
+}
+
+// --- barriers -----------------------------------------------------------
+
+std::uint64_t SuxTleMethod::ReadBarriers::read(TxContext& ctx,
+                                               const std::uint64_t* addr) {
+  if (ctx.path() == Path::kHtmSlow) {
+    return cur_htm().tx_load(ctx.thread().tx, addr);
+  }
+  // Shared holder: reads are uninstrumented apart from the barrier-call
+  // cost (no holder duties — that is what makes shared mode cheap).
+  return mem::plain_load(addr);
+}
+
+void SuxTleMethod::ReadBarriers::write(TxContext& ctx, std::uint64_t* addr,
+                                       std::uint64_t value) {
+  if (ctx.path() == Path::kHtmSlow) {
+    // A slow-path read transaction that needs to write self-aborts — same
+    // rule as RW-TLE Figure 2.
+    cur_htm().abort_self(ctx.thread().tx, htm::AbortCause::kExplicit);
+  }
+  // Shared holders never write. Report the protocol violation, then
+  // perform the store so the simulated execution matches the (buggy)
+  // program the user wrote.
+  if (check::CheckSession* chk = check::checker()) {
+    chk->on_sux_shared_write(m_);
+  }
+  mem::plain_store(addr, value);
+}
+
+std::uint64_t SuxTleMethod::WriteBarriers::read(TxContext& /*ctx*/,
+                                                const std::uint64_t* addr) {
+  // Update holder: reads are plain — concurrent with every reader, the
+  // upgrade-in-place payoff.
+  return mem::plain_load(addr);
+}
+
+void SuxTleMethod::WriteBarriers::write(TxContext& /*ctx*/,
+                                        std::uint64_t* addr,
+                                        std::uint64_t value) {
+  if (!m_->upgraded_) {
+    m_->upgraded_ = true;
+    const std::uint64_t readers_left = m_->lock_.upgrade();
+    if (check::CheckSession* chk = check::checker()) {
+      chk->on_sux_upgrade(m_, /*had_update=*/true, readers_left);
+    }
+  }
+  if (!m_->wrote_) {
+    m_->wrote_ = true;
+    m_->on_holder_first_write();
+  }
+  mem::plain_store(addr, value);
+}
+
+// --- SUX-RW-TLE ---------------------------------------------------------
+
+void SuxRwTleMethod::prepare(std::uint32_t nthreads) {
+  SuxTleMethod::prepare(nthreads);
+  if (check::CheckSession* chk = check::checker()) {
+    chk->register_meta(&write_flag_, sizeof(write_flag_));
+  }
+}
+
+bool SuxRwTleMethod::read_slow_htm_attempt(ThreadCtx& th, CsBody cs) {
+  auto& htm = cur_htm();
+  if (trace::TraceSession* tr = trace::tracer()) {
+    tr->txn_begin(trace::TxPath::kSlow);
+  }
+  htm.begin(th.tx);
+  // Subscribe to the write flag only: abort now if the upgraded holder
+  // already wrote, get doomed later if it writes while we run — but keep
+  // committing through the holder's read windows even though the
+  // exclusive word is set (RW-TLE §3, applied to the read side).
+  if (htm.tx_load(th.tx, &write_flag_) != 0) {
+    htm.abort_self(th.tx, htm::AbortCause::kExplicit);
+  }
+  TxContext ctx(Path::kHtmSlow, th, cross_lock_read_barriers());
+  cs(ctx);
+  htm.commit(th.tx);
+  return true;
+}
+
+void SuxRwTleMethod::on_holder_first_write() {
+  // The exclusive word is already published (elided readers are gone);
+  // announce the first data write to the slow-path readers. Under TSO the
+  // flag store becomes visible before any later data store (RW-TLE §3).
+  mem::plain_store(&write_flag_, 1);
+  if (trace::TraceSession* tr = trace::tracer()) {
+    tr->emit(trace::EventType::kWriteFlagSet);
+  }
+}
+
+void SuxRwTleMethod::on_holder_cs_close() {
+  if (!upgraded_) return;
+  // Reset the flag on the way out: the store dooms slow-path subscribers,
+  // pushing them back to the fast path now that exclusivity is about to
+  // be dropped. The close hook collapses this section's serialization
+  // points so the downgrade's release does not double-bump.
+  mem::plain_store(&write_flag_, 0);
+  if (check::CheckSession* chk = check::checker()) {
+    chk->on_rw_cs_close(this, lock_.locked_word());
+  }
+}
+
+}  // namespace rtle::sync

@@ -1,0 +1,168 @@
+// The elidable SUX method family: transactional lock elision over a
+// shared/update/exclusive SuxLock, MariaDB-style (SNIPPETS.md Snippet 1).
+//
+// Two variants:
+//
+//   SUX-TLE     — plain elision. Writes elide against the conservative
+//                 predicate (both lock words must be completely free, the
+//                 transactional_lock_guard rule); reads elide against
+//                 is_locked() only, so pessimistic readers, waiting
+//                 writers and the update holder's read prefix never abort
+//                 them. The write fallback enters in *update* mode and
+//                 upgrades to exclusive at its first write, keeping the
+//                 read prefix concurrent with every reader.
+//   SUX-RW-TLE  — the RW-TLE §3 hybrid on top: a write_flag announces the
+//                 upgraded holder's first data write, and readers get an
+//                 instrumented slow HTM path that subscribes the flag
+//                 only, committing through the holder's read windows even
+//                 while the exclusive word is set.
+//
+// Both methods extend SyncMethod directly (not ElidingMethod, whose final
+// execute() owns a single exclusive TTSLock) but reproduce its Figure-1
+// accounting: the same stats counters, trace records and abort handling,
+// with the paper's fixed five fast-path trials.
+#pragma once
+
+#include <vector>
+
+#include "runtime/method.h"
+#include "sync/suxlock.h"
+
+namespace rtle::sync {
+
+class SuxTleMethod : public runtime::SyncMethod {
+ public:
+  static constexpr int kMaxTrials = 5;
+
+  SuxTleMethod() : lock_(&stats_), rbarriers_(this), wbarriers_(this) {}
+
+  std::string name() const override { return "SUX-TLE"; }
+  void prepare(std::uint32_t nthreads) override;
+
+  void execute(runtime::ThreadCtx& th, runtime::CsBody cs) override;
+  void execute_read(runtime::ThreadCtx& th, runtime::CsBody cs) override;
+
+  SuxLock& lock() { return lock_; }
+
+  /// Seeded protocol bugs for the checker's negative tests. With every
+  /// knob off the method's behavior — including its simulated schedule —
+  /// is bit-identical to the unmutated one.
+  /// Elided *shared* acquisitions additionally subscribe the waiter/claim
+  /// word (is_locked_or_waiting() instead of is_locked()): waiting
+  /// writers now abort elided readers. Reported as kSuxSubscription.
+  void seed_subscribe_waiting(bool on) { bug_subscribe_waiting_ = on; }
+  /// Upgrades publish the exclusive word without draining the pessimistic
+  /// reader count. Reported as kSuxUpgrade.
+  void seed_skip_reader_drain(bool on) { lock_.seed_skip_reader_drain(on); }
+
+  // Cross-shard seam (oltp::Store). Write transactions subscribe both
+  // words; their pessimistic fallback upgrades to exclusive *eagerly*
+  // inside the store's ascending acquisition sweep (deferring the upgrade
+  // to the first write — safe for execute()'s single lock — would create
+  // a wait-for edge after later guards are held and deadlock against
+  // readers parked in this lock's shared count). Read transactions
+  // subscribe is_locked() only / hold shared mode.
+  void cross_htm_enter(runtime::ThreadCtx& th) override;
+  void cross_htm_publish(runtime::ThreadCtx& /*th*/, bool /*wrote*/) override {}
+  void cross_lock_enter(runtime::ThreadCtx& th) override;
+  void cross_lock_leave(runtime::ThreadCtx& th) override;
+  runtime::Path cross_lock_path() const override {
+    return runtime::Path::kLockSlow;
+  }
+  runtime::SlowBarriers* cross_lock_barriers() override { return &wbarriers_; }
+  void cross_htm_enter_read(runtime::ThreadCtx& th) override;
+  void cross_lock_enter_read(runtime::ThreadCtx& th) override;
+  void cross_lock_leave_read(runtime::ThreadCtx& th) override;
+  runtime::Path cross_lock_read_path() const override {
+    return runtime::Path::kLockSlow;
+  }
+  runtime::SlowBarriers* cross_lock_read_barriers() override {
+    return &rbarriers_;
+  }
+
+ protected:
+  /// Hook for SuxRwTleMethod: whether readers have an instrumented slow
+  /// HTM attempt while the exclusive word is set (RW-TLE Figure 1 edge).
+  virtual bool has_read_slow_path() const { return false; }
+  /// One such attempt; only called when has_read_slow_path(). Returns true
+  /// on commit, throws htm::HtmAbort on failure.
+  virtual bool read_slow_htm_attempt(runtime::ThreadCtx& th,
+                                     runtime::CsBody cs);
+  /// The upgraded holder is about to perform its first data write (the
+  /// exclusive word is already published). SUX-RW-TLE sets write_flag.
+  virtual void on_holder_first_write() {}
+  /// The pessimistic section is closing (body done, exclusivity — if any —
+  /// not yet dropped). SUX-RW-TLE clears write_flag.
+  virtual void on_holder_cs_close() {}
+
+  /// Subscribe the elided-shared predicate inside an open transaction:
+  /// is_locked() only, plus the seeded-bug extra subscription, announcing
+  /// the predicate to the checker.
+  void subscribe_shared(runtime::ThreadCtx& th);
+
+  /// Shared-mode barriers: reads are plain, writes are a protocol
+  /// violation (kSuxSharedWrite) — reported, then performed.
+  class ReadBarriers final : public runtime::SlowBarriers {
+   public:
+    explicit ReadBarriers(SuxTleMethod* m) : m_(m) {}
+    std::uint64_t read(runtime::TxContext& ctx,
+                      const std::uint64_t* addr) override;
+    void write(runtime::TxContext& ctx, std::uint64_t* addr,
+               std::uint64_t value) override;
+
+   private:
+    SuxTleMethod* m_;
+  };
+
+  /// Update-mode barriers: reads are plain; the first write upgrades to
+  /// exclusive in place, then writes are plain.
+  class WriteBarriers final : public runtime::SlowBarriers {
+   public:
+    explicit WriteBarriers(SuxTleMethod* m) : m_(m) {}
+    std::uint64_t read(runtime::TxContext& ctx,
+                      const std::uint64_t* addr) override;
+    void write(runtime::TxContext& ctx, std::uint64_t* addr,
+               std::uint64_t value) override;
+
+   private:
+    SuxTleMethod* m_;
+  };
+
+  SuxLock lock_;
+  int max_trials_ = kMaxTrials;
+  // Holder-side state; a single update holder exists at a time. upgraded_
+  // tracks the exclusive word, wrote_ the first data write (they differ on
+  // the eagerly-upgraded cross path until the body's first store). The bug
+  // knob packs beside them (all live in existing padding, keeping the heap
+  // layout — and the simulated cache-line geometry — unchanged when off).
+  bool upgraded_ = false;
+  bool wrote_ = false;
+  bool bug_subscribe_waiting_ = false;
+  ReadBarriers rbarriers_;
+  WriteBarriers wbarriers_;
+  // Per-thread shared-acquisition timestamps for the cross-shard read
+  // seam, indexed by tid (cycles_under_shared accounting).
+  std::vector<std::uint64_t> read_tokens_;
+};
+
+class SuxRwTleMethod final : public SuxTleMethod {
+ public:
+  std::string name() const override { return "SUX-RW-TLE"; }
+  void prepare(std::uint32_t nthreads) override;
+
+ protected:
+  bool has_read_slow_path() const override { return true; }
+  bool read_slow_htm_attempt(runtime::ThreadCtx& th,
+                             runtime::CsBody cs) override;
+  void on_holder_first_write() override;
+  void on_holder_cs_close() override;
+
+ private:
+  /// RW-TLE §3: set by the upgraded holder before its first data write
+  /// (under TSO the flag store becomes visible before any later data
+  /// store), cleared at CS close. Slow-path readers subscribe this word
+  /// only.
+  alignas(64) std::uint64_t write_flag_ = 0;
+};
+
+}  // namespace rtle::sync

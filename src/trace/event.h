@@ -92,10 +92,21 @@ enum class EventType : std::uint16_t {
   kCcValidate,
   kCcWound,
   kCcExtend,
+
+  // SUX reader-writer guards (sync/suxlock.cpp). kSharedAcquire /
+  // kSharedRelease frame one pessimistic shared-mode acquisition
+  // (kSharedAcquire's `arg` is the acquire-loop wait in cycles, like
+  // kLockAcquire; update-mode acquisitions use the same pair with
+  // `flags` = 1). kUpgrade marks an update holder claiming exclusivity
+  // (`arg` = cycles spent draining the shared count before the exclusive
+  // word was published).
+  kSharedAcquire,
+  kSharedRelease,
+  kUpgrade,
 };
 
 inline constexpr std::size_t kNumEventTypes =
-    static_cast<std::size_t>(EventType::kCcExtend) + 1;
+    static_cast<std::size_t>(EventType::kUpgrade) + 1;
 
 const char* to_string(EventType t);
 

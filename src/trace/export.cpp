@@ -1,5 +1,6 @@
 #include "trace/export.h"
 
+#include <array>
 #include <cstdio>
 #include <utility>
 #include <vector>
@@ -75,6 +76,10 @@ void export_thread(EventWriter& w, std::size_t tid, const EventRing& ring) {
   // Cross-shard guard nesting (acquired ascending, released descending, so
   // the held windows nest properly) and the enclosing cross transaction.
   std::vector<std::pair<std::uint64_t, std::uint64_t>> shard_stack;
+  // SUX shared/update-mode holds; multi-shard read transactions acquire
+  // ascending and release descending, so these windows nest LIFO too.
+  // Each entry is (acquire ts, acquire-loop wait, update-mode flag).
+  std::vector<std::array<std::uint64_t, 3>> shared_stack;
   bool cross_open = false;
   std::uint64_t cross_ts = 0;
   std::uint64_t cross_mask = 0;
@@ -225,6 +230,22 @@ void export_thread(EventWriter& w, std::size_t tid, const EventRing& ring) {
         break;
       case EventType::kWriteFlagSet:
         w.instant(tid, "write-flag-set", ev.ts, "");
+        break;
+      case EventType::kSharedAcquire:
+        shared_stack.push_back({ev.ts, ev.arg, ev.flags});
+        break;
+      case EventType::kSharedRelease:
+        if (!shared_stack.empty()) {
+          const auto& top = shared_stack.back();
+          w.slice(tid, "shared-held", top[0], ev.ts - top[0],
+                  u64_arg("wait", top[1]) + "," + u64_arg("update", top[2]));
+          shared_stack.pop_back();
+        } else {
+          w.instant(tid, "shared-release", ev.ts, "");
+        }
+        break;
+      case EventType::kUpgrade:
+        w.instant(tid, "upgrade", ev.ts, u64_arg("drain", ev.arg));
         break;
       case EventType::kHealthDegrade:
         w.instant(tid, "health-degrade", ev.ts, u64_arg("commits", ev.arg));

@@ -41,6 +41,9 @@ const char* to_string(EventType t) {
     case EventType::kCcValidate: return "cc-validate";
     case EventType::kCcWound: return "cc-wound";
     case EventType::kCcExtend: return "cc-extend";
+    case EventType::kSharedAcquire: return "shared-acquire";
+    case EventType::kSharedRelease: return "shared-release";
+    case EventType::kUpgrade: return "upgrade";
   }
   return "?";
 }

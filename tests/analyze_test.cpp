@@ -60,7 +60,7 @@ TEST(Analyze, FixtureCorpusIsClean) {
 }
 
 TEST(Analyze, EveryPassHasANameAndDescription) {
-  EXPECT_GE(passes().size(), 6u);
+  EXPECT_GE(passes().size(), 7u);
   for (const Pass& p : passes()) {
     EXPECT_NE(p.name[0], '\0');
     EXPECT_NE(p.description[0], '\0');
@@ -179,6 +179,52 @@ TEST(AnalyzeMutation, AmbientSeamDetectsUnguardedSessionHook) {
          "    trace::note(trace::active_trace());");
   const std::vector<Finding> fs = run(c, {"ambient-seam"});
   EXPECT_TRUE(names(fs, "ambient-seam", "active_trace")) << dump(fs);
+}
+
+// --- docs-consistency ---------------------------------------------------
+
+TEST(AnalyzeMutation, DocsConsistencyDetectsStaleIdentifier) {
+  Corpus c = fixtures();
+  // The doc keeps naming an event that no longer exists in the tree.
+  mutate(c, "DESIGN.md", "`kModeSwitch`", "`kModeSwith`");
+  const std::vector<Finding> fs = run(c, {"docs-consistency"});
+  EXPECT_TRUE(names(fs, "docs-consistency", "kModeSwith")) << dump(fs);
+  EXPECT_TRUE(names(fs, "docs-consistency", "stale")) << dump(fs);
+}
+
+TEST(AnalyzeMutation, DocsConsistencyDetectsUnknownMethodName) {
+  Corpus c = fixtures();
+  mutate(c, "EXPERIMENTS.md", "`SUX-TLE`", "`SUX-TLE-eager`");
+  const std::vector<Finding> fs = run(c, {"docs-consistency"});
+  EXPECT_TRUE(names(fs, "docs-consistency", "SUX-TLE-eager")) << dump(fs);
+  EXPECT_TRUE(names(fs, "docs-consistency", "cannot construct")) << dump(fs);
+}
+
+TEST(AnalyzeMutation, DocsConsistencyDetectsMethodMissingFromReadme) {
+  Corpus c = fixtures();
+  mutate(c, "README.md", "| RW-TLE | write-flag hybrid |\n", "");
+  const std::vector<Finding> fs = run(c, {"docs-consistency"});
+  EXPECT_TRUE(names(fs, "docs-consistency", "\"RW-TLE\"")) << dump(fs);
+  EXPECT_TRUE(names(fs, "docs-consistency", "never mentions")) << dump(fs);
+}
+
+TEST(AnalyzeMutation, DocsConsistencyDetectsSuiteEntryMissingFromGuide) {
+  Corpus c = fixtures();
+  mutate(c, "EXPERIMENTS.md", "## oltp_readmostly", "## oltp_renamed");
+  const std::vector<Finding> fs = run(c, {"docs-consistency"});
+  EXPECT_TRUE(names(fs, "docs-consistency", "\"oltp_readmostly\""))
+      << dump(fs);
+  EXPECT_TRUE(names(fs, "docs-consistency", "no section")) << dump(fs);
+}
+
+TEST(AnalyzeMutation, DocsConsistencyDetectsStaleSectionReference) {
+  Corpus c = fixtures();
+  // DESIGN.md's headings stop at ## 2 — a §7 reference is renumbering
+  // drift, wherever it appears in the corpus.
+  mutate(c, "DESIGN.md", "see \xc2\xa7" "2", "see \xc2\xa7" "7");
+  const std::vector<Finding> fs = run(c, {"docs-consistency"});
+  EXPECT_TRUE(names(fs, "docs-consistency", "\xc2\xa7" "7")) << dump(fs);
+  EXPECT_TRUE(names(fs, "docs-consistency", "stale")) << dump(fs);
 }
 
 // --- the real tree ------------------------------------------------------

@@ -408,8 +408,11 @@ std::string traced_run(const char* method_name, bool with_checker,
       auto cs = [&](TxContext& ctx) { set.remove(ctx, key); };
       method->execute(th, cs);
     } else {
+      // Read seam: defaults to execute() for every classic method, runs
+      // shared mode for the SUX family — either way the checker must not
+      // move a cycle.
       auto cs = [&](TxContext& ctx) { set.contains(ctx, key); };
-      method->execute(th, cs);
+      method->execute_read(th, cs);
     }
   });
   *reports = with_checker ? chk->report_count() : 0;
@@ -458,7 +461,8 @@ bool read_traced_result(const std::string& path, std::uint64_t* reports,
 }
 
 TEST(CheckOverhead, CheckedRunExportsByteIdenticalTrace) {
-  for (const char* m : {"TLE", "FG-TLE(16)", "RHNOrec"}) {
+  for (const char* m :
+       {"TLE", "FG-TLE(16)", "RHNOrec", "SUX-TLE", "SUX-RW-TLE"}) {
     const std::string dir = ::testing::TempDir();
     const std::string path_a = dir + "rtle_trace_unchecked.json";
     const std::string path_b = dir + "rtle_trace_checked.json";

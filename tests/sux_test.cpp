@@ -1,0 +1,422 @@
+// rtle::sync SUX family — the elidable shared/update/exclusive lock and
+// the SUX-TLE / SUX-RW-TLE methods built on it.
+//
+// Layers of evidence, mirroring tle_test / check_test:
+//   * lock-protocol unit tests — mode coexistence, upgrade/downgrade,
+//     writer preference — directly against SuxLock;
+//   * positive tests — contended mixed read/write traffic (elided,
+//     pessimistic-shared, update-holder and upgraded interleavings) under
+//     an armed checker with zero reports, for both methods;
+//   * negative tests — each seeded SUX protocol bug is reported by name:
+//     kSuxSubscription (elided shared subscribing is_locked_or_waiting()),
+//     kSuxUpgrade (exclusive word published with readers still inside),
+//     kSuxSharedWrite (a shared-mode holder writing);
+//   * store integration — shared-mode single-key reads and multi_get
+//     snapshots over mixed SUX/exclusive shards, atomic against concurrent
+//     cross-shard transfers.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "bench_util/setbench.h"
+#include "check/session.h"
+#include "mem/shim.h"
+#include "oltp/store.h"
+#include "sim/env.h"
+#include "sync/suxtle.h"
+#include "test_util.h"
+#include "trace/session.h"
+
+namespace rtle {
+namespace {
+
+using check::CheckSession;
+using check::ReportKind;
+using runtime::ThreadCtx;
+using runtime::TxContext;
+using sim::MachineConfig;
+using sync::SuxLock;
+using sync::SuxRwTleMethod;
+using sync::SuxTleMethod;
+
+bool has_kind(const CheckSession& chk, ReportKind k) {
+  for (const auto& r : chk.reports()) {
+    if (r.kind == k) return true;
+  }
+  return false;
+}
+
+std::string detail_of(const CheckSession& chk, ReportKind k) {
+  for (const auto& r : chk.reports()) {
+    if (r.kind == k) return r.detail;
+  }
+  return "";
+}
+
+// ---------------------------------------------------------------------------
+// SuxLock protocol unit tests.
+// ---------------------------------------------------------------------------
+
+TEST(SuxLock, SharedHoldersCoexistAndLeaveIsLockedFalse) {
+  SimScope sim(MachineConfig::corei7());
+  SuxLock lk;
+  sim.sched.spawn(
+      [&] {
+        const std::uint64_t t0 = lk.acquire_shared();
+        const std::uint64_t t1 = lk.acquire_shared();
+        EXPECT_EQ(lk.readers_meta(), 2u);
+        EXPECT_FALSE(lk.probe_locked());  // readers never set is_locked()
+        lk.release_shared(t1);
+        lk.release_shared(t0);
+        EXPECT_EQ(lk.readers_meta(), 0u);
+      },
+      0);
+  sim.sched.run();
+}
+
+TEST(SuxLock, UpdateModeAdmitsReadersUntilUpgradePublishesTheWord) {
+  SimScope sim(MachineConfig::corei7());
+  SuxLock lk;
+  sim.sched.spawn(
+      [&] {
+        lk.acquire_update();
+        // Update mode is a read-side mode: is_locked() stays false and new
+        // shared holders keep entering.
+        EXPECT_FALSE(lk.probe_locked());
+        const std::uint64_t t = lk.acquire_shared();
+        EXPECT_EQ(lk.readers_meta(), 1u);
+        lk.release_shared(t);
+        // Upgrade in place: readers are drained, the exclusive word goes up.
+        EXPECT_EQ(lk.upgrade(), 0u);
+        EXPECT_TRUE(lk.locked_meta());
+        lk.downgrade_to_update();
+        EXPECT_FALSE(lk.locked_meta());
+        lk.release_update();
+      },
+      0);
+  sim.sched.run();
+}
+
+TEST(SuxLock, ExclusiveHolderBlocksSharedAcquisition) {
+  SimScope sim(MachineConfig::corei7());
+  SuxLock lk;
+  std::vector<int> order;  // meta-level event log
+  sim.sched.spawn(
+      [&] {
+        lk.acquire_exclusive();
+        order.push_back(0);
+        mem::compute(2000);  // hold while the reader tries to enter
+        order.push_back(1);
+        lk.release_exclusive();
+      },
+      0);
+  sim.sched.spawn(
+      [&] {
+        mem::compute(100);  // let the writer win the lock first
+        const std::uint64_t t = lk.acquire_shared();
+        order.push_back(2);  // must come after the exclusive release
+        lk.release_shared(t);
+      },
+      1);
+  sim.sched.run();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 0);
+  EXPECT_EQ(order[1], 1);
+  EXPECT_EQ(order[2], 2);
+}
+
+// ---------------------------------------------------------------------------
+// Positive: contended SUX traffic under an armed checker — zero reports.
+// ---------------------------------------------------------------------------
+
+/// Mixed traffic designed to hit every SUX interleaving: elided reads and
+/// writes, pessimistic shared readers (htm-unfriendly read bodies),
+/// update-mode holders with upgrades (htm-unfriendly write bodies), and
+/// writers that never write (update holders releasing without upgrade).
+void run_sux_mix(runtime::SyncMethod& m, std::uint32_t threads,
+                 std::uint64_t ops) {
+  SimScope sim(MachineConfig::corei7());
+  m.prepare(threads);
+  alignas(64) static std::uint64_t cells[4];
+  for (auto& c : cells) c = 0;
+  test::run_workers(sim, threads, ops, 17, [&](ThreadCtx& th, std::uint64_t) {
+    const std::uint32_t r = th.rng.below(100);
+    const std::uint64_t k = th.rng.below(4);
+    if (r < 40) {  // elided read
+      auto cs = [&](TxContext& ctx) { ctx.load(&cells[k]); };
+      m.execute_read(th, cs);
+    } else if (r < 60) {  // pessimistic shared read over a long window
+      auto cs = [&](TxContext& ctx) {
+        ctx.htm_unfriendly();
+        ctx.load(&cells[k]);
+        ctx.compute(300);
+        ctx.load(&cells[(k + 1) % 4]);
+      };
+      m.execute_read(th, cs);
+    } else if (r < 80) {  // elided write
+      auto cs = [&](TxContext& ctx) {
+        ctx.store(&cells[k], ctx.load(&cells[k]) + 1);
+      };
+      m.execute(th, cs);
+    } else if (r < 95) {  // update holder with a read prefix, then upgrade
+      auto cs = [&](TxContext& ctx) {
+        ctx.htm_unfriendly();
+        const std::uint64_t v = ctx.load(&cells[k]);
+        ctx.compute(200);  // read prefix concurrent with every reader
+        ctx.store(&cells[k], v + 1);
+      };
+      m.execute(th, cs);
+    } else {  // update holder that never writes (no upgrade)
+      auto cs = [&](TxContext& ctx) {
+        ctx.htm_unfriendly();
+        ctx.load(&cells[k]);
+      };
+      m.execute(th, cs);
+    }
+  });
+}
+
+TEST(SuxPositive, SuxTleMixedTrafficIsClean) {
+  CheckSession chk;
+  SuxTleMethod m;
+  run_sux_mix(m, 4, 120);
+  EXPECT_EQ(chk.report_count(), 0u) << chk.summary();
+  // The mix must actually have exercised the shared and upgrade protocols.
+  EXPECT_GT(m.stats().sux_shared_acquisitions, 0u);
+  EXPECT_GT(m.stats().sux_upgrades, 0u);
+  EXPECT_GT(m.stats().cycles_under_shared, 0u);
+}
+
+TEST(SuxPositive, SuxRwTleMixedTrafficIsClean) {
+  CheckSession chk;
+  SuxRwTleMethod m;
+  run_sux_mix(m, 4, 120);
+  EXPECT_EQ(chk.report_count(), 0u) << chk.summary();
+  EXPECT_GT(m.stats().sux_shared_acquisitions, 0u);
+  EXPECT_GT(m.stats().sux_upgrades, 0u);
+}
+
+TEST(SuxPositive, RwVariantReadersCommitThroughTheHoldersReadWindow) {
+  // An eagerly-upgraded holder (the cross-shard fallback seam) publishes
+  // the exclusive word at entry but sets write_flag only at its first data
+  // write. Readers on the slow HTM path subscribe the flag alone, so they
+  // must keep committing through the holder's read prefix even though the
+  // word is up — the slow_htm_while_locked edge the RW figures measure.
+  SimScope sim(MachineConfig::corei7());
+  SuxRwTleMethod m;
+  m.prepare(3);
+  alignas(64) static std::uint64_t cell;
+  cell = 0;
+  test::run_workers(sim, 3, 40, 29, [&](ThreadCtx& th, std::uint64_t) {
+    if (th.tid == 0) {
+      m.cross_lock_enter(th);  // word up, flag down
+      TxContext ctx(m.cross_lock_path(), th, m.cross_lock_barriers());
+      const std::uint64_t v = ctx.load(&cell);
+      ctx.compute(600);  // read window: slow readers commit while locked
+      ctx.store(&cell, v + 1);
+      ctx.compute(600);  // write window: slow readers abort on the flag
+      m.cross_lock_leave(th);
+    } else {
+      auto cs = [&](TxContext& ctx) { ctx.load(&cell); };
+      m.execute_read(th, cs);
+    }
+  });
+  EXPECT_GT(m.stats().commit_slow_htm, 0u);
+  EXPECT_GT(m.stats().slow_htm_while_locked, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Negative: seeded SUX protocol bugs are reported by name.
+// ---------------------------------------------------------------------------
+
+TEST(CheckNegative, SharedSubscriptionOfWaitingWordIsReported) {
+  CheckSession chk;
+  SimScope sim(MachineConfig::corei7());
+  SuxTleMethod m;
+  m.seed_subscribe_waiting(true);
+  m.prepare(1);
+  alignas(64) static std::uint64_t cell;
+  cell = 0;
+  test::run_workers(sim, 1, 4, 7, [&](ThreadCtx& th, std::uint64_t) {
+    auto cs = [&](TxContext& ctx) { ctx.load(&cell); };
+    m.execute_read(th, cs);
+  });
+  ASSERT_GT(chk.report_count(), 0u);
+  EXPECT_TRUE(has_kind(chk, ReportKind::kSuxSubscription)) << chk.summary();
+  EXPECT_STREQ(check::to_string(ReportKind::kSuxSubscription),
+               "sux-subscription");
+  const std::string detail = detail_of(chk, ReportKind::kSuxSubscription);
+  EXPECT_NE(detail.find("is_locked_or_waiting"), std::string::npos) << detail;
+}
+
+TEST(CheckNegative, UpgradeWithoutReaderDrainIsReported) {
+  CheckSession chk;
+  SimScope sim(MachineConfig::corei7());
+  SuxTleMethod m;
+  m.seed_skip_reader_drain(true);
+  m.prepare(2);
+  alignas(64) static std::uint64_t cell;
+  cell = 0;
+  test::run_workers(sim, 2, 40, 19, [&](ThreadCtx& th, std::uint64_t) {
+    if (th.tid == 0) {
+      // Pessimistic shared reader parked inside a long section.
+      auto cs = [&](TxContext& ctx) {
+        ctx.htm_unfriendly();
+        ctx.load(&cell);
+        ctx.compute(800);
+      };
+      m.execute_read(th, cs);
+    } else {
+      // Update holder whose first write upgrades — with the drain seeded
+      // away, the exclusive word goes up over the parked reader.
+      auto cs = [&](TxContext& ctx) {
+        ctx.htm_unfriendly();
+        ctx.store(&cell, ctx.load(&cell) + 1);
+      };
+      m.execute(th, cs);
+    }
+  });
+  ASSERT_GT(chk.report_count(), 0u);
+  EXPECT_TRUE(has_kind(chk, ReportKind::kSuxUpgrade)) << chk.summary();
+  EXPECT_STREQ(check::to_string(ReportKind::kSuxUpgrade), "sux-upgrade");
+  const std::string detail = detail_of(chk, ReportKind::kSuxUpgrade);
+  EXPECT_NE(detail.find("reader"), std::string::npos) << detail;
+}
+
+TEST(CheckNegative, SharedModeWriteIsReported) {
+  CheckSession chk;
+  SimScope sim(MachineConfig::corei7());
+  SuxTleMethod m;
+  m.prepare(1);
+  alignas(64) static std::uint64_t cell;
+  cell = 0;
+  test::run_workers(sim, 1, 1, 13, [&](ThreadCtx& th, std::uint64_t) {
+    // A "read" transaction that writes: htm_unfriendly exhausts the five
+    // elided trials, the pessimistic shared fallback's barrier then
+    // reports the store as a protocol violation (and performs it).
+    auto cs = [&](TxContext& ctx) {
+      ctx.htm_unfriendly();
+      ctx.store(&cell, std::uint64_t{7});
+    };
+    m.execute_read(th, cs);
+  });
+  ASSERT_GT(chk.report_count(), 0u);
+  EXPECT_TRUE(has_kind(chk, ReportKind::kSuxSharedWrite)) << chk.summary();
+  EXPECT_STREQ(check::to_string(ReportKind::kSuxSharedWrite),
+               "sux-shared-write");
+  const std::string detail = detail_of(chk, ReportKind::kSuxSharedWrite);
+  EXPECT_NE(detail.find("update mode"), std::string::npos) << detail;
+  EXPECT_EQ(cell, 7u);  // the buggy program's store still happened
+}
+
+// ---------------------------------------------------------------------------
+// Store integration: shared-mode reads and mixed-guard cross transactions.
+// ---------------------------------------------------------------------------
+
+TEST(SuxStore, MultiGetSnapshotsAreAtomicAgainstCrossTransfers) {
+  CheckSession chk;
+  SimScope sim(MachineConfig::corei7());
+  oltp::StoreConfig sc;
+  sc.shards = 4;
+  sc.max_nodes_per_shard = 256;
+  sc.max_threads = 3;
+  oltp::Store store(sc, bench::method_by_name("SUX-TLE"));
+  const std::uint64_t kKeys = 16;
+  for (std::uint64_t k = 0; k < kKeys; ++k) store.prefill_meta(k, 100);
+  bool ok = true;
+  test::run_workers(sim, 3, 60, 31, [&](ThreadCtx& th, std::uint64_t) {
+    if (th.tid == 0) {
+      // Transfer between two random keys: the global sum is invariant.
+      std::uint64_t keys[2] = {th.rng.below(kKeys), 0};
+      keys[1] = (keys[0] + 1 + th.rng.below(kKeys - 1)) % kKeys;
+      store.multi(th, keys, 2, [&](oltp::Store::MultiTx& tx) {
+        tx.write(keys[0], tx.read(keys[0]) - 1);
+        tx.write(keys[1], tx.read(keys[1]) + 1);
+      });
+    } else {
+      // Snapshot every key; any torn snapshot breaks the sum.
+      std::uint64_t keys[kKeys], vals[kKeys];
+      for (std::uint64_t k = 0; k < kKeys; ++k) keys[k] = k;
+      store.multi_get(th, keys, kKeys, vals);
+      std::uint64_t sum = 0;
+      for (std::uint64_t k = 0; k < kKeys; ++k) sum += vals[k];
+      if (sum != 100 * kKeys) ok = false;
+    }
+  });
+  EXPECT_TRUE(ok) << "torn multi_get snapshot";
+  EXPECT_EQ(store.sum_meta(), 100 * kKeys);
+  EXPECT_EQ(chk.report_count(), 0u) << chk.summary();
+}
+
+TEST(SuxStore, MixedSuxAndExclusiveShardsComposeCleanly) {
+  CheckSession chk;
+  SimScope sim(MachineConfig::corei7());
+  oltp::StoreConfig sc;
+  sc.shards = 4;
+  sc.max_nodes_per_shard = 256;
+  sc.max_threads = 4;
+  sc.cross_trials = 0;  // force every cross transaction onto the guards
+  // Alternate guard families: even shards SUX, odd shards plain exclusive
+  // TLE — multi_get takes shared mode on the former and the whole lock on
+  // the latter, in one ascending acquisition sweep.
+  oltp::Store store(sc, {bench::method_by_name("SUX-TLE"),
+                         bench::method_by_name("TLE")});
+  EXPECT_STREQ(store.method(0).name().c_str(), "SUX-TLE");
+  EXPECT_STREQ(store.method(1).name().c_str(), "TLE");
+  const std::uint64_t kKeys = 16;
+  for (std::uint64_t k = 0; k < kKeys; ++k) store.prefill_meta(k, 100);
+  bool ok = true;
+  test::run_workers(sim, 4, 50, 37, [&](ThreadCtx& th, std::uint64_t) {
+    const std::uint32_t r = th.rng.below(100);
+    if (r < 30) {
+      std::uint64_t keys[2] = {th.rng.below(kKeys), 0};
+      keys[1] = (keys[0] + 1 + th.rng.below(kKeys - 1)) % kKeys;
+      store.multi(th, keys, 2, [&](oltp::Store::MultiTx& tx) {
+        tx.write(keys[0], tx.read(keys[0]) - 1);
+        tx.write(keys[1], tx.read(keys[1]) + 1);
+      });
+    } else if (r < 70) {
+      std::uint64_t keys[4], vals[4];
+      const std::uint64_t base = th.rng.below(kKeys);
+      for (std::uint64_t k = 0; k < 4; ++k) keys[k] = (base + k) % kKeys;
+      store.multi_get(th, keys, 4, vals);
+    } else {
+      std::uint64_t out = 0;
+      store.get(th, th.rng.below(kKeys), out);
+    }
+  });
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(store.sum_meta(), 100 * kKeys);
+  EXPECT_GT(store.cross_stats().lock_commits, 0u);
+  EXPECT_EQ(chk.report_count(), 0u) << chk.summary();
+}
+
+TEST(SuxStore, SingleKeyGetsRunOnTheSharedSeam) {
+  // With writes forced pessimistic (htm-unfriendly bodies hold update
+  // mode), single-key gets on a SUX shard must still elide or land in
+  // shared mode — never the exclusive word.
+  SimScope sim(MachineConfig::corei7());
+  oltp::StoreConfig sc;
+  sc.shards = 1;
+  sc.max_nodes_per_shard = 128;
+  sc.max_threads = 2;
+  oltp::Store store(sc, bench::method_by_name("SUX-TLE"));
+  for (std::uint64_t k = 0; k < 8; ++k) store.prefill_meta(k, 5);
+  test::run_workers(sim, 2, 80, 41, [&](ThreadCtx& th, std::uint64_t) {
+    if (th.tid == 0) {
+      store.put(th, th.rng.below(8), th.rng.next());
+    } else {
+      std::uint64_t out = 0;
+      store.get(th, th.rng.below(8), out);
+    }
+  });
+  const auto& st = store.method(0).stats();
+  // Reader commits = elided + shared-mode; the exclusive ledger belongs to
+  // the writer's upgrades alone.
+  EXPECT_GT(st.ops, 0u);
+  EXPECT_EQ(st.lock_acquisitions, st.sux_upgrades);
+}
+
+}  // namespace
+}  // namespace rtle

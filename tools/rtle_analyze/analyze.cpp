@@ -192,6 +192,10 @@ const std::vector<Pass>& passes() {
       {"ambient-seam",
        "session hook calls are gated by the ambient-dispatch word",
        &pass_ambient_seam},
+      {"docs-consistency",
+       "DESIGN/EXPERIMENTS/README mentions of methods, identifiers and "
+       "\xc2\xa7-sections match the tree",
+       &pass_docs_consistency},
   };
   return kPasses;
 }
@@ -281,7 +285,17 @@ Corpus load_tree(const std::string& root) {
                              "(no src/ directory)");
   }
   Corpus corpus;
-  for (const char* top : {"src", "tools", "tests"}) {
+  // Root-level docs ride along for the docs-consistency pass (every other
+  // pass filters on src/, tools/ or tests/ prefixes and never sees them).
+  for (const char* doc : {"DESIGN.md", "EXPERIMENTS.md", "README.md"}) {
+    const fs::path p = rootp / doc;
+    if (!fs::is_regular_file(p)) continue;
+    std::ifstream in(p, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    corpus.files.push_back({doc, ss.str()});
+  }
+  for (const char* top : {"src", "tools", "tests", "bench"}) {
     const fs::path dir = rootp / top;
     if (!fs::is_directory(dir)) continue;
     for (const auto& ent : fs::recursive_directory_iterator(dir)) {

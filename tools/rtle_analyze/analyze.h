@@ -97,8 +97,9 @@ std::vector<Finding> run(const Corpus& corpus,
 std::string render_text(const std::vector<Finding>& findings);
 std::string render_json(const std::vector<Finding>& findings);
 
-/// Load `root`/{src,tools,tests} recursively (*.h, *.cpp), paths sorted.
-/// Throws std::runtime_error when `root` lacks a src/ directory.
+/// Load `root`/{src,tools,tests,bench} recursively (*.h, *.cpp) plus the
+/// root-level DESIGN.md / EXPERIMENTS.md / README.md when present, paths
+/// sorted. Throws std::runtime_error when `root` lacks a src/ directory.
 Corpus load_tree(const std::string& root);
 
 // --- shared token helpers (used by the passes) --------------------------
@@ -123,5 +124,6 @@ std::vector<Finding> pass_stats_ledger(const Corpus&);
 std::vector<Finding> pass_lock_order(const Corpus&);
 std::vector<Finding> pass_check_coverage(const Corpus&);
 std::vector<Finding> pass_ambient_seam(const Corpus&);
+std::vector<Finding> pass_docs_consistency(const Corpus&);
 
 }  // namespace rtle::analyze

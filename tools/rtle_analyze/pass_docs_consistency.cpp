@@ -1,0 +1,292 @@
+// Pass "docs-consistency": the prose must not drift from the system.
+// DESIGN.md / EXPERIMENTS.md / README.md are part of the contract — they
+// name SyncMethods, checker ReportKinds, trace events and benchmark
+// figures, and a rename or renumbering in the tree silently strands every
+// mention. Four sub-checks:
+//
+//   (1) stale identifiers — every backticked `Qualified::name` or
+//       `kCamelCase` token in the three docs must exist somewhere in the
+//       loaded .h/.cpp tree;
+//   (2) stale method names — every backticked dashed method name (two or
+//       more '-'-separated segments starting uppercase, e.g. `RW-TLE-lazy`)
+//       must be constructible via the src/bench_util/setbench.cpp registry;
+//   (3) completeness the other way — every method the registry can build
+//       must appear in README's method table, and every benchgate suite
+//       entry (src/bench_util/gate.cpp default_suite) must appear in
+//       EXPERIMENTS.md's figure guide;
+//   (4) section references — `§N` anywhere in the corpus (docs *and*
+//       source comments) must not exceed the highest `## N.` heading in
+//       DESIGN.md, the exact drift the §8→§15 renumbering left behind.
+//
+// Sub-checks degrade gracefully: a corpus missing a doc or registry file
+// skips the checks that need it (the fixture trees rely on this).
+#include "analyze.h"
+
+#include <cctype>
+#include <set>
+
+namespace rtle::analyze {
+
+namespace {
+
+constexpr const char* kDesign = "DESIGN.md";
+constexpr const char* kExperiments = "EXPERIMENTS.md";
+constexpr const char* kReadme = "README.md";
+constexpr const char* kRegistry = "src/bench_util/setbench.cpp";
+constexpr const char* kSuite = "src/bench_util/gate.cpp";
+
+int line_at(const std::string& text, std::size_t pos) {
+  int line = 1;
+  for (std::size_t i = 0; i < pos && i < text.size(); ++i) {
+    if (text[i] == '\n') line += 1;
+  }
+  return line;
+}
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_' ||
+         c == ':';
+}
+
+/// Method-name alphabet: `RW-TLE-lazy`, `Silo-OCC`, `FG-TLE(256)` minus
+/// the parenthesized argument.
+bool name_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '-' ||
+         c == '+';
+}
+
+/// Names the setbench registry constructs: string literals compared with
+/// `name ==` plus literal first elements of `{"X", factory}` specs.
+/// Parameterized families contribute their prefix ("FG-TLE(" → "FG-TLE").
+std::set<std::string> registry_names(const SourceFile& f) {
+  std::set<std::string> out;
+  const std::vector<Tok> t = lex(f.text);
+  auto add = [&](std::string_view lit) {
+    std::string s(lit.substr(1, lit.size() - 2));  // strip the quotes
+    const std::size_t paren = s.find('(');
+    if (paren != std::string::npos) s = s.substr(0, paren);
+    if (s.empty() || std::isupper(static_cast<unsigned char>(s[0])) == 0) {
+      return;
+    }
+    for (char c : s) {
+      if (!name_char(c)) return;
+    }
+    out.insert(s);
+  };
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (i + 2 < t.size() && t[i].kind == TokKind::kIdent &&
+        t[i].text == "name" && t[i + 1].text == "==" &&
+        t[i + 2].kind == TokKind::kString) {
+      add(t[i + 2].text);
+    }
+    if (t[i].text == "{" && t[i + 1].kind == TokKind::kString) {
+      add(t[i + 1].text);
+    }
+  }
+  return out;
+}
+
+/// First strings of default_suite entries in gate.cpp: `{"name", "bin", …`.
+std::set<std::string> suite_names(const SourceFile& f) {
+  std::set<std::string> out;
+  const std::vector<Tok> t = lex(f.text);
+  for (std::size_t i = 0; i + 3 < t.size(); ++i) {
+    if (t[i].text == "{" && t[i + 1].kind == TokKind::kString &&
+        t[i + 2].text == "," && t[i + 3].kind == TokKind::kString) {
+      const std::string_view lit = t[i + 1].text;
+      out.emplace(lit.substr(1, lit.size() - 2));
+    }
+  }
+  return out;
+}
+
+/// True when a dashed token looks like a method name: at least two
+/// '-'-separated segments starting with an uppercase letter (so
+/// `Chrome-trace` and `read-mostly` stay prose, `Silo-OCC` does not).
+bool method_shaped(const std::string& tok) {
+  int upper_segments = 0;
+  int segments = 0;
+  bool at_start = true;
+  for (char c : tok) {
+    if (c == '-') {
+      at_start = true;
+      continue;
+    }
+    if (at_start) {
+      segments += 1;
+      if (std::isupper(static_cast<unsigned char>(c)) != 0) {
+        upper_segments += 1;
+      }
+      at_start = false;
+    }
+  }
+  return segments >= 2 && upper_segments >= 2 && tok.find('-') != std::string::npos;
+}
+
+}  // namespace
+
+std::vector<Finding> pass_docs_consistency(const Corpus& corpus) {
+  std::vector<Finding> out;
+  const SourceFile* design = corpus.find(kDesign);
+  const SourceFile* experiments = corpus.find(kExperiments);
+  const SourceFile* readme = corpus.find(kReadme);
+  const SourceFile* registry = corpus.find(kRegistry);
+  const SourceFile* suite = corpus.find(kSuite);
+
+  const std::set<std::string> methods =
+      registry != nullptr ? registry_names(*registry) : std::set<std::string>{};
+
+  auto exists_in_tree = [&](const std::string& ident) {
+    for (const SourceFile& f : corpus.files) {
+      const std::size_t dot = f.path.rfind('.');
+      const std::string ext = dot == std::string::npos ? "" : f.path.substr(dot);
+      if (ext != ".h" && ext != ".cpp") continue;
+      if (f.text.find(ident) != std::string::npos) return true;
+    }
+    return false;
+  };
+
+  // (1) + (2): backticked identifiers and method names in the docs.
+  for (const SourceFile* doc : {design, experiments, readme}) {
+    if (doc == nullptr) continue;
+    const std::string& text = doc->text;
+    std::size_t pos = 0;
+    while ((pos = text.find('`', pos)) != std::string::npos) {
+      const std::size_t end = text.find('`', pos + 1);
+      if (end == std::string::npos) break;
+      const std::string span = text.substr(pos + 1, end - pos - 1);
+      const std::size_t span_at = pos;
+      pos = end + 1;
+      // Skip fenced blocks (a span crossing lines is a ``` body, not an
+      // inline mention) and empty spans from the fence markers themselves.
+      if (span.empty() || span.find('\n') != std::string::npos) continue;
+      const int line = line_at(text, span_at);
+
+      // Identifier tokens: `Qualified::name` and `kCamelCase`.
+      for (std::size_t i = 0; i < span.size();) {
+        if (!ident_char(span[i])) {
+          i += 1;
+          continue;
+        }
+        std::size_t j = i;
+        while (j < span.size() && ident_char(span[j])) j += 1;
+        std::string tok = span.substr(i, j - i);
+        i = j;
+        std::string base;
+        const std::size_t q = tok.rfind("::");
+        if (q != std::string::npos) {
+          base = tok.substr(q + 2);
+        } else if (tok.size() >= 2 && tok[0] == 'k' &&
+                   std::isupper(static_cast<unsigned char>(tok[1])) != 0) {
+          base = tok;
+        }
+        if (base.empty()) continue;
+        if (!exists_in_tree(base)) {
+          out.push_back(
+              {"docs-consistency", doc->path, line,
+               "`" + tok + "` is documented here but `" + base +
+                   "` does not exist anywhere in the tree — the doc is "
+                   "stale (renamed or removed identifier)"});
+        }
+      }
+
+      // Method-name tokens: dashed, two uppercase segments.
+      if (registry == nullptr) continue;
+      for (std::size_t i = 0; i < span.size();) {
+        if (!name_char(span[i])) {
+          i += 1;
+          continue;
+        }
+        std::size_t j = i;
+        while (j < span.size() && name_char(span[j])) j += 1;
+        const std::string tok = span.substr(i, j - i);
+        i = j;
+        if (!method_shaped(tok)) continue;
+        // FG-TLE(256)-style mentions arrive pre-split at '('; match the
+        // registry's paren-stripped prefixes the same way.
+        if (methods.count(tok) == 0) {
+          out.push_back(
+              {"docs-consistency", doc->path, line,
+               "method `" + tok + "` is documented here but " + kRegistry +
+                   "'s registry cannot construct it — stale or misspelled "
+                   "SyncMethod name"});
+        }
+      }
+    }
+  }
+
+  // (3a) every registry method appears in README's method table.
+  if (registry != nullptr && readme != nullptr) {
+    for (const std::string& m : methods) {
+      if (readme->text.find(m) == std::string::npos) {
+        out.push_back(
+            {"docs-consistency", std::string(kReadme), 1,
+             "method \"" + m + "\" is constructible via " + kRegistry +
+                 " but README.md's method table never mentions it"});
+      }
+    }
+  }
+
+  // (3b) every benchgate suite entry appears in EXPERIMENTS.md.
+  if (suite != nullptr && experiments != nullptr) {
+    for (const std::string& s : suite_names(*suite)) {
+      if (experiments->text.find(s) == std::string::npos) {
+        out.push_back(
+            {"docs-consistency", std::string(kExperiments), 1,
+             "benchgate suite entry \"" + s + "\" (" + kSuite +
+                 " default_suite) has no section in EXPERIMENTS.md's "
+                 "figure guide"});
+      }
+    }
+  }
+
+  // (4) §N references vs DESIGN.md's highest `## N.` heading.
+  if (design != nullptr) {
+    int max_section = 0;
+    const std::string& dt = design->text;
+    std::size_t pos = 0;
+    while (pos < dt.size()) {
+      std::size_t eol = dt.find('\n', pos);
+      if (eol == std::string::npos) eol = dt.size();
+      if (dt.compare(pos, 3, "## ") == 0) {
+        int n = 0;
+        for (std::size_t i = pos + 3;
+             i < eol && std::isdigit(static_cast<unsigned char>(dt[i])) != 0;
+             ++i) {
+          n = n * 10 + (dt[i] - '0');
+        }
+        if (n > max_section) max_section = n;
+      }
+      pos = eol + 1;
+    }
+    if (max_section > 0) {
+      const std::string sect = "\xc2\xa7";  // '§'
+      for (const SourceFile& f : corpus.files) {
+        std::size_t at = 0;
+        while ((at = f.text.find(sect, at)) != std::string::npos) {
+          std::size_t i = at + sect.size();
+          int n = 0;
+          bool digits = false;
+          while (i < f.text.size() &&
+                 std::isdigit(static_cast<unsigned char>(f.text[i])) != 0) {
+            n = n * 10 + (f.text[i] - '0');
+            i += 1;
+            digits = true;
+          }
+          if (digits && n > max_section) {
+            out.push_back(
+                {"docs-consistency", f.path, line_at(f.text, at),
+                 "reference to \xc2\xa7" + std::to_string(n) +
+                     " but DESIGN.md's sections stop at \xc2\xa7" +
+                     std::to_string(max_section) +
+                     " — renumbering left this cross-reference stale"});
+          }
+          at = i;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace rtle::analyze

@@ -23,7 +23,8 @@ namespace rtle::analyze {
 namespace {
 
 bool is_acquire(std::string_view s) {
-  return s == "cross_lock_enter" || s == "enter_shard";
+  return s == "cross_lock_enter" || s == "cross_lock_enter_read" ||
+         s == "enter_shard";
 }
 
 }  // namespace

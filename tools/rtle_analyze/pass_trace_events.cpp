@@ -36,7 +36,8 @@ const std::map<std::string, std::string>& aliases() {
       {"kTxnAbort", "txn-"},       {"kLockAcquire", "lock-held"},
       {"kLockRelease", "lock-held"}, {"kShardAcquire", "shard-held"},
       {"kShardRelease", "shard-held"}, {"kCrossBegin", "cross-txn"},
-      {"kCrossCommit", "cross-txn"},
+      {"kCrossCommit", "cross-txn"},   {"kSharedAcquire", "shared-held"},
+      {"kSharedRelease", "shared-held"},
   };
   return kAliases;
 }

@@ -49,10 +49,22 @@ struct CrossSpan {
   std::string path;          // "htm" / "lock"
 };
 
+/// A SUX shared/update-mode hold (from kSharedAcquire/kSharedRelease
+/// pairs); `update` marks the holder as the shard's sole upgrade
+/// candidate rather than a plain shared reader.
+struct SharedHold {
+  Interval iv;
+  std::uint64_t wait = 0;
+  bool update = false;
+};
+
 struct ThreadTimeline {
   std::vector<Interval> locks;
+  std::vector<SharedHold> shareds;
   std::vector<TxnSlice> txns;
   std::vector<CrossSpan> crosses;
+  std::uint64_t upgrades = 0;        // kUpgrade instants
+  std::uint64_t upgrade_drains = 0;  // summed reader-drain counts
 };
 
 struct ShardStats {
@@ -212,6 +224,16 @@ int main(int argc, char** argv) {
         rt.fiber_switches += 1;
       } else if (name == "write-flag-set") {
         rt.write_flag_sets += 1;
+      } else if (name == "upgrade") {
+        ThreadTimeline& tl = threads[tid];
+        tl.upgrades += 1;
+        if (const auto* args = ev.find("args")) {
+          tl.upgrade_drains += args->get_u64("drain");
+        }
+      } else if (name == "shared-release") {
+        // Unmatched release (acquire predates the trace window): no
+        // interval to credit, but it still proves shared-mode traffic.
+        threads[tid].shareds.push_back({});
       } else if (name == "health-degrade") {
         rt.health_degrades += 1;
       } else if (name == "health-probe") {
@@ -228,6 +250,14 @@ int main(int argc, char** argv) {
       rt.lock_wait_cycles += iv.dur;
     } else if (name == "lock-held") {
       threads[tid].locks.push_back(iv);
+    } else if (name == "shared-held") {
+      SharedHold sh;
+      sh.iv = iv;
+      if (const auto* args = ev.find("args")) {
+        sh.wait = args->get_u64("wait");
+        sh.update = args->get_u64("update") != 0;
+      }
+      threads[tid].shareds.push_back(sh);
     } else if (name == "shard-held") {
       if (const auto* args = ev.find("args")) {
         shards[args->get_u64("shard")].holds.push_back(iv);
@@ -305,6 +335,40 @@ int main(int argc, char** argv) {
       std::printf(" … +%zu more", tl.locks.size() - show);
     }
     std::printf("\n");
+  }
+
+  // SUX guards split time-under-lock by mode: exclusive holds (the
+  // lock-held intervals above) versus shared/update-mode holds, plus the
+  // upgrade instants that promote an update holder to exclusive. Only
+  // traces from SUX methods carry these events.
+  bool any_sux = false;
+  for (const auto& [tid, tl] : threads) {
+    any_sux |= !tl.shareds.empty() || tl.upgrades != 0;
+  }
+  if (any_sux) {
+    std::printf("\nshared vs exclusive time-under-lock (sux guards):\n");
+    std::printf("  %-4s %9s %12s %9s %12s %9s %9s\n", "tid", "shared",
+                "shared-cyc", "update", "excl-cyc", "upgrades", "avg-drain");
+    for (const auto& [tid, tl] : threads) {
+      if (tl.shareds.empty() && tl.upgrades == 0) continue;
+      std::uint64_t shared_cycles = 0, update_holds = 0;
+      for (const auto& sh : tl.shareds) {
+        shared_cycles += sh.iv.dur;
+        if (sh.update) update_holds += 1;
+      }
+      std::uint64_t excl_cycles = 0;
+      for (const auto& iv : tl.locks) excl_cycles += iv.dur;
+      std::printf("  %-4llu %9zu %12llu %9llu %12llu %9llu %9.2f\n",
+                  static_cast<unsigned long long>(tid), tl.shareds.size(),
+                  static_cast<unsigned long long>(shared_cycles),
+                  static_cast<unsigned long long>(update_holds),
+                  static_cast<unsigned long long>(excl_cycles),
+                  static_cast<unsigned long long>(tl.upgrades),
+                  tl.upgrades == 0
+                      ? 0.0
+                      : static_cast<double>(tl.upgrade_drains) /
+                            static_cast<double>(tl.upgrades));
+    }
   }
 
   // Abort chains: consecutive aborted attempts before a commit.
