@@ -1,0 +1,120 @@
+// OLTP range scans: throughput of the sharded store as the mean scan
+// length grows, ordered-index traffic (30% scans, 10% range transactions)
+// on top of a point-access base. Xeon, 8 shards, 18 threads.
+//
+// Scan length is the new scaling axis the ordered index adds: a scan's
+// HTM attempt subscribes *every* shard guard and reads a footprint
+// proportional to its length, so longer scans push the elided path into
+// capacity aborts and onto the pessimistic gap-protected fallback — the
+// second table reports that migration directly (fallback share per scan
+// length). Guard families diverge exactly there:
+//
+//   * TLE        — the fallback scan convoys behind (and ahead of) every
+//                  writer on the one exclusive word per shard.
+//   * SUX-TLE    — fallback scans take *shared* mode, so they coexist
+//                  with each other and with update-mode writers; only the
+//                  upgraded write suffix excludes them.
+//   * FG-TLE     — per-orec granularity: a scan's footprint strides many
+//                  orecs, so where fine granularity wins on point access
+//                  it pays on ranges (the orec-vs-footprint tension the
+//                  ISSUE names).
+//   * Silo-OCC   — no guards; scans validate their read set at commit and
+//                  pay with aborts under write traffic.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util/figure.h"
+#include "oltp/workload.h"
+#include "sim/config.h"
+
+using namespace rtle;
+using bench::Table;
+
+namespace {
+
+bench::perf::CellMetrics metrics_of(const oltp::WorkloadResult& r,
+                                    const sim::MachineConfig& mc,
+                                    double duration_ms) {
+  bench::perf::CellMetrics m;
+  m.ops_per_ms = r.ops_per_ms;
+  const double attempts =
+      static_cast<double>(r.stats.ops + r.stats.total_aborts());
+  m.abort_rate = attempts > 0 ? r.stats.total_aborts() / attempts : 0.0;
+  m.lock_fallback = r.stats.lock_fallback_rate();
+  const double run_cycles = duration_ms * mc.cycles_per_ms();
+  m.time_under_lock =
+      run_cycles > 0 ? r.stats.cycles_under_lock / run_cycles : 0.0;
+  return m;
+}
+
+}  // namespace
+
+RTLE_FIGURE("oltp_range", "OLTP range scans",
+            "sharded store throughput vs mean scan length, 30% scans + "
+            "10% range transactions, 8 shards, 18 threads, xeon") {
+  const double duration = args.scale(2.0, 0.25);
+
+  std::vector<std::uint32_t> lens = {1, 8, 32, 128};
+  if (args.quick) lens = {1, 32};
+
+  const char* names[] = {"TLE",         "SUX-TLE",  "SUX-RW-TLE",
+                         "FG-TLE(256)", "RHNOrec",  "Silo-OCC"};
+
+  // Closed loop: saturated throughput per mean scan length. The second
+  // table reuses the same runs to show where each method's scans ran —
+  // elided (one HTM over all shard guards) or on the gap-protected
+  // pessimistic fallback.
+  std::vector<std::string> header = {"scan len"};
+  for (const char* n : names) header.push_back(n);
+  Table closed(header);
+  Table paths({"scan len", "method", "ops/ms", "scans", "fallback rate"});
+  for (std::uint32_t len : lens) {
+    std::vector<std::string> row = {Table::num(std::uint64_t{len})};
+    for (const char* n : names) {
+      oltp::WorkloadConfig cfg;
+      cfg.machine = sim::MachineConfig::xeon();
+      cfg.threads = 18;
+      cfg.shards = 8;
+      cfg.keys = 1 << 12;
+      cfg.zipf_theta = 0.8;
+      cfg.read_pct = 40;
+      cfg.multi_pct = 0;
+      cfg.range_pct = 30;
+      cfg.range_upd_pct = 10;
+      cfg.scan_len_mean = len;
+      cfg.duration_ms = duration;
+      cfg.seed = 23;
+      cfg.faults = args.faults;
+      cfg.trace_file = args.trace;
+      cfg.latency = args.latency;
+      const auto r = oltp::run_workload(cfg, bench::method_by_name(n));
+      bench::report_cell(n, "xeon/s8/t18/len" + std::to_string(len),
+                         metrics_of(r, cfg.machine, duration));
+      row.push_back(Table::num(r.ops_per_ms, 0));
+      const double scans = static_cast<double>(r.stats.idx_scans);
+      paths.add_row({Table::num(std::uint64_t{len}), n,
+                     Table::num(r.ops_per_ms, 0),
+                     Table::num(r.stats.idx_scans),
+                     Table::num(scans > 0
+                                    ? r.stats.idx_phantom_aborts / scans
+                                    : 0.0,
+                                3)});
+      if (args.stats) {
+        std::printf("  [stats] %-12s len=%-3u %s\n", n, len,
+                    r.stats.summary().c_str());
+      }
+      if (args.latency && !r.latency.empty()) {
+        std::printf("  [latency] %-12s len=%-3u %s\n", n, len,
+                    r.latency.c_str());
+      }
+    }
+    closed.add_row(std::move(row));
+  }
+  std::printf("closed loop (saturated ops/ms):\n");
+  closed.print(args.csv);
+  std::printf(
+      "\nscan path split (fallback rate = pessimistic gap-protected scans "
+      "per scan):\n");
+  paths.print(args.csv);
+}

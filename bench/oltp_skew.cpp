@@ -95,6 +95,35 @@ RTLE_FIGURE("oltp_skew", "OLTP skew sweep",
   std::printf("closed loop (saturated ops/ms):\n");
   closed.print(args.csv);
 
+  // Range column: the same sweep with 15% of the mix redirected onto the
+  // ordered index (Store::scan, mean length 16, Zipf-anchored start).
+  // Skew now concentrates *scan anchors* as well as point keys, so hot
+  // ranges collide with hot writers — the shape where the gap-protected
+  // fallback and the guard family start to matter (see oltp_range for the
+  // full scan-length ladder).
+  Table ranged(header);
+  for (double theta : thetas) {
+    std::vector<std::string> row = {Table::num(theta, 2)};
+    for (const char* n : names) {
+      oltp::WorkloadConfig cfg = base_config(args, duration);
+      cfg.zipf_theta = theta;
+      cfg.read_pct = 65;
+      cfg.range_pct = 15;
+      cfg.scan_len_mean = 16;
+      const auto r = oltp::run_workload(cfg, bench::method_by_name(n));
+      bench::report_cell(n, "xeon/s8/t18/range/" + theta_tag(theta),
+                         metrics_of(r, cfg.machine, duration));
+      row.push_back(Table::num(r.ops_per_ms, 0));
+      if (args.stats) {
+        std::printf("  [stats] %-12s range z=%.2f %s\n", n, theta,
+                    r.stats.summary().c_str());
+      }
+    }
+    ranged.add_row(std::move(row));
+  }
+  std::printf("closed loop, 15%% range scans (saturated ops/ms):\n");
+  ranged.print(args.csv);
+
   // Open loop: fixed arrival rate well under saturation; sojourn time is
   // the latency metric (ops/ms in these cells just echoes the rate).
   const double rate = args.scale(400.0, 200.0);  // arrivals per sim ms

@@ -224,11 +224,18 @@ WindowVerdict Controller::close_window(const WindowSample& s,
   const std::uint64_t p99 = window_sojourn_.count() != 0
                                 ? window_sojourn_.percentile(cfg_.slo_quantile)
                                 : 0;
+  const std::uint64_t p999 =
+      window_sojourn_.count() != 0
+          ? window_sojourn_.percentile(cfg_.slo_tail_quantile)
+          : 0;
   const bool standing_queue =
       window_min_delay_ != ~0ULL && window_min_delay_ > target_delay_;
   v.slo_violated = cfg_.slo_p99_cycles != 0 && p99 > cfg_.slo_p99_cycles;
-  v.good = !standing_queue && !v.slo_violated;
+  v.slo_tail_violated =
+      cfg_.slo_p999_cycles != 0 && p999 > cfg_.slo_p999_cycles;
+  v.good = !standing_queue && !v.slo_violated && !v.slo_tail_violated;
   v.p99 = p99;
+  v.p999 = p999;
   v.admitted = window_admitted_;
   v.sheds = window_sheds_;
   v.completed = window_completed_;

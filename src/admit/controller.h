@@ -84,6 +84,12 @@ struct Config {
   /// latency leg of the window check (queue-delay leg still applies).
   std::uint64_t slo_p99_cycles = 0;
   double slo_quantile = 99.0;
+  /// Second, deeper tail objective at `slo_tail_quantile` (default p99.9).
+  /// 0 disables the tail leg. A window violating either quantile is bad:
+  /// the p99 leg catches broad degradation, the tail leg catches the rare
+  /// stragglers (lock-path convoys, gap waits) a p99 SLO would hide.
+  std::uint64_t slo_p999_cycles = 0;
+  double slo_tail_quantile = 99.9;
   /// CoDel-style queue-delay target: a window whose *minimum* arrival
   /// queueing delay exceeds this has a standing queue. 0 = slo/4.
   std::uint64_t target_delay_cycles = 0;
@@ -145,12 +151,15 @@ struct WindowVerdict {
   /// Window p99 exceeded the SLO (reported even while the queue leg is
   /// what tripped shedding).
   bool slo_violated = false;
-  /// Window was good (no standing queue, SLO met).
+  /// Window tail quantile (slo_tail_quantile) exceeded slo_p999_cycles.
+  bool slo_tail_violated = false;
+  /// Window was good (no standing queue, both SLO quantiles met).
   bool good = false;
   // Snapshot of the closing window, for timeline reporting (the internal
   // accounting is reset as close_window returns).
   State state = State::kOpen;  ///< state after this window's transition
   std::uint64_t p99 = 0;       ///< window sojourn quantile (0 = no samples)
+  std::uint64_t p999 = 0;      ///< window tail quantile (0 = no samples)
   std::uint64_t admitted = 0;
   std::uint64_t sheds = 0;  ///< sheds + defers while shedding
   std::uint64_t completed = 0;

@@ -49,6 +49,7 @@ const std::vector<SuiteEntry>& default_suite() {
       {"oltp_cc_contention", "oltp_cc_contention", 300, 3600},
       {"oltp_readmostly", "oltp_readmostly", 300, 3600},
       {"oltp_secondary", "oltp_secondary", 300, 3600},
+      {"oltp_range", "oltp_range", 300, 3600},
   };
   return kSuite;
 }

@@ -50,6 +50,7 @@
 #include <vector>
 
 #include "htm/htm.h"
+#include "util/line_alloc.h"
 #include "runtime/method.h"
 
 namespace rtle::cc {
@@ -181,7 +182,9 @@ class CcMethod : public runtime::SyncMethod {
 
   alignas(64) std::uint64_t cross_seq_ = 0;
   alignas(64) std::uint64_t wclock_ = 0;
-  std::vector<std::uint64_t> slots_;
+  // Line-aligned: slot grouping must not depend on heap placement (see
+  // util/line_alloc.h).
+  util::LineVector<std::uint64_t> slots_;
   std::vector<PerThread> per_;
   Barriers barriers_;
   /// First line ever hashed; slot_of hashes offsets from it so that slot

@@ -54,6 +54,7 @@ const char* to_string(ReportKind k) {
     case ReportKind::kSuxSharedWrite: return "sux-shared-write";
     case ReportKind::kSuxSubscription: return "sux-subscription";
     case ReportKind::kSuxUpgrade: return "sux-upgrade";
+    case ReportKind::kPhantom: return "phantom";
   }
   return "?";
 }
@@ -701,6 +702,58 @@ void CheckSession::on_sux_upgrade(const void* method, bool had_update,
                " pessimistic reader(s) still inside — the upgrade must "
                "drain the shared count before the word_ store creates the "
                "happens-before edge that dooms elided readers");
+  }
+}
+
+void CheckSession::on_scan_subscribe(const void* store) {
+  const std::uint32_t f = self();
+  if (f >= kMaxFibers) return;
+  Fiber& fb = fibers_[f];
+  if (fb.spec_depth == 0) return;  // subscription outside speculation
+  if (!fb.buf.empty()) {
+    report(ReportKind::kPhantom, f, 0, store, nullptr,
+           "elided range scan subscribed its shard guards after " +
+               std::to_string(fb.buf.size()) +
+               " speculative access(es) — lazy subscription lets a guard "
+               "holder mutate the range between the scan's reads and its "
+               "commit (Dice et al., \"Hardware extensions to make lazy "
+               "subscription safe\"); scans must subscribe before touching "
+               "the tree");
+  }
+}
+
+void CheckSession::on_scan_register(std::uint64_t lo, std::uint64_t hi) {
+  const std::uint32_t f = self();
+  if (f >= kMaxFibers) return;
+  Fiber& fb = fibers_[f];
+  fb.scan_active = true;
+  fb.scan_lo = lo;
+  fb.scan_hi = hi;
+}
+
+void CheckSession::on_scan_unregister() {
+  const std::uint32_t f = self();
+  if (f >= kMaxFibers) return;
+  fibers_[f].scan_active = false;
+}
+
+void CheckSession::on_gap_write(std::uint64_t lo, std::uint64_t hi,
+                                bool honored) {
+  const std::uint32_t f = self();
+  if (f >= kMaxFibers) return;
+  for (std::uint32_t t = 0; t < kMaxFibers; ++t) {
+    if (t == f) continue;
+    const Fiber& fb = fibers_[t];
+    if (!fb.scan_active || fb.scan_lo > hi || lo > fb.scan_hi) continue;
+    report(ReportKind::kPhantom, f, t, nullptr, nullptr,
+           "writer entered key range [" + std::to_string(lo) + ", " +
+               std::to_string(hi) + "] inside fiber " + std::to_string(t) +
+               "'s live scan footprint [" + std::to_string(fb.scan_lo) +
+               ", " + std::to_string(fb.scan_hi) + "]" +
+               (honored ? " despite waiting (gap-table bug)"
+                        : " — gap protection was skipped, so the scan can "
+                          "re-read its range and see the phantom key"));
+    return;
   }
 }
 

@@ -63,6 +63,8 @@ enum class ReportKind : std::uint8_t {
   kSuxSharedWrite,   // SUX: shared-mode holder performed a write
   kSuxSubscription,  // SUX: elided reader subscribed is_locked_or_waiting()
   kSuxUpgrade,       // SUX: upgrade without update mode / with readers left
+  kPhantom,          // idx: range-scan footprint violated (gap write /
+                     // lazy scan subscription)
 };
 const char* to_string(ReportKind k);
 
@@ -239,6 +241,27 @@ class CheckSession {
   void on_sux_upgrade(const void* method, bool had_update,
                       std::uint64_t readers_left);
 
+  // --- ordered-index phantom freedom (idx/gap.cpp, oltp/store.cpp) ------
+  /// An elided range scan declared its guard subscriptions. The hook
+  /// inspects the fiber's speculative read buffer: an *eager* scan
+  /// subscribes before touching the tree (empty buffer — safe); a *lazy*
+  /// scan subscribes after reading (non-empty buffer) and can publish a
+  /// torn range if the guard is acquired between its reads and its commit —
+  /// the unsafe lazy-subscription pattern of Dice et al. ("Hardware
+  /// extensions to make lazy subscription safe"). Reported as kPhantom.
+  void on_scan_subscribe(const void* store);
+  /// A pessimistic scan published its [lo, hi] key-range footprint in the
+  /// gap table (and withdraws it with on_scan_unregister). The checker
+  /// mirrors the footprint per fiber so on_gap_write can see violations.
+  void on_scan_register(std::uint64_t lo, std::uint64_t hi);
+  void on_scan_unregister();
+  /// A writer is entering key range [lo, hi]; `honored` says it waited for
+  /// overlapping scan footprints first. Entering a live *foreign* footprint
+  /// (only possible when the wait was skipped — the seeded
+  /// seed_skip_gap_protection bug) is a phantom: the scan can re-read its
+  /// range and see the new key. Reported as kPhantom.
+  void on_gap_write(std::uint64_t lo, std::uint64_t hi, bool honored);
+
   // --- results ----------------------------------------------------------
   std::size_t report_count() const { return total_reports_; }
   const std::vector<Report>& reports() const { return reports_; }
@@ -280,6 +303,10 @@ class CheckSession {
     bool cross_serialized = false;
     bool cross_has_guard = false;
     std::uint32_t cross_last_guard = 0;
+    // Pessimistic range-scan footprint (on_scan_register .. unregister).
+    bool scan_active = false;
+    std::uint64_t scan_lo = 0;
+    std::uint64_t scan_hi = 0;
   };
 
   struct FgState {

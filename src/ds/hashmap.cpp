@@ -119,6 +119,13 @@ bool TxHashMap::insert_meta(std::uint64_t key, std::uint64_t value) {
   return true;
 }
 
+std::uint64_t* TxHashMap::find_meta(std::uint64_t key) {
+  for (Node* n = buckets_[bucket_of(key)]; n != nullptr; n = n->next) {
+    if (n->key == key) return &n->value;
+  }
+  return nullptr;
+}
+
 std::size_t TxHashMap::size_meta() const {
   std::size_t count = 0;
   for_each_meta([&](std::uint64_t, std::uint64_t) { ++count; });

@@ -12,6 +12,7 @@
 
 #include "runtime/context.h"
 #include "util/flat_hash.h"
+#include "util/line_alloc.h"
 
 namespace rtle::ds {
 
@@ -92,6 +93,10 @@ class TxHashMap {
   /// simulated memory. Call only before the simulated threads start.
   /// Returns false (and leaves the old value) if the key already exists.
   bool insert_meta(std::uint64_t key, std::uint64_t value);
+  /// Address of the value word for `key`, or nullptr — the meta-level
+  /// counterpart of find(), for prefill code that wires secondary
+  /// structures (the ordered index) to the map's value words.
+  std::uint64_t* find_meta(std::uint64_t key);
   std::size_t size_meta() const;
   template <typename F>
   void for_each_meta(F&& fn) const {
@@ -108,7 +113,10 @@ class TxHashMap {
   Node* alloc_node(runtime::TxContext& ctx, std::uint64_t key);
   void recycle(runtime::TxContext& ctx, Node* n);
 
-  std::vector<Node*> buckets_;
+  /// Line-aligned storage: bucket heads are word-sized simulated state, and
+  /// which heads share a cache line must not depend on heap placement (see
+  /// util/line_alloc.h).
+  util::LineVector<Node*> buckets_;
   std::vector<Node> arena_;
   std::uint64_t bump_ = 0;
   std::vector<Pool> pools_;

@@ -1,0 +1,367 @@
+#include "idx/btree.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace rtle::idx {
+
+using runtime::ThreadCtx;
+using runtime::TxContext;
+
+namespace {
+
+/// Per-descent comparison cost, mirroring TxHashMap's kHashCycles: the
+/// ordered index charges a little compute per level instead of a hash.
+constexpr std::uint64_t kDescendCycles = 2;
+
+std::uint64_t to_word(const void* p) {
+  return reinterpret_cast<std::uint64_t>(p);
+}
+
+}  // namespace
+
+TxBTree::TxBTree(std::size_t max_nodes, std::uint32_t max_threads)
+    : arena_(max_nodes == 0 ? 1 : max_nodes), pools_(max_threads) {
+  // The tree always has a root: an empty leaf carved from the arena before
+  // any simulated thread exists.
+  root_ = &arena_[0];
+  root_->leaf = 1;
+  bump_ = 1;
+}
+
+void TxBTree::reserve_nodes(ThreadCtx& th, std::size_t want) {
+  Pool& pool = pools_[th.tid];
+  std::size_t have = 0;
+  for (Node* n = pool.head; n != nullptr && have < want;
+       n = reinterpret_cast<Node*>(n->slots[0])) {
+    ++have;
+  }
+  while (have < want) {
+    if (bump_ >= arena_.size()) {
+      std::fprintf(stderr, "rtle btree: arena exhausted (%zu nodes)\n",
+                   arena_.size());
+      std::abort();
+    }
+    Node* n = &arena_[bump_++];
+    n->slots[0] = to_word(pool.head);
+    pool.head = n;
+    ++have;
+  }
+}
+
+TxBTree::Node* TxBTree::alloc_node(TxContext& ctx, bool is_leaf) {
+  Pool& pool = pools_[ctx.thread().tid];
+  Node* n = ctx.load(&pool.head);
+  if (n == nullptr) {
+    std::fprintf(stderr,
+                 "rtle btree: thread %u free list empty inside an "
+                 "operation (missing reserve_nodes call)\n",
+                 ctx.thread().tid);
+    std::abort();
+  }
+  ctx.store(&pool.head, reinterpret_cast<Node*>(ctx.load(&n->slots[0])));
+  ctx.store(&n->num, std::uint64_t{0});
+  ctx.store(&n->leaf, is_leaf ? std::uint64_t{1} : std::uint64_t{0});
+  ctx.store(&n->slots[kFanout], std::uint64_t{0});
+  return n;
+}
+
+void TxBTree::split_child(TxContext& ctx, Node* p, std::uint64_t ci) {
+  Node* c = reinterpret_cast<Node*>(ctx.load(&p->slots[ci]));
+  constexpr std::uint64_t kHalf = kFanout / 2;
+  const bool child_leaf = ctx.load(&c->leaf) != 0;
+  Node* m = alloc_node(ctx, child_leaf);
+  std::uint64_t sep = 0;
+  if (child_leaf) {
+    // The upper half moves; the separator is the right node's first key
+    // (B+-tree convention: separators live on in the leaves).
+    for (std::uint64_t i = kHalf; i < kFanout; ++i) {
+      ctx.store(&m->keys[i - kHalf], ctx.load(&c->keys[i]));
+      ctx.store(&m->slots[i - kHalf], ctx.load(&c->slots[i]));
+    }
+    ctx.store(&m->num, kFanout - kHalf);
+    ctx.store(&m->slots[kFanout], ctx.load(&c->slots[kFanout]));
+    ctx.store(&c->slots[kFanout], to_word(m));
+    ctx.store(&c->num, kHalf);
+    sep = ctx.load(&m->keys[0]);
+  } else {
+    // The middle key promotes; keys right of it move with their children.
+    sep = ctx.load(&c->keys[kHalf]);
+    for (std::uint64_t i = kHalf + 1; i < kFanout; ++i) {
+      ctx.store(&m->keys[i - kHalf - 1], ctx.load(&c->keys[i]));
+    }
+    for (std::uint64_t i = kHalf + 1; i <= kFanout; ++i) {
+      ctx.store(&m->slots[i - kHalf - 1], ctx.load(&c->slots[i]));
+    }
+    ctx.store(&m->num, kFanout - kHalf - 1);
+    ctx.store(&c->num, kHalf);
+  }
+  const std::uint64_t pnum = ctx.load(&p->num);
+  for (std::uint64_t i = pnum; i > ci; --i) {
+    ctx.store(&p->keys[i], ctx.load(&p->keys[i - 1]));
+    ctx.store(&p->slots[i + 1], ctx.load(&p->slots[i]));
+  }
+  ctx.store(&p->keys[ci], sep);
+  ctx.store(&p->slots[ci + 1], to_word(m));
+  ctx.store(&p->num, pnum + 1);
+}
+
+void TxBTree::insert(TxContext& ctx, std::uint64_t key, std::uint64_t* val) {
+  Node* r = ctx.load(&root_);
+  if (ctx.load(&r->num) == kFanout) {
+    Node* nr = alloc_node(ctx, /*is_leaf=*/false);
+    ctx.store(&nr->slots[0], to_word(r));
+    split_child(ctx, nr, 0);
+    ctx.store(&root_, nr);
+    r = nr;
+  }
+  // Proactive descent: every child we step into has a free slot, so a leaf
+  // split never propagates upward.
+  Node* n = r;
+  while (ctx.load(&n->leaf) == 0) {
+    ctx.compute(kDescendCycles);
+    const std::uint64_t num = ctx.load(&n->num);
+    std::uint64_t ci = 0;
+    while (ci < num && key >= ctx.load(&n->keys[ci])) ++ci;
+    Node* c = reinterpret_cast<Node*>(ctx.load(&n->slots[ci]));
+    if (ctx.load(&c->num) == kFanout) {
+      split_child(ctx, n, ci);
+      if (key >= ctx.load(&n->keys[ci])) {
+        ci += 1;
+        c = reinterpret_cast<Node*>(ctx.load(&n->slots[ci]));
+      }
+    }
+    n = c;
+  }
+  const std::uint64_t num = ctx.load(&n->num);
+  std::uint64_t pos = 0;
+  while (pos < num && ctx.load(&n->keys[pos]) < key) ++pos;
+  if (pos < num && ctx.load(&n->keys[pos]) == key) {
+    ctx.store(&n->slots[pos], to_word(val));  // repoint an existing entry
+    return;
+  }
+  for (std::uint64_t i = num; i > pos; --i) {
+    ctx.store(&n->keys[i], ctx.load(&n->keys[i - 1]));
+    ctx.store(&n->slots[i], ctx.load(&n->slots[i - 1]));
+  }
+  ctx.store(&n->keys[pos], key);
+  ctx.store(&n->slots[pos], to_word(val));
+  ctx.store(&n->num, num + 1);
+}
+
+TxBTree::Node* TxBTree::leaf_for(TxContext& ctx, std::uint64_t key) {
+  Node* n = ctx.load(&root_);
+  while (ctx.load(&n->leaf) == 0) {
+    ctx.compute(kDescendCycles);
+    const std::uint64_t num = ctx.load(&n->num);
+    std::uint64_t ci = 0;
+    while (ci < num && key >= ctx.load(&n->keys[ci])) ++ci;
+    n = reinterpret_cast<Node*>(ctx.load(&n->slots[ci]));
+  }
+  return n;
+}
+
+std::uint64_t* TxBTree::find(TxContext& ctx, std::uint64_t key) {
+  Node* n = leaf_for(ctx, key);
+  const std::uint64_t num = ctx.load(&n->num);
+  for (std::uint64_t i = 0; i < num; ++i) {
+    if (ctx.load(&n->keys[i]) == key) {
+      return reinterpret_cast<std::uint64_t*>(ctx.load(&n->slots[i]));
+    }
+  }
+  return nullptr;
+}
+
+bool TxBTree::erase(TxContext& ctx, std::uint64_t key) {
+  Node* n = leaf_for(ctx, key);
+  const std::uint64_t num = ctx.load(&n->num);
+  for (std::uint64_t i = 0; i < num; ++i) {
+    if (ctx.load(&n->keys[i]) != key) continue;
+    for (std::uint64_t j = i + 1; j < num; ++j) {
+      ctx.store(&n->keys[j - 1], ctx.load(&n->keys[j]));
+      ctx.store(&n->slots[j - 1], ctx.load(&n->slots[j]));
+    }
+    ctx.store(&n->num, num - 1);
+    return true;
+  }
+  return false;
+}
+
+std::size_t TxBTree::scan(TxContext& ctx, std::uint64_t lo, std::uint64_t hi,
+                          std::size_t limit,
+                          util::FnRef<void(std::uint64_t, std::uint64_t)> fn) {
+  std::size_t seen = 0;
+  Node* n = leaf_for(ctx, lo);
+  while (n != nullptr) {
+    const std::uint64_t num = ctx.load(&n->num);
+    for (std::uint64_t i = 0; i < num; ++i) {
+      const std::uint64_t k = ctx.load(&n->keys[i]);
+      if (k < lo) continue;
+      if (k > hi) return seen;
+      fn(k, ctx.load(reinterpret_cast<std::uint64_t*>(ctx.load(&n->slots[i]))));
+      ++seen;
+      if (limit != 0 && seen == limit) return seen;
+    }
+    n = reinterpret_cast<Node*>(ctx.load(&n->slots[kFanout]));
+  }
+  return seen;
+}
+
+// --- Meta-level (host-side, before simulated threads exist) ---------------
+
+bool TxBTree::insert_meta(std::uint64_t key, std::uint64_t* val) {
+  constexpr std::uint64_t kHalf = kFanout / 2;
+  auto alloc_meta = [&](bool is_leaf) -> Node* {
+    if (bump_ >= arena_.size()) {
+      std::fprintf(stderr, "rtle btree: arena exhausted (%zu nodes)\n",
+                   arena_.size());
+      std::abort();
+    }
+    Node* n = &arena_[bump_++];
+    n->num = 0;
+    n->leaf = is_leaf ? 1 : 0;
+    n->slots[kFanout] = 0;
+    return n;
+  };
+  auto split_meta = [&](Node* p, std::uint64_t ci) {
+    Node* c = reinterpret_cast<Node*>(p->slots[ci]);
+    const bool child_leaf = c->leaf != 0;
+    Node* m = alloc_meta(child_leaf);
+    std::uint64_t sep = 0;
+    if (child_leaf) {
+      for (std::uint64_t i = kHalf; i < kFanout; ++i) {
+        m->keys[i - kHalf] = c->keys[i];
+        m->slots[i - kHalf] = c->slots[i];
+      }
+      m->num = kFanout - kHalf;
+      m->slots[kFanout] = c->slots[kFanout];
+      c->slots[kFanout] = to_word(m);
+      c->num = kHalf;
+      sep = m->keys[0];
+    } else {
+      sep = c->keys[kHalf];
+      for (std::uint64_t i = kHalf + 1; i < kFanout; ++i) {
+        m->keys[i - kHalf - 1] = c->keys[i];
+      }
+      for (std::uint64_t i = kHalf + 1; i <= kFanout; ++i) {
+        m->slots[i - kHalf - 1] = c->slots[i];
+      }
+      m->num = kFanout - kHalf - 1;
+      c->num = kHalf;
+    }
+    for (std::uint64_t i = p->num; i > ci; --i) {
+      p->keys[i] = p->keys[i - 1];
+      p->slots[i + 1] = p->slots[i];
+    }
+    p->keys[ci] = sep;
+    p->slots[ci + 1] = to_word(m);
+    p->num += 1;
+  };
+
+  Node* r = root_;
+  if (r->num == kFanout) {
+    Node* nr = alloc_meta(/*is_leaf=*/false);
+    nr->slots[0] = to_word(r);
+    split_meta(nr, 0);
+    root_ = nr;
+    r = nr;
+  }
+  Node* n = r;
+  while (n->leaf == 0) {
+    std::uint64_t ci = 0;
+    while (ci < n->num && key >= n->keys[ci]) ++ci;
+    Node* c = reinterpret_cast<Node*>(n->slots[ci]);
+    if (c->num == kFanout) {
+      split_meta(n, ci);
+      if (key >= n->keys[ci]) {
+        ci += 1;
+        c = reinterpret_cast<Node*>(n->slots[ci]);
+      }
+    }
+    n = c;
+  }
+  std::uint64_t pos = 0;
+  while (pos < n->num && n->keys[pos] < key) ++pos;
+  if (pos < n->num && n->keys[pos] == key) return false;
+  for (std::uint64_t i = n->num; i > pos; --i) {
+    n->keys[i] = n->keys[i - 1];
+    n->slots[i] = n->slots[i - 1];
+  }
+  n->keys[pos] = key;
+  n->slots[pos] = to_word(val);
+  n->num += 1;
+  return true;
+}
+
+const TxBTree::Node* TxBTree::leftmost_meta() const {
+  const Node* n = root_;
+  while (n->leaf == 0) n = reinterpret_cast<const Node*>(n->slots[0]);
+  return n;
+}
+
+std::size_t TxBTree::size_meta() const {
+  std::size_t count = 0;
+  for_each_meta([&](std::uint64_t, std::uint64_t*) { ++count; });
+  return count;
+}
+
+bool TxBTree::invariants_ok() const {
+  // Recursive structural walk: key order inside nodes, separator bounds,
+  // and the set of leaves reached top-down must equal the leaf chain.
+  std::vector<const Node*> chain;
+  for (const Node* l = leftmost_meta(); l != nullptr;
+       l = reinterpret_cast<const Node*>(l->slots[kFanout])) {
+    chain.push_back(l);
+  }
+  std::size_t next_leaf = 0;
+  std::uint64_t prev_key = 0;
+  bool have_prev = false;
+  bool ok = true;
+  auto walk = [&](auto&& self, const Node* n, std::uint64_t lo, bool has_lo,
+                  std::uint64_t hi, bool has_hi) -> void {
+    if (!ok || n == nullptr) {
+      ok = false;
+      return;
+    }
+    if (n->num > kFanout) {
+      ok = false;
+      return;
+    }
+    for (std::uint64_t i = 0; i + 1 < n->num && ok; ++i) {
+      if (n->keys[i] >= n->keys[i + 1]) ok = false;
+    }
+    for (std::uint64_t i = 0; i < n->num && ok; ++i) {
+      if (has_lo && n->keys[i] < lo) ok = false;
+      if (has_hi && n->keys[i] >= hi) ok = false;
+    }
+    if (!ok) return;
+    if (n->leaf != 0) {
+      if (next_leaf >= chain.size() || chain[next_leaf] != n) {
+        ok = false;
+        return;
+      }
+      next_leaf += 1;
+      for (std::uint64_t i = 0; i < n->num; ++i) {
+        if (have_prev && n->keys[i] <= prev_key) {
+          ok = false;
+          return;
+        }
+        prev_key = n->keys[i];
+        have_prev = true;
+      }
+      return;
+    }
+    for (std::uint64_t i = 0; i <= n->num && ok; ++i) {
+      const std::uint64_t clo = i == 0 ? lo : n->keys[i - 1];
+      const bool chas_lo = i == 0 ? has_lo : true;
+      const std::uint64_t chi = i == n->num ? hi : n->keys[i];
+      const bool chas_hi = i == n->num ? has_hi : true;
+      self(self, reinterpret_cast<const Node*>(n->slots[i]), clo, chas_lo,
+           chi, chas_hi);
+    }
+  };
+  walk(walk, root_, 0, false, 0, false);
+  return ok && next_leaf == chain.size();
+}
+
+}  // namespace rtle::idx

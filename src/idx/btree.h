@@ -1,0 +1,119 @@
+// rtle::idx::TxBTree — an ordered transactional index over the dual-path
+// TxContext: a B+-tree with fixed-fanout nodes mapping uint64 keys to the
+// *addresses* of TxHashMap value words (DESIGN.md §17).
+//
+// The tree is a secondary structure: oltp::Store keeps one per shard beside
+// the hash map and maintains both inside the same critical section, so a
+// leaf entry's value pointer is valid exactly as long as the key is live in
+// the map. Scans walk the leaf chain in key order and read values through
+// the stored pointers — one ordered traversal instead of a bucket sweep.
+//
+// Memory discipline matches TxHashMap: a bump arena sized up front,
+// per-thread free lists topped up via reserve_nodes() *between* operations,
+// transactional free-list manipulation inside operations so aborted
+// speculation leaks nothing. Nodes are never returned to the free list by
+// erase — an underfull (even empty) leaf stays linked where it is, and a
+// later insert into its key range refills it in place. That caps the node
+// count at what the distinct-key population requires (~2 nodes per kFanout/2
+// distinct keys) without rebalancing machinery on the erase path.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/context.h"
+#include "util/fn_ref.h"
+
+namespace rtle::idx {
+
+class TxBTree {
+ public:
+  /// Keys per node. Six keys plus the dual-purpose slot array fill exactly
+  /// two 64-byte lines per node — scans touch two lines per six entries.
+  static constexpr std::size_t kFanout = 6;
+  /// Free-list headroom an insert may consume: one split per level plus a
+  /// root split, at the arena-bounded tree height.
+  static constexpr std::size_t kNodesPerInsert = 4;
+
+  TxBTree(std::size_t max_nodes, std::uint32_t max_threads);
+
+  TxBTree(const TxBTree&) = delete;
+  TxBTree& operator=(const TxBTree&) = delete;
+
+  /// Top up the calling thread's free list (outside any transaction).
+  void reserve_nodes(runtime::ThreadCtx& th, std::size_t want);
+
+  /// Map `key` to the value word at `val` (upsert: an existing entry is
+  /// repointed). Splits full nodes on the way down, so the pass never
+  /// propagates back up.
+  void insert(runtime::TxContext& ctx, std::uint64_t key, std::uint64_t* val);
+
+  /// Remove `key`'s entry; true if it existed. Leaves never rebalance (see
+  /// header comment).
+  bool erase(runtime::TxContext& ctx, std::uint64_t key);
+
+  /// Value-word address for `key`, or nullptr when absent.
+  std::uint64_t* find(runtime::TxContext& ctx, std::uint64_t key);
+
+  /// Visit entries with keys in [lo, hi] in ascending key order, at most
+  /// `limit` of them (0 = unlimited). `fn(key, value)` receives the value
+  /// loaded through `ctx`. Returns the number of entries visited.
+  std::size_t scan(runtime::TxContext& ctx, std::uint64_t lo, std::uint64_t hi,
+                   std::size_t limit,
+                   util::FnRef<void(std::uint64_t, std::uint64_t)> fn);
+
+  // --- Meta-level helpers (no simulated cost; prefill & verification). ---
+  /// Prefill insert straight from the arena; false if the key exists.
+  bool insert_meta(std::uint64_t key, std::uint64_t* val);
+  /// Visit every (key, value-word address) in ascending key order.
+  template <typename F>
+  void for_each_meta(F&& fn) const {
+    const Node* leaf = leftmost_meta();
+    while (leaf != nullptr) {
+      for (std::uint64_t i = 0; i < leaf->num; ++i) {
+        fn(leaf->keys[i], reinterpret_cast<std::uint64_t*>(leaf->slots[i]));
+      }
+      leaf = reinterpret_cast<const Node*>(leaf->slots[kFanout]);
+    }
+  }
+  std::size_t size_meta() const;
+  /// Structural invariants: per-node key order, separator bounds, leaf
+  /// chain in global key order, every leaf reachable from the root.
+  bool invariants_ok() const;
+
+ private:
+  /// One layout for both node kinds, so a single arena serves the tree.
+  /// `slots` is dual-purpose: a leaf stores value-word addresses in
+  /// slots[0..num) and the next-leaf link in slots[kFanout]; an internal
+  /// node stores child addresses in slots[0..num]. keys[i] of an internal
+  /// node separates child i from child i+1 (it is <= every key reachable
+  /// under child i+1). A free-listed node links through slots[0].
+  struct alignas(64) Node {
+    std::uint64_t num = 0;   ///< live key count
+    std::uint64_t leaf = 0;  ///< 1 for leaves
+    std::uint64_t keys[kFanout] = {};
+    std::uint64_t slots[kFanout + 1] = {};
+  };
+  static_assert(sizeof(Node) == 128, "two cache lines per node");
+
+  struct alignas(64) Pool {
+    Node* head = nullptr;
+  };
+
+  Node* alloc_node(runtime::TxContext& ctx, bool is_leaf);
+  void split_child(runtime::TxContext& ctx, Node* parent, std::uint64_t ci);
+  Node* leaf_for(runtime::TxContext& ctx, std::uint64_t key);
+  const Node* leftmost_meta() const;
+
+  std::vector<Node> arena_;
+  std::uint64_t bump_ = 0;
+  std::vector<Pool> pools_;
+  /// Own cache line: the root pointer is read by every simulated operation,
+  /// and the HTM capacity model counts footprint in lines — if it shared a
+  /// heap line with another shard's simulated state, a scan's line count
+  /// (and so its capacity-abort decisions) would depend on where malloc
+  /// happened to place the two objects.
+  alignas(64) Node* root_ = nullptr;
+};
+
+}  // namespace rtle::idx

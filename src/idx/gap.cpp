@@ -1,0 +1,74 @@
+#include "idx/gap.h"
+
+#include "check/session.h"
+#include "mem/shim.h"
+
+namespace rtle::idx {
+
+namespace {
+
+/// Simulated cycles per poll while a gap conflict persists. Matches the
+/// store's quiesce-gate poll granularity: cede the window to the scan (or
+/// writer) we are waiting out rather than spinning hot.
+constexpr std::uint64_t kGapPollCycles = 128;
+
+}  // namespace
+
+GapTable::GapTable(std::uint32_t max_threads)
+    : scans_(max_threads), writers_(max_threads) {}
+
+bool GapTable::overlaps(const std::vector<Slot>& slots,
+                        std::uint32_t self_tid, std::uint64_t lo,
+                        std::uint64_t hi) const {
+  for (std::uint32_t t = 0; t < slots.size(); ++t) {
+    if (t == self_tid) continue;
+    const Slot& s = slots[t];
+    if (s.active && s.lo <= hi && lo <= s.hi) return true;
+  }
+  return false;
+}
+
+void GapTable::scan_enter(runtime::ThreadCtx& th, std::uint64_t lo,
+                          std::uint64_t hi) {
+  // Check-then-publish is atomic: fibers switch only inside mem:: calls.
+  while (writer_count_ != 0 && overlaps(writers_, th.tid, lo, hi)) {
+    mem::compute(kGapPollCycles);
+  }
+  scans_[th.tid] = {true, lo, hi};
+  scan_count_ += 1;
+  if (check::CheckSession* chk = check::checker()) {
+    chk->on_scan_register(lo, hi);
+  }
+}
+
+void GapTable::scan_leave(runtime::ThreadCtx& th) {
+  scans_[th.tid].active = false;
+  scan_count_ -= 1;
+  if (check::CheckSession* chk = check::checker()) {
+    chk->on_scan_unregister();
+  }
+}
+
+void GapTable::writer_enter(runtime::ThreadCtx& th, std::uint64_t lo,
+                            std::uint64_t hi, bool honor) {
+  if (honor) {
+    while (scan_count_ != 0 && overlaps(scans_, th.tid, lo, hi)) {
+      mem::compute(kGapPollCycles);
+    }
+  }
+  writers_[th.tid] = {true, lo, hi};
+  writer_count_ += 1;
+  // Tell the checker the writer is entering this key range: with the wait
+  // honored no foreign scan can overlap; the seeded skip makes the overlap
+  // observable and the hook reports kPhantom.
+  if (check::CheckSession* chk = check::checker()) {
+    chk->on_gap_write(lo, hi, honor);
+  }
+}
+
+void GapTable::writer_leave(runtime::ThreadCtx& th) {
+  writers_[th.tid].active = false;
+  writer_count_ -= 1;
+}
+
+}  // namespace rtle::idx

@@ -1,0 +1,83 @@
+// rtle::idx::GapTable — next-key/gap protection for pessimistic range scans
+// (DESIGN.md §17).
+//
+// The elided scan path needs no gap protection: a hardware transaction
+// snapshots the whole range at one serialization point, so a key appearing
+// inside the range mid-scan dooms it (requester-wins conflict on the leaf).
+// The *pessimistic* path has no such luxury — a cross-shard scan visits the
+// shards incrementally, and a writer inserting behind the scan's cursor on
+// an already-released shard is a phantom. The classical fix is next-key
+// locking; we use its coarse cousin, a range-footprint table:
+//
+//   * a pessimistic scan publishes its [lo, hi] key-range footprint before
+//     acquiring any shard guard, and withdraws it after releasing the last;
+//   * every writer — point put/erase, multi(), range transactions, on BOTH
+//     the elided and the fallback path — waits before acquiring any guard
+//     until no foreign scan footprint overlaps its write range, then
+//     publishes its own writer intent so later scans wait for it in turn.
+//
+// Deadlock-freedom: all gap waits strictly precede guard acquisition, and a
+// fiber holding any shard guard never polls the gap table — so the gap
+// table adds no edges to the guard wait-for graph, and a published intent
+// always drains. The table itself is host-side (meta) state: the simulator
+// is one OS thread and fibers switch only inside mem:: calls, so a
+// check-then-publish sequence with no mem:: call in between is atomic; the
+// only simulated cost is the mem::compute poll while an overlap persists —
+// a store that never scans keeps its exact unprotected schedule.
+//
+// The seeded bug (`seed_skip_gap_protection`) makes writers skip the wait;
+// rtle::check's on_gap_write hook then observes the writer entering a live
+// foreign scan footprint and reports kPhantom by name.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/context.h"
+
+namespace rtle::idx {
+
+class GapTable {
+ public:
+  explicit GapTable(std::uint32_t max_threads);
+
+  GapTable(const GapTable&) = delete;
+  GapTable& operator=(const GapTable&) = delete;
+
+  /// Pessimistic scan entry: wait until no foreign writer intent overlaps
+  /// [lo, hi], then publish this thread's scan footprint. Call before
+  /// acquiring the first shard guard.
+  void scan_enter(runtime::ThreadCtx& th, std::uint64_t lo, std::uint64_t hi);
+  /// Withdraw the footprint. Call after releasing the last shard guard.
+  void scan_leave(runtime::ThreadCtx& th);
+
+  /// Writer entry: wait until no foreign scan footprint overlaps [lo, hi]
+  /// (skipped when `honor` is false — the seeded phantom bug), then publish
+  /// writer intent. Call before acquiring any guard, on every path; point
+  /// writes pass lo == hi == key.
+  void writer_enter(runtime::ThreadCtx& th, std::uint64_t lo,
+                    std::uint64_t hi, bool honor);
+  /// Withdraw the intent. Call after the write's guards are released (or
+  /// its transaction committed/aborted).
+  void writer_leave(runtime::ThreadCtx& th);
+
+  /// Live scan footprints (test introspection).
+  std::uint32_t active_scans() const { return scan_count_; }
+
+ private:
+  struct Slot {
+    bool active = false;
+    std::uint64_t lo = 0;
+    std::uint64_t hi = 0;
+  };
+
+  bool overlaps(const std::vector<Slot>& slots, std::uint32_t self_tid,
+                std::uint64_t lo, std::uint64_t hi) const;
+
+  std::vector<Slot> scans_;
+  std::vector<Slot> writers_;
+  std::uint32_t scan_count_ = 0;    ///< writers early-out when zero
+  std::uint32_t writer_count_ = 0;  ///< scans early-out when zero
+};
+
+}  // namespace rtle::idx

@@ -1,5 +1,6 @@
 #include "oltp/store.h"
 
+#include <algorithm>
 #include <bit>
 #include <cstdio>
 #include <cstdlib>
@@ -50,12 +51,18 @@ Store::Store(const StoreConfig& cfg,
   gates_.assign(cfg.shards, {});
   methods_.reserve(cfg.shards);
   maps_.reserve(cfg.shards);
+  trees_.reserve(cfg.shards);
   for (std::uint32_t s = 0; s < cfg.shards; ++s) {
     methods_.push_back(specs[s % specs.size()].make());
     methods_.back()->prepare(cfg.max_threads);
     maps_.push_back(std::make_unique<ds::TxHashMap>(
         cfg.buckets_per_shard, cfg.max_nodes_per_shard, cfg.max_threads));
+    // The ordered index mirrors the map's key set; its arena shares the
+    // map's worst-case sizing (a tree needs fewer nodes than keys).
+    trees_.push_back(std::make_unique<idx::TxBTree>(cfg.max_nodes_per_shard,
+                                                    cfg.max_threads));
   }
+  gaps_ = std::make_unique<idx::GapTable>(cfg.max_threads);
 }
 
 bool Store::get(ThreadCtx& th, std::uint64_t key, std::uint64_t& out) {
@@ -82,14 +89,20 @@ bool Store::get(ThreadCtx& th, std::uint64_t key, std::uint64_t& out) {
 void Store::put(ThreadCtx& th, std::uint64_t key, std::uint64_t value) {
   const std::uint32_t s = shard_of(key);
   maps_[s]->reserve_nodes(th, 1);
+  trees_[s]->reserve_nodes(th, idx::TxBTree::kNodesPerInsert);
   auto cs = [&](TxContext& ctx) {
     bool inserted = false;
     std::uint64_t* v = maps_[s]->find_or_insert(ctx, key, inserted);
+    if (inserted) trees_[s]->insert(ctx, key, v);
     ctx.store(v, value);
   };
+  // Gap protection: wait out any pessimistic scan whose footprint covers
+  // this key, then publish writer intent (point write: lo == hi == key).
+  gaps_->writer_enter(th, key, key, !skip_gap_bug_);
   enter_shard(s);
   methods_[s]->execute(th, cs);
   leave_shard(s);
+  gaps_->writer_leave(th);
   if (trace::TraceSession* tr = tracer()) {
     tr->emit(trace::EventType::kShardCommit, 0, s);
   }
@@ -98,10 +111,17 @@ void Store::put(ThreadCtx& th, std::uint64_t key, std::uint64_t value) {
 bool Store::erase(ThreadCtx& th, std::uint64_t key) {
   const std::uint32_t s = shard_of(key);
   bool erased = false;
-  auto cs = [&](TxContext& ctx) { erased = maps_[s]->erase(ctx, key); };
+  // Tree entry first: the map erase recycles the node, so the index must
+  // drop its value pointer before the node can be reused for another key.
+  auto cs = [&](TxContext& ctx) {
+    trees_[s]->erase(ctx, key);
+    erased = maps_[s]->erase(ctx, key);
+  };
+  gaps_->writer_enter(th, key, key, !skip_gap_bug_);
   enter_shard(s);
   methods_[s]->execute(th, cs);
   leave_shard(s);
+  gaps_->writer_leave(th);
   if (trace::TraceSession* tr = tracer()) {
     tr->emit(trace::EventType::kShardCommit, 0, s);
   }
@@ -130,16 +150,33 @@ void Store::MultiTx::write(std::uint64_t key, std::uint64_t value) {
   TxContext& ctx = ctx_for(s);
   bool inserted = false;
   std::uint64_t* v = store_.maps_[s]->find_or_insert(ctx, key, inserted);
+  if (inserted) store_.trees_[s]->insert(ctx, key, v);
   ctx.store(v, value);
   wrote_mask_ |= std::uint64_t{1} << s;
 }
 
+bool Store::MultiTx::erase(std::uint64_t key) {
+  const std::uint32_t s = store_.shard_of(key);
+  TxContext& ctx = ctx_for(s);
+  // Index entry before the map node is recycled (see Store::erase).
+  store_.trees_[s]->erase(ctx, key);
+  const bool existed = store_.maps_[s]->erase(ctx, key);
+  wrote_mask_ |= std::uint64_t{1} << s;
+  return existed;
+}
+
 void Store::multi(ThreadCtx& th, const std::uint64_t* keys, std::size_t nkeys,
                   MultiBody body) {
-  // Involved shards, ascending (the canonical lock order).
+  // Involved shards, ascending (the canonical lock order), plus the
+  // transaction's key-range extent for the gap table.
   std::uint64_t mask = 0;
+  std::uint64_t wlo = ~std::uint64_t{0};
+  std::uint64_t whi = 0;
   for (std::size_t i = 0; i < nkeys; ++i) {
-    mask |= std::uint64_t{1} << shard_of(keys[i]);  // shim-lint: ok (caller's private key list, not simulated shared memory)
+    const std::uint64_t k = keys[i];           // shim-lint: ok (caller's private key list, not simulated shared memory)
+    mask |= std::uint64_t{1} << shard_of(k);
+    if (k < wlo) wlo = k;
+    if (k > whi) whi = k;
   }
   std::uint32_t order[kMaxShards];
   std::size_t ns = 0;
@@ -150,7 +187,12 @@ void Store::multi(ThreadCtx& th, const std::uint64_t* keys, std::size_t nkeys,
   // (worst case every key inserts, and speculation may replay the body).
   for (std::size_t i = 0; i < ns; ++i) {
     maps_[order[i]]->reserve_nodes(th, nkeys);
+    trees_[order[i]]->reserve_nodes(th,
+                                    nkeys * idx::TxBTree::kNodesPerInsert);
   }
+  // Gap protection over the conservative [min, max] extent of the declared
+  // keys, before any guard or gate is taken (deadlock-freedom contract).
+  gaps_->writer_enter(th, wlo, whi, !skip_gap_bug_);
   // Hold every involved shard's quiesce gate for the whole transaction:
   // the HTM path touches each method object via the cross seam, so none of
   // them may be swapped out from under us (see switch_method).
@@ -175,6 +217,7 @@ void Store::multi(ThreadCtx& th, const std::uint64_t* keys, std::size_t nkeys,
       tr->emit(trace::EventType::kCrossCommit, lock_path ? 1 : 0, mask);
     }
     if (chk != nullptr) chk->on_cross_end();
+    gaps_->writer_leave(th);
   };
 
   // Optimistic path: one hardware transaction subscribed to every involved
@@ -341,6 +384,257 @@ void Store::multi_get(ThreadCtx& th, const std::uint64_t* keys,
     if (tr != nullptr) {
       tr->emit(trace::EventType::kShardRelease, 1, order[i]);
     }
+  }
+  finish(/*lock_path=*/true);
+}
+
+std::size_t Store::scan(ThreadCtx& th, std::uint64_t lo, std::uint64_t hi,
+                        std::size_t limit, RangeEntries& out) {
+  return scan_impl(th, lo, hi, limit, &out);
+}
+
+std::size_t Store::range_count(ThreadCtx& th, std::uint64_t lo,
+                               std::uint64_t hi) {
+  return scan_impl(th, lo, hi, 0, nullptr);
+}
+
+std::size_t Store::scan_impl(ThreadCtx& th, std::uint64_t lo,
+                             std::uint64_t hi, std::size_t limit,
+                             RangeEntries* out) {
+  if (out != nullptr) out->clear();
+  if (lo > hi) return 0;
+  const std::uint64_t mask = all_shards_mask();
+
+  trace::TraceSession* tr = tracer();
+  check::CheckSession* chk = check::checker();
+  const std::uint64_t op_start = tr != nullptr ? cur_sched().now() : 0;
+
+  // Per-shard runs land here (each capped at the *global* limit — the
+  // smallest `limit` keys could all hash to one shard), then one merge
+  // sort + truncation yields the globally ascending result. Keys are
+  // unique across shards (each key routes to exactly one), so plain sort.
+  RangeEntries buf;
+  auto push = [&](std::uint64_t k, std::uint64_t v) {
+    buf.emplace_back(k, v);  // shim-lint: ok (private result buffer)
+  };
+  auto collect = [&](TxContext& ctx, std::uint32_t s) {
+    trees_[s]->scan(ctx, lo, hi, limit, push);
+  };
+  auto sort_truncate = [&] {
+    std::sort(buf.begin(), buf.end());
+    if (limit != 0 && buf.size() > limit) buf.resize(limit);
+  };
+  auto finish = [&](bool lock_path) {
+    cross_.commits += 1;
+    (lock_path ? cross_.lock_commits : cross_.htm_commits) += 1;
+    methods_[0]->stats().idx_scans += 1;
+    if (tr != nullptr) {
+      tr->txn_commit(lock_path ? trace::TxPath::kLock : trace::TxPath::kFast,
+                     op_start);
+      tr->emit(trace::EventType::kScanCommit, lock_path ? 1 : 0, buf.size());
+    }
+    if (chk != nullptr) chk->on_cross_end();
+  };
+  auto deliver = [&]() -> std::size_t {
+    const std::size_t n = buf.size();
+    if (out != nullptr) *out = std::move(buf);
+    return n;
+  };
+
+  // Elided path: one hardware transaction over every shard guard (hash
+  // routing scatters a key range across all of them), entered through the
+  // read seam — SUX shards subscribe is_locked() only, so waiting writers
+  // and update holders' read prefixes never doom a scan. All quiesce gates
+  // are held for the HTM attempts, since one transaction touches every
+  // method object.
+  for (std::uint32_t s = 0; s < shards(); ++s) enter_shard(s);
+  if (chk != nullptr) chk->on_cross_begin();
+  if (tr != nullptr) tr->emit(trace::EventType::kScanBegin, 0, mask);
+
+  // Subscription MUST precede the tree reads: a scan that reads first and
+  // subscribes later (lazy subscription, Dice et al.) can commit a range a
+  // pessimistic writer mutated mid-scan. The checker audits the ordering
+  // through on_scan_subscribe — with the seeded knob the subscription
+  // moves after the reads and the audit reports kPhantom.
+  auto subscribe = [&] {
+    if (chk != nullptr) chk->on_scan_subscribe(this);
+    for (std::uint32_t s = 0; s < shards(); ++s) {
+      methods_[s]->cross_htm_enter_read(th);
+    }
+  };
+
+  auto& htm = cur_htm();
+  for (int trials = 0; trials < cross_trials_; ++trials) {
+    try {
+      if (tr != nullptr) tr->txn_begin(trace::TxPath::kFast);
+      buf.clear();
+      htm.begin(th.tx);
+      if (!lazy_scan_bug_) subscribe();
+      TxContext ctx(Path::kHtmFast, th);
+      for (std::uint32_t s = 0; s < shards(); ++s) collect(ctx, s);
+      if (lazy_scan_bug_) subscribe();
+      htm.commit(th.tx);
+      sort_truncate();
+      for (std::uint32_t s = 0; s < shards(); ++s) leave_shard(s);
+      finish(/*lock_path=*/false);
+      return deliver();
+    } catch (const htm::HtmAbort& e) {
+      cross_.aborts += 1;
+      cross_.abort_cause[static_cast<std::size_t>(e.cause)] += 1;
+      if (tr != nullptr) {
+        tr->txn_abort(trace::TxPath::kFast,
+                      static_cast<std::uint64_t>(e.cause));
+      }
+      if (e.cause == htm::AbortCause::kCapacity) break;
+      mem::compute(16 + th.rng.below(64u << (trials < 6 ? trials : 6)));
+    }
+  }
+
+  // Pessimistic fallback: *incremental* — one shard's read guard at a
+  // time, released before the next is taken, so a long scan never holds
+  // more than one guard. The quiesce gates drop too (a method switch may
+  // proceed mid-scan; the fresh instance is safe to use after the quiesce
+  // barrier). Cross-shard atomicity — phantom freedom — comes from the gap
+  // footprint published before the first guard: writers entering [lo, hi]
+  // wait until the scan withdraws it.
+  methods_[0]->stats().idx_phantom_aborts += 1;
+  for (std::uint32_t s = 0; s < shards(); ++s) leave_shard(s);
+  buf.clear();
+  gaps_->scan_enter(th, lo, hi);
+  if (tr != nullptr) tr->txn_begin(trace::TxPath::kLock);
+  for (std::uint32_t s = 0; s < shards(); ++s) {
+    enter_shard(s);
+    methods_[s]->cross_lock_enter_read(th);
+    if (chk != nullptr) chk->on_cross_guard(s);
+    if (tr != nullptr) tr->emit(trace::EventType::kShardAcquire, 1, s);
+    TxContext rctx(methods_[s]->cross_lock_read_path(), th,
+                   methods_[s]->cross_lock_read_barriers());
+    collect(rctx, s);
+    methods_[s]->cross_lock_leave_read(th);
+    if (tr != nullptr) tr->emit(trace::EventType::kShardRelease, 1, s);
+    leave_shard(s);
+  }
+  gaps_->scan_leave(th);
+  sort_truncate();
+  finish(/*lock_path=*/true);
+  return deliver();
+}
+
+void Store::range_tx(ThreadCtx& th, std::uint64_t lo, std::uint64_t hi,
+                     std::size_t limit, std::size_t max_writes,
+                     RangeBody body) {
+  if (lo > hi) return;
+  const std::uint64_t mask = all_shards_mask();
+  // The body's writes may insert anywhere in [lo, hi], which can route to
+  // any shard — top up all of them (speculation may replay the body).
+  for (std::uint32_t s = 0; s < shards(); ++s) {
+    maps_[s]->reserve_nodes(th, max_writes);
+    trees_[s]->reserve_nodes(th, max_writes * idx::TxBTree::kNodesPerInsert);
+  }
+  // Writer intent over the whole range, before any gate or guard: other
+  // scans wait us out, and we wait out any scan already inside [lo, hi].
+  gaps_->writer_enter(th, lo, hi, !skip_gap_bug_);
+  for (std::uint32_t s = 0; s < shards(); ++s) enter_shard(s);
+
+  trace::TraceSession* tr = tracer();
+  check::CheckSession* chk = check::checker();
+  const std::uint64_t op_start = tr != nullptr ? cur_sched().now() : 0;
+  if (chk != nullptr) chk->on_cross_begin();
+  if (tr != nullptr) tr->emit(trace::EventType::kScanBegin, 0, mask);
+
+  RangeEntries entries;
+  auto push = [&](std::uint64_t k, std::uint64_t v) {
+    entries.emplace_back(k, v);  // shim-lint: ok (private result buffer)
+  };
+  auto collect = [&](TxContext& ctx, std::uint32_t s) {
+    trees_[s]->scan(ctx, lo, hi, limit, push);
+  };
+  auto sort_truncate = [&] {
+    std::sort(entries.begin(), entries.end());
+    if (limit != 0 && entries.size() > limit) entries.resize(limit);
+  };
+  auto finish = [&](bool lock_path) {
+    for (std::uint32_t s = 0; s < shards(); ++s) leave_shard(s);
+    cross_.commits += 1;
+    (lock_path ? cross_.lock_commits : cross_.htm_commits) += 1;
+    methods_[0]->stats().idx_scans += 1;
+    if (tr != nullptr) {
+      tr->txn_commit(lock_path ? trace::TxPath::kLock : trace::TxPath::kFast,
+                     op_start);
+      tr->emit(trace::EventType::kScanCommit, lock_path ? 1 : 0,
+               entries.size());
+    }
+    if (chk != nullptr) chk->on_cross_end();
+    gaps_->writer_leave(th);
+  };
+
+  // Elided path: the *write* cross seam (both SUX words subscribed —
+  // this transaction may mutate any shard), scan, body, publish, commit.
+  auto& htm = cur_htm();
+  for (int trials = 0; trials < cross_trials_; ++trials) {
+    try {
+      if (tr != nullptr) tr->txn_begin(trace::TxPath::kFast);
+      entries.clear();
+      htm.begin(th.tx);
+      for (std::uint32_t s = 0; s < shards(); ++s) {
+        methods_[s]->cross_htm_enter(th);
+      }
+      TxContext ctx(Path::kHtmFast, th);
+      for (std::uint32_t s = 0; s < shards(); ++s) collect(ctx, s);
+      sort_truncate();
+      MultiTx mtx(*this, th, &ctx);
+      body(mtx, entries);
+      for (std::uint32_t s = 0; s < shards(); ++s) {
+        methods_[s]->cross_htm_publish(th,
+                                       ((mtx.wrote_mask_ >> s) & 1) != 0);
+      }
+      htm.commit(th.tx);
+      finish(/*lock_path=*/false);
+      return;
+    } catch (const htm::HtmAbort& e) {
+      cross_.aborts += 1;
+      cross_.abort_cause[static_cast<std::size_t>(e.cause)] += 1;
+      if (tr != nullptr) {
+        tr->txn_abort(trace::TxPath::kFast,
+                      static_cast<std::uint64_t>(e.cause));
+      }
+      if (e.cause == htm::AbortCause::kCapacity) break;
+      mem::compute(16 + th.rng.below(64u << (trials < 6 ? trials : 6)));
+    }
+  }
+
+  // Pessimistic fallback: every guard ascending with full holder duties
+  // (SUX shards upgrade eagerly), scan + body, then the long read-only
+  // suffix — each shard steps down via cross_lock_downgrade first, so SUX
+  // guards readmit elided and pessimistic readers during the re-scan.
+  methods_[0]->stats().idx_phantom_aborts += 1;
+  entries.clear();
+  if (tr != nullptr) tr->txn_begin(trace::TxPath::kLock);
+  for (std::uint32_t s = 0; s < shards(); ++s) {
+    methods_[s]->cross_lock_enter(th);
+    if (chk != nullptr) chk->on_cross_guard(s);
+    if (tr != nullptr) tr->emit(trace::EventType::kShardAcquire, 0, s);
+  }
+  {
+    MultiTx mtx(*this, th, nullptr);
+    for (std::uint32_t s = 0; s < shards(); ++s) collect(mtx.ctx_for(s), s);
+    sort_truncate();
+    body(mtx, entries);
+    // Done writing: drop every shard to its read-compatible mode.
+    for (std::uint32_t s = 0; s < shards(); ++s) {
+      methods_[s]->cross_lock_downgrade(th);
+    }
+    // Read-only suffix: re-walk the range through the same contexts (a
+    // write after the downgrade would legally re-upgrade; the suffix
+    // performs none).
+    auto touch = [&](std::uint64_t, std::uint64_t) {};
+    for (std::uint32_t s = 0; s < shards(); ++s) {
+      trees_[s]->scan(mtx.ctx_for(s), lo, hi, limit, touch);
+    }
+  }
+  for (std::uint32_t s = shards(); s-- > 0;) {
+    methods_[s]->cross_lock_leave(th);
+    if (tr != nullptr) tr->emit(trace::EventType::kShardRelease, 0, s);
   }
   finish(/*lock_path=*/true);
 }

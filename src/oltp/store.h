@@ -23,6 +23,8 @@
 
 #include "ds/hashmap.h"
 #include "htm/htm.h"
+#include "idx/btree.h"
+#include "idx/gap.h"
 #include "runtime/method.h"
 #include "util/fn_ref.h"
 
@@ -95,6 +97,10 @@ class Store {
     std::uint64_t read(std::uint64_t key);
     /// Upsert `key` := `value`.
     void write(std::uint64_t key, std::uint64_t value);
+    /// Remove `key`; true iff it existed. Maintains the ordered index
+    /// (tree entry removed before the map node is recycled, so the index
+    /// never holds a value pointer into a reusable node).
+    bool erase(std::uint64_t key);
 
    private:
     friend class Store;
@@ -126,10 +132,55 @@ class Store {
   void multi_get(runtime::ThreadCtx& th, const std::uint64_t* keys,
                  std::size_t nkeys, std::uint64_t* out);
 
+  // --- ordered-index range operations -----------------------------------
+  //
+  // Every shard carries a TxBTree mirroring its hash map's key set (hash
+  // routing scatters a key range across *all* shards, so range operations
+  // always involve every shard). The elided path runs one hardware
+  // transaction subscribed to every shard guard via the read seam; the
+  // pessimistic fallback is *incremental* — it visits shards one at a
+  // time under their read guards, and the GapTable's key-range footprints
+  // provide the cross-shard atomicity (phantom freedom) the guards alone
+  // cannot: a writer entering the scanned range waits until the scan
+  // withdraws its footprint, and a scan waits out any published writer
+  // intent before starting.
+
+  /// Snapshot of [lo, hi] in ascending key order into `out` (cleared
+  /// first), at most `limit` entries (0 = unlimited). Returns the number
+  /// of entries delivered. Atomic: equivalent to some serial point.
+  std::size_t scan(runtime::ThreadCtx& th, std::uint64_t lo,
+                   std::uint64_t hi, std::size_t limit,
+                   std::vector<std::pair<std::uint64_t, std::uint64_t>>& out);
+
+  /// Number of keys in [lo, hi] at one serial point.
+  std::size_t range_count(runtime::ThreadCtx& th, std::uint64_t lo,
+                          std::uint64_t hi);
+
+  /// A range transaction's body: sees the scanned entries (ascending,
+  /// truncated to the scan limit) and may upsert/erase through the handle.
+  /// Every key the body touches must lie in [lo, hi] — that is the range
+  /// the transaction's writer footprint covers.
+  using RangeEntries = std::vector<std::pair<std::uint64_t, std::uint64_t>>;
+  using RangeBody = util::FnRef<void(MultiTx&, const RangeEntries&)>;
+
+  /// Atomically: scan [lo, hi] (at most `limit` entries, 0 = unlimited),
+  /// run `body` over the result, then re-scan the range as a read-only
+  /// suffix. The body may perform at most `max_writes` upserts/erases.
+  /// Elided, this is one hardware transaction over every shard guard; the
+  /// pessimistic fallback takes every guard ascending, and downgrades
+  /// each shard (cross_lock_downgrade) before the read-only suffix so SUX
+  /// shards readmit readers during the re-scan.
+  void range_tx(runtime::ThreadCtx& th, std::uint64_t lo, std::uint64_t hi,
+                std::size_t limit, std::size_t max_writes, RangeBody body);
+
   // --- prefill (before the simulated threads start) ---------------------
   /// Meta-level upsert-if-absent: no simulated cost, no transaction.
+  /// Maintains both the hash map and the ordered index.
   void prefill_meta(std::uint64_t key, std::uint64_t value) {
-    maps_[shard_of(key)]->insert_meta(key, value);
+    const std::uint32_t s = shard_of(key);
+    if (maps_[s]->insert_meta(key, value)) {
+      trees_[s]->insert_meta(key, maps_[s]->find_meta(key));
+    }
   }
 
   // --- runtime method switching -----------------------------------------
@@ -157,9 +208,18 @@ class Store {
   /// Test hook: acquire fallback guards in *descending* shard order — the
   /// seeded lock-ordering bug rtle::check must catch (kLockOrder).
   void seed_descending_acquisition(bool on) { descending_bug_ = on; }
+  /// Test hook: elided scans subscribe their shard guards only *after*
+  /// reading the trees (lazy subscription, Dice et al.) — the checker
+  /// reports the speculative pre-subscription reads as kPhantom.
+  void seed_lazy_scan_subscribe(bool on) { lazy_scan_bug_ = on; }
+  /// Test hook: writers skip the gap-table wait (they still publish their
+  /// intent, so the checker can see them enter a live scan footprint and
+  /// report kPhantom).
+  void seed_skip_gap_protection(bool on) { skip_gap_bug_ = on; }
 
   runtime::SyncMethod& method(std::uint32_t shard) { return *methods_[shard]; }
   ds::TxHashMap& map(std::uint32_t shard) { return *maps_[shard]; }
+  idx::TxBTree& tree(std::uint32_t shard) { return *trees_[shard]; }
   const CrossStats& cross_stats() const { return cross_; }
   /// Completed operations: every single-shard execute() plus every
   /// multi-shard commit (cross commits do not bump per-shard ops).
@@ -180,12 +240,27 @@ class Store {
   void enter_shard(std::uint32_t s);
   void leave_shard(std::uint32_t s) { gates_[s].active -= 1; }
 
+  /// Shared heart of scan() / range_count(): `out` may be null when only
+  /// the count matters.
+  std::size_t scan_impl(runtime::ThreadCtx& th, std::uint64_t lo,
+                        std::uint64_t hi, std::size_t limit,
+                        RangeEntries* out);
+  /// Bitmask over every shard (range operations involve all of them).
+  std::uint64_t all_shards_mask() const {
+    return shards() >= 64 ? ~std::uint64_t{0}
+                          : (std::uint64_t{1} << shards()) - 1;
+  }
+
   std::uint32_t shard_bits_ = 0;
   std::uint32_t max_threads_ = 8;
   int cross_trials_ = 5;
   bool descending_bug_ = false;
+  bool lazy_scan_bug_ = false;
+  bool skip_gap_bug_ = false;
   std::vector<std::unique_ptr<runtime::SyncMethod>> methods_;
   std::vector<std::unique_ptr<ds::TxHashMap>> maps_;
+  std::vector<std::unique_ptr<idx::TxBTree>> trees_;
+  std::unique_ptr<idx::GapTable> gaps_;
   std::vector<ShardGate> gates_;
   runtime::MethodStats retired_;
   CrossStats cross_;

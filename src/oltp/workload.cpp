@@ -51,6 +51,8 @@ void accumulate(runtime::MethodStats& into, const runtime::MethodStats& s) {
   into.sux_shared_acquisitions += s.sux_shared_acquisitions;
   into.cycles_under_shared += s.cycles_under_shared;
   into.sux_upgrades += s.sux_upgrades;
+  into.idx_scans += s.idx_scans;
+  into.idx_phantom_aborts += s.idx_phantom_aborts;
   into.stm_begins += s.stm_begins;
   into.validations += s.validations;
   into.cycles_sw_running += s.cycles_sw_running;
@@ -263,6 +265,19 @@ WorkloadResult run_workload(const WorkloadConfig& cfg,
   // read-then-write steps, so the sum over all keys is preserved (mod 2^64)
   // even when the two endpoints sample the same key.
   constexpr std::uint32_t kMaxSpan = 16;
+  // Geometric scan length for the range shapes: continue probability
+  // p = 1 - 1/mean gives mean ≈ scan_len_mean, capped so a hot tail can't
+  // degenerate into full-table scans. No draws unless a range op runs.
+  constexpr std::uint64_t kMaxScanLen = 256;
+  const std::uint32_t cont_pct =
+      cfg.scan_len_mean > 1
+          ? 100 - std::max(1u, 100 / cfg.scan_len_mean)
+          : 0;
+  auto scan_len = [&](ThreadCtx& th) {
+    std::uint64_t len = 1;
+    while (len < kMaxScanLen && th.rng.below(100) < cont_pct) ++len;
+    return len;
+  };
   auto do_op = [&](ThreadCtx& th, std::uint32_t tenant) {
     const TenantRt& tn = tens[tenant];
     const std::uint64_t r = th.rng.below(100);
@@ -304,6 +319,39 @@ WorkloadResult run_workload(const WorkloadConfig& cfg,
         keys[i] = (base + i) % cfg.keys;
       }
       store.multi_get(th, keys, span, vals);
+    } else if (r < tn.multi_pct + tn.read_pct + cfg.multi_read_pct +
+                       cfg.secondary_pct + cfg.range_pct) {
+      // Ordered-index range scan: anchor at a Zipf draw, cover a
+      // geometric run of the dense key space.
+      const std::uint64_t start = tn.zipf.next(th.rng);
+      const std::uint64_t len = scan_len(th);
+      const std::uint64_t hi =
+          std::min<std::uint64_t>(cfg.keys - 1, start + len - 1);
+      std::vector<std::pair<std::uint64_t, std::uint64_t>> out;
+      store.scan(th, start, hi, 0, out);
+    } else if (r < tn.multi_pct + tn.read_pct + cfg.multi_read_pct +
+                       cfg.secondary_pct + cfg.range_pct +
+                       cfg.range_upd_pct) {
+      // Range transaction: scan a geometric range, erase + re-insert the
+      // first entry debited by one, credit the last — sum-preserving, and
+      // it exercises insert, erase and upsert through the ordered index.
+      // All randomness is drawn before the body (speculation replays it).
+      const std::uint64_t start = tn.zipf.next(th.rng);
+      const std::uint64_t len = scan_len(th);
+      const std::uint64_t hi =
+          std::min<std::uint64_t>(cfg.keys - 1, start + len - 1);
+      auto body = [&](Store::MultiTx& tx, const Store::RangeEntries& es) {
+        if (es.size() >= 2) {
+          const std::uint64_t k0 = es.front().first;
+          const std::uint64_t v0 = es.front().second;
+          tx.erase(k0);
+          tx.write(k0, v0 - 1);
+          tx.write(es.back().first, es.back().second + 1);
+        } else if (es.size() == 1) {
+          tx.write(es.front().first, es.front().second);
+        }
+      };
+      store.range_tx(th, start, hi, 0, /*max_writes=*/3, body);
     } else {
       store.put(th, tn.zipf.next(th.rng), th.rng.next());
     }
@@ -393,6 +441,7 @@ WorkloadResult run_workload(const WorkloadConfig& cfg,
     WorkloadResult::WindowPoint p;
     p.t_ms = static_cast<double>(now - t_start) / cfg.machine.cycles_per_ms();
     p.p99 = v.p99;
+    p.p999 = v.p999;
     p.admitted = v.admitted;
     p.sheds = v.sheds;
     p.completed = v.completed;

@@ -119,6 +119,18 @@ struct WorkloadConfig {
   /// lookup multi-gets the contiguous cluster of multi_min..multi_max
   /// primary keys it points at (clusters straddle shards by hash routing).
   std::uint32_t secondary_pct = 0;
+  /// Ordered-index range scans (Store::scan): the scan anchors at a Zipf
+  /// draw and covers a geometric run of the dense key space with mean
+  /// scan_len_mean. Carved out of the same 100 as the knobs above; the
+  /// default 0 keeps existing configs RNG-identical.
+  std::uint32_t range_pct = 0;
+  /// Range transactions (Store::range_tx): scan a geometric range, then
+  /// erase + re-insert the first entry and credit the last — a sum-
+  /// preserving shape that exercises insert, erase and upsert through the
+  /// ordered index on both the elided and the pessimistic path.
+  std::uint32_t range_upd_pct = 0;
+  /// Mean geometric scan length (keys) for both range shapes.
+  std::uint32_t scan_len_mean = 8;
   double duration_ms = 1.0;
   std::uint64_t seed = 42;
   /// > 0 switches to the open-loop driver: aggregate arrivals per
@@ -186,6 +198,7 @@ struct WorkloadResult {
   struct WindowPoint {
     double t_ms = 0.0;  ///< window end, ms since run start
     std::uint64_t p99 = 0;
+    std::uint64_t p999 = 0;  ///< window tail quantile (admit slo_tail)
     std::uint64_t admitted = 0;
     std::uint64_t sheds = 0;
     std::uint64_t completed = 0;

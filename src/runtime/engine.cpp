@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "check/session.h"
 #include "mem/shim.h"
 #include "sim/ambient.h"
 #include "sim/env.h"
@@ -19,6 +20,16 @@ void SyncMethod::cross_unsupported() const {
 }
 
 void ElidingMethod::cross_htm_enter(ThreadCtx& th) {
+  // Tell the checker this is a guard word *before* the subscription load is
+  // buffered: the commit publishes its clock only to metadata addresses, and
+  // a cross transaction may subscribe a lock no one has ever acquired or
+  // probed (single-shard execute registers the word through lock_.probe()).
+  // Without the registration the first pessimistic fallback would acquire a
+  // guard no prior elided commit published through — a missing ordering
+  // edge the checker reports as a race.
+  if (check::CheckSession* chk = check::checker()) {
+    chk->on_lock_word(lock_.word());
+  }
   auto& htm = cur_htm();
   if (htm.tx_load(th.tx, lock_.word()) != 0) {
     htm.abort_self(th.tx, htm::AbortCause::kLockBusy);
@@ -26,6 +37,10 @@ void ElidingMethod::cross_htm_enter(ThreadCtx& th) {
 }
 
 void LockMethod::cross_htm_enter(ThreadCtx& th) {
+  // See ElidingMethod::cross_htm_enter: register before subscribing.
+  if (check::CheckSession* chk = check::checker()) {
+    chk->on_lock_word(lock_.word());
+  }
   auto& htm = cur_htm();
   if (htm.tx_load(th.tx, lock_.word()) != 0) {
     htm.abort_self(th.tx, htm::AbortCause::kLockBusy);

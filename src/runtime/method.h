@@ -79,6 +79,15 @@ class SyncMethod {
   virtual void cross_lock_enter(ThreadCtx& /*th*/) { cross_unsupported(); }
   virtual void cross_lock_leave(ThreadCtx& /*th*/) { cross_unsupported(); }
 
+  /// Between enter and leave: the holder announces it is done *writing*
+  /// this shard and will only read until leave. Methods whose guard has a
+  /// weaker read-compatible mode override this to step down (SUX-TLE
+  /// drops exclusive back to update via SuxLock::downgrade_to_update, so
+  /// elided readers resume mid-section). Default: no-op — an exclusive
+  /// guard stays exclusive, which is always correct. Used by range
+  /// transactions with a long read-only suffix (re-scan after the writes).
+  virtual void cross_lock_downgrade(ThreadCtx& /*th*/) {}
+
   /// Path (and barriers) the fallback body must use for this shard's data
   /// while the guard is held via cross_lock_enter.
   virtual Path cross_lock_path() const { return Path::kRaw; }

@@ -83,6 +83,12 @@ std::string MethodStats::summary() const {
                   static_cast<unsigned long long>(cc_ts_extensions));
     out += buf;
   }
+  if (idx_scans != 0 || idx_phantom_aborts != 0) {
+    std::snprintf(buf, sizeof(buf), " idx(scans/phantom_aborts)=%llu/%llu",
+                  static_cast<unsigned long long>(idx_scans),
+                  static_cast<unsigned long long>(idx_phantom_aborts));
+    out += buf;
+  }
   if (latency_samples != 0 || trace_drops != 0) {
     std::snprintf(buf, sizeof(buf), " trace(latency_samples/drops)=%llu/%llu",
                   static_cast<unsigned long long>(latency_samples),

@@ -80,6 +80,14 @@ struct MethodStats {
   std::uint64_t cycles_under_shared = 0;
   std::uint64_t sux_upgrades = 0;
 
+  // Ordered-index accounting (src/idx via oltp/store.cpp): range scans and
+  // range transactions served (charged to the lowest involved shard's
+  // method, mirroring how cross commits attribute), and scan-path HTM
+  // aborts whose retry fell to the gap-protected pessimistic path.
+  // Surfaced by --stats and tools/trace_stats.
+  std::uint64_t idx_scans = 0;
+  std::uint64_t idx_phantom_aborts = 0;
+
   // Keeps sizeof(MethodStats) growth over the seed layout at a multiple of
   // 64 bytes (abort_cause grew by one slot, health counters added three,
   // the two trace counters above were carved out of this block):
@@ -89,10 +97,10 @@ struct MethodStats {
   // different line boundaries and perturb seed-identical runs. Slot
   // budget: the three admit counters overflowed the original four reserved
   // slots, so this block grew by a whole 64-byte line (8 slots) at once;
-  // the three CC counters took the free count from 7 down to 4, and the
-  // three SUX counters above from 4 down to 1. When that runs out, grow by
-  // another line.
-  std::uint64_t reserved_[1] = {};
+  // the three CC counters took the free count from 7 down to 4, the three
+  // SUX counters above from 4 down to 1, and the two idx counters
+  // overflowed that — another 64-byte line (8 slots), leaving 7 free.
+  std::uint64_t reserved_[7] = {};
 
   // Lock accounting (Fig 6 "Lock" pane, Fig 7).
   std::uint64_t lock_acquisitions = 0;

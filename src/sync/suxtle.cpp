@@ -14,6 +14,15 @@ using runtime::TxContext;
 
 void SuxTleMethod::prepare(std::uint32_t nthreads) {
   read_tokens_.assign(nthreads, 0);
+  // Register both guard words with the checker up front: cross-shard
+  // transactions subscribe them inside foreign HTM sections, and the commit
+  // publishes ordering clocks only to metadata addresses. The lock's own
+  // acquire paths register lazily, but a cross section may subscribe a
+  // shard whose lock was never taken.
+  if (check::CheckSession* chk = check::checker()) {
+    chk->register_meta(lock_.locked_word(), sizeof(std::uint64_t));
+    chk->register_meta(lock_.state_word(), sizeof(std::uint64_t));
+  }
 }
 
 void SuxTleMethod::subscribe_shared(ThreadCtx& th) {
@@ -218,6 +227,18 @@ void SuxTleMethod::cross_lock_leave(ThreadCtx& /*th*/) {
   on_holder_cs_close();
   if (upgraded_) lock_.downgrade_to_update();
   lock_.release_update();
+}
+
+void SuxTleMethod::cross_lock_downgrade(ThreadCtx& /*th*/) {
+  if (!upgraded_) return;  // never wrote (or already downgraded): update mode
+  // Close the write window first — SUX-RW-TLE clears write_flag here, and
+  // clearing upgraded_ below makes the close in cross_lock_leave a no-op —
+  // then fall back from exclusive to update. Readers parked in
+  // spin_while_locked() (and elided readers probing is_locked()) resume
+  // immediately; the holder keeps update mode for its read-only suffix.
+  on_holder_cs_close();
+  lock_.downgrade_to_update();
+  upgraded_ = false;
 }
 
 void SuxTleMethod::cross_htm_enter_read(ThreadCtx& th) {

@@ -66,6 +66,12 @@ class SuxTleMethod : public runtime::SyncMethod {
   void cross_htm_publish(runtime::ThreadCtx& /*th*/, bool /*wrote*/) override {}
   void cross_lock_enter(runtime::ThreadCtx& th) override;
   void cross_lock_leave(runtime::ThreadCtx& th) override;
+  /// Done writing: drop the eager exclusive claim back to update mode
+  /// (SuxLock::downgrade_to_update), so elided and pessimistic readers
+  /// resume against the section's read-only suffix. Closes the holder's
+  /// write window first (SUX-RW-TLE clears write_flag), which makes the
+  /// later cross_lock_leave close a no-op.
+  void cross_lock_downgrade(runtime::ThreadCtx& th) override;
   runtime::Path cross_lock_path() const override {
     return runtime::Path::kLockSlow;
   }

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "runtime/engine.h"
+#include "util/line_alloc.h"
 
 namespace rtle::tle {
 
@@ -115,8 +116,10 @@ class FgTleMethod : public runtime::ElidingMethod {
   bool bug_skip_fence_ = false;
   bool bug_stale_stamp_ = false;
   bool bug_skip_slow_abort_ = false;
-  std::vector<std::uint64_t> r_orecs_;
-  std::vector<std::uint64_t> w_orecs_;
+  // Line-aligned: orecs are word-sized simulated state, and their line
+  // grouping must not depend on heap placement (util/line_alloc.h).
+  util::LineVector<std::uint64_t> r_orecs_;
+  util::LineVector<std::uint64_t> w_orecs_;
   alignas(64) std::uint64_t global_seq_ = 0;
 
   // Holder-side state; a single holder exists at a time.

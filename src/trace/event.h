@@ -103,10 +103,17 @@ enum class EventType : std::uint16_t {
   kSharedAcquire,
   kSharedRelease,
   kUpgrade,
+
+  // Ordered-index range scans (oltp/store.cpp). kScanBegin / kScanCommit
+  // frame one range scan or range transaction (`arg` = bitmask of involved
+  // shards on begin, items visited on commit; `flags` = 0 on the HTM path,
+  // 1 on the pessimistic gap-protected path).
+  kScanBegin,
+  kScanCommit,
 };
 
 inline constexpr std::size_t kNumEventTypes =
-    static_cast<std::size_t>(EventType::kUpgrade) + 1;
+    static_cast<std::size_t>(EventType::kScanCommit) + 1;
 
 const char* to_string(EventType t);
 

@@ -83,6 +83,9 @@ void export_thread(EventWriter& w, std::size_t tid, const EventRing& ring) {
   bool cross_open = false;
   std::uint64_t cross_ts = 0;
   std::uint64_t cross_mask = 0;
+  bool scan_open = false;
+  std::uint64_t scan_ts = 0;
+  std::uint64_t scan_mask = 0;
 
   char name[32];
   auto txn_name = [&](std::uint16_t path) {
@@ -194,6 +197,26 @@ void export_thread(EventWriter& w, std::size_t tid, const EventRing& ring) {
           cross_open = false;
         } else {
           w.instant(tid, "cross-txn", ev.ts, "\"outcome\":\"commit\"");
+        }
+        break;
+      case EventType::kScanBegin:
+        if (scan_open) {
+          w.instant(tid, "range-scan", scan_ts, "\"outcome\":\"open\"");
+        }
+        scan_open = true;
+        scan_ts = ev.ts;
+        scan_mask = ev.arg;
+        break;
+      case EventType::kScanCommit:
+        if (scan_open) {
+          std::string args = u64_arg("shards", scan_mask) + "," +
+                             u64_arg("items", ev.arg) + ",\"path\":\"";
+          args += ev.flags == 0 ? "htm" : "lock";
+          args += "\"";
+          w.slice(tid, "range-scan", scan_ts, ev.ts - scan_ts, args);
+          scan_open = false;
+        } else {
+          w.instant(tid, "range-scan", ev.ts, "\"outcome\":\"commit\"");
         }
         break;
       case EventType::kAdmitShed:

@@ -44,6 +44,8 @@ const char* to_string(EventType t) {
     case EventType::kSharedAcquire: return "shared-acquire";
     case EventType::kSharedRelease: return "shared-release";
     case EventType::kUpgrade: return "upgrade";
+    case EventType::kScanBegin: return "scan-begin";
+    case EventType::kScanCommit: return "scan-commit";
   }
   return "?";
 }

@@ -1,0 +1,50 @@
+// util::LineVector — std::vector storage aligned to the simulated cache
+// line (64 bytes).
+//
+// The simulator derives cache-line identity from real addresses
+// (mem::line_of), so which words share a line — and with it conflict
+// detection and HTM footprint counts — depends on where the heap places a
+// container. Arrays of line-sized elements (alignas(64) structs) already get
+// aligned storage from the element type; arrays of *word-sized* simulated
+// state (bucket heads, orecs, CC slots) do not, and their line grouping
+// would shift with the allocation's phase mod 64. That phase varies with
+// prior heap traffic, so two otherwise identical runs in one process could
+// diverge. Pinning the storage to a line boundary makes the grouping a pure
+// function of the index — reproducible regardless of heap history.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace rtle::util {
+
+inline constexpr std::size_t kLineBytes = 64;
+
+template <typename T>
+struct LineAlloc {
+  using value_type = T;
+
+  LineAlloc() = default;
+  template <typename U>
+  LineAlloc(const LineAlloc<U>&) {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{kLineBytes}));
+  }
+  void deallocate(T* p, std::size_t n) {
+    ::operator delete(p, n * sizeof(T), std::align_val_t{kLineBytes});
+  }
+
+  template <typename U>
+  bool operator==(const LineAlloc<U>&) const {
+    return true;
+  }
+};
+
+/// Vector whose data() is always 64-byte aligned.
+template <typename T>
+using LineVector = std::vector<T, LineAlloc<T>>;
+
+}  // namespace rtle::util

@@ -1,0 +1,26 @@
+// Fixture ordered index: a pessimistic scan sweeps every shard guard in
+// ascending order, and node value words go through the TxContext shim.
+#include <cstdint>
+
+namespace rtle::runtime {
+struct TxContext {
+  std::uint64_t load(const std::uint64_t* addr);
+  void store(std::uint64_t* addr, std::uint64_t value);
+};
+}  // namespace rtle::runtime
+
+namespace rtle::idx {
+
+void cross_lock_enter_read(std::uint32_t s);
+
+void scan_enter_all(const std::uint32_t* order, std::uint32_t n) {
+  for (std::uint32_t s = 0; s < n; ++s) {
+    cross_lock_enter_read(order[s]);
+  }
+}
+
+std::uint64_t read_entry(runtime::TxContext& ctx, std::uint64_t* value) {
+  return ctx.load(value);
+}
+
+}  // namespace rtle::idx

@@ -156,6 +156,25 @@ TEST(AnalyzeMutation, LockOrderDetectsUnsortedLockSlots) {
   EXPECT_TRUE(names(fs, "lock-order", "collect_lock_slots")) << dump(fs);
 }
 
+TEST(AnalyzeMutation, LockOrderDetectsReversedIdxScanSweep) {
+  // src/idx is in the lock-order roots: the ordered index's pessimistic
+  // scan sweeps every shard guard, so a reversed sweep there deadlocks
+  // against cross-shard writers exactly like one in the store.
+  Corpus c = fixtures();
+  mutate(c, "src/idx/btree.cpp", "cross_lock_enter_read(order[s]);",
+         "cross_lock_enter_read(order[n - 1 - s]);");
+  const std::vector<Finding> fs = run(c, {"lock-order"});
+  EXPECT_TRUE(names(fs, "lock-order", "induction variable")) << dump(fs);
+}
+
+TEST(AnalyzeMutation, ShimBypassDetectsRawIdxEntryRead) {
+  Corpus c = fixtures();
+  mutate(c, "src/idx/btree.cpp", "return ctx.load(value);",
+         "return *value;");
+  const std::vector<Finding> fs = run(c, {"shim-bypass"});
+  EXPECT_TRUE(names(fs, "shim-bypass", "value")) << dump(fs);
+}
+
 // --- check-coverage -----------------------------------------------------
 
 TEST(AnalyzeMutation, CheckCoverageDetectsUntestedReportKind) {

@@ -213,6 +213,108 @@ TEST(CheckNegative, PlainDataRaceIsReported) {
   EXPECT_TRUE(has_kind(chk, ReportKind::kRace)) << chk.summary();
 }
 
+// Shared scaffold for the range-scan phantom tests: a small TLE store with a
+// dense prefilled key space, so scans see entries on every shard.
+oltp::StoreConfig phantom_store_config(int cross_trials) {
+  oltp::StoreConfig sc;
+  sc.shards = 4;
+  sc.buckets_per_shard = 32;
+  sc.max_nodes_per_shard = 256;
+  sc.max_threads = 2;
+  sc.cross_trials = cross_trials;
+  return sc;
+}
+
+TEST(CheckNegative, LazyScanSubscriptionIsReportedAsPhantom) {
+  // The seeded bug moves the shard-guard subscription after the tree reads
+  // (lazy subscription, Dice et al.): the scan's speculative buffer is no
+  // longer empty when the guards are finally subscribed, and the checker
+  // reports the window as a phantom hazard by name.
+  CheckSession chk;
+  SimScope sim(MachineConfig::corei7());
+  oltp::Store store(phantom_store_config(/*cross_trials=*/5),
+                    bench::method_by_name("TLE"));
+  for (std::uint64_t k = 0; k < 32; ++k) store.prefill_meta(k, k);
+  store.seed_lazy_scan_subscribe(true);
+  sim.sched.spawn(
+      [&] {
+        ThreadCtx th(0, 7);
+        oltp::Store::RangeEntries out;
+        store.scan(th, 4, 20, 0, out);
+        EXPECT_EQ(out.size(), 17u);
+      },
+      0);
+  sim.sched.run();
+  EXPECT_TRUE(has_kind(chk, ReportKind::kPhantom)) << chk.summary();
+  EXPECT_NE(detail_of(chk, ReportKind::kPhantom).find("lazy subscription"),
+            std::string::npos);
+  EXPECT_STREQ(check::to_string(ReportKind::kPhantom), "phantom");
+}
+
+TEST(CheckNegative, SkippedGapProtectionIsReportedAsPhantom) {
+  // cross_trials = 0 forces the incremental pessimistic scan, whose only
+  // cross-shard atomicity is the gap-table footprint. The seeded bug makes
+  // the writer skip the footprint wait, so it enters the scan's live key
+  // range — the classic phantom — and the checker names it.
+  CheckSession chk;
+  SimScope sim(MachineConfig::corei7());
+  oltp::Store store(phantom_store_config(/*cross_trials=*/0),
+                    bench::method_by_name("TLE"));
+  for (std::uint64_t k = 0; k < 64; ++k) store.prefill_meta(k, 1);
+  store.seed_skip_gap_protection(true);
+  sim.sched.spawn(
+      [&] {
+        ThreadCtx th(0, 7);
+        oltp::Store::RangeEntries out;
+        store.scan(th, 0, 63, 0, out);
+      },
+      0);
+  sim.sched.spawn(
+      [&] {
+        ThreadCtx th(1, 9);
+        mem::compute(50);  // land inside the scan's guard walk
+        store.put(th, 20, 99);
+      },
+      1);
+  sim.sched.run();
+  EXPECT_TRUE(has_kind(chk, ReportKind::kPhantom)) << chk.summary();
+  EXPECT_NE(detail_of(chk, ReportKind::kPhantom).find("skipped"),
+            std::string::npos);
+  EXPECT_NE(detail_of(chk, ReportKind::kPhantom).find("footprint"),
+            std::string::npos);
+}
+
+TEST(CheckPositive, GapProtectedPessimisticScanIsClean) {
+  // Same shape as the negative test with the protection honored: the writer
+  // waits out the scan footprint, the checker stays silent, and the scan
+  // still sees a consistent range.
+  CheckSession chk;
+  SimScope sim(MachineConfig::corei7());
+  oltp::Store store(phantom_store_config(/*cross_trials=*/0),
+                    bench::method_by_name("TLE"));
+  for (std::uint64_t k = 0; k < 64; ++k) store.prefill_meta(k, 1);
+  sim.sched.spawn(
+      [&] {
+        ThreadCtx th(0, 7);
+        oltp::Store::RangeEntries out;
+        store.scan(th, 0, 63, 0, out);
+        EXPECT_EQ(out.size(), 64u);
+      },
+      0);
+  sim.sched.spawn(
+      [&] {
+        ThreadCtx th(1, 9);
+        mem::compute(50);
+        store.put(th, 20, 99);  // must wait for the footprint to clear
+      },
+      1);
+  sim.sched.run();
+  EXPECT_EQ(chk.report_count(), 0u) << chk.summary();
+  const std::uint64_t* v = store.map(store.shard_of(20)).find_meta(20);
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(*v, 99u);
+}
+
 // ---------------------------------------------------------------------------
 // Positive tests: unmutated methods are clean on real workloads.
 // ---------------------------------------------------------------------------

@@ -1,0 +1,363 @@
+// rtle::idx — ordered transactional index (TxBTree) + gap table.
+//
+// Coverage:
+//   * TxBTree has plain ordered-map semantics against a std::map mirror,
+//     through the transactional API and the meta helpers alike;
+//   * proactive split-on-descent keeps the structural invariants across
+//     ascending, descending and random insertion orders;
+//   * scan() visits [lo, hi] in ascending key order, honors the limit, and
+//     reads values through the stored value-word addresses;
+//   * erase never unlinks nodes — underfull leaves stay in the chain and
+//     later inserts refill them in place;
+//   * GapTable: writers wait out overlapping scan footprints (and only
+//     overlapping ones), scans wait out writer intent, and the seeded
+//     skip-protection mode lets a writer straight through.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_util/setbench.h"
+#include "idx/btree.h"
+#include "idx/gap.h"
+#include "mem/shim.h"
+#include "sim/env.h"
+#include "sim/rng.h"
+#include "test_util.h"
+
+namespace rtle {
+namespace {
+
+using idx::GapTable;
+using idx::TxBTree;
+using runtime::ThreadCtx;
+using runtime::TxContext;
+using sim::MachineConfig;
+
+/// Run `fn(ctx)` once inside a critical section of a fresh Lock method —
+/// the simplest way to hand the tree a live TxContext.
+template <typename Fn>
+void in_cs(SimScope& sim, runtime::SyncMethod& m, ThreadCtx& th, Fn&& fn) {
+  sim.sched.spawn(
+      [&] {
+        auto cs = [&](TxContext& ctx) { fn(ctx); };
+        m.execute(th, cs);
+      },
+      th.tid);
+  sim.sched.run();
+}
+
+TEST(IdxBTree, InsertFindEraseMatchStdMap) {
+  SimScope sim(MachineConfig::corei7());
+  constexpr std::uint64_t kKeys = 128;
+  TxBTree tree(1024, 1);
+  std::vector<std::uint64_t> vals(kKeys, 0);
+  std::map<std::uint64_t, std::uint64_t*> model;
+  auto method = bench::method_by_name("Lock").make();
+  method->prepare(1);
+  ThreadCtx th(0, 7);
+  sim.sched.spawn(
+      [&] {
+        sim::Rng rng(7);
+        for (int i = 0; i < 900; ++i) {
+          const std::uint64_t key = rng.below(kKeys);
+          tree.reserve_nodes(th, TxBTree::kNodesPerInsert);
+          switch (rng.below(3)) {
+            case 0: {
+              auto cs = [&](TxContext& ctx) {
+                tree.insert(ctx, key, &vals[key]);
+              };
+              method->execute(th, cs);
+              model[key] = &vals[key];
+              break;
+            }
+            case 1: {
+              std::uint64_t* got = nullptr;
+              auto cs = [&](TxContext& ctx) { got = tree.find(ctx, key); };
+              method->execute(th, cs);
+              if (model.count(key) != 0) {
+                EXPECT_EQ(got, model[key]);
+              } else {
+                EXPECT_EQ(got, nullptr);
+              }
+              break;
+            }
+            default: {
+              bool erased = false;
+              auto cs = [&](TxContext& ctx) { erased = tree.erase(ctx, key); };
+              method->execute(th, cs);
+              EXPECT_EQ(erased, model.erase(key) != 0);
+              break;
+            }
+          }
+        }
+      },
+      0);
+  sim.sched.run();
+  EXPECT_TRUE(tree.invariants_ok());
+  EXPECT_EQ(tree.size_meta(), model.size());
+  auto it = model.begin();
+  tree.for_each_meta([&](std::uint64_t k, std::uint64_t* v) {
+    ASSERT_NE(it, model.end());
+    EXPECT_EQ(k, it->first);
+    EXPECT_EQ(v, it->second);
+    ++it;
+  });
+  EXPECT_EQ(it, model.end());
+}
+
+TEST(IdxBTree, SplitsKeepInvariantsInEveryInsertionOrder) {
+  for (int order = 0; order < 3; ++order) {
+    SimScope sim(MachineConfig::corei7());
+    constexpr std::uint64_t kKeys = 300;
+    TxBTree tree(2048, 1);
+    std::vector<std::uint64_t> vals(kKeys, 0);
+    auto method = bench::method_by_name("Lock").make();
+    method->prepare(1);
+    ThreadCtx th(0, 9);
+    sim.sched.spawn(
+        [&] {
+          sim::Rng rng(11);
+          for (std::uint64_t i = 0; i < kKeys; ++i) {
+            std::uint64_t key = i;                        // ascending
+            if (order == 1) key = kKeys - 1 - i;          // descending
+            if (order == 2) key = (i * 2654435761u) % kKeys;  // scattered
+            tree.reserve_nodes(th, TxBTree::kNodesPerInsert);
+            auto cs = [&](TxContext& ctx) {
+              tree.insert(ctx, key, &vals[key]);
+            };
+            method->execute(th, cs);
+          }
+        },
+        0);
+    sim.sched.run();
+    EXPECT_TRUE(tree.invariants_ok()) << "order " << order;
+    // order 2 visits some keys twice (the map is not a permutation for
+    // every modulus) — upserts, so count distinct keys.
+    std::map<std::uint64_t, bool> seen;
+    tree.for_each_meta([&](std::uint64_t k, std::uint64_t*) {
+      seen[k] = true;
+    });
+    std::uint64_t prev = 0;
+    bool first = true;
+    tree.for_each_meta([&](std::uint64_t k, std::uint64_t*) {
+      if (!first) {
+        EXPECT_GT(k, prev) << "order " << order;
+      }
+      prev = k;
+      first = false;
+    });
+    EXPECT_EQ(tree.size_meta(), seen.size()) << "order " << order;
+  }
+}
+
+TEST(IdxBTree, ScanVisitsRangeAscendingAndHonorsLimit) {
+  SimScope sim(MachineConfig::corei7());
+  TxBTree tree(1024, 1);
+  std::vector<std::uint64_t> vals(256, 0);
+  for (std::uint64_t k = 0; k < 256; k += 2) {  // evens only
+    vals[k] = 1000 + k;
+    EXPECT_TRUE(tree.insert_meta(k, &vals[k]));
+  }
+  EXPECT_FALSE(tree.insert_meta(10, &vals[10]));  // duplicate prefill
+  auto method = bench::method_by_name("Lock").make();
+  method->prepare(1);
+  ThreadCtx th(0, 3);
+  auto scan_collect = [&](std::uint64_t lo, std::uint64_t hi,
+                          std::size_t limit) {
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> got;
+    in_cs(sim, *method, th, [&](TxContext& ctx) {
+      got.clear();
+      auto fn = [&](std::uint64_t k, std::uint64_t v) {
+        got.emplace_back(k, v);
+      };
+      tree.scan(ctx, lo, hi, limit, fn);
+    });
+    return got;
+  };
+
+  const auto full = scan_collect(0, 255, 0);
+  ASSERT_EQ(full.size(), 128u);
+  for (std::size_t i = 0; i < full.size(); ++i) {
+    EXPECT_EQ(full[i].first, 2 * i);
+    EXPECT_EQ(full[i].second, 1000 + 2 * i);  // value read through the word
+  }
+  // Interior range with odd (absent) endpoints.
+  const auto mid = scan_collect(11, 21, 0);
+  ASSERT_EQ(mid.size(), 5u);
+  EXPECT_EQ(mid.front().first, 12u);
+  EXPECT_EQ(mid.back().first, 20u);
+  // Limit keeps the lowest keys.
+  const auto lim = scan_collect(0, 255, 7);
+  ASSERT_EQ(lim.size(), 7u);
+  EXPECT_EQ(lim.back().first, 12u);
+  // Empty range.
+  EXPECT_TRUE(scan_collect(13, 13, 0).empty());
+  EXPECT_TRUE(scan_collect(300, 400, 0).empty());
+}
+
+TEST(IdxBTree, EraseLeavesChainLinkedAndRefillableInPlace) {
+  SimScope sim(MachineConfig::corei7());
+  constexpr std::uint64_t kKeys = 200;
+  TxBTree tree(1024, 1);
+  std::vector<std::uint64_t> vals(kKeys, 0);
+  auto method = bench::method_by_name("Lock").make();
+  method->prepare(1);
+  ThreadCtx th(0, 5);
+  sim.sched.spawn(
+      [&] {
+        for (std::uint64_t k = 0; k < kKeys; ++k) {
+          tree.reserve_nodes(th, TxBTree::kNodesPerInsert);
+          auto cs = [&](TxContext& ctx) { tree.insert(ctx, k, &vals[k]); };
+          method->execute(th, cs);
+        }
+        // Empty every leaf; the nodes stay linked where they are.
+        for (std::uint64_t k = 0; k < kKeys; ++k) {
+          auto cs = [&](TxContext& ctx) {
+            EXPECT_TRUE(tree.erase(ctx, k));
+            EXPECT_FALSE(tree.erase(ctx, k));
+          };
+          method->execute(th, cs);
+        }
+      },
+      0);
+  sim.sched.run();
+  EXPECT_EQ(tree.size_meta(), 0u);
+  EXPECT_TRUE(tree.invariants_ok());
+  // Refill the same key range: the emptied leaves absorb the inserts
+  // without growing the structure out of its arena.
+  sim.sched.spawn(
+      [&] {
+        for (std::uint64_t k = 0; k < kKeys; ++k) {
+          tree.reserve_nodes(th, TxBTree::kNodesPerInsert);
+          auto cs = [&](TxContext& ctx) { tree.insert(ctx, k, &vals[k]); };
+          method->execute(th, cs);
+        }
+      },
+      0);
+  sim.sched.run();
+  EXPECT_EQ(tree.size_meta(), kKeys);
+  EXPECT_TRUE(tree.invariants_ok());
+}
+
+// ---------------------------------------------------------------------------
+// GapTable: range-footprint protection for pessimistic scans.
+// ---------------------------------------------------------------------------
+
+TEST(IdxGap, WriterWaitsForOverlappingScanFootprint) {
+  SimScope sim(MachineConfig::corei7());
+  GapTable gaps(2);
+  std::vector<std::string> events;  // host-side: append order = sim order
+  ThreadCtx t0(0, 1), t1(1, 2);
+  sim.sched.spawn(
+      [&] {
+        gaps.scan_enter(t0, 10, 20);
+        events.push_back("scan_enter");
+        EXPECT_EQ(gaps.active_scans(), 1u);
+        mem::compute(2000);  // hold the footprint while the writer arrives
+        gaps.scan_leave(t0);
+        events.push_back("scan_leave");
+      },
+      0);
+  sim.sched.spawn(
+      [&] {
+        mem::compute(50);  // let the scan publish first
+        gaps.writer_enter(t1, 15, 15, /*honor=*/true);
+        events.push_back("writer_in");
+        gaps.writer_leave(t1);
+      },
+      1);
+  sim.sched.run();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0], "scan_enter");
+  EXPECT_EQ(events[1], "scan_leave");
+  EXPECT_EQ(events[2], "writer_in");  // waited the footprint out
+  EXPECT_EQ(gaps.active_scans(), 0u);
+}
+
+TEST(IdxGap, DisjointWriterPassesWhileScanIsLive) {
+  SimScope sim(MachineConfig::corei7());
+  GapTable gaps(2);
+  std::vector<std::string> events;
+  ThreadCtx t0(0, 1), t1(1, 2);
+  sim.sched.spawn(
+      [&] {
+        gaps.scan_enter(t0, 10, 20);
+        events.push_back("scan_enter");
+        mem::compute(2000);
+        gaps.scan_leave(t0);
+        events.push_back("scan_leave");
+      },
+      0);
+  sim.sched.spawn(
+      [&] {
+        mem::compute(50);
+        gaps.writer_enter(t1, 30, 40, /*honor=*/true);  // disjoint range
+        events.push_back("writer_in");
+        gaps.writer_leave(t1);
+      },
+      1);
+  sim.sched.run();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[1], "writer_in");  // did not wait for the scan
+}
+
+TEST(IdxGap, ScanWaitsForPublishedWriterIntent) {
+  SimScope sim(MachineConfig::corei7());
+  GapTable gaps(2);
+  std::vector<std::string> events;
+  ThreadCtx t0(0, 1), t1(1, 2);
+  sim.sched.spawn(
+      [&] {
+        gaps.writer_enter(t0, 12, 18, /*honor=*/true);
+        events.push_back("writer_enter");
+        mem::compute(2000);
+        gaps.writer_leave(t0);
+        events.push_back("writer_leave");
+      },
+      0);
+  sim.sched.spawn(
+      [&] {
+        mem::compute(50);
+        gaps.scan_enter(t1, 10, 20);
+        events.push_back("scan_in");
+        gaps.scan_leave(t1);
+      },
+      1);
+  sim.sched.run();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[1], "writer_leave");
+  EXPECT_EQ(events[2], "scan_in");  // waited the intent out
+}
+
+TEST(IdxGap, SkippedProtectionLetsTheWriterStraightThrough) {
+  SimScope sim(MachineConfig::corei7());
+  GapTable gaps(2);
+  std::vector<std::string> events;
+  ThreadCtx t0(0, 1), t1(1, 2);
+  sim.sched.spawn(
+      [&] {
+        gaps.scan_enter(t0, 10, 20);
+        events.push_back("scan_enter");
+        mem::compute(2000);
+        gaps.scan_leave(t0);
+        events.push_back("scan_leave");
+      },
+      0);
+  sim.sched.spawn(
+      [&] {
+        mem::compute(50);
+        gaps.writer_enter(t1, 15, 15, /*honor=*/false);  // seeded bug
+        events.push_back("writer_in");
+        gaps.writer_leave(t1);
+      },
+      1);
+  sim.sched.run();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[1], "writer_in");  // entered the live footprint
+}
+
+}  // namespace
+}  // namespace rtle

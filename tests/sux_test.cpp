@@ -226,6 +226,54 @@ TEST(SuxPositive, RwVariantReadersCommitThroughTheHoldersReadWindow) {
   EXPECT_GT(m.stats().slow_htm_while_locked, 0u);
 }
 
+TEST(SuxSeam, CrossDowngradeReopensTheLockForReaders) {
+  // The cross-shard write fallback upgrades eagerly at cross_lock_enter;
+  // cross_lock_downgrade must drop the exclusive word back to update mode
+  // so pessimistic readers parked in acquire_shared get in *during* the
+  // holder's read-only suffix, not after cross_lock_leave. A second
+  // downgrade (the store issues one per shard even when the body wrote
+  // nothing) must be a no-op.
+  SimScope sim(MachineConfig::corei7());
+  SuxTleMethod m;
+  m.prepare(2);
+  alignas(64) static std::uint64_t cell;
+  cell = 0;
+  std::vector<int> order;  // host-side; fibers switch only inside mem::
+  test::run_workers(sim, 2, 1, 23, [&](ThreadCtx& th, std::uint64_t) {
+    if (th.tid == 0) {
+      m.cross_lock_enter(th);  // eager upgrade: exclusive word up
+      EXPECT_TRUE(m.lock().locked_meta());
+      order.push_back(0);
+      TxContext ctx(m.cross_lock_path(), th, m.cross_lock_barriers());
+      ctx.store(&cell, std::uint64_t{41});
+      ctx.compute(1000);  // write phase: the reader below stays parked
+      m.cross_lock_downgrade(th);  // word down, update mode still held
+      EXPECT_FALSE(m.lock().locked_meta());
+      order.push_back(1);
+      EXPECT_EQ(ctx.load(&cell), 41u);
+      ctx.compute(2000);  // read-only suffix: the reader gets in here
+      order.push_back(3);
+      m.cross_lock_downgrade(th);  // idempotent: already downgraded
+      EXPECT_FALSE(m.lock().locked_meta());
+      m.cross_lock_leave(th);
+    } else {
+      mem::compute(150);  // let the writer claim the lock first
+      m.cross_lock_enter_read(th);  // blocks until the downgrade
+      order.push_back(2);
+      TxContext ctx(m.cross_lock_read_path(), th,
+                    m.cross_lock_read_barriers());
+      EXPECT_EQ(ctx.load(&cell), 41u);
+      m.cross_lock_leave_read(th);
+    }
+  });
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order[0], 0);  // writer exclusive
+  EXPECT_EQ(order[1], 1);  // writer downgraded
+  EXPECT_EQ(order[2], 2);  // reader admitted inside the suffix
+  EXPECT_EQ(order[3], 3);  // writer suffix ends after the reader got in
+  EXPECT_GT(m.stats().sux_upgrades, 0u);
+}
+
 // ---------------------------------------------------------------------------
 // Negative: seeded SUX protocol bugs are reported by name.
 // ---------------------------------------------------------------------------
@@ -416,6 +464,55 @@ TEST(SuxStore, SingleKeyGetsRunOnTheSharedSeam) {
   // the writer's upgrades alone.
   EXPECT_GT(st.ops, 0u);
   EXPECT_EQ(st.lock_acquisitions, st.sux_upgrades);
+}
+
+TEST(SuxStore, RangeTxDowngradesForItsReadOnlySuffix) {
+  // Pessimistic range transactions over SUX shards write, downgrade every
+  // shard, then re-scan: full-table scans racing them must stay atomic
+  // (sum preserved) and the checker clean — the downgrade may not leak a
+  // write past the suffix or readmit readers early.
+  CheckSession chk;
+  SimScope sim(MachineConfig::corei7());
+  oltp::StoreConfig sc;
+  sc.shards = 4;
+  sc.max_nodes_per_shard = 256;
+  sc.max_threads = 3;
+  sc.cross_trials = 0;  // every range op on the pessimistic seam
+  oltp::Store store(sc, bench::method_by_name("SUX-TLE"));
+  const std::uint64_t kKeys = 32;
+  for (std::uint64_t k = 0; k < kKeys; ++k) store.prefill_meta(k, 100);
+  bool ok = true;
+  test::run_workers(sim, 3, 30, 43, [&](ThreadCtx& th, std::uint64_t) {
+    if (th.tid == 0) {
+      // Sum-preserving transfer between a range's endpoints; the re-scan
+      // suffix runs with every shard downgraded to update mode.
+      const std::uint64_t lo = th.rng.below(kKeys - 6);
+      store.range_tx(th, lo, lo + 6, 0, 2,
+                     [&](oltp::Store::MultiTx& tx,
+                         const oltp::Store::RangeEntries& es) {
+                       if (es.size() < 2) return;
+                       tx.write(es.front().first, es.front().second - 1);
+                       tx.write(es.back().first, es.back().second + 1);
+                     });
+    } else if (th.tid == 1) {
+      std::vector<std::pair<std::uint64_t, std::uint64_t>> out;
+      const std::size_t n = store.scan(th, 0, kKeys - 1, 0, out);
+      std::uint64_t sum = 0;
+      for (const auto& e : out) sum += e.second;
+      if (n == kKeys && sum != 100 * kKeys) ok = false;
+    } else {
+      std::uint64_t out = 0;
+      store.get(th, th.rng.below(kKeys), out);
+    }
+  });
+  EXPECT_TRUE(ok) << "torn scan across a range_tx";
+  EXPECT_EQ(store.sum_meta(), 100 * kKeys);
+  EXPECT_EQ(chk.report_count(), 0u) << chk.summary();
+  std::uint64_t upgrades = 0;
+  for (std::uint32_t s = 0; s < sc.shards; ++s) {
+    upgrades += store.method(s).stats().sux_upgrades;
+  }
+  EXPECT_GT(upgrades, 0u);  // the write fallback really upgraded/downgraded
 }
 
 }  // namespace

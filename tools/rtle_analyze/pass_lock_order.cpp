@@ -2,7 +2,8 @@
 // one discipline — guards are acquired in ascending deterministic order
 // (DESIGN.md §11; the dynamic checker reports violations as kLockOrder at
 // runtime, but only on schedules that reach them). This pass checks the
-// discipline at the source level in src/oltp and src/cc:
+// discipline at the source level in src/oltp, src/cc and src/idx (the
+// ordered index's scan fallback sweeps every shard guard):
 //
 //   * a loop that calls a guard-acquisition primitive (cross_lock_enter,
 //     enter_shard) must not run its induction variable backwards
@@ -32,7 +33,8 @@ bool is_acquire(std::string_view s) {
 std::vector<Finding> pass_lock_order(const Corpus& corpus) {
   std::vector<Finding> out;
   for (const SourceFile& f : corpus.files) {
-    if (f.path.rfind("src/oltp/", 0) != 0 && f.path.rfind("src/cc/", 0) != 0) {
+    if (f.path.rfind("src/oltp/", 0) != 0 && f.path.rfind("src/cc/", 0) != 0 &&
+        f.path.rfind("src/idx/", 0) != 0) {
       continue;
     }
     const FileScan scan(f);

@@ -37,7 +37,8 @@ const std::map<std::string, std::string>& aliases() {
       {"kLockRelease", "lock-held"}, {"kShardAcquire", "shard-held"},
       {"kShardRelease", "shard-held"}, {"kCrossBegin", "cross-txn"},
       {"kCrossCommit", "cross-txn"},   {"kSharedAcquire", "shared-held"},
-      {"kSharedRelease", "shared-held"},
+      {"kSharedRelease", "shared-held"}, {"kScanBegin", "range-scan"},
+      {"kScanCommit", "range-scan"},
   };
   return kAliases;
 }

@@ -49,6 +49,15 @@ struct CrossSpan {
   std::string path;          // "htm" / "lock"
 };
 
+/// One ordered-index range scan or range transaction (from
+/// kScanBegin/kScanCommit pairs); `items` is the delivered entry count.
+struct ScanSpan {
+  Interval iv;
+  std::uint64_t shards = 0;  // bitmask of shards the scan covered
+  std::uint64_t items = 0;
+  std::string path;  // "htm" / "lock" (gap-protected incremental)
+};
+
 /// A SUX shared/update-mode hold (from kSharedAcquire/kSharedRelease
 /// pairs); `update` marks the holder as the shard's sole upgrade
 /// candidate rather than a plain shared reader.
@@ -63,6 +72,7 @@ struct ThreadTimeline {
   std::vector<SharedHold> shareds;
   std::vector<TxnSlice> txns;
   std::vector<CrossSpan> crosses;
+  std::vector<ScanSpan> scans;
   std::uint64_t upgrades = 0;        // kUpgrade instants
   std::uint64_t upgrade_drains = 0;  // summed reader-drain counts
 };
@@ -270,6 +280,15 @@ int main(int argc, char** argv) {
         cs.path = args->get_string("path");
       }
       threads[tid].crosses.push_back(cs);
+    } else if (name == "range-scan") {
+      ScanSpan ss;
+      ss.iv = iv;
+      if (const auto* args = ev.find("args")) {
+        ss.shards = args->get_u64("shards");
+        ss.items = args->get_u64("items");
+        ss.path = args->get_string("path");
+      }
+      threads[tid].scans.push_back(ss);
     } else if (name.rfind("txn-", 0) == 0) {
       TxnSlice t;
       t.iv = iv;
@@ -514,6 +533,42 @@ int main(int argc, char** argv) {
       }
       if (show < tl.crosses.size()) {
         std::printf("    … +%zu more\n", tl.crosses.size() - show);
+      }
+    }
+  }
+
+  // Ordered-index range-scan view (oltp stores with range ops only).
+  bool any_scan = false;
+  for (const auto& [tid, tl] : threads) any_scan |= !tl.scans.empty();
+  if (any_scan) {
+    std::printf("\nrange scans (ordered index):\n");
+    for (const auto& [tid, tl] : threads) {
+      if (tl.scans.empty()) continue;
+      std::uint64_t htm = 0, lockp = 0, items = 0, max_items = 0,
+                    cycles = 0;
+      for (const auto& ss : tl.scans) {
+        (ss.path == "lock" ? lockp : htm) += 1;
+        items += ss.items;
+        max_items = std::max(max_items, ss.items);
+        cycles += ss.iv.dur;
+      }
+      std::printf("  tid %llu: %zu scans (htm=%llu, gap-protected "
+                  "lock=%llu), items avg=%.1f max=%llu, %llu cycles\n",
+                  static_cast<unsigned long long>(tid), tl.scans.size(),
+                  static_cast<unsigned long long>(htm),
+                  static_cast<unsigned long long>(lockp),
+                  static_cast<double>(items) /
+                      static_cast<double>(tl.scans.size()),
+                  static_cast<unsigned long long>(max_items),
+                  static_cast<unsigned long long>(cycles));
+      if (full) {
+        for (const auto& ss : tl.scans) {
+          std::printf("    [%llu,%llu) path=%s items=%llu\n",
+                      static_cast<unsigned long long>(ss.iv.ts),
+                      static_cast<unsigned long long>(ss.iv.end()),
+                      ss.path.c_str(),
+                      static_cast<unsigned long long>(ss.items));
+        }
       }
     }
   }
